@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Float List Printf String Unix

@@ -1,0 +1,331 @@
+(* The genalg command-line tool: the Genomics Algebra and Unifying
+   Database from a shell.
+
+     genalg ops                         list the algebra's operators
+     genalg demo -o wh.db               build a demo warehouse
+     genalg query wh.db "SELECT ..."    extended SQL against a warehouse
+     genalg ask wh.db "find sequences where ..."   biological language
+     genalg orfs seqs.fasta             ORF finding over FASTA input
+     genalg translate seqs.fasta        six-frame translation
+     genalg align A.fasta B.fasta       pairwise alignment
+     genalg xml seqs.fasta              FASTA -> GenAlgXML *)
+
+open Cmdliner
+module Seq = Genalg_gdt.Sequence
+module Ops = Genalg_core.Ops
+module Db = Genalg_storage.Database
+module Exec = Genalg_sqlx.Exec
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_fasta path =
+  match Genalg_formats.Fasta.parse (read_file path) with
+  | Ok records -> records
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+
+let attach db = Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default
+
+(* ---- ops ------------------------------------------------------------- *)
+
+let ops_cmd =
+  let run () =
+    let sg = Genalg_core.Builtin.create () in
+    List.iter
+      (fun op ->
+        Printf.printf "%-60s %s\n"
+          (Genalg_core.Signature.rank_to_string op)
+          op.Genalg_core.Signature.doc)
+      (Genalg_core.Signature.operators sg);
+    Printf.printf "\n%d operators over %d base sorts\n"
+      (Genalg_core.Signature.cardinal sg)
+      (List.length Genalg_core.Sort.all_base)
+  in
+  Cmd.v
+    (Cmd.info "ops" ~doc:"List every operator of the Genomics Algebra signature")
+    Term.(const run $ const ())
+
+(* ---- demo -------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run output size seed =
+    let rng = Genalg_synth.Rng.make seed in
+    let repo_a, repo_b, _ =
+      Genalg_synth.Recordgen.overlapping_repositories rng ~size ~overlap:0.4
+        ~noise_fraction:0.45 ()
+    in
+    let open Genalg_etl in
+    let src_a = Source.create ~name:"synthbank" Source.Logged Source.Flat_file repo_a in
+    let src_b = Source.create ~name:"relbank" Source.Queryable Source.Relational repo_b in
+    match Pipeline.create ~sources:[ src_a; src_b ] () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok pl -> (
+        match Pipeline.bootstrap pl with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | Ok stats -> (
+            Printf.printf "loaded %d records, %d genes, %d conflicts\n"
+              stats.Loader.entries stats.Loader.genes stats.Loader.conflicts;
+            match Db.save (Pipeline.database pl) output with
+            | Ok () -> Printf.printf "warehouse written to %s\n" output
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1))
+  in
+  let output =
+    Arg.(value & opt string "warehouse.db" & info [ "o"; "output" ] ~doc:"Output file")
+  in
+  let size =
+    Arg.(value & opt int 50 & info [ "n"; "size" ] ~doc:"Records per repository")
+  in
+  let seed = Arg.(value & opt int 2003 & info [ "seed" ] ~doc:"Random seed") in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Build a demo warehouse from two synthetic repositories and save it")
+    Term.(const run $ output $ size $ seed)
+
+(* ---- query / ask ----------------------------------------------------------- *)
+
+let with_db path f =
+  match Db.load path with
+  | Error msg ->
+      Printf.eprintf "error: cannot load %s: %s\n" path msg;
+      exit 1
+  | Ok db ->
+      attach db;
+      f db
+
+let print_outcome db = function
+  | Exec.Rows rs -> print_endline (Exec.render db rs)
+  | Exec.Affected n -> Printf.printf "(%d rows affected)\n" n
+  | Exec.Executed -> print_endline "ok"
+
+let query_cmd =
+  let run path actor sql =
+    with_db path (fun db ->
+        match Exec.query db ~actor sql with
+        | Ok outcome -> print_outcome db outcome
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let sql = Arg.(required & pos 1 (some string) None & info [] ~docv:"SQL") in
+  let actor =
+    Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an extended-SQL statement against a saved warehouse")
+    Term.(const run $ path $ actor $ sql)
+
+let ask_cmd =
+  let run path actor question show_sql =
+    with_db path (fun db ->
+        (if show_sql then
+           match Genalg_biolang.Biolang.compile_to_sql question with
+           | Ok sql -> Printf.printf "-- %s\n" sql
+           | Error _ -> ());
+        match Genalg_biolang.Biolang.run_rendered db ~actor question with
+        | Ok text -> print_endline text
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let q = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUESTION") in
+  let actor =
+    Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
+  in
+  let show_sql =
+    Arg.(value & flag & info [ "show-sql" ] ~doc:"Print the generated SQL")
+  in
+  Cmd.v
+    (Cmd.info "ask"
+       ~doc:"Ask a question in the biological query language against a warehouse")
+    Term.(const run $ path $ actor $ q $ show_sql)
+
+(* ---- repl -------------------------------------------------------------------- *)
+
+let repl_cmd =
+  let run path actor =
+    with_db path (fun db ->
+        Printf.printf
+          "genalg interactive shell — extended SQL or biological language.\n\
+           Commands: \\tables  \\ops  \\vocab  \\quit\n\
+           Anything starting with SELECT/INSERT/CREATE/DELETE runs as SQL;\n\
+           everything else is tried as a biological query.\n\n";
+        let rec loop () =
+          Printf.printf "%s> %!" actor;
+          match In_channel.input_line stdin with
+          | None -> print_newline ()
+          | Some line -> (
+              let line = String.trim line in
+              match String.lowercase_ascii line with
+              | "" -> loop ()
+              | "\\quit" | "\\q" | "exit" | "quit" -> ()
+              | "\\tables" ->
+                  List.iter
+                    (fun (space, t) ->
+                      Printf.printf "  %-12s %s %s (%d rows)\n"
+                        (match space with
+                        | Db.Public -> "public"
+                        | Db.User u -> u)
+                        (Genalg_storage.Table.name t)
+                        (Genalg_storage.Schema.to_string (Genalg_storage.Table.schema t))
+                        (Genalg_storage.Table.row_count t))
+                    (Db.tables db);
+                  loop ()
+              | "\\ops" ->
+                  List.iter
+                    (fun op ->
+                      Printf.printf "  %s\n" (Genalg_core.Signature.rank_to_string op))
+                    (Genalg_core.Signature.operators Genalg_core.Builtin.default);
+                  loop ()
+              | "\\vocab" ->
+                  List.iter
+                    (fun (phrase, col) -> Printf.printf "  %-20s -> %s\n" phrase col)
+                    (Genalg_biolang.Biolang.vocabulary ());
+                  loop ()
+              | lower ->
+                  let is_sql =
+                    List.exists
+                      (fun kw ->
+                        String.length lower >= String.length kw
+                        && String.sub lower 0 (String.length kw) = kw)
+                      [ "select"; "insert"; "create"; "delete"; "analyze"; "drop" ]
+                  in
+                  (if is_sql then
+                     match Exec.query db ~actor line with
+                     | Ok outcome -> print_outcome db outcome
+                     | Error msg -> Printf.printf "error: %s\n" msg
+                   else
+                     match Genalg_biolang.Biolang.run_rendered db ~actor line with
+                     | Ok text -> print_endline text
+                     | Error msg -> Printf.printf "error: %s\n" msg);
+                  loop ())
+        in
+        loop ())
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let actor =
+    Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL/biolang shell over a saved warehouse")
+    Term.(const run $ path $ actor)
+
+(* ---- orfs -------------------------------------------------------------------- *)
+
+let orfs_cmd =
+  let run path min_length =
+    List.iter
+      (fun (r : Genalg_formats.Fasta.record) ->
+        let orfs = Ops.find_orfs ~min_length r.Genalg_formats.Fasta.sequence in
+        Printf.printf ">%s: %d ORFs >= %d nt\n" r.Genalg_formats.Fasta.id
+          (List.length orfs) min_length;
+        List.iteri
+          (fun i orf ->
+            let protein = Ops.orf_protein r.Genalg_formats.Fasta.sequence orf in
+            Printf.printf "  orf%d %s frame %d at %d..%d: %s\n" (i + 1)
+              (match orf.Ops.strand with Ops.Forward -> "+" | Ops.Reverse -> "-")
+              orf.Ops.frame orf.Ops.start
+              (orf.Ops.start + orf.Ops.length)
+              (Seq.to_string protein))
+          orfs)
+      (load_fasta path)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FASTA") in
+  let min_length =
+    Arg.(value & opt int 90 & info [ "m"; "min-length" ] ~doc:"Minimum ORF length (nt)")
+  in
+  Cmd.v
+    (Cmd.info "orfs" ~doc:"Find open reading frames in FASTA sequences")
+    Term.(const run $ path $ min_length)
+
+(* ---- translate ------------------------------------------------------------------ *)
+
+let translate_cmd =
+  let run path =
+    List.iter
+      (fun (r : Genalg_formats.Fasta.record) ->
+        Printf.printf ">%s\n" r.Genalg_formats.Fasta.id;
+        let seq = r.Genalg_formats.Fasta.sequence in
+        for frame = 0 to 2 do
+          Printf.printf "  +%d %s\n" frame
+            (Seq.to_string (Ops.translate_frame ~frame seq))
+        done;
+        let rc = Seq.reverse_complement seq in
+        for frame = 0 to 2 do
+          Printf.printf "  -%d %s\n" frame (Seq.to_string (Ops.translate_frame ~frame rc))
+        done)
+      (load_fasta path)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FASTA") in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Six-frame translation of FASTA sequences")
+    Term.(const run $ path)
+
+(* ---- align ---------------------------------------------------------------------- *)
+
+let align_cmd =
+  let run path_a path_b mode =
+    match load_fasta path_a, load_fasta path_b with
+    | a :: _, b :: _ ->
+        let mode =
+          match mode with
+          | "global" -> Genalg_align.Pairwise.Global
+          | "semiglobal" -> Genalg_align.Pairwise.Semiglobal
+          | _ -> Genalg_align.Pairwise.Local
+        in
+        let aln =
+          Genalg_align.Pairwise.align_seq ~mode ~query:a.Genalg_formats.Fasta.sequence
+            ~subject:b.Genalg_formats.Fasta.sequence ()
+        in
+        Format.printf "%a@." Genalg_align.Pairwise.pp aln;
+        Printf.printf "resemblance: %.3f\n"
+          (Ops.resembles a.Genalg_formats.Fasta.sequence b.Genalg_formats.Fasta.sequence)
+    | _ ->
+        Printf.eprintf "error: both FASTA files must contain a sequence\n";
+        exit 1
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.fasta") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUBJECT.fasta") in
+  let mode =
+    Arg.(value & opt string "local" & info [ "mode" ] ~doc:"local, global or semiglobal")
+  in
+  Cmd.v
+    (Cmd.info "align" ~doc:"Pairwise-align the first sequences of two FASTA files")
+    Term.(const run $ a $ b $ mode)
+
+(* ---- xml ------------------------------------------------------------------------- *)
+
+let xml_cmd =
+  let run path =
+    List.iter
+      (fun (r : Genalg_formats.Fasta.record) ->
+        let v = Genalg_core.Value.VDna r.Genalg_formats.Fasta.sequence in
+        print_string (Genalg_xml.Genalgxml.to_string v))
+      (load_fasta path)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FASTA") in
+  Cmd.v
+    (Cmd.info "xml" ~doc:"Emit FASTA sequences as GenAlgXML")
+    Term.(const run $ path)
+
+let () =
+  let info =
+    Cmd.info "genalg" ~version:"1.0.0"
+      ~doc:"The Genomics Algebra and Unifying Database (Hammer & Schneider, CIDR 2003)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))

@@ -1,0 +1,1 @@
+examples/mediator_vs_warehouse.ml: Array Entry Genalg_etl Genalg_formats Genalg_mediator Genalg_sqlx Genalg_storage Genalg_synth List Pipeline Printf Result Source String Unix

@@ -1,0 +1,1 @@
+examples/mediator_vs_warehouse.mli:

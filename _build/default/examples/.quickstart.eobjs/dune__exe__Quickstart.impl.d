@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Genalg_core Genalg_gdt Genalg_synth Genalg_xml Gene List Option Printf Protein Sequence String Transcript Uncertain

@@ -1,0 +1,1 @@
+examples/sequence_analysis.ml: Chromosome Feature Format Genalg_align Genalg_core Genalg_etl Genalg_formats Genalg_gdt Genalg_seqindex Genalg_synth Genome List Option Printf Sequence String Unix

@@ -1,0 +1,1 @@
+examples/uncertainty_and_ontology.ml: Format Genalg_core Genalg_etl Genalg_formats Genalg_gdt Genalg_synth Genalg_xml Gene List Printf Protein Provenance Sequence String Transcript Uncertain

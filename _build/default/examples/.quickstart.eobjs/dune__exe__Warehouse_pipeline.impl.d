@@ -1,0 +1,1 @@
+examples/warehouse_pipeline.ml: Filename Genalg_biolang Genalg_etl Genalg_sqlx Genalg_storage Genalg_synth List Loader Monitor Option Pipeline Printf Result Source Sys

@@ -1,0 +1,109 @@
+(* Quickstart: the Genomics Algebra as a stand-alone library.
+
+   Run with: dune exec examples/quickstart.exe
+
+   Walks the paper's core story: genomic data types, the central-dogma
+   operators (including the mini algebra's composed term
+   translate(splice(transcribe(g)))), uncertainty, and extensibility. *)
+
+open Genalg_gdt
+module Ops = Genalg_core.Ops
+module Value = Genalg_core.Value
+module Term = Genalg_core.Term
+module Sort = Genalg_core.Sort
+module Signature = Genalg_core.Signature
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  section "Genomic data types";
+  (* a small gene with two exons; the intron carries GT...AG splice sites *)
+  let dna = Sequence.dna ("ATGGCCGAAGTA" ^ "GTAAGTCCCTAG" ^ "TTTGAGCAGTGA") in
+  let gene =
+    Gene.make_exn ~id:"demo1" ~name:"demo kinase" ~exons:[ (0, 12); (24, 12) ] dna
+  in
+  Format.printf "%a@." Gene.pp gene;
+  Printf.printf "genomic DNA : %s\n" (Sequence.to_string gene.Gene.dna);
+  Printf.printf "exons       : %s\n"
+    (String.concat ", "
+       (List.map (fun (o, l) -> Printf.sprintf "%d+%d" o l) gene.Gene.exons));
+  Printf.printf "GC content  : %.2f\n" (Ops.gc_content gene.Gene.dna);
+
+  section "The central dogma, one operator at a time";
+  let primary = Ops.transcribe gene in
+  Format.printf "transcribe  : %a@." Transcript.pp_primary primary;
+  let mrna = Ops.splice primary in
+  Format.printf "splice      : %a@." Transcript.pp_mrna mrna;
+  Printf.printf "mRNA        : %s\n" (Sequence.to_string mrna.Transcript.rna);
+  (match Ops.translate mrna with
+  | Ok protein ->
+      Format.printf "translate   : %a@." Protein.pp protein;
+      Printf.printf "residues    : %s\n" (Sequence.to_string protein.Protein.residues);
+      Printf.printf "weight      : %.1f Da\n" (Protein.molecular_weight protein)
+  | Error msg -> Printf.printf "translate failed: %s\n" msg);
+
+  section "The same pipeline as an algebra term";
+  let term =
+    Term.app "translate"
+      [ Term.app "splice" [ Term.app "transcribe" [ Term.const (Value.VGene gene) ] ] ]
+  in
+  Printf.printf "term        : %s\n" (Term.to_string term);
+  let sg = Genalg_core.Builtin.default in
+  (match Term.sort_check_closed sg term with
+  | Ok sort -> Printf.printf "sort        : %s\n" (Sort.to_string sort)
+  | Error msg -> Printf.printf "ill-sorted: %s\n" msg);
+  (match Term.eval_closed sg term with
+  | Ok v -> Printf.printf "value       : %s\n" (Value.to_display_string v)
+  | Error msg -> Printf.printf "eval failed: %s\n" msg);
+
+  section "Uncertainty (paper section 4.3)";
+  (* a three-exon transcript admits exon-skipping alternatives *)
+  let rng = Genalg_synth.Rng.make 2003 in
+  let gene3 = Genalg_synth.Genegen.gene rng ~exon_count:3 ~id:"demo3" () in
+  let u = Ops.splice_uncertain (Ops.transcribe gene3) in
+  List.iteri
+    (fun i (alt : Transcript.mrna Uncertain.alternative) ->
+      Printf.printf "  splicing %d: %d nt @ confidence %.2f\n" (i + 1)
+        (Transcript.mrna_length alt.Uncertain.value)
+        alt.Uncertain.confidence)
+    (Uncertain.alternatives u);
+
+  section "Sequence analysis operators";
+  let genome_piece = Genalg_synth.Seqgen.dna rng 600 in
+  let orfs = Ops.find_orfs ~min_length:60 genome_piece in
+  Printf.printf "ORFs >= 60nt in 600bp of random DNA: %d\n" (List.length orfs);
+  (match orfs with
+  | best :: _ ->
+      Printf.printf "longest ORF: %d nt -> %s...\n" best.Ops.length
+        (let p = Ops.orf_protein genome_piece best in
+         Sequence.to_string (Sequence.sub p ~pos:0 ~len:(min 20 (Sequence.length p))))
+  | [] -> ());
+  let ecori = Option.get (Ops.enzyme_by_name "EcoRI") in
+  Printf.printf "EcoRI fragments of that piece: %d\n"
+    (List.length (Ops.digest ecori genome_piece));
+
+  section "Extensibility (paper C13/C14)";
+  let my_sig = Genalg_core.Builtin.create () in
+  Signature.register_exn my_sig
+    {
+      Signature.name = "at_content";
+      arg_sorts = [ Sort.Dna ];
+      result_sort = Sort.Float;
+      doc = "user-defined: fraction of A/T bases";
+      impl =
+        (function
+        | [ Value.VDna s ] -> Ok (Value.VFloat (1. -. Ops.gc_content s))
+        | _ -> assert false);
+    };
+  (match Signature.apply my_sig "at_content" [ Value.dna "AATTGG" ] with
+  | Ok v -> Printf.printf "at_content(AATTGG) = %s\n" (Value.to_display_string v)
+  | Error msg -> print_endline msg);
+  Printf.printf "operators now in the signature: %d\n" (Signature.cardinal my_sig);
+
+  section "GenAlgXML input/output (paper section 6.4)";
+  let xml = Genalg_xml.Genalgxml.to_string (Value.VGene gene) in
+  Printf.printf "%s" xml;
+  match Genalg_xml.Genalgxml.of_string xml with
+  | Ok v2 ->
+      Printf.printf "round-trip equal: %b\n" (Value.equal (Value.VGene gene) v2)
+  | Error msg -> Printf.printf "round-trip failed: %s\n" msg

@@ -1,0 +1,115 @@
+(* Sequence analysis at genome scale: the workloads the paper's intro
+   motivates — gene finding, translation, similarity search, and the
+   genomic index structures of section 6.5.
+
+   Run with: dune exec examples/sequence_analysis.exe *)
+
+open Genalg_gdt
+module Ops = Genalg_core.Ops
+module Seqgen = Genalg_synth.Seqgen
+module Genegen = Genalg_synth.Genegen
+
+let section title = Printf.printf "\n== %s ==\n" title
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let rng = Genalg_synth.Rng.make 424242 in
+
+  section "A synthetic genome";
+  let genome =
+    Genegen.genome rng ~chromosome_count:2 ~genes_per_chromosome:12
+      ~organism:"Synthetica exempli" ()
+  in
+  Format.printf "%a@." Genome.pp genome;
+  List.iter (fun c -> Format.printf "  %a@." Chromosome.pp c) genome.Genome.chromosomes;
+
+  section "Decoding every annotated gene (central dogma at scale)";
+  let chrom = List.hd genome.Genome.chromosomes in
+  let decoded = ref 0 and failures = ref 0 in
+  List.iter
+    (fun f ->
+      match Genalg_etl.Wrapper.gene_of_cds
+              (Genalg_formats.Entry.make ~accession:chrom.Chromosome.name
+                 chrom.Chromosome.dna)
+              f ~id:(Option.value (Feature.name f) ~default:"?")
+      with
+      | Some gene -> (
+          match Ops.decode gene with
+          | Ok _ -> incr decoded
+          | Error _ -> incr failures)
+      | None -> incr failures)
+    (Chromosome.features_of_kind chrom Feature.Cds);
+  Printf.printf "decoded %d/%d CDS features to proteins\n" !decoded (!decoded + !failures);
+
+  section "ORF finding on raw sequence";
+  let orfs, dt = time (fun () -> Ops.find_orfs ~min_length:300 chrom.Chromosome.dna) in
+  Printf.printf "ORFs >= 300nt on both strands of %d bp: %d (%.1f ms)\n"
+    (Chromosome.length chrom) (List.length orfs) (dt *. 1000.);
+
+  section "Motif search: naive scan vs genomic indexes (paper 6.5)";
+  let text = Sequence.to_string chrom.Chromosome.dna in
+  let motif = String.sub text (String.length text / 2) 16 in
+  Printf.printf "searching for the 16-mer %s\n" motif;
+  let naive_hits, naive_t =
+    time (fun () -> Genalg_seqindex.Search.naive_find_all ~pattern:motif text)
+  in
+  let idx, build_t = time (fun () -> Genalg_seqindex.Kmer_index.build ~k:12 text) in
+  let kmer_hits, kmer_t = time (fun () -> Genalg_seqindex.Kmer_index.find_all idx motif) in
+  let sa, sa_build_t = time (fun () -> Genalg_seqindex.Suffix_array.build text) in
+  let sa_hits, sa_t = time (fun () -> Genalg_seqindex.Suffix_array.find_all sa motif) in
+  Printf.printf "  naive scan   : %d hits in %.3f ms\n" (List.length naive_hits)
+    (naive_t *. 1000.);
+  Printf.printf "  k-mer index  : %d hits in %.3f ms (build %.1f ms)\n"
+    (List.length kmer_hits) (kmer_t *. 1000.) (build_t *. 1000.);
+  Printf.printf "  suffix array : %d hits in %.3f ms (build %.1f ms)\n"
+    (List.length sa_hits) (sa_t *. 1000.) (sa_build_t *. 1000.);
+
+  section "Similarity search: resembles, Smith-Waterman and BLAST-like";
+  (* build a database of gene sequences and search with a diverged copy *)
+  let genes =
+    List.concat_map
+      (fun c -> List.map snd (Chromosome.genes c))
+      genome.Genome.chromosomes
+  in
+  let db_entries =
+    List.mapi (fun i s -> (Printf.sprintf "gene%02d" i, Sequence.to_string s)) genes
+  in
+  let blast_db = Genalg_align.Blast.make_db ~k:11 db_entries in
+  let target = List.nth genes 3 in
+  let homolog = Seqgen.homolog rng ~identity:0.85 target in
+  Printf.printf "query: %d nt homolog of gene03 at ~85%% identity\n"
+    (Sequence.length homolog);
+  let hits, blast_t =
+    time (fun () ->
+        Genalg_align.Blast.search ~min_score:24 blast_db
+          ~query:(Sequence.to_string homolog))
+  in
+  (match hits with
+  | best :: _ ->
+      Printf.printf "  BLAST-like  : top hit %s (score %d) in %.2f ms\n"
+        best.Genalg_align.Blast.subject_id best.Genalg_align.Blast.score
+        (blast_t *. 1000.)
+  | [] -> Printf.printf "  BLAST-like  : no hits\n");
+  let r, resemble_t = time (fun () -> Ops.resembles homolog target) in
+  Printf.printf "  resembles(q, gene03) = %.2f (exact local alignment, %.1f ms)\n" r
+    (resemble_t *. 1000.);
+
+  section "A detailed pairwise alignment";
+  let a = Sequence.sub target ~pos:0 ~len:(min 60 (Sequence.length target)) in
+  let b = Seqgen.mutate rng ~rate:0.08 a in
+  let aln =
+    Genalg_align.Pairwise.align_seq ~mode:Genalg_align.Pairwise.Global ~query:a
+      ~subject:b ()
+  in
+  Format.printf "%a@." Genalg_align.Pairwise.pp aln;
+
+  section "Restriction mapping";
+  List.iter
+    (fun enz ->
+      let sites = Ops.restriction_sites enz chrom.Chromosome.dna in
+      Printf.printf "  %-8s (%s): %d sites\n" enz.Ops.name enz.Ops.site
+        (List.length sites))
+    Ops.common_enzymes

@@ -1,0 +1,124 @@
+(* Uncertainty and the ontology — the parts of the paper that no system
+   in its Table 1 supported.
+
+   Section 4.1: a controlled vocabulary where every term has a unique
+   semantics per context (homonyms disambiguate by context).
+   Section 4.3: biological results "are inherently uncertain … always
+   attached with some degree of uncertainty"; splice is the paper's own
+   example of an operation whose what is known but whose how is not.
+   Section 6.4: GenAlgXML carries those high-level, uncertainty-laden
+   objects between tools.
+
+   Run with: dune exec examples/uncertainty_and_ontology.exe *)
+
+open Genalg_gdt
+module Ops = Genalg_core.Ops
+module Ontology = Genalg_core.Ontology
+module Value = Genalg_core.Value
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  section "The ontology: one term, one semantics per context (paper 4.1)";
+  let onto = Ontology.default () in
+  Printf.printf "%d concepts in the default ontology\n" (Ontology.cardinal onto);
+  List.iter
+    (fun term ->
+      match Ontology.resolve onto term with
+      | Some c ->
+          Printf.printf "  %-16s -> %-22s (%s)\n" term
+            (match c.Ontology.target with
+            | Ontology.Sort_target s -> "sort " ^ Genalg_core.Sort.to_string s
+            | Ontology.Operation_target o -> "operation " ^ o)
+            c.Ontology.definition
+      | None -> Printf.printf "  %-16s -> ?\n" term)
+    [ "gene"; "locus"; "messenger rna"; "gc fraction"; "homologous to" ];
+  (* the homonym: "expression" means different things in different fields *)
+  Printf.printf "\n'expression' is ambiguous: %b\n" (Ontology.is_ambiguous onto "expression");
+  List.iter
+    (fun ctx ->
+      match Ontology.resolve ~context:ctx onto "expression" with
+      | Some c -> Printf.printf "  in %-18s: %s\n" ctx c.Ontology.definition
+      | None -> ())
+    [ "molecular-biology"; "query-language" ];
+  (* uniqueness is enforced, as the paper requires *)
+  (match
+     Ontology.add onto
+       {
+         Ontology.term = "gene";
+         synonyms = [];
+         definition = "a second, conflicting definition";
+         context = "molecular-biology";
+         target = Ontology.Sort_target Genalg_core.Sort.Gene;
+       }
+   with
+  | Error msg -> Printf.printf "re-defining 'gene' is rejected: %s\n" msg
+  | Ok () -> Printf.printf "UNEXPECTED: duplicate accepted\n");
+
+  section "Uncertain splicing (paper 4.3)";
+  let rng = Genalg_synth.Rng.make 43 in
+  let gene = Genalg_synth.Genegen.gene rng ~exon_count:4 ~id:"unc1" () in
+  Printf.printf "gene %s: %d exons, %d bp\n" gene.Gene.id (Gene.exon_count gene)
+    (Gene.length gene);
+  let u = Ops.splice_uncertain ~confidence:0.85 (Ops.transcribe gene) in
+  Printf.printf "splice_uncertain returned %d alternatives:\n" (Uncertain.cardinal u);
+  List.iteri
+    (fun i (alt : Transcript.mrna Uncertain.alternative) ->
+      Printf.printf "  %d. %4d nt @ confidence %.3f%s\n" (i + 1)
+        (Transcript.mrna_length alt.Uncertain.value)
+        alt.Uncertain.confidence
+        (if i = 0 then "  (canonical)" else "  (exon-skipping variant)"))
+    (Uncertain.alternatives u);
+  (* uncertainty propagates through downstream operations *)
+  let proteins =
+    Uncertain.bind
+      (fun m ->
+        match Ops.translate m with
+        | Ok p -> Uncertain.make ~confidence:0.95 p
+        | Error _ -> Uncertain.make ~confidence:0.0 (Protein.make_exn ~id:"?" (Sequence.protein "")))
+      u
+  in
+  Printf.printf "\nafter translation (confidences multiply):\n";
+  List.iteri
+    (fun i (alt : Protein.t Uncertain.alternative) ->
+      Printf.printf "  %d. %3d aa @ confidence %.3f\n" (i + 1)
+        (Protein.length alt.Uncertain.value)
+        alt.Uncertain.confidence)
+    (Uncertain.alternatives proteins);
+  let pruned = Uncertain.prune ~min_confidence:0.5 proteins in
+  Printf.printf "pruned below 0.5: %d alternative(s) remain\n" (Uncertain.cardinal pruned);
+
+  section "Conflicting repositories become uncertain values (C9)";
+  let e = List.hd (Genalg_synth.Recordgen.repository rng ~size:1 ~prefix:"UNC" ()) in
+  let noisy = Genalg_synth.Recordgen.noisy_copy rng ~error_rate:0.03 ~rename:"UNCCOPY" e in
+  let merged =
+    Genalg_etl.Integrator.reconcile ~threshold:0.5 [ ("bank-a", e); ("bank-b", noisy) ]
+  in
+  List.iter
+    (fun (m : Genalg_etl.Integrator.merged) ->
+      Printf.printf "record %s: consistent = %b\n"
+        m.Genalg_etl.Integrator.canonical.Genalg_formats.Entry.accession
+        m.Genalg_etl.Integrator.consistent;
+      List.iter
+        (fun (alt : Sequence.t Uncertain.alternative) ->
+          Printf.printf "  variant of %d bp @ %.2f from %s\n"
+            (Sequence.length alt.Uncertain.value)
+            alt.Uncertain.confidence
+            (match alt.Uncertain.provenance with
+            | Some p -> Format.asprintf "%a" Provenance.pp p
+            | None -> "?"))
+        (Uncertain.alternatives m.Genalg_etl.Integrator.sequence))
+    merged;
+
+  section "Uncertain values travel in GenAlgXML (paper 6.4)";
+  let mrna_values = Uncertain.map (fun m -> Value.VMrna m) u in
+  let xml = Genalg_xml.Genalgxml.to_string (Value.uncertain mrna_values) in
+  (* print just the head of the document *)
+  let lines = String.split_on_char '\n' xml in
+  List.iteri (fun i l -> if i < 8 then print_endline l) lines;
+  Printf.printf "... (%d lines)\n" (List.length lines);
+  match Genalg_xml.Genalgxml.of_string xml with
+  | Ok v2 ->
+      Printf.printf "round-trip preserves all alternatives: %b\n"
+        (Value.equal (Value.uncertain mrna_values) v2)
+  | Error msg -> Printf.printf "round-trip failed: %s\n" msg

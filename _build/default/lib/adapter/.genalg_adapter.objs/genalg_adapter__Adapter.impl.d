@@ -1,0 +1,1 @@
+lib/adapter/adapter.ml: Codec Format Genalg_core Genalg_gdt Genalg_storage Gene List Option Printf Protein Result Sequence Transcript

@@ -1,0 +1,1 @@
+lib/adapter/adapter.mli: Genalg_core Genalg_storage

@@ -1,0 +1,1 @@
+lib/adapter/codec.ml: Buffer Bytes Genalg_gdt Gene Genetic_code Int64 List Printf Protein Result Sequence String Transcript

@@ -1,0 +1,1 @@
+lib/adapter/codec.mli: Genalg_gdt Gene Protein Transcript

@@ -1,0 +1,224 @@
+open Genalg_gdt
+module Core = Genalg_core
+module St = Genalg_storage
+
+let storable_udts =
+  [ "dna"; "rna"; "proteinseq"; "gene"; "primarytranscript"; "mrna"; "protein" ]
+
+let dtype_of_sort = function
+  | Core.Sort.Bool -> Some St.Dtype.TBool
+  | Core.Sort.Int -> Some St.Dtype.TInt
+  | Core.Sort.Float -> Some St.Dtype.TFloat
+  | Core.Sort.String -> Some St.Dtype.TString
+  | Core.Sort.Dna -> Some (St.Dtype.TOpaque "dna")
+  | Core.Sort.Rna -> Some (St.Dtype.TOpaque "rna")
+  | Core.Sort.Protein_seq -> Some (St.Dtype.TOpaque "proteinseq")
+  | Core.Sort.Gene -> Some (St.Dtype.TOpaque "gene")
+  | Core.Sort.Primary_transcript -> Some (St.Dtype.TOpaque "primarytranscript")
+  | Core.Sort.Mrna -> Some (St.Dtype.TOpaque "mrna")
+  | Core.Sort.Protein -> Some (St.Dtype.TOpaque "protein")
+  | Core.Sort.Nucleotide | Core.Sort.Amino_acid | Core.Sort.Chromosome
+  | Core.Sort.Genome | Core.Sort.List _ | Core.Sort.Uncertain _ ->
+      None
+
+let seq_payload expected_alphabet data =
+  match Sequence.of_bytes data with
+  | Error _ as e -> e
+  | Ok s ->
+      if Sequence.alphabet s = expected_alphabet then Ok s
+      else Error "sequence payload has the wrong alphabet"
+
+let to_db = function
+  | Core.Value.VBool b -> Ok (St.Dtype.Bool b)
+  | Core.Value.VInt i -> Ok (St.Dtype.Int i)
+  | Core.Value.VFloat f -> Ok (St.Dtype.Float f)
+  | Core.Value.VString s -> Ok (St.Dtype.Str s)
+  | Core.Value.VDna s -> Ok (St.Dtype.Opaque ("dna", Sequence.to_bytes s))
+  | Core.Value.VRna s -> Ok (St.Dtype.Opaque ("rna", Sequence.to_bytes s))
+  | Core.Value.VProtein_seq s -> Ok (St.Dtype.Opaque ("proteinseq", Sequence.to_bytes s))
+  | Core.Value.VGene g -> Ok (St.Dtype.Opaque ("gene", Codec.encode_gene g))
+  | Core.Value.VPrimary p ->
+      Ok (St.Dtype.Opaque ("primarytranscript", Codec.encode_primary p))
+  | Core.Value.VMrna m -> Ok (St.Dtype.Opaque ("mrna", Codec.encode_mrna m))
+  | Core.Value.VProtein p -> Ok (St.Dtype.Opaque ("protein", Codec.encode_protein p))
+  | ( Core.Value.VNucleotide _ | Core.Value.VAmino_acid _ | Core.Value.VChromosome _
+    | Core.Value.VGenome _ | Core.Value.VList _ | Core.Value.VUncertain _ ) as v ->
+      Error
+        (Printf.sprintf "sort %s is not storable as a database attribute"
+           (Core.Sort.to_string (Core.Value.sort_of v)))
+
+let of_db = function
+  | St.Dtype.Bool b -> Ok (Core.Value.VBool b)
+  | St.Dtype.Int i -> Ok (Core.Value.VInt i)
+  | St.Dtype.Float f -> Ok (Core.Value.VFloat f)
+  | St.Dtype.Str s -> Ok (Core.Value.VString s)
+  | St.Dtype.Null -> Error "NULL has no algebra value"
+  | St.Dtype.Opaque ("dna", data) ->
+      Result.map (fun s -> Core.Value.VDna s) (seq_payload Sequence.Dna data)
+  | St.Dtype.Opaque ("rna", data) ->
+      Result.map (fun s -> Core.Value.VRna s) (seq_payload Sequence.Rna data)
+  | St.Dtype.Opaque ("proteinseq", data) ->
+      Result.map (fun s -> Core.Value.VProtein_seq s) (seq_payload Sequence.Protein data)
+  | St.Dtype.Opaque ("gene", data) ->
+      Result.map (fun g -> Core.Value.VGene g) (Codec.decode_gene data)
+  | St.Dtype.Opaque ("primarytranscript", data) ->
+      Result.map (fun p -> Core.Value.VPrimary p) (Codec.decode_primary data)
+  | St.Dtype.Opaque ("mrna", data) ->
+      Result.map (fun m -> Core.Value.VMrna m) (Codec.decode_mrna data)
+  | St.Dtype.Opaque ("protein", data) ->
+      Result.map (fun p -> Core.Value.VProtein p) (Codec.decode_protein data)
+  | St.Dtype.Opaque (name, _) -> Error (Printf.sprintf "unknown UDT %s" name)
+
+let display_of_payload decode pp data =
+  match decode data with
+  | Ok v -> Format.asprintf "%a" pp v
+  | Error msg -> Printf.sprintf "<corrupt: %s>" msg
+
+let udt_definitions : St.Udt.udt list =
+  let seq_udt name alphabet =
+    (* sequences are substring-searchable: canonical letters feed the
+       engine's k-mer postings, while records with ambiguity codes stay
+       always-candidates so IUPAC matching remains exact (section 6.5) *)
+    let search =
+      {
+        St.Udt.index_text =
+          (fun data ->
+            match seq_payload alphabet data with
+            | Error _ -> `Always_candidate
+            | Ok s ->
+                let ambiguous =
+                  match alphabet with
+                  | Sequence.Protein -> false
+                  | Sequence.Dna | Sequence.Rna ->
+                      Sequence.count
+                        (fun c ->
+                          match Genalg_gdt.Nucleotide.of_char c with
+                          | Some b -> Genalg_gdt.Nucleotide.is_ambiguous b
+                          | None -> true)
+                        s
+                      > 0
+                in
+                if ambiguous then `Always_candidate else `Text (Sequence.to_string s));
+        matches =
+          (fun data ~pattern ->
+            match seq_payload alphabet data with
+            | Ok s -> Sequence.contains ~pattern s
+            | Error _ -> false);
+      }
+    in
+    {
+      St.Udt.type_name = name;
+      validate = (fun data -> Result.is_ok (seq_payload alphabet data));
+      display =
+        (fun data ->
+          match seq_payload alphabet data with
+          | Ok s -> Sequence.to_string s
+          | Error msg -> Printf.sprintf "<corrupt: %s>" msg);
+      search = Some search;
+    }
+  in
+  [
+    seq_udt "dna" Sequence.Dna;
+    seq_udt "rna" Sequence.Rna;
+    seq_udt "proteinseq" Sequence.Protein;
+    {
+      St.Udt.type_name = "gene";
+      validate = (fun data -> Result.is_ok (Codec.decode_gene data));
+      display = display_of_payload Codec.decode_gene Gene.pp;
+      search = None;
+    };
+    {
+      St.Udt.type_name = "primarytranscript";
+      validate = (fun data -> Result.is_ok (Codec.decode_primary data));
+      display = display_of_payload Codec.decode_primary Transcript.pp_primary;
+      search = None;
+    };
+    {
+      St.Udt.type_name = "mrna";
+      validate = (fun data -> Result.is_ok (Codec.decode_mrna data));
+      display = display_of_payload Codec.decode_mrna Transcript.pp_mrna;
+      search = None;
+    };
+    {
+      St.Udt.type_name = "protein";
+      validate = (fun data -> Result.is_ok (Codec.decode_protein data));
+      display = display_of_payload Codec.decode_protein Protein.pp;
+      search = None;
+    };
+  ]
+
+let udf_of_operator sg (op : Core.Signature.operator) =
+  let map_sorts sorts = List.map dtype_of_sort sorts in
+  let args = map_sorts op.Core.Signature.arg_sorts in
+  match dtype_of_sort op.Core.Signature.result_sort with
+  | None -> None
+  | Some return_type ->
+      if List.exists Option.is_none args then None
+      else
+        let arg_types = List.map Option.get args in
+        let code db_args =
+          let rec convert acc = function
+            | [] -> Ok (List.rev acc)
+            | v :: rest -> (
+                match of_db v with
+                | Ok cv -> convert (cv :: acc) rest
+                | Error _ as e -> e)
+          in
+          match convert [] db_args with
+          | Error _ as e -> e
+          | Ok values -> (
+              match Core.Signature.apply sg op.Core.Signature.name values with
+              | Error _ as e -> e
+              | Ok result -> to_db result)
+        in
+        Some { St.Udt.fn_name = op.Core.Signature.name; arg_types; return_type; code }
+
+(* Constructor functions let SQL literals enter the genomic type system:
+   [WHERE resembles(seq, dna('ACGT...')) > 0.8]. *)
+let constructor_udfs : St.Udt.udf list =
+  let seq_ctor name alphabet =
+    {
+      St.Udt.fn_name = name;
+      arg_types = [ St.Dtype.TString ];
+      return_type = St.Dtype.TOpaque name;
+      code =
+        (function
+        | [ St.Dtype.Str s ] -> (
+            match Sequence.of_string alphabet s with
+            | Ok seq -> Ok (St.Dtype.Opaque (name, Sequence.to_bytes seq))
+            | Error msg -> Error msg)
+        | _ -> Error (name ^ " expects one string argument"));
+    }
+  in
+  [
+    seq_ctor "dna" Sequence.Dna;
+    seq_ctor "rna" Sequence.Rna;
+    seq_ctor "proteinseq" Sequence.Protein;
+    {
+      St.Udt.fn_name = "seq_text";
+      arg_types = [ St.Dtype.TOpaque "dna" ];
+      return_type = St.Dtype.TString;
+      code =
+        (function
+        | [ St.Dtype.Opaque ("dna", data) ] -> (
+            match Sequence.of_bytes data with
+            | Ok s -> Ok (St.Dtype.Str (Sequence.to_string s))
+            | Error msg -> Error msg)
+        | _ -> Error "seq_text expects a dna argument");
+    };
+  ]
+
+let attach db sg =
+  let registry = St.Database.udts db in
+  List.iter
+    (fun udt -> ignore (St.Udt.register_type registry udt))
+    udt_definitions;
+  List.iter
+    (fun udf -> ignore (St.Udt.register_function registry udf))
+    constructor_udfs;
+  List.iter
+    (fun op ->
+      match udf_of_operator sg op with
+      | Some udf -> ignore (St.Udt.register_function registry udf)
+      | None -> ())
+    (Core.Signature.operators sg)

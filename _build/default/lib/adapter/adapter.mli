@@ -1,0 +1,30 @@
+(** The DBMS-specific adapter (paper Figure 3 and section 6.2).
+
+    "The adapter … is the only component that has knowledge about the
+    types and operations of the Genomics Algebra as well as how they are
+    implemented and stored in the DBMS." It (1) registers every storable
+    GDT as an opaque UDT with the database, (2) converts between algebra
+    values and database values, and (3) exposes every eligible algebra
+    operator as a user-defined function so SQL can call it "anywhere
+    built-in operators can be used" (section 6.3). *)
+
+val storable_udts : string list
+(** UDT names the adapter registers: ["dna"; "rna"; "proteinseq"; "gene";
+    "primarytranscript"; "mrna"; "protein"]. *)
+
+val attach : Genalg_storage.Database.t -> Genalg_core.Signature.t -> unit
+(** Register the UDTs and all eligible operators of the signature as UDFs
+    on the database. Operators whose rank mentions constructed sorts
+    (lists, uncertain values) are algebra-only and skipped. Idempotent on
+    types (re-registration errors are ignored). *)
+
+val dtype_of_sort : Genalg_core.Sort.t -> Genalg_storage.Dtype.t option
+(** [None] for constructed sorts and the sorts without a storable codec
+    (nucleotide, amino acid, chromosome, genome). *)
+
+val to_db : Genalg_core.Value.t -> (Genalg_storage.Dtype.value, string) result
+(** Algebra value → database value (opaque payloads for GDTs). *)
+
+val of_db : Genalg_storage.Dtype.value -> (Genalg_core.Value.t, string) result
+(** Database value → algebra value. [Null] and unregistered opaque names
+    are errors. *)

@@ -1,0 +1,20 @@
+(** Binary codecs packing GDT values into opaque UDT payloads.
+
+    Section 4.4 requires representations "embedded into compact storage
+    areas which can be efficiently transferred between main memory and
+    disk"; these codecs are those storage areas for the composite GDTs
+    (sequences already pack themselves via {!Genalg_gdt.Sequence.to_bytes}). *)
+
+open Genalg_gdt
+
+val encode_gene : Gene.t -> bytes
+val decode_gene : bytes -> (Gene.t, string) result
+
+val encode_protein : Protein.t -> bytes
+val decode_protein : bytes -> (Protein.t, string) result
+
+val encode_primary : Transcript.primary -> bytes
+val decode_primary : bytes -> (Transcript.primary, string) result
+
+val encode_mrna : Transcript.mrna -> bytes
+val decode_mrna : bytes -> (Transcript.mrna, string) result

@@ -1,0 +1,1 @@
+lib/align/blast.ml: Array Hashtbl Int List Pairwise Scoring String

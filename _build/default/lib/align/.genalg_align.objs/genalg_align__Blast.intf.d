@@ -1,0 +1,1 @@
+lib/align/blast.mli: Pairwise Scoring

@@ -1,0 +1,1 @@
+lib/align/distance.ml: Array Fun String

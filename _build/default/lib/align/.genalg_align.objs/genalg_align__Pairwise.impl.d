@@ -1,0 +1,1 @@
+lib/align/pairwise.ml: Array Buffer Char Format Genalg_gdt List Scoring String

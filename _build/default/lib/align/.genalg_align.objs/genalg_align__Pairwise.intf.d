@@ -1,0 +1,1 @@
+lib/align/pairwise.mli: Format Genalg_gdt Scoring

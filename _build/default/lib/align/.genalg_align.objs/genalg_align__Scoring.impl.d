@@ -1,0 +1,1 @@
+lib/align/scoring.ml: Array Char Genalg_gdt Printf String

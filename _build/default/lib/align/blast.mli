@@ -1,0 +1,51 @@
+(** A BLAST-like seed-and-extend similarity search.
+
+    The paper's [resembles] operator needs a fast heuristic comparator in
+    addition to the exact Smith–Waterman of {!Pairwise} — this is our
+    substitute for the external "BLAST family of similarity search
+    programs" the paper integrates via wrappers. The classic pipeline:
+
+    + index every subject k-mer,
+    + find exact k-mer seeds shared with the query,
+    + extend each seed in both directions without gaps under an X-drop
+      rule,
+    + optionally refine surviving HSPs with a windowed gapped alignment.
+
+    No word-neighborhood expansion is performed (exact seeds only), so for
+    proteins choose a small [k] (3 is customary). *)
+
+type db
+
+val make_db : ?k:int -> (string * string) list -> db
+(** [make_db entries] indexes named subject sequences given as
+    [(id, letters)] pairs. Default word size [k = 11] (DNA-appropriate).
+    Raises [Invalid_argument] when [k < 2] or ids repeat. *)
+
+val db_size : db -> int
+val word_size : db -> int
+
+type hit = {
+  subject_id : string;
+  score : int;                  (** ungapped HSP score, or gapped score *)
+  query_start : int;            (** 0-based, inclusive *)
+  query_end : int;              (** exclusive *)
+  subject_start : int;
+  subject_end : int;
+  gapped : Pairwise.t option;   (** present when gapped refinement ran *)
+}
+
+val search :
+  ?matrix:Scoring.t ->
+  ?min_score:int ->
+  ?x_drop:int ->
+  ?gapped:bool ->
+  db ->
+  query:string ->
+  hit list
+(** Hits above [min_score] (default 16), best first, at most one per
+    (subject, diagonal-band). [x_drop] (default 20) stops extension when
+    the running score falls that far below the best seen. [gapped]
+    (default false) re-aligns a window around each HSP with local DP.
+    Defaults [matrix] to {!Scoring.dna_default}. *)
+
+val best_hit : ?matrix:Scoring.t -> ?min_score:int -> db -> query:string -> hit option

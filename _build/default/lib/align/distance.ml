@@ -1,0 +1,28 @@
+let levenshtein a b =
+  let a, b = if String.length a < String.length b then (a, b) else (b, a) in
+  let n = String.length a in
+  let prev = Array.init (n + 1) Fun.id in
+  let cur = Array.make (n + 1) 0 in
+  String.iteri
+    (fun j bj ->
+      cur.(0) <- j + 1;
+      for i = 1 to n do
+        let cost = if a.[i - 1] = bj then 0 else 1 in
+        cur.(i) <- min (min (prev.(i) + 1) (cur.(i - 1) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (n + 1))
+    b;
+  prev.(n)
+
+let hamming a b =
+  if String.length a <> String.length b then None
+  else begin
+    let d = ref 0 in
+    String.iteri (fun i c -> if c <> b.[i] then incr d) a;
+    Some !d
+  end
+
+let similarity a b =
+  let n = max (String.length a) (String.length b) in
+  if n = 0 then 1.
+  else 1. -. (float_of_int (levenshtein a b) /. float_of_int n)

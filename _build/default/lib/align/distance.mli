@@ -1,0 +1,10 @@
+(** Simple string distances used by reconciliation and tests. *)
+
+val levenshtein : string -> string -> int
+(** Unit-cost edit distance, O(n·m) time, O(min n m) space. *)
+
+val hamming : string -> string -> int option
+(** Positions that differ; [None] when the lengths differ. *)
+
+val similarity : string -> string -> float
+(** [1 - levenshtein/max-length], in [0, 1]; two empty strings are 1. *)

@@ -1,0 +1,29 @@
+(** Longest common subsequence and Myers diff.
+
+    The paper's change-detection matrix (Figure 2) prescribes "the longest
+    common subsequence approach, which is used in the UNIX diff command"
+    for non-queryable flat-file sources. This module provides the LCS
+    itself and an O(ND) Myers edit script over generic arrays; the ETL
+    monitors instantiate it over record lines. *)
+
+val length : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** LCS length in O(n·m) time, O(min n m) space. *)
+
+val lcs : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> 'a list
+(** One longest common subsequence, in order. *)
+
+type 'a edit =
+  | Keep of 'a    (** element common to both versions *)
+  | Remove of 'a  (** element only in the old version *)
+  | Add of 'a     (** element only in the new version *)
+
+val diff : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> 'a edit list
+(** Myers' greedy O((n+m)·D) edit script transforming the first array into
+    the second; [Keep]s are maximal (the script embeds an LCS). *)
+
+val apply : 'a edit list -> 'a array -> 'a array option
+(** Replay an edit script against an old version; [None] when the script
+    does not match (elements compared with polymorphic equality). *)
+
+val edit_distance_of : 'a edit list -> int
+(** Number of [Add]s plus [Remove]s. *)

@@ -1,0 +1,87 @@
+(** Pairwise sequence alignment by dynamic programming.
+
+    One engine covers the three classical modes with affine gap penalties
+    (Gotoh's algorithm):
+
+    - [Global] — Needleman–Wunsch: end-to-end alignment of both sequences.
+    - [Local] — Smith–Waterman: best-scoring pair of subsequences.
+    - [Semiglobal] — free end gaps on the subject; aligns a whole query
+      inside a longer subject (glocal).
+
+    Sequences are given as strings (the textual form of {!Genalg_gdt.Sequence});
+    use {!align_seq} for GDT values directly. *)
+
+type mode = Global | Local | Semiglobal
+
+type op =
+  | Match            (** identical letters *)
+  | Mismatch         (** substitution *)
+  | Insert           (** gap in the subject (letter only in the query) *)
+  | Delete           (** gap in the query (letter only in the subject) *)
+
+type t = {
+  score : int;
+  query_start : int;    (** 0-based offset of the first aligned query letter *)
+  query_end : int;      (** exclusive *)
+  subject_start : int;
+  subject_end : int;
+  ops : op list;        (** alignment path, query/subject left to right *)
+  aligned_query : string;    (** with ['-'] for gaps *)
+  aligned_subject : string;
+}
+
+val align :
+  ?mode:mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:string ->
+  subject:string ->
+  unit ->
+  t
+(** Defaults: [Local], {!Scoring.dna_default}, {!Scoring.default_gap}.
+    Runs in O(|query| × |subject|) time and space (the traceback matrix). *)
+
+val align_seq :
+  ?mode:mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:Genalg_gdt.Sequence.t ->
+  subject:Genalg_gdt.Sequence.t ->
+  unit ->
+  t
+(** Convenience wrapper; picks {!Scoring.blosum62} automatically when both
+    sequences are proteins and no matrix is supplied. *)
+
+val score_only :
+  ?mode:mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:string ->
+  subject:string ->
+  unit ->
+  int
+(** The alignment score in O(min) memory, without traceback. *)
+
+val banded_score :
+  band:int ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:string ->
+  subject:string ->
+  unit ->
+  int
+(** Global alignment score restricted to cells with
+    [|i - j - (n - m)/2 ... |] within [band] of the main diagonal — the
+    classic speedup when the sequences are known to be similar. Runs in
+    O((n + m) · band) time. Equals {!score_only} with [Global] whenever
+    the optimal path stays inside the band (always true when
+    [band >= max n m]); otherwise it is a lower bound. Raises
+    [Invalid_argument] when [band < 0] or when the band cannot reach the
+    corner cell ([band < |n - m|]). *)
+
+val identity : t -> float
+(** Fraction of alignment columns that are exact matches, in [0, 1];
+    0 for an empty alignment. *)
+
+val pp : Format.formatter -> t -> unit
+(** Three-line blast-style rendering (query / midline / subject). *)

@@ -1,0 +1,34 @@
+(** Substitution scoring for pairwise alignment.
+
+    Provides the BLOSUM62 and PAM250 protein matrices and simple
+    match/mismatch schemes for nucleotides, plus affine gap penalties.
+    These power the algebra's [resembles] operator (paper section 6.3). *)
+
+type t
+
+val blosum62 : t
+val pam250 : t
+
+val dna : match_:int -> mismatch:int -> t
+(** Uniform nucleotide scheme. Scores are symmetric; any letter outside
+    the nucleotide alphabet scores as a mismatch. *)
+
+val dna_default : t
+(** [dna ~match_:2 ~mismatch:(-3)] — megablast-like. *)
+
+val score : t -> char -> char -> int
+(** Substitution score for two letters (case-insensitive). Letters unknown
+    to the matrix use the matrix's minimum score. *)
+
+val name : t -> string
+
+type gap = {
+  open_penalty : int;    (** cost of opening a gap, as a positive number *)
+  extend_penalty : int;  (** cost per gapped position, positive *)
+}
+
+val default_gap : gap
+(** open 10, extend 1 — the classic BLAST default for proteins. *)
+
+val linear_gap : int -> gap
+(** [linear_gap g] charges [g] per gapped position with no opening cost. *)

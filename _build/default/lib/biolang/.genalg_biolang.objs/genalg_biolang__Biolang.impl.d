@@ -1,0 +1,1 @@
+lib/biolang/biolang.ml: Array Buffer Genalg_adapter Genalg_core Genalg_formats Genalg_gdt Genalg_sqlx Genalg_storage Genalg_xml List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/biolang/biolang.mli: Genalg_core Genalg_sqlx Genalg_storage

@@ -1,0 +1,526 @@
+module Ast = Genalg_sqlx.Ast
+module D = Genalg_storage.Dtype
+module Ontology = Genalg_core.Ontology
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: words, numbers, quoted strings                           *)
+
+type token =
+  | Word of string     (* lower-cased *)
+  | Number of float * bool (* value, was-integer *)
+  | Quoted of string
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let error = ref None in
+  while !error = None && !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ',' then incr i
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = quote then begin
+          closed := true;
+          incr i
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if !closed then tokens := Quoted (Buffer.contents buf) :: !tokens
+      else error := Some "unterminated quoted string"
+    end
+    else if (c >= '0' && c <= '9') || (c = '.' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      let is_int = ref true in
+      while
+        !i < n
+        && ((input.[!i] >= '0' && input.[!i] <= '9') || input.[!i] = '.')
+      do
+        if input.[!i] = '.' then is_int := false;
+        incr i
+      done;
+      match float_of_string_opt (String.sub input start (!i - start)) with
+      | Some v -> tokens := Number (v, !is_int) :: !tokens
+      | None -> error := Some "malformed number"
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        && not
+             (List.mem input.[!i] [ ' '; '\t'; '\n'; '\r'; ','; '\''; '"' ])
+      do
+        incr i
+      done;
+      tokens := Word (String.lowercase_ascii (String.sub input start (!i - start))) :: !tokens
+    end
+  done;
+  match !error with Some msg -> Error msg | None -> Ok (List.rev !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary                                                          *)
+
+(* entity phrase -> (table, sequence column for contains/resembles) *)
+let entities =
+  [
+    ([ "sequences" ], ("sequences", Some "seq"));
+    ([ "sequence"; "records" ], ("sequences", Some "seq"));
+    ([ "records" ], ("sequences", Some "seq"));
+    ([ "entries" ], ("sequences", Some "seq"));
+    ([ "genes" ], ("genes", None));
+    ([ "gene" ], ("genes", None));
+    ([ "loci" ], ("genes", None));
+    ([ "conflicts" ], ("conflicts", Some "seq"));
+    ([ "proteins" ], ("proteins", None));
+    ([ "protein" ], ("proteins", None));
+    ([ "polypeptides" ], ("proteins", None));
+    ([ "history" ], ("history", Some "seq"));
+    ([ "archived"; "records" ], ("history", Some "seq"));
+  ]
+
+(* attribute phrase -> SQL expression builder (given the current table) *)
+type attr = {
+  phrase : string list;
+  tables : string list; (* applicable tables; [] = all *)
+  expr : Ast.expr;
+  doc : string;
+}
+
+let col c = Ast.Col (None, c)
+
+let attributes =
+  [
+    { phrase = [ "organism" ]; tables = []; expr = col "organism"; doc = "organism" };
+    { phrase = [ "species" ]; tables = []; expr = col "organism"; doc = "organism" };
+    { phrase = [ "accession" ]; tables = []; expr = col "accession"; doc = "accession" };
+    { phrase = [ "source" ]; tables = [ "sequences"; "conflicts" ]; expr = col "source"; doc = "source" };
+    { phrase = [ "definition" ]; tables = [ "sequences" ]; expr = col "definition"; doc = "definition" };
+    { phrase = [ "description" ]; tables = [ "sequences" ]; expr = col "definition"; doc = "definition" };
+    { phrase = [ "length" ]; tables = []; expr = col "length"; doc = "length" };
+    { phrase = [ "size" ]; tables = []; expr = col "length"; doc = "length" };
+    { phrase = [ "gc"; "content" ]; tables = [ "sequences" ]; expr = col "gc"; doc = "gc" };
+    { phrase = [ "gc"; "fraction" ]; tables = [ "sequences" ]; expr = col "gc"; doc = "gc" };
+    { phrase = [ "gc" ]; tables = [ "sequences" ]; expr = col "gc"; doc = "gc" };
+    { phrase = [ "sequence" ]; tables = [ "sequences"; "conflicts" ]; expr = col "seq"; doc = "seq" };
+    { phrase = [ "dna" ]; tables = [ "sequences"; "conflicts" ]; expr = col "seq"; doc = "seq" };
+    { phrase = [ "exon"; "count" ]; tables = [ "genes" ]; expr = col "exon_count"; doc = "exon_count" };
+    { phrase = [ "exons" ]; tables = [ "genes" ]; expr = col "exon_count"; doc = "exon_count" };
+    { phrase = [ "name" ]; tables = [ "genes"; "proteins" ]; expr = col "id"; doc = "id" };
+    { phrase = [ "id" ]; tables = [ "genes"; "proteins" ]; expr = col "id"; doc = "id" };
+    { phrase = [ "version" ]; tables = [ "sequences" ]; expr = col "version"; doc = "version" };
+    { phrase = [ "consistent" ]; tables = [ "sequences" ]; expr = col "consistent"; doc = "consistent" };
+    { phrase = [ "confidence" ]; tables = [ "conflicts" ]; expr = col "confidence"; doc = "confidence" };
+    { phrase = [ "molecular"; "weight" ]; tables = [ "proteins" ]; expr = col "weight"; doc = "weight" };
+    { phrase = [ "weight" ]; tables = [ "proteins" ]; expr = col "weight"; doc = "weight" };
+    { phrase = [ "mass" ]; tables = [ "proteins" ]; expr = col "weight"; doc = "weight" };
+    { phrase = [ "replaced"; "at" ]; tables = [ "history" ]; expr = col "replaced_at"; doc = "replaced_at" };
+  ]
+
+let vocabulary () =
+  List.map (fun a -> (String.concat " " a.phrase, a.doc)) attributes
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Err m)) fmt
+
+let match_attr ~table words =
+  (* longest matching attribute phrase applicable to [table] *)
+  let applicable =
+    List.filter (fun a -> a.tables = [] || List.mem table a.tables) attributes
+  in
+  let rec prefix_matches phrase words =
+    match phrase, words with
+    | [], _ -> true
+    | p :: ps, w :: ws -> p = w && prefix_matches ps ws
+    | _ :: _, [] -> false
+  in
+  let best =
+    List.fold_left
+      (fun acc a ->
+        if prefix_matches a.phrase words then
+          match acc with
+          | Some b when List.length b.phrase >= List.length a.phrase -> acc
+          | _ -> Some a
+        else acc)
+      None applicable
+  in
+  match best with
+  | Some a ->
+      let rec drop n l = if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> [] in
+      Some (a, drop (List.length a.phrase) words)
+  | None -> None
+
+let value_of_token = function
+  | Quoted s -> Ast.Lit (D.Str s)
+  | Number (v, true) -> Ast.Lit (D.Int (int_of_float v))
+  | Number (v, false) -> Ast.Lit (D.Float v)
+  | Word "true" -> Ast.Lit (D.Bool true)
+  | Word "false" -> Ast.Lit (D.Bool false)
+  | Word w -> Ast.Lit (D.Str w)
+
+let rec words_of tokens =
+  match tokens with
+  | Word w :: rest -> w :: words_of rest
+  | _ -> []
+
+let parse_condition ~table ~seq_column tokens =
+  (* tokens start at the attribute phrase *)
+  let word_prefix = words_of tokens in
+  match match_attr ~table word_prefix with
+  | None ->
+      fail "unknown attribute near %s"
+        (match word_prefix with w :: _ -> w | [] -> "<end>")
+  | Some (attr, _) ->
+      let rec drop n l =
+        if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> []
+      in
+      let rest = drop (List.length attr.phrase) tokens in
+      let negated, rest =
+        match rest with Word "not" :: r -> (true, r) | r -> (false, r)
+      in
+      let finish expr = if negated then Ast.Not expr else expr in
+      (match rest with
+      | Word "contains" :: v :: rest ->
+          (* over a sequence column this is the genomic contains();
+             over a text column it is a substring (LIKE) match *)
+          if attr.doc = "seq" then begin
+            let pattern =
+              match v with
+              | Quoted s | Word s -> String.uppercase_ascii s
+              | Number _ -> fail "contains expects a sequence pattern"
+            in
+            let target =
+              match seq_column with Some c -> col c | None -> attr.expr
+            in
+            (finish (Ast.Fn ("contains", [ target; Ast.Lit (D.Str pattern) ])), rest)
+          end
+          else begin
+            let pattern =
+              match v with
+              | Quoted s | Word s -> s
+              | Number _ -> fail "contains expects text"
+            in
+            ( finish
+                (Ast.Binop (Ast.Like, attr.expr, Ast.Lit (D.Str ("%" ^ pattern ^ "%")))),
+              rest )
+          end
+      | Word "resembles" :: v :: rest ->
+          let pattern =
+            match v with
+            | Quoted s | Word s -> String.uppercase_ascii s
+            | Number _ -> fail "resembles expects a sequence"
+          in
+          let threshold, rest =
+            match rest with
+            | Word "at" :: Word "least" :: Number (f, _) :: r -> (f, r)
+            | r -> (0.5, r)
+          in
+          ( finish
+              (Ast.Binop
+                 ( Ast.Ge,
+                   Ast.Fn
+                     ( "resembles",
+                       [ attr.expr; Ast.Fn ("dna", [ Ast.Lit (D.Str pattern) ]) ] ),
+                   Ast.Lit (D.Float threshold) )),
+            rest )
+      | Word "is" :: v :: rest | Word "equals" :: v :: rest | Word "=" :: v :: rest
+        ->
+          (finish (Ast.Binop (Ast.Eq, attr.expr, value_of_token v)), rest)
+      | Word "between" :: lo :: Word "and" :: hi :: rest ->
+          ( finish
+              (Ast.Binop
+                 ( Ast.And,
+                   Ast.Binop (Ast.Ge, attr.expr, value_of_token lo),
+                   Ast.Binop (Ast.Le, attr.expr, value_of_token hi) )),
+            rest )
+      | Word "at" :: Word "least" :: v :: rest ->
+          (finish (Ast.Binop (Ast.Ge, attr.expr, value_of_token v)), rest)
+      | Word "at" :: Word "most" :: v :: rest ->
+          (finish (Ast.Binop (Ast.Le, attr.expr, value_of_token v)), rest)
+      | Word "above" :: v :: rest
+      | Word "over" :: v :: rest
+      | Word "greater" :: Word "than" :: v :: rest
+      | Word "more" :: Word "than" :: v :: rest ->
+          (finish (Ast.Binop (Ast.Gt, attr.expr, value_of_token v)), rest)
+      | Word "below" :: v :: rest
+      | Word "under" :: v :: rest
+      | Word "less" :: Word "than" :: v :: rest
+      | Word "fewer" :: Word "than" :: v :: rest ->
+          (finish (Ast.Binop (Ast.Lt, attr.expr, value_of_token v)), rest)
+      | (Quoted _ as v) :: rest | (Number _ as v) :: rest ->
+          (* "organism 'X'" shorthand *)
+          (finish (Ast.Binop (Ast.Eq, attr.expr, value_of_token v)), rest)
+      | _ -> fail "expected a relation after %s" (String.concat " " attr.phrase))
+
+(* Map ontology sorts to warehouse tables, so synonyms like "messenger
+   rna" or "locus" resolve even without an explicit entity phrase. *)
+let table_of_sort = function
+  | Genalg_core.Sort.Gene -> Some ("genes", None)
+  | Genalg_core.Sort.Protein | Genalg_core.Sort.Protein_seq -> Some ("proteins", None)
+  | Genalg_core.Sort.Dna | Genalg_core.Sort.Rna | Genalg_core.Sort.Mrna
+  | Genalg_core.Sort.Primary_transcript | Genalg_core.Sort.Chromosome
+  | Genalg_core.Sort.Genome ->
+      Some ("sequences", Some "seq")
+  | _ -> None
+
+let singular w =
+  if String.length w > 1 && w.[String.length w - 1] = 's' then
+    String.sub w 0 (String.length w - 1)
+  else w
+
+let parse_entity ontology tokens =
+  let word_prefix = words_of tokens in
+  let rec prefix_matches phrase words =
+    match phrase, words with
+    | [], _ -> true
+    | p :: ps, w :: ws -> p = w && prefix_matches ps ws
+    | _ :: _, [] -> false
+  in
+  let best =
+    List.fold_left
+      (fun acc (phrase, target) ->
+        if prefix_matches phrase word_prefix then
+          match acc with
+          | Some (p, _) when List.length p >= List.length phrase -> acc
+          | _ -> Some (phrase, target)
+        else acc)
+      None entities
+  in
+  match best with
+  | Some (phrase, (table, seq_col)) ->
+      let rec drop n l =
+        if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> []
+      in
+      (table, seq_col, drop (List.length phrase) tokens)
+  | None -> (
+      (* fall back to the ontology: try 1- and 2-word phrases, singular
+         and as written *)
+      let candidates =
+        match word_prefix with
+        | w1 :: w2 :: _ -> [ (w1 ^ " " ^ w2, 2); (w1, 1); (singular w1, 1) ]
+        | [ w1 ] -> [ (w1, 1); (singular w1, 1) ]
+        | [] -> []
+      in
+      let resolved =
+        List.find_map
+          (fun (phrase, consumed) ->
+            match Ontology.resolve_sort ontology phrase with
+            | Some sort ->
+                Option.map (fun (t, c) -> (t, c, consumed)) (table_of_sort sort)
+            | None -> None)
+          candidates
+      in
+      match resolved with
+      | Some (table, seq_col, consumed) ->
+          let rec drop n l =
+            if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> []
+          in
+          (table, seq_col, drop consumed tokens)
+      | None ->
+          fail "unknown entity near %s"
+            (match word_prefix with w :: _ -> w | [] -> "<end>"))
+
+let compile_tokens ontology tokens =
+  let verb, tokens =
+    match tokens with
+    | Word ("find" | "show" | "list" | "get") :: rest -> (`Find, rest)
+    | Word ("count" | "how") :: rest -> (
+        match rest with
+        | Word "many" :: r -> (`Count, r)
+        | r -> (`Count, r))
+    | _ -> fail "queries start with find, show, list, count or how many"
+  in
+  let table, seq_col, tokens = parse_entity ontology tokens in
+  let where, tokens =
+    match tokens with
+    | Word ("where" | "with" | "whose") :: rest ->
+        let rec conds acc rest =
+          let c, rest = parse_condition ~table ~seq_column:seq_col rest in
+          let acc =
+            match acc with None -> Some c | Some prev -> Some (Ast.Binop (Ast.And, prev, c))
+          in
+          match rest with
+          | Word "and" :: r -> conds acc r
+          | _ -> (acc, rest)
+        in
+        conds None rest
+    | rest -> (None, rest)
+  in
+  let order_by, tokens =
+    match tokens with
+    | Word "sorted" :: Word "by" :: rest
+    | Word "ordered" :: Word "by" :: rest
+    | Word "order" :: Word "by" :: rest -> (
+        let word_prefix = words_of rest in
+        match match_attr ~table word_prefix with
+        | None ->
+            fail "unknown sort attribute near %s"
+              (match word_prefix with w :: _ -> w | [] -> "<end>")
+        | Some (attr, _) ->
+            let rec drop n l =
+              if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> []
+            in
+            let rest = drop (List.length attr.phrase) rest in
+            let ascending, rest =
+              match rest with
+              | Word ("descending" | "desc") :: r -> (false, r)
+              | Word ("ascending" | "asc") :: r -> (true, r)
+              | r -> (true, r)
+            in
+            ([ { Ast.key = attr.expr; ascending } ], rest))
+    | rest -> ([], rest)
+  in
+  let limit, tokens =
+    match tokens with
+    | Word "limit" :: Number (v, true) :: rest -> (Some (int_of_float v), rest)
+    | rest -> (None, rest)
+  in
+  (match tokens with
+  | [] -> ()
+  | Word w :: _ -> fail "trailing input near %s" w
+  | Quoted s :: _ -> fail "trailing input near '%s'" s
+  | Number (v, _) :: _ -> fail "trailing input near %g" v);
+  let projection =
+    match verb with
+    | `Find -> Ast.Star
+    | `Count -> Ast.Exprs [ (Ast.Count_star, Some "count") ]
+  in
+  Ast.Select
+    {
+      projection;
+      from = [ (table, table) ];
+      where;
+      group_by = [];
+      having = None;
+      order_by;
+      limit;
+    }
+
+let compile ?ontology input =
+  let ontology =
+    match ontology with Some o -> o | None -> Ontology.default ()
+  in
+  match tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      match compile_tokens ontology tokens with
+      | stmt -> Ok stmt
+      | exception Err msg -> Error msg)
+
+let compile_to_sql ?ontology input =
+  Result.map Ast.stmt_to_string (compile ?ontology input)
+
+let run ?ontology db ~actor input =
+  match compile ?ontology input with
+  | Error msg -> Error msg
+  | Ok stmt -> Genalg_sqlx.Exec.run db ~actor stmt
+
+(* ------------------------------------------------------------------ *)
+(* Output formats: the paper's "output description language" (6.4)     *)
+
+type output_format = Table | Fasta | Genalgxml
+
+let split_output_clause input =
+  let lower = String.lowercase_ascii (String.trim input) in
+  let strip suffix =
+    let n = String.length lower and m = String.length suffix in
+    if n >= m && String.sub lower (n - m) m = suffix then
+      Some (String.sub (String.trim input) 0 (n - m))
+    else None
+  in
+  match strip "as fasta" with
+  | Some head -> (head, Fasta)
+  | None -> (
+      match strip "as xml" with
+      | Some head -> (head, Genalgxml)
+      | None -> (
+          match strip "as genalgxml" with
+          | Some head -> (head, Genalgxml)
+          | None -> (
+              match strip "as table" with
+              | Some head -> (head, Table)
+              | None -> (input, Table))))
+
+let sequence_of_db_value v =
+  match Genalg_adapter.Adapter.of_db v with
+  | Ok (Genalg_core.Value.VDna s)
+  | Ok (Genalg_core.Value.VRna s)
+  | Ok (Genalg_core.Value.VProtein_seq s) ->
+      Some s
+  | Ok (Genalg_core.Value.VProtein p) -> Some p.Genalg_gdt.Protein.residues
+  | Ok (Genalg_core.Value.VGene g) -> Some g.Genalg_gdt.Gene.dna
+  | _ -> None
+
+let render_fasta (rs : Genalg_sqlx.Exec.result_set) =
+  let records =
+    List.filter_map
+      (fun row ->
+        (* first string cell names the record, first sequence cell is the
+           body *)
+        let cells = Array.to_list row in
+        let name =
+          List.find_map
+            (function Genalg_storage.Dtype.Str s -> Some s | _ -> None)
+            cells
+        in
+        let seq = List.find_map sequence_of_db_value cells in
+        match name, seq with
+        | Some id, Some sequence ->
+            Some { Genalg_formats.Fasta.id; description = ""; sequence }
+        | _ -> None)
+      rs.Genalg_sqlx.Exec.rows
+  in
+  if records = [] then Error "no (name, sequence) columns to render as FASTA"
+  else Ok (Genalg_formats.Fasta.print records)
+
+let render_xml (rs : Genalg_sqlx.Exec.result_set) =
+  let values =
+    List.concat_map
+      (fun row -> List.filter_map sequence_of_db_value (Array.to_list row))
+      rs.Genalg_sqlx.Exec.rows
+  in
+  match values with
+  | [] -> Error "no sequence values to render as GenAlgXML"
+  | first :: _ ->
+      let sort =
+        match Genalg_gdt.Sequence.alphabet first with
+        | Genalg_gdt.Sequence.Dna -> Genalg_core.Sort.Dna
+        | Genalg_gdt.Sequence.Rna -> Genalg_core.Sort.Rna
+        | Genalg_gdt.Sequence.Protein -> Genalg_core.Sort.Protein_seq
+      in
+      let same_sort s =
+        Genalg_gdt.Sequence.alphabet s = Genalg_gdt.Sequence.alphabet first
+      in
+      let wrap s =
+        match Genalg_gdt.Sequence.alphabet s with
+        | Genalg_gdt.Sequence.Dna -> Genalg_core.Value.VDna s
+        | Genalg_gdt.Sequence.Rna -> Genalg_core.Value.VRna s
+        | Genalg_gdt.Sequence.Protein -> Genalg_core.Value.VProtein_seq s
+      in
+      Ok
+        (Genalg_xml.Genalgxml.to_string
+           (Genalg_core.Value.vlist sort
+              (List.map wrap (List.filter same_sort values))))
+
+let run_rendered ?ontology db ~actor input =
+  let head, format = split_output_clause input in
+  match run ?ontology db ~actor head with
+  | Error _ as e -> e
+  | Ok (Genalg_sqlx.Exec.Affected n) -> Ok (Printf.sprintf "(%d rows affected)" n)
+  | Ok Genalg_sqlx.Exec.Executed -> Ok "ok"
+  | Ok (Genalg_sqlx.Exec.Rows rs) -> (
+      match format with
+      | Table -> Ok (Genalg_sqlx.Exec.render db rs)
+      | Fasta -> render_fasta rs
+      | Genalgxml -> render_xml rs)

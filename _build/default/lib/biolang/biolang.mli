@@ -1,0 +1,64 @@
+(** The biological query language (paper section 6.4).
+
+    "Biologists frequently dislike SQL … the issue is here to design such
+    a biological query language based on the biologists' needs. A query
+    formulated in this query language will then be mapped to the extended
+    SQL of the Unifying Database."
+
+    The language is English-like and vocabulary-driven: entity and
+    attribute phrases resolve through the {!Genalg_core.Ontology}, so
+    synonyms work (["messenger rna"], ["gc fraction"], …). Examples:
+
+    {v
+    find sequences where organism is 'Synthetica primus'
+    find sequences where sequence contains 'ATTGCCATA' and gc content above 0.5
+    count genes where exon count at least 3
+    find sequences where sequence resembles 'ACGT...' at least 0.8 limit 10
+    show sequences
+    v}
+
+    Compilation is purely syntactic: the output is an extended-SQL
+    {!Genalg_sqlx.Ast.stmt} executed by {!Genalg_sqlx.Exec} like any
+    hand-written query (experiment E9 measures the overhead). *)
+
+val compile :
+  ?ontology:Genalg_core.Ontology.t ->
+  string ->
+  (Genalg_sqlx.Ast.stmt, string) result
+(** Translate a biological query into extended SQL. *)
+
+val compile_to_sql :
+  ?ontology:Genalg_core.Ontology.t -> string -> (string, string) result
+(** {!compile} followed by pretty-printing — lets a user see the SQL their
+    question became. *)
+
+val run :
+  ?ontology:Genalg_core.Ontology.t ->
+  Genalg_storage.Database.t ->
+  actor:string ->
+  string ->
+  (Genalg_sqlx.Exec.outcome, string) result
+
+type output_format = Table | Fasta | Genalgxml
+
+val split_output_clause : string -> string * output_format
+(** Strip a trailing ["as fasta"] / ["as xml"] / ["as table"] clause —
+    the textual stand-in for the paper's "graphical output description
+    language whose commands can be combined with expressions of the
+    biological query language" (section 6.4). Default {!Table}. *)
+
+val run_rendered :
+  ?ontology:Genalg_core.Ontology.t ->
+  Genalg_storage.Database.t ->
+  actor:string ->
+  string ->
+  (string, string) result
+(** {!run} plus rendering according to the query's output clause:
+    [Table] is the usual ASCII table; [Fasta] renders rows that carry an
+    accession-like string column and a sequence column as FASTA records;
+    [Genalgxml] wraps every sequence value of the result in a GenAlgXML
+    list document. *)
+
+val vocabulary : unit -> (string * string) list
+(** The attribute phrases the language understands and the SQL each maps
+    to, for documentation and the CLI's help. *)

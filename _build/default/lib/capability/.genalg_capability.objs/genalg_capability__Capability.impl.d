@@ -1,0 +1,1 @@
+lib/capability/capability.ml: Filename Genalg_adapter Genalg_biolang Genalg_core Genalg_etl Genalg_sqlx Genalg_storage Genalg_synth List Loader Pipeline Printf Result Source Sys

@@ -1,0 +1,1 @@
+lib/core/builtin.ml: Genalg_gdt Gene List Ops Printf Protein Result Sequence Signature Sort String Transcript Value

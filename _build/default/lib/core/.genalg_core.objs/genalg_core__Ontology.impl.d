@@ -1,0 +1,1 @@
+lib/core/ontology.ml: List Printf Sort String

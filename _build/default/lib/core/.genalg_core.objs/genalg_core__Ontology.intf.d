@@ -1,0 +1,1 @@
+lib/core/ontology.mli: Sort

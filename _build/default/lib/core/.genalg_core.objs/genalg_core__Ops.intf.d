@@ -1,0 +1,1 @@
+lib/core/ops.mli: Genalg_gdt Gene Genetic_code Protein Sequence Transcript Uncertain

@@ -1,0 +1,1 @@
+lib/core/signature.ml: Hashtbl List Printf Sort Stdlib String Value

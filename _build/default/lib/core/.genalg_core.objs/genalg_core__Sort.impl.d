@@ -1,0 +1,1 @@
+lib/core/sort.ml: Format List Option Printf Stdlib String

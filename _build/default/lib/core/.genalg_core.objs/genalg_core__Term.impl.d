@@ -1,0 +1,1 @@
+lib/core/term.ml: Format List Printf Signature Sort String Value

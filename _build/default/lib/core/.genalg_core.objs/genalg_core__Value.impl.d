@@ -1,0 +1,1 @@
+lib/core/value.ml: Amino_acid Chromosome Float Format Genalg_gdt Gene Genome List Nucleotide Printf Protein Sequence Sort String Transcript Uncertain

@@ -1,0 +1,1 @@
+lib/core/value.mli: Amino_acid Chromosome Format Genalg_gdt Gene Genome Nucleotide Protein Sequence Sort Transcript Uncertain

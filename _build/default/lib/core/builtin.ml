@@ -1,0 +1,264 @@
+open Genalg_gdt
+
+let ok v = Ok v
+
+let wrap_invalid f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument msg -> Error msg
+
+(* Argument-destructuring helpers: implementations are only invoked after
+   overload resolution, so shapes are guaranteed; [assert false] marks the
+   impossible cases. *)
+let seq1 f = function
+  | [ (Value.VDna s | Value.VRna s | Value.VProtein_seq s) ] -> f s
+  | _ -> assert false
+
+let seq2 f = function
+  | [ (Value.VDna a | Value.VRna a | Value.VProtein_seq a);
+      (Value.VDna b | Value.VRna b | Value.VProtein_seq b) ] ->
+      f a b
+  | _ -> assert false
+
+let reseq _original result =
+  match Sequence.alphabet result with
+  | Sequence.Dna -> Value.VDna result
+  | Sequence.Rna -> Value.VRna result
+  | Sequence.Protein -> Value.VProtein_seq result
+
+let op name arg_sorts result_sort doc impl =
+  { Signature.name; arg_sorts; result_sort; doc; impl }
+
+let sequence_sorts = [ Sort.Dna; Sort.Rna; Sort.Protein_seq ]
+let nucleotide_sorts = [ Sort.Dna; Sort.Rna ]
+
+(* Register one operator per listed argument sort (simple overloading). *)
+let for_each_sort sg sorts make =
+  List.iter (fun s -> Signature.register_exn sg (make s)) sorts
+
+let create () =
+  let sg = Signature.create () in
+  let reg = Signature.register_exn sg in
+
+  (* ---- central dogma ------------------------------------------------ *)
+  reg
+    (op "transcribe" [ Sort.Gene ] Sort.Primary_transcript
+       "RNA copy of a gene's sense strand (pre-mRNA)." (function
+      | [ Value.VGene g ] -> ok (Value.VPrimary (Ops.transcribe g))
+      | _ -> assert false));
+  reg
+    (op "splice" [ Sort.Primary_transcript ] Sort.Mrna
+       "Excise introns from a primary transcript." (function
+      | [ Value.VPrimary p ] -> ok (Value.VMrna (Ops.splice p))
+      | _ -> assert false));
+  reg
+    (op "splice_uncertain" [ Sort.Primary_transcript ] (Sort.Uncertain Sort.Mrna)
+       "Splice with uncertainty: canonical product plus exon-skipping variants."
+       (function
+      | [ Value.VPrimary p ] ->
+          let u = Ops.splice_uncertain p in
+          ok (Value.uncertain (Genalg_gdt.Uncertain.map (fun m -> Value.VMrna m) u))
+      | _ -> assert false));
+  reg
+    (op "translate" [ Sort.Mrna ] Sort.Protein
+       "Translate an mRNA from its first start codon." (function
+      | [ Value.VMrna m ] ->
+          Result.map (fun p -> Value.VProtein p) (Ops.translate m)
+      | _ -> assert false));
+  reg
+    (op "decode" [ Sort.Gene ] Sort.Protein
+       "translate(splice(transcribe(gene)))." (function
+      | [ Value.VGene g ] -> Result.map (fun p -> Value.VProtein p) (Ops.decode g)
+      | _ -> assert false));
+  reg
+    (op "reverse_transcribe" [ Sort.Rna ] Sort.Dna "mRNA to cDNA." (function
+      | [ Value.VRna r ] ->
+          wrap_invalid (fun () -> ok (Value.VDna (Ops.reverse_transcribe r)))
+      | _ -> assert false));
+  for_each_sort sg nucleotide_sorts (fun s ->
+      op "translate_frame" [ s; Sort.Int ] Sort.Protein_seq
+        "Raw translation of one reading frame (0-2)." (function
+        | [ (Value.VDna seq | Value.VRna seq); Value.VInt frame ] ->
+            wrap_invalid (fun () ->
+                ok (Value.VProtein_seq (Ops.translate_frame ~frame seq)))
+        | _ -> assert false));
+
+  (* ---- generic sequence utilities ----------------------------------- *)
+  for_each_sort sg sequence_sorts (fun s ->
+      op "length" [ s ] Sort.Int "Number of letters."
+        (seq1 (fun x -> ok (Value.VInt (Sequence.length x)))));
+  for_each_sort sg sequence_sorts (fun s ->
+      op "subsequence" [ s; Sort.Int; Sort.Int ] s
+        "subsequence(s, pos, len), 0-based." (function
+        | [ v; Value.VInt pos; Value.VInt len ] ->
+            seq1
+              (fun x ->
+                wrap_invalid (fun () -> ok (reseq v (Sequence.sub x ~pos ~len))))
+              [ v ]
+        | _ -> assert false));
+  for_each_sort sg sequence_sorts (fun s ->
+      op "concat" [ s; s ] s "Concatenation of two sequences."
+        (seq2 (fun a b ->
+             wrap_invalid (fun () ->
+                 let r = Sequence.append a b in
+                 ok
+                   (match Sequence.alphabet r with
+                   | Sequence.Dna -> Value.VDna r
+                   | Sequence.Rna -> Value.VRna r
+                   | Sequence.Protein -> Value.VProtein_seq r)))));
+  for_each_sort sg nucleotide_sorts (fun s ->
+      op "complement" [ s ] s "Watson-Crick complement."
+        (fun vs ->
+          match vs with
+          | [ v ] ->
+              seq1
+                (fun x -> wrap_invalid (fun () -> ok (reseq v (Sequence.complement x))))
+                [ v ]
+          | _ -> assert false));
+  for_each_sort sg nucleotide_sorts (fun s ->
+      op "reverse_complement" [ s ] s "Reverse complement."
+        (fun vs ->
+          match vs with
+          | [ v ] ->
+              seq1
+                (fun x ->
+                  wrap_invalid (fun () -> ok (reseq v (Sequence.reverse_complement x))))
+                [ v ]
+          | _ -> assert false));
+  for_each_sort sg sequence_sorts (fun s ->
+      op "contains" [ s; Sort.String ] Sort.Bool
+        "True when the sequence contains the literal pattern." (function
+        | [ v; Value.VString pat ] ->
+            seq1 (fun x -> ok (Value.VBool (Sequence.contains ~pattern:pat x))) [ v ]
+        | _ -> assert false));
+  for_each_sort sg sequence_sorts (fun s ->
+      op "find_motif" [ s; Sort.String ] (Sort.List Sort.Int)
+        "All occurrence offsets of a pattern (0-based)." (function
+        | [ v; Value.VString pat ] ->
+            seq1
+              (fun x ->
+                let hits = Sequence.find_all ~pattern:pat x in
+                ok (Value.vlist Sort.Int (List.map (fun i -> Value.VInt i) hits)))
+              [ v ]
+        | _ -> assert false));
+  reg
+    (op "transcribe_seq" [ Sort.Dna ] Sort.Rna
+       "Sequence-level transcription (T to U)." (function
+      | [ Value.VDna d ] -> ok (Value.VRna (Sequence.to_rna d))
+      | _ -> assert false));
+
+  (* ---- statistics ---------------------------------------------------- *)
+  for_each_sort sg nucleotide_sorts (fun s ->
+      op "gc_content" [ s ] Sort.Float "Fraction of G/C bases."
+        (seq1 (fun x -> ok (Value.VFloat (Ops.gc_content x)))));
+  for_each_sort sg nucleotide_sorts (fun s ->
+      op "melting_temperature" [ s ] Sort.Float "Primer Tm in Celsius."
+        (seq1 (fun x -> ok (Value.VFloat (Ops.melting_temperature x)))));
+  reg
+    (op "molecular_weight" [ Sort.Protein ] Sort.Float
+       "Average molecular weight in daltons." (function
+      | [ Value.VProtein p ] -> ok (Value.VFloat (Protein.molecular_weight p))
+      | _ -> assert false));
+
+  (* ---- ORFs and restriction ------------------------------------------ *)
+  reg
+    (op "find_orfs" [ Sort.Dna ] (Sort.List Sort.Dna)
+       "ORF subsequences (>= 90 nt), longest first, both strands." (function
+      | [ Value.VDna d ] ->
+          let orfs = Ops.find_orfs d in
+          ok
+            (Value.vlist Sort.Dna
+               (List.map (fun o -> Value.VDna (Ops.orf_sequence d o)) orfs))
+      | _ -> assert false));
+  reg
+    (op "digest" [ Sort.Dna; Sort.String ] (Sort.List Sort.Dna)
+       "Restriction fragments for a named enzyme." (function
+      | [ Value.VDna d; Value.VString enzyme ] -> (
+          match Ops.enzyme_by_name enzyme with
+          | None -> Error (Printf.sprintf "unknown restriction enzyme %s" enzyme)
+          | Some e ->
+              ok (Value.vlist Sort.Dna (List.map (fun f -> Value.VDna f) (Ops.digest e d))))
+      | _ -> assert false));
+
+  (* ---- comparison ----------------------------------------------------- *)
+  let comparable = [ (Sort.Dna, Sort.Dna); (Sort.Rna, Sort.Rna);
+                     (Sort.Dna, Sort.Rna); (Sort.Rna, Sort.Dna);
+                     (Sort.Protein_seq, Sort.Protein_seq) ]
+  in
+  List.iter
+    (fun (sa, sb) ->
+      Signature.register_exn sg
+        (op "resembles" [ sa; sb ] Sort.Float
+           "Normalised local-alignment similarity in [0,1]."
+           (seq2 (fun a b -> wrap_invalid (fun () -> ok (Value.VFloat (Ops.resembles a b)))))))
+    comparable;
+  List.iter
+    (fun (sa, sb) ->
+      Signature.register_exn sg
+        (op "identity" [ sa; sb ] Sort.Float "Global-alignment identity."
+           (seq2 (fun a b -> wrap_invalid (fun () -> ok (Value.VFloat (Ops.identity a b)))))))
+    comparable;
+  List.iter
+    (fun (sa, sb) ->
+      Signature.register_exn sg
+        (op "edit_distance" [ sa; sb ] Sort.Int "Levenshtein distance."
+           (seq2 (fun a b -> ok (Value.VInt (Ops.edit_distance a b))))))
+    comparable;
+
+  reg
+    (op "back_translate" [ Sort.Protein_seq ] Sort.Dna
+       "Degenerate reverse translation (IUPAC consensus codons)." (function
+      | [ Value.VProtein_seq p ] ->
+          wrap_invalid (fun () -> ok (Value.VDna (Ops.back_translate p)))
+      | _ -> assert false));
+  reg
+    (op "longest_repeat" [ Sort.Dna ] (Sort.List Sort.Int)
+       "Positions and length of a longest repeated substring." (function
+      | [ Value.VDna d ] ->
+          ok
+            (match Ops.longest_repeat d with
+            | Some (p1, p2, len) ->
+                Value.vlist Sort.Int [ Value.VInt p1; Value.VInt p2; Value.VInt len ]
+            | None -> Value.vlist Sort.Int [])
+      | _ -> assert false));
+
+  (* ---- GDT accessors --------------------------------------------------- *)
+  reg
+    (op "gene_sequence" [ Sort.Gene ] Sort.Dna "A gene's genomic DNA." (function
+      | [ Value.VGene g ] -> ok (Value.VDna g.Gene.dna)
+      | _ -> assert false));
+  reg
+    (op "gene_id" [ Sort.Gene ] Sort.String "A gene's identifier." (function
+      | [ Value.VGene g ] -> ok (Value.VString g.Gene.id)
+      | _ -> assert false));
+  reg
+    (op "exon_count" [ Sort.Gene ] Sort.Int "Number of exons." (function
+      | [ Value.VGene g ] -> ok (Value.VInt (Gene.exon_count g))
+      | _ -> assert false));
+  reg
+    (op "protein_sequence" [ Sort.Protein ] Sort.Protein_seq
+       "A protein's residues." (function
+      | [ Value.VProtein p ] -> ok (Value.VProtein_seq p.Protein.residues)
+      | _ -> assert false));
+  reg
+    (op "mrna_sequence" [ Sort.Mrna ] Sort.Rna "An mRNA's nucleotides." (function
+      | [ Value.VMrna m ] -> ok (Value.VRna m.Transcript.rna)
+      | _ -> assert false));
+  reg
+    (op "best" [ Sort.Uncertain Sort.Mrna ] Sort.Mrna
+       "Highest-confidence alternative." (function
+      | [ Value.VUncertain (_, u) ] -> ok (Genalg_gdt.Uncertain.best u)
+      | _ -> assert false));
+  reg
+    (op "confidence" [ Sort.Uncertain Sort.Mrna ] Sort.Float
+       "Confidence of the best alternative." (function
+      | [ Value.VUncertain (_, u) ] ->
+          ok (Value.VFloat (Genalg_gdt.Uncertain.best_confidence u))
+      | _ -> assert false));
+  sg
+
+let default = create ()
+
+let operator_names () =
+  List.sort_uniq String.compare
+    (List.map (fun o -> o.Signature.name) (Signature.operators (create ())))

@@ -1,0 +1,16 @@
+(** The built-in Genomics Algebra signature.
+
+    Wraps every {!Ops} kernel function (and a set of generic sequence
+    utilities) as registered {!Signature} operators so they can be used in
+    terms, embedded into the extended SQL of the Unifying Database, and
+    exposed through the biological query language. *)
+
+val create : unit -> Signature.t
+(** A fresh signature containing all built-in operators. *)
+
+val default : Signature.t
+(** A shared instance of {!create}; extend it freely — extensibility is a
+    design goal (paper C13/C14). *)
+
+val operator_names : unit -> string list
+(** Names registered by {!create}, sorted, deduplicated. *)

@@ -1,0 +1,153 @@
+type target =
+  | Sort_target of Sort.t
+  | Operation_target of string
+
+type concept = {
+  term : string;
+  synonyms : string list;
+  definition : string;
+  context : string;
+  target : target;
+}
+
+type t = { mutable concepts : concept list (* insertion order *) }
+
+let create () = { concepts = [] }
+
+let normalise s =
+  String.concat " "
+    (List.filter (fun w -> w <> "")
+       (String.split_on_char ' ' (String.lowercase_ascii (String.trim s))))
+
+let names c = List.map normalise (c.term :: c.synonyms)
+
+let add t c =
+  let clash =
+    List.exists
+      (fun existing ->
+        existing.context = c.context && normalise existing.term = normalise c.term)
+      t.concepts
+  in
+  if clash then
+    Error (Printf.sprintf "term %S already defined in context %S" c.term c.context)
+  else begin
+    t.concepts <- t.concepts @ [ c ];
+    Ok ()
+  end
+
+let add_exn t c =
+  match add t c with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ontology.add_exn: " ^ msg)
+
+let resolve ?context t name =
+  let n = normalise name in
+  let matches = List.filter (fun c -> List.mem n (names c)) t.concepts in
+  match context with
+  | Some ctx -> (
+      match List.find_opt (fun c -> c.context = ctx) matches with
+      | Some _ as r -> r
+      | None -> ( match matches with c :: _ -> Some c | [] -> None))
+  | None -> ( match matches with c :: _ -> Some c | [] -> None)
+
+let resolve_sort ?context t name =
+  match resolve ?context t name with
+  | Some { target = Sort_target s; _ } -> Some s
+  | Some { target = Operation_target _; _ } | None -> None
+
+let resolve_operation ?context t name =
+  match resolve ?context t name with
+  | Some { target = Operation_target o; _ } -> Some o
+  | Some { target = Sort_target _; _ } | None -> None
+
+let concepts t = t.concepts
+let cardinal t = List.length t.concepts
+
+let is_ambiguous t name =
+  let n = normalise name in
+  let contexts =
+    List.filter_map
+      (fun c -> if List.mem n (names c) then Some c.context else None)
+      t.concepts
+  in
+  List.length (List.sort_uniq String.compare contexts) > 1
+
+let mb = "molecular-biology"
+
+let sort_concept term synonyms definition sort =
+  { term; synonyms; definition; context = mb; target = Sort_target sort }
+
+let op_concept term synonyms definition operation =
+  { term; synonyms; definition; context = mb; target = Operation_target operation }
+
+let default () =
+  let t = create () in
+  List.iter (add_exn t)
+    [
+      sort_concept "gene" [ "locus"; "genetic locus" ]
+        "A heritable unit of genomic DNA with exon/intron structure." Sort.Gene;
+      sort_concept "dna" [ "dna sequence"; "nucleotide sequence"; "genomic sequence" ]
+        "A deoxyribonucleic-acid sequence." Sort.Dna;
+      sort_concept "rna" [ "rna sequence"; "ribonucleic acid" ]
+        "A ribonucleic-acid sequence." Sort.Rna;
+      sort_concept "primary transcript" [ "pre-mrna"; "pre mrna"; "premrna" ]
+        "The unspliced RNA copy of a gene." Sort.Primary_transcript;
+      sort_concept "mrna" [ "messenger rna"; "mature mrna"; "transcript" ]
+        "A spliced messenger RNA." Sort.Mrna;
+      sort_concept "protein" [ "polypeptide"; "gene product" ]
+        "A named amino-acid chain." Sort.Protein;
+      sort_concept "peptide" [ "amino acid sequence"; "residue sequence" ]
+        "A bare amino-acid sequence." Sort.Protein_seq;
+      sort_concept "chromosome" [] "A chromosome with its annotations."
+        Sort.Chromosome;
+      sort_concept "genome" [ "complete genome" ] "An organism's chromosomes."
+        Sort.Genome;
+      sort_concept "nucleotide" [ "base" ] "A single nucleic-acid base."
+        Sort.Nucleotide;
+      sort_concept "amino acid" [ "residue" ] "A single protein residue."
+        Sort.Amino_acid;
+      op_concept "transcribe" [ "transcription" ]
+        "Produce the primary transcript of a gene." "transcribe";
+      op_concept "splice" [ "splicing" ] "Excise introns from a primary transcript."
+        "splice";
+      op_concept "translate" [ "translation" ]
+        "Produce the protein encoded by an mRNA." "translate";
+      op_concept "decode" [ "express" ] "Gene to protein, composed." "decode";
+      op_concept "reverse transcribe" [ "reverse transcription" ]
+        "mRNA to cDNA." "reverse_transcribe";
+      op_concept "gc content" [ "gc fraction"; "gc percentage" ]
+        "Fraction of guanine and cytosine bases." "gc_content";
+      op_concept "contains" [ "has motif"; "contains motif" ]
+        "Whether a sequence contains a literal pattern." "contains";
+      op_concept "resembles" [ "similar to"; "is similar to"; "homologous to" ]
+        "Normalised local-alignment similarity." "resembles";
+      op_concept "reverse complement" [ "revcomp" ]
+        "Reverse complement of a nucleotide sequence." "reverse_complement";
+      op_concept "find orfs" [ "open reading frames"; "orfs" ]
+        "Open reading frames of a DNA sequence." "find_orfs";
+      op_concept "digest" [ "restriction digest" ]
+        "Cut DNA with a restriction enzyme." "digest";
+      op_concept "melting temperature" [ "tm" ] "Primer melting temperature."
+        "melting_temperature";
+      op_concept "molecular weight" [ "mass" ] "Protein molecular weight."
+        "molecular_weight";
+      op_concept "length" [ "size" ] "Sequence length." "length";
+      (* a deliberate homonym pair, demonstrating context disambiguation:
+         "expression" in molecular biology (gene expression = decode) vs in
+         the query-language context (an expression tree) *)
+      {
+        term = "expression";
+        synonyms = [];
+        definition = "Gene expression: producing a protein from a gene.";
+        context = mb;
+        target = Operation_target "decode";
+      };
+      {
+        term = "expression";
+        synonyms = [];
+        definition = "A query-language expression.";
+        context = "query-language";
+        target = Sort_target Sort.String;
+      };
+    ];
+  t

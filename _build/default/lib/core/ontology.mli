@@ -1,0 +1,52 @@
+(** A controlled vocabulary for molecular biology.
+
+    Paper section 4.1: an ontology "establishes a standardised, formally
+    and coherently defined nomenclature" whose entity types map to sorts
+    and whose functions map to operators — "uniqueness of a term is an
+    essential requirement to be able to map concepts into the Genomics
+    Algebra". Concepts carry synonyms (the terminological differences of
+    real repositories) and map onto either a sort or an operator name; the
+    biological query language resolves user vocabulary through this
+    module. Homonyms are disambiguated by context tags. *)
+
+type target =
+  | Sort_target of Sort.t
+  | Operation_target of string  (** operator name in the signature *)
+
+type concept = {
+  term : string;             (** canonical, unique term *)
+  synonyms : string list;
+  definition : string;
+  context : string;          (** e.g. ["molecular-biology"]; disambiguates homonyms *)
+  target : target;
+}
+
+type t
+
+val create : unit -> t
+(** Empty ontology. *)
+
+val default : unit -> t
+(** The built-in vocabulary: the GDT sorts with their common synonyms
+    (["sequence"], ["locus"], ["cds"], …) and the built-in operations
+    (["translate"], ["gc content"], …). *)
+
+val add : t -> concept -> (unit, string) result
+(** Fails when the canonical term is already taken within the same
+    context (the paper's uniqueness requirement). *)
+
+val add_exn : t -> concept -> unit
+
+val resolve : ?context:string -> t -> string -> concept option
+(** Look a term or synonym up, case- and whitespace-insensitively. With
+    [context], concepts of that context are preferred; otherwise the
+    first match in insertion order wins. *)
+
+val resolve_sort : ?context:string -> t -> string -> Sort.t option
+val resolve_operation : ?context:string -> t -> string -> string option
+
+val concepts : t -> concept list
+val cardinal : t -> int
+
+val is_ambiguous : t -> string -> bool
+(** True when a term or synonym resolves in more than one context. *)

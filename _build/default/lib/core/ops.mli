@@ -1,0 +1,135 @@
+(** The kernel Genomics Algebra operations, as plain OCaml functions.
+
+    "From a software point of view, the Genomics Algebra is an extensible,
+    self-contained software package … principally independent of a database
+    system and can be used as a software library by a stand-alone
+    application program" (paper section 4.2). This module is that kernel
+    library; {!Builtin} wraps the same functions as registered signature
+    operators for terms, SQL and the biological query language.
+
+    Position conventions: all offsets are 0-based; ORF coordinates refer to
+    the strand the ORF was found on (for [`Reverse] the offsets index the
+    reverse complement of the input). *)
+
+open Genalg_gdt
+
+(** {1 Central dogma} *)
+
+val transcribe : Gene.t -> Transcript.primary
+(** RNA copy of the gene's sense strand; exon structure carried over. *)
+
+val splice : Transcript.primary -> Transcript.mrna
+(** Excise introns: concatenate exon spans in order. *)
+
+val splice_uncertain :
+  ?confidence:float -> Transcript.primary -> Transcript.mrna Uncertain.t
+(** The paper notes that splicing's operational semantics is unknown and
+    results must carry uncertainty (section 4.3). The canonical splicing is
+    returned with the given confidence (default 0.9) and every
+    single-exon-skipping variant as a lower-confidence alternative. *)
+
+val translate : Transcript.mrna -> (Protein.t, string) result
+(** Scan for the first start codon, then translate until a stop codon or
+    the transcript's end. [Error] when no start codon exists. *)
+
+val translate_frame :
+  ?code:Genetic_code.t -> frame:int -> Sequence.t -> Sequence.t
+(** Raw frame translation (frame 0–2) of a DNA or RNA sequence over all
+    complete codons, internal stops rendered as ['*']. Raises
+    [Invalid_argument] on proteins or frames outside 0–2. *)
+
+val reverse_transcribe : Sequence.t -> Sequence.t
+(** mRNA → cDNA: the RNA sequence with U→T. Raises on non-RNA. *)
+
+val decode : Gene.t -> (Protein.t, string) result
+(** [translate (splice (transcribe g))] — the paper's running example. *)
+
+(** {1 Open reading frames} *)
+
+type strand = Forward | Reverse
+
+type orf = {
+  strand : strand;
+  frame : int;     (** 0–2 within the strand *)
+  start : int;     (** offset of the start codon on that strand *)
+  length : int;    (** nucleotides, start codon through stop codon *)
+}
+
+val find_orfs :
+  ?code:Genetic_code.t -> ?min_length:int -> ?both_strands:bool ->
+  Sequence.t -> orf list
+(** ORFs (start codon … in-frame stop codon, inclusive) of at least
+    [min_length] nucleotides (default 90), longest first. DNA or RNA
+    input; [both_strands] defaults to true for DNA and is ignored
+    (forward only) for RNA. Nested ORFs sharing a stop are reported only
+    for their leftmost start. *)
+
+val orf_sequence : Sequence.t -> orf -> Sequence.t
+(** Extract an ORF's nucleotides from the sequence it was found in. *)
+
+val orf_protein : ?code:Genetic_code.t -> Sequence.t -> orf -> Sequence.t
+(** The ORF's translation, stop codon dropped. *)
+
+(** {1 Sequence statistics} *)
+
+val gc_content : Sequence.t -> float
+(** Fraction of G/C/S bases, in [0, 1]; 0 for the empty sequence. Raises
+    on proteins. *)
+
+val melting_temperature : Sequence.t -> float
+(** Primer Tm in °C: Wallace rule [2(A+T) + 4(G+C)] for <= 13 nt,
+    otherwise [64.9 + 41(GC - 16.4/N)]. Raises on proteins. *)
+
+val codon_usage : Sequence.t -> (string * int) list
+(** Counts of each codon over complete frame-0 codons of a DNA/RNA
+    sequence, as DNA triplets, descending by count then codon. *)
+
+(** {1 Restriction analysis} *)
+
+type enzyme = {
+  name : string;
+  site : string;       (** recognition site, 5'→3' DNA letters *)
+  cut_offset : int;    (** cut position within the site, 0-based *)
+}
+
+val common_enzymes : enzyme list
+(** EcoRI, BamHI, HindIII, NotI, EcoRV, SmaI, PstI, KpnI. *)
+
+val enzyme_by_name : string -> enzyme option
+
+val restriction_sites : enzyme -> Sequence.t -> int list
+(** 0-based offsets of recognition-site occurrences, ascending. *)
+
+val digest : enzyme -> Sequence.t -> Sequence.t list
+(** Fragments after cutting at every site (linear molecule). A sequence
+    with no sites yields itself. *)
+
+(** {1 Comparison} *)
+
+val resembles : Sequence.t -> Sequence.t -> float
+(** Similarity in [0, 1]: best local alignment score normalised by the
+    smaller self-alignment score. 1 when one sequence contains the other
+    exactly; 0 for no positive-scoring local alignment. Protein pairs use
+    BLOSUM62, nucleotide pairs the default DNA matrix. Raises when
+    alphabet classes differ (protein vs nucleotide). *)
+
+val identity : Sequence.t -> Sequence.t -> float
+(** Global-alignment identity fraction in [0, 1]. *)
+
+val edit_distance : Sequence.t -> Sequence.t -> int
+(** Unit-cost Levenshtein distance on letters. *)
+
+(** {1 Further analysis} *)
+
+val back_translate : ?code:Genetic_code.t -> Sequence.t -> Sequence.t
+(** Degenerate reverse translation of a protein sequence: each residue
+    becomes the IUPAC consensus of its codons (e.g. Met gives [ATG],
+    Leu gives [YTN]). Stops become [TRR] under the standard code.
+    Raises [Invalid_argument] on nucleotide input or residues without
+    codons (ambiguity codes [B]/[Z]/[X]). The original protein always
+    matches a frame-0 translation of every concretization. *)
+
+val longest_repeat : Sequence.t -> (int * int * int) option
+(** [(pos1, pos2, len)] of a longest exactly-repeated substring (two
+    distinct occurrences), suffix-array backed; [None] when no letter
+    repeats. *)

@@ -1,0 +1,64 @@
+type biologist_problem = B1 | B2 | B3 | B4 | B5 | B6 | B7 | B8 | B9 | B10
+
+type requirement =
+  | C1 | C2 | C3 | C4 | C5 | C6 | C7 | C8 | C9 | C10 | C11 | C12 | C13 | C14 | C15
+
+let all_problems = [ B1; B2; B3; B4; B5; B6; B7; B8; B9; B10 ]
+
+let all_requirements =
+  [ C1; C2; C3; C4; C5; C6; C7; C8; C9; C10; C11; C12; C13; C14; C15 ]
+
+let problem_label = function
+  | B1 -> "B1" | B2 -> "B2" | B3 -> "B3" | B4 -> "B4" | B5 -> "B5"
+  | B6 -> "B6" | B7 -> "B7" | B8 -> "B8" | B9 -> "B9" | B10 -> "B10"
+
+let requirement_label = function
+  | C1 -> "C1" | C2 -> "C2" | C3 -> "C3" | C4 -> "C4" | C5 -> "C5"
+  | C6 -> "C6" | C7 -> "C7" | C8 -> "C8" | C9 -> "C9" | C10 -> "C10"
+  | C11 -> "C11" | C12 -> "C12" | C13 -> "C13" | C14 -> "C14" | C15 -> "C15"
+
+let problem_description = function
+  | B1 -> "Proliferation of specialized databases creates missed opportunities"
+  | B2 -> "Two or more databases may hold additive or conflicting information"
+  | B3 -> "Little or no agreement on terminology and concepts among groups"
+  | B4 -> "A familiar data resource will disappear or morph to a different site"
+  | B5 -> "Query results are unmanageable unless organized into a project database"
+  | B6 -> "Copied data records become obsolete unless updated"
+  | B7 -> "Each data site is a unique interface forcing custom access methods"
+  | B8 -> "Database schema and data types are unknown, making custom SQL impossible"
+  | B9 -> "Biologists prefer biological terms and operations over SQL and schemas"
+  | B10 -> "Data in most genomics repositories are noisy (30-60% of GenBank erroneous)"
+
+let requirement_description = function
+  | C1 -> "Multitude and heterogeneity of available genomic repositories"
+  | C2 -> "Missing standards for genomic data representation"
+  | C3 -> "Multitude of user interfaces"
+  | C4 -> "Quality of user interfaces"
+  | C5 -> "Quality of query languages"
+  | C6 -> "Limited functionality of genomic repositories"
+  | C7 -> "Format of query results"
+  | C8 -> "Incorrectness due to inconsistent and incompatible data"
+  | C9 -> "Uncertainty of data"
+  | C10 -> "Combination of data from different genomic repositories"
+  | C11 -> "Extraction of hidden and creation of new knowledge"
+  | C12 -> "Low-level treatment of data"
+  | C13 -> "Integration of self-generated data and extensibility"
+  | C14 -> "Integration of new specialty evaluation functions"
+  | C15 -> "Loss of existing repositories"
+
+let cross_references = function
+  | C1 -> [ B1; B2; B3 ]
+  | C2 -> [ B1; B2; B3; B7 ]
+  | C3 -> [ B7 ]
+  | C4 -> [ B5; B7; B8; B9 ]
+  | C5 -> [ B5; B8; B9 ]
+  | C6 -> [ B2; B3; B8; B9 ]
+  | C7 -> [ B5; B6 ]
+  | C8 -> [ B1; B2; B3; B6 ]
+  | C9 -> [ B2; B6; B10 ]
+  | C10 -> [ B2; B8; B9 ]
+  | C11 -> [ B1; B2; B8; B9 ]
+  | C12 -> [ B1; B2; B5; B8; B9 ]
+  | C13 -> [ B5; B6 ]
+  | C14 -> [ B5; B8; B9 ]
+  | C15 -> [ B4 ]

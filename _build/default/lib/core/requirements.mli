@@ -1,0 +1,24 @@
+(** The paper's requirements catalogue.
+
+    Section 2 derives ten biologist-facing problems (B1–B10) and fifteen
+    computer-science requirements (C1–C15); Table 1 scores six integration
+    systems against C1–C15. This module encodes both lists so the
+    capability-matrix reproduction (bench T1) is generated from data
+    rather than prose. *)
+
+type biologist_problem = B1 | B2 | B3 | B4 | B5 | B6 | B7 | B8 | B9 | B10
+
+type requirement =
+  | C1 | C2 | C3 | C4 | C5 | C6 | C7 | C8 | C9 | C10 | C11 | C12 | C13 | C14 | C15
+
+val all_problems : biologist_problem list
+val all_requirements : requirement list
+
+val problem_label : biologist_problem -> string
+val requirement_label : requirement -> string
+
+val problem_description : biologist_problem -> string
+val requirement_description : requirement -> string
+
+val cross_references : requirement -> biologist_problem list
+(** The B-problems each C-requirement addresses, as listed in the paper. *)

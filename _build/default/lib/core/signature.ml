@@ -1,0 +1,113 @@
+type operator = {
+  name : string;
+  arg_sorts : Sort.t list;
+  result_sort : Sort.t;
+  doc : string;
+  impl : Value.t list -> (Value.t, string) result;
+}
+
+type t = { table : (string, operator list ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let key name = String.lowercase_ascii name
+
+let same_rank a b =
+  List.length a.arg_sorts = List.length b.arg_sorts
+  && List.for_all2 Sort.equal a.arg_sorts b.arg_sorts
+
+let register t op =
+  let k = key op.name in
+  match Hashtbl.find_opt t.table k with
+  | None ->
+      Hashtbl.add t.table k (ref [ op ]);
+      Ok ()
+  | Some cell ->
+      if List.exists (same_rank op) !cell then
+        Error
+          (Printf.sprintf "operator %s(%s) already registered" op.name
+             (String.concat ", " (List.map Sort.to_string op.arg_sorts)))
+      else begin
+        cell := op :: !cell;
+        Ok ()
+      end
+
+let register_exn t op =
+  match register t op with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Signature.register_exn: " ^ msg)
+
+let arg_matches ~param ~arg =
+  Sort.equal param arg
+  || match param, arg with Sort.Float, Sort.Int -> true | _ -> false
+
+let rank_matches op args =
+  List.length op.arg_sorts = List.length args
+  && List.for_all2 (fun param arg -> arg_matches ~param ~arg) op.arg_sorts args
+
+let resolve t name args =
+  match Hashtbl.find_opt t.table (key name) with
+  | None -> None
+  | Some cell ->
+      (* prefer an exact match over a widened one *)
+      let exact =
+        List.find_opt
+          (fun op ->
+            List.length op.arg_sorts = List.length args
+            && List.for_all2 Sort.equal op.arg_sorts args)
+          !cell
+      in
+      (match exact with
+      | Some _ as r -> r
+      | None -> List.find_opt (fun op -> rank_matches op args) !cell)
+
+let find_by_name t name =
+  match Hashtbl.find_opt t.table (key name) with
+  | None -> []
+  | Some cell -> !cell
+
+let mem t name = Hashtbl.mem t.table (key name)
+
+let operators t =
+  Hashtbl.fold (fun _ cell acc -> !cell @ acc) t.table []
+  |> List.sort (fun a b ->
+         let c = String.compare (key a.name) (key b.name) in
+         if c <> 0 then c else Stdlib.compare a.arg_sorts b.arg_sorts)
+
+let cardinal t = List.length (operators t)
+
+let widen_arg ~param v =
+  match param, v with
+  | Sort.Float, Value.VInt i -> Value.VFloat (float_of_int i)
+  | _ -> v
+
+let apply t name values =
+  let args = List.map Value.sort_of values in
+  match resolve t name args with
+  | None ->
+      Error
+        (Printf.sprintf "no operator %s(%s)" name
+           (String.concat ", " (List.map Sort.to_string args)))
+  | Some op -> (
+      let values = List.map2 (fun param v -> widen_arg ~param v) op.arg_sorts values in
+      match op.impl values with
+      | Error _ as e -> e
+      | Ok result ->
+          let actual = Value.sort_of result in
+          if Sort.equal actual op.result_sort then Ok result
+          else
+            Error
+              (Printf.sprintf
+                 "operator %s returned sort %s, but its signature declares %s"
+                 op.name (Sort.to_string actual)
+                 (Sort.to_string op.result_sort)))
+
+let rank_to_string op =
+  Printf.sprintf "%s: %s -> %s" op.name
+    (match op.arg_sorts with
+    | [] -> "()"
+    | sorts -> String.concat " x " (List.map Sort.to_string sorts))
+    (Sort.to_string op.result_sort)
+
+let merge ~into src =
+  List.iter (fun op -> ignore (register into op)) (operators src)

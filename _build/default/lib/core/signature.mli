@@ -1,0 +1,52 @@
+(** Many-sorted signatures with dynamic operator registration.
+
+    A signature pairs operator names with their rank (argument sorts and
+    result sort) and an implementation over {!Value.t}; the collection of
+    sorts, carriers and functions forms the many-sorted algebra of paper
+    section 4.2. Registration is open — "if required, the Genomics Algebra
+    can be extended by new sorts and operations" — and names may be
+    overloaded on argument sorts. *)
+
+type operator = {
+  name : string;
+  arg_sorts : Sort.t list;
+  result_sort : Sort.t;
+  doc : string;
+  impl : Value.t list -> (Value.t, string) result;
+}
+
+type t
+
+val create : unit -> t
+(** An empty signature. *)
+
+val register : t -> operator -> (unit, string) result
+(** Add an operator. Fails when an operator with the same name and
+    argument sorts already exists. Names are case-insensitive. *)
+
+val register_exn : t -> operator -> unit
+
+val resolve : t -> string -> Sort.t list -> operator option
+(** Exact overload resolution on argument sorts, with one widening rule:
+    an [Int] argument satisfies a [Float] parameter. *)
+
+val find_by_name : t -> string -> operator list
+(** All overloads of a name. *)
+
+val mem : t -> string -> bool
+
+val operators : t -> operator list
+(** Every registered operator, sorted by name then arity. *)
+
+val cardinal : t -> int
+
+val apply : t -> string -> Value.t list -> (Value.t, string) result
+(** Resolve on the sorts of the given values and run the implementation;
+    the result is checked against the declared result sort. *)
+
+val rank_to_string : operator -> string
+(** ["translate: mrna -> protein"] — the paper's functionality notation. *)
+
+val merge : into:t -> t -> unit
+(** Copy every operator of the second signature into [into], skipping
+    exact duplicates. *)

@@ -1,0 +1,64 @@
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Nucleotide
+  | Amino_acid
+  | Dna
+  | Rna
+  | Protein_seq
+  | Gene
+  | Primary_transcript
+  | Mrna
+  | Protein
+  | Chromosome
+  | Genome
+  | List of t
+  | Uncertain of t
+
+let rec to_string = function
+  | Bool -> "bool"
+  | Int -> "int"
+  | Float -> "float"
+  | String -> "string"
+  | Nucleotide -> "nucleotide"
+  | Amino_acid -> "aminoacid"
+  | Dna -> "dna"
+  | Rna -> "rna"
+  | Protein_seq -> "proteinseq"
+  | Gene -> "gene"
+  | Primary_transcript -> "primarytranscript"
+  | Mrna -> "mrna"
+  | Protein -> "protein"
+  | Chromosome -> "chromosome"
+  | Genome -> "genome"
+  | List inner -> Printf.sprintf "list(%s)" (to_string inner)
+  | Uncertain inner -> Printf.sprintf "uncertain(%s)" (to_string inner)
+
+let all_base =
+  [ Bool; Int; Float; String; Nucleotide; Amino_acid; Dna; Rna; Protein_seq;
+    Gene; Primary_transcript; Mrna; Protein; Chromosome; Genome ]
+
+let rec of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let try_constructed prefix make =
+    let pl = String.length prefix in
+    if String.length s > pl + 1
+       && String.sub s 0 (pl + 1) = prefix ^ "("
+       && s.[String.length s - 1] = ')'
+    then
+      let inner = String.sub s (pl + 1) (String.length s - pl - 2) in
+      Option.map make (of_string inner)
+    else None
+  in
+  match List.find_opt (fun b -> to_string b = s) all_base with
+  | Some b -> Some b
+  | None -> (
+      match try_constructed "list" (fun x -> List x) with
+      | Some _ as r -> r
+      | None -> try_constructed "uncertain" (fun x -> Uncertain x))
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,39 @@
+(** Sorts of the Genomics Algebra.
+
+    A sort names a carrier set (paper section 4.2): the genomic data types
+    ([gene], [mrna], [protein], …) plus the base sorts needed to express
+    operator signatures, and two sort constructors — homogeneous lists and
+    uncertainty-carrying values. *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Nucleotide
+  | Amino_acid
+  | Dna
+  | Rna
+  | Protein_seq       (** bare amino-acid sequence *)
+  | Gene
+  | Primary_transcript
+  | Mrna
+  | Protein           (** named protein GDT *)
+  | Chromosome
+  | Genome
+  | List of t
+  | Uncertain of t
+
+val to_string : t -> string
+(** Lower-case name as it appears in signatures, e.g.
+    ["primarytranscript"], ["list(dna)"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val all_base : t list
+(** Every non-constructed sort. *)

@@ -1,0 +1,83 @@
+type t =
+  | Const of Value.t
+  | Var of string * Sort.t
+  | App of string * t list
+
+let const v = Const v
+let var name sort = Var (name, sort)
+let app name args = App (name, args)
+
+let rec sort_check sg ~env = function
+  | Const v -> Ok (Value.sort_of v)
+  | Var (name, sort) -> (
+      match List.assoc_opt name env with
+      | None -> Ok sort
+      | Some bound ->
+          if Sort.equal bound sort then Ok sort
+          else
+            Error
+              (Printf.sprintf "variable %s declared %s but bound at sort %s" name
+                 (Sort.to_string sort) (Sort.to_string bound)))
+  | App (name, args) ->
+      let rec check_args acc = function
+        | [] -> Ok (List.rev acc)
+        | a :: rest -> (
+            match sort_check sg ~env a with
+            | Ok s -> check_args (s :: acc) rest
+            | Error _ as e -> e)
+      in
+      (match check_args [] args with
+      | Error _ as e -> e
+      | Ok arg_sorts -> (
+          match Signature.resolve sg name arg_sorts with
+          | Some op -> Ok op.Signature.result_sort
+          | None ->
+              Error
+                (Printf.sprintf "no operator %s(%s)" name
+                   (String.concat ", " (List.map Sort.to_string arg_sorts)))))
+
+let sort_check_closed sg t =
+  let rec no_vars = function
+    | Const _ -> true
+    | Var _ -> false
+    | App (_, args) -> List.for_all no_vars args
+  in
+  if no_vars t then sort_check sg ~env:[] t
+  else Error "term contains free variables"
+
+let rec eval sg ~env = function
+  | Const v -> Ok v
+  | Var (name, _) -> (
+      match env name with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unbound variable %s" name))
+  | App (name, args) ->
+      let rec eval_args acc = function
+        | [] -> Ok (List.rev acc)
+        | a :: rest -> (
+            match eval sg ~env a with
+            | Ok v -> eval_args (v :: acc) rest
+            | Error _ as e -> e)
+      in
+      (match eval_args [] args with
+      | Error _ as e -> e
+      | Ok values -> Signature.apply sg name values)
+
+let eval_closed sg t = eval sg ~env:(fun _ -> None) t
+
+let vars t =
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var (name, sort) ->
+        if List.mem_assoc name acc then acc else (name, sort) :: acc
+    | App (_, args) -> List.fold_left collect acc args
+  in
+  List.rev (collect [] t)
+
+let rec to_string = function
+  | Const v -> Value.to_display_string v
+  | Var (name, _) -> name
+  | App (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map to_string args))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

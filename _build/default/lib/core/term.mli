@@ -1,0 +1,37 @@
+(** Terms over a signature, with sort checking and evaluation.
+
+    A term is a constant, a sorted variable, or an operator application —
+    e.g. the paper's [translate(splice(transcribe(g)))]. {!sort_check}
+    verifies well-sortedness statically (every application resolves to a
+    registered operator); {!eval} computes the value under a variable
+    binding. *)
+
+type t =
+  | Const of Value.t
+  | Var of string * Sort.t
+  | App of string * t list
+
+val const : Value.t -> t
+val var : string -> Sort.t -> t
+val app : string -> t list -> t
+
+val sort_check :
+  Signature.t -> env:(string * Sort.t) list -> t -> (Sort.t, string) result
+(** The sort of the term, or the first sorting error. Variable sorts must
+    agree with [env] when bound there. *)
+
+val sort_check_closed : Signature.t -> t -> (Sort.t, string) result
+(** Like {!sort_check} with an empty environment (variables are errors). *)
+
+val eval :
+  Signature.t -> env:(string -> Value.t option) -> t -> (Value.t, string) result
+
+val eval_closed : Signature.t -> t -> (Value.t, string) result
+
+val vars : t -> (string * Sort.t) list
+(** Free variables in first-occurrence order, deduplicated. *)
+
+val to_string : t -> string
+(** Concrete syntax: [translate(splice(transcribe(g)))]. *)
+
+val pp : Format.formatter -> t -> unit

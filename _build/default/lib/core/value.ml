@@ -1,0 +1,129 @@
+open Genalg_gdt
+
+type t =
+  | VBool of bool
+  | VInt of int
+  | VFloat of float
+  | VString of string
+  | VNucleotide of Nucleotide.t
+  | VAmino_acid of Amino_acid.t
+  | VDna of Sequence.t
+  | VRna of Sequence.t
+  | VProtein_seq of Sequence.t
+  | VGene of Gene.t
+  | VPrimary of Transcript.primary
+  | VMrna of Transcript.mrna
+  | VProtein of Protein.t
+  | VChromosome of Chromosome.t
+  | VGenome of Genome.t
+  | VList of Sort.t * t list
+  | VUncertain of Sort.t * t Uncertain.t
+
+let sort_of = function
+  | VBool _ -> Sort.Bool
+  | VInt _ -> Sort.Int
+  | VFloat _ -> Sort.Float
+  | VString _ -> Sort.String
+  | VNucleotide _ -> Sort.Nucleotide
+  | VAmino_acid _ -> Sort.Amino_acid
+  | VDna _ -> Sort.Dna
+  | VRna _ -> Sort.Rna
+  | VProtein_seq _ -> Sort.Protein_seq
+  | VGene _ -> Sort.Gene
+  | VPrimary _ -> Sort.Primary_transcript
+  | VMrna _ -> Sort.Mrna
+  | VProtein _ -> Sort.Protein
+  | VChromosome _ -> Sort.Chromosome
+  | VGenome _ -> Sort.Genome
+  | VList (elt, _) -> Sort.List elt
+  | VUncertain (elt, _) -> Sort.Uncertain elt
+
+let dna s = VDna (Sequence.dna s)
+let rna s = VRna (Sequence.rna s)
+let protein_seq s = VProtein_seq (Sequence.protein s)
+
+let vlist elt values =
+  List.iter
+    (fun v ->
+      if not (Sort.equal (sort_of v) elt) then
+        invalid_arg
+          (Printf.sprintf "Value.vlist: element of sort %s in list(%s)"
+             (Sort.to_string (sort_of v)) (Sort.to_string elt)))
+    values;
+  VList (elt, values)
+
+let uncertain u =
+  let sorts = List.map (fun a -> sort_of a.Uncertain.value) (Uncertain.alternatives u) in
+  match sorts with
+  | [] -> invalid_arg "Value.uncertain: empty"
+  | first :: rest ->
+      if List.for_all (Sort.equal first) rest then VUncertain (first, u)
+      else invalid_arg "Value.uncertain: mixed sorts"
+
+let rec equal a b =
+  match a, b with
+  | VBool x, VBool y -> x = y
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> Float.equal x y
+  | VString x, VString y -> x = y
+  | VNucleotide x, VNucleotide y -> Nucleotide.equal x y
+  | VAmino_acid x, VAmino_acid y -> Amino_acid.equal x y
+  | (VDna x | VRna x | VProtein_seq x), (VDna y | VRna y | VProtein_seq y)
+    when Sort.equal (sort_of a) (sort_of b) ->
+      Sequence.equal x y
+  | VGene x, VGene y -> Gene.equal x y
+  | VPrimary x, VPrimary y -> Transcript.equal_primary x y
+  | VMrna x, VMrna y -> Transcript.equal_mrna x y
+  | VProtein x, VProtein y -> Protein.equal x y
+  | VChromosome x, VChromosome y -> Chromosome.equal x y
+  | VGenome x, VGenome y -> Genome.equal x y
+  | VList (sx, xs), VList (sy, ys) ->
+      Sort.equal sx sy && List.length xs = List.length ys && List.for_all2 equal xs ys
+  | VUncertain (sx, ux), VUncertain (sy, uy) ->
+      Sort.equal sx sy && Uncertain.equal equal ux uy
+  | _ -> false
+
+let rec to_display_string = function
+  | VBool b -> string_of_bool b
+  | VInt i -> string_of_int i
+  | VFloat f -> Printf.sprintf "%g" f
+  | VString s -> s
+  | VNucleotide n -> String.make 1 (Nucleotide.to_char n)
+  | VAmino_acid a -> String.make 1 (Amino_acid.to_char a)
+  | VDna s | VRna s | VProtein_seq s -> Sequence.to_string s
+  | VGene g -> Format.asprintf "%a" Gene.pp g
+  | VPrimary p -> Format.asprintf "%a" Transcript.pp_primary p
+  | VMrna m -> Format.asprintf "%a" Transcript.pp_mrna m
+  | VProtein p -> Format.asprintf "%a" Protein.pp p
+  | VChromosome c -> Format.asprintf "%a" Chromosome.pp c
+  | VGenome g -> Format.asprintf "%a" Genome.pp g
+  | VList (_, vs) ->
+      Printf.sprintf "[%s]" (String.concat "; " (List.map to_display_string vs))
+  | VUncertain (_, u) ->
+      let alts = Uncertain.alternatives u in
+      String.concat " | "
+        (List.map
+           (fun a ->
+             Printf.sprintf "%s@%.2f" (to_display_string a.Uncertain.value)
+               a.Uncertain.confidence)
+           alts)
+
+let pp ppf v = Format.pp_print_string ppf (to_display_string v)
+
+let type_err expected v =
+  Error
+    (Printf.sprintf "expected %s, got %s" expected (Sort.to_string (sort_of v)))
+
+let to_bool = function VBool b -> Ok b | v -> type_err "bool" v
+let to_int = function VInt i -> Ok i | v -> type_err "int" v
+
+let to_float = function
+  | VFloat f -> Ok f
+  | VInt i -> Ok (float_of_int i)
+  | v -> type_err "float" v
+
+let to_string_value = function VString s -> Ok s | v -> type_err "string" v
+
+let to_sequence = function
+  | VDna s | VRna s | VProtein_seq s -> Ok s
+  | v -> type_err "sequence" v

@@ -1,0 +1,53 @@
+(** The value universe of the Genomics Algebra.
+
+    Each constructor carries one sort's values; {!sort_of} recovers the
+    sort, which is what the evaluator and the DBMS adapter use to
+    dynamically type-check operator applications. *)
+
+open Genalg_gdt
+
+type t =
+  | VBool of bool
+  | VInt of int
+  | VFloat of float
+  | VString of string
+  | VNucleotide of Nucleotide.t
+  | VAmino_acid of Amino_acid.t
+  | VDna of Sequence.t            (** invariant: alphabet [Dna] *)
+  | VRna of Sequence.t            (** invariant: alphabet [Rna] *)
+  | VProtein_seq of Sequence.t    (** invariant: alphabet [Protein] *)
+  | VGene of Gene.t
+  | VPrimary of Transcript.primary
+  | VMrna of Transcript.mrna
+  | VProtein of Protein.t
+  | VChromosome of Chromosome.t
+  | VGenome of Genome.t
+  | VList of Sort.t * t list      (** element sort, then elements *)
+  | VUncertain of Sort.t * t Uncertain.t
+
+val sort_of : t -> Sort.t
+
+val dna : string -> t
+(** [dna "ACGT"] — convenience constructor; raises on invalid letters. *)
+
+val rna : string -> t
+val protein_seq : string -> t
+
+val vlist : Sort.t -> t list -> t
+(** Raises [Invalid_argument] when an element's sort differs. *)
+
+val uncertain : t Uncertain.t -> t
+(** Wraps; all alternatives must share a sort. *)
+
+val equal : t -> t -> bool
+val to_display_string : t -> string
+(** Human-readable rendering used by the CLI and query results. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_bool : t -> (bool, string) result
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+val to_string_value : t -> (string, string) result
+val to_sequence : t -> (Sequence.t, string) result
+(** Accepts [VDna], [VRna] and [VProtein_seq]. *)

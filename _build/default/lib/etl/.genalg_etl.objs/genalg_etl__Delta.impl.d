@@ -1,0 +1,1 @@
+lib/etl/delta.ml: Entry Format Genalg_formats Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/etl/delta.mli: Entry Format Genalg_formats

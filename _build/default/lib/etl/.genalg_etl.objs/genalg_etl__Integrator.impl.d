@@ -1,0 +1,1 @@
+lib/etl/integrator.ml: Array Entry Float Fun Genalg_align Genalg_formats Genalg_gdt Hashtbl Int List Option Provenance Sequence String Uncertain

@@ -1,0 +1,1 @@
+lib/etl/integrator.mli: Entry Genalg_formats Genalg_gdt Sequence Uncertain

@@ -1,0 +1,1 @@
+lib/etl/loader.ml: Array Delta Entry Genalg_adapter Genalg_core Genalg_formats Genalg_gdt Genalg_storage Gene Integrator List Option Printf Protein Provenance Result Sequence Uncertain Wrapper

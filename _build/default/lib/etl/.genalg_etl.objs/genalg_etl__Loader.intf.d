@@ -1,0 +1,1 @@
+lib/etl/loader.mli: Delta Genalg_core Genalg_storage Integrator

@@ -1,0 +1,1 @@
+lib/etl/monitor.ml: Acedb Array Delta Entry Genalg_align Genalg_formats Hashtbl List Printf Source String Tree_diff

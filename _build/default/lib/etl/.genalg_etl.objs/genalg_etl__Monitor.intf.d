@@ -1,0 +1,1 @@
+lib/etl/monitor.mli: Delta Source

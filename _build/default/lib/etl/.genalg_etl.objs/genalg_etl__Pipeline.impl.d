@@ -1,0 +1,1 @@
+lib/etl/pipeline.ml: Genalg_core Genalg_storage Integrator List Loader Monitor Result Source

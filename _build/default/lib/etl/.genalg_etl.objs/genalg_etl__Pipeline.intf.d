@@ -1,0 +1,1 @@
+lib/etl/pipeline.mli: Genalg_core Genalg_storage Loader Source

@@ -1,0 +1,1 @@
+lib/etl/source.ml: Acedb Delta Entry Feature Genalg_formats Genalg_gdt Genbank List Location Option Printf Sequence String

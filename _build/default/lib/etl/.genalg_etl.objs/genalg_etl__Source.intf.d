@@ -1,0 +1,1 @@
+lib/etl/source.mli: Delta Entry Genalg_formats

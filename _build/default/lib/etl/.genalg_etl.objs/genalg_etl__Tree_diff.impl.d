@@ -1,0 +1,1 @@
+lib/etl/tree_diff.ml: Array Format Genalg_align Genalg_formats List

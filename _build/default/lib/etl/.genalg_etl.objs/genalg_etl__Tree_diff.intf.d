@@ -1,0 +1,1 @@
+lib/etl/tree_diff.mli: Format Genalg_formats

@@ -1,0 +1,1 @@
+lib/etl/wrapper.ml: Entry Feature Fun Genalg_formats Genalg_gdt Gene List Location Printf Provenance Sequence

@@ -1,0 +1,1 @@
+lib/etl/wrapper.mli: Entry Feature Genalg_formats Genalg_gdt Gene Provenance

@@ -1,0 +1,56 @@
+open Genalg_formats
+
+type t = {
+  id : int;
+  item : string;
+  before : Entry.t option;
+  after : Entry.t option;
+  timestamp : float;
+}
+
+type kind = Insertion | Deletion | Modification
+
+let kind t =
+  match t.before, t.after with
+  | None, Some _ -> Insertion
+  | Some _, None -> Deletion
+  | Some _, Some _ -> Modification
+  | None, None -> invalid_arg "Delta.kind: empty delta"
+
+let insertion ~id ~timestamp e =
+  { id; item = e.Entry.accession; before = None; after = Some e; timestamp }
+
+let deletion ~id ~timestamp e =
+  { id; item = e.Entry.accession; before = Some e; after = None; timestamp }
+
+let modification ~id ~timestamp ~before ~after =
+  { id; item = after.Entry.accession; before = Some before; after = Some after; timestamp }
+
+let apply deltas entries =
+  let order = List.map (fun (e : Entry.t) -> e.Entry.accession) entries in
+  let state = Hashtbl.create 64 in
+  List.iter (fun (e : Entry.t) -> Hashtbl.replace state e.Entry.accession e) entries;
+  let appended = ref [] in
+  List.iter
+    (fun d ->
+      match kind d with
+      | Insertion ->
+          let e = Option.get d.after in
+          if not (Hashtbl.mem state d.item) then appended := d.item :: !appended;
+          Hashtbl.replace state d.item e
+      | Deletion -> Hashtbl.remove state d.item
+      | Modification -> Hashtbl.replace state d.item (Option.get d.after))
+    deltas;
+  let surviving = List.filter_map (fun acc -> Hashtbl.find_opt state acc) order in
+  let inserted =
+    List.filter_map (fun acc -> Hashtbl.find_opt state acc) (List.rev !appended)
+  in
+  surviving @ inserted
+
+let pp ppf t =
+  let k = match kind t with
+    | Insertion -> "insert"
+    | Deletion -> "delete"
+    | Modification -> "modify"
+  in
+  Format.fprintf ppf "delta#%d %s %s @%g" t.id k t.item t.timestamp

@@ -1,0 +1,32 @@
+(** Deltas: the change representation of paper section 5.2.
+
+    "Each delta must be uniquely identifiable and contain (a) information
+    about the data item to which it belongs and (b) the a priori and a
+    posteriori data and the time stamp for when the update became
+    effective." *)
+
+open Genalg_formats
+
+type t = {
+  id : int;                  (** unique within a source's history *)
+  item : string;             (** accession of the data item *)
+  before : Entry.t option;   (** a priori data; [None] for inserts *)
+  after : Entry.t option;    (** a posteriori data; [None] for deletes *)
+  timestamp : float;
+}
+
+type kind = Insertion | Deletion | Modification
+
+val kind : t -> kind
+(** Raises [Invalid_argument] on a delta with neither side (never built
+    by this library). *)
+
+val insertion : id:int -> timestamp:float -> Entry.t -> t
+val deletion : id:int -> timestamp:float -> Entry.t -> t
+val modification : id:int -> timestamp:float -> before:Entry.t -> after:Entry.t -> t
+
+val apply : t list -> Entry.t list -> Entry.t list
+(** Replay deltas over a repository state (keyed by accession; insertion
+    order preserved, inserts appended). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,307 @@
+open Genalg_gdt
+open Genalg_formats
+module Db = Genalg_storage.Database
+module Table = Genalg_storage.Table
+module Schema = Genalg_storage.Schema
+module D = Genalg_storage.Dtype
+
+type stats = {
+  entries : int;
+  genes : int;
+  proteins : int;
+  conflicts : int;
+}
+
+let zero_stats = { entries = 0; genes = 0; proteins = 0; conflicts = 0 }
+
+let add_stats a b =
+  {
+    entries = a.entries + b.entries;
+    genes = a.genes + b.genes;
+    proteins = a.proteins + b.proteins;
+    conflicts = a.conflicts + b.conflicts;
+  }
+
+let ( let* ) = Result.bind
+
+let actor = Db.loader_actor
+
+let col name dtype = { Schema.name; dtype; nullable = false }
+let col_null name dtype = { Schema.name; dtype; nullable = true }
+
+let sequences_schema () =
+  Schema.make_exn
+    [
+      col "accession" D.TString;
+      col "version" D.TInt;
+      col "source" D.TString;
+      col "organism" D.TString;
+      col_null "definition" D.TString;
+      col "seq" (D.TOpaque "dna");
+      col "length" D.TInt;
+      col "gc" D.TFloat;
+      col "consistent" D.TBool;
+    ]
+
+let genes_schema () =
+  Schema.make_exn
+    [
+      col "id" D.TString;
+      col "accession" D.TString;
+      col "gene" (D.TOpaque "gene");
+      col "exon_count" D.TInt;
+      col "length" D.TInt;
+    ]
+
+let proteins_schema () =
+  Schema.make_exn
+    [
+      col "id" D.TString;
+      col "accession" D.TString;
+      col "protein" (D.TOpaque "protein");
+      col "length" D.TInt;
+      col "weight" D.TFloat;
+    ]
+
+let history_schema () =
+  Schema.make_exn
+    [
+      col "accession" D.TString;
+      col "version" D.TInt;
+      col "source" D.TString;
+      col "replaced_at" D.TFloat;
+      col "seq" (D.TOpaque "dna");
+    ]
+
+let conflicts_schema () =
+  Schema.make_exn
+    [
+      col "accession" D.TString;
+      col "rank" D.TInt;
+      col "confidence" D.TFloat;
+      col "source" D.TString;
+      col "seq" (D.TOpaque "dna");
+    ]
+
+let init db signature =
+  Genalg_adapter.Adapter.attach db signature;
+  let* seq_table =
+    Db.create_table db ~actor ~space:Db.Public ~name:"sequences" (sequences_schema ())
+  in
+  let* gene_table =
+    Db.create_table db ~actor ~space:Db.Public ~name:"genes" (genes_schema ())
+  in
+  let* protein_table =
+    Db.create_table db ~actor ~space:Db.Public ~name:"proteins" (proteins_schema ())
+  in
+  let* _ =
+    Db.create_table db ~actor ~space:Db.Public ~name:"conflicts" (conflicts_schema ())
+  in
+  let* _ =
+    Db.create_table db ~actor ~space:Db.Public ~name:"history" (history_schema ())
+  in
+  let* () = Table.create_index seq_table ~column:"accession" in
+  let* () = Table.create_index gene_table ~column:"accession" in
+  let* () = Table.create_index protein_table ~column:"accession" in
+  Ok ()
+
+let dna_value seq = D.Opaque ("dna", Sequence.to_bytes seq)
+
+let gene_value g = D.Opaque ("gene", Genalg_adapter.Codec.encode_gene g)
+
+let gc_of seq =
+  let n = Sequence.length seq in
+  if n = 0 then 0. else float_of_int (Sequence.gc_count seq) /. float_of_int n
+
+let sequence_row ~source (e : Entry.t) ~consistent ~sequence =
+  [|
+    D.Str e.Entry.accession;
+    D.Int e.Entry.version;
+    D.Str source;
+    D.Str e.Entry.organism;
+    D.Str e.Entry.definition;
+    dna_value sequence;
+    D.Int (Sequence.length sequence);
+    D.Float (gc_of sequence);
+    D.Bool consistent;
+  |]
+
+let gene_rows ~accession genes =
+  List.map
+    (fun (g : Gene.t) ->
+      [|
+        D.Str g.Gene.id;
+        D.Str accession;
+        gene_value g;
+        D.Int (Gene.exon_count g);
+        D.Int (Gene.length g);
+      |])
+    genes
+
+let protein_value p = D.Opaque ("protein", Genalg_adapter.Codec.encode_protein p)
+
+(* decode every extracted gene; genes without a clean translation are
+   simply not represented in [proteins] *)
+let protein_rows ~accession genes =
+  List.filter_map
+    (fun (g : Gene.t) ->
+      match Genalg_core.Ops.decode g with
+      | Error _ -> None
+      | Ok p ->
+          Some
+            [|
+              D.Str p.Protein.id;
+              D.Str accession;
+              protein_value p;
+              D.Int (Protein.length p);
+              D.Float (Protein.molecular_weight p);
+            |])
+    genes
+
+let insert_entry db ~source (e : Entry.t) ~consistent ~sequence =
+  let* _ =
+    Db.insert db ~actor ~space:Db.Public ~table:"sequences"
+      (sequence_row ~source e ~consistent ~sequence)
+  in
+  let extracted = Wrapper.extract ~source e in
+  let rec insert_rows table n = function
+    | [] -> Ok n
+    | row :: rest ->
+        let* _ = Db.insert db ~actor ~space:Db.Public ~table row in
+        insert_rows table (n + 1) rest
+  in
+  let* gene_count =
+    insert_rows "genes" 0 (gene_rows ~accession:e.Entry.accession extracted.Wrapper.genes)
+  in
+  let* protein_count =
+    insert_rows "proteins" 0
+      (protein_rows ~accession:e.Entry.accession extracted.Wrapper.genes)
+  in
+  Ok { entries = 1; genes = gene_count; proteins = protein_count; conflicts = 0 }
+
+let insert_conflicts db ~accession alternatives =
+  let rec loop rank n = function
+    | [] -> Ok n
+    | (alt : Sequence.t Uncertain.alternative) :: rest ->
+        let source =
+          match alt.Uncertain.provenance with
+          | Some p -> p.Provenance.source
+          | None -> "?"
+        in
+        let* _ =
+          Db.insert db ~actor ~space:Db.Public ~table:"conflicts"
+            [|
+              D.Str accession;
+              D.Int rank;
+              D.Float alt.Uncertain.confidence;
+              D.Str source;
+              dna_value alt.Uncertain.value;
+            |]
+        in
+        loop (rank + 1) (n + 1) rest
+  in
+  loop 1 0 alternatives
+
+let load_merged db merged =
+  let rec loop stats = function
+    | [] -> Ok stats
+    | (m : Integrator.merged) :: rest ->
+        let source =
+          match m.Integrator.members with (src, _) :: _ -> src | [] -> "?"
+        in
+        let best_sequence = Uncertain.best m.Integrator.sequence in
+        let* s =
+          insert_entry db ~source m.Integrator.canonical
+            ~consistent:m.Integrator.consistent ~sequence:best_sequence
+        in
+        let* conflict_count =
+          if m.Integrator.consistent then Ok 0
+          else
+            insert_conflicts db
+              ~accession:m.Integrator.canonical.Entry.accession
+              (Uncertain.alternatives m.Integrator.sequence)
+        in
+        loop (add_stats stats (add_stats s { zero_stats with conflicts = conflict_count })) rest
+  in
+  loop zero_stats merged
+
+let table_exn db name =
+  match Db.find_table db ~space:Db.Public name with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "warehouse table %s missing (run Loader.init)" name)
+
+let delete_where db name pred =
+  let* table = table_exn db name in
+  let victims = ref [] in
+  Table.scan table (fun rid row -> if pred row then victims := rid :: !victims);
+  List.iter (fun rid -> ignore (Table.delete table rid)) !victims;
+  Ok (List.length !victims)
+
+let clear db =
+  let* _ = delete_where db "sequences" (fun _ -> true) in
+  let* _ = delete_where db "genes" (fun _ -> true) in
+  let* _ = delete_where db "proteins" (fun _ -> true) in
+  let* _ = delete_where db "conflicts" (fun _ -> true) in
+  let* _ = delete_where db "history" (fun _ -> true) in
+  Ok ()
+
+let accession_matches accession row =
+  match row.(0) with D.Str s -> s = accession | _ -> false
+
+let gene_accession_matches accession (row : D.value array) =
+  match row.(1) with D.Str s -> s = accession | _ -> false
+
+let remove_accession db accession =
+  let* _ = delete_where db "sequences" (accession_matches accession) in
+  let* _ = delete_where db "genes" (gene_accession_matches accession) in
+  let* _ = delete_where db "proteins" (gene_accession_matches accession) in
+  let* _ = delete_where db "conflicts" (accession_matches accession) in
+  Ok ()
+
+(* archive the a-priori data of a replaced or deleted record (the delta's
+   "a priori" side, section 5.2; archival requirement C15) *)
+let archive db ~source ~timestamp (before : Entry.t) =
+  let* _ =
+    Db.insert db ~actor ~space:Db.Public ~table:"history"
+      [|
+        D.Str before.Entry.accession;
+        D.Int before.Entry.version;
+        D.Str source;
+        D.Float timestamp;
+        dna_value before.Entry.sequence;
+      |]
+  in
+  Ok ()
+
+let incremental db ~source deltas =
+  let rec loop stats = function
+    | [] -> Ok stats
+    | (d : Delta.t) :: rest -> (
+        match Delta.kind d with
+        | Delta.Deletion ->
+            let* () =
+              match d.Delta.before with
+              | Some before -> archive db ~source ~timestamp:d.Delta.timestamp before
+              | None -> Ok ()
+            in
+            let* () = remove_accession db d.Delta.item in
+            loop stats rest
+        | Delta.Insertion ->
+            (* upsert: a source may re-announce an accession it already
+               holds; the warehouse must not grow duplicate rows *)
+            let e = Option.get d.Delta.after in
+            let* () = remove_accession db d.Delta.item in
+            let* s = insert_entry db ~source e ~consistent:true ~sequence:e.Entry.sequence in
+            loop (add_stats stats s) rest
+        | Delta.Modification ->
+            let e = Option.get d.Delta.after in
+            let* () =
+              match d.Delta.before with
+              | Some before -> archive db ~source ~timestamp:d.Delta.timestamp before
+              | None -> Ok ()
+            in
+            let* () = remove_accession db d.Delta.item in
+            let* s = insert_entry db ~source e ~consistent:true ~sequence:e.Entry.sequence in
+            loop (add_stats stats s) rest)
+  in
+  loop zero_stats deltas

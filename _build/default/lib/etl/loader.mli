@@ -1,0 +1,50 @@
+(** The loader: final ETL stage, materializing reconciled data in the
+    Unifying Database's public space.
+
+    Warehouse schema (all in the public space, owned by the ETL actor):
+    - [sequences](accession, version, source, organism, definition,
+      seq dna, length, gc, consistent) — one row per merged record, the
+      best-confidence sequence;
+    - [genes](id, accession, gene, exon_count, length) — one row per CDS
+      extracted by the wrapper, as an opaque [gene] UDT value;
+    - [proteins](id, accession, protein, length, weight) — the decoded
+      product of every gene whose CDS translates (the central dogma run
+      at load time: the "low-level treatment" requirement C12 inverted);
+    - [conflicts](accession, rank, confidence, source, seq dna) — every
+      uncertainty alternative of inconsistent records (C9);
+    - [history](accession, version, source, replaced_at, seq dna) — the
+      a-priori data of every replaced or deleted record (section 5.2's
+      delta contents; the archival requirement C15: deleted repository
+      contents remain queryable).
+
+    Supports both a full (re)load and a self-maintainable incremental
+    load driven purely by deltas — the view-maintenance dichotomy of
+    section 5.2. *)
+
+module Db := Genalg_storage.Database
+
+type stats = {
+  entries : int;
+  genes : int;
+  proteins : int;
+  conflicts : int;
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val init : Db.t -> Genalg_core.Signature.t -> (unit, string) result
+(** Create the warehouse tables (indexes on accession), attach the
+    adapter. Idempotent-unsafe: call once per database. *)
+
+val load_merged : Db.t -> Integrator.merged list -> (stats, string) result
+(** Append merged records (and their genes and conflicts). *)
+
+val clear : Db.t -> (unit, string) result
+(** Delete all warehouse rows (for full-reload experiments). *)
+
+val incremental : Db.t -> source:string -> Delta.t list -> (stats, string) result
+(** Self-maintainable maintenance: apply source deltas directly to the
+    warehouse by accession — deletions remove rows, insertions add rows,
+    modifications replace rows — without consulting any source. Positive
+    [stats] fields count rows written. *)

@@ -1,0 +1,55 @@
+module Db = Genalg_storage.Database
+
+type t = {
+  db : Db.t;
+  monitors : (Source.t * Monitor.t) list;
+}
+
+let ( let* ) = Result.bind
+
+let create ?signature ~sources () =
+  let signature =
+    match signature with Some s -> s | None -> Genalg_core.Builtin.create ()
+  in
+  let db = Db.create () in
+  let* () = Loader.init db signature in
+  let rec attach acc = function
+    | [] -> Ok (List.rev acc)
+    | src :: rest ->
+        let* m = Monitor.create src in
+        attach ((src, m) :: acc) rest
+  in
+  let* monitors = attach [] sources in
+  Ok { db; monitors }
+
+let database t = t.db
+let sources t = List.map fst t.monitors
+
+let all_entries source =
+  match Source.query_all source with
+  | Ok entries -> Ok entries
+  | Error _ ->
+      (* non-queryable: go through the offline dump *)
+      Source.parse_dump (Source.representation source) (Source.dump source)
+
+let bootstrap t =
+  let* sourced =
+    List.fold_left
+      (fun acc (src, _) ->
+        let* acc = acc in
+        let* entries = all_entries src in
+        Ok (acc @ List.map (fun e -> (Source.name src, e)) entries))
+      (Ok []) t.monitors
+  in
+  let merged = Integrator.reconcile sourced in
+  Loader.load_merged t.db merged
+
+let refresh t =
+  List.fold_left
+    (fun acc (src, monitor) ->
+      let* stats, count = acc in
+      let deltas = Monitor.poll monitor in
+      let* s = Loader.incremental t.db ~source:(Source.name src) deltas in
+      Ok (Loader.add_stats stats s, count + List.length deltas))
+    (Ok (Loader.zero_stats, 0))
+    t.monitors

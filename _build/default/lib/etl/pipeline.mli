@@ -1,0 +1,32 @@
+(** The assembled ETL pipeline of Figure 3: sources → monitors → wrappers
+    → integrator → loader → Unifying Database.
+
+    Owns a database and one monitor per source. {!bootstrap} performs the
+    initial cross-source reconciliation and full load; {!refresh} polls
+    every monitor and applies the detected deltas incrementally. Refresh
+    is manual by design — the paper's "manual refresh option … allows the
+    biologist to defer or advance updates depending on the situation". *)
+
+module Db := Genalg_storage.Database
+
+type t
+
+val create :
+  ?signature:Genalg_core.Signature.t ->
+  sources:Source.t list ->
+  unit ->
+  (t, string) result
+(** Build the pipeline: fresh database, adapter attached, warehouse
+    tables created, monitors attached (sources on N/A Figure 2 cells are
+    rejected). No data is loaded yet. *)
+
+val database : t -> Db.t
+val sources : t -> Source.t list
+
+val bootstrap : t -> (Loader.stats, string) result
+(** Initial load: read every source in full (via its dump for
+    non-queryable sources), reconcile across sources, load. *)
+
+val refresh : t -> (Loader.stats * int, string) result
+(** Poll all monitors; apply deltas incrementally. Returns load stats and
+    the number of deltas processed. *)

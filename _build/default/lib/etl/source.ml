@@ -1,0 +1,204 @@
+open Genalg_gdt
+open Genalg_formats
+
+type capability = Active | Logged | Queryable | Non_queryable
+type representation = Relational | Flat_file | Hierarchical
+
+type update =
+  | Insert of Entry.t
+  | Delete of string
+  | Modify of Entry.t
+
+type t = {
+  name : string;
+  capability : capability;
+  representation : representation;
+  mutable entries : Entry.t list;
+  mutable log : Delta.t list; (* newest first *)
+  mutable subscribers : (Delta.t -> unit) list;
+  mutable next_delta : int;
+  mutable clock : float;
+}
+
+let create ~name capability representation entries =
+  { name; capability; representation; entries; log = []; subscribers = [];
+    next_delta = 1; clock = 0. }
+
+let name t = t.name
+let capability t = t.capability
+let representation t = t.representation
+let entries t = t.entries
+
+let find t accession =
+  List.find_opt (fun (e : Entry.t) -> e.Entry.accession = accession) t.entries
+
+let delta_of_update t u =
+  t.clock <- t.clock +. 1.;
+  let id = t.next_delta in
+  t.next_delta <- id + 1;
+  match u with
+  | Insert e -> Some (Delta.insertion ~id ~timestamp:t.clock e)
+  | Delete accession -> (
+      match find t accession with
+      | Some before -> Some (Delta.deletion ~id ~timestamp:t.clock before)
+      | None ->
+          t.next_delta <- id;
+          None)
+  | Modify e -> (
+      match find t e.Entry.accession with
+      | Some before -> Some (Delta.modification ~id ~timestamp:t.clock ~before ~after:e)
+      | None -> Some (Delta.insertion ~id ~timestamp:t.clock e))
+
+let apply t updates =
+  List.iter
+    (fun u ->
+      match delta_of_update t u with
+      | None -> ()
+      | Some d ->
+          t.entries <- Delta.apply [ d ] t.entries;
+          if t.capability = Logged then t.log <- d :: t.log;
+          if t.capability = Active then List.iter (fun f -> f d) t.subscribers)
+    updates
+
+let subscribe t callback =
+  match t.capability with
+  | Active ->
+      t.subscribers <- callback :: t.subscribers;
+      Ok ()
+  | Logged | Queryable | Non_queryable ->
+      Error (Printf.sprintf "source %s is not active" t.name)
+
+let read_log t ~since =
+  match t.capability with
+  | Logged -> Ok (List.rev (List.filter (fun (d : Delta.t) -> d.Delta.id > since) t.log))
+  | Active | Queryable | Non_queryable ->
+      Error (Printf.sprintf "source %s keeps no log" t.name)
+
+let query_all t =
+  match t.capability with
+  | Non_queryable -> Error (Printf.sprintf "source %s is not queryable" t.name)
+  | Active | Logged | Queryable -> Ok t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+
+let clean field =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) field
+
+let feature_to_field (f : Feature.t) =
+  Printf.sprintf "%s@%s@%s"
+    (Feature.kind_to_string f.Feature.kind)
+    (Location.to_string f.Feature.location)
+    (String.concat ","
+       (List.map (fun (k, v) -> k ^ "=" ^ clean v) f.Feature.qualifiers))
+
+let feature_of_field s =
+  match String.split_on_char '@' s with
+  | [ kind; loc; quals ] -> (
+      match Location.of_string loc with
+      | Error msg -> Error msg
+      | Ok location ->
+          let qualifiers =
+            if quals = "" then []
+            else
+              List.filter_map
+                (fun kv ->
+                  match String.index_opt kv '=' with
+                  | None -> None
+                  | Some i ->
+                      Some
+                        ( String.sub kv 0 i,
+                          String.sub kv (i + 1) (String.length kv - i - 1) ))
+                (String.split_on_char ',' quals)
+          in
+          Ok (Feature.make ~qualifiers (Feature.kind_of_string kind) location))
+  | _ -> Error (Printf.sprintf "bad feature field %S" s)
+
+let relational_row (e : Entry.t) =
+  String.concat "\t"
+    [
+      e.Entry.accession;
+      string_of_int e.Entry.version;
+      clean e.Entry.definition;
+      clean e.Entry.organism;
+      String.concat ";" (List.map clean e.Entry.keywords);
+      String.concat "|" (List.map feature_to_field e.Entry.features);
+      Sequence.to_string e.Entry.sequence;
+    ]
+
+let relational_row_parse line =
+  match String.split_on_char '\t' line with
+  | [ accession; version; definition; organism; keywords; features; seq ] -> (
+      let version = Option.value (int_of_string_opt version) ~default:1 in
+      let keywords =
+        if keywords = "" then [] else String.split_on_char ';' keywords
+      in
+      let feature_fields =
+        if features = "" then [] else String.split_on_char '|' features
+      in
+      let rec parse_features acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+            match feature_of_field f with
+            | Ok feat -> parse_features (feat :: acc) rest
+            | Error _ as e -> e)
+      in
+      match parse_features [] feature_fields with
+      | Error _ as e -> e
+      | Ok features -> (
+          match Sequence.of_string Sequence.Dna seq with
+          | Error msg -> Error msg
+          | Ok sequence ->
+              Ok
+                (Entry.make ~version ~definition ~organism ~features ~keywords
+                   ~accession sequence)))
+  | _ -> Error (Printf.sprintf "bad relational row: %d fields"
+                  (List.length (String.split_on_char '\t' line)))
+
+let dump t =
+  match t.representation with
+  | Flat_file -> Genbank.print t.entries
+  | Hierarchical ->
+      String.concat "" (List.map (fun e -> Acedb.print (Acedb.of_entry e)) t.entries)
+  | Relational ->
+      String.concat "" (List.map (fun e -> relational_row e ^ "\n") t.entries)
+
+let parse_dump representation text =
+  match representation with
+  | Flat_file -> Genbank.parse text
+  | Relational ->
+      let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest -> (
+            match relational_row_parse l with
+            | Ok e -> parse (e :: acc) rest
+            | Error _ as err -> err)
+      in
+      parse [] lines
+  | Hierarchical ->
+      (* split on unindented lines *)
+      let lines = String.split_on_char '\n' text in
+      let chunks = ref [] and current = ref [] in
+      List.iter
+        (fun line ->
+          if String.trim line = "" then ()
+          else if line.[0] <> ' ' && !current <> [] then begin
+            chunks := List.rev !current :: !chunks;
+            current := [ line ]
+          end
+          else current := line :: !current)
+        lines;
+      if !current <> [] then chunks := List.rev !current :: !chunks;
+      let chunks = List.rev !chunks in
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | chunk :: rest -> (
+            match Acedb.parse (String.concat "\n" chunk) with
+            | Error _ as e -> e
+            | Ok tree -> (
+                match Acedb.to_entry tree with
+                | Ok e -> parse (e :: acc) rest
+                | Error _ as err -> err))
+      in
+      parse [] chunks

@@ -1,0 +1,60 @@
+(** Simulated genomic data sources spanning the paper's Figure 2 grid.
+
+    A source has a {e capability} (what the monitor may do with it) and a
+    {e representation} (how its data look from outside):
+
+    - [Active] sources push change notifications to subscribers;
+    - [Logged] sources keep a queryable change log;
+    - [Queryable] sources answer full-content queries (the monitor polls
+      and diffs);
+    - [Non_queryable] sources only publish periodic textual dumps.
+
+    Representations: [Relational] (rows), [Flat_file] (GenBank text),
+    [Hierarchical] (AceDB-like trees). *)
+
+open Genalg_formats
+
+type capability = Active | Logged | Queryable | Non_queryable
+type representation = Relational | Flat_file | Hierarchical
+
+type update =
+  | Insert of Entry.t
+  | Delete of string
+  | Modify of Entry.t
+
+type t
+
+val create :
+  name:string -> capability -> representation -> Entry.t list -> t
+
+val name : t -> string
+val capability : t -> capability
+val representation : t -> representation
+
+val entries : t -> Entry.t list
+(** Current content, for test assertions — monitors must not call this on
+    non-queryable sources; use the capability-specific accessors below. *)
+
+val apply : t -> update list -> unit
+(** The source's own write path: updates its content, appends to the log
+    when [Logged], and fires subscriber callbacks when [Active]. *)
+
+(** {1 Capability-specific access} *)
+
+val subscribe : t -> (Delta.t -> unit) -> (unit, string) result
+(** [Active] sources only. *)
+
+val read_log : t -> since:int -> (Delta.t list, string) result
+(** [Logged] sources only: deltas with id > [since]. *)
+
+val query_all : t -> (Entry.t list, string) result
+(** [Queryable] (and [Active]/[Logged]) sources. Fails for
+    [Non_queryable]. *)
+
+val dump : t -> string
+(** Textual snapshot in the source's representation — always available
+    (the paper's "periodic data dumps provided off-line"). Relational
+    sources dump tab-separated rows with an accession key column. *)
+
+val parse_dump : representation -> string -> (Entry.t list, string) result
+(** Re-read a dump (used by monitors over non-queryable sources). *)

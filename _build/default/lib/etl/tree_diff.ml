@@ -1,0 +1,72 @@
+module Acedb = Genalg_formats.Acedb
+module Lcs = Genalg_align.Lcs
+
+type edit =
+  | Relabel of { path : string; before : string; after : string }
+  | Insert_subtree of { path : string; node : Acedb.node }
+  | Delete_subtree of { path : string; node : Acedb.node }
+
+let rec diff_nodes path (a : Acedb.node) (b : Acedb.node) acc =
+  if a.Acedb.tag <> b.Acedb.tag then
+    Insert_subtree { path; node = b } :: Delete_subtree { path; node = a } :: acc
+  else begin
+    let here = if path = "" then a.Acedb.tag else path ^ "/" ^ a.Acedb.tag in
+    let acc =
+      if a.Acedb.value <> b.Acedb.value then
+        Relabel { path = here; before = a.Acedb.value; after = b.Acedb.value } :: acc
+      else acc
+    in
+    (* match identical child subtrees with an LCS, then pair leftover
+       removed/added children by tag (in order) and recurse on the pairs *)
+    let script =
+      Lcs.diff ~equal:Acedb.equal
+        (Array.of_list a.Acedb.children)
+        (Array.of_list b.Acedb.children)
+    in
+    let removed =
+      List.filter_map (function Lcs.Remove n -> Some n | _ -> None) script
+    in
+    let added =
+      List.filter_map (function Lcs.Add n -> Some n | _ -> None) script
+    in
+    let rec pair acc removed added =
+      match removed with
+      | [] ->
+          List.fold_left
+            (fun acc n -> Insert_subtree { path = here; node = n } :: acc)
+            acc added
+      | (r : Acedb.node) :: rrest -> (
+          (* first added node with the same tag pairs with r *)
+          let rec take seen = function
+            | [] -> None
+            | (x : Acedb.node) :: xs ->
+                if x.Acedb.tag = r.Acedb.tag then Some (x, List.rev_append seen xs)
+                else take (x :: seen) xs
+          in
+          match take [] added with
+          | Some (partner, rest_added) ->
+              let acc = diff_nodes here r partner acc in
+              pair acc rrest rest_added
+          | None -> pair (Delete_subtree { path = here; node = r } :: acc) rrest added)
+    in
+    pair acc removed added
+  end
+
+let diff a b = List.rev (diff_nodes "" a b [])
+
+let cost edits =
+  List.fold_left
+    (fun acc -> function
+      | Relabel _ -> acc + 1
+      | Insert_subtree { node; _ } | Delete_subtree { node; _ } -> acc + Acedb.size node)
+    0 edits
+
+let pp_edit ppf = function
+  | Relabel { path; before; after } ->
+      Format.fprintf ppf "relabel %s: %S -> %S" path before after
+  | Insert_subtree { path; node } ->
+      Format.fprintf ppf "insert under %s: %s (%d nodes)" path node.Acedb.tag
+        (Acedb.size node)
+  | Delete_subtree { path; node } ->
+      Format.fprintf ppf "delete under %s: %s (%d nodes)" path node.Acedb.tag
+        (Acedb.size node)

@@ -1,0 +1,24 @@
+(** Ordered-tree diff for hierarchical (AceDB-like) records — our
+    [acediff]: Figure 2 prescribes edit sequences over successive
+    hierarchical snapshots.
+
+    Identical subtrees are matched by an LCS over each node's child list;
+    removed/added children with equal tags are paired and diffed
+    recursively, so a one-field change deep in a record costs one relabel
+    rather than a whole-subtree replacement. *)
+
+type edit =
+  | Relabel of { path : string; before : string; after : string }
+      (** node value changed *)
+  | Insert_subtree of { path : string; node : Genalg_formats.Acedb.node }
+  | Delete_subtree of { path : string; node : Genalg_formats.Acedb.node }
+
+val diff : Genalg_formats.Acedb.node -> Genalg_formats.Acedb.node -> edit list
+(** Edit script from the first tree to the second; [] iff equal. Roots
+    with different tags yield a delete+insert of whole trees. Paths are
+    slash-separated tag sequences, e.g. ["Sequence/Feature"]. *)
+
+val cost : edit list -> int
+(** Relabels count 1; inserted/deleted subtrees count their node count. *)
+
+val pp_edit : Format.formatter -> edit -> unit

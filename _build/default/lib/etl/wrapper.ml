@@ -1,0 +1,88 @@
+open Genalg_gdt
+open Genalg_formats
+
+type extracted = {
+  entry : Entry.t;
+  provenance : Provenance.t;
+  genes : Gene.t list;
+  skipped_features : int;
+}
+
+(* Flatten a location into forward 1-based (lo, hi) spans, or None when it
+   mixes strands (inner complements inside joins). *)
+let rec forward_spans = function
+  | Location.Point n -> Some [ (n, n) ]
+  | Location.Range (lo, hi) -> Some [ (lo, hi) ]
+  | Location.Join parts ->
+      let rec collect acc = function
+        | [] -> Some (List.concat (List.rev acc))
+        | p :: rest -> (
+            match forward_spans p with
+            | Some spans -> collect (spans :: acc) rest
+            | None -> None)
+      in
+      collect [] parts
+  | Location.Complement _ -> None
+
+let gene_of_cds (entry : Entry.t) (f : Feature.t) ~id =
+  let location = f.Feature.location in
+  let reverse, inner =
+    match location with
+    | Location.Complement inner -> (true, inner)
+    | other -> (false, other)
+  in
+  match forward_spans inner with
+  | None -> None
+  | Some [] -> None
+  | Some spans ->
+      let lo = List.fold_left (fun acc (l, _) -> min acc l) max_int spans in
+      let hi = List.fold_left (fun acc (_, h) -> max acc h) min_int spans in
+      if lo < 1 || hi > Sequence.length entry.Entry.sequence then None
+      else begin
+        let region = Sequence.sub entry.Entry.sequence ~pos:(lo - 1) ~len:(hi - lo + 1) in
+        if reverse then begin
+          (* sense strand of the CDS: reverse-complement the covering
+             region; exon spans flip end-for-end *)
+          let region = Sequence.reverse_complement region in
+          let total = Sequence.length region in
+          let exons =
+            spans
+            |> List.map (fun (l, h) ->
+                   let off_fwd = l - lo and len = h - l + 1 in
+                   (total - (off_fwd + len), len))
+            |> List.sort compare
+          in
+          match Gene.make ~exons ~id region with Ok g -> Some g | Error _ -> None
+        end
+        else begin
+          let exons =
+            List.sort compare (List.map (fun (l, h) -> (l - lo, h - l + 1)) spans)
+          in
+          match Gene.make ~exons ~id region with Ok g -> Some g | Error _ -> None
+        end
+      end
+
+let extract ~source (entry : Entry.t) =
+  let provenance =
+    Provenance.make ~version:entry.Entry.version ~source
+      ~record_id:entry.Entry.accession ()
+  in
+  let skipped = ref 0 in
+  let genes =
+    List.filter (fun (f : Feature.t) -> f.Feature.kind = Feature.Cds)
+      entry.Entry.features
+    |> List.mapi (fun i f ->
+           let label =
+             match Feature.name f with
+             | Some n -> n
+             | None -> Printf.sprintf "cds%d" (i + 1)
+           in
+           let id = Printf.sprintf "%s:%s" entry.Entry.accession label in
+           match gene_of_cds entry f ~id with
+           | Some g -> Some (Gene.with_provenance g provenance)
+           | None ->
+               incr skipped;
+               None)
+    |> List.filter_map Fun.id
+  in
+  { entry; provenance; genes; skipped_features = !skipped }

@@ -1,0 +1,25 @@
+(** Source wrappers: restructure repository entries into GDT values.
+
+    The ETL's second stage (paper section 5.1): "extracting relevant new or
+    changed data from the sources and restructuring the data into the
+    corresponding types provided by the Genomics Algebra." *)
+
+open Genalg_gdt
+open Genalg_formats
+
+type extracted = {
+  entry : Entry.t;
+  provenance : Provenance.t;
+  genes : Gene.t list;     (** one per CDS feature whose location is usable *)
+  skipped_features : int;  (** CDS features whose locations could not be
+                               converted (e.g. inner-complement joins) *)
+}
+
+val extract : source:string -> Entry.t -> extracted
+(** Gene ids are ["<accession>:<gene qualifier or CDS index>"]. A CDS
+    location of the form [range], [join(ranges)] or [complement(...)] of
+    those becomes a gene whose DNA is the covering genomic span (sense
+    strand of the CDS) and whose exons are the located spans. *)
+
+val gene_of_cds : Entry.t -> Feature.t -> id:string -> Gene.t option
+(** The single-feature core of {!extract}. *)

@@ -1,0 +1,1 @@
+lib/formats/acedb.ml: Buffer Entry Feature Genalg_gdt List Location Printf Sequence String

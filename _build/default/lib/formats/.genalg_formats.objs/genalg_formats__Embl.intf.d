@@ -1,0 +1,1 @@
+lib/formats/embl.mli: Entry

@@ -1,0 +1,1 @@
+lib/formats/entry.ml: Feature Format Genalg_gdt List Sequence

@@ -1,0 +1,1 @@
+lib/formats/entry.mli: Feature Format Genalg_gdt Sequence

@@ -1,0 +1,1 @@
+lib/formats/fasta.ml: Buffer Entry Genalg_gdt List Printf Result Sequence String

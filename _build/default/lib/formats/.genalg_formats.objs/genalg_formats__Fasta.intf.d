@@ -1,0 +1,1 @@
+lib/formats/fasta.mli: Entry Genalg_gdt Sequence

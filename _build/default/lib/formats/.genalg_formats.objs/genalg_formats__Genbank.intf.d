@@ -1,0 +1,1 @@
+lib/formats/genbank.mli: Entry

@@ -1,0 +1,171 @@
+open Genalg_gdt
+
+type node = {
+  tag : string;
+  value : string;
+  children : node list;
+}
+
+let node ?(value = "") ?(children = []) tag = { tag; value; children }
+
+let print root =
+  let buf = Buffer.create 256 in
+  let rec walk depth n =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf n.tag;
+    Buffer.add_string buf ":";
+    if n.value <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf n.value
+    end;
+    Buffer.add_char buf '\n';
+    List.iter (walk (depth + 1)) n.children
+  in
+  walk 0 root;
+  Buffer.contents buf
+
+let parse text =
+  let lines =
+    List.filteri (fun _ l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let parse_line line =
+    let rec count_spaces i =
+      if i < String.length line && line.[i] = ' ' then count_spaces (i + 1) else i
+    in
+    let indent = count_spaces 0 in
+    if indent mod 2 <> 0 then Error (Printf.sprintf "odd indentation: %S" line)
+    else begin
+      let body = String.sub line indent (String.length line - indent) in
+      match String.index_opt body ':' with
+      | None -> Error (Printf.sprintf "missing ':' in %S" line)
+      | Some i ->
+          let tag = String.sub body 0 i in
+          let value = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+          Ok (indent / 2, tag, value)
+    end
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line l with
+        | Ok item -> parse_all (item :: acc) rest
+        | Error _ as e -> e)
+  in
+  match parse_all [] lines with
+  | Error msg -> Error msg
+  | Ok [] -> Error "empty document"
+  | Ok ((d0, _, _) :: _ as items) ->
+      if d0 <> 0 then Error "first line must be unindented"
+      else begin
+        (* build the forest by depth *)
+        let rec build depth items =
+          match items with
+          | (d, tag, value) :: rest when d = depth ->
+              let children, rest = build (depth + 1) rest in
+              let siblings, rest = build depth rest in
+              ({ tag; value; children } :: siblings, rest)
+          | _ -> ([], items)
+        in
+        match build 0 items with
+        | [ root ], [] -> Ok root
+        | _ :: _ :: _, _ -> Error "multiple root nodes"
+        | _, leftover when leftover <> [] -> Error "inconsistent indentation"
+        | [], _ -> Error "empty document"
+        | [ root ], _ :: _ -> Ok root
+      end
+
+let rec equal a b =
+  a.tag = b.tag && a.value = b.value
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal a.children b.children
+
+let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 n.children
+
+(* ---- entries ------------------------------------------------------ *)
+
+let of_entry (e : Entry.t) =
+  let feature_node (f : Feature.t) =
+    node "Feature"
+      ~value:
+        (Feature.kind_to_string f.Feature.kind
+        ^ " "
+        ^ Location.to_string f.Feature.location)
+      ~children:
+        (List.map (fun (k, v) -> node "Qualifier" ~value:(k ^ "=" ^ v)) f.Feature.qualifiers)
+  in
+  node "Sequence" ~value:e.Entry.accession
+    ~children:
+      ([
+         node "Version" ~value:(string_of_int e.Entry.version);
+         node "Definition" ~value:e.Entry.definition;
+         node "Organism" ~value:e.Entry.organism;
+       ]
+      @ List.map (fun kw -> node "Keyword" ~value:kw) e.Entry.keywords
+      @ List.map feature_node e.Entry.features
+      @ [ node "DNA" ~value:(Sequence.to_string e.Entry.sequence) ])
+
+let to_entry root =
+  if root.tag <> "Sequence" then Error "root must be a Sequence node"
+  else begin
+    let accession = root.value in
+    let version = ref 1 in
+    let definition = ref "" in
+    let organism = ref "" in
+    let keywords = ref [] in
+    let features = ref [] in
+    let dna = ref "" in
+    let error = ref None in
+    List.iter
+      (fun child ->
+        if !error = None then
+          match child.tag with
+          | "Version" -> (
+              match int_of_string_opt child.value with
+              | Some v -> version := v
+              | None -> error := Some ("bad version " ^ child.value))
+          | "Definition" -> definition := child.value
+          | "Organism" -> organism := child.value
+          | "Keyword" -> keywords := child.value :: !keywords
+          | "DNA" -> dna := child.value
+          | "Feature" -> (
+              match String.index_opt child.value ' ' with
+              | None -> error := Some ("bad feature " ^ child.value)
+              | Some i -> (
+                  let kind = String.sub child.value 0 i in
+                  let loc =
+                    String.sub child.value (i + 1) (String.length child.value - i - 1)
+                  in
+                  match Location.of_string (String.trim loc) with
+                  | Error msg -> error := Some msg
+                  | Ok location ->
+                      let qualifiers =
+                        List.filter_map
+                          (fun q ->
+                            if q.tag <> "Qualifier" then None
+                            else
+                              match String.index_opt q.value '=' with
+                              | None -> Some (q.value, "")
+                              | Some j ->
+                                  Some
+                                    ( String.sub q.value 0 j,
+                                      String.sub q.value (j + 1)
+                                        (String.length q.value - j - 1) ))
+                          child.children
+                      in
+                      features :=
+                        Feature.make ~qualifiers (Feature.kind_of_string kind) location
+                        :: !features))
+          | other -> error := Some ("unknown tag " ^ other))
+      root.children;
+    match !error with
+    | Some msg -> Error msg
+    | None -> (
+        match Sequence.of_string Sequence.Dna !dna with
+        | Error msg -> Error msg
+        | Ok sequence ->
+            Ok
+              (Entry.make ~version:!version ~definition:!definition
+                 ~organism:!organism
+                 ~features:(List.rev !features)
+                 ~keywords:(List.rev !keywords) ~accession sequence))
+  end

@@ -1,0 +1,31 @@
+(** An AceDB-like hierarchical record format.
+
+    The paper's Figure 2 distinguishes hierarchical sources (AceDB and
+    friends) from flat files and relational data; their change detection
+    uses ordered-tree diffing ("the acediff utility will compute minimal
+    changes between different snapshots"). This module provides the tree
+    type, an indentation-based textual syntax, and conversion to and from
+    the neutral {!Entry.t}. *)
+
+type node = {
+  tag : string;
+  value : string;
+  children : node list;
+}
+
+val node : ?value:string -> ?children:node list -> string -> node
+
+val print : node -> string
+(** Indentation syntax: two spaces per level, [tag: value] per line.
+    Tags must not contain [':'] or newlines. *)
+
+val parse : string -> (node, string) result
+(** Inverse of {!print} for well-formed input (single root). *)
+
+val equal : node -> node -> bool
+
+val size : node -> int
+(** Number of nodes in the tree. *)
+
+val of_entry : Entry.t -> node
+val to_entry : node -> (Entry.t, string) result

@@ -1,0 +1,252 @@
+open Genalg_gdt
+
+let print_one (e : Entry.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "ID   %s; SV %d; linear; DNA; STD; SYN; %d BP.\n" e.Entry.accession
+       e.Entry.version
+       (Sequence.length e.Entry.sequence));
+  Buffer.add_string buf (Printf.sprintf "AC   %s;\n" e.Entry.accession);
+  Buffer.add_string buf
+    (Printf.sprintf "DE   %s\n"
+       (if e.Entry.definition = "" then "." else e.Entry.definition));
+  Buffer.add_string buf
+    (Printf.sprintf "KW   %s\n"
+       (if e.Entry.keywords = [] then "." else String.concat "; " e.Entry.keywords ^ "."));
+  Buffer.add_string buf (Printf.sprintf "OS   %s\n" e.Entry.organism);
+  List.iter
+    (fun (f : Feature.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "FT   %-16s%s\n"
+           (Feature.kind_to_string f.Feature.kind)
+           (Location.to_string f.Feature.location));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "FT                   /%s=\"%s\"\n" k v))
+        f.Feature.qualifiers)
+    e.Entry.features;
+  Buffer.add_string buf
+    (Printf.sprintf "SQ   Sequence %d BP;\n" (Sequence.length e.Entry.sequence));
+  let s = String.lowercase_ascii (Sequence.to_string e.Entry.sequence) in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    Buffer.add_string buf "     ";
+    for block = 0 to 5 do
+      let off = !pos + (block * 10) in
+      if off < n then begin
+        Buffer.add_string buf (String.sub s off (min 10 (n - off)));
+        Buffer.add_char buf ' '
+      end
+    done;
+    Buffer.add_string buf (Printf.sprintf "%10d\n" (min n (!pos + 60)));
+    pos := !pos + 60
+  done;
+  Buffer.add_string buf "//\n";
+  Buffer.contents buf
+
+let print entries = String.concat "" (List.map print_one entries)
+
+(* ---------------------------------------------------------------- *)
+
+let strip_trailing_dot s =
+  let s = String.trim s in
+  if s = "." then ""
+  else if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let parse_qualifier body =
+  if String.length body < 2 || body.[0] <> '/' then None
+  else begin
+    let body = String.sub body 1 (String.length body - 1) in
+    match String.index_opt body '=' with
+    | None -> Some (body, "")
+    | Some i ->
+        let k = String.sub body 0 i in
+        let v = String.sub body (i + 1) (String.length body - i - 1) in
+        let n = String.length v in
+        let v = if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2) else v in
+        Some (k, v)
+  end
+
+type pstate = {
+  mutable accession : string;
+  mutable version : int;
+  mutable definition : string;
+  mutable organism : string;
+  mutable keywords : string list;
+  mutable features : Feature.t list;
+  mutable seq_buf : Buffer.t;
+  mutable in_seq : bool;
+  mutable seen_any : bool;
+}
+
+let fresh () =
+  {
+    accession = "";
+    version = 1;
+    definition = "";
+    organism = "";
+    keywords = [];
+    features = [];
+    seq_buf = Buffer.create 256;
+    in_seq = false;
+    seen_any = false;
+  }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let st = ref (fresh ()) in
+  let pending : (string * string * (string * string) list) option ref = ref None in
+  let error = ref None in
+  let flush_feature () =
+    match !pending with
+    | None -> Ok ()
+    | Some (kind, loc, quals) -> (
+        pending := None;
+        match Location.of_string (String.trim loc) with
+        | Error msg -> Error (Printf.sprintf "bad location %S: %s" loc msg)
+        | Ok location ->
+            (!st).features <-
+              Feature.make ~qualifiers:(List.rev quals) (Feature.kind_of_string kind)
+                location
+              :: (!st).features;
+            Ok ())
+  in
+  let finish () =
+    if (!st).accession = "" then Error "record without AC line"
+    else
+      match Sequence.of_string Sequence.Dna (Buffer.contents (!st).seq_buf) with
+      | Error msg -> Error (Printf.sprintf "record %s: %s" (!st).accession msg)
+      | Ok sequence ->
+          let s = !st in
+          entries :=
+            Entry.make ~version:s.version ~definition:s.definition
+              ~organism:s.organism ~features:(List.rev s.features)
+              ~keywords:s.keywords ~accession:s.accession sequence
+            :: !entries;
+          st := fresh ();
+          Ok ()
+  in
+  let handle line =
+    if String.trim line = "" then Ok ()
+    else if String.trim line = "//" then
+      match flush_feature () with Error _ as e -> e | Ok () -> finish ()
+    else if String.length line < 2 then Ok ()
+    else begin
+      let code = String.sub line 0 2 in
+      let body =
+        if String.length line > 5 then String.sub line 5 (String.length line - 5)
+        else ""
+      in
+      (!st).seen_any <- true;
+      match code with
+      | "ID" -> (
+          (* "ACC; SV n; ..." *)
+          (match String.split_on_char ';' body with
+          | acc :: rest ->
+              (!st).accession <- String.trim acc;
+              List.iter
+                (fun part ->
+                  let part = String.trim part in
+                  if String.length part > 3 && String.sub part 0 3 = "SV " then
+                    match int_of_string_opt (String.sub part 3 (String.length part - 3)) with
+                    | Some v -> (!st).version <- v
+                    | None -> ())
+                rest
+          | [] -> ());
+          Ok ())
+      | "AC" -> (
+          (match String.split_on_char ';' body with
+          | acc :: _ when String.trim acc <> "" -> (!st).accession <- String.trim acc
+          | _ -> ());
+          Ok ())
+      | "DE" ->
+          (!st).definition <- strip_trailing_dot body;
+          Ok ()
+      | "KW" ->
+          let v = strip_trailing_dot body in
+          (!st).keywords <-
+            (if v = "" then [] else List.map String.trim (String.split_on_char ';' v));
+          Ok ()
+      | "OS" ->
+          (!st).organism <- String.trim body;
+          Ok ()
+      | "FT" ->
+          let trimmed = String.trim body in
+          if trimmed = "" then Ok ()
+          else if trimmed.[0] = '/' then begin
+            match !pending with
+            | None -> Ok ()
+            | Some (kind, loc, quals) -> (
+                match parse_qualifier trimmed with
+                | Some q ->
+                    pending := Some (kind, loc, q :: quals);
+                    Ok ()
+                | None -> Ok ())
+          end
+          else if body <> "" && body.[0] <> ' ' then begin
+            (* new feature: key then location *)
+            match flush_feature () with
+            | Error _ as e -> e
+            | Ok () -> (
+                match String.index_opt trimmed ' ' with
+                | None -> Error (Printf.sprintf "feature line without location: %S" line)
+                | Some i ->
+                    let kind = String.sub trimmed 0 i in
+                    let loc = String.trim (String.sub trimmed i (String.length trimmed - i)) in
+                    pending := Some (kind, loc, []);
+                    Ok ())
+          end
+          else begin
+            (* continuation of the location *)
+            match !pending with
+            | None -> Ok ()
+            | Some (kind, loc, quals) ->
+                pending := Some (kind, loc ^ trimmed, quals);
+                Ok ()
+          end
+      | "SQ" ->
+          (!st).in_seq <- true;
+          flush_feature ()
+      | "  " | "	 " ->
+          if (!st).in_seq then begin
+            String.iter
+              (fun c ->
+                if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then
+                  Buffer.add_char (!st).seq_buf c)
+              line;
+            Ok ()
+          end
+          else Ok ()
+      | _ ->
+          if (!st).in_seq && line.[0] = ' ' then begin
+            String.iter
+              (fun c ->
+                if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then
+                  Buffer.add_char (!st).seq_buf c)
+              line;
+            Ok ()
+          end
+          else Ok ()
+    end
+  in
+  List.iter
+    (fun line ->
+      if !error = None then
+        match handle line with Ok () -> () | Error msg -> error := Some msg)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if (!st).seen_any && ((!st).accession <> "" || Buffer.length (!st).seq_buf > 0)
+      then Error "unterminated record (missing //)"
+      else Ok (List.rev !entries)
+
+let parse_one text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok [ e ] -> Ok e
+  | Ok entries -> Error (Printf.sprintf "expected 1 record, found %d" (List.length entries))

@@ -1,0 +1,10 @@
+(** EMBL flat-file reading and writing (a practical subset).
+
+    Two-letter line codes: ID, AC, DE, KW, OS, FT (feature table with the
+    same location/qualifier sub-syntax as GenBank), SQ + sequence lines,
+    [//] terminator. *)
+
+val parse : string -> (Entry.t list, string) result
+val parse_one : string -> (Entry.t, string) result
+val print : Entry.t list -> string
+val print_one : Entry.t -> string

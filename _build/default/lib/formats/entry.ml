@@ -1,0 +1,29 @@
+open Genalg_gdt
+
+type t = {
+  accession : string;
+  version : int;
+  definition : string;
+  organism : string;
+  sequence : Sequence.t;
+  features : Feature.t list;
+  keywords : string list;
+}
+
+let make ?(version = 1) ?(definition = "") ?(organism = "synthetic organism")
+    ?(features = []) ?(keywords = []) ~accession sequence =
+  { accession; version; definition; organism; sequence; features; keywords }
+
+let essentially_equal a b =
+  a.accession = b.accession && a.definition = b.definition
+  && a.organism = b.organism
+  && Sequence.equal a.sequence b.sequence
+  && List.length a.features = List.length b.features
+  && List.for_all2 Feature.equal a.features b.features
+  && a.keywords = b.keywords
+
+let equal a b = a.version = b.version && essentially_equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "%s.%d (%s, %d bp, %d features)" t.accession t.version
+    t.organism (Sequence.length t.sequence) (List.length t.features)

@@ -1,0 +1,36 @@
+(** The neutral sequence-record type shared by every repository format.
+
+    Real repositories (GenBank, EMBL, …) differ in syntax but agree on
+    substance: an accessioned, versioned, annotated sequence from an
+    organism. Wrappers parse format text into this type; the warehouse
+    integrator reconciles entries; generators emit them. *)
+
+open Genalg_gdt
+
+type t = {
+  accession : string;
+  version : int;
+  definition : string;          (** free-text description line *)
+  organism : string;
+  sequence : Sequence.t;        (** DNA *)
+  features : Feature.t list;
+  keywords : string list;
+}
+
+val make :
+  ?version:int ->
+  ?definition:string ->
+  ?organism:string ->
+  ?features:Feature.t list ->
+  ?keywords:string list ->
+  accession:string ->
+  Sequence.t ->
+  t
+
+val equal : t -> t -> bool
+
+val essentially_equal : t -> t -> bool
+(** Equality up to version number — used by change detection to decide
+    whether a re-announced record really changed. *)
+
+val pp : Format.formatter -> t -> unit

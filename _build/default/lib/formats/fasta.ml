@@ -1,0 +1,90 @@
+open Genalg_gdt
+
+type record = {
+  id : string;
+  description : string;
+  sequence : Sequence.t;
+}
+
+let parse ?(alphabet = Sequence.Dna) text =
+  let lines = String.split_on_char '\n' text in
+  let finish id description buf acc =
+    match id with
+    | None -> Ok acc
+    | Some id -> (
+        match Sequence.of_string alphabet (Buffer.contents buf) with
+        | Ok sequence -> Ok ({ id; description; sequence } :: acc)
+        | Error msg -> Error (Printf.sprintf "record %s: %s" id msg))
+  in
+  let rec loop id description buf acc = function
+    | [] -> Result.map List.rev (finish id description buf acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then loop id description buf acc rest
+        else if line.[0] = '>' then begin
+          match finish id description buf acc with
+          | Error _ as e -> e
+          | Ok acc ->
+              let header = String.sub line 1 (String.length line - 1) in
+              let rid, desc =
+                match String.index_opt header ' ' with
+                | None -> (header, "")
+                | Some i ->
+                    ( String.sub header 0 i,
+                      String.trim (String.sub header (i + 1) (String.length header - i - 1)) )
+              in
+              loop (Some rid) desc (Buffer.create 256) acc rest
+        end
+        else begin
+          match id with
+          | None -> Error "sequence data before any FASTA header"
+          | Some _ ->
+              Buffer.add_string buf line;
+              loop id description buf acc rest
+        end
+  in
+  loop None "" (Buffer.create 0) [] lines
+
+let print ?(width = 60) records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf r.id;
+      if r.description <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf r.description
+      end;
+      Buffer.add_char buf '\n';
+      let s = Sequence.to_string r.sequence in
+      let n = String.length s in
+      let rec chunks off =
+        if off < n then begin
+          Buffer.add_string buf (String.sub s off (min width (n - off)));
+          Buffer.add_char buf '\n';
+          chunks (off + width)
+        end
+      in
+      if n = 0 then Buffer.add_char buf '\n' else chunks 0)
+    records;
+  Buffer.contents buf
+
+let of_entry (e : Entry.t) =
+  {
+    id = Printf.sprintf "%s.%d" e.Entry.accession e.Entry.version;
+    description = e.Entry.definition;
+    sequence = e.Entry.sequence;
+  }
+
+let to_entry r =
+  let accession, version =
+    match String.index_opt r.id '.' with
+    | None -> (r.id, 1)
+    | Some i -> (
+        let acc = String.sub r.id 0 i in
+        let rest = String.sub r.id (i + 1) (String.length r.id - i - 1) in
+        match int_of_string_opt rest with
+        | Some v -> (acc, v)
+        | None -> (r.id, 1))
+  in
+  Entry.make ~version ~definition:r.description ~accession r.sequence

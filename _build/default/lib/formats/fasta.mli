@@ -1,0 +1,25 @@
+(** FASTA reading and writing.
+
+    The simplest flat-file format: [>id description] header lines followed
+    by wrapped sequence lines. *)
+
+open Genalg_gdt
+
+type record = {
+  id : string;
+  description : string;
+  sequence : Sequence.t;
+}
+
+val parse : ?alphabet:Sequence.alphabet -> string -> (record list, string) result
+(** Parse multi-record FASTA text. Default alphabet [Dna]. Blank lines and
+    leading whitespace are tolerated; sequence validation errors carry the
+    record id. *)
+
+val print : ?width:int -> record list -> string
+(** Render with lines wrapped at [width] (default 60). *)
+
+val of_entry : Entry.t -> record
+val to_entry : record -> Entry.t
+(** Accession is the id up to the first ['.'], the version the part after
+    it when numeric. *)

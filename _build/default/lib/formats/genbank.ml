@@ -1,0 +1,294 @@
+open Genalg_gdt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let print_sequence buf seq =
+  Buffer.add_string buf "ORIGIN\n";
+  let s = String.lowercase_ascii (Sequence.to_string seq) in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    Buffer.add_string buf (Printf.sprintf "%9d" (!pos + 1));
+    for block = 0 to 5 do
+      let off = !pos + (block * 10) in
+      if off < n then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (String.sub s off (min 10 (n - off)))
+      end
+    done;
+    Buffer.add_char buf '\n';
+    pos := !pos + 60
+  done
+
+let print_feature buf (f : Feature.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "     %-16s%s\n"
+       (Feature.kind_to_string f.Feature.kind)
+       (Location.to_string f.Feature.location));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "                     /%s=\"%s\"\n" k v))
+    f.Feature.qualifiers
+
+let print_one (e : Entry.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "LOCUS       %-16s %d bp    DNA     linear   SYN 01-JAN-2003\n"
+       e.Entry.accession
+       (Sequence.length e.Entry.sequence));
+  Buffer.add_string buf
+    (Printf.sprintf "DEFINITION  %s\n"
+       (if e.Entry.definition = "" then "." else e.Entry.definition));
+  Buffer.add_string buf (Printf.sprintf "ACCESSION   %s\n" e.Entry.accession);
+  Buffer.add_string buf
+    (Printf.sprintf "VERSION     %s.%d\n" e.Entry.accession e.Entry.version);
+  Buffer.add_string buf
+    (Printf.sprintf "KEYWORDS    %s\n"
+       (if e.Entry.keywords = [] then "." else String.concat "; " e.Entry.keywords ^ "."));
+  Buffer.add_string buf (Printf.sprintf "SOURCE      %s\n" e.Entry.organism);
+  Buffer.add_string buf (Printf.sprintf "  ORGANISM  %s\n" e.Entry.organism);
+  Buffer.add_string buf "FEATURES             Location/Qualifiers\n";
+  List.iter (print_feature buf) e.Entry.features;
+  print_sequence buf e.Entry.sequence;
+  Buffer.add_string buf "//\n";
+  Buffer.contents buf
+
+let print entries = String.concat "" (List.map print_one entries)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type pstate = {
+  mutable accession : string;
+  mutable version : int;
+  mutable definition : string;
+  mutable organism : string;
+  mutable keywords : string list;
+  mutable features : Feature.t list; (* reversed *)
+  mutable seq_buf : Buffer.t;
+}
+
+let fresh () =
+  {
+    accession = "";
+    version = 1;
+    definition = "";
+    organism = "";
+    keywords = [];
+    features = [];
+    seq_buf = Buffer.create 256;
+  }
+
+let strip_trailing_dot s =
+  let s = String.trim s in
+  if s = "." then ""
+  else if String.length s > 0 && s.[String.length s - 1] = '.' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let content_after_keyword line =
+  (* record lines: 12-column keyword field *)
+  if String.length line <= 12 then ""
+  else String.trim (String.sub line 12 (String.length line - 12))
+
+let finish st =
+  if st.accession = "" then Error "record without ACCESSION"
+  else
+    match Sequence.of_string Sequence.Dna (Buffer.contents st.seq_buf) with
+    | Error msg -> Error (Printf.sprintf "record %s: %s" st.accession msg)
+    | Ok sequence ->
+        Ok
+          (Entry.make ~version:st.version ~definition:st.definition
+             ~organism:st.organism
+             ~features:(List.rev st.features)
+             ~keywords:st.keywords ~accession:st.accession sequence)
+
+let parse_qualifier line =
+  (* "/key=\"value\"" or "/key=value" or bare "/key" *)
+  let body = String.trim line in
+  if String.length body < 2 || body.[0] <> '/' then None
+  else begin
+    let body = String.sub body 1 (String.length body - 1) in
+    match String.index_opt body '=' with
+    | None -> Some (body, "")
+    | Some i ->
+        let k = String.sub body 0 i in
+        let v = String.sub body (i + 1) (String.length body - i - 1) in
+        let v =
+          let n = String.length v in
+          if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+          else v
+        in
+        Some (k, v)
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let st = ref (fresh ()) in
+  let started = ref false in
+  let in_features = ref false in
+  let in_origin = ref false in
+  let pending_feature : (string * string * (string * string) list) option ref =
+    ref None
+  in
+  let error = ref None in
+  let flush_feature () =
+    match !pending_feature with
+    | None -> Ok ()
+    | Some (kind, loc_text, quals) -> (
+        pending_feature := None;
+        match Location.of_string (String.trim loc_text) with
+        | Error msg ->
+            Error (Printf.sprintf "bad location %S: %s" (String.trim loc_text) msg)
+        | Ok location ->
+            (!st).features <-
+              Feature.make ~qualifiers:(List.rev quals)
+                (Feature.kind_of_string kind) location
+              :: (!st).features;
+            Ok ())
+  in
+  let handle_line line =
+    let raw = line in
+    let trimmed = String.trim line in
+    if trimmed = "" then Ok ()
+    else if trimmed = "//" then begin
+      match flush_feature () with
+      | Error _ as e -> e
+      | Ok () -> (
+          match finish !st with
+          | Error _ as e -> e
+          | Ok entry ->
+              entries := entry :: !entries;
+              st := fresh ();
+              started := false;
+              in_features := false;
+              in_origin := false;
+              Ok ())
+    end
+    else begin
+      let starts_with p =
+        String.length raw >= String.length p && String.sub raw 0 (String.length p) = p
+      in
+      if starts_with "LOCUS" then begin
+        started := true;
+        in_features := false;
+        in_origin := false;
+        Ok ()
+      end
+      else if not !started then Ok () (* preamble junk *)
+      else if starts_with "DEFINITION" then begin
+        (!st).definition <- strip_trailing_dot (content_after_keyword raw);
+        Ok ()
+      end
+      else if starts_with "ACCESSION" then begin
+        (!st).accession <- content_after_keyword raw;
+        Ok ()
+      end
+      else if starts_with "VERSION" then begin
+        let v = content_after_keyword raw in
+        (match String.index_opt v '.' with
+        | Some i -> (
+            let acc = String.sub v 0 i in
+            let num = String.sub v (i + 1) (String.length v - i - 1) in
+            if acc <> "" then (!st).accession <- acc;
+            match int_of_string_opt num with
+            | Some n -> (!st).version <- n
+            | None -> ())
+        | None -> if v <> "" then (!st).accession <- v);
+        Ok ()
+      end
+      else if starts_with "KEYWORDS" then begin
+        let v = strip_trailing_dot (content_after_keyword raw) in
+        (!st).keywords <-
+          (if v = "" then []
+           else List.map String.trim (String.split_on_char ';' v));
+        Ok ()
+      end
+      else if starts_with "SOURCE" then begin
+        (!st).organism <- content_after_keyword raw;
+        Ok ()
+      end
+      else if starts_with "  ORGANISM" then begin
+        (!st).organism <- String.trim (String.sub raw 10 (String.length raw - 10));
+        Ok ()
+      end
+      else if starts_with "FEATURES" then begin
+        in_features := true;
+        in_origin := false;
+        Ok ()
+      end
+      else if starts_with "ORIGIN" then begin
+        in_origin := true;
+        in_features := false;
+        flush_feature ()
+      end
+      else if !in_origin then begin
+        String.iter
+          (fun c ->
+            if (not (is_digit c)) && c <> ' ' && c <> '\r' then
+              Buffer.add_char (!st).seq_buf c)
+          raw;
+        Ok ()
+      end
+      else if !in_features then begin
+        (* feature key lines have content at column 5; continuation and
+           qualifier lines are indented to column 21 *)
+        let is_key_line =
+          String.length raw > 5 && raw.[0] = ' ' && raw.[5] <> ' '
+          && String.sub raw 0 5 = "     "
+        in
+        if is_key_line then begin
+          match flush_feature () with
+          | Error _ as e -> e
+          | Ok () ->
+              let body = String.trim raw in
+              (match String.index_opt body ' ' with
+              | None -> Error (Printf.sprintf "feature line without location: %S" raw)
+              | Some i ->
+                  let kind = String.sub body 0 i in
+                  let loc = String.trim (String.sub body i (String.length body - i)) in
+                  pending_feature := Some (kind, loc, []);
+                  Ok ())
+        end
+        else begin
+          let body = String.trim raw in
+          match !pending_feature with
+          | None -> Ok () (* header continuation *)
+          | Some (kind, loc, quals) ->
+              if String.length body > 0 && body.[0] = '/' then begin
+                match parse_qualifier body with
+                | Some q ->
+                    pending_feature := Some (kind, loc, q :: quals);
+                    Ok ()
+                | None -> Ok ()
+              end
+              else begin
+                (* location continuation *)
+                pending_feature := Some (kind, loc ^ body, quals);
+                Ok ()
+              end
+        end
+      end
+      else Ok () (* unknown record line: tolerated *)
+    end
+  in
+  List.iter
+    (fun line ->
+      if !error = None then
+        match handle_line line with Ok () -> () | Error msg -> error := Some msg)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if !started then Error "unterminated record (missing //)"
+      else Ok (List.rev !entries)
+
+let parse_one text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok [ e ] -> Ok e
+  | Ok entries -> Error (Printf.sprintf "expected 1 record, found %d" (List.length entries))

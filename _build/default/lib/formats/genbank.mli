@@ -1,0 +1,16 @@
+(** GenBank flat-file reading and writing (a practical subset).
+
+    Supported record lines: LOCUS, DEFINITION, ACCESSION, VERSION,
+    KEYWORDS, SOURCE/ORGANISM, FEATURES with locations and quoted or bare
+    qualifiers, ORIGIN with wrapped numbered sequence lines, and the [//]
+    terminator. [print] followed by [parse] is the identity on
+    {!Entry.t} values (up to feature qualifier formatting). *)
+
+val parse : string -> (Entry.t list, string) result
+(** Parse one or more concatenated flat-file records. *)
+
+val parse_one : string -> (Entry.t, string) result
+(** Exactly one record. *)
+
+val print : Entry.t list -> string
+val print_one : Entry.t -> string

@@ -1,0 +1,1 @@
+lib/gdt/amino_acid.ml: Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/gdt/amino_acid.mli: Format

@@ -1,0 +1,1 @@
+lib/gdt/chromosome.ml: Feature Format List Location Option Printf Sequence

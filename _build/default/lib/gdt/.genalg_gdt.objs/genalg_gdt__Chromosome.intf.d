@@ -1,0 +1,1 @@
+lib/gdt/chromosome.mli: Feature Format Sequence

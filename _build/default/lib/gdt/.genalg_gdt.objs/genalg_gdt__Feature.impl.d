@@ -1,0 +1,1 @@
+lib/gdt/feature.ml: Format List Location String

@@ -1,0 +1,1 @@
+lib/gdt/feature.mli: Format Location

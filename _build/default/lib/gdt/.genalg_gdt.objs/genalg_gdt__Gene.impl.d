@@ -1,0 +1,1 @@
+lib/gdt/gene.ml: Format Genetic_code List Option Printf Provenance Sequence

@@ -1,0 +1,1 @@
+lib/gdt/gene.mli: Format Genetic_code Provenance Sequence

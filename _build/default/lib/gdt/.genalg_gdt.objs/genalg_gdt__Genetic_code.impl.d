@@ -1,0 +1,1 @@
+lib/gdt/genetic_code.ml: Amino_acid Array Fun Hashtbl Int List Nucleotide Printf String

@@ -1,0 +1,1 @@
+lib/gdt/genetic_code.mli: Amino_acid

@@ -1,0 +1,1 @@
+lib/gdt/genome.ml: Chromosome Feature Format List String

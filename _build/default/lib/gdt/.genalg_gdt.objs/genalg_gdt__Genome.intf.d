@@ -1,0 +1,1 @@
+lib/gdt/genome.mli: Chromosome Feature Format

@@ -1,0 +1,1 @@
+lib/gdt/location.ml: Format List Printf Sequence Stdlib String

@@ -1,0 +1,1 @@
+lib/gdt/location.mli: Format Sequence

@@ -1,0 +1,1 @@
+lib/gdt/nucleotide.ml: Char Format List Printf Stdlib

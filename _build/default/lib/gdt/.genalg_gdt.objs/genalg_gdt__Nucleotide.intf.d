@@ -1,0 +1,1 @@
+lib/gdt/nucleotide.mli: Format

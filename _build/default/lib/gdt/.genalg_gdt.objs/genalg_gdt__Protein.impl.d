@@ -1,0 +1,1 @@
+lib/gdt/protein.ml: Amino_acid Array Format Option Provenance Sequence

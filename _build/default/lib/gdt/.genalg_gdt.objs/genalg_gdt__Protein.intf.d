@@ -1,0 +1,1 @@
+lib/gdt/protein.mli: Format Provenance Sequence

@@ -1,0 +1,1 @@
+lib/gdt/provenance.mli: Format

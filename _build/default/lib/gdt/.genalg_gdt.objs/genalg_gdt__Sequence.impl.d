@@ -1,0 +1,1 @@
+lib/gdt/sequence.ml: Amino_acid Array Bytes Char Format Hashtbl Int64 List Nucleotide Printf Stdlib String

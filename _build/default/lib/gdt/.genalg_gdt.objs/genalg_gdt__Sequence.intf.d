@@ -1,0 +1,1 @@
+lib/gdt/sequence.mli: Amino_acid Format Nucleotide

@@ -1,0 +1,1 @@
+lib/gdt/transcript.ml: Format Genetic_code List Sequence

@@ -1,0 +1,1 @@
+lib/gdt/transcript.mli: Format Genetic_code Sequence

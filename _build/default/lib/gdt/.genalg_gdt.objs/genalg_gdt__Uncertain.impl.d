@@ -1,0 +1,1 @@
+lib/gdt/uncertain.ml: Float Format List Provenance

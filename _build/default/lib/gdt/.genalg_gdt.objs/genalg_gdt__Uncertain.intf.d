@@ -1,0 +1,1 @@
+lib/gdt/uncertain.mli: Format Provenance

@@ -1,0 +1,181 @@
+type t =
+  | Ala | Arg | Asn | Asp | Cys | Gln | Glu | Gly | His | Ile
+  | Leu | Lys | Met | Phe | Pro | Ser | Thr | Trp | Tyr | Val
+  | Asx | Glx | Xaa | Stop
+
+let of_char c =
+  match Char.uppercase_ascii c with
+  | 'A' -> Some Ala
+  | 'R' -> Some Arg
+  | 'N' -> Some Asn
+  | 'D' -> Some Asp
+  | 'C' -> Some Cys
+  | 'Q' -> Some Gln
+  | 'E' -> Some Glu
+  | 'G' -> Some Gly
+  | 'H' -> Some His
+  | 'I' -> Some Ile
+  | 'L' -> Some Leu
+  | 'K' -> Some Lys
+  | 'M' -> Some Met
+  | 'F' -> Some Phe
+  | 'P' -> Some Pro
+  | 'S' -> Some Ser
+  | 'T' -> Some Thr
+  | 'W' -> Some Trp
+  | 'Y' -> Some Tyr
+  | 'V' -> Some Val
+  | 'B' -> Some Asx
+  | 'Z' -> Some Glx
+  | 'X' -> Some Xaa
+  | '*' -> Some Stop
+  | _ -> None
+
+let of_char_exn c =
+  match of_char c with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Amino_acid.of_char_exn: %C" c)
+
+let to_char = function
+  | Ala -> 'A'
+  | Arg -> 'R'
+  | Asn -> 'N'
+  | Asp -> 'D'
+  | Cys -> 'C'
+  | Gln -> 'Q'
+  | Glu -> 'E'
+  | Gly -> 'G'
+  | His -> 'H'
+  | Ile -> 'I'
+  | Leu -> 'L'
+  | Lys -> 'K'
+  | Met -> 'M'
+  | Phe -> 'F'
+  | Pro -> 'P'
+  | Ser -> 'S'
+  | Thr -> 'T'
+  | Trp -> 'W'
+  | Tyr -> 'Y'
+  | Val -> 'V'
+  | Asx -> 'B'
+  | Glx -> 'Z'
+  | Xaa -> 'X'
+  | Stop -> '*'
+
+let to_three_letter = function
+  | Ala -> "Ala"
+  | Arg -> "Arg"
+  | Asn -> "Asn"
+  | Asp -> "Asp"
+  | Cys -> "Cys"
+  | Gln -> "Gln"
+  | Glu -> "Glu"
+  | Gly -> "Gly"
+  | His -> "His"
+  | Ile -> "Ile"
+  | Leu -> "Leu"
+  | Lys -> "Lys"
+  | Met -> "Met"
+  | Phe -> "Phe"
+  | Pro -> "Pro"
+  | Ser -> "Ser"
+  | Thr -> "Thr"
+  | Trp -> "Trp"
+  | Tyr -> "Tyr"
+  | Val -> "Val"
+  | Asx -> "Asx"
+  | Glx -> "Glx"
+  | Xaa -> "Xaa"
+  | Stop -> "Ter"
+
+let all_standard =
+  [ Ala; Arg; Asn; Asp; Cys; Gln; Glu; Gly; His; Ile;
+    Leu; Lys; Met; Phe; Pro; Ser; Thr; Trp; Tyr; Val ]
+
+let of_three_letter s =
+  let s = String.capitalize_ascii (String.lowercase_ascii s) in
+  let table =
+    List.map (fun a -> (to_three_letter a, a)) (all_standard @ [ Asx; Glx; Xaa; Stop ])
+  in
+  List.assoc_opt s table
+
+let monoisotopic_mass = function
+  | Ala -> 71.03711
+  | Arg -> 156.10111
+  | Asn -> 114.04293
+  | Asp -> 115.02694
+  | Cys -> 103.00919
+  | Gln -> 128.05858
+  | Glu -> 129.04259
+  | Gly -> 57.02146
+  | His -> 137.05891
+  | Ile -> 113.08406
+  | Leu -> 113.08406
+  | Lys -> 128.09496
+  | Met -> 131.04049
+  | Phe -> 147.06841
+  | Pro -> 97.05276
+  | Ser -> 87.03203
+  | Thr -> 101.04768
+  | Trp -> 186.07931
+  | Tyr -> 163.06333
+  | Val -> 99.06841
+  | Asx -> (114.04293 +. 115.02694) /. 2.
+  | Glx -> (128.05858 +. 129.04259) /. 2.
+  | Xaa -> 110.0
+  | Stop -> 0.
+
+let average_mass = function
+  | Ala -> 71.0788
+  | Arg -> 156.1875
+  | Asn -> 114.1038
+  | Asp -> 115.0886
+  | Cys -> 103.1388
+  | Gln -> 128.1307
+  | Glu -> 129.1155
+  | Gly -> 57.0519
+  | His -> 137.1411
+  | Ile -> 113.1594
+  | Leu -> 113.1594
+  | Lys -> 128.1741
+  | Met -> 131.1926
+  | Phe -> 147.1766
+  | Pro -> 97.1167
+  | Ser -> 87.0782
+  | Thr -> 101.1051
+  | Trp -> 186.2132
+  | Tyr -> 163.1760
+  | Val -> 99.1326
+  | Asx -> (114.1038 +. 115.0886) /. 2.
+  | Glx -> (128.1307 +. 129.1155) /. 2.
+  | Xaa -> 110.0
+  | Stop -> 0.
+
+let hydropathy = function
+  | Ala -> 1.8
+  | Arg -> -4.5
+  | Asn -> -3.5
+  | Asp -> -3.5
+  | Cys -> 2.5
+  | Gln -> -3.5
+  | Glu -> -3.5
+  | Gly -> -0.4
+  | His -> -3.2
+  | Ile -> 4.5
+  | Leu -> 3.8
+  | Lys -> -3.9
+  | Met -> 1.9
+  | Phe -> 2.8
+  | Pro -> -1.6
+  | Ser -> -0.8
+  | Thr -> -0.7
+  | Trp -> -0.9
+  | Tyr -> -1.3
+  | Val -> 4.2
+  | Asx | Glx | Xaa | Stop -> 0.
+
+let is_standard = function Asx | Glx | Xaa | Stop -> false | _ -> true
+
+let pp ppf a = Format.pp_print_char ppf (to_char a)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

@@ -1,0 +1,44 @@
+(** Amino acids (the residues of protein GDT values).
+
+    The twenty standard amino acids plus the translation-stop marker and the
+    ambiguity codes ([B], [Z], [X]) used by protein repositories. *)
+
+type t =
+  | Ala | Arg | Asn | Asp | Cys | Gln | Glu | Gly | His | Ile
+  | Leu | Lys | Met | Phe | Pro | Ser | Thr | Trp | Tyr | Val
+  | Asx  (** B: Asn or Asp *)
+  | Glx  (** Z: Gln or Glu *)
+  | Xaa  (** X: unknown residue *)
+  | Stop (** translation stop, printed as ['*'] *)
+
+val of_char : char -> t option
+(** One-letter code, case-insensitive. *)
+
+val of_char_exn : char -> t
+
+val to_char : t -> char
+(** Upper-case one-letter code. *)
+
+val to_three_letter : t -> string
+(** Conventional three-letter abbreviation, e.g. ["Met"]; [Stop] is ["Ter"]. *)
+
+val of_three_letter : string -> t option
+
+val monoisotopic_mass : t -> float
+(** Monoisotopic residue mass in daltons; ambiguity codes return an average
+    of their alternatives and [Stop] returns [0.]. *)
+
+val average_mass : t -> float
+(** Average residue mass in daltons. *)
+
+val hydropathy : t -> float
+(** Kyte–Doolittle hydropathy index; [0.] for ambiguity codes and [Stop]. *)
+
+val is_standard : t -> bool
+(** True for the twenty standard residues. *)
+
+val all_standard : t list
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

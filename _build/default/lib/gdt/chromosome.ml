@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  dna : Sequence.t;
+  features : Feature.t list;
+}
+
+let check_feature dna (f : Feature.t) =
+  let _, hi = Location.span f.Feature.location in
+  if hi > Sequence.length dna then
+    Error
+      (Printf.sprintf "feature %s exceeds chromosome length %d"
+         (Location.to_string f.Feature.location)
+         (Sequence.length dna))
+  else Ok ()
+
+let make ?(features = []) ~name dna =
+  match Sequence.alphabet dna with
+  | Sequence.Rna | Sequence.Protein -> Error "chromosome sequence must be DNA"
+  | Sequence.Dna ->
+      let rec check = function
+        | [] -> Ok { name; dna; features }
+        | f :: rest -> ( match check_feature dna f with Ok () -> check rest | Error _ as e -> e)
+      in
+      check features
+
+let make_exn ?features ~name dna =
+  match make ?features ~name dna with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Chromosome.make_exn: " ^ msg)
+
+let length t = Sequence.length t.dna
+
+let features_of_kind t kind =
+  List.filter (fun (f : Feature.t) -> f.Feature.kind = kind) t.features
+
+let features_overlapping t ~lo ~hi =
+  List.filter
+    (fun (f : Feature.t) ->
+      let flo, fhi = Location.span f.Feature.location in
+      flo <= hi && lo <= fhi)
+    t.features
+
+let add_feature t f =
+  match check_feature t.dna f with
+  | Ok () -> Ok { t with features = t.features @ [ f ] }
+  | Error _ as e -> e
+
+let feature_sequence t (f : Feature.t) = Location.extract f.Feature.location t.dna
+
+let genes t =
+  List.map
+    (fun f -> (Option.value (Feature.name f) ~default:"?", feature_sequence t f))
+    (features_of_kind t Feature.Gene)
+
+let equal a b =
+  a.name = b.name && Sequence.equal a.dna b.dna
+  && List.length a.features = List.length b.features
+  && List.for_all2 Feature.equal a.features b.features
+
+let pp ppf t =
+  Format.fprintf ppf "chromosome %s: %d bp, %d feature(s)" t.name (length t)
+    (List.length t.features)

@@ -1,0 +1,34 @@
+(** The [chromosome] genomic data type: a long DNA sequence plus its
+    feature annotations. *)
+
+type t = private {
+  name : string;
+  dna : Sequence.t;
+  features : Feature.t list;
+}
+
+val make : ?features:Feature.t list -> name:string -> Sequence.t -> (t, string) result
+(** The sequence must be DNA and every feature location must fit within
+    it. *)
+
+val make_exn : ?features:Feature.t list -> name:string -> Sequence.t -> t
+
+val length : t -> int
+
+val features_of_kind : t -> Feature.kind -> Feature.t list
+
+val features_overlapping : t -> lo:int -> hi:int -> Feature.t list
+(** Features whose span intersects the 1-based inclusive window. *)
+
+val add_feature : t -> Feature.t -> (t, string) result
+(** Append an annotation (user annotations, paper C11/C13). *)
+
+val feature_sequence : t -> Feature.t -> Sequence.t
+(** Extract the located bases of a feature. *)
+
+val genes : t -> (string * Sequence.t) list
+(** For each [Gene] feature: its display name (or ["?"]) and extracted
+    sequence. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

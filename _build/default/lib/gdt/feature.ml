@@ -1,0 +1,67 @@
+type kind =
+  | Source
+  | Gene
+  | Cds
+  | Exon
+  | Intron
+  | Mrna
+  | Promoter
+  | Terminator
+  | Misc of string
+
+type t = {
+  kind : kind;
+  location : Location.t;
+  qualifiers : (string * string) list;
+}
+
+let make ?(qualifiers = []) kind location = { kind; location; qualifiers }
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "source" -> Source
+  | "gene" -> Gene
+  | "cds" -> Cds
+  | "exon" -> Exon
+  | "intron" -> Intron
+  | "mrna" -> Mrna
+  | "promoter" -> Promoter
+  | "terminator" -> Terminator
+  | _ -> Misc s
+
+let kind_to_string = function
+  | Source -> "source"
+  | Gene -> "gene"
+  | Cds -> "CDS"
+  | Exon -> "exon"
+  | Intron -> "intron"
+  | Mrna -> "mRNA"
+  | Promoter -> "promoter"
+  | Terminator -> "terminator"
+  | Misc s -> s
+
+let qualifier t key =
+  List.assoc_opt key t.qualifiers
+
+let qualifier_all t key =
+  List.filter_map (fun (k, v) -> if k = key then Some v else None) t.qualifiers
+
+let with_qualifier t key value = { t with qualifiers = t.qualifiers @ [ (key, value) ] }
+
+let name t =
+  match qualifier t "gene" with
+  | Some _ as r -> r
+  | None -> (
+      match qualifier t "locus_tag" with
+      | Some _ as r -> r
+      | None -> qualifier t "label")
+
+let overlaps a b =
+  let alo, ahi = Location.span a.location and blo, bhi = Location.span b.location in
+  alo <= bhi && blo <= ahi
+
+let equal (a : t) b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s" (kind_to_string t.kind) (Location.to_string t.location);
+  List.iter (fun (k, v) -> Format.fprintf ppf " /%s=%S" k v) t.qualifiers

@@ -1,0 +1,48 @@
+(** Sequence features (annotations) in the GenBank feature-table style.
+
+    A feature pairs a kind ([CDS], [gene], [exon], …) with a {!Location.t}
+    and free-form qualifiers. Features are how the Unifying Database stores
+    repository annotations and user annotations alike (paper section 5.1). *)
+
+type kind =
+  | Source
+  | Gene
+  | Cds
+  | Exon
+  | Intron
+  | Mrna
+  | Promoter
+  | Terminator
+  | Misc of string  (** anything else, by its feature-table key *)
+
+type t = {
+  kind : kind;
+  location : Location.t;
+  qualifiers : (string * string) list;  (** e.g. [("gene", "lacZ")] *)
+}
+
+val make : ?qualifiers:(string * string) list -> kind -> Location.t -> t
+
+val kind_of_string : string -> kind
+(** Maps GenBank feature keys (["CDS"], ["gene"], …) to kinds; unknown keys
+    become [Misc]. *)
+
+val kind_to_string : kind -> string
+
+val qualifier : t -> string -> string option
+(** First value of the named qualifier. *)
+
+val qualifier_all : t -> string -> string list
+
+val with_qualifier : t -> string -> string -> t
+(** Append a qualifier. *)
+
+val name : t -> string option
+(** Conventional display name: the [gene], then [locus_tag], then [label]
+    qualifier, whichever exists first. *)
+
+val overlaps : t -> t -> bool
+(** True when the coordinate spans of the two locations intersect. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

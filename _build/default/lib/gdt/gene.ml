@@ -1,0 +1,72 @@
+type t = {
+  id : string;
+  name : string;
+  dna : Sequence.t;
+  exons : (int * int) list;
+  code : Genetic_code.t;
+  provenance : Provenance.t option;
+}
+
+let validate_exons ~total exons =
+  let rec check prev_end = function
+    | [] -> Ok ()
+    | (off, len) :: rest ->
+        if len <= 0 then Error (Printf.sprintf "exon at %d has non-positive length %d" off len)
+        else if off < prev_end then
+          Error (Printf.sprintf "exon at %d overlaps or precedes the previous exon" off)
+        else if off + len > total then
+          Error (Printf.sprintf "exon %d..%d exceeds gene length %d" off (off + len) total)
+        else check (off + len) rest
+  in
+  check 0 exons
+
+let make ?name ?exons ?(code = Genetic_code.standard) ?provenance ~id dna =
+  match Sequence.alphabet dna with
+  | Sequence.Rna | Sequence.Protein -> Error "gene sequence must be DNA"
+  | Sequence.Dna ->
+      let exons =
+        match exons with
+        | Some e -> e
+        | None -> if Sequence.length dna = 0 then [] else [ (0, Sequence.length dna) ]
+      in
+      (match validate_exons ~total:(Sequence.length dna) exons with
+      | Error _ as e -> e
+      | Ok () ->
+          let name = Option.value name ~default:id in
+          Ok { id; name; dna; exons; code; provenance })
+
+let make_exn ?name ?exons ?code ?provenance ~id dna =
+  match make ?name ?exons ?code ?provenance ~id dna with
+  | Ok g -> g
+  | Error msg -> invalid_arg ("Gene.make_exn: " ^ msg)
+
+let length t = Sequence.length t.dna
+let exon_count t = List.length t.exons
+
+let exonic_length t = List.fold_left (fun acc (_, len) -> acc + len) 0 t.exons
+
+let introns t =
+  (* An intron is the gap strictly between two consecutive exons. *)
+  let rec between = function
+    | (off1, len1) :: ((off2, _) :: _ as rest) ->
+        let gap_start = off1 + len1 in
+        if off2 > gap_start then (gap_start, off2 - gap_start) :: between rest
+        else between rest
+    | [ _ ] | [] -> []
+  in
+  between t.exons
+
+let exon_sequences t =
+  List.map (fun (off, len) -> Sequence.sub t.dna ~pos:off ~len) t.exons
+
+let with_provenance t p = { t with provenance = Some p }
+
+let equal a b =
+  a.id = b.id && a.name = b.name
+  && Sequence.equal a.dna b.dna
+  && a.exons = b.exons
+  && Genetic_code.id a.code = Genetic_code.id b.code
+
+let pp ppf t =
+  Format.fprintf ppf "gene %s (%s): %d bp, %d exon(s)" t.id t.name (length t)
+    (exon_count t)

@@ -1,0 +1,56 @@
+(** The [gene] genomic data type.
+
+    A gene carries its genomic DNA (exons and introns), an ordered exon
+    structure, the genetic code it is translated under, and provenance.
+    Exons are half-open 0-based [(offset, length)] spans into [dna], in
+    ascending, non-overlapping order — this is the information [splice]
+    needs to turn a primary transcript into an mRNA (paper section 4.2). *)
+
+type t = private {
+  id : string;
+  name : string;
+  dna : Sequence.t;                (** genomic DNA, sense strand *)
+  exons : (int * int) list;        (** (offset, length), ascending, disjoint *)
+  code : Genetic_code.t;
+  provenance : Provenance.t option;
+}
+
+val make :
+  ?name:string ->
+  ?exons:(int * int) list ->
+  ?code:Genetic_code.t ->
+  ?provenance:Provenance.t ->
+  id:string ->
+  Sequence.t ->
+  (t, string) result
+(** Build a gene. The sequence must be DNA. When [exons] is omitted the
+    whole sequence is a single exon (an intron-less gene). Exons must be
+    in ascending order, pairwise disjoint, non-empty, and within bounds.
+    Default [code] is {!Genetic_code.standard}. *)
+
+val make_exn :
+  ?name:string ->
+  ?exons:(int * int) list ->
+  ?code:Genetic_code.t ->
+  ?provenance:Provenance.t ->
+  id:string ->
+  Sequence.t ->
+  t
+
+val length : t -> int
+(** Genomic length including introns. *)
+
+val exon_count : t -> int
+
+val exonic_length : t -> int
+(** Sum of exon lengths (= mRNA length after splicing). *)
+
+val introns : t -> (int * int) list
+(** The gaps between exons, same representation. *)
+
+val exon_sequences : t -> Sequence.t list
+
+val with_provenance : t -> Provenance.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

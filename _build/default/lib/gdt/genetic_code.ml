@@ -1,0 +1,138 @@
+type t = {
+  id : int;
+  name : string;
+  table : Amino_acid.t array; (* 64 entries, TTT..GGG order *)
+  starts : bool array;        (* 64 entries *)
+}
+
+let id t = t.id
+let name t = t.name
+
+let bases = [| 'T'; 'C'; 'A'; 'G' |]
+
+let base_index c =
+  match c with
+  | 'T' | 'U' | 't' | 'u' -> Some 0
+  | 'C' | 'c' -> Some 1
+  | 'A' | 'a' -> Some 2
+  | 'G' | 'g' -> Some 3
+  | _ -> None
+
+let codon_index codon =
+  if String.length codon <> 3 then None
+  else
+    match base_index codon.[0], base_index codon.[1], base_index codon.[2] with
+    | Some a, Some b, Some c -> Some ((a * 16) + (b * 4) + c)
+    | _ -> None
+
+let codon_of_index i =
+  String.init 3 (fun k ->
+      match k with
+      | 0 -> bases.(i / 16)
+      | 1 -> bases.(i / 4 mod 4)
+      | _ -> bases.(i mod 4))
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let register ~id ~name ~amino_acids ~starts =
+  if String.length amino_acids <> 64 then
+    invalid_arg "Genetic_code.register: amino_acids must be 64 characters";
+  if String.length starts <> 64 then
+    invalid_arg "Genetic_code.register: starts must be 64 characters";
+  let table =
+    Array.init 64 (fun i ->
+        match Amino_acid.of_char amino_acids.[i] with
+        | Some a -> a
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Genetic_code.register: bad residue %C" amino_acids.[i]))
+  in
+  let start_flags = Array.init 64 (fun i -> starts.[i] = 'M') in
+  let code = { id; name; table; starts = start_flags } in
+  Hashtbl.replace registry id code;
+  code
+
+let standard =
+  register ~id:1 ~name:"Standard"
+    ~amino_acids:"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG"
+    ~starts:"---M---------------M---------------M----------------------------"
+
+let vertebrate_mitochondrial =
+  register ~id:2 ~name:"Vertebrate Mitochondrial"
+    ~amino_acids:"FFLLSSSSYY**CCWWLLLLPPPPHHQQRRRRIIMMTTTTNNKKSS**VVVVAAAADDEEGGGG"
+    ~starts:"--------------------------------MMMM---------------M------------"
+
+let bacterial =
+  register ~id:11 ~name:"Bacterial, Archaeal and Plant Plastid"
+    ~amino_acids:"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG"
+    ~starts:"---M------**--*----M------------MMMM---------------M------------"
+
+let by_id i = Hashtbl.find_opt registry i
+
+let all () =
+  Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+(* Expansion of a possibly-ambiguous codon into concrete table indices. *)
+let expand_codon codon =
+  if String.length codon <> 3 then None
+  else
+    let expand c =
+      match Nucleotide.of_char c with
+      | None -> None
+      | Some b -> Some (Nucleotide.expand b)
+    in
+    match expand codon.[0], expand codon.[1], expand codon.[2] with
+    | Some xs, Some ys, Some zs ->
+        let triplets =
+          List.concat_map
+            (fun x ->
+              List.concat_map
+                (fun y ->
+                  List.map
+                    (fun z ->
+                      String.init 3 (fun i ->
+                          Nucleotide.to_char (match i with 0 -> x | 1 -> y | _ -> z)))
+                    zs)
+                ys)
+            xs
+        in
+        Some (List.filter_map codon_index triplets)
+    | _ -> None
+
+let translate_codon t codon =
+  match codon_index codon with
+  | Some i -> t.table.(i)
+  | None -> (
+      match expand_codon codon with
+      | None | Some [] ->
+          invalid_arg (Printf.sprintf "Genetic_code.translate_codon: %S" codon)
+      | Some (first :: rest) ->
+          let aa = t.table.(first) in
+          if List.for_all (fun i -> Amino_acid.equal t.table.(i) aa) rest then aa
+          else Amino_acid.Xaa)
+
+let is_start_codon t codon =
+  match codon_index codon with Some i -> t.starts.(i) | None -> false
+
+let is_stop_codon t codon =
+  match codon_index codon with
+  | Some i -> Amino_acid.equal t.table.(i) Amino_acid.Stop
+  | None -> false
+
+let start_codons t =
+  List.filter_map
+    (fun i -> if t.starts.(i) then Some (codon_of_index i) else None)
+    (List.init 64 Fun.id)
+
+let stop_codons t =
+  List.filter_map
+    (fun i ->
+      if Amino_acid.equal t.table.(i) Amino_acid.Stop then Some (codon_of_index i)
+      else None)
+    (List.init 64 Fun.id)
+
+let back_translate t aa =
+  List.filter_map
+    (fun i -> if Amino_acid.equal t.table.(i) aa then Some (codon_of_index i) else None)
+    (List.init 64 Fun.id)

@@ -1,0 +1,48 @@
+(** Genetic codes (codon → amino acid translation tables).
+
+    Codes are identified by their NCBI [transl_table] numbers. The standard
+    code (1), the vertebrate mitochondrial code (2) and the
+    bacterial/archaeal/plant-plastid code (11) are built in; further codes
+    can be registered, in keeping with the algebra's extensibility goal. *)
+
+type t
+
+val standard : t
+val vertebrate_mitochondrial : t
+val bacterial : t
+
+val by_id : int -> t option
+(** Look up a registered code by NCBI table number. *)
+
+val register : id:int -> name:string -> amino_acids:string -> starts:string -> t
+(** Define and register a code from the 64-character NCBI table strings
+    ([amino_acids] gives the residue per codon in TTT…GGG order, [starts]
+    marks start codons with ['M']). Raises [Invalid_argument] if either
+    string is not 64 characters or contains an unknown residue letter. *)
+
+val id : t -> int
+val name : t -> string
+
+val codon_index : string -> int option
+(** [codon_index "ATG"] is the 0..63 table index of a codon given as three
+    DNA or RNA letters; [None] when any letter is ambiguous or invalid. *)
+
+val translate_codon : t -> string -> Amino_acid.t
+(** Translate one codon (3 letters, DNA or RNA). Codons containing
+    ambiguity codes translate to a unique residue when every expansion
+    agrees, and to {!Amino_acid.Xaa} otherwise. Raises [Invalid_argument]
+    if the string is not 3 nucleotide letters. *)
+
+val is_start_codon : t -> string -> bool
+val is_stop_codon : t -> string -> bool
+
+val start_codons : t -> string list
+(** Start codons as DNA triplets, ascending by table index. *)
+
+val stop_codons : t -> string list
+
+val all : unit -> t list
+(** Every registered code, ascending by id. *)
+
+val back_translate : t -> Amino_acid.t -> string list
+(** All DNA codons coding for the residue (empty for ambiguity codes). *)

@@ -1,0 +1,44 @@
+type t = {
+  organism : string;
+  taxonomy : string list;
+  chromosomes : Chromosome.t list;
+}
+
+let make ?(taxonomy = []) ~organism chromosomes =
+  let names = List.map (fun (c : Chromosome.t) -> c.Chromosome.name) chromosomes in
+  let distinct = List.sort_uniq String.compare names in
+  if List.length distinct <> List.length names then
+    Error "duplicate chromosome names"
+  else Ok { organism; taxonomy; chromosomes }
+
+let make_exn ?taxonomy ~organism chromosomes =
+  match make ?taxonomy ~organism chromosomes with
+  | Ok g -> g
+  | Error msg -> invalid_arg ("Genome.make_exn: " ^ msg)
+
+let total_length t =
+  List.fold_left (fun acc c -> acc + Chromosome.length c) 0 t.chromosomes
+
+let chromosome_count t = List.length t.chromosomes
+
+let find_chromosome t name =
+  List.find_opt (fun (c : Chromosome.t) -> c.Chromosome.name = name) t.chromosomes
+
+let all_features t =
+  List.concat_map
+    (fun (c : Chromosome.t) ->
+      List.map (fun f -> (c.Chromosome.name, f)) c.Chromosome.features)
+    t.chromosomes
+
+let gene_count t =
+  List.length
+    (List.filter (fun (_, f) -> f.Feature.kind = Feature.Gene) (all_features t))
+
+let equal a b =
+  a.organism = b.organism && a.taxonomy = b.taxonomy
+  && List.length a.chromosomes = List.length b.chromosomes
+  && List.for_all2 Chromosome.equal a.chromosomes b.chromosomes
+
+let pp ppf t =
+  Format.fprintf ppf "genome of %s: %d chromosome(s), %d bp" t.organism
+    (chromosome_count t) (total_length t)

@@ -1,0 +1,24 @@
+(** The [genome] genomic data type: an organism's chromosomes. *)
+
+type t = private {
+  organism : string;
+  taxonomy : string list;  (** lineage, most general first *)
+  chromosomes : Chromosome.t list;
+}
+
+val make : ?taxonomy:string list -> organism:string -> Chromosome.t list -> (t, string) result
+(** Chromosome names must be distinct. *)
+
+val make_exn : ?taxonomy:string list -> organism:string -> Chromosome.t list -> t
+
+val total_length : t -> int
+val chromosome_count : t -> int
+val find_chromosome : t -> string -> Chromosome.t option
+
+val all_features : t -> (string * Feature.t) list
+(** Every feature paired with its chromosome name. *)
+
+val gene_count : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

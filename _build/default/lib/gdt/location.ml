@@ -1,0 +1,140 @@
+type t =
+  | Point of int
+  | Range of int * int
+  | Complement of t
+  | Join of t list
+
+let point n =
+  if n < 1 then invalid_arg "Location.point: coordinates are 1-based";
+  Point n
+
+let range lo hi =
+  if lo < 1 || hi < lo then invalid_arg "Location.range: requires 1 <= lo <= hi";
+  Range (lo, hi)
+
+let complement t = Complement t
+
+let join = function
+  | [] -> invalid_arg "Location.join: empty"
+  | [ single ] -> single
+  | parts -> Join parts
+
+let rec length = function
+  | Point _ -> 1
+  | Range (lo, hi) -> hi - lo + 1
+  | Complement inner -> length inner
+  | Join parts -> List.fold_left (fun acc p -> acc + length p) 0 parts
+
+let rec span = function
+  | Point n -> (n, n)
+  | Range (lo, hi) -> (lo, hi)
+  | Complement inner -> span inner
+  | Join parts ->
+      List.fold_left
+        (fun (lo, hi) p ->
+          let plo, phi = span p in
+          (min lo plo, max hi phi))
+        (max_int, min_int) parts
+
+let is_reverse = function Complement _ -> true | Point _ | Range _ | Join _ -> false
+
+let rec extract t seq =
+  match t with
+  | Point n -> Sequence.sub seq ~pos:(n - 1) ~len:1
+  | Range (lo, hi) -> Sequence.sub seq ~pos:(lo - 1) ~len:(hi - lo + 1)
+  | Complement inner -> Sequence.reverse_complement (extract inner seq)
+  | Join parts -> Sequence.concat (List.map (fun p -> extract p seq) parts)
+
+let rec shift off = function
+  | Point n -> Point (n + off)
+  | Range (lo, hi) -> Range (lo + off, hi + off)
+  | Complement inner -> Complement (shift off inner)
+  | Join parts -> Join (List.map (shift off) parts)
+
+let rec to_string = function
+  | Point n -> string_of_int n
+  | Range (lo, hi) -> Printf.sprintf "%d..%d" lo hi
+  | Complement inner -> Printf.sprintf "complement(%s)" (to_string inner)
+  | Join parts -> Printf.sprintf "join(%s)" (String.concat "," (List.map to_string parts))
+
+(* --------------------------------------------------------------- *)
+(* Parser: a tiny recursive-descent parser over the GenBank syntax. *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let skip_partial_marker () =
+    match peek () with Some ('<' | '>') -> advance () | _ -> ()
+  in
+  let parse_int () =
+    skip_partial_marker ();
+    let start = !pos in
+    while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let keyword_at kw =
+    let k = String.length kw in
+    !pos + k <= n && String.sub s !pos k = kw
+  in
+  let rec parse_loc () =
+    if keyword_at "complement(" then begin
+      pos := !pos + String.length "complement(";
+      let inner = parse_loc () in
+      expect ')';
+      Complement inner
+    end
+    else if keyword_at "join(" then begin
+      pos := !pos + String.length "join(";
+      let parts = parse_list () in
+      expect ')';
+      join parts
+    end
+    else if keyword_at "order(" then begin
+      (* GenBank "order" is treated as join for extraction purposes *)
+      pos := !pos + String.length "order(";
+      let parts = parse_list () in
+      expect ')';
+      join parts
+    end
+    else begin
+      let lo = parse_int () in
+      match peek () with
+      | Some '.' when !pos + 1 < n && s.[!pos + 1] = '.' ->
+          pos := !pos + 2;
+          let hi = parse_int () in
+          if lo < 1 || hi < lo then fail "empty or non-positive range" else Range (lo, hi)
+      | _ -> if lo < 1 then fail "coordinates are 1-based" else Point lo
+    end
+  and parse_list () =
+    let first = parse_loc () in
+    match peek () with
+    | Some ',' ->
+        advance ();
+        first :: parse_list ()
+    | _ -> [ first ]
+  in
+  match
+    let loc = parse_loc () in
+    if !pos <> n then fail "trailing characters";
+    loc
+  with
+  | loc -> Ok loc
+  | exception Parse_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

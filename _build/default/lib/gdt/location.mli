@@ -1,0 +1,50 @@
+(** Feature locations in the GenBank style.
+
+    Locations describe where a feature (gene, CDS, exon, …) lies on a
+    sequence: simple ranges, single points, strand complements and joins of
+    several spans, exactly as written in GenBank flat files
+    (e.g. [join(12..78,complement(134..202))]). Coordinates are 1-based and
+    inclusive, matching the repository convention. *)
+
+type t =
+  | Point of int                      (** a single base, [n] *)
+  | Range of int * int                (** [lo..hi], inclusive *)
+  | Complement of t                   (** opposite strand *)
+  | Join of t list                    (** ordered concatenation of spans *)
+
+val point : int -> t
+val range : int -> int -> t
+(** [range lo hi]; raises [Invalid_argument] if [lo < 1] or [hi < lo]. *)
+
+val complement : t -> t
+val join : t list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val length : t -> int
+(** Total number of bases covered (joins sum their parts). *)
+
+val span : t -> int * int
+(** Minimal and maximal coordinate touched. *)
+
+val is_reverse : t -> bool
+(** True when the outermost interpretation reads the reverse strand. *)
+
+val extract : t -> Sequence.t -> Sequence.t
+(** Cut the located bases out of a sequence, reverse-complementing
+    [Complement] parts, concatenating [Join] parts in order. Raises
+    [Invalid_argument] when the location exceeds the sequence. *)
+
+val shift : int -> t -> t
+(** Add an offset to every coordinate. *)
+
+val to_string : t -> string
+(** GenBank textual syntax. *)
+
+val of_string : string -> (t, string) result
+(** Parse the GenBank syntax (ranges, points, [complement(...)],
+    [join(...)]; partial-end markers [<] and [>] are accepted and
+    discarded). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type t = A | C | G | T | U | R | Y | S | W | K | M | B | D | H | V | N
+
+let of_char c =
+  match Char.uppercase_ascii c with
+  | 'A' -> Some A
+  | 'C' -> Some C
+  | 'G' -> Some G
+  | 'T' -> Some T
+  | 'U' -> Some U
+  | 'R' -> Some R
+  | 'Y' -> Some Y
+  | 'S' -> Some S
+  | 'W' -> Some W
+  | 'K' -> Some K
+  | 'M' -> Some M
+  | 'B' -> Some B
+  | 'D' -> Some D
+  | 'H' -> Some H
+  | 'V' -> Some V
+  | 'N' -> Some N
+  | _ -> None
+
+let of_char_exn c =
+  match of_char c with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Nucleotide.of_char_exn: %C" c)
+
+let to_char = function
+  | A -> 'A'
+  | C -> 'C'
+  | G -> 'G'
+  | T -> 'T'
+  | U -> 'U'
+  | R -> 'R'
+  | Y -> 'Y'
+  | S -> 'S'
+  | W -> 'W'
+  | K -> 'K'
+  | M -> 'M'
+  | B -> 'B'
+  | D -> 'D'
+  | H -> 'H'
+  | V -> 'V'
+  | N -> 'N'
+
+let complement = function
+  | A -> T
+  | C -> G
+  | G -> C
+  | T -> A
+  | U -> A
+  | R -> Y
+  | Y -> R
+  | S -> S
+  | W -> W
+  | K -> M
+  | M -> K
+  | B -> V
+  | D -> H
+  | H -> D
+  | V -> B
+  | N -> N
+
+let to_rna = function T -> U | b -> b
+let to_dna = function U -> T | b -> b
+
+let is_canonical_dna = function A | C | G | T -> true | _ -> false
+let is_canonical_rna = function A | C | G | U -> true | _ -> false
+
+let expand = function
+  | A -> [ A ]
+  | C -> [ C ]
+  | G -> [ G ]
+  | T -> [ T ]
+  | U -> [ T ]
+  | R -> [ A; G ]
+  | Y -> [ C; T ]
+  | S -> [ C; G ]
+  | W -> [ A; T ]
+  | K -> [ G; T ]
+  | M -> [ A; C ]
+  | B -> [ C; G; T ]
+  | D -> [ A; G; T ]
+  | H -> [ A; C; T ]
+  | V -> [ A; C; G ]
+  | N -> [ A; C; G; T ]
+
+let is_ambiguous b =
+  match expand b with [ _ ] -> false | _ -> true
+
+let matches a b =
+  let ea = expand a and eb = expand b in
+  List.exists (fun x -> List.mem x eb) ea
+
+let all = [ A; C; G; T; U; R; Y; S; W; K; M; B; D; H; V; N ]
+
+let pp ppf b = Format.pp_print_char ppf (to_char b)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

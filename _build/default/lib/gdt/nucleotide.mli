@@ -1,0 +1,69 @@
+(** Nucleotide bases, including the full IUPAC ambiguity alphabet.
+
+    The Genomics Algebra treats nucleotides as the atomic genomic data type
+    from which DNA and RNA sequences are built (paper section 4.2). We support
+    the four canonical DNA bases, uracil for RNA, and the eleven IUPAC
+    ambiguity codes that appear throughout real repository data. *)
+
+type t =
+  | A  (** adenine *)
+  | C  (** cytosine *)
+  | G  (** guanine *)
+  | T  (** thymine (DNA) *)
+  | U  (** uracil (RNA) *)
+  | R  (** purine: A or G *)
+  | Y  (** pyrimidine: C or T/U *)
+  | S  (** strong: G or C *)
+  | W  (** weak: A or T/U *)
+  | K  (** keto: G or T/U *)
+  | M  (** amino: A or C *)
+  | B  (** not A *)
+  | D  (** not C *)
+  | H  (** not G *)
+  | V  (** not T/U *)
+  | N  (** any base *)
+
+val of_char : char -> t option
+(** [of_char c] parses an IUPAC code, case-insensitively. *)
+
+val of_char_exn : char -> t
+(** Like {!of_char} but raises [Invalid_argument] on unknown codes. *)
+
+val to_char : t -> char
+(** Upper-case IUPAC character for the base. [U] prints as ['U']. *)
+
+val complement : t -> t
+(** Watson–Crick complement, extended over ambiguity codes (e.g. the
+    complement of [R] (A/G) is [Y] (T/C)). [U] complements to [A]. *)
+
+val to_rna : t -> t
+(** Replace [T] with [U]; all other bases unchanged. *)
+
+val to_dna : t -> t
+(** Replace [U] with [T]; all other bases unchanged. *)
+
+val is_canonical_dna : t -> bool
+(** True for [A], [C], [G], [T] only. *)
+
+val is_canonical_rna : t -> bool
+(** True for [A], [C], [G], [U] only. *)
+
+val is_ambiguous : t -> bool
+(** True for every code that denotes more than one concrete base. *)
+
+val expand : t -> t list
+(** Concrete DNA bases an ambiguity code may stand for; canonical bases
+    expand to themselves, and [U] expands to [[T]]. *)
+
+val matches : t -> t -> bool
+(** [matches a b] is true when the sets of concrete bases denoted by [a] and
+    [b] intersect; this is the semantics used by pattern search over
+    ambiguous sequences. *)
+
+val all : t list
+(** All sixteen codes, in declaration order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

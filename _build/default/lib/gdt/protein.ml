@@ -1,0 +1,56 @@
+type t = {
+  id : string;
+  name : string;
+  residues : Sequence.t;
+  provenance : Provenance.t option;
+}
+
+let make ?name ?provenance ~id residues =
+  match Sequence.alphabet residues with
+  | Sequence.Dna | Sequence.Rna -> Error "protein sequence must use the protein alphabet"
+  | Sequence.Protein ->
+      Ok { id; name = Option.value name ~default:id; residues; provenance }
+
+let make_exn ?name ?provenance ~id residues =
+  match make ?name ?provenance ~id residues with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Protein.make_exn: " ^ msg)
+
+let length t = Sequence.length t.residues
+
+let water_mass = 18.01528
+
+let molecular_weight t =
+  let sum =
+    Sequence.fold_left
+      (fun acc c ->
+        let aa = Amino_acid.of_char_exn c in
+        if Amino_acid.equal aa Amino_acid.Stop then acc
+        else acc +. Amino_acid.average_mass aa)
+      0. t.residues
+  in
+  if length t = 0 then 0. else sum +. water_mass
+
+let hydropathy_profile t ~window =
+  let n = length t in
+  if window <= 0 || window mod 2 = 0 || window > n then
+    invalid_arg "Protein.hydropathy_profile: window must be positive, odd, <= length";
+  let values =
+    Array.init n (fun i -> Amino_acid.hydropathy (Sequence.get_residue t.residues i))
+  in
+  let out = Array.make (n - window + 1) 0. in
+  let sum = ref 0. in
+  for i = 0 to window - 1 do
+    sum := !sum +. values.(i)
+  done;
+  out.(0) <- !sum /. float_of_int window;
+  for i = 1 to n - window do
+    sum := !sum -. values.(i - 1) +. values.(i + window - 1);
+    out.(i) <- !sum /. float_of_int window
+  done;
+  out
+
+let equal a b =
+  a.id = b.id && a.name = b.name && Sequence.equal a.residues b.residues
+
+let pp ppf t = Format.fprintf ppf "protein %s (%s): %d aa" t.id t.name (length t)

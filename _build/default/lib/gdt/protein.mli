@@ -1,0 +1,28 @@
+(** The [protein] genomic data type: a named amino-acid sequence with
+    optional provenance. *)
+
+type t = private {
+  id : string;
+  name : string;
+  residues : Sequence.t;  (** alphabet [Protein] *)
+  provenance : Provenance.t option;
+}
+
+val make :
+  ?name:string -> ?provenance:Provenance.t -> id:string -> Sequence.t -> (t, string) result
+(** The sequence must use the protein alphabet. *)
+
+val make_exn : ?name:string -> ?provenance:Provenance.t -> id:string -> Sequence.t -> t
+
+val length : t -> int
+
+val molecular_weight : t -> float
+(** Average molecular weight in daltons: sum of residue masses plus one
+    water (18.01528 Da). Stops are ignored. *)
+
+val hydropathy_profile : t -> window:int -> float array
+(** Kyte–Doolittle sliding-window means; raises [Invalid_argument] when
+    [window] is not positive and odd or exceeds the length. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

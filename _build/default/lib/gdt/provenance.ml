@@ -1,0 +1,18 @@
+type t = {
+  source : string;
+  record_id : string;
+  version : int;
+  retrieved_at : float;
+}
+
+let make ?(version = 1) ?(retrieved_at = 0.) ~source ~record_id () =
+  { source; record_id; version; retrieved_at }
+
+let self_generated record_id = make ~source:"user" ~record_id ()
+
+let is_user t = t.source = "user"
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%s.v%d" t.source t.record_id t.version

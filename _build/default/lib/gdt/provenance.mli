@@ -1,0 +1,21 @@
+(** Provenance of a genomic value: which repository it came from, under
+    which accession, and when. The paper (C9, section 5) requires that data
+    keep their origin so that conflicting values from different repositories
+    can both be offered to the biologist. *)
+
+type t = {
+  source : string;      (** repository name, e.g. ["SynthBank"] *)
+  record_id : string;   (** accession within the source *)
+  version : int;        (** source record version *)
+  retrieved_at : float; (** seconds since epoch when extracted *)
+}
+
+val make : ?version:int -> ?retrieved_at:float -> source:string -> record_id:string -> unit -> t
+
+val self_generated : string -> t
+(** Provenance for user-created data (paper B5/C13): source ["user"]. *)
+
+val is_user : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

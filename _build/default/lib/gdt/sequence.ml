@@ -1,0 +1,356 @@
+type alphabet = Dna | Rna | Protein
+type encoding = Packed2 | Packed4 | Byte
+
+type t = {
+  alphabet : alphabet;
+  encoding : encoding;
+  len : int;
+  payload : Bytes.t; (* packed data; layout depends on [encoding] *)
+}
+
+let alphabet t = t.alphabet
+let encoding t = t.encoding
+let length t = t.len
+
+(* ------------------------------------------------------------------ *)
+(* Encoding tables                                                     *)
+
+(* Packed2: A=0 C=1 G=2 T/U=3, four bases per byte, little-end first.   *)
+
+let packed2_code = function
+  | 'A' -> 0
+  | 'C' -> 1
+  | 'G' -> 2
+  | 'T' | 'U' -> 3
+  | _ -> -1
+
+let packed2_char_dna = [| 'A'; 'C'; 'G'; 'T' |]
+let packed2_char_rna = [| 'A'; 'C'; 'G'; 'U' |]
+
+(* Packed4: IUPAC bit sets A=1 C=2 G=4 T=8, two bases per byte,
+   low nibble first. *)
+
+let packed4_code c =
+  match c with
+  | 'A' -> 1
+  | 'C' -> 2
+  | 'G' -> 4
+  | 'T' | 'U' -> 8
+  | 'R' -> 5
+  | 'Y' -> 10
+  | 'S' -> 6
+  | 'W' -> 9
+  | 'K' -> 12
+  | 'M' -> 3
+  | 'B' -> 14
+  | 'D' -> 13
+  | 'H' -> 11
+  | 'V' -> 7
+  | 'N' -> 15
+  | _ -> -1
+
+let packed4_char_dna =
+  (* index = bit set; 0 is unused *)
+  [| '?'; 'A'; 'C'; 'M'; 'G'; 'R'; 'S'; 'V'; 'T'; 'W'; 'Y'; 'H'; 'K'; 'D'; 'B'; 'N' |]
+
+let packed4_char_rna =
+  [| '?'; 'A'; 'C'; 'M'; 'G'; 'R'; 'S'; 'V'; 'U'; 'W'; 'Y'; 'H'; 'K'; 'D'; 'B'; 'N' |]
+
+let valid_protein c = Amino_acid.of_char c <> None
+
+let valid_nucleotide alpha c =
+  match Nucleotide.of_char c with
+  | None -> false
+  | Some b -> (
+      match alpha, b with
+      | Dna, Nucleotide.U -> false
+      | Rna, Nucleotide.T -> false
+      | (Dna | Rna), _ -> true
+      | Protein, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let pack2 s =
+  let n = String.length s in
+  let buf = Bytes.make ((n + 3) / 4) '\000' in
+  for i = 0 to n - 1 do
+    let code = packed2_code s.[i] in
+    let byte = i / 4 and off = (i mod 4) * 2 in
+    Bytes.unsafe_set buf byte
+      (Char.chr (Char.code (Bytes.unsafe_get buf byte) lor (code lsl off)))
+  done;
+  buf
+
+let pack4 s =
+  let n = String.length s in
+  let buf = Bytes.make ((n + 1) / 2) '\000' in
+  for i = 0 to n - 1 do
+    let code = packed4_code s.[i] in
+    let byte = i / 2 and off = (i mod 2) * 4 in
+    Bytes.unsafe_set buf byte
+      (Char.chr (Char.code (Bytes.unsafe_get buf byte) lor (code lsl off)))
+  done;
+  buf
+
+let of_string alpha s =
+  let n = String.length s in
+  let s = String.uppercase_ascii s in
+  match alpha with
+  | Protein ->
+      let bad = ref None in
+      String.iteri (fun i c -> if !bad = None && not (valid_protein c) then bad := Some (i, c)) s;
+      (match !bad with
+      | Some (i, c) ->
+          Error (Printf.sprintf "invalid amino-acid code %C at position %d" c i)
+      | None -> Ok { alphabet = Protein; encoding = Byte; len = n; payload = Bytes.of_string s })
+  | Dna | Rna ->
+      let bad = ref None and canonical = ref true in
+      String.iteri
+        (fun i c ->
+          if !bad = None then
+            if not (valid_nucleotide alpha c) then bad := Some (i, c)
+            else if packed2_code c < 0 then canonical := false)
+        s;
+      (match !bad with
+      | Some (i, c) ->
+          Error (Printf.sprintf "invalid nucleotide code %C at position %d" c i)
+      | None ->
+          if !canonical then
+            Ok { alphabet = alpha; encoding = Packed2; len = n; payload = pack2 s }
+          else Ok { alphabet = alpha; encoding = Packed4; len = n; payload = pack4 s })
+
+let of_string_exn alpha s =
+  match of_string alpha s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Sequence.of_string_exn: " ^ msg)
+
+let dna s = of_string_exn Dna s
+let rna s = of_string_exn Rna s
+let protein s = of_string_exn Protein s
+let empty alpha = of_string_exn alpha ""
+
+(* ------------------------------------------------------------------ *)
+(* Access                                                              *)
+
+let unsafe_get t i =
+  match t.encoding with
+  | Byte -> Bytes.unsafe_get t.payload i
+  | Packed2 ->
+      let code = (Char.code (Bytes.unsafe_get t.payload (i / 4)) lsr ((i mod 4) * 2)) land 3 in
+      (match t.alphabet with
+      | Rna -> Array.unsafe_get packed2_char_rna code
+      | Dna | Protein -> Array.unsafe_get packed2_char_dna code)
+  | Packed4 ->
+      let code = (Char.code (Bytes.unsafe_get t.payload (i / 2)) lsr ((i mod 2) * 4)) land 15 in
+      (match t.alphabet with
+      | Rna -> Array.unsafe_get packed4_char_rna code
+      | Dna | Protein -> Array.unsafe_get packed4_char_dna code)
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Sequence.get: index out of bounds";
+  unsafe_get t i
+
+let get_base t i =
+  match t.alphabet with
+  | Protein -> invalid_arg "Sequence.get_base: protein sequence"
+  | Dna | Rna -> Nucleotide.of_char_exn (get t i)
+
+let get_residue t i =
+  match t.alphabet with
+  | Protein -> Amino_acid.of_char_exn (get t i)
+  | Dna | Rna -> invalid_arg "Sequence.get_residue: nucleotide sequence"
+
+let to_string t =
+  String.init t.len (fun i -> unsafe_get t i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (unsafe_get t i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (unsafe_get t i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (unsafe_get t i)
+  done;
+  !acc
+
+let count pred t =
+  fold_left (fun n c -> if pred c then n + 1 else n) 0 t
+
+let gc_count t =
+  match t.alphabet with
+  | Protein -> invalid_arg "Sequence.gc_count: protein sequence"
+  | Dna | Rna -> count (function 'G' | 'C' | 'S' -> true | _ -> false) t
+
+(* ------------------------------------------------------------------ *)
+(* Slicing and assembly                                                *)
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Sequence.sub: bounds";
+  of_string_exn t.alphabet (String.init len (fun i -> unsafe_get t (pos + i)))
+
+let concat = function
+  | [] -> empty Dna
+  | first :: _ as parts ->
+      let alpha = first.alphabet in
+      let ok = List.for_all (fun p -> p.alphabet = alpha) parts in
+      if not ok then invalid_arg "Sequence.concat: mixed alphabets";
+      of_string_exn alpha (String.concat "" (List.map to_string parts))
+
+let append a b = concat [ a; b ]
+
+let rev t =
+  of_string_exn t.alphabet (String.init t.len (fun i -> unsafe_get t (t.len - 1 - i)))
+
+let complement t =
+  match t.alphabet with
+  | Protein -> invalid_arg "Sequence.complement: protein sequence"
+  | Dna | Rna ->
+      let comp c =
+        let b = Nucleotide.complement (Nucleotide.of_char_exn c) in
+        let b = if t.alphabet = Rna then Nucleotide.to_rna b else b in
+        Nucleotide.to_char b
+      in
+      of_string_exn t.alphabet (String.init t.len (fun i -> comp (unsafe_get t i)))
+
+let reverse_complement t = rev (complement t)
+
+let to_rna t =
+  match t.alphabet with
+  | Rna -> t
+  | Protein -> invalid_arg "Sequence.to_rna: protein sequence"
+  | Dna ->
+      let conv c = if c = 'T' then 'U' else c in
+      of_string_exn Rna (String.init t.len (fun i -> conv (unsafe_get t i)))
+
+let to_dna t =
+  match t.alphabet with
+  | Dna -> t
+  | Protein -> invalid_arg "Sequence.to_dna: protein sequence"
+  | Rna ->
+      let conv c = if c = 'U' then 'T' else c in
+      of_string_exn Dna (String.init t.len (fun i -> conv (unsafe_get t i)))
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+let char_matches alpha a b =
+  if a = b then true
+  else
+    match alpha with
+    | Protein -> false
+    | Dna | Rna -> (
+        match Nucleotide.of_char a, Nucleotide.of_char b with
+        | Some x, Some y -> Nucleotide.matches x y
+        | _ -> false)
+
+let find ?(start = 0) ~pattern t =
+  let m = String.length pattern in
+  let pattern = String.uppercase_ascii pattern in
+  if m = 0 then if start <= t.len then Some start else None
+  else begin
+    let limit = t.len - m in
+    let rec at i j =
+      if j = m then true
+      else if char_matches t.alphabet (unsafe_get t (i + j)) pattern.[j] then at i (j + 1)
+      else false
+    in
+    let rec loop i =
+      if i > limit then None else if at i 0 then Some i else loop (i + 1)
+    in
+    loop (max 0 start)
+  end
+
+let find_all ~pattern t =
+  let rec loop start acc =
+    match find ~start ~pattern t with
+    | None -> List.rev acc
+    | Some i -> loop (i + 1) (i :: acc)
+  in
+  if String.length pattern = 0 then []
+  else loop 0 []
+
+let contains ~pattern t = find ~pattern t <> None
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+
+let equal a b =
+  a.alphabet = b.alphabet && a.len = b.len
+  &&
+  let rec loop i =
+    i >= a.len || (unsafe_get a i = unsafe_get b i && loop (i + 1))
+  in
+  loop 0
+
+let compare a b =
+  let c = Stdlib.compare a.alphabet b.alphabet in
+  if c <> 0 then c
+  else
+    let n = min a.len b.len in
+    let rec loop i =
+      if i = n then Stdlib.compare a.len b.len
+      else
+        let c = Char.compare (unsafe_get a i) (unsafe_get b i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Hashtbl.hash (t.alphabet, to_string t)
+
+let memory_bytes t = Bytes.length t.payload
+
+(* ------------------------------------------------------------------ *)
+(* Binary serialization (the "compact storage area" of section 4.4)    *)
+
+let tag_of t =
+  let a = match t.alphabet with Dna -> 0 | Rna -> 1 | Protein -> 2 in
+  let e = match t.encoding with Packed2 -> 0 | Packed4 -> 1 | Byte -> 2 in
+  (a lsl 2) lor e
+
+let to_bytes t =
+  let payload_len = Bytes.length t.payload in
+  let buf = Bytes.create (1 + 8 + payload_len) in
+  Bytes.set buf 0 (Char.chr (tag_of t));
+  Bytes.set_int64_le buf 1 (Int64.of_int t.len);
+  Bytes.blit t.payload 0 buf 9 payload_len;
+  buf
+
+let of_bytes buf =
+  if Bytes.length buf < 9 then Error "Sequence.of_bytes: truncated header"
+  else
+    let tag = Char.code (Bytes.get buf 0) in
+    let alpha =
+      match tag lsr 2 with 0 -> Some Dna | 1 -> Some Rna | 2 -> Some Protein | _ -> None
+    in
+    let enc =
+      match tag land 3 with 0 -> Some Packed2 | 1 -> Some Packed4 | 2 -> Some Byte | _ -> None
+    in
+    match alpha, enc with
+    | Some alphabet, Some encoding ->
+        let len = Int64.to_int (Bytes.get_int64_le buf 1) in
+        let expected =
+          match encoding with
+          | Packed2 -> (len + 3) / 4
+          | Packed4 -> (len + 1) / 2
+          | Byte -> len
+        in
+        if len < 0 || Bytes.length buf <> 9 + expected then
+          Error "Sequence.of_bytes: payload length mismatch"
+        else
+          Ok { alphabet; encoding; len; payload = Bytes.sub buf 9 expected }
+    | _ -> Error "Sequence.of_bytes: bad tag byte"
+
+let pp ppf t =
+  let n = min t.len 60 in
+  let prefix = String.init n (fun i -> unsafe_get t i) in
+  if t.len <= 60 then Format.fprintf ppf "%s" prefix
+  else Format.fprintf ppf "%s… (%d)" prefix t.len

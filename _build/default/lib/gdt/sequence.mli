@@ -1,0 +1,124 @@
+(** Compact, immutable genomic sequences.
+
+    Section 4.4 of the paper demands that GDT representations "not employ
+    pointer data structures in main memory but be embedded into compact
+    storage areas which can be efficiently transferred between main memory
+    and disk". This module provides exactly that: sequences are stored in
+    flat byte buffers using the densest encoding the data admits
+    (2 bits/base for canonical DNA/RNA, 4 bits/base for IUPAC-ambiguous
+    nucleotide data, 1 byte/residue otherwise), and serialize to a framed
+    binary form with no unpacking cost beyond a buffer copy.
+
+    A single representation serves every algebra operation (section 4.4's
+    "reconciling the various requirements posed by different algorithms
+    within a single data structure"). *)
+
+type alphabet = Dna | Rna | Protein
+
+type encoding =
+  | Packed2  (** 2 bits per base; canonical ACGT / ACGU only *)
+  | Packed4  (** 4 bits per base; full IUPAC nucleotide alphabet *)
+  | Byte     (** 1 byte per residue; proteins and anything else *)
+
+type t
+
+val alphabet : t -> alphabet
+val encoding : t -> encoding
+
+val of_string : alphabet -> string -> (t, string) result
+(** Validate and pack a textual sequence. Letters are case-normalised.
+    Returns [Error] describing the first offending character. The densest
+    valid encoding is chosen automatically. *)
+
+val of_string_exn : alphabet -> string -> t
+(** Like {!of_string}; raises [Invalid_argument] on bad input. *)
+
+val dna : string -> t
+(** [dna s] is [of_string_exn Dna s]. *)
+
+val rna : string -> t
+val protein : string -> t
+
+val to_string : t -> string
+(** Upper-case textual form. *)
+
+val length : t -> int
+
+val get : t -> int -> char
+(** [get t i] is the upper-case letter at 0-based position [i].
+    Raises [Invalid_argument] when out of bounds. *)
+
+val get_base : t -> int -> Nucleotide.t
+(** Typed accessor for nucleotide alphabets; raises [Invalid_argument] on
+    protein sequences. *)
+
+val get_residue : t -> int -> Amino_acid.t
+(** Typed accessor for protein sequences. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Contiguous subsequence; raises [Invalid_argument] on bad bounds. *)
+
+val concat : t list -> t
+(** Concatenation. All inputs must share an alphabet; the empty list yields
+    an empty DNA sequence. *)
+
+val append : t -> t -> t
+
+val rev : t -> t
+(** Reversal (not complementation). *)
+
+val complement : t -> t
+(** Base-wise Watson–Crick complement; raises [Invalid_argument] for
+    proteins. *)
+
+val reverse_complement : t -> t
+
+val to_rna : t -> t
+(** Reinterpret a DNA sequence as RNA (T becomes U). Identity on RNA. *)
+
+val to_dna : t -> t
+(** Reverse of {!to_rna}. Identity on DNA. *)
+
+val iter : (char -> unit) -> t -> unit
+val iteri : (int -> char -> unit) -> t -> unit
+val fold_left : ('a -> char -> 'a) -> 'a -> t -> 'a
+
+val count : (char -> bool) -> t -> int
+(** Number of positions whose letter satisfies the predicate. *)
+
+val gc_count : t -> int
+(** Occurrences of G, C or S (strong). Raises on proteins. *)
+
+val find : ?start:int -> pattern:string -> t -> int option
+(** Leftmost exact occurrence of [pattern] at or after [start] (default 0);
+    ambiguity codes in either pattern or subject match via
+    {!Nucleotide.matches} for nucleotide alphabets. *)
+
+val find_all : pattern:string -> t -> int list
+(** All (possibly overlapping) occurrences, ascending. *)
+
+val contains : pattern:string -> t -> bool
+
+val equal : t -> t -> bool
+(** Letter-wise equality (same alphabet, same letters); encodings may
+    differ. *)
+
+val compare : t -> t -> int
+(** Lexicographic on letters, alphabet first. *)
+
+val hash : t -> int
+
+val memory_bytes : t -> int
+(** Bytes occupied by the packed payload (excludes OCaml headers). *)
+
+val to_bytes : t -> bytes
+(** Framed binary serialization: 1 tag byte (alphabet, encoding), 8-byte
+    little-endian length, then the packed payload verbatim. *)
+
+val of_bytes : bytes -> (t, string) result
+(** Inverse of {!to_bytes}. *)
+
+val empty : alphabet -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints at most 60 letters followed by an ellipsis and the length. *)

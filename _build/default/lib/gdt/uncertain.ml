@@ -1,0 +1,91 @@
+type 'a alternative = {
+  value : 'a;
+  confidence : float;
+  provenance : Provenance.t option;
+}
+
+type 'a t = 'a alternative list (* invariant: non-empty, sorted desc by confidence *)
+
+let clamp c = if c < 0. then 0. else if c > 1. then 1. else c
+
+let sort alts =
+  List.stable_sort (fun a b -> Float.compare b.confidence a.confidence) alts
+
+let certain v = [ { value = v; confidence = 1.; provenance = None } ]
+
+let make ?provenance ~confidence v =
+  [ { value = v; confidence = clamp confidence; provenance } ]
+
+let of_alternatives = function
+  | [] -> invalid_arg "Uncertain.of_alternatives: empty"
+  | alts -> sort (List.map (fun a -> { a with confidence = clamp a.confidence }) alts)
+
+let best = function
+  | a :: _ -> a.value
+  | [] -> assert false
+
+let best_confidence = function
+  | a :: _ -> a.confidence
+  | [] -> assert false
+
+let alternatives t = t
+let cardinal = List.length
+
+let is_certain = function
+  | [ a ] -> a.confidence >= 1.
+  | _ -> false
+
+let map f t = List.map (fun a -> { a with value = f a.value }) t
+
+let map_confidence ?(factor = 1.) f t =
+  List.map
+    (fun a -> { a with value = f a.value; confidence = clamp (a.confidence *. factor) })
+    t
+
+let bind f t =
+  let expanded =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b ->
+            {
+              b with
+              confidence = clamp (a.confidence *. b.confidence);
+              provenance = (match b.provenance with None -> a.provenance | p -> p);
+            })
+          (f a.value))
+      t
+  in
+  sort expanded
+
+let merge ~equal a b =
+  let add acc alt =
+    match List.partition (fun x -> equal x.value alt.value) acc with
+    | [], _ -> alt :: acc
+    | existing :: _, rest ->
+        let keep = if existing.confidence >= alt.confidence then existing else alt in
+        keep :: rest
+  in
+  sort (List.fold_left add a b)
+
+let prune ~min_confidence = function
+  | [] -> assert false
+  | (first :: _) as t ->
+      (match List.filter (fun a -> a.confidence >= min_confidence) t with
+      | [] -> [ first ]
+      | kept -> kept)
+
+let equal eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> eq x.value y.value && Float.equal x.confidence y.confidence)
+       a b
+
+let pp pp_v ppf t =
+  let pp_alt ppf a =
+    Format.fprintf ppf "%a@%.2f" pp_v a.value a.confidence;
+    match a.provenance with
+    | Some p -> Format.fprintf ppf "[%a]" Provenance.pp p
+    | None -> ()
+  in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_alt) t

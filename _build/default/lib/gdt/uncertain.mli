@@ -1,0 +1,63 @@
+(** Uncertainty-carrying values.
+
+    Biological results "are inherently uncertain and never guaranteed …
+    always attached with some degree of uncertainty" (paper section 4.3),
+    and when two repositories disagree "access to both alternatives should
+    be given" (C9). ['a Uncertain.t] is a non-empty set of alternatives,
+    each with a confidence in [0, 1] and optional provenance, ordered by
+    decreasing confidence. Algebra operations propagate uncertainty by
+    mapping over alternatives and multiplying confidences. *)
+
+type 'a alternative = {
+  value : 'a;
+  confidence : float;
+  provenance : Provenance.t option;
+}
+
+type 'a t
+
+val certain : 'a -> 'a t
+(** A single alternative with confidence 1. *)
+
+val make : ?provenance:Provenance.t -> confidence:float -> 'a -> 'a t
+(** One alternative; confidence is clamped to [0, 1]. *)
+
+val of_alternatives : 'a alternative list -> 'a t
+(** Sorts by decreasing confidence. Raises [Invalid_argument] on []. *)
+
+val best : 'a t -> 'a
+(** Highest-confidence value. *)
+
+val best_confidence : 'a t -> float
+
+val alternatives : 'a t -> 'a alternative list
+(** All alternatives, best first. *)
+
+val cardinal : 'a t -> int
+
+val is_certain : 'a t -> bool
+(** True when there is a single alternative with confidence 1. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Apply a function to every alternative, keeping confidences. *)
+
+val map_confidence : ?factor:float -> ('a -> 'b) -> 'a t -> 'b t
+(** Like {!map} but additionally scales every confidence by [factor]
+    (default 1.); models operations that themselves add uncertainty, such
+    as the paper's approximated [splice]. *)
+
+val bind : ('a -> 'b t) -> 'a t -> 'b t
+(** Monadic composition: confidences multiply. *)
+
+val merge : equal:('a -> 'a -> bool) -> 'a t -> 'a t -> 'a t
+(** Union of alternatives from two (possibly conflicting) sources; equal
+    values are coalesced keeping the higher confidence, and the result is
+    renormalised so the best alternative's confidence is unchanged but
+    ordering is by confidence. Used by the warehouse integrator for
+    conflicting repository values. *)
+
+val prune : min_confidence:float -> 'a t -> 'a t
+(** Drop alternatives below the threshold; always keeps the best one. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

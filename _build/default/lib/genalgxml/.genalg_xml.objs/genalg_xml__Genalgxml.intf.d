@@ -1,0 +1,1 @@
+lib/genalgxml/genalgxml.mli: Genalg_core Xml

@@ -1,0 +1,1 @@
+lib/genalgxml/xml.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/genalgxml/xml.mli:

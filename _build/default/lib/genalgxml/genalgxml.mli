@@ -1,0 +1,17 @@
+(** GenAlgXML — the standardized XML input/output facility for genomic
+    data the paper proposes in section 6.4 ("we plan to design our own
+    XML application, which we name GenAlgXML"), covering the high-level
+    objects of the Genomics Algebra that existing applications (GEML,
+    RiboML, …) cannot represent.
+
+    Every {!Genalg_core.Value.t} round-trips: scalars, sequences, genes,
+    transcripts, proteins, chromosomes, genomes, homogeneous lists and
+    uncertainty-carrying values with provenance. *)
+
+val to_xml : Genalg_core.Value.t -> Xml.t
+val of_xml : Xml.t -> (Genalg_core.Value.t, string) result
+
+val to_string : Genalg_core.Value.t -> string
+(** Serialized document with declaration. *)
+
+val of_string : string -> (Genalg_core.Value.t, string) result

@@ -1,0 +1,239 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+let element ?(attrs = []) ?(children = []) name = Element (name, attrs, children)
+let text s = Text s
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> Error "unterminated entity"
+      | Some j -> (
+          let entity = String.sub s (i + 1) (j - i - 1) in
+          match entity with
+          | "amp" -> Buffer.add_char buf '&'; loop (j + 1)
+          | "lt" -> Buffer.add_char buf '<'; loop (j + 1)
+          | "gt" -> Buffer.add_char buf '>'; loop (j + 1)
+          | "quot" -> Buffer.add_char buf '"'; loop (j + 1)
+          | "apos" -> Buffer.add_char buf '\''; loop (j + 1)
+          | other -> Error ("unknown entity &" ^ other ^ ";"))
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let to_string ?(declaration = true) root =
+  let buf = Buffer.create 1024 in
+  if declaration then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let add_attrs attrs =
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+      attrs
+  in
+  let rec walk indent node =
+    match node with
+    | Text s -> Buffer.add_string buf (escape s)
+    | Element (name, attrs, children) -> (
+        Buffer.add_string buf indent;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        add_attrs attrs;
+        match children with
+        | [] -> Buffer.add_string buf "/>\n"
+        | [ Text s ] ->
+            Buffer.add_char buf '>';
+            Buffer.add_string buf (escape s);
+            Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+        | _ ->
+            Buffer.add_string buf ">\n";
+            List.iter
+              (fun child ->
+                match child with
+                | Text s ->
+                    Buffer.add_string buf (indent ^ "  ");
+                    Buffer.add_string buf (escape s);
+                    Buffer.add_char buf '\n'
+                | Element _ -> walk (indent ^ "  ") child)
+              children;
+            Buffer.add_string buf indent;
+            Buffer.add_string buf (Printf.sprintf "</%s>\n" name))
+  in
+  walk "" root;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+exception Err of string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Err (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && input.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let starts_with p =
+    !pos + String.length p <= n && String.sub input !pos (String.length p) = p
+  in
+  let skip_until p =
+    match
+      let rec find i =
+        if i + String.length p > n then None
+        else if String.sub input i (String.length p) = p then Some i
+        else find (i + 1)
+      in
+      find !pos
+    with
+    | Some i -> pos := i + String.length p
+    | None -> fail (Printf.sprintf "unterminated construct (looking for %s)" p)
+  in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = ':' || c = '.'
+  in
+  let read_name () =
+    let start = !pos in
+    while !pos < n && is_name_char input.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a name";
+    String.sub input start (!pos - start)
+  in
+  let read_attr_value () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && input.[!pos] <> '"' do
+      incr pos
+    done;
+    if !pos >= n then fail "unterminated attribute value";
+    let raw = String.sub input start (!pos - start) in
+    incr pos;
+    match unescape raw with Ok v -> v | Error msg -> fail msg
+  in
+  let rec skip_misc () =
+    skip_ws ();
+    if starts_with "<?" then begin
+      skip_until "?>";
+      skip_misc ()
+    end
+    else if starts_with "<!--" then begin
+      skip_until "-->";
+      skip_misc ()
+    end
+  in
+  let rec parse_element () =
+    expect '<';
+    let name = read_name () in
+    let rec attrs acc =
+      skip_ws ();
+      match peek () with
+      | Some '/' | Some '>' -> List.rev acc
+      | Some c when is_name_char c ->
+          let k = read_name () in
+          skip_ws ();
+          expect '=';
+          skip_ws ();
+          let v = read_attr_value () in
+          attrs ((k, v) :: acc)
+      | _ -> fail "malformed attributes"
+    in
+    let attributes = attrs [] in
+    skip_ws ();
+    if starts_with "/>" then begin
+      pos := !pos + 2;
+      Element (name, attributes, [])
+    end
+    else begin
+      expect '>';
+      let children = parse_children name in
+      Element (name, attributes, children)
+    end
+  and parse_children parent =
+    let acc = ref [] in
+    let closed = ref false in
+    while not !closed do
+      if starts_with "</" then begin
+        pos := !pos + 2;
+        let name = read_name () in
+        if name <> parent then fail (Printf.sprintf "mismatched closing tag %s" name);
+        skip_ws ();
+        expect '>';
+        closed := true
+      end
+      else if starts_with "<!--" then skip_until "-->"
+      else if starts_with "<" then acc := parse_element () :: !acc
+      else begin
+        let start = !pos in
+        while !pos < n && input.[!pos] <> '<' do
+          incr pos
+        done;
+        if !pos >= n then fail "unterminated element";
+        let raw = String.sub input start (!pos - start) in
+        let txt = match unescape raw with Ok v -> v | Error msg -> fail msg in
+        if String.trim txt <> "" then acc := Text txt :: !acc
+      end
+    done;
+    List.rev !acc
+  in
+  match
+    skip_misc ();
+    let root = parse_element () in
+    skip_misc ();
+    if !pos <> n then fail "trailing content";
+    root
+  with
+  | root -> Ok root
+  | exception Err msg -> Error msg
+
+let attr node key =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt key attrs
+  | Text _ -> None
+
+let children_named node name =
+  match node with
+  | Element (_, _, children) ->
+      List.filter
+        (function Element (n, _, _) -> n = name | Text _ -> false)
+        children
+  | Text _ -> []
+
+let child node name =
+  match children_named node name with [] -> None | c :: _ -> Some c
+
+let text_content node =
+  match node with
+  | Text s -> s
+  | Element (_, _, children) ->
+      String.concat ""
+        (List.filter_map (function Text s -> Some s | Element _ -> None) children)

@@ -1,0 +1,27 @@
+(** A small XML engine: elements, attributes, text, escaping. Enough for
+    GenAlgXML documents; no namespaces, DTDs or CDATA. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> t
+val text : string -> t
+
+val to_string : ?declaration:bool -> t -> string
+(** Pretty-printed with two-space indentation; text-only elements stay on
+    one line. [declaration] (default true) prepends [<?xml ...?>]. *)
+
+val parse : string -> (t, string) result
+(** Parse a document with a single root element. XML declarations,
+    comments and inter-element whitespace are skipped; the five standard
+    entities are decoded. *)
+
+val attr : t -> string -> string option
+val child : t -> string -> t option
+val children_named : t -> string -> t list
+val text_content : t -> string
+(** Concatenated text of all [Text] children (not recursive). *)
+
+val escape : string -> string
+val unescape : string -> (string, string) result

@@ -1,0 +1,1 @@
+lib/mediator/mediator.ml: Entry Genalg_etl Genalg_formats Genalg_gdt List Sequence

@@ -1,0 +1,1 @@
+lib/mediator/mediator.mli: Entry Genalg_etl Genalg_formats

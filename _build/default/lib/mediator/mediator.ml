@@ -1,0 +1,88 @@
+open Genalg_gdt
+open Genalg_formats
+module Source = Genalg_etl.Source
+module Integrator = Genalg_etl.Integrator
+
+type query = {
+  organism : string option;
+  min_length : int option;
+  contains_motif : string option;
+}
+
+let query_all = { organism = None; min_length = None; contains_motif = None }
+
+type timing = {
+  simulated_network_s : float;
+  sources_contacted : int;
+  records_shipped : int;
+}
+
+type t = {
+  sources : Source.t list;
+  latency_s : float;
+  bytes_per_second : float;
+}
+
+let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) sources =
+  { sources; latency_s; bytes_per_second }
+
+let entries_of source =
+  match Source.query_all source with
+  | Ok entries -> entries
+  | Error _ -> (
+      match Source.parse_dump (Source.representation source) (Source.dump source) with
+      | Ok entries -> entries
+      | Error _ -> [])
+
+let entry_bytes (e : Entry.t) =
+  (* wire size approximation: sequence plus annotation text *)
+  Sequence.length e.Entry.sequence + 200 + (80 * List.length e.Entry.features)
+
+let client_side_filter q (e : Entry.t) =
+  (match q.min_length with
+  | Some n -> Sequence.length e.Entry.sequence >= n
+  | None -> true)
+  && (match q.contains_motif with
+     | Some motif -> Sequence.contains ~pattern:motif e.Entry.sequence
+     | None -> true)
+
+let run ?(reconcile = true) t q =
+  let network = ref 0. in
+  let shipped = ref 0 in
+  let gathered =
+    List.concat_map
+      (fun source ->
+        (* one round-trip per source *)
+        network := !network +. t.latency_s;
+        let entries = entries_of source in
+        (* the source only understands organism equality *)
+        let source_filtered =
+          match q.organism with
+          | None -> entries
+          | Some org ->
+              List.filter (fun (e : Entry.t) -> e.Entry.organism = org) entries
+        in
+        let bytes =
+          List.fold_left (fun acc e -> acc + entry_bytes e) 0 source_filtered
+        in
+        network := !network +. (float_of_int bytes /. t.bytes_per_second);
+        shipped := !shipped + List.length source_filtered;
+        List.map (fun e -> (Source.name source, e)) source_filtered)
+      t.sources
+  in
+  (* remaining predicates run in the middleware *)
+  let filtered = List.filter (fun (_, e) -> client_side_filter q e) gathered in
+  let results =
+    if not reconcile then List.map snd filtered
+    else begin
+      (* per-query duplicate elimination: the cost the warehouse pays once *)
+      let merged = Integrator.reconcile ~threshold:0.6 filtered in
+      List.map (fun (m : Integrator.merged) -> m.Integrator.canonical) merged
+    end
+  in
+  ( results,
+    {
+      simulated_network_s = !network;
+      sources_contacted = List.length t.sources;
+      records_shipped = !shipped;
+    } )

@@ -1,0 +1,46 @@
+(** The query-driven (mediator/wrapper) integration baseline of the
+    paper's Figure 1 — the architecture the Unifying Database is argued
+    to outperform.
+
+    Each query is decomposed and shipped to every source behind a
+    simulated network round-trip; sources expose only a limited interface
+    (organism equality — the paper's C6: "interactions … are limited to
+    the functions available in the user interface of that repository"),
+    so all remaining predicates run client-side over the shipped,
+    re-parsed records, and duplicate elimination happens per query.
+
+    Simulated time (latency + transfer) is accounted separately from real
+    compute time so experiments can report both. *)
+
+open Genalg_formats
+
+type query = {
+  organism : string option;       (** pushed down to the sources *)
+  min_length : int option;        (** client-side *)
+  contains_motif : string option; (** client-side *)
+}
+
+val query_all : query
+(** No predicates. *)
+
+type timing = {
+  simulated_network_s : float;  (** round-trips + per-byte transfer *)
+  sources_contacted : int;
+  records_shipped : int;
+}
+
+type t
+
+val create :
+  ?latency_s:float ->
+  ?bytes_per_second:float ->
+  Genalg_etl.Source.t list ->
+  t
+(** Wrap sources for mediation. Default latency 0.02 s per round-trip,
+    transfer 10 MB/s. *)
+
+val run : ?reconcile:bool -> t -> query -> Entry.t list * timing
+(** Execute a query: ship to every source (each contributes a dump parsed
+    client-side, the paper's wrapper work), filter, optionally
+    deduplicate across sources ([reconcile], default true, pairs entries
+    with {!Genalg_etl.Integrator.pair_score} ≥ 0.6 and keeps one). *)

@@ -1,0 +1,1 @@
+lib/seqindex/kmer_index.ml: Hashtbl List Option Search String

@@ -1,0 +1,1 @@
+lib/seqindex/kmer_index.mli:

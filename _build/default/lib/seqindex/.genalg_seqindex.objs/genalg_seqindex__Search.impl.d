@@ -1,0 +1,1 @@
+lib/seqindex/search.ml: Array Char List String

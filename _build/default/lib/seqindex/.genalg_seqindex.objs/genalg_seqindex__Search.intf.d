@@ -1,0 +1,1 @@
+lib/seqindex/search.mli:

@@ -1,0 +1,1 @@
+lib/seqindex/suffix_array.ml: Array Char Fun Int List String

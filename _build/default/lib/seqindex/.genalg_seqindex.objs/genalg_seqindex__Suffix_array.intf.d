@@ -1,0 +1,1 @@
+lib/seqindex/suffix_array.mli:

@@ -1,0 +1,79 @@
+type t = {
+  k : int;
+  text : string;
+  table : (int, int list) Hashtbl.t; (* packed k-mer -> positions, descending *)
+}
+
+let k t = t.k
+let text_length t = String.length t.text
+let distinct_kmers t = Hashtbl.length t.table
+
+let code = function
+  | 'A' -> 0
+  | 'C' -> 1
+  | 'G' -> 2
+  | 'T' -> 3
+  | _ -> -1
+
+let build ?(k = 12) text =
+  if k < 2 || k > 31 then invalid_arg "Kmer_index.build: k must be in [2, 31]";
+  let text = String.uppercase_ascii text in
+  let n = String.length text in
+  let table = Hashtbl.create (max 64 (n / 4)) in
+  let mask = (1 lsl (2 * k)) - 1 in
+  (* Rolling 2-bit hash; [valid] counts canonical letters in the window. *)
+  let hash = ref 0 and valid = ref 0 in
+  for i = 0 to n - 1 do
+    let c = code text.[i] in
+    if c < 0 then begin
+      valid := 0;
+      hash := 0
+    end
+    else begin
+      hash := ((!hash lsl 2) lor c) land mask;
+      incr valid;
+      if !valid >= k then begin
+        let pos = i - k + 1 in
+        let prev = Option.value (Hashtbl.find_opt table !hash) ~default:[] in
+        Hashtbl.replace table !hash (pos :: prev)
+      end
+    end
+  done;
+  { k; text; table }
+
+let verify_at text pattern pos =
+  let m = String.length pattern in
+  pos >= 0
+  && pos + m <= String.length text
+  &&
+  let rec check j = j >= m || (text.[pos + j] = pattern.[j] && check (j + 1)) in
+  check 0
+
+let pack_word pattern k =
+  let rec loop i acc =
+    if i = k then Some acc
+    else
+      let c = code pattern.[i] in
+      if c < 0 then None else loop (i + 1) ((acc lsl 2) lor c)
+  in
+  loop 0 0
+
+let find_all t pattern =
+  let pattern = String.uppercase_ascii pattern in
+  if String.length pattern < t.k then
+    invalid_arg "Kmer_index.find_all: pattern shorter than k";
+  match pack_word pattern t.k with
+  | None ->
+      (* ambiguous first word: no index help, fall back to a scan *)
+      Search.naive_find_all ~pattern t.text
+  | Some word ->
+      let candidates = Option.value (Hashtbl.find_opt t.table word) ~default:[] in
+      List.fold_left
+        (fun acc pos -> if verify_at t.text pattern pos then pos :: acc else acc)
+        [] candidates
+      (* positions were stored descending, so the fold yields ascending *)
+
+let find t pattern =
+  match find_all t pattern with [] -> None | pos :: _ -> Some pos
+
+let contains t pattern = find t pattern <> None

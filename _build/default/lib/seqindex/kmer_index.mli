@@ -1,0 +1,31 @@
+(** K-mer inverted index over a DNA text.
+
+    One of the two "genomic index structures" of paper section 6.5: every
+    k-mer of the indexed text maps to its occurrence positions. Queries of
+    length >= k look up their first k-mer and verify candidates in the
+    text, giving sub-linear search after a linear build.
+
+    Only k-mers consisting solely of canonical A/C/G/T letters are indexed
+    (2-bit packed); windows containing ambiguity codes are skipped, and
+    patterns containing them fall back to a linear verify over the whole
+    text. *)
+
+type t
+
+val build : ?k:int -> string -> t
+(** Index [text] (letters are upper-cased). Default [k = 12]. Raises
+    [Invalid_argument] when [k] is outside [2, 31]. *)
+
+val k : t -> int
+val text_length : t -> int
+
+val find_all : t -> string -> int list
+(** All (possibly overlapping) occurrences of a pattern of length >= k,
+    ascending. Patterns shorter than [k] are rejected with
+    [Invalid_argument]. *)
+
+val find : t -> string -> int option
+val contains : t -> string -> bool
+
+val distinct_kmers : t -> int
+(** Number of distinct indexed k-mers (index cardinality). *)

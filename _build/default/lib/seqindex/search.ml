@@ -1,0 +1,64 @@
+let naive_find ?(start = 0) ~pattern text =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then None
+  else begin
+    let limit = n - m in
+    let rec at i j =
+      if j = m then true else if text.[i + j] = pattern.[j] then at i (j + 1) else false
+    in
+    let rec loop i =
+      if i > limit then None else if at i 0 then Some i else loop (i + 1)
+    in
+    loop (max 0 start)
+  end
+
+let naive_find_all ~pattern text =
+  let rec loop start acc =
+    match naive_find ~start ~pattern text with
+    | None -> List.rev acc
+    | Some i -> loop (i + 1) (i :: acc)
+  in
+  if String.length pattern = 0 then [] else loop 0 []
+
+let horspool_table pattern =
+  let m = String.length pattern in
+  let table = Array.make 256 m in
+  for j = 0 to m - 2 do
+    table.(Char.code pattern.[j]) <- m - 1 - j
+  done;
+  table
+
+let horspool_find ?(start = 0) ~pattern text =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 || m > n then None
+  else begin
+    let table = horspool_table pattern in
+    let rec loop i =
+      if i > n - m then None
+      else begin
+        let rec check j = if j < 0 then true else if text.[i + j] = pattern.[j] then check (j - 1) else false in
+        if check (m - 1) then Some i
+        else loop (i + table.(Char.code text.[i + m - 1]))
+      end
+    in
+    loop (max 0 start)
+  end
+
+let horspool_find_all ~pattern text =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 || m > n then []
+  else begin
+    let table = horspool_table pattern in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !i <= n - m do
+      let rec check j =
+        if j < 0 then true else if text.[!i + j] = pattern.[j] then check (j - 1) else false
+      in
+      if check (m - 1) then acc := !i :: !acc;
+      (* step by the bad-character shift; occurrences may overlap, so a
+         match still advances by the table shift (>= 1), never 0 *)
+      i := !i + table.(Char.code text.[!i + m - 1])
+    done;
+    List.rev !acc
+  end

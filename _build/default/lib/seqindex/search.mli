@@ -1,0 +1,17 @@
+(** Index-free substring search baselines.
+
+    These are the comparison points for the genomic index structures of
+    paper section 6.5: a naive scan and Boyer–Moore–Horspool. Both work on
+    exact letters (no IUPAC ambiguity expansion) and are case-sensitive;
+    normalise inputs to upper case first. *)
+
+val naive_find_all : pattern:string -> string -> int list
+(** All (possibly overlapping) occurrence offsets, ascending. An empty
+    pattern yields []. *)
+
+val naive_find : ?start:int -> pattern:string -> string -> int option
+
+val horspool_find_all : pattern:string -> string -> int list
+(** Boyer–Moore–Horspool with a 256-entry bad-character shift table. *)
+
+val horspool_find : ?start:int -> pattern:string -> string -> int option

@@ -1,0 +1,115 @@
+type t = {
+  text : string;
+  sa : int array; (* rank -> suffix start *)
+}
+
+let length t = String.length t.text
+let suffixes t = t.sa
+
+let build text =
+  let text = String.uppercase_ascii text in
+  let n = String.length text in
+  let sa = Array.init n Fun.id in
+  let rank = Array.init n (fun i -> Char.code text.[i]) in
+  let tmp = Array.make n 0 in
+  let k = ref 1 in
+  let continue = ref (n > 1) in
+  while !continue do
+    let kk = !k in
+    let key i =
+      (rank.(i), if i + kk < n then rank.(i + kk) else -1)
+    in
+    Array.sort
+      (fun a b ->
+        let ka = key a and kb = key b in
+        compare ka kb)
+      sa;
+    (* re-rank *)
+    tmp.(sa.(0)) <- 0;
+    for r = 1 to n - 1 do
+      let prev = sa.(r - 1) and cur = sa.(r) in
+      tmp.(cur) <- tmp.(prev) + (if key prev = key cur then 0 else 1)
+    done;
+    Array.blit tmp 0 rank 0 n;
+    if rank.(sa.(n - 1)) = n - 1 then continue := false else k := kk * 2
+  done;
+  { text; sa }
+
+(* Compare pattern with the suffix starting at [pos]: negative when the
+   suffix is smaller, 0 when the pattern is a prefix of the suffix. *)
+let compare_at text pattern pos =
+  let n = String.length text and m = String.length pattern in
+  let rec loop j =
+    if j = m then 0
+    else if pos + j >= n then 1 (* suffix exhausted: suffix < pattern *)
+    else
+      let c = Char.compare pattern.[j] text.[pos + j] in
+      if c <> 0 then c else loop (j + 1)
+  in
+  loop 0
+
+let bounds t pattern =
+  let n = Array.length t.sa in
+  (* lower bound: first rank whose suffix >= pattern (as prefix match) *)
+  let rec lower lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_at t.text pattern t.sa.(mid) > 0 then lower (mid + 1) hi
+      else lower lo mid
+  in
+  (* upper bound: first rank whose suffix does not start with pattern and
+     is greater *)
+  let rec upper lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_at t.text pattern t.sa.(mid) >= 0 then upper (mid + 1) hi
+      else upper lo mid
+  in
+  let lo = lower 0 n in
+  let hi = upper lo n in
+  (lo, hi)
+
+let find_all t pattern =
+  let pattern = String.uppercase_ascii pattern in
+  if String.length pattern = 0 then []
+  else begin
+    let lo, hi = bounds t pattern in
+    let positions = ref [] in
+    for r = lo to hi - 1 do
+      positions := t.sa.(r) :: !positions
+    done;
+    List.sort Int.compare !positions
+  end
+
+let find t pattern =
+  match find_all t pattern with [] -> None | pos :: _ -> Some pos
+
+let contains t pattern =
+  let pattern = String.uppercase_ascii pattern in
+  if String.length pattern = 0 then true
+  else begin
+    let lo, hi = bounds t pattern in
+    hi > lo
+  end
+
+let lcp_of text a b =
+  let n = String.length text in
+  let rec loop k = if a + k < n && b + k < n && text.[a + k] = text.[b + k] then loop (k + 1) else k in
+  loop 0
+
+let longest_repeat t =
+  let n = Array.length t.sa in
+  if n < 2 then None
+  else begin
+    let best = ref (t.sa.(0), t.sa.(1), 0) in
+    for r = 1 to n - 1 do
+      let a = t.sa.(r - 1) and b = t.sa.(r) in
+      let l = lcp_of t.text a b in
+      let _, _, bl = !best in
+      if l > bl then best := (min a b, max a b, l)
+    done;
+    let p1, p2, l = !best in
+    if l = 0 then None else Some (p1, p2, l)
+  end

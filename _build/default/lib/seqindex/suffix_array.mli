@@ -1,0 +1,29 @@
+(** Suffix array over a text, built by prefix doubling.
+
+    The second "genomic index structure" of paper section 6.5. Supports
+    exact substring search of any pattern length in
+    O(|pattern| · log |text|) by binary search over the sorted suffixes. *)
+
+type t
+
+val build : string -> t
+(** O(n log² n) prefix-doubling construction. Letters are upper-cased. *)
+
+val length : t -> int
+
+val suffixes : t -> int array
+(** The underlying array: [suffixes t].(r) is the start offset of the
+    rank-[r] suffix. Do not mutate. *)
+
+val find_all : t -> string -> int list
+(** All occurrences, ascending; empty pattern yields []. *)
+
+val find : t -> string -> int option
+(** Leftmost occurrence. *)
+
+val contains : t -> string -> bool
+
+val longest_repeat : t -> (int * int * int) option
+(** [(pos1, pos2, len)] of a longest substring occurring at two distinct
+    positions (via adjacent-rank longest common prefixes); [None] when the
+    text has fewer than 2 characters. *)

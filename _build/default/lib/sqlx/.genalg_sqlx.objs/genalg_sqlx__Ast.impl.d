@@ -1,0 +1,1 @@
+lib/sqlx/ast.ml: Buffer Bytes Genalg_storage List Printf String

@@ -1,0 +1,1 @@
+lib/sqlx/ast.mli: Genalg_storage

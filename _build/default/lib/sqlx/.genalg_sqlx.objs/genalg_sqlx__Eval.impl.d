@@ -1,0 +1,1 @@
+lib/sqlx/eval.ml: Ast Float Genalg_storage List Option Printf String

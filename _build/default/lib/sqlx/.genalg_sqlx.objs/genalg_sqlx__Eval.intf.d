@@ -1,0 +1,1 @@
+lib/sqlx/eval.mli: Ast Genalg_storage

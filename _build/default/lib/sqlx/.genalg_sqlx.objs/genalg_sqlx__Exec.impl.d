@@ -1,0 +1,1 @@
+lib/sqlx/exec.ml: Array Ast Eval Genalg_storage List Option Parser Plan Printf Result String

@@ -1,0 +1,1 @@
+lib/sqlx/exec.mli: Ast Genalg_storage

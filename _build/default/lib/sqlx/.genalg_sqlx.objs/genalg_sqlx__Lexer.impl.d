@@ -1,0 +1,1 @@
+lib/sqlx/lexer.ml: Buffer List Printf String

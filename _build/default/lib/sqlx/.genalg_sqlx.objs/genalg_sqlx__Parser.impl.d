@@ -1,0 +1,1 @@
+lib/sqlx/parser.ml: Ast Genalg_storage Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/sqlx/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlx/plan.ml: Ast Float Genalg_storage List Printf String

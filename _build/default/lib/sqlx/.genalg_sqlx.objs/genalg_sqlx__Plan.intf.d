@@ -1,0 +1,1 @@
+lib/sqlx/plan.mli: Ast Genalg_storage

@@ -1,0 +1,192 @@
+module D = Genalg_storage.Dtype
+module Udt = Genalg_storage.Udt
+
+type env = {
+  lookup : string option -> string -> (D.value, string) result;
+  udts : Udt.t;
+}
+
+let empty_env =
+  {
+    lookup = (fun _ name -> Error (Printf.sprintf "unknown column %s" name));
+    udts = Udt.create ();
+  }
+
+let like_match ~pattern text =
+  (* classic two-pointer LIKE matcher with backtracking on '%' *)
+  let np = String.length pattern and nt = String.length text in
+  let rec at pi ti star_p star_t =
+    if ti = nt then
+      (* consume trailing % *)
+      let rec only_percent i = i = np || (pattern.[i] = '%' && only_percent (i + 1)) in
+      if only_percent pi then true
+      else if star_p >= 0 then false
+      else false
+    else if pi < np && pattern.[pi] = '%' then at (pi + 1) ti pi ti
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = text.[ti]) then
+      at (pi + 1) (ti + 1) star_p star_t
+    else if star_p >= 0 then at (star_p + 1) (star_t + 1) star_p (star_t + 1)
+    else false
+  in
+  at 0 0 (-1) (-1)
+
+let builtin_functions =
+  [ "upper"; "lower"; "strlen"; "abs"; "round"; "coalesce"; "substr" ]
+
+let num2 name a b fi ff =
+  match a, b with
+  | D.Int x, D.Int y -> Ok (fi x y)
+  | D.Int x, D.Float y -> Ok (ff (float_of_int x) y)
+  | D.Float x, D.Int y -> Ok (ff x (float_of_int y))
+  | D.Float x, D.Float y -> Ok (ff x y)
+  | _ ->
+      Error
+        (Printf.sprintf "%s expects numbers, got %s and %s" name
+           (D.value_to_display a) (D.value_to_display b))
+
+let arith name a b fi ff =
+  if a = D.Null || b = D.Null then Ok D.Null
+  else num2 name a b (fun x y -> D.Int (fi x y)) (fun x y -> D.Float (ff x y))
+
+let compare_op op a b =
+  if a = D.Null || b = D.Null then Ok D.Null
+  else begin
+    let c = D.compare_value a b in
+    let r =
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Ne -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+      | Ast.And | Ast.Or | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Like ->
+          assert false
+    in
+    Ok (D.Bool r)
+  end
+
+let as_bool name = function
+  | D.Bool b -> Ok (Some b)
+  | D.Null -> Ok None
+  | v -> Error (Printf.sprintf "%s expects booleans, got %s" name (D.value_to_display v))
+
+let rec eval env expr =
+  match expr with
+  | Ast.Lit v -> Ok v
+  | Ast.Col (qualifier, name) -> env.lookup qualifier name
+  | Ast.Count_star -> Error "COUNT(*) outside an aggregate context"
+  | Ast.Not e -> (
+      match eval env e with
+      | Error _ as err -> err
+      | Ok v -> (
+          match as_bool "NOT" v with
+          | Error _ as err -> err
+          | Ok None -> Ok D.Null
+          | Ok (Some b) -> Ok (D.Bool (not b))))
+  | Ast.Neg e -> (
+      match eval env e with
+      | Error _ as err -> err
+      | Ok (D.Int i) -> Ok (D.Int (-i))
+      | Ok (D.Float f) -> Ok (D.Float (-.f))
+      | Ok D.Null -> Ok D.Null
+      | Ok v -> Error (Printf.sprintf "cannot negate %s" (D.value_to_display v)))
+  | Ast.Binop (Ast.And, a, b) -> eval_logic env ( && ) false a b
+  | Ast.Binop (Ast.Or, a, b) -> eval_logic env ( || ) true a b
+  | Ast.Binop (Ast.Like, a, b) -> (
+      match eval env a, eval env b with
+      | Error e, _ | _, Error e -> Error e
+      | Ok D.Null, _ | _, Ok D.Null -> Ok D.Null
+      | Ok (D.Str text), Ok (D.Str pattern) -> Ok (D.Bool (like_match ~pattern text))
+      | Ok a, Ok b ->
+          Error
+            (Printf.sprintf "LIKE expects strings, got %s and %s"
+               (D.value_to_display a) (D.value_to_display b)))
+  | Ast.Binop (((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b)
+    -> (
+      match eval env a, eval env b with
+      | Error e, _ | _, Error e -> Error e
+      | Ok va, Ok vb -> compare_op op va vb)
+  | Ast.Binop (Ast.Add, a, b) -> eval_arith env "+" a b ( + ) ( +. )
+  | Ast.Binop (Ast.Sub, a, b) -> eval_arith env "-" a b ( - ) ( -. )
+  | Ast.Binop (Ast.Mul, a, b) -> eval_arith env "*" a b ( * ) ( *. )
+  | Ast.Binop (Ast.Div, a, b) -> (
+      match eval env a, eval env b with
+      | Error e, _ | _, Error e -> Error e
+      | Ok _, Ok (D.Int 0) -> Error "division by zero"
+      | Ok va, Ok vb -> arith "/" va vb ( / ) ( /. ))
+  | Ast.Fn (name, args) -> eval_fn env name args
+
+and eval_logic env combine short_circuit_on a b =
+  match eval env a with
+  | Error _ as err -> err
+  | Ok va -> (
+      match as_bool "AND/OR" va with
+      | Error _ as err -> err
+      | Ok (Some x) when x = short_circuit_on -> Ok (D.Bool x)
+      | Ok first -> (
+          match eval env b with
+          | Error _ as err -> err
+          | Ok vb -> (
+              match as_bool "AND/OR" vb with
+              | Error _ as err -> err
+              | Ok (Some y) when y = short_circuit_on -> Ok (D.Bool y)
+              | Ok second -> (
+                  match first, second with
+                  | Some x, Some y -> Ok (D.Bool (combine x y))
+                  | _ -> Ok D.Null))))
+
+and eval_arith env name a b fi ff =
+  match eval env a, eval env b with
+  | Error e, _ | _, Error e -> Error e
+  | Ok va, Ok vb -> arith name va vb fi ff
+
+and eval_fn env name args =
+  if Ast.is_aggregate_fn name then
+    Error (Printf.sprintf "aggregate %s outside an aggregate context" name)
+  else begin
+    let rec eval_args acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest -> (
+          match eval env a with
+          | Ok v -> eval_args (v :: acc) rest
+          | Error _ as e -> e)
+    in
+    match eval_args [] args with
+    | Error _ as e -> e
+    | Ok values -> (
+        match String.lowercase_ascii name, values with
+        | "upper", [ D.Str s ] -> Ok (D.Str (String.uppercase_ascii s))
+        | "lower", [ D.Str s ] -> Ok (D.Str (String.lowercase_ascii s))
+        | "strlen", [ D.Str s ] -> Ok (D.Int (String.length s))
+        | "abs", [ D.Int i ] -> Ok (D.Int (abs i))
+        | "abs", [ D.Float f ] -> Ok (D.Float (Float.abs f))
+        | "round", [ D.Float f ] -> Ok (D.Int (int_of_float (Float.round f)))
+        | "round", [ D.Int i ] -> Ok (D.Int i)
+        | "coalesce", [ a; b ] -> Ok (if a = D.Null then b else a)
+        | "substr", [ D.Str s; D.Int pos; D.Int len ] ->
+            if pos < 0 || len < 0 || pos + len > String.length s then
+              Error "substr out of bounds"
+            else Ok (D.Str (String.sub s pos len))
+        | _ -> (
+            (* user-defined (genomic) function *)
+            let arg_types =
+              List.map
+                (fun v -> Option.value (D.type_of_value v) ~default:D.TString)
+                values
+            in
+            match Udt.resolve_function env.udts name arg_types with
+            | Some udf -> udf.Udt.code values
+            | None ->
+                Error
+                  (Printf.sprintf "unknown function %s(%s)" name
+                     (String.concat ", " (List.map D.to_string arg_types)))))
+  end
+
+let eval_predicate env expr =
+  match eval env expr with
+  | Error msg -> Error msg
+  | Ok (D.Bool b) -> Ok b
+  | Ok D.Null -> Ok false
+  | Ok v ->
+      Error (Printf.sprintf "predicate evaluated to %s" (D.value_to_display v))

@@ -1,0 +1,27 @@
+(** Scalar expression evaluation.
+
+    Evaluates {!Ast.expr} trees against a row-binding environment and a
+    UDF registry, so genomic operators registered by the adapter are
+    callable in any expression position (paper section 6.3). Aggregates
+    are the executor's business and are rejected here. *)
+
+type env = {
+  lookup : string option -> string -> (Genalg_storage.Dtype.value, string) result;
+      (** resolve a (qualifier, column) reference *)
+  udts : Genalg_storage.Udt.t;
+}
+
+val empty_env : env
+(** No columns, no UDFs — for constant expressions. *)
+
+val eval : env -> Ast.expr -> (Genalg_storage.Dtype.value, string) result
+
+val eval_predicate : env -> Ast.expr -> (bool, string) result
+(** Evaluate to a boolean; [Null] counts as false (SQL semantics). *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: [%] any run, [_] any one character; case-sensitive. *)
+
+val builtin_functions : string list
+(** Scalar built-ins always available: upper, lower, strlen, abs, round,
+    coalesce, substr. *)

@@ -1,0 +1,722 @@
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Table = Genalg_storage.Table
+module Schema = Genalg_storage.Schema
+
+type result_set = {
+  columns : string list;
+  rows : D.value array list;
+}
+
+type outcome =
+  | Rows of result_set
+  | Affected of int
+  | Executed
+
+let ( let* ) = Result.bind
+
+type binding = {
+  alias : string;
+  schema : Schema.t;
+  values : D.value array;
+}
+
+let lookup_in bindings qualifier name =
+  let lname = String.lowercase_ascii name in
+  match qualifier with
+  | Some q ->
+      let lq = String.lowercase_ascii q in
+      (match List.find_opt (fun b -> String.lowercase_ascii b.alias = lq) bindings with
+      | None -> Error (Printf.sprintf "unknown table alias %s" q)
+      | Some b -> (
+          match Schema.column_index b.schema lname with
+          | Some i -> Ok b.values.(i)
+          | None -> Error (Printf.sprintf "no column %s in %s" name q)))
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun b ->
+            Option.map (fun i -> b.values.(i)) (Schema.column_index b.schema lname))
+          bindings
+      in
+      match hits with
+      | [ v ] -> Ok v
+      | [] -> Error (Printf.sprintf "unknown column %s" name)
+      | _ -> Error (Printf.sprintf "ambiguous column %s" name))
+
+let env_of db bindings =
+  { Eval.lookup = (fun q n -> lookup_in bindings q n); udts = Db.udts db }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation: replace aggregate subtrees by their computed value,
+   then evaluate the residual expression on the group's first row.      *)
+
+let compute_aggregate db group name arg =
+  let values =
+    List.fold_left
+      (fun acc bindings ->
+        match acc with
+        | Error _ as e -> e
+        | Ok vs -> (
+            match Eval.eval (env_of db bindings) arg with
+            | Error _ as e -> e
+            | Ok v -> Ok (v :: vs)))
+      (Ok []) group
+  in
+  let* values = values in
+  let values = List.rev values in
+  let non_null = List.filter (fun v -> v <> D.Null) values in
+  let numeric msg f =
+    let rec sum acc = function
+      | [] -> Ok acc
+      | D.Int i :: rest -> sum (acc +. float_of_int i) rest
+      | D.Float x :: rest -> sum (acc +. x) rest
+      | v :: _ ->
+          Error (Printf.sprintf "%s over non-numeric value %s" msg (D.value_to_display v))
+    in
+    let* total = sum 0. non_null in
+    Ok (f total (List.length non_null))
+  in
+  match String.lowercase_ascii name with
+  | "count" -> Ok (D.Int (List.length non_null))
+  | "sum" ->
+      if non_null = [] then Ok D.Null
+      else
+        let all_int = List.for_all (function D.Int _ -> true | _ -> false) non_null in
+        let* v = numeric "SUM" (fun total _ -> total) in
+        Ok (if all_int then D.Int (int_of_float v) else D.Float v)
+  | "avg" ->
+      if non_null = [] then Ok D.Null
+      else
+        let* v = numeric "AVG" (fun total n -> total /. float_of_int n) in
+        Ok (D.Float v)
+  | "min" ->
+      (match non_null with
+      | [] -> Ok D.Null
+      | first :: rest ->
+          Ok (List.fold_left (fun m v -> if D.compare_value v m < 0 then v else m) first rest))
+  | "max" ->
+      (match non_null with
+      | [] -> Ok D.Null
+      | first :: rest ->
+          Ok (List.fold_left (fun m v -> if D.compare_value v m > 0 then v else m) first rest))
+  | other -> Error (Printf.sprintf "unknown aggregate %s" other)
+
+let rec fold_aggregates db group expr =
+  match expr with
+  | Ast.Count_star -> Ok (Ast.Lit (D.Int (List.length group)))
+  | Ast.Fn (name, [ arg ]) when Ast.is_aggregate_fn name ->
+      let* v = compute_aggregate db group name arg in
+      Ok (Ast.Lit v)
+  | Ast.Fn (name, _) when Ast.is_aggregate_fn name ->
+      Error (Printf.sprintf "aggregate %s expects exactly one argument" name)
+  | Ast.Fn (name, args) ->
+      let* args = map_result (fold_aggregates db group) args in
+      Ok (Ast.Fn (name, args))
+  | Ast.Not e ->
+      let* e = fold_aggregates db group e in
+      Ok (Ast.Not e)
+  | Ast.Neg e ->
+      let* e = fold_aggregates db group e in
+      Ok (Ast.Neg e)
+  | Ast.Binop (op, a, b) ->
+      let* a = fold_aggregates db group a in
+      let* b = fold_aggregates db group b in
+      Ok (Ast.Binop (op, a, b))
+  | Ast.Lit _ | Ast.Col _ -> Ok expr
+
+and map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let eval_in_group db group expr =
+  match group with
+  | [] -> Error "empty group"
+  | first :: _ ->
+      let* folded = fold_aggregates db group expr in
+      Eval.eval (env_of db first) folded
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+
+let scan_table db ~actor (tp : Plan.table_plan) =
+  match Db.resolve db ~actor tp.Plan.table with
+  | None -> Error (Printf.sprintf "unknown or unreadable table %s" tp.Plan.table)
+  | Some (_, table) ->
+      let schema = Table.schema table in
+      let from_rids rids =
+        List.filter_map (fun rid -> Table.get table rid) rids
+      in
+      (* when a genomic access path cannot serve the pattern, fall back
+         to a scan and re-apply the containment predicate *)
+      let fallback_filter = ref [] in
+      let raw_rows =
+        match tp.Plan.access with
+        | Plan.Full_scan ->
+            let acc = ref [] in
+            Table.scan table (fun _ row -> acc := row :: !acc);
+            List.rev !acc
+        | Plan.Genomic_contains { column; pattern } -> (
+            match Table.genomic_search table ~column ~pattern with
+            | `Hits rids -> from_rids rids
+            | `No_index | `Unsupported_pattern ->
+                fallback_filter :=
+                  [ Ast.Fn
+                      ( "contains",
+                        [ Ast.Col (None, column); Ast.Lit (D.Str pattern) ] ) ];
+                let acc = ref [] in
+                Table.scan table (fun _ row -> acc := row :: !acc);
+                List.rev !acc)
+        | Plan.Index_eq { column; key } -> (
+            match Table.index_lookup table ~column key with
+            | Some rids -> from_rids rids
+            | None ->
+                let acc = ref [] in
+                Table.scan table (fun _ row -> acc := row :: !acc);
+                List.rev !acc)
+        | Plan.Index_range { column; lo; hi; lo_inclusive; hi_inclusive } -> (
+            match
+              Table.index_range table ~column ?lo ?hi ~lo_inclusive ~hi_inclusive ()
+            with
+            | Some rids -> from_rids rids
+            | None ->
+                let acc = ref [] in
+                Table.scan table (fun _ row -> acc := row :: !acc);
+                List.rev !acc)
+      in
+      let bindings_of row = { alias = tp.Plan.alias; schema; values = row } in
+      (* apply pushed-down filters in plan order *)
+      let rec filter_rows acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: rest ->
+            let b = bindings_of row in
+            let rec apply = function
+              | [] -> Ok true
+              | f :: fs ->
+                  let* keep = Eval.eval_predicate (env_of db [ b ]) f in
+                  if keep then apply fs else Ok false
+            in
+            let* keep = apply (!fallback_filter @ tp.Plan.filters) in
+            filter_rows (if keep then b :: acc else acc) rest
+      in
+      filter_rows [] raw_rows
+
+(* When the index-eq access came from a conjunct that the planner removed,
+   rows from a fallback full scan could violate it. To stay correct we
+   re-check index-access conjuncts only when the index was missing; the
+   scan above already handles that by falling back WITHOUT dropping the
+   conjunct — the planner only removes it when the catalog reported an
+   index, in which case the index path is taken. *)
+
+let expr_aliases db bindings_schemas expr =
+  ignore db;
+  let cols = Ast.columns_of_expr expr in
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (q, c) ->
+         match q with
+         | Some q -> [ String.lowercase_ascii q ]
+         | None ->
+             List.filter_map
+               (fun (alias, schema) ->
+                 Option.map
+                   (fun _ -> String.lowercase_ascii alias)
+                   (Schema.column_index schema c))
+               bindings_schemas)
+       cols)
+
+let run_select ?(optimize = true) db ~actor (select : Ast.select) =
+  (* catalog view for the planner *)
+  let catalog =
+    {
+      Plan.has_index =
+        (fun ~table ~column ->
+          match Db.resolve db ~actor table with
+          | Some (_, t) -> Table.has_index t ~column
+          | None -> false);
+      has_genomic_index =
+        (fun ~table ~column ->
+          match Db.resolve db ~actor table with
+          | Some (_, t) -> Table.has_genomic_index t ~column
+          | None -> false);
+      column_exists =
+        (fun ~table ~column ->
+          match Db.resolve db ~actor table with
+          | Some (_, t) -> Schema.column_index (Table.schema t) column <> None
+          | None -> false);
+      equality_selectivity =
+        (fun ~table ~column ->
+          match Db.resolve db ~actor table with
+          | Some (_, t) -> (
+              match Table.column_stats t ~column with
+              | Some { Table.distinct; _ } when distinct > 0 ->
+                  Some (1. /. float_of_int distinct)
+              | Some _ | None -> None)
+          | None -> None);
+    }
+  in
+  let plan = Plan.make ~optimize catalog select in
+  (* scan + join *)
+  let* joined =
+    match plan.Plan.tables with
+    | [] -> Error "SELECT requires a FROM clause"
+    | first :: rest ->
+        let* first_rows = scan_table db ~actor first in
+        let first_rows = List.map (fun b -> [ b ]) first_rows in
+        let schemas_so_far tps =
+          List.filter_map
+            (fun (tp : Plan.table_plan) ->
+              match Db.resolve db ~actor tp.Plan.table with
+              | Some (_, t) -> Some (tp.Plan.alias, Table.schema t)
+              | None -> None)
+            tps
+        in
+        let rec join_loop acc_rows done_tps pending remaining_filters =
+          match pending with
+          | [] ->
+              (* apply any leftover join filters *)
+              let rec filt acc = function
+                | [] -> Ok (List.rev acc)
+                | row :: rest ->
+                    let rec apply = function
+                      | [] -> Ok true
+                      | f :: fs ->
+                          let* keep = Eval.eval_predicate (env_of db row) f in
+                          if keep then apply fs else Ok false
+                    in
+                    let* keep = apply remaining_filters in
+                    filt (if keep then row :: acc else acc) rest
+              in
+              filt [] acc_rows
+          | tp :: pending_rest ->
+              let* right_rows = scan_table db ~actor tp in
+              let done_tps = done_tps @ [ tp ] in
+              let bound_schemas = schemas_so_far done_tps in
+              let applicable, deferred =
+                List.partition
+                  (fun f ->
+                    List.for_all
+                      (fun a ->
+                        List.exists
+                          (fun (alias, _) -> String.lowercase_ascii alias = a)
+                          bound_schemas)
+                      (expr_aliases db bound_schemas f))
+                  remaining_filters
+              in
+              let product =
+                List.concat_map
+                  (fun row -> List.map (fun b -> row @ [ b ]) right_rows)
+                  acc_rows
+              in
+              let rec filt acc = function
+                | [] -> Ok (List.rev acc)
+                | row :: rest ->
+                    let rec apply = function
+                      | [] -> Ok true
+                      | f :: fs ->
+                          let* keep = Eval.eval_predicate (env_of db row) f in
+                          if keep then apply fs else Ok false
+                    in
+                    let* keep = apply applicable in
+                    filt (if keep then row :: acc else acc) rest
+              in
+              let* filtered = filt [] product in
+              join_loop filtered done_tps pending_rest deferred
+        in
+        join_loop first_rows [ first ] rest plan.Plan.join_filters
+  in
+  (* projection setup *)
+  let needs_grouping =
+    select.Ast.group_by <> [] || select.Ast.having <> None
+    || (match select.Ast.projection with
+       | Ast.Star -> false
+       | Ast.Exprs items -> List.exists (fun (e, _) -> Ast.contains_aggregate e) items)
+  in
+  let column_names bindings =
+    let multi = List.length bindings > 1 in
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun (c : Schema.column) ->
+            if multi then b.alias ^ "." ^ c.Schema.name else c.Schema.name)
+          (Schema.columns b.schema))
+      bindings
+  in
+  let item_name (e, alias) =
+    match alias with Some a -> a | None -> Ast.expr_to_string e
+  in
+  if not needs_grouping then begin
+    let* produced =
+      match select.Ast.projection with
+      | Ast.Star ->
+          let rows =
+            List.map
+              (fun bindings ->
+                Array.concat (List.map (fun b -> Array.copy b.values) bindings))
+              joined
+          in
+          let columns =
+            match joined with
+            | [] -> (
+                (* derive names from the plan's tables *)
+                match plan.Plan.tables with
+                | [] -> []
+                | tps ->
+                    let multi = List.length tps > 1 in
+                    List.concat_map
+                      (fun (tp : Plan.table_plan) ->
+                        match Db.resolve db ~actor tp.Plan.table with
+                        | Some (_, t) ->
+                            List.map
+                              (fun (c : Schema.column) ->
+                                if multi then tp.Plan.alias ^ "." ^ c.Schema.name
+                                else c.Schema.name)
+                              (Schema.columns (Table.schema t))
+                        | None -> [])
+                      tps)
+            | first :: _ -> column_names first
+          in
+          Ok (columns, List.map (fun r -> (r, [])) rows, joined)
+      | Ast.Exprs items ->
+          let columns = List.map item_name items in
+          let rec per_row acc = function
+            | [] -> Ok (List.rev acc)
+            | bindings :: rest ->
+                let env = env_of db bindings in
+                let rec vals acc' = function
+                  | [] -> Ok (Array.of_list (List.rev acc'))
+                  | (e, _) :: more ->
+                      let* v = Eval.eval env e in
+                      vals (v :: acc') more
+                in
+                let* row = vals [] items in
+                per_row ((row, []) :: acc) rest
+          in
+          let* rows = per_row [] joined in
+          Ok (columns, rows, joined)
+    in
+    let columns, rows, contexts = produced in
+    (* ORDER BY over source rows *)
+    let* decorated =
+      let rec deco acc rows ctxs =
+        match rows, ctxs with
+        | [], _ -> Ok (List.rev acc)
+        | (row, _) :: rrest, ctx :: crest ->
+            let env = env_of db ctx in
+            let rec keys acc' = function
+              | [] -> Ok (List.rev acc')
+              | { Ast.key; ascending } :: more ->
+                  let* v = Eval.eval env key in
+                  keys ((v, ascending) :: acc') more
+            in
+            let* ks = keys [] select.Ast.order_by in
+            deco ((row, ks) :: acc) rrest crest
+        | (row, _) :: rrest, [] -> deco ((row, []) :: acc) rrest []
+      in
+      deco [] rows contexts
+    in
+    let sorted =
+      if select.Ast.order_by = [] then decorated
+      else
+        List.stable_sort
+          (fun (_, ka) (_, kb) ->
+            let rec cmp = function
+              | [], [] -> 0
+              | (va, asc) :: ra, (vb, _) :: rb ->
+                  let c = D.compare_value va vb in
+                  if c <> 0 then if asc then c else -c else cmp (ra, rb)
+              | _ -> 0
+            in
+            cmp (ka, kb))
+          decorated
+    in
+    let limited =
+      match select.Ast.limit with
+      | None -> sorted
+      | Some n -> List.filteri (fun i _ -> i < n) sorted
+    in
+    Ok { columns; rows = List.map fst limited }
+  end
+  else begin
+    (* grouping path *)
+    let* keyed =
+      let rec key_rows acc = function
+        | [] -> Ok (List.rev acc)
+        | bindings :: rest ->
+            let env = env_of db bindings in
+            let rec keys acc' = function
+              | [] -> Ok (List.rev acc')
+              | e :: more ->
+                  let* v = Eval.eval env e in
+                  keys (v :: acc') more
+            in
+            let* ks = keys [] select.Ast.group_by in
+            key_rows ((ks, bindings) :: acc) rest
+      in
+      key_rows [] joined
+    in
+    let groups : (D.value list * binding list list) list =
+      List.fold_left
+        (fun acc (k, row) ->
+          let rec add = function
+            | [] -> [ (k, [ row ]) ]
+            | (k', rows) :: rest ->
+                if List.length k' = List.length k
+                   && List.for_all2 (fun a b -> D.compare_value a b = 0) k' k
+                then (k', rows @ [ row ]) :: rest
+                else (k', rows) :: add rest
+          in
+          add acc)
+        [] keyed
+    in
+    let groups =
+      (* an aggregate query without GROUP BY forms one group over all rows
+         (and yields a single row even over the empty input only for
+         COUNT-style aggregates; we follow the common behaviour and return
+         one row when input is non-empty, zero-count row when empty) *)
+      if select.Ast.group_by = [] then
+        match joined with [] -> [ ([], []) ] | _ -> [ ([], joined) ]
+      else groups
+    in
+    let items =
+      match select.Ast.projection with
+      | Ast.Exprs items -> items
+      | Ast.Star -> []
+    in
+    let* out_rows =
+      let rec per_group acc = function
+        | [] -> Ok (List.rev acc)
+        | (_k, rows) :: rest ->
+            if rows = [] then begin
+              (* empty overall group: only COUNT-like aggregates make sense *)
+              let rec vals acc' = function
+                | [] -> Ok (Array.of_list (List.rev acc'))
+                | (e, _) :: more -> (
+                    match e with
+                    | Ast.Count_star -> vals (D.Int 0 :: acc') more
+                    | Ast.Fn (name, _) when Ast.is_aggregate_fn name ->
+                        vals
+                          ((if String.lowercase_ascii name = "count" then D.Int 0
+                            else D.Null)
+                          :: acc')
+                          more
+                    | _ -> Error "non-aggregate projection over empty input")
+              in
+              (match vals [] items with
+              | Ok row -> per_group ((row, []) :: acc) rest
+              | Error _ -> per_group acc rest)
+            end
+            else begin
+              (* HAVING *)
+              let* keep =
+                match select.Ast.having with
+                | None -> Ok true
+                | Some h -> (
+                    let* v = eval_in_group db rows h in
+                    match v with
+                    | D.Bool b -> Ok b
+                    | D.Null -> Ok false
+                    | v ->
+                        Error
+                          (Printf.sprintf "HAVING evaluated to %s"
+                             (D.value_to_display v)))
+              in
+              if not keep then per_group acc rest
+              else begin
+                let rec vals acc' = function
+                  | [] -> Ok (Array.of_list (List.rev acc'))
+                  | (e, _) :: more ->
+                      let* v = eval_in_group db rows e in
+                      vals (v :: acc') more
+                in
+                let* row = vals [] items in
+                (* order keys evaluated in-group *)
+                let rec keys acc' = function
+                  | [] -> Ok (List.rev acc')
+                  | { Ast.key; ascending } :: more ->
+                      let* v = eval_in_group db rows key in
+                      keys ((v, ascending) :: acc') more
+                in
+                let* ks = keys [] select.Ast.order_by in
+                per_group ((row, ks) :: acc) rest
+              end
+            end
+      in
+      per_group [] groups
+    in
+    let sorted =
+      if select.Ast.order_by = [] then out_rows
+      else
+        List.stable_sort
+          (fun (_, ka) (_, kb) ->
+            let rec cmp = function
+              | [], [] -> 0
+              | (va, asc) :: ra, (vb, _) :: rb ->
+                  let c = D.compare_value va vb in
+                  if c <> 0 then if asc then c else -c else cmp (ra, rb)
+              | _ -> 0
+            in
+            cmp (ka, kb))
+          out_rows
+    in
+    let limited =
+      match select.Ast.limit with
+      | None -> sorted
+      | Some n -> List.filteri (fun i _ -> i < n) sorted
+    in
+    Ok { columns = List.map item_name items; rows = List.map fst limited }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* DML / DDL                                                           *)
+
+let target_space ~actor =
+  if actor = Db.loader_actor then Db.Public else Db.User actor
+
+let run ?optimize db ~actor stmt =
+  match stmt with
+  | Ast.Select s ->
+      let* rs = run_select ?optimize db ~actor s in
+      Ok (Rows rs)
+  | Ast.Create_table { table; defs } ->
+      let cols =
+        List.map
+          (fun (d : Ast.column_def) ->
+            {
+              Schema.name = d.Ast.col_name;
+              dtype = d.Ast.col_type;
+              nullable = d.Ast.col_nullable;
+            })
+          defs
+      in
+      let* schema = Schema.make cols in
+      let* _ = Db.create_table db ~actor ~space:(target_space ~actor) ~name:table schema in
+      Ok Executed
+  | Ast.Create_index { table; column } -> (
+      match Db.resolve db ~actor table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some (_, t) ->
+          let* () = Table.create_index t ~column in
+          Ok Executed)
+  | Ast.Create_genomic_index { table; column } -> (
+      match Db.resolve db ~actor table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some (_, t) ->
+          let* () = Table.create_genomic_index t ~column ~registry:(Db.udts db) in
+          Ok Executed)
+  | Ast.Insert { table; columns; rows } -> (
+      let space = target_space ~actor in
+      match Db.find_table db ~space table with
+      | None -> Error (Printf.sprintf "no table %s in your writable space" table)
+      | Some t ->
+          let schema = Table.schema t in
+          let arity = Schema.arity schema in
+          let env = { Eval.lookup = (fun _ n -> Error ("unknown column " ^ n)); udts = Db.udts db } in
+          let rec insert_rows n = function
+            | [] -> Ok (Affected n)
+            | exprs :: rest ->
+                let* values =
+                  let rec vals acc = function
+                    | [] -> Ok (List.rev acc)
+                    | e :: more ->
+                        let* v = Eval.eval env e in
+                        vals (v :: acc) more
+                  in
+                  vals [] exprs
+                in
+                let* row =
+                  if columns = [] then
+                    if List.length values <> arity then
+                      Error
+                        (Printf.sprintf "expected %d values, got %d" arity
+                           (List.length values))
+                    else Ok (Array.of_list values)
+                  else begin
+                    let row = Array.make arity D.Null in
+                    let rec place cols vals =
+                      match cols, vals with
+                      | [], [] -> Ok row
+                      | c :: cs, v :: vs -> (
+                          match Schema.column_index schema c with
+                          | Some i ->
+                              row.(i) <- v;
+                              place cs vs
+                          | None -> Error (Printf.sprintf "no column %s" c))
+                      | _ -> Error "column/value count mismatch"
+                    in
+                    place columns values
+                  end
+                in
+                let* _rid = Db.insert db ~actor ~space ~table row in
+                insert_rows (n + 1) rest
+          in
+          insert_rows 0 rows)
+  | Ast.Analyze table -> (
+      match Db.resolve db ~actor table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some (_, t) ->
+          Table.analyze t;
+          Ok Executed)
+  | Ast.Drop_table table ->
+      let space = target_space ~actor in
+      let* () = Db.drop_table db ~actor ~space ~name:table in
+      Ok Executed
+  | Ast.Delete { table; where } -> (
+      let space = target_space ~actor in
+      match Db.find_table db ~space table with
+      | None -> Error (Printf.sprintf "no table %s in your writable space" table)
+      | Some t ->
+          let schema = Table.schema t in
+          let victims = ref [] in
+          let err = ref None in
+          Table.scan t (fun rid row ->
+              if !err = None then
+                match where with
+                | None -> victims := rid :: !victims
+                | Some w -> (
+                    let b = { alias = table; schema; values = row } in
+                    match Eval.eval_predicate (env_of db [ b ]) w with
+                    | Ok true -> victims := rid :: !victims
+                    | Ok false -> ()
+                    | Error msg -> err := Some msg));
+          (match !err with
+          | Some msg -> Error msg
+          | None ->
+              let n =
+                List.fold_left
+                  (fun n rid -> if Table.delete t rid then n + 1 else n)
+                  0 !victims
+              in
+              Ok (Affected n)))
+
+let query ?optimize db ~actor input =
+  let* stmt = Parser.parse input in
+  run ?optimize db ~actor stmt
+
+let render db rs =
+  let registry = Db.udts db in
+  let display v = Genalg_storage.Udt.display_value registry v in
+  let header = rs.columns in
+  let body = List.map (fun row -> List.map display (Array.to_list row)) rs.rows in
+  let ncols = List.length header in
+  let widths = Array.make (max 1 ncols) 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    body;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let sep =
+    "+-"
+    ^ String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') (Array.sub widths 0 ncols)))
+    ^ "-+"
+  in
+  String.concat "\n"
+    ((if ncols = 0 then [] else [ sep; line header; sep ])
+    @ List.map line body
+    @ (if ncols = 0 then [] else [ sep ])
+    @ [ Printf.sprintf "(%d row%s)" (List.length body)
+          (if List.length body = 1 then "" else "s") ])

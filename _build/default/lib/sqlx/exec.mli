@@ -1,0 +1,40 @@
+(** Query execution against the Unifying Database.
+
+    Materializing executor over {!Plan} plans: index or full scans,
+    pushed-down filters, nested-loop joins with early join-filter
+    application, grouping/aggregation, HAVING, ORDER BY, LIMIT. All reads
+    and writes are permission-checked through {!Genalg_storage.Database}
+    with the calling actor. *)
+
+module D := Genalg_storage.Dtype
+
+type result_set = {
+  columns : string list;
+  rows : D.value array list;
+}
+
+type outcome =
+  | Rows of result_set
+  | Affected of int   (** INSERT / DELETE *)
+  | Executed          (** DDL *)
+
+val run_select :
+  ?optimize:bool ->
+  Genalg_storage.Database.t -> actor:string -> Ast.select ->
+  (result_set, string) result
+
+val run :
+  ?optimize:bool ->
+  Genalg_storage.Database.t -> actor:string -> Ast.stmt ->
+  (outcome, string) result
+(** DDL and INSERTs target the actor's own space, except for the loader
+    actor, whose tables live in the public space. *)
+
+val query :
+  ?optimize:bool ->
+  Genalg_storage.Database.t -> actor:string -> string ->
+  (outcome, string) result
+(** Parse then {!run}. *)
+
+val render : Genalg_storage.Database.t -> result_set -> string
+(** ASCII table with UDT-aware value display. *)

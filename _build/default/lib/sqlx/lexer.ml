@@ -1,0 +1,105 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen | Rparen
+  | Comma | Dot | Star | Semicolon
+  | Op of string
+  | Eof
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let error = ref None in
+  let emit tok = tokens := tok :: !tokens in
+  while !error = None && !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      emit (Ident (String.sub input start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit input.[!pos] do
+        incr pos
+      done;
+      let is_float =
+        !pos + 1 < n && input.[!pos] = '.' && is_digit input.[!pos + 1]
+      in
+      if is_float then begin
+        incr pos;
+        while !pos < n && is_digit input.[!pos] do
+          incr pos
+        done;
+        emit (Float_lit (float_of_string (String.sub input start (!pos - start))))
+      end
+      else emit (Int_lit (int_of_string (String.sub input start (!pos - start))))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr pos;
+      let closed = ref false in
+      while (not !closed) && !error = None do
+        if !pos >= n then error := Some "unterminated string literal"
+        else if input.[!pos] = '\'' then
+          if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf input.[!pos];
+          incr pos
+        end
+      done;
+      if !error = None then emit (Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" ->
+          emit (Op (if two = "!=" then "<>" else two));
+          pos := !pos + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit Lparen
+          | ')' -> emit Rparen
+          | ',' -> emit Comma
+          | '.' -> emit Dot
+          | '*' -> emit Star
+          | ';' -> emit Semicolon
+          | '=' | '<' | '>' | '+' | '-' | '/' -> emit (Op (String.make 1 c))
+          | _ -> error := Some (Printf.sprintf "unexpected character %C at offset %d" c !pos));
+          incr pos)
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev (Eof :: !tokens))
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> Printf.sprintf "%g" f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Semicolon -> ";"
+  | Op s -> s
+  | Eof -> "<eof>"

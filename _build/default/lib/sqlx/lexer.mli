@@ -1,0 +1,17 @@
+(** Tokenizer for the extended query language. *)
+
+type token =
+  | Ident of string        (** identifier or keyword, original case *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string      (** single-quoted; [''] unescaped *)
+  | Lparen | Rparen
+  | Comma | Dot | Star | Semicolon
+  | Op of string           (** one of [=], [<>], [<], [<=], [>], [>=], [+], [-], [/] *)
+  | Eof
+
+val tokenize : string -> (token list, string) result
+(** Errors mention the offending offset. Keywords are returned as
+    [Ident]s; the parser matches them case-insensitively. *)
+
+val token_to_string : token -> string

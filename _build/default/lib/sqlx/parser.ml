@@ -1,0 +1,428 @@
+module D = Genalg_storage.Dtype
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" what (Lexer.token_to_string (peek st))
+
+let is_kw st kw =
+  match peek st with
+  | Lexer.Ident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then
+    fail "expected %s, found %s" (String.uppercase_ascii kw)
+      (Lexer.token_to_string (peek st))
+
+let keywords =
+  [ "select"; "from"; "where"; "group"; "by"; "having"; "order"; "limit";
+    "insert"; "into"; "values"; "create"; "table"; "index"; "genomic"; "on"; "delete";
+    "analyze"; "drop"; "and"; "or"; "not"; "like"; "as"; "asc"; "desc"; "true"; "false"; "null" ]
+
+let ident st what =
+  match peek st with
+  | Lexer.Ident s when not (List.mem (String.lowercase_ascii s) keywords) ->
+      advance st;
+      s
+  | t -> fail "expected %s, found %s" what (Lexer.token_to_string t)
+
+(* ---- expressions -------------------------------------------------- *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if eat_kw st "or" then Ast.Binop (Ast.Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_kw st "and" then Ast.Binop (Ast.And, left, parse_and st) else left
+
+and parse_not st =
+  if eat_kw st "not" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.Op "=" -> Some Ast.Eq
+    | Lexer.Op "<>" -> Some Ast.Ne
+    | Lexer.Op "<" -> Some Ast.Lt
+    | Lexer.Op "<=" -> Some Ast.Le
+    | Lexer.Op ">" -> Some Ast.Gt
+    | Lexer.Op ">=" -> Some Ast.Ge
+    | Lexer.Ident s when String.lowercase_ascii s = "like" -> Some Ast.Like
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      advance st;
+      Ast.Binop (op, left, parse_add st)
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Lexer.Op "+" ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, left, parse_mul st))
+    | Lexer.Op "-" ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Lexer.Op "/" ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Op "-" ->
+      advance st;
+      Ast.Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit i ->
+      advance st;
+      Ast.Lit (D.Int i)
+  | Lexer.Float_lit f ->
+      advance st;
+      Ast.Lit (D.Float f)
+  | Lexer.Str_lit s ->
+      advance st;
+      Ast.Lit (D.Str s)
+  | Lexer.Lparen ->
+      advance st;
+      let e = parse_or st in
+      expect st Lexer.Rparen ")";
+      e
+  | Lexer.Ident s -> (
+      let lower = String.lowercase_ascii s in
+      match lower with
+      | "true" ->
+          advance st;
+          Ast.Lit (D.Bool true)
+      | "false" ->
+          advance st;
+          Ast.Lit (D.Bool false)
+      | "null" ->
+          advance st;
+          Ast.Lit D.Null
+      | "not" | "and" | "or" | "like" ->
+          fail "unexpected keyword %s" s
+      | _ ->
+          advance st;
+          (match peek st with
+          | Lexer.Lparen ->
+              advance st;
+              if lower = "count" && peek st = Lexer.Star then begin
+                advance st;
+                expect st Lexer.Rparen ")";
+                Ast.Count_star
+              end
+              else begin
+                let args =
+                  if peek st = Lexer.Rparen then []
+                  else begin
+                    let rec loop acc =
+                      let e = parse_or st in
+                      if peek st = Lexer.Comma then begin
+                        advance st;
+                        loop (e :: acc)
+                      end
+                      else List.rev (e :: acc)
+                    in
+                    loop []
+                  end
+                in
+                expect st Lexer.Rparen ")";
+                Ast.Fn (s, args)
+              end
+          | Lexer.Dot ->
+              advance st;
+              let col = ident st "column name" in
+              Ast.Col (Some s, col)
+          | _ -> Ast.Col (None, s)))
+  | t -> fail "unexpected token %s in expression" (Lexer.token_to_string t)
+
+(* ---- statements ---------------------------------------------------- *)
+
+let parse_select st =
+  expect_kw st "select";
+  let projection =
+    if peek st = Lexer.Star then begin
+      advance st;
+      Ast.Star
+    end
+    else begin
+      let rec items acc =
+        let e = parse_or st in
+        let alias = if eat_kw st "as" then Some (ident st "alias") else None in
+        let acc = (e, alias) :: acc in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          items acc
+        end
+        else List.rev acc
+      in
+      Ast.Exprs (items [])
+    end
+  in
+  expect_kw st "from";
+  let rec rels acc =
+    let table = ident st "table name" in
+    let alias =
+      match peek st with
+      | Lexer.Ident s when not (List.mem (String.lowercase_ascii s) keywords) ->
+          advance st;
+          s
+      | _ -> table
+    in
+    let acc = (table, alias) :: acc in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      rels acc
+    end
+    else List.rev acc
+  in
+  let from = rels [] in
+  let where = if eat_kw st "where" then Some (parse_or st) else None in
+  let group_by =
+    if is_kw st "group" then begin
+      advance st;
+      expect_kw st "by";
+      let rec keys acc =
+        let e = parse_or st in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          keys (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let having = if eat_kw st "having" then Some (parse_or st) else None in
+  let order_by =
+    if is_kw st "order" then begin
+      advance st;
+      expect_kw st "by";
+      let rec items acc =
+        let key = parse_or st in
+        let ascending =
+          if eat_kw st "desc" then false
+          else begin
+            ignore (eat_kw st "asc");
+            true
+          end
+        in
+        let acc = { Ast.key; ascending } :: acc in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          items acc
+        end
+        else List.rev acc
+      in
+      items []
+    end
+    else []
+  in
+  let limit =
+    if eat_kw st "limit" then begin
+      match peek st with
+      | Lexer.Int_lit n ->
+          advance st;
+          Some n
+      | t -> fail "expected integer after LIMIT, found %s" (Lexer.token_to_string t)
+    end
+    else None
+  in
+  Ast.Select { projection; from; where; group_by; having; order_by; limit }
+
+let parse_insert st =
+  expect_kw st "insert";
+  expect_kw st "into";
+  let table = ident st "table name" in
+  let columns =
+    if peek st = Lexer.Lparen then begin
+      advance st;
+      let rec cols acc =
+        let c = ident st "column name" in
+        if peek st = Lexer.Comma then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      let cs = cols [] in
+      expect st Lexer.Rparen ")";
+      cs
+    end
+    else []
+  in
+  expect_kw st "values";
+  let rec rows acc =
+    expect st Lexer.Lparen "(";
+    let rec vals vacc =
+      let e = parse_or st in
+      if peek st = Lexer.Comma then begin
+        advance st;
+        vals (e :: vacc)
+      end
+      else List.rev (e :: vacc)
+    in
+    let row = vals [] in
+    expect st Lexer.Rparen ")";
+    let acc = row :: acc in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      rows acc
+    end
+    else List.rev acc
+  in
+  Ast.Insert { table; columns; rows = rows [] }
+
+let parse_create st =
+  expect_kw st "create";
+  let genomic = eat_kw st "genomic" in
+  if genomic then begin
+    expect_kw st "index";
+    expect_kw st "on";
+    let table = ident st "table name" in
+    expect st Lexer.Lparen "(";
+    let column = ident st "column name" in
+    expect st Lexer.Rparen ")";
+    Ast.Create_genomic_index { table; column }
+  end
+  else if eat_kw st "table" then begin
+    let table = ident st "table name" in
+    expect st Lexer.Lparen "(";
+    let rec defs acc =
+      let col_name = ident st "column name" in
+      let type_name =
+        match peek st with
+        | Lexer.Ident s ->
+            advance st;
+            s
+        | t -> fail "expected a type name, found %s" (Lexer.token_to_string t)
+      in
+      let col_type =
+        match D.of_string type_name with
+        | Some ty -> ty
+        | None -> fail "unknown type %s" type_name
+      in
+      let col_nullable =
+        if is_kw st "not" then begin
+          advance st;
+          expect_kw st "null";
+          false
+        end
+        else true
+      in
+      let acc = { Ast.col_name; col_type; col_nullable } :: acc in
+      if peek st = Lexer.Comma then begin
+        advance st;
+        defs acc
+      end
+      else List.rev acc
+    in
+    let defs = defs [] in
+    expect st Lexer.Rparen ")";
+    Ast.Create_table { table; defs }
+  end
+  else begin
+    expect_kw st "index";
+    expect_kw st "on";
+    let table = ident st "table name" in
+    expect st Lexer.Lparen "(";
+    let column = ident st "column name" in
+    expect st Lexer.Rparen ")";
+    Ast.Create_index { table; column }
+  end
+
+let parse_delete st =
+  expect_kw st "delete";
+  expect_kw st "from";
+  let table = ident st "table name" in
+  let where = if eat_kw st "where" then Some (parse_or st) else None in
+  Ast.Delete { table; where }
+
+let parse_stmt st =
+  match peek st with
+  | Lexer.Ident s -> (
+      match String.lowercase_ascii s with
+      | "select" -> parse_select st
+      | "insert" -> parse_insert st
+      | "create" -> parse_create st
+      | "delete" -> parse_delete st
+      | "analyze" ->
+          advance st;
+          Ast.Analyze (ident st "table name")
+      | "drop" ->
+          advance st;
+          expect_kw st "table";
+          Ast.Drop_table (ident st "table name")
+      | other -> fail "unknown statement %s" other)
+  | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
+
+let finish st =
+  ignore (if peek st = Lexer.Semicolon then (advance st; true) else true);
+  match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input: %s" (Lexer.token_to_string t)
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      let st = { tokens } in
+      match
+        let s = parse_stmt st in
+        finish st;
+        s
+      with
+      | s -> Ok s
+      | exception Parse_error msg -> Error msg)
+
+let parse_expr input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      let st = { tokens } in
+      match
+        let e = parse_or st in
+        finish st;
+        e
+      with
+      | e -> Ok e
+      | exception Parse_error msg -> Error msg)

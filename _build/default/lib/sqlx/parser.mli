@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the extended query language.
+
+    Grammar, with case-insensitive keywords and comma-separated lists:
+    {v
+    stmt   := select | insert | create_table | create_index | delete
+    select := SELECT proj-list-or-star FROM rel-list
+              [WHERE expr] [GROUP BY expr-list] [HAVING expr]
+              [ORDER BY order-list] [LIMIT int]
+    proj   := expr [AS ident]
+    rel    := ident [ident]          -- table with optional alias
+    expr   := OR-tree over NOT, comparisons = <> < <= > >= LIKE,
+              additive and multiplicative arithmetic, unary minus,
+              function calls, qualified columns, literals
+    v} *)
+
+val parse : string -> (Ast.stmt, string) result
+(** One statement, optionally ';'-terminated. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** A bare expression (used by tests and the biological language). *)

@@ -1,0 +1,297 @@
+module D = Genalg_storage.Dtype
+
+type access =
+  | Full_scan
+  | Index_eq of { column : string; key : D.value }
+  | Index_range of {
+      column : string;
+      lo : D.value option;
+      hi : D.value option;
+      lo_inclusive : bool;
+      hi_inclusive : bool;
+    }
+  | Genomic_contains of { column : string; pattern : string }
+
+type table_plan = {
+  table : string;
+  alias : string;
+  access : access;
+  filters : Ast.expr list;
+}
+
+type t = {
+  tables : table_plan list;
+  join_filters : Ast.expr list;
+}
+
+type catalog = {
+  has_index : table:string -> column:string -> bool;
+  has_genomic_index : table:string -> column:string -> bool;
+  column_exists : table:string -> column:string -> bool;
+  equality_selectivity : table:string -> column:string -> float option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cost and selectivity models                                         *)
+
+let fn_cost name =
+  match String.lowercase_ascii name with
+  | "resembles" | "identity" | "edit_distance" -> 5000.
+  | "contains" | "find_motif" -> 200.
+  | "decode" | "translate" | "find_orfs" | "digest" -> 500.
+  | "gc_content" | "melting_temperature" | "reverse_complement" | "complement"
+  | "length" | "subsequence" | "molecular_weight" | "gene_sequence"
+  | "protein_sequence" | "mrna_sequence" | "transcribe" | "splice"
+  | "transcribe_seq" | "gene_id" | "exon_count" ->
+      50.
+  | _ -> 5.
+
+let rec predicate_cost = function
+  | Ast.Lit _ | Ast.Col _ | Ast.Count_star -> 0.5
+  | Ast.Not e | Ast.Neg e -> predicate_cost e
+  | Ast.Binop (_, a, b) -> 1. +. predicate_cost a +. predicate_cost b
+  | Ast.Fn (name, args) ->
+      fn_cost name +. List.fold_left (fun acc a -> acc +. predicate_cost a) 0. args
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+(* Probability that a random DNA sequence of moderate length (~1 kb)
+   contains a fixed pattern: ~ len * 4^-|pattern|. *)
+let contains_selectivity pattern_len =
+  clamp 1e-6 1.0 (1000. *. (0.25 ** float_of_int pattern_len))
+
+let rec predicate_selectivity expr =
+  match expr with
+  | Ast.Fn (name, args) when String.lowercase_ascii name = "contains" -> (
+      match args with
+      | [ _; Ast.Lit (D.Str pattern) ] -> contains_selectivity (String.length pattern)
+      | _ -> 0.1)
+  | Ast.Binop (((Ast.Ge | Ast.Gt) as _op), Ast.Fn (name, _), Ast.Lit _)
+    when String.lowercase_ascii name = "resembles" ->
+      0.02
+  | Ast.Binop ((Ast.Le | Ast.Lt), Ast.Lit _, Ast.Fn (name, _))
+    when String.lowercase_ascii name = "resembles" ->
+      0.02
+  | Ast.Binop (Ast.Eq, _, _) -> 0.05
+  | Ast.Binop (Ast.Ne, _, _) -> 0.95
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 0.3
+  | Ast.Binop (Ast.Like, _, _) -> 0.25
+  | Ast.Binop (Ast.And, a, b) -> predicate_selectivity a *. predicate_selectivity b
+  | Ast.Binop (Ast.Or, a, b) ->
+      let sa = predicate_selectivity a and sb = predicate_selectivity b in
+      clamp 0. 1. (sa +. sb -. (sa *. sb))
+  | Ast.Not e -> clamp 0.001 1. (1. -. predicate_selectivity e)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), _, _) -> 0.5
+  | Ast.Fn _ -> 0.5
+  | Ast.Lit (D.Bool false) -> 0.001
+  | Ast.Lit _ | Ast.Col _ | Ast.Count_star -> 0.5
+  | Ast.Neg _ -> 0.5
+
+let rank e =
+  let s = predicate_selectivity e in
+  predicate_cost e /. Float.max 1e-6 (1. -. s)
+
+(* Selectivity refined by ANALYZE statistics for equality predicates on
+   this table's columns. *)
+let selectivity_with catalog ~table ~alias expr =
+  let col_of = function
+    | Ast.Col (Some q, c) when String.lowercase_ascii q = String.lowercase_ascii alias
+      -> Some c
+    | Ast.Col (None, c) -> Some c
+    | _ -> None
+  in
+  match expr with
+  | Ast.Binop (Ast.Eq, lhs, Ast.Lit _) | Ast.Binop (Ast.Eq, Ast.Lit _, lhs) -> (
+      match col_of lhs with
+      | Some c -> (
+          match catalog.equality_selectivity ~table ~column:c with
+          | Some s -> clamp 1e-6 1. s
+          | None -> predicate_selectivity expr)
+      | None -> predicate_selectivity expr)
+  | _ -> predicate_selectivity expr
+
+let rank_with catalog ~table ~alias e =
+  let s = selectivity_with catalog ~table ~alias e in
+  predicate_cost e /. Float.max 1e-6 (1. -. s)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+
+(* Aliases a conjunct references; unqualified columns are attributed by
+   probing the catalog across the FROM tables. *)
+let aliases_of catalog from expr =
+  let cols = Ast.columns_of_expr expr in
+  let resolve (qualifier, col) =
+    match qualifier with
+    | Some q -> [ q ]
+    | None ->
+        List.filter_map
+          (fun (table, alias) ->
+            if catalog.column_exists ~table ~column:col then Some alias else None)
+          from
+  in
+  List.sort_uniq String.compare (List.concat_map resolve cols)
+
+(* Try to turn a conjunct into an index access for [alias]/[table]. *)
+let index_access catalog ~table ~alias expr =
+  let col_of = function
+    | Ast.Col (Some q, c) when String.lowercase_ascii q = String.lowercase_ascii alias
+      -> Some c
+    | Ast.Col (None, c) -> Some c
+    | _ -> None
+  in
+  let indexed c = catalog.has_index ~table ~column:c in
+  match expr with
+  | Ast.Binop (Ast.Eq, lhs, Ast.Lit v) -> (
+      match col_of lhs with
+      | Some c when indexed c -> Some (Index_eq { column = c; key = v })
+      | _ -> None)
+  | Ast.Binop (Ast.Eq, Ast.Lit v, rhs) -> (
+      match col_of rhs with
+      | Some c when indexed c -> Some (Index_eq { column = c; key = v })
+      | _ -> None)
+  | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), lhs, Ast.Lit v) -> (
+      match col_of lhs with
+      | Some c when indexed c ->
+          let range =
+            match op with
+            | Ast.Lt ->
+                Index_range
+                  { column = c; lo = None; hi = Some v; lo_inclusive = true; hi_inclusive = false }
+            | Ast.Le ->
+                Index_range
+                  { column = c; lo = None; hi = Some v; lo_inclusive = true; hi_inclusive = true }
+            | Ast.Gt ->
+                Index_range
+                  { column = c; lo = Some v; hi = None; lo_inclusive = false; hi_inclusive = true }
+            | Ast.Ge ->
+                Index_range
+                  { column = c; lo = Some v; hi = None; lo_inclusive = true; hi_inclusive = true }
+            | _ -> assert false
+          in
+          Some range
+      | _ -> None)
+  | _ -> None
+
+(* a contains(col, 'LIT') conjunct over a genomically-indexed column
+   becomes an access path; the executor re-applies the predicate when it
+   must fall back to scanning *)
+let genomic_access catalog ~table ~alias expr =
+  let col_of = function
+    | Ast.Col (Some q, c) when String.lowercase_ascii q = String.lowercase_ascii alias
+      -> Some c
+    | Ast.Col (None, c) -> Some c
+    | _ -> None
+  in
+  match expr with
+  | Ast.Fn (name, [ col_e; Ast.Lit (D.Str pattern) ])
+    when String.lowercase_ascii name = "contains" -> (
+      match col_of col_e with
+      | Some c when catalog.has_genomic_index ~table ~column:c ->
+          Some (Genomic_contains { column = c; pattern })
+      | _ -> None)
+  | _ -> None
+
+let make ?(optimize = true) catalog (select : Ast.select) =
+  let conjuncts =
+    match select.Ast.where with None -> [] | Some w -> Ast.conjuncts w
+  in
+  let from = select.Ast.from in
+  let classified =
+    List.map (fun c -> (c, aliases_of catalog from c)) conjuncts
+  in
+  if not optimize then begin
+    (* naive: all single-table conjuncts stay in source order, no indexes *)
+    let tables =
+      List.map
+        (fun (table, alias) ->
+          let filters =
+            List.filter_map
+              (fun (c, al) -> if al = [ alias ] then Some c else None)
+              classified
+          in
+          { table; alias; access = Full_scan; filters })
+        from
+    in
+    let join_filters =
+      List.filter_map
+        (fun (c, al) -> if List.length al <> 1 then Some c else None)
+        classified
+    in
+    { tables; join_filters }
+  end
+  else begin
+    let tables =
+      List.map
+        (fun (table, alias) ->
+          let mine =
+            List.filter_map
+              (fun (c, al) -> if al = [ alias ] then Some c else None)
+              classified
+          in
+          (* pick the first usable index conjunct as the access path *)
+          let access, residual =
+            let rec pick probe seen = function
+              | [] -> (Full_scan, List.rev seen)
+              | c :: rest -> (
+                  match probe c with
+                  | Some a -> (a, List.rev_append seen rest)
+                  | None -> pick probe (c :: seen) rest)
+            in
+            (* prefer a B-tree equality/range path; otherwise try the
+               genomic substring index *)
+            match pick (index_access catalog ~table ~alias) [] mine with
+            | (Full_scan, _) -> pick (genomic_access catalog ~table ~alias) [] mine
+            | found -> found
+          in
+          let filters =
+            List.stable_sort
+              (fun a b ->
+                Float.compare (rank_with catalog ~table ~alias a)
+                  (rank_with catalog ~table ~alias b))
+              residual
+          in
+          { table; alias; access; filters })
+        from
+    in
+    let join_filters =
+      List.filter_map
+        (fun (c, al) -> if List.length al <> 1 then Some c else None)
+        classified
+      |> List.stable_sort (fun a b -> Float.compare (rank a) (rank b))
+    in
+    { tables; join_filters }
+  end
+
+let access_to_string = function
+  | Full_scan -> "full scan"
+  | Index_eq { column; key } ->
+      Printf.sprintf "index %s = %s" column (D.value_to_display key)
+  | Index_range { column; lo; hi; _ } ->
+      Printf.sprintf "index %s in [%s, %s]" column
+        (match lo with Some v -> D.value_to_display v | None -> "-inf")
+        (match hi with Some v -> D.value_to_display v | None -> "+inf")
+  | Genomic_contains { column; pattern } ->
+      Printf.sprintf "genomic index %s contains %S" column pattern
+
+let to_string t =
+  let lines =
+    List.map
+      (fun tp ->
+        Printf.sprintf "scan %s as %s via %s%s" tp.table tp.alias
+          (access_to_string tp.access)
+          (match tp.filters with
+          | [] -> ""
+          | fs ->
+              Printf.sprintf " filter [%s]"
+                (String.concat "; " (List.map Ast.expr_to_string fs))))
+      t.tables
+  in
+  let join_line =
+    match t.join_filters with
+    | [] -> []
+    | fs ->
+        [ Printf.sprintf "join filter [%s]"
+            (String.concat "; " (List.map Ast.expr_to_string fs)) ]
+  in
+  String.concat "\n" (lines @ join_line)

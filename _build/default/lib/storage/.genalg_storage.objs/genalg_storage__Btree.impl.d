@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Dtype Heap List

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Buffer Bytes Dtype Fun Int64 List Option Printf Schema String Table Udt

@@ -1,0 +1,1 @@
+lib/storage/database.mli: Dtype Heap Schema Table Udt

@@ -1,0 +1,1 @@
+lib/storage/dtype.ml: Array Bool Buffer Bytes Float Format Int Int64 Printf String

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Buffer Bytes Int64 Page

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Btree Buffer Dtype Hashtbl Heap List Option Printf Schema String Text_index Udt

@@ -1,0 +1,1 @@
+lib/storage/text_index.ml: Hashtbl Heap List String Udt

@@ -1,0 +1,1 @@
+lib/storage/text_index.mli: Heap Udt

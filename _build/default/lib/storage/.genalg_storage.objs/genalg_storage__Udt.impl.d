@@ -1,0 +1,1 @@
+lib/storage/udt.ml: Dtype Hashtbl List Printf String

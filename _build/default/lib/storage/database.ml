@@ -1,0 +1,279 @@
+type space =
+  | Public
+  | User of string
+
+type entry = {
+  space : space;
+  table : Table.t;
+  mutable grantees : string list; (* read grants, user tables only *)
+}
+
+type t = {
+  mutable entries : entry list;
+  udts : Udt.t;
+}
+
+let loader_actor = "etl"
+
+let create () = { entries = []; udts = Udt.create () }
+
+let udts t = t.udts
+
+let space_key = function
+  | Public -> "!public"
+  | User u -> "user:" ^ String.lowercase_ascii u
+
+let entry_key space name = space_key space ^ "/" ^ String.lowercase_ascii name
+
+let find_entry t space name =
+  let k = entry_key space name in
+  List.find_opt (fun e -> entry_key e.space (Table.name e.table) = k) t.entries
+
+let can_write _t ~actor = function
+  | Public -> actor = loader_actor
+  | User u -> String.lowercase_ascii actor = String.lowercase_ascii u
+
+let can_read_entry ~actor e =
+  match e.space with
+  | Public -> true
+  | User u ->
+      String.lowercase_ascii actor = String.lowercase_ascii u
+      || List.exists
+           (fun g -> String.lowercase_ascii g = String.lowercase_ascii actor)
+           e.grantees
+
+(* Space-level readability; per-table grants are honoured by [resolve]. *)
+let can_read _t ~actor = function
+  | Public -> true
+  | User u -> String.lowercase_ascii actor = String.lowercase_ascii u
+
+let create_table t ~actor ~space ~name schema =
+  if name = "" then Error "empty table name"
+  else if not (can_write t ~actor space) then
+    Error (Printf.sprintf "actor %s may not create tables in this space" actor)
+  else if find_entry t space name <> None then
+    Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    let table = Table.create ~name schema in
+    t.entries <- t.entries @ [ { space; table; grantees = [] } ];
+    Ok table
+  end
+
+let drop_table t ~actor ~space ~name =
+  if not (can_write t ~actor space) then
+    Error (Printf.sprintf "actor %s may not drop tables in this space" actor)
+  else
+    match find_entry t space name with
+    | None -> Error (Printf.sprintf "no table %s" name)
+    | Some e ->
+        t.entries <- List.filter (fun e' -> e' != e) t.entries;
+        Ok ()
+
+let find_table t ~space name =
+  Option.map (fun e -> e.table) (find_entry t space name)
+
+let resolve t ~actor name =
+  let own = find_entry t (User actor) name in
+  let entry =
+    match own with
+    | Some _ -> own
+    | None -> (
+        match find_entry t Public name with
+        | Some _ as r -> r
+        | None ->
+            (* granted tables in other user spaces *)
+            List.find_opt
+              (fun e ->
+                String.lowercase_ascii (Table.name e.table) = String.lowercase_ascii name
+                && can_read_entry ~actor e)
+              t.entries)
+  in
+  match entry with
+  | Some e when can_read_entry ~actor e -> Some (e.space, e.table)
+  | Some _ | None -> None
+
+let grant_read t ~owner ~grantee ~table =
+  match find_entry t (User owner) table with
+  | None -> Error (Printf.sprintf "no table %s owned by %s" table owner)
+  | Some e ->
+      if not (List.mem grantee e.grantees) then e.grantees <- grantee :: e.grantees;
+      Ok ()
+
+let insert t ~actor ~space ~table row =
+  if not (can_write t ~actor space) then
+    Error (Printf.sprintf "actor %s may not write this space" actor)
+  else
+    match find_entry t space table with
+    | None -> Error (Printf.sprintf "no table %s" table)
+    | Some e ->
+        let rec validate i =
+          if i = Array.length row then Ok ()
+          else
+            match Udt.validate_value t.udts row.(i) with
+            | Ok () -> validate (i + 1)
+            | Error _ as err -> err
+        in
+        (match validate 0 with
+        | Error _ as err -> err
+        | Ok () -> Table.insert e.table row)
+
+let tables t =
+  let rank = function Public -> (0, "") | User u -> (1, String.lowercase_ascii u) in
+  List.map (fun e -> (e.space, e.table)) t.entries
+  |> List.sort (fun (s1, t1) (s2, t2) ->
+         let c = compare (rank s1) (rank s2) in
+         if c <> 0 then c else String.compare (Table.name t1) (Table.name t2))
+
+let table_count t = List.length t.entries
+
+(* --------------------------------------------------------------- *)
+(* Persistence                                                      *)
+
+let magic = "GENALGDB1"
+
+let add_sized buf s =
+  Buffer.add_int64_le buf (Int64.of_int (String.length s));
+  Buffer.add_string buf s
+
+let encode_schema buf schema =
+  let cols = Schema.columns schema in
+  Buffer.add_int64_le buf (Int64.of_int (List.length cols));
+  List.iter
+    (fun (c : Schema.column) ->
+      add_sized buf c.Schema.name;
+      add_sized buf (Dtype.to_string c.Schema.dtype);
+      Buffer.add_char buf (if c.Schema.nullable then '\001' else '\000'))
+    cols
+
+let save t path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_int64_le buf (Int64.of_int (List.length t.entries));
+  List.iter
+    (fun e ->
+      (match e.space with
+      | Public -> add_sized buf "!public"
+      | User u -> add_sized buf ("user:" ^ u));
+      add_sized buf (Table.name e.table);
+      encode_schema buf (Table.schema e.table);
+      let indexed = Table.indexed_columns e.table in
+      Buffer.add_int64_le buf (Int64.of_int (List.length indexed));
+      List.iter (add_sized buf) indexed;
+      Buffer.add_int64_le buf (Int64.of_int (List.length e.grantees));
+      List.iter (add_sized buf) e.grantees;
+      (* rows re-encoded from the heap; tombstones drop out *)
+      let rows = Table.fold e.table ~init:[] ~f:(fun acc _ row -> row :: acc) in
+      let rows = List.rev rows in
+      Buffer.add_int64_le buf (Int64.of_int (List.length rows));
+      List.iter
+        (fun row ->
+          let enc = Dtype.encode_row row in
+          Buffer.add_int64_le buf (Int64.of_int (Bytes.length enc));
+          Buffer.add_bytes buf enc)
+        rows)
+    t.entries;
+  match
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        Buffer.output_buffer oc buf)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+exception Corrupt of string
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let data = Bytes.of_string contents in
+      let pos = ref 0 in
+      let need n =
+        if !pos + n > Bytes.length data then raise (Corrupt "truncated file")
+      in
+      let read_int () =
+        need 8;
+        let v = Int64.to_int (Bytes.get_int64_le data !pos) in
+        pos := !pos + 8;
+        if v < 0 then raise (Corrupt "negative length");
+        v
+      in
+      (* counts of variable-size items: each item consumes at least one
+         byte, so a count larger than the remaining payload is corrupt
+         (prevents unbounded allocation from mutated headers) *)
+      let read_count () =
+        let v = read_int () in
+        if v > Bytes.length data - !pos then raise (Corrupt "implausible count");
+        v
+      in
+      let read_sized () =
+        let n = read_int () in
+        need n;
+        let s = Bytes.sub_string data !pos n in
+        pos := !pos + n;
+        s
+      in
+      (try
+         need (String.length magic);
+         if Bytes.sub_string data 0 (String.length magic) <> magic then
+           raise (Corrupt "bad magic");
+         pos := String.length magic;
+         let t = create () in
+         let n_entries = read_count () in
+         for _ = 1 to n_entries do
+           let space_str = read_sized () in
+           let space =
+             if space_str = "!public" then Public
+             else if String.length space_str > 5 && String.sub space_str 0 5 = "user:"
+             then User (String.sub space_str 5 (String.length space_str - 5))
+             else raise (Corrupt "bad space tag")
+           in
+           let name = read_sized () in
+           let ncols = read_count () in
+           let cols =
+             List.init ncols (fun _ ->
+                 let cname = read_sized () in
+                 let tname = read_sized () in
+                 need 1;
+                 let nullable = Bytes.get data !pos <> '\000' in
+                 incr pos;
+                 match Dtype.of_string tname with
+                 | Some dtype -> { Schema.name = cname; dtype; nullable }
+                 | None -> raise (Corrupt ("bad column type " ^ tname)))
+           in
+           let schema =
+             match Schema.make cols with
+             | Ok s -> s
+             | Error msg -> raise (Corrupt msg)
+           in
+           let table = Table.create ~name schema in
+           let nidx = read_count () in
+           let indexed = List.init nidx (fun _ -> read_sized ()) in
+           let ngrant = read_count () in
+           let grantees = List.init ngrant (fun _ -> read_sized ()) in
+           let nrows = read_count () in
+           for _ = 1 to nrows do
+             let len = read_int () in
+             need len;
+             let row = Dtype.decode_row (Bytes.sub data !pos len) in
+             pos := !pos + len;
+             match Table.insert table row with
+             | Ok _ -> ()
+             | Error msg -> raise (Corrupt msg)
+           done;
+           List.iter
+             (fun col ->
+               match Table.create_index table ~column:col with
+               | Ok () -> ()
+               | Error msg -> raise (Corrupt msg))
+             indexed;
+           t.entries <- t.entries @ [ { space; table; grantees } ]
+         done;
+         Ok t
+       with
+      | Corrupt msg -> Error ("Database.load: " ^ msg)
+      | Invalid_argument msg -> Error ("Database.load: " ^ msg))

@@ -1,0 +1,64 @@
+(** The Unifying Database: a catalog of tables split into a read-only
+    public space and per-user spaces (paper section 5.1), an opaque-UDT
+    registry, and snapshot persistence.
+
+    "The schema containing the external data is read-only to facilitate
+    maintenance of the warehouse; user-owned entities are updateable by
+    their owners … sharing of data between users can be controlled via the
+    standard database access control mechanism." Writes to the public
+    space are reserved to the ETL loader actor {!loader_actor}; user
+    tables are writable by their owner and readable by grantees. *)
+
+type space =
+  | Public
+  | User of string  (** owner name *)
+
+type t
+
+val create : unit -> t
+
+val loader_actor : string
+(** The distinguished actor ("etl") allowed to write the public space. *)
+
+val udts : t -> Udt.t
+(** The database's UDT/UDF registry (the adapter populates it). *)
+
+val create_table :
+  t -> actor:string -> space:space -> name:string -> Schema.t ->
+  (Table.t, string) result
+(** Table names are unique within a space, case-insensitive. Creating in
+    [Public] requires the loader actor; in [User u], actor [u]. *)
+
+val drop_table : t -> actor:string -> space:space -> name:string -> (unit, string) result
+
+val find_table : t -> space:space -> string -> Table.t option
+
+val resolve : t -> actor:string -> string -> (space * Table.t) option
+(** Name resolution for queries: the actor's own space first, then
+    public. Only readable tables resolve. *)
+
+val can_read : t -> actor:string -> space -> bool
+val can_write : t -> actor:string -> space -> bool
+
+val grant_read : t -> owner:string -> grantee:string -> table:string -> (unit, string) result
+(** Share a user table; only its owner may grant. *)
+
+val insert :
+  t -> actor:string -> space:space -> table:string -> Dtype.value array ->
+  (Heap.rid, string) result
+(** Permission-checked insert; [Opaque] values are validated against the
+    UDT registry. *)
+
+val tables : t -> (space * Table.t) list
+(** Every table, public space first, then user spaces sorted by owner. *)
+
+val table_count : t -> int
+
+val save : t -> string -> (unit, string) result
+(** Snapshot the catalog, all heaps and index definitions to a file. *)
+
+val load : string -> (t, string) result
+(** Restore a snapshot; B-tree indexes are rebuilt. UDT registrations,
+    genomic (substring) indexes and ANALYZE statistics are in-memory
+    only — re-attach the adapter and re-issue [CREATE GENOMIC INDEX] /
+    [ANALYZE] after loading. *)

@@ -1,0 +1,117 @@
+type rid = { page : int; slot : int }
+
+type t = {
+  mutable pages : Page.t array;
+  mutable npages : int;
+  mutable live : int;
+}
+
+let create () = { pages = Array.make 4 (Page.create ()); npages = 0; live = 0 }
+
+let ensure_capacity t =
+  if t.npages = Array.length t.pages then begin
+    let bigger = Array.make (2 * Array.length t.pages) (Page.create ()) in
+    Array.blit t.pages 0 bigger 0 t.npages;
+    t.pages <- bigger
+  end
+
+let add_page t =
+  ensure_capacity t;
+  let p = Page.create () in
+  t.pages.(t.npages) <- p;
+  t.npages <- t.npages + 1;
+  (t.npages - 1, p)
+
+let insert t record =
+  (* try the last page first; heap loads are append-dominated *)
+  let try_page i =
+    match Page.insert t.pages.(i) record with
+    | Some slot -> Some { page = i; slot }
+    | None -> None
+  in
+  let rid =
+    if t.npages = 0 then None
+    else
+      match try_page (t.npages - 1) with
+      | Some _ as r -> r
+      | None -> if t.npages >= 2 then try_page (t.npages - 2) else None
+  in
+  match rid with
+  | Some r ->
+      t.live <- t.live + 1;
+      r
+  | None ->
+      let i, p = add_page t in
+      (match Page.insert p record with
+      | Some slot ->
+          t.live <- t.live + 1;
+          { page = i; slot }
+      | None -> invalid_arg "Heap.insert: record exceeds page capacity")
+
+let get t rid =
+  if rid.page < 0 || rid.page >= t.npages then None
+  else Page.get t.pages.(rid.page) rid.slot
+
+let delete t rid =
+  if rid.page < 0 || rid.page >= t.npages then false
+  else begin
+    let ok = Page.delete t.pages.(rid.page) rid.slot in
+    if ok then t.live <- t.live - 1;
+    ok
+  end
+
+let update t rid record =
+  if rid.page >= 0 && rid.page < t.npages
+     && Page.update t.pages.(rid.page) rid.slot record
+  then rid
+  else begin
+    ignore (delete t rid);
+    insert t record
+  end
+
+let iter f t =
+  for i = 0 to t.npages - 1 do
+    Page.iter (fun slot record -> f { page = i; slot } record) t.pages.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun rid record -> acc := f rid record !acc) t;
+  !acc
+
+let record_count t = t.live
+let page_count t = t.npages
+
+let to_bytes t =
+  let buf = Buffer.create (t.npages * Page.page_size) in
+  Buffer.add_int64_le buf (Int64.of_int t.npages);
+  Buffer.add_int64_le buf (Int64.of_int t.live);
+  for i = 0 to t.npages - 1 do
+    Buffer.add_bytes buf (Page.to_bytes t.pages.(i))
+  done;
+  Buffer.to_bytes buf
+
+let of_bytes data =
+  if Bytes.length data < 16 then Error "Heap.of_bytes: truncated header"
+  else begin
+    let npages = Int64.to_int (Bytes.get_int64_le data 0) in
+    let live = Int64.to_int (Bytes.get_int64_le data 8) in
+    if npages < 0 || Bytes.length data <> 16 + (npages * Page.page_size) then
+      Error "Heap.of_bytes: size mismatch"
+    else begin
+      let pages = Array.make (max 4 npages) (Page.create ()) in
+      let rec load i =
+        if i = npages then Ok ()
+        else
+          let chunk = Bytes.sub data (16 + (i * Page.page_size)) Page.page_size in
+          match Page.of_bytes chunk with
+          | Ok p ->
+              pages.(i) <- p;
+              load (i + 1)
+          | Error _ as e -> e
+      in
+      match load 0 with
+      | Ok () -> Ok { pages; npages; live }
+      | Error msg -> Error msg
+    end
+  end

@@ -1,0 +1,201 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Heap.t;
+  indexes : (string, Btree.t) Hashtbl.t; (* lower-case column name -> index *)
+  genomic : (string, int * Text_index.t) Hashtbl.t;
+      (* lower-case column name -> (column position, k-mer postings) *)
+  mutable stats : (string, column_stats) Hashtbl.t option;
+      (* per-column statistics, present after [analyze] *)
+}
+
+and column_stats = {
+  rows : int;
+  distinct : int;
+  nulls : int;
+}
+
+let create ~name schema =
+  { name; schema; heap = Heap.create (); indexes = Hashtbl.create 4;
+    genomic = Hashtbl.create 2; stats = None }
+
+let name t = t.name
+let schema t = t.schema
+
+let index_updates t row f =
+  Hashtbl.iter
+    (fun col idx ->
+      match Schema.column_index t.schema col with
+      | Some i -> f idx row.(i)
+      | None -> ())
+    t.indexes
+
+let genomic_updates t rid row f =
+  Hashtbl.iter
+    (fun _ (i, gidx) ->
+      match row.(i) with
+      | Dtype.Opaque (_, payload) -> f gidx rid payload
+      | Dtype.Null | Dtype.Bool _ | Dtype.Int _ | Dtype.Float _ | Dtype.Str _ -> ())
+    t.genomic
+
+let insert t row =
+  match Schema.validate_row t.schema row with
+  | Error _ as e -> e
+  | Ok () ->
+      let rid = Heap.insert t.heap (Dtype.encode_row row) in
+      index_updates t row (fun idx key -> Btree.insert idx key rid);
+      genomic_updates t rid row Text_index.add;
+      Ok rid
+
+let insert_exn t row =
+  match insert t row with
+  | Ok rid -> rid
+  | Error msg -> invalid_arg (Printf.sprintf "Table.insert_exn (%s): %s" t.name msg)
+
+let get t rid = Option.map Dtype.decode_row (Heap.get t.heap rid)
+
+let delete t rid =
+  match get t rid with
+  | None -> false
+  | Some row ->
+      index_updates t row (fun idx key -> ignore (Btree.remove idx key rid));
+      genomic_updates t rid row Text_index.remove;
+      Heap.delete t.heap rid
+
+let update t rid row =
+  match Schema.validate_row t.schema row with
+  | Error _ as e -> e
+  | Ok () -> (
+      match get t rid with
+      | None -> Error "no such record"
+      | Some old_row ->
+          index_updates t old_row (fun idx key -> ignore (Btree.remove idx key rid));
+          genomic_updates t rid old_row Text_index.remove;
+          let rid' = Heap.update t.heap rid (Dtype.encode_row row) in
+          index_updates t row (fun idx key -> Btree.insert idx key rid');
+          genomic_updates t rid' row Text_index.add;
+          Ok rid')
+
+let scan t f = Heap.iter (fun rid bytes -> f rid (Dtype.decode_row bytes)) t.heap
+
+let fold t ~init ~f =
+  Heap.fold (fun rid bytes acc -> f acc rid (Dtype.decode_row bytes)) t.heap init
+
+let row_count t = Heap.record_count t.heap
+let page_count t = Heap.page_count t.heap
+
+let create_index t ~column =
+  let col = String.lowercase_ascii column in
+  match Schema.column_index t.schema col with
+  | None -> Error (Printf.sprintf "no column %s in table %s" column t.name)
+  | Some i ->
+      if Hashtbl.mem t.indexes col then
+        Error (Printf.sprintf "index on %s.%s already exists" t.name column)
+      else begin
+        let idx = Btree.create () in
+        scan t (fun rid row -> Btree.insert idx row.(i) rid);
+        Hashtbl.add t.indexes col idx;
+        Ok ()
+      end
+
+let has_index t ~column = Hashtbl.mem t.indexes (String.lowercase_ascii column)
+
+let indexed_columns t =
+  Hashtbl.fold (fun col _ acc -> col :: acc) t.indexes []
+  |> List.sort String.compare
+
+let index_lookup t ~column key =
+  Option.map (fun idx -> Btree.find idx key)
+    (Hashtbl.find_opt t.indexes (String.lowercase_ascii column))
+
+let index_range t ~column ?lo ?hi ?lo_inclusive ?hi_inclusive () =
+  Option.map
+    (fun idx ->
+      List.concat_map snd (Btree.range ?lo ?hi ?lo_inclusive ?hi_inclusive idx))
+    (Hashtbl.find_opt t.indexes (String.lowercase_ascii column))
+
+(* ---- statistics (paper 6.5) --------------------------------------- *)
+
+let analyze t =
+  let ncols = Schema.arity t.schema in
+  let seen = Array.init ncols (fun _ -> Hashtbl.create 64) in
+  let nulls = Array.make ncols 0 in
+  let rows = ref 0 in
+  scan t (fun _ row ->
+      incr rows;
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Dtype.Null -> nulls.(i) <- nulls.(i) + 1
+          | _ ->
+              (* hash the encoded form so opaque payloads count too *)
+              let buf = Buffer.create 16 in
+              Dtype.encode_value buf v;
+              Hashtbl.replace seen.(i) (Buffer.contents buf) ())
+        row);
+  let table = Hashtbl.create ncols in
+  List.iteri
+    (fun i (c : Schema.column) ->
+      Hashtbl.replace table
+        (String.lowercase_ascii c.Schema.name)
+        { rows = !rows; distinct = Hashtbl.length seen.(i); nulls = nulls.(i) })
+    (Schema.columns t.schema);
+  t.stats <- Some table
+
+let column_stats t ~column =
+  match t.stats with
+  | None -> None
+  | Some table -> Hashtbl.find_opt table (String.lowercase_ascii column)
+
+(* ---- genomic indexes (paper 6.5) --------------------------------- *)
+
+let create_genomic_index ?k t ~column ~registry =
+  let col = String.lowercase_ascii column in
+  match Schema.column_index t.schema col with
+  | None -> Error (Printf.sprintf "no column %s in table %s" column t.name)
+  | Some i -> (
+      if Hashtbl.mem t.genomic col then
+        Error (Printf.sprintf "genomic index on %s.%s already exists" t.name column)
+      else
+        match (Schema.column t.schema i).Schema.dtype with
+        | Dtype.TBool | Dtype.TInt | Dtype.TFloat | Dtype.TString ->
+            Error (Printf.sprintf "column %s is not an opaque type" column)
+        | Dtype.TOpaque type_name -> (
+            match Udt.find_type registry type_name with
+            | None -> Error (Printf.sprintf "UDT %s is not registered" type_name)
+            | Some udt -> (
+                match udt.Udt.search with
+                | None ->
+                    Error
+                      (Printf.sprintf "UDT %s does not support substring search"
+                         type_name)
+                | Some support ->
+                    let gidx = Text_index.create ?k support in
+                    scan t (fun rid row ->
+                        match row.(i) with
+                        | Dtype.Opaque (_, payload) -> Text_index.add gidx rid payload
+                        | Dtype.Null | Dtype.Bool _ | Dtype.Int _ | Dtype.Float _
+                        | Dtype.Str _ ->
+                            ());
+                    Hashtbl.add t.genomic col (i, gidx);
+                    Ok ())))
+
+let has_genomic_index t ~column =
+  Hashtbl.mem t.genomic (String.lowercase_ascii column)
+
+let genomic_search t ~column ~pattern =
+  match Hashtbl.find_opt t.genomic (String.lowercase_ascii column) with
+  | None -> `No_index
+  | Some (i, gidx) -> (
+      let payload_of rid =
+        match get t rid with
+        | Some row -> (
+            match row.(i) with
+            | Dtype.Opaque (_, payload) -> Some payload
+            | Dtype.Null | Dtype.Bool _ | Dtype.Int _ | Dtype.Float _ | Dtype.Str _ ->
+                None)
+        | None -> None
+      in
+      match Text_index.search gidx ~pattern ~payload_of with
+      | None -> `Unsupported_pattern
+      | Some rids -> `Hits rids)

@@ -1,0 +1,83 @@
+(** Tables: a schema, a heap file, and optional B-tree secondary indexes. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+
+val insert : t -> Dtype.value array -> (Heap.rid, string) result
+(** Validates against the schema, stores the encoded row, and maintains
+    every index. *)
+
+val insert_exn : t -> Dtype.value array -> Heap.rid
+
+val get : t -> Heap.rid -> Dtype.value array option
+
+val delete : t -> Heap.rid -> bool
+
+val update : t -> Heap.rid -> Dtype.value array -> (Heap.rid, string) result
+
+val scan : t -> (Heap.rid -> Dtype.value array -> unit) -> unit
+(** Full scan in physical order. *)
+
+val fold : t -> init:'a -> f:('a -> Heap.rid -> Dtype.value array -> 'a) -> 'a
+
+val row_count : t -> int
+val page_count : t -> int
+
+val create_index : t -> column:string -> (unit, string) result
+(** Build a B-tree over an existing column (backfilled from the heap).
+    Fails for unknown columns or when an index already exists. *)
+
+val has_index : t -> column:string -> bool
+val indexed_columns : t -> string list
+
+val index_lookup : t -> column:string -> Dtype.value -> Heap.rid list option
+(** [None] when the column has no index; [Some rids] (possibly empty)
+    otherwise. *)
+
+val index_range :
+  t -> column:string ->
+  ?lo:Dtype.value -> ?hi:Dtype.value ->
+  ?lo_inclusive:bool -> ?hi_inclusive:bool ->
+  unit -> Heap.rid list option
+
+(** {1 Statistics — paper section 6.5's optimizer inputs} *)
+
+type column_stats = {
+  rows : int;           (** live rows when analyzed *)
+  distinct : int;       (** distinct non-null values *)
+  nulls : int;
+}
+
+val analyze : t -> unit
+(** Scan the table and cache per-column statistics. Statistics are a
+    snapshot: they go stale under writes until the next [analyze] (the
+    usual DBMS contract). *)
+
+val column_stats : t -> column:string -> column_stats option
+(** [None] before {!analyze} or for unknown columns. *)
+
+(** {1 Genomic (substring) indexes — paper section 6.5}
+
+    A genomic index over an opaque column accelerates containment
+    predicates ([contains(seq, 'PATTERN')]) through per-record k-mer
+    postings with authoritative verification. The column's UDT must
+    provide {!Udt.search_support}. *)
+
+val create_genomic_index :
+  ?k:int -> t -> column:string -> registry:Udt.t -> (unit, string) result
+(** Build (and backfill) a genomic index. Fails for unknown columns,
+    non-opaque columns, types without search support, or duplicates. *)
+
+val has_genomic_index : t -> column:string -> bool
+
+val genomic_search :
+  t -> column:string -> pattern:string ->
+  [ `No_index | `Unsupported_pattern | `Hits of Heap.rid list ]
+(** Verified rids of rows whose column contains [pattern].
+    [`Unsupported_pattern] means the index exists but cannot serve this
+    pattern (shorter than k, or ambiguous first k-mer) — fall back to a
+    scan. *)

@@ -1,0 +1,110 @@
+type t = {
+  k : int;
+  support : Udt.search_support;
+  postings : (int, Heap.rid list ref) Hashtbl.t; (* packed k-mer -> rids *)
+  always : (Heap.rid, unit) Hashtbl.t;           (* ambiguous payloads *)
+  mutable count : int;
+}
+
+let create ?(k = 8) support =
+  if k < 2 || k > 31 then invalid_arg "Text_index.create: k must be in [2, 31]";
+  { k; support; postings = Hashtbl.create 1024; always = Hashtbl.create 16; count = 0 }
+
+let k t = t.k
+let indexed_records t = t.count
+let distinct_kmers t = Hashtbl.length t.postings
+
+let code = function
+  | 'A' | 'a' -> 0
+  | 'C' | 'c' -> 1
+  | 'G' | 'g' -> 2
+  | 'T' | 't' -> 3
+  | _ -> -1
+
+(* distinct packed k-mers of [text]; k-mers spanning a non-ACGT letter
+   are skipped and reported through [saw_other]. *)
+let kmers_of t text =
+  let n = String.length text in
+  let mask = (1 lsl (2 * t.k)) - 1 in
+  let seen = Hashtbl.create (max 16 n) in
+  let hash = ref 0 and valid = ref 0 in
+  let saw_other = ref false in
+  for i = 0 to n - 1 do
+    let c = code text.[i] in
+    if c < 0 then begin
+      saw_other := true;
+      valid := 0;
+      hash := 0
+    end
+    else begin
+      hash := ((!hash lsl 2) lor c) land mask;
+      incr valid;
+      if !valid >= t.k then Hashtbl.replace seen !hash ()
+    end
+  done;
+  (seen, !saw_other)
+
+let add t rid payload =
+  t.count <- t.count + 1;
+  match t.support.Udt.index_text payload with
+  | `Always_candidate -> Hashtbl.replace t.always rid ()
+  | `Text text ->
+      let seen, saw_other = kmers_of t text in
+      (* ambiguity letters make exact k-mers incomplete for this record *)
+      if saw_other then Hashtbl.replace t.always rid ();
+      Hashtbl.iter
+        (fun kmer () ->
+          match Hashtbl.find_opt t.postings kmer with
+          | Some cell -> cell := rid :: !cell
+          | None -> Hashtbl.add t.postings kmer (ref [ rid ]))
+        seen
+
+let remove t rid payload =
+  t.count <- max 0 (t.count - 1);
+  Hashtbl.remove t.always rid;
+  match t.support.Udt.index_text payload with
+  | `Always_candidate -> ()
+  | `Text text ->
+      let seen, _ = kmers_of t text in
+      Hashtbl.iter
+        (fun kmer () ->
+          match Hashtbl.find_opt t.postings kmer with
+          | Some cell -> cell := List.filter (fun r -> r <> rid) !cell
+          | None -> ())
+        seen
+
+let pack_first t pattern =
+  if String.length pattern < t.k then None
+  else begin
+    let rec loop i acc =
+      if i = t.k then Some acc
+      else
+        let c = code pattern.[i] in
+        if c < 0 then None else loop (i + 1) ((acc lsl 2) lor c)
+    in
+    loop 0 0
+  end
+
+let candidates t ~pattern =
+  match pack_first t pattern with
+  | None -> None
+  | Some kmer ->
+      let hits =
+        match Hashtbl.find_opt t.postings kmer with Some cell -> !cell | None -> []
+      in
+      let with_always =
+        Hashtbl.fold (fun rid () acc -> rid :: acc) t.always hits
+      in
+      Some (List.sort_uniq compare with_always)
+
+let search t ~pattern ~payload_of =
+  match candidates t ~pattern with
+  | None -> None
+  | Some rids ->
+      Some
+        (List.filter
+           (fun rid ->
+             match payload_of rid with
+             | Some payload -> t.support.Udt.matches payload ~pattern
+             | None -> false)
+           rids)

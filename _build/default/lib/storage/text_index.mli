@@ -1,0 +1,36 @@
+(** A per-record k-mer posting index over opaque payload text — the
+    engine half of the "genomic index structures" of paper section 6.5.
+
+    Each indexed record contributes the k-mers of its canonical index
+    text; a containment query looks up the pattern's first k-mer, unions
+    in the always-candidate records, and verifies every candidate with
+    the type's authoritative matcher. Postings are maintained on insert
+    and delete, so results are exact at all times. *)
+
+type t
+
+val create : ?k:int -> Udt.search_support -> t
+(** Default k = 8. Raises [Invalid_argument] when k is outside [2, 31]. *)
+
+val k : t -> int
+
+val add : t -> Heap.rid -> bytes -> unit
+(** Index one record's payload. *)
+
+val remove : t -> Heap.rid -> bytes -> unit
+(** Drop one record's postings (pass the payload it was indexed with). *)
+
+val candidates : t -> pattern:string -> Heap.rid list option
+(** Records that may contain [pattern]: posting hits for its first
+    k-mer plus all always-candidates. [None] when the pattern is shorter
+    than [k] or its first k-mer contains letters outside A/C/G/T — the
+    caller must fall back to a scan. The result is unverified. *)
+
+val search :
+  t -> pattern:string -> payload_of:(Heap.rid -> bytes option) -> Heap.rid list option
+(** Verified containment matches (candidates filtered through the
+    type's [matches]); [None] when the index cannot serve the pattern.
+    Records whose payload can no longer be fetched are dropped. *)
+
+val indexed_records : t -> int
+val distinct_kmers : t -> int

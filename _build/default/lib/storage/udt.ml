@@ -1,0 +1,96 @@
+type search_support = {
+  index_text : bytes -> [ `Text of string | `Always_candidate ];
+  matches : bytes -> pattern:string -> bool;
+}
+
+type udt = {
+  type_name : string;
+  validate : bytes -> bool;
+  display : bytes -> string;
+  search : search_support option;
+}
+
+type udf = {
+  fn_name : string;
+  arg_types : Dtype.t list;
+  return_type : Dtype.t;
+  code : Dtype.value list -> (Dtype.value, string) result;
+}
+
+type t = {
+  udts : (string, udt) Hashtbl.t;
+  udfs : (string, udf list ref) Hashtbl.t;
+}
+
+let create () = { udts = Hashtbl.create 16; udfs = Hashtbl.create 64 }
+
+let key = String.lowercase_ascii
+
+let register_type t udt =
+  let k = key udt.type_name in
+  if Hashtbl.mem t.udts k then
+    Error (Printf.sprintf "UDT %s already registered" udt.type_name)
+  else begin
+    Hashtbl.add t.udts k udt;
+    Ok ()
+  end
+
+let same_args a b =
+  List.length a = List.length b && List.for_all2 ( = ) a b
+
+let register_function t udf =
+  let k = key udf.fn_name in
+  match Hashtbl.find_opt t.udfs k with
+  | None ->
+      Hashtbl.add t.udfs k (ref [ udf ]);
+      Ok ()
+  | Some cell ->
+      if List.exists (fun f -> same_args f.arg_types udf.arg_types) !cell then
+        Error (Printf.sprintf "function %s with this rank already registered" udf.fn_name)
+      else begin
+        cell := udf :: !cell;
+        Ok ()
+      end
+
+let find_type t name = Hashtbl.find_opt t.udts (key name)
+
+let arg_matches ~param ~arg =
+  param = arg || match param, arg with Dtype.TFloat, Dtype.TInt -> true | _ -> false
+
+let resolve_function t name args =
+  match Hashtbl.find_opt t.udfs (key name) with
+  | None -> None
+  | Some cell ->
+      let exact = List.find_opt (fun f -> same_args f.arg_types args) !cell in
+      (match exact with
+      | Some _ as r -> r
+      | None ->
+          List.find_opt
+            (fun f ->
+              List.length f.arg_types = List.length args
+              && List.for_all2 (fun param arg -> arg_matches ~param ~arg) f.arg_types args)
+            !cell)
+
+let functions t =
+  Hashtbl.fold (fun _ cell acc -> !cell @ acc) t.udfs []
+  |> List.sort (fun a b -> String.compare a.fn_name b.fn_name)
+
+let types t =
+  Hashtbl.fold (fun _ u acc -> u :: acc) t.udts []
+  |> List.sort (fun a b -> String.compare a.type_name b.type_name)
+
+let validate_value t = function
+  | Dtype.Opaque (name, payload) -> (
+      match find_type t name with
+      | None -> Error (Printf.sprintf "unregistered UDT %s" name)
+      | Some udt ->
+          if udt.validate payload then Ok ()
+          else Error (Printf.sprintf "malformed %s payload" name))
+  | Dtype.Null | Dtype.Bool _ | Dtype.Int _ | Dtype.Float _ | Dtype.Str _ -> Ok ()
+
+let display_value t = function
+  | Dtype.Opaque (name, payload) as v -> (
+      match find_type t name with
+      | Some udt -> udt.display payload
+      | None -> Dtype.value_to_display v)
+  | v -> Dtype.value_to_display v

@@ -1,0 +1,66 @@
+(** User-defined (opaque) types and user-defined functions — the DBMS
+    extensibility mechanism of paper section 6.2.
+
+    An opaque UDT gives the database a new attribute type whose payload is
+    a byte blob only the registering package understands; user-defined
+    functions over scalar and opaque values become usable "anywhere
+    built-in operators can be used" (section 6.3) once the query layer
+    consults this registry. The registry is the DBMS half of the
+    "DBMS-specific adapter"; the GenAlg half lives in the adapter
+    library. *)
+
+(** How a user-defined index structure may search payloads of a type —
+    the hook behind the paper's section 6.5 requirement that "the DBMS
+    must offer a mechanism to integrate these user-defined index
+    structures". The registering package supplies both the canonical
+    index text and the match semantics; the engine supplies the inverted
+    index itself (see {!Table.create_genomic_index}). *)
+type search_support = {
+  index_text : bytes -> [ `Text of string | `Always_candidate ];
+      (** canonical letters for k-mer indexing, or [`Always_candidate]
+          for payloads whose matching cannot be captured by exact k-mers
+          (e.g. sequences containing ambiguity codes) *)
+  matches : bytes -> pattern:string -> bool;
+      (** authoritative containment check; must agree with the type's
+          scalar [contains] function *)
+}
+
+type udt = {
+  type_name : string;
+  validate : bytes -> bool;          (** payload well-formedness check *)
+  display : bytes -> string;         (** rendering for query results *)
+  search : search_support option;    (** substring-index integration hook *)
+}
+
+type udf = {
+  fn_name : string;
+  arg_types : Dtype.t list;
+  return_type : Dtype.t;
+  code : Dtype.value list -> (Dtype.value, string) result;
+}
+
+type t
+
+val create : unit -> t
+
+val register_type : t -> udt -> (unit, string) result
+(** Fails on duplicate type names (case-insensitive). *)
+
+val register_function : t -> udf -> (unit, string) result
+(** Functions may be overloaded on argument types. *)
+
+val find_type : t -> string -> udt option
+
+val resolve_function : t -> string -> Dtype.t list -> udf option
+(** Exact overload resolution, with [TInt] widening to [TFloat]. *)
+
+val functions : t -> udf list
+val types : t -> udt list
+
+val validate_value : t -> Dtype.value -> (unit, string) result
+(** For [Opaque] values: the type must be registered and the payload must
+    validate. Other values always pass. *)
+
+val display_value : t -> Dtype.value -> string
+(** Like {!Dtype.value_to_display}, but opaque payloads of registered
+    types render through their [display] function. *)

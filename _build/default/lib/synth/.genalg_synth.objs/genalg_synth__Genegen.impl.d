@@ -1,0 +1,1 @@
+lib/synth/genegen.ml: Array Buffer Chromosome Feature Genalg_gdt Gene Genetic_code Genome List Location Printf Rng Seqgen Sequence String

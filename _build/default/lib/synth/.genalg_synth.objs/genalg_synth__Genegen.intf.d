@@ -1,0 +1,1 @@
+lib/synth/genegen.mli: Chromosome Genalg_gdt Gene Genetic_code Genome Rng

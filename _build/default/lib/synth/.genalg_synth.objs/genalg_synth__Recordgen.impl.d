@@ -1,0 +1,1 @@
+lib/synth/recordgen.ml: Array Bytes Entry Feature Genalg_formats Genalg_gdt Genegen Hashtbl List Location Option Printf Rng Seqgen Sequence

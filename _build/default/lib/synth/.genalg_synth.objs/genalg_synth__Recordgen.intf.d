@@ -1,0 +1,1 @@
+lib/synth/recordgen.mli: Entry Genalg_formats Rng

@@ -1,0 +1,1 @@
+lib/synth/seqgen.ml: Buffer Bytes Float Genalg_gdt Rng Sequence String

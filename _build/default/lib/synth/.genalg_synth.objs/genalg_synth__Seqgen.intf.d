@@ -1,0 +1,1 @@
+lib/synth/seqgen.mli: Genalg_gdt Rng Sequence

@@ -1,0 +1,114 @@
+open Genalg_gdt
+
+(* Codons that are neither stops nor rare edge cases, as DNA triplets. *)
+let sense_codons code =
+  let all =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            List.map
+              (fun c -> Printf.sprintf "%c%c%c" a b c)
+              [ 'A'; 'C'; 'G'; 'T' ])
+          [ 'A'; 'C'; 'G'; 'T' ])
+      [ 'A'; 'C'; 'G'; 'T' ]
+  in
+  Array.of_list (List.filter (fun codon -> not (Genetic_code.is_stop_codon code codon)) all)
+
+let coding_sequence rng ~code ~codons =
+  let sense = sense_codons code in
+  let buf = Buffer.create ((codons + 2) * 3) in
+  Buffer.add_string buf "ATG";
+  for _ = 1 to codons do
+    Buffer.add_string buf (Rng.choose rng sense)
+  done;
+  let stops = Array.of_list (Genetic_code.stop_codons code) in
+  Buffer.add_string buf (Rng.choose rng stops);
+  Buffer.contents buf
+
+let intron rng len =
+  (* canonical GT...AG splice sites around a random core *)
+  let core = max 0 (len - 4) in
+  "GT" ^ Seqgen.dna_string rng core ^ "AG"
+
+let jitter rng base =
+  (* +- 25% around the base *)
+  let delta = base / 4 in
+  if delta = 0 then base else base - delta + Rng.int rng (2 * delta)
+
+let gene rng ?(exon_count = 3) ?(exon_length = 120) ?(intron_length = 80)
+    ?(code = Genetic_code.standard) ~id () =
+  if exon_count < 1 then invalid_arg "Genegen.gene: exon_count must be >= 1";
+  let coding_nt = max 30 (jitter rng (exon_count * exon_length)) in
+  let codons = coding_nt / 3 in
+  let cds = coding_sequence rng ~code ~codons in
+  let n = String.length cds in
+  (* cut the CDS into exon_count ordered pieces *)
+  let cuts =
+    if exon_count = 1 then []
+    else Rng.sample rng (exon_count - 1) (n - 2) |> List.map (fun c -> c + 1)
+  in
+  let pieces =
+    let rec split start = function
+      | [] -> [ String.sub cds start (n - start) ]
+      | c :: rest -> String.sub cds start (c - start) :: split c rest
+    in
+    split 0 cuts
+  in
+  let buf = Buffer.create (2 * n) in
+  let exons = ref [] in
+  List.iteri
+    (fun i piece ->
+      if i > 0 then begin
+        let ilen = max 10 (jitter rng intron_length) in
+        Buffer.add_string buf (intron rng ilen)
+      end;
+      let off = Buffer.length buf in
+      Buffer.add_string buf piece;
+      exons := (off, String.length piece) :: !exons)
+    pieces;
+  let dna = Sequence.dna (Buffer.contents buf) in
+  Gene.make_exn ~exons:(List.rev !exons) ~code ~id dna
+
+let chromosome rng ?(gene_count = 10) ?(spacer_length = 300) ~name () =
+  let buf = Buffer.create 16384 in
+  let features = ref [] in
+  let genes = ref [] in
+  for i = 1 to gene_count do
+    Buffer.add_string buf (Seqgen.dna_string rng (max 10 (jitter rng spacer_length)));
+    let g = gene rng ~id:(Printf.sprintf "%s_g%02d" name i) () in
+    let start = Buffer.length buf + 1 (* 1-based *) in
+    Buffer.add_string buf (Sequence.to_string g.Gene.dna);
+    let stop = Buffer.length buf in
+    features :=
+      Feature.make
+        ~qualifiers:[ ("gene", g.Gene.id) ]
+        Feature.Gene
+        (Location.range start stop)
+      :: Feature.make
+           ~qualifiers:[ ("gene", g.Gene.id) ]
+           Feature.Cds
+           (Location.join
+              (List.map
+                 (fun (off, len) ->
+                   Location.range (start + off) (start + off + len - 1))
+                 g.Gene.exons))
+      :: !features;
+    genes := g :: !genes
+  done;
+  Buffer.add_string buf (Seqgen.dna_string rng (max 10 (jitter rng spacer_length)));
+  let chrom =
+    Chromosome.make_exn ~features:(List.rev !features) ~name
+      (Sequence.dna (Buffer.contents buf))
+  in
+  (chrom, List.rev !genes)
+
+let genome rng ?(chromosome_count = 2) ?(genes_per_chromosome = 8) ~organism () =
+  let chroms =
+    List.init chromosome_count (fun i ->
+        fst
+          (chromosome rng ~gene_count:genes_per_chromosome
+             ~name:(Printf.sprintf "chr%d" (i + 1))
+             ()))
+  in
+  Genome.make_exn ~taxonomy:[ "Synthetica"; organism ] ~organism chroms

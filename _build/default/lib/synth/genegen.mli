@@ -1,0 +1,41 @@
+(** Synthetic genes, chromosomes and genomes.
+
+    Generated genes are biologically well-formed by construction: the
+    spliced exons form an ATG-initiated, stop-terminated open reading
+    frame with no premature in-frame stop, so the central-dogma pipeline
+    ([transcribe] → [splice] → [translate]) succeeds on every generated
+    gene. *)
+
+open Genalg_gdt
+
+val gene :
+  Rng.t ->
+  ?exon_count:int ->
+  ?exon_length:int ->
+  ?intron_length:int ->
+  ?code:Genetic_code.t ->
+  id:string ->
+  unit ->
+  Gene.t
+(** Default 3 exons of ~120 coding nucleotides each (multiple of 3 is
+    enforced internally), introns of ~80 nt. *)
+
+val chromosome :
+  Rng.t ->
+  ?gene_count:int ->
+  ?spacer_length:int ->
+  name:string ->
+  unit ->
+  Chromosome.t * Gene.t list
+(** A chromosome assembled from generated genes separated by random
+    intergenic spacers, with [gene] and [CDS] features annotating each
+    gene's span. Returns the chromosome and the embedded genes (whose
+    ids are ["<name>_gNN"]). *)
+
+val genome :
+  Rng.t ->
+  ?chromosome_count:int ->
+  ?genes_per_chromosome:int ->
+  organism:string ->
+  unit ->
+  Genome.t

@@ -1,0 +1,192 @@
+open Genalg_gdt
+open Genalg_formats
+
+let organisms =
+  [|
+    "Synthetica primus"; "Synthetica secundus"; "Modelorganism demo";
+    "Exemplaria vulgaris"; "Testcasia minor";
+  |]
+
+let nouns = [| "kinase"; "transporter"; "polymerase"; "receptor"; "hydrolase" |]
+let adjectives = [| "putative"; "hypothetical"; "conserved"; "predicted"; "novel" |]
+
+let definition rng =
+  Printf.sprintf "%s %s gene" (Rng.choose rng adjectives) (Rng.choose rng nouns)
+
+let feature rng ~seq_len =
+  let lo = 1 + Rng.int rng (max 1 (seq_len / 2)) in
+  let len = 30 + Rng.int rng (max 1 (seq_len / 3)) in
+  let hi = min seq_len (lo + len) in
+  let kind = Rng.choose rng [| Feature.Gene; Feature.Cds; Feature.Exon; Feature.Mrna |] in
+  let loc =
+    let base = Location.range lo hi in
+    if Rng.bool rng 0.25 then Location.complement base else base
+  in
+  Feature.make ~qualifiers:[ ("gene", Printf.sprintf "g%04d" (Rng.int rng 10000)) ] kind loc
+
+let entry rng ?(seq_length = 1000) ?(feature_count = 3) ~accession () =
+  let seq_len = max 50 (seq_length - (seq_length / 8) + Rng.int rng (max 1 (seq_length / 4))) in
+  let sequence = Seqgen.dna rng seq_len in
+  (* embed one real (decodable) gene when there is room, the way real
+     repository entries carry genuine coding regions among noisy
+     annotations *)
+  let sequence, gene_features =
+    if seq_len < 400 then (sequence, [])
+    else begin
+      let gene =
+        Genegen.gene rng ~exon_count:2 ~exon_length:60 ~intron_length:40
+          ~id:(accession ^ "_cds") ()
+      in
+      let glen = Genalg_gdt.Gene.length gene in
+      if glen + 2 >= seq_len then (sequence, [])
+      else begin
+        let offset = 1 + Rng.int rng (seq_len - glen - 1) in
+        let text = Bytes.of_string (Sequence.to_string sequence) in
+        Bytes.blit_string
+          (Sequence.to_string gene.Genalg_gdt.Gene.dna)
+          0 text offset glen;
+        let cds_location =
+          Location.join
+            (List.map
+               (fun (off, len) ->
+                 Location.range (offset + off + 1) (offset + off + len))
+               gene.Genalg_gdt.Gene.exons)
+        in
+        ( Sequence.dna (Bytes.to_string text),
+          [
+            Feature.make
+              ~qualifiers:[ ("gene", accession ^ "_cds") ]
+              Feature.Cds cds_location;
+          ] )
+      end
+    end
+  in
+  let features =
+    gene_features
+    @ (List.init feature_count (fun _ -> feature rng ~seq_len)
+      |> List.filter (fun (f : Feature.t) -> f.Feature.kind <> Feature.Cds))
+    |> List.sort (fun (a : Feature.t) b ->
+           compare (Location.span a.Feature.location) (Location.span b.Feature.location))
+  in
+  Entry.make
+    ~definition:(definition rng)
+    ~organism:(Rng.choose rng organisms)
+    ~features
+    ~keywords:(if Rng.bool rng 0.5 then [ Rng.choose rng nouns ] else [])
+    ~accession sequence
+
+let repository rng ?(size = 100) ?seq_length ?(prefix = "SYN") () =
+  List.init size (fun i ->
+      entry rng ?seq_length ~accession:(Printf.sprintf "%s%06d" prefix (i + 1)) ())
+
+let noisy_copy rng ?(error_rate = 0.02) ?rename (e : Entry.t) =
+  let sequence = Seqgen.mutate rng ~rate:error_rate e.Entry.sequence in
+  let definition =
+    if Rng.bool rng 0.3 then
+      (* reworded: prepend a different adjective *)
+      Printf.sprintf "%s %s" (Rng.choose rng adjectives) e.Entry.definition
+    else e.Entry.definition
+  in
+  let features =
+    List.filter (fun _ -> not (Rng.bool rng 0.15)) e.Entry.features
+  in
+  Entry.make ~version:1 ~definition ~organism:e.Entry.organism ~features
+    ~keywords:e.Entry.keywords
+    ~accession:(Option.value rename ~default:e.Entry.accession)
+    sequence
+
+let overlapping_repositories rng ?(size = 100) ?(overlap = 0.5)
+    ?(noise_fraction = 0.45) ?(error_rate = 0.02) () =
+  let repo_a = repository rng ~size ~prefix:"AAA" () in
+  let shared_count = int_of_float (float_of_int size *. overlap) in
+  let shared = List.filteri (fun i _ -> i < shared_count) repo_a in
+  let pairs = ref [] in
+  let copies =
+    List.mapi
+      (fun i (e : Entry.t) ->
+        let rename = Printf.sprintf "BBB%06d" (i + 1) in
+        pairs := (e.Entry.accession, rename) :: !pairs;
+        if Rng.bool rng noise_fraction then noisy_copy rng ~error_rate ~rename e
+        else
+          Entry.make ~version:e.Entry.version ~definition:e.Entry.definition
+            ~organism:e.Entry.organism ~features:e.Entry.features
+            ~keywords:e.Entry.keywords ~accession:rename e.Entry.sequence)
+      shared
+  in
+  let fresh_count = size - shared_count in
+  let fresh =
+    List.init fresh_count (fun i ->
+        entry rng ~accession:(Printf.sprintf "BBB%06d" (shared_count + i + 1)) ())
+  in
+  (repo_a, copies @ fresh, List.rev !pairs)
+
+type update =
+  | Insert of Entry.t
+  | Delete of string
+  | Modify of Entry.t
+
+let update_stream rng entries ?(fraction = 0.1) () =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let touches = max 1 (int_of_float (float_of_int n *. fraction)) in
+  let updates = ref [] in
+  let state = Hashtbl.create (2 * n) in
+  List.iter (fun (e : Entry.t) -> Hashtbl.replace state e.Entry.accession e) entries;
+  (* fresh accessions must not collide with anything live, nor with
+     inserts from a previous update_stream round over the same rng *)
+  let fresh_accession () =
+    let rec pick () =
+      let acc = Printf.sprintf "NEW%06d" (Rng.int rng 1_000_000) in
+      if Hashtbl.mem state acc then pick () else acc
+    in
+    pick ()
+  in
+  for _ = 1 to touches do
+    let kind = Rng.choose_weighted rng [| (`Modify, 0.5); (`Insert, 0.25); (`Delete, 0.25) |] in
+    match kind with
+    | `Insert ->
+        let e = entry rng ~accession:(fresh_accession ()) () in
+        Hashtbl.replace state e.Entry.accession e;
+        updates := Insert e :: !updates
+    | `Delete ->
+        let live = Hashtbl.fold (fun k _ acc -> k :: acc) state [] in
+        (match live with
+        | [] -> ()
+        | _ ->
+            let victim = List.nth live (Rng.int rng (List.length live)) in
+            Hashtbl.remove state victim;
+            updates := Delete victim :: !updates)
+    | `Modify ->
+        let live = Hashtbl.fold (fun _ e acc -> e :: acc) state [] in
+        (match live with
+        | [] -> ()
+        | _ ->
+            let (victim : Entry.t) = List.nth live (Rng.int rng (List.length live)) in
+            let mutated = Seqgen.mutate rng ~rate:0.01 victim.Entry.sequence in
+            let e' =
+              Entry.make
+                ~version:(victim.Entry.version + 1)
+                ~definition:victim.Entry.definition ~organism:victim.Entry.organism
+                ~features:victim.Entry.features ~keywords:victim.Entry.keywords
+                ~accession:victim.Entry.accession mutated
+            in
+            Hashtbl.replace state e'.Entry.accession e';
+            updates := Modify e' :: !updates)
+  done;
+  let new_state =
+    (* stable order: surviving originals first (original order), then inserts *)
+    let surviving =
+      List.filter_map
+        (fun (e : Entry.t) -> Hashtbl.find_opt state e.Entry.accession)
+        entries
+    in
+    let inserted =
+      List.filter_map
+        (function
+          | Insert e -> Hashtbl.find_opt state e.Entry.accession
+          | Delete _ | Modify _ -> None)
+        (List.rev !updates)
+    in
+    surviving @ inserted
+  in
+  (new_state, List.rev !updates)

@@ -1,0 +1,44 @@
+(** Synthetic repository records: the stand-in for GenBank/EMBL/SwissProt
+    contents, including the paper's data-quality pathologies — noisy
+    copies (B10: "30-60% of sequences in GenBank are erroneous"),
+    overlapping repositories with conflicting entries (B2), and update
+    streams for change-detection experiments. *)
+
+open Genalg_formats
+
+val entry :
+  Rng.t -> ?seq_length:int -> ?feature_count:int -> accession:string -> unit -> Entry.t
+(** One annotated DNA entry (default ~1000 bp, 3 features). *)
+
+val repository : Rng.t -> ?size:int -> ?seq_length:int -> ?prefix:string -> unit -> Entry.t list
+(** [size] entries (default 100) with accessions ["<prefix>NNNNNN"]. *)
+
+val noisy_copy : Rng.t -> ?error_rate:float -> ?rename:string -> Entry.t -> Entry.t
+(** A copy as a second repository would hold it: re-accessioned under
+    [rename] when given, sequence mutated at [error_rate] (default 0.02),
+    definition occasionally reworded, features occasionally dropped. *)
+
+val overlapping_repositories :
+  Rng.t ->
+  ?size:int ->
+  ?overlap:float ->
+  ?noise_fraction:float ->
+  ?error_rate:float ->
+  unit ->
+  Entry.t list * Entry.t list * (string * string) list
+(** Two repositories sharing [overlap] (default 0.5) of their entries,
+    where [noise_fraction] (default 0.45, inside the paper's 30–60 % band)
+    of the shared copies are noisy. Returns both repositories and the
+    ground-truth duplicate pairs [(accession_a, accession_b)]. *)
+
+type update =
+  | Insert of Entry.t
+  | Delete of string          (** accession *)
+  | Modify of Entry.t         (** new version of an existing accession *)
+
+val update_stream :
+  Rng.t -> Entry.t list -> ?fraction:float -> unit -> Entry.t list * update list
+(** Apply random inserts/deletes/modifies touching [fraction] (default
+    0.1) of the repository; returns the new repository state and the
+    updates (in application order). Modified entries get a bumped
+    version. *)

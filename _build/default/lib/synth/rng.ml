@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit int non-negatively *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992. (* 2^53 *)
+
+let bool t p = float t < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. arr in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: weights must be positive";
+  let target = float t *. total in
+  let rec pick i acc =
+    if i = Array.length arr - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if target < acc then fst arr.(i) else pick (i + 1) acc
+  in
+  pick 0 0.
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k n =
+  if k > n then invalid_arg "Rng.sample: k > n";
+  (* reservoir over [0, n) then sort *)
+  let reservoir = Array.make k 0 in
+  for i = 0 to n - 1 do
+    if i < k then reservoir.(i) <- i
+    else begin
+      let j = int t (i + 1) in
+      if j < k then reservoir.(j) <- i
+    end
+  done;
+  List.sort Int.compare (Array.to_list reservoir)

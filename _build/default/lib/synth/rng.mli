@@ -1,0 +1,36 @@
+(** Deterministic splitmix64 random number generator.
+
+    All synthetic data in this reproduction flows from explicit seeds so
+    every experiment is exactly repeatable. *)
+
+type t
+
+val make : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Raw 64-bit step. *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** Element drawn by positive weights. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample : t -> int -> int -> int list
+(** [sample t k n]: [k] distinct indices out of [0, n), ascending.
+    Raises [Invalid_argument] when [k > n]. *)

@@ -1,0 +1,68 @@
+open Genalg_gdt
+
+let dna_string rng ?(gc = 0.5) len =
+  String.init len (fun _ ->
+      if Rng.bool rng gc then (if Rng.bool rng 0.5 then 'G' else 'C')
+      else if Rng.bool rng 0.5 then 'A'
+      else 'T')
+
+let dna rng ?gc len = Sequence.dna (dna_string rng ?gc len)
+
+let rna rng ?gc len =
+  Sequence.rna (String.map (function 'T' -> 'U' | c -> c) (dna_string rng ?gc len))
+
+let protein_letters = "ACDEFGHIKLMNPQRSTVWY"
+
+let protein rng len =
+  Sequence.protein
+    (String.init len (fun _ -> protein_letters.[Rng.int rng (String.length protein_letters)]))
+
+let plant_motif rng ~motif seq =
+  let n = Sequence.length seq and m = String.length motif in
+  if m > n then invalid_arg "Seqgen.plant_motif: motif longer than sequence";
+  let offset = if n = m then 0 else Rng.int rng (n - m + 1) in
+  let text = Bytes.of_string (Sequence.to_string seq) in
+  Bytes.blit_string (String.uppercase_ascii motif) 0 text offset m;
+  (Sequence.of_string_exn (Sequence.alphabet seq) (Bytes.to_string text), offset)
+
+let alphabet_letters = function
+  | Sequence.Dna -> "ACGT"
+  | Sequence.Rna -> "ACGU"
+  | Sequence.Protein -> protein_letters
+
+let mutate rng ~rate seq =
+  let letters = alphabet_letters (Sequence.alphabet seq) in
+  let change c =
+    let rec pick () =
+      let c' = letters.[Rng.int rng (String.length letters)] in
+      if c' = c then pick () else c'
+    in
+    pick ()
+  in
+  let text =
+    String.map
+      (fun c -> if Rng.bool rng rate then change c else c)
+      (Sequence.to_string seq)
+  in
+  Sequence.of_string_exn (Sequence.alphabet seq) text
+
+let indel rng ~rate seq =
+  let letters = alphabet_letters (Sequence.alphabet seq) in
+  let buf = Buffer.create (Sequence.length seq) in
+  Sequence.iter
+    (fun c ->
+      if Rng.bool rng rate then begin
+        if Rng.bool rng 0.5 then begin
+          (* insertion: keep the base and add a random one *)
+          Buffer.add_char buf c;
+          Buffer.add_char buf letters.[Rng.int rng (String.length letters)]
+        end
+        (* deletion: drop the base *)
+      end
+      else Buffer.add_char buf c)
+    seq;
+  Sequence.of_string_exn (Sequence.alphabet seq) (Buffer.contents buf)
+
+let homolog rng ~identity seq =
+  let rate = Float.max 0. (1. -. identity) in
+  indel rng ~rate:(rate /. 10.) (mutate rng ~rate seq)

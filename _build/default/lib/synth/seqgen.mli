@@ -1,0 +1,29 @@
+(** Random sequence generation: DNA/RNA/protein with controllable GC bias,
+    motif planting, and point mutations. The stand-in for real repository
+    sequence data (see DESIGN.md substitutions). *)
+
+open Genalg_gdt
+
+val dna : Rng.t -> ?gc:float -> int -> Sequence.t
+(** Random DNA of the given length; [gc] (default 0.5) is the probability
+    of a G/C base. *)
+
+val rna : Rng.t -> ?gc:float -> int -> Sequence.t
+val protein : Rng.t -> int -> Sequence.t
+
+val dna_string : Rng.t -> ?gc:float -> int -> string
+
+val plant_motif : Rng.t -> motif:string -> Sequence.t -> Sequence.t * int
+(** Overwrite a random window with [motif]; returns the offset. Raises
+    [Invalid_argument] when the motif is longer than the sequence. *)
+
+val mutate : Rng.t -> rate:float -> Sequence.t -> Sequence.t
+(** Per-position substitution with the given probability (alphabet
+    preserved; a mutated base always changes). *)
+
+val indel : Rng.t -> rate:float -> Sequence.t -> Sequence.t
+(** Per-position insertions/deletions (half each) at the given rate. *)
+
+val homolog : Rng.t -> identity:float -> Sequence.t -> Sequence.t
+(** A diverged copy: substitutions at rate [1 - identity] plus light
+    indels — the planted positive for similarity-search experiments. *)

@@ -1,0 +1,1 @@
+test/test_adapter.ml: Alcotest Bytes Genalg_adapter Genalg_core Genalg_gdt Genalg_storage Genalg_synth Gene List Option Protein Result Transcript

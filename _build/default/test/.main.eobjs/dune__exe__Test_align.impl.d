@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Array Blast Char Distance Genalg_align Genalg_gdt Genalg_synth Lcs List Pairwise Printf Scoring String

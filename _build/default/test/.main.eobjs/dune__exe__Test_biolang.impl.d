@@ -1,0 +1,1 @@
+test/test_biolang.ml: Alcotest Genalg_biolang Genalg_core Genalg_etl Genalg_formats Genalg_sqlx Genalg_storage Genalg_synth Genalg_xml List Result String

@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Genalg_capability Genalg_core List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Amino_acid Genalg_core Genalg_gdt Genalg_synth Gene Genetic_code List Option Protein Result Sequence String Transcript Uncertain

@@ -1,0 +1,1 @@
+test/test_formats.ml: Acedb Alcotest Embl Entry Fasta Feature Genalg_formats Genalg_gdt Genalg_synth Genbank List Location Result Sequence String

@@ -1,0 +1,1 @@
+test/test_gdt.ml: Alcotest Amino_acid Array Bytes Chromosome Feature Fun Genalg_gdt Gene Genetic_code Genome List Location Nucleotide Option Printf Protein Result Sequence String Transcript Uncertain

@@ -1,0 +1,1 @@
+test/test_genomic_index.ml: Alcotest Array Genalg_adapter Genalg_core Genalg_gdt Genalg_sqlx Genalg_storage Genalg_synth Int List Option Printf Result Sequence

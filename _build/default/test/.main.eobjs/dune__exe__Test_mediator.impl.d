@@ -1,0 +1,1 @@
+test/test_mediator.ml: Alcotest Entry Genalg_etl Genalg_formats Genalg_gdt Genalg_mediator Genalg_synth List

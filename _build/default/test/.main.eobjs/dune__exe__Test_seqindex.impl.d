@@ -1,0 +1,1 @@
+test/test_seqindex.ml: Alcotest Array Genalg_seqindex Genalg_synth Kmer_index Search String Suffix_array

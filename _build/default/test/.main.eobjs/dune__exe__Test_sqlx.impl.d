@@ -1,0 +1,1 @@
+test/test_sqlx.ml: Alcotest Array Genalg_adapter Genalg_core Genalg_sqlx Genalg_storage List Printf Result String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Genalg_adapter Genalg_core Genalg_sqlx Genalg_storage List Option Printf Result

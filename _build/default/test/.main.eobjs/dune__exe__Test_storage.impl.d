@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer Bytes Filename Genalg_storage Genalg_synth Hashtbl List Option Printf Result String Sys

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Chromosome Feature Genalg_core Genalg_formats Genalg_gdt Genalg_synth Gene Genegen Genome Hashtbl Int List Option Printf Protein Recordgen Rng Seqgen Sequence String

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Amino_acid Genalg_core Genalg_gdt Genalg_synth Genalg_xml Gene Genetic_code Genome List Nucleotide Provenance Result Uncertain

@@ -1,0 +1,128 @@
+(* Unit tests for the DBMS-specific adapter (lib/adapter). *)
+
+open Genalg_gdt
+module Adapter = Genalg_adapter.Adapter
+module Codec = Genalg_adapter.Codec
+module Value = Genalg_core.Value
+module Sort = Genalg_core.Sort
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Udt = Genalg_storage.Udt
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let gene_fixture () =
+  Genalg_synth.Genegen.gene (Genalg_synth.Rng.make 81) ~id:"adp" ()
+
+let test_codec_roundtrips () =
+  let g = gene_fixture () in
+  (match Codec.decode_gene (Codec.encode_gene g) with
+  | Ok g2 -> check Alcotest.bool "gene" true (Gene.equal g g2)
+  | Error m -> Alcotest.fail m);
+  let primary = Genalg_core.Ops.transcribe g in
+  (match Codec.decode_primary (Codec.encode_primary primary) with
+  | Ok p2 -> check Alcotest.bool "primary" true (Transcript.equal_primary primary p2)
+  | Error m -> Alcotest.fail m);
+  let mrna = Genalg_core.Ops.splice primary in
+  (match Codec.decode_mrna (Codec.encode_mrna mrna) with
+  | Ok m2 -> check Alcotest.bool "mrna" true (Transcript.equal_mrna mrna m2)
+  | Error m -> Alcotest.fail m);
+  let protein = Result.get_ok (Genalg_core.Ops.translate mrna) in
+  match Codec.decode_protein (Codec.encode_protein protein) with
+  | Ok p2 -> check Alcotest.bool "protein" true (Protein.equal protein p2)
+  | Error m -> Alcotest.fail m
+
+let test_codec_rejects_corrupt () =
+  check Alcotest.bool "garbage gene" true
+    (Result.is_error (Codec.decode_gene (Bytes.of_string "nope")));
+  let g = gene_fixture () in
+  let data = Codec.encode_gene g in
+  let truncated = Bytes.sub data 0 (Bytes.length data - 3) in
+  check Alcotest.bool "truncated gene" true (Result.is_error (Codec.decode_gene truncated))
+
+let test_value_conversion () =
+  let samples =
+    [
+      Value.VBool true; Value.VInt 5; Value.VFloat 1.5; Value.VString "x";
+      Value.dna "ACGT"; Value.rna "ACGU"; Value.protein_seq "MK";
+      Value.VGene (gene_fixture ());
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Adapter.to_db v with
+      | Error m -> Alcotest.failf "to_db: %s" m
+      | Ok dv -> (
+          match Adapter.of_db dv with
+          | Ok v2 ->
+              check Alcotest.bool
+                ("db roundtrip " ^ Sort.to_string (Value.sort_of v))
+                true (Value.equal v v2)
+          | Error m -> Alcotest.failf "of_db: %s" m))
+    samples
+
+let test_unstorable_sorts () =
+  check Alcotest.bool "list not storable" true
+    (Result.is_error (Adapter.to_db (Value.vlist Sort.Int [ Value.VInt 1 ])));
+  check Alcotest.bool "genome not storable" true
+    (Adapter.dtype_of_sort Sort.Genome = None);
+  check Alcotest.bool "null has no algebra value" true
+    (Result.is_error (Adapter.of_db D.Null))
+
+let test_attach_registers () =
+  let db = Db.create () in
+  Adapter.attach db Genalg_core.Builtin.default;
+  let registry = Db.udts db in
+  List.iter
+    (fun name ->
+      check Alcotest.bool ("UDT " ^ name) true (Udt.find_type registry name <> None))
+    Adapter.storable_udts;
+  (* eligible operators are registered as UDFs *)
+  check Alcotest.bool "gc_content over dna" true
+    (Udt.resolve_function registry "gc_content" [ D.TOpaque "dna" ] <> None);
+  check Alcotest.bool "resembles over dna pairs" true
+    (Udt.resolve_function registry "resembles" [ D.TOpaque "dna"; D.TOpaque "dna" ] <> None);
+  check Alcotest.bool "contains" true
+    (Udt.resolve_function registry "contains" [ D.TOpaque "dna"; D.TString ] <> None);
+  (* constructors *)
+  check Alcotest.bool "dna constructor" true
+    (Udt.resolve_function registry "dna" [ D.TString ] <> None);
+  (* list-sorted operators are algebra-only *)
+  check Alcotest.bool "find_orfs not SQL-exposed" true
+    (Udt.resolve_function registry "find_orfs" [ D.TOpaque "dna" ] = None)
+
+let test_udf_execution_through_registry () =
+  let db = Db.create () in
+  Adapter.attach db Genalg_core.Builtin.default;
+  let registry = Db.udts db in
+  let udf = Option.get (Udt.resolve_function registry "gc_content" [ D.TOpaque "dna" ]) in
+  let dna_val = Result.get_ok (Adapter.to_db (Value.dna "GGCC")) in
+  (match udf.Udt.code [ dna_val ] with
+  | Ok (D.Float f) -> check (Alcotest.float 1e-9) "gc via UDF" 1. f
+  | _ -> Alcotest.fail "UDF call failed");
+  (* corrupt payloads surface as errors, not crashes *)
+  match udf.Udt.code [ D.Opaque ("dna", Bytes.of_string "junk") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt payload accepted"
+
+let test_display_through_registry () =
+  let db = Db.create () in
+  Adapter.attach db Genalg_core.Builtin.default;
+  let registry = Db.udts db in
+  let dna_val = Result.get_ok (Adapter.to_db (Value.dna "ACGT")) in
+  check Alcotest.string "dna displays as letters" "ACGT" (Udt.display_value registry dna_val)
+
+let suites =
+  [
+    ( "adapter",
+      [
+        tc "codec roundtrips" `Quick test_codec_roundtrips;
+        tc "codec rejects corrupt" `Quick test_codec_rejects_corrupt;
+        tc "value conversion" `Quick test_value_conversion;
+        tc "unstorable sorts" `Quick test_unstorable_sorts;
+        tc "attach registers" `Quick test_attach_registers;
+        tc "udf execution" `Quick test_udf_execution_through_registry;
+        tc "display" `Quick test_display_through_registry;
+      ] );
+  ]

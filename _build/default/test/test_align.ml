@@ -1,0 +1,315 @@
+(* Unit tests for the alignment substrate (lib/align). *)
+
+open Genalg_align
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---- scoring -------------------------------------------------------- *)
+
+let test_blosum62_values () =
+  (* spot checks against the published matrix *)
+  check Alcotest.int "W/W = 11" 11 (Scoring.score Scoring.blosum62 'W' 'W');
+  check Alcotest.int "A/A = 4" 4 (Scoring.score Scoring.blosum62 'A' 'A');
+  check Alcotest.int "E/Q = 2" 2 (Scoring.score Scoring.blosum62 'E' 'Q');
+  check Alcotest.int "W/C = -2" (-2) (Scoring.score Scoring.blosum62 'W' 'C');
+  check Alcotest.int "symmetric" (Scoring.score Scoring.blosum62 'R' 'K')
+    (Scoring.score Scoring.blosum62 'K' 'R');
+  check Alcotest.int "case-insensitive" 4 (Scoring.score Scoring.blosum62 'a' 'A')
+
+let test_pam250_values () =
+  check Alcotest.int "W/W = 17" 17 (Scoring.score Scoring.pam250 'W' 'W');
+  check Alcotest.int "C/C = 12" 12 (Scoring.score Scoring.pam250 'C' 'C')
+
+let test_dna_scoring () =
+  let m = Scoring.dna ~match_:1 ~mismatch:(-2) in
+  check Alcotest.int "match" 1 (Scoring.score m 'A' 'A');
+  check Alcotest.int "mismatch" (-2) (Scoring.score m 'A' 'C');
+  check Alcotest.int "unknown letter is mismatch" (-2) (Scoring.score m 'A' 'Z')
+
+(* ---- pairwise ------------------------------------------------------- *)
+
+let dna1 = Scoring.dna ~match_:1 ~mismatch:(-1)
+let unit_gap = Scoring.linear_gap 1
+
+let test_global_identical () =
+  let a = Pairwise.align ~mode:Pairwise.Global ~matrix:dna1 ~gap:unit_gap
+      ~query:"ACGTACGT" ~subject:"ACGTACGT" ()
+  in
+  check Alcotest.int "score = length" 8 a.Pairwise.score;
+  check (Alcotest.float 1e-9) "identity 1" 1. (Pairwise.identity a);
+  check Alcotest.string "no gaps" "ACGTACGT" a.Pairwise.aligned_query
+
+let test_global_gap () =
+  (* deleting one base costs one gap *)
+  let a = Pairwise.align ~mode:Pairwise.Global ~matrix:dna1 ~gap:unit_gap
+      ~query:"ACGT" ~subject:"ACGGT" ()
+  in
+  check Alcotest.int "4 matches - 1 gap" 3 a.Pairwise.score;
+  check Alcotest.bool "one gap in query" true
+    (String.contains a.Pairwise.aligned_query '-')
+
+let test_global_empty () =
+  let a = Pairwise.align ~mode:Pairwise.Global ~matrix:dna1 ~gap:unit_gap
+      ~query:"" ~subject:"ACG" ()
+  in
+  check Alcotest.string "subject fully gapped" "---" a.Pairwise.aligned_query;
+  let b = Pairwise.align ~mode:Pairwise.Global ~query:"" ~subject:"" () in
+  check Alcotest.int "empty vs empty" 0 b.Pairwise.score
+
+let test_local_finds_island () =
+  (* a perfect island inside junk *)
+  let a = Pairwise.align ~mode:Pairwise.Local ~matrix:dna1 ~gap:unit_gap
+      ~query:"TTTTGGGGCCCCTTTT" ~subject:"AAAAGGGGCCCCAAAA" ()
+  in
+  check Alcotest.int "island score" 8 a.Pairwise.score;
+  check Alcotest.string "island" "GGGGCCCC" a.Pairwise.aligned_query;
+  check Alcotest.int "query start" 4 a.Pairwise.query_start;
+  check Alcotest.int "subject start" 4 a.Pairwise.subject_start
+
+let test_local_no_similarity () =
+  let a = Pairwise.align ~mode:Pairwise.Local ~matrix:dna1 ~gap:unit_gap
+      ~query:"AAAA" ~subject:"CCCC" ()
+  in
+  check Alcotest.int "no positive alignment" 0 a.Pairwise.score
+
+let test_semiglobal () =
+  (* query contained in a longer subject: no end-gap charges *)
+  let a = Pairwise.align ~mode:Pairwise.Semiglobal ~matrix:dna1 ~gap:unit_gap
+      ~query:"GGCC" ~subject:"AAAAGGCCAAAA" ()
+  in
+  check Alcotest.int "full query aligned free of end gaps" 4 a.Pairwise.score;
+  check Alcotest.int "subject offset" 4 a.Pairwise.subject_start
+
+let test_affine_gap_preference () =
+  (* affine gaps should prefer one long gap over two short ones *)
+  let gap = { Scoring.open_penalty = 4; extend_penalty = 1 } in
+  let a = Pairwise.align ~mode:Pairwise.Global ~matrix:dna1 ~gap
+      ~query:"ACGTACGTACGT" ~subject:"ACGTACGT" ()
+  in
+  (* 8 matches - (4 + 4*1) = 0 for one length-4 gap *)
+  check Alcotest.int "one affine gap" 0 a.Pairwise.score;
+  (* the gap should be contiguous in the subject row *)
+  let gap_runs s =
+    let runs = ref 0 and in_gap = ref false in
+    String.iter
+      (fun c ->
+        if c = '-' then begin
+          if not !in_gap then incr runs;
+          in_gap := true
+        end
+        else in_gap := false)
+      s;
+    !runs
+  in
+  check Alcotest.int "contiguous gap" 1 (gap_runs a.Pairwise.aligned_subject)
+
+let test_score_only_agrees () =
+  let cases =
+    [ ("ACGTACGT", "ACGTTCGT"); ("AAAA", "CCCC"); ("GATTACA", "GCATGCT");
+      ("ACGTACGTACGT", "ACGT"); ("", "ACG") ]
+  in
+  List.iter
+    (fun (q, s) ->
+      List.iter
+        (fun mode ->
+          let full = Pairwise.align ~mode ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s () in
+          let fast = Pairwise.score_only ~mode ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s () in
+          check Alcotest.int
+            (Printf.sprintf "score_only agrees on %s/%s" q s)
+            full.Pairwise.score fast)
+        [ Pairwise.Global; Pairwise.Local; Pairwise.Semiglobal ])
+    cases
+
+let test_banded_score () =
+  let rng = Genalg_synth.Rng.make 99 in
+  for _ = 1 to 20 do
+    let q = Genalg_synth.Seqgen.dna_string rng (40 + Genalg_synth.Rng.int rng 40) in
+    let s =
+      Genalg_gdt.Sequence.to_string
+        (Genalg_synth.Seqgen.mutate rng ~rate:0.1 (Genalg_gdt.Sequence.dna q))
+    in
+    let full =
+      Pairwise.score_only ~mode:Pairwise.Global ~matrix:dna1 ~gap:unit_gap ~query:q
+        ~subject:s ()
+    in
+    (* a full-width band reproduces the exact global score *)
+    let wide =
+      Pairwise.banded_score ~band:(max (String.length q) (String.length s))
+        ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s ()
+    in
+    check Alcotest.int "wide band = full DP" full wide;
+    (* substitution-only divergence keeps the path on the diagonal *)
+    let narrow =
+      Pairwise.banded_score ~band:2 ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s ()
+    in
+    check Alcotest.bool "narrow band is a lower bound" true (narrow <= full)
+  done;
+  Alcotest.check_raises "band below length difference"
+    (Invalid_argument "Pairwise.banded_score: band narrower than the length difference")
+    (fun () -> ignore (Pairwise.banded_score ~band:1 ~query:"AAAA" ~subject:"A" ()))
+
+let test_banded_equal_on_substitutions () =
+  (* identical-length sequences differing only by substitutions: even a
+     zero-width band finds the optimal (diagonal) path *)
+  let q = "ACGTACGTACGTACGT" in
+  let s = "ACGAACGTACTTACGT" in
+  let full = Pairwise.score_only ~mode:Pairwise.Global ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s () in
+  let banded = Pairwise.banded_score ~band:0 ~matrix:dna1 ~gap:unit_gap ~query:q ~subject:s () in
+  check Alcotest.int "diagonal band suffices" full banded
+
+let test_protein_alignment () =
+  let a = Pairwise.align ~mode:Pairwise.Global ~matrix:Scoring.blosum62
+      ~query:"HEAGAWGHEE" ~subject:"HEAGAWGHEE" ()
+  in
+  check Alcotest.bool "self-alignment positive" true (a.Pairwise.score > 0);
+  check (Alcotest.float 1e-9) "identity 1" 1. (Pairwise.identity a)
+
+(* ---- LCS / diff ------------------------------------------------------ *)
+
+let chars s = Array.init (String.length s) (String.get s)
+
+let test_lcs_length () =
+  check Alcotest.int "classic" 4
+    (Lcs.length ~equal:Char.equal (chars "ABCBDAB") (chars "BDCABA"));
+  check Alcotest.int "identical" 5 (Lcs.length ~equal:Char.equal (chars "HELLO") (chars "HELLO"));
+  check Alcotest.int "disjoint" 0 (Lcs.length ~equal:Char.equal (chars "AAA") (chars "BBB"));
+  check Alcotest.int "empty" 0 (Lcs.length ~equal:Char.equal (chars "") (chars "ABC"))
+
+let test_diff_roundtrip () =
+  let cases =
+    [ ("ABCBDAB", "BDCABA"); ("", "ABC"); ("ABC", ""); ("SAME", "SAME");
+      ("KITTEN", "SITTING"); ("A", "B") ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let script = Lcs.diff ~equal:Char.equal (chars a) (chars b) in
+      match Lcs.apply script (chars a) with
+      | Some result ->
+          check Alcotest.string
+            (Printf.sprintf "apply(diff %s %s)" a b)
+            b
+            (String.init (Array.length result) (Array.get result))
+      | None -> Alcotest.failf "script for %s -> %s did not apply" a b)
+    cases
+
+let test_diff_keeps_lcs () =
+  let script = Lcs.diff ~equal:Char.equal (chars "ABCBDAB") (chars "BDCABA") in
+  let keeps =
+    List.length (List.filter (function Lcs.Keep _ -> true | _ -> false) script)
+  in
+  check Alcotest.int "keeps = LCS length" 4 keeps
+
+let test_diff_edit_distance () =
+  let script = Lcs.diff ~equal:Char.equal (chars "KITTEN") (chars "SITTING") in
+  (* LCS edit distance (no substitution op): 2*7 - ... ; KITTEN/SITTING LCS=ITTN?
+     lcs("KITTEN","SITTING") = "ITTN" length 4 -> dist = 6+7-2*4 = 5 *)
+  check Alcotest.int "insert+delete count" 5 (Lcs.edit_distance_of script)
+
+let test_lcs_subsequence () =
+  let l = Lcs.lcs ~equal:Char.equal (chars "ABCBDAB") (chars "BDCABA") in
+  check Alcotest.int "lcs length" 4 (List.length l)
+
+(* ---- distances -------------------------------------------------------- *)
+
+let test_levenshtein () =
+  check Alcotest.int "kitten/sitting" 3 (Distance.levenshtein "kitten" "sitting");
+  check Alcotest.int "identical" 0 (Distance.levenshtein "abc" "abc");
+  check Alcotest.int "to empty" 3 (Distance.levenshtein "abc" "");
+  check Alcotest.int "symmetric" (Distance.levenshtein "abcd" "dcba")
+    (Distance.levenshtein "dcba" "abcd")
+
+let test_hamming () =
+  check (Alcotest.option Alcotest.int) "two diffs" (Some 2) (Distance.hamming "ACGT" "AGGA");
+  check (Alcotest.option Alcotest.int) "length mismatch" None (Distance.hamming "AC" "ACG")
+
+let test_similarity () =
+  check (Alcotest.float 1e-9) "identical" 1. (Distance.similarity "abc" "abc");
+  check (Alcotest.float 1e-9) "empty" 1. (Distance.similarity "" "");
+  check (Alcotest.float 1e-9) "disjoint" 0. (Distance.similarity "aaa" "bbb")
+
+(* ---- blast ------------------------------------------------------------ *)
+
+let test_blast_finds_exact () =
+  let db = Blast.make_db ~k:5 [ ("s1", "AAAAAAAAAA"); ("s2", "CCGGTTACGGTACCA") ] in
+  check Alcotest.int "db size" 2 (Blast.db_size db);
+  let hits = Blast.search ~min_score:10 db ~query:"CCGGTTACGGTACCA" in
+  check Alcotest.bool "finds itself" true
+    (List.exists (fun h -> h.Blast.subject_id = "s2") hits);
+  check Alcotest.bool "no hit on the homopolymer" true
+    (not (List.exists (fun h -> h.Blast.subject_id = "s1") hits))
+
+let test_blast_homolog () =
+  let rng = Genalg_synth.Rng.make 7 in
+  let target = Genalg_synth.Seqgen.dna_string rng 400 in
+  let decoys =
+    List.init 20 (fun i ->
+        (Printf.sprintf "decoy%d" i, Genalg_synth.Seqgen.dna_string rng 400))
+  in
+  let db = Blast.make_db ~k:11 (("target", target) :: decoys) in
+  let homolog =
+    Genalg_gdt.Sequence.to_string
+      (Genalg_synth.Seqgen.homolog rng ~identity:0.9
+         (Genalg_gdt.Sequence.dna target))
+  in
+  match Blast.best_hit ~min_score:20 db ~query:homolog with
+  | Some hit -> check Alcotest.string "homolog maps to target" "target" hit.Blast.subject_id
+  | None -> Alcotest.fail "no hit for a 90%-identity homolog"
+
+let test_blast_gapped_refinement () =
+  let db = Blast.make_db ~k:5 [ ("s", "AAAACCCCGGGGTTTTAAAACCCC") ] in
+  let hits = Blast.search ~min_score:8 ~gapped:true db ~query:"CCCCGGGGTTTT" in
+  match hits with
+  | h :: _ ->
+      check Alcotest.bool "gapped alignment present" true (h.Blast.gapped <> None)
+  | [] -> Alcotest.fail "no hits"
+
+let test_blast_rejects_bad_db () =
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Blast.make_db: duplicate subject ids") (fun () ->
+      ignore (Blast.make_db [ ("a", "ACGT"); ("a", "ACGT") ]))
+
+let suites =
+  [
+    ( "align.scoring",
+      [
+        tc "blosum62" `Quick test_blosum62_values;
+        tc "pam250" `Quick test_pam250_values;
+        tc "dna" `Quick test_dna_scoring;
+      ] );
+    ( "align.pairwise",
+      [
+        tc "global identical" `Quick test_global_identical;
+        tc "global gap" `Quick test_global_gap;
+        tc "global empty" `Quick test_global_empty;
+        tc "local island" `Quick test_local_finds_island;
+        tc "local none" `Quick test_local_no_similarity;
+        tc "semiglobal" `Quick test_semiglobal;
+        tc "affine gaps" `Quick test_affine_gap_preference;
+        tc "score_only agrees" `Quick test_score_only_agrees;
+        tc "banded score" `Quick test_banded_score;
+        tc "banded diagonal" `Quick test_banded_equal_on_substitutions;
+        tc "protein" `Quick test_protein_alignment;
+      ] );
+    ( "align.lcs",
+      [
+        tc "length" `Quick test_lcs_length;
+        tc "diff roundtrip" `Quick test_diff_roundtrip;
+        tc "keeps lcs" `Quick test_diff_keeps_lcs;
+        tc "edit distance" `Quick test_diff_edit_distance;
+        tc "subsequence" `Quick test_lcs_subsequence;
+      ] );
+    ( "align.distance",
+      [
+        tc "levenshtein" `Quick test_levenshtein;
+        tc "hamming" `Quick test_hamming;
+        tc "similarity" `Quick test_similarity;
+      ] );
+    ( "align.blast",
+      [
+        tc "exact" `Quick test_blast_finds_exact;
+        tc "homolog" `Quick test_blast_homolog;
+        tc "gapped" `Quick test_blast_gapped_refinement;
+        tc "bad db" `Quick test_blast_rejects_bad_db;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Unit tests for the biological query language (lib/biolang). *)
+
+module Biolang = Genalg_biolang.Biolang
+module Ast = Genalg_sqlx.Ast
+module Exec = Genalg_sqlx.Exec
+module D = Genalg_storage.Dtype
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let sql_of input =
+  match Biolang.compile_to_sql input with
+  | Ok sql -> sql
+  | Error msg -> Alcotest.failf "compile %S failed: %s" input msg
+
+let test_find_simple () =
+  check Alcotest.string "organism filter"
+    "SELECT * FROM sequences WHERE (organism = 'Synthetica primus')"
+    (sql_of "find sequences where organism is 'Synthetica primus'")
+
+let test_count () =
+  check Alcotest.string "count"
+    "SELECT COUNT(*) AS count FROM sequences WHERE (gc > 0.5)"
+    (sql_of "count sequences where gc content above 0.5")
+
+let test_contains () =
+  check Alcotest.string "contains becomes UDF"
+    "SELECT * FROM sequences WHERE contains(seq, 'ATTGCCATA')"
+    (sql_of "find sequences where sequence contains 'ATTGCCATA'")
+
+let test_resembles () =
+  check Alcotest.string "resembles with threshold"
+    "SELECT * FROM sequences WHERE (resembles(seq, dna('ACGTACGT')) >= 0.8)"
+    (sql_of "find sequences where sequence resembles 'ACGTACGT' at least 0.8")
+
+let test_conjunction_and_limit () =
+  check Alcotest.string "and + limit"
+    "SELECT * FROM sequences WHERE ((organism = 'x') AND (length >= 500)) LIMIT 10"
+    (sql_of "find sequences where organism is 'x' and length at least 500 limit 10")
+
+let test_genes_entity () =
+  check Alcotest.string "genes table"
+    "SELECT * FROM genes WHERE (exon_count >= 3)"
+    (sql_of "find genes where exon count at least 3")
+
+let test_synonyms () =
+  (* "loci" is an entity synonym, "size" an attribute synonym *)
+  check Alcotest.string "loci -> genes" "SELECT * FROM genes WHERE (length < 200)"
+    (sql_of "find loci where size below 200");
+  (* ontology synonym: "messenger rna" resolves via the ontology to the
+     sequences table *)
+  check Alcotest.string "messenger rna -> sequences" "SELECT * FROM sequences"
+    (sql_of "find messenger rna")
+
+let test_negation_and_relations () =
+  check Alcotest.string "not"
+    "SELECT * FROM sequences WHERE NOT ((consistent = TRUE))"
+    (sql_of "find sequences where consistent not is true");
+  check Alcotest.string "at most"
+    "SELECT * FROM sequences WHERE (length <= 100)"
+    (sql_of "find sequences where length at most 100");
+  check Alcotest.string "more than"
+    "SELECT * FROM sequences WHERE (version > 1)"
+    (sql_of "find sequences where version more than 1")
+
+let test_between () =
+  check Alcotest.string "between"
+    "SELECT * FROM sequences WHERE ((length >= 500) AND (length <= 900))"
+    (sql_of "find sequences where length between 500 and 900")
+
+let test_sorted_by () =
+  check Alcotest.string "sorted by desc"
+    "SELECT * FROM sequences WHERE (gc > 0.4) ORDER BY length DESC LIMIT 5"
+    (sql_of "find sequences where gc content above 0.4 sorted by length descending limit 5");
+  check Alcotest.string "order by default asc"
+    "SELECT * FROM genes ORDER BY exon_count ASC"
+    (sql_of "find genes ordered by exon count")
+
+let test_errors () =
+  let err input = Result.is_error (Biolang.compile input) in
+  check Alcotest.bool "unknown entity" true (err "find widgets");
+  check Alcotest.bool "unknown attribute" true (err "find sequences where wibble is 3");
+  check Alcotest.bool "missing relation" true (err "find sequences where organism");
+  check Alcotest.bool "no verb" true (err "sequences where organism is 'x'");
+  check Alcotest.bool "trailing junk" true (err "find sequences limit 5 extra")
+
+(* execution parity with hand-written SQL (experiment E9's correctness half) *)
+let test_execution_parity () =
+  let db = Genalg_storage.Database.create () in
+  let rng = Genalg_synth.Rng.make 91 in
+  let entries = Genalg_synth.Recordgen.repository rng ~size:30 () in
+  ignore (Genalg_etl.Loader.init db Genalg_core.Builtin.default);
+  ignore
+    (Genalg_etl.Loader.load_merged db
+       (Genalg_etl.Integrator.reconcile (List.map (fun e -> ("s", e)) entries)));
+  let bio = "count sequences where gc content above 0.45 and length at least 900" in
+  let sql =
+    "SELECT count(*) AS count FROM sequences WHERE gc > 0.45 AND length >= 900"
+  in
+  let run_bio = Result.get_ok (Biolang.run db ~actor:"u" bio) in
+  let run_sql = Result.get_ok (Exec.query db ~actor:"u" sql) in
+  match run_bio, run_sql with
+  | Exec.Rows a, Exec.Rows b ->
+      check Alcotest.bool "same answer" true (a.Exec.rows = b.Exec.rows);
+      check Alcotest.bool "non-trivial fixture" true
+        (match a.Exec.rows with [ [| D.Int _ |] ] -> true | _ -> false)
+  | _ -> Alcotest.fail "expected row results"
+
+let test_output_formats () =
+  let db = Genalg_storage.Database.create () in
+  let rng = Genalg_synth.Rng.make 92 in
+  let entries = Genalg_synth.Recordgen.repository rng ~size:5 ~prefix:"OUT" () in
+  ignore (Genalg_etl.Loader.init db Genalg_core.Builtin.default);
+  ignore
+    (Genalg_etl.Loader.load_merged db
+       (Genalg_etl.Integrator.reconcile (List.map (fun e -> ("s", e)) entries)));
+  let contains_sub hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+    m = 0 || at 0
+  in
+  (* split_output_clause *)
+  check Alcotest.bool "fasta clause" true
+    (snd (Biolang.split_output_clause "find sequences as fasta") = Biolang.Fasta);
+  check Alcotest.bool "xml clause" true
+    (snd (Biolang.split_output_clause "find sequences as xml") = Biolang.Genalgxml);
+  check Alcotest.bool "default table" true
+    (snd (Biolang.split_output_clause "find sequences") = Biolang.Table);
+  (* FASTA rendering round-trips through the FASTA parser *)
+  (match Biolang.run_rendered db ~actor:"u" "find sequences limit 3 as fasta" with
+  | Ok text -> (
+      match Genalg_formats.Fasta.parse text with
+      | Ok records -> check Alcotest.int "3 fasta records" 3 (List.length records)
+      | Error m -> Alcotest.failf "rendered FASTA does not parse: %s" m)
+  | Error m -> Alcotest.fail m);
+  (* XML rendering is a well-formed GenAlgXML list *)
+  (match Biolang.run_rendered db ~actor:"u" "find sequences limit 2 as xml" with
+  | Ok text -> (
+      match Genalg_xml.Genalgxml.of_string text with
+      | Ok (Genalg_core.Value.VList (_, vs)) ->
+          check Alcotest.int "2 values" 2 (List.length vs)
+      | Ok _ -> Alcotest.fail "expected a list document"
+      | Error m -> Alcotest.failf "rendered XML does not parse: %s" m)
+  | Error m -> Alcotest.fail m);
+  (* table rendering falls through to the usual renderer *)
+  match Biolang.run_rendered db ~actor:"u" "count sequences as table" with
+  | Ok text -> check Alcotest.bool "table has count" true (contains_sub text "count")
+  | Error m -> Alcotest.fail m
+
+let test_vocabulary_listing () =
+  check Alcotest.bool "vocabulary non-empty" true (List.length (Biolang.vocabulary ()) > 10)
+
+let suites =
+  [
+    ( "biolang",
+      [
+        tc "find simple" `Quick test_find_simple;
+        tc "count" `Quick test_count;
+        tc "contains" `Quick test_contains;
+        tc "resembles" `Quick test_resembles;
+        tc "conjunction/limit" `Quick test_conjunction_and_limit;
+        tc "genes entity" `Quick test_genes_entity;
+        tc "synonyms" `Quick test_synonyms;
+        tc "negation/relations" `Quick test_negation_and_relations;
+        tc "between" `Quick test_between;
+        tc "sorted by" `Quick test_sorted_by;
+        tc "errors" `Quick test_errors;
+        tc "execution parity" `Quick test_execution_parity;
+        tc "output formats" `Quick test_output_formats;
+        tc "vocabulary" `Quick test_vocabulary_listing;
+      ] );
+  ]

@@ -1,0 +1,463 @@
+(* Unit tests for the Genomics Algebra core (lib/core). *)
+
+open Genalg_gdt
+module Sort = Genalg_core.Sort
+module Value = Genalg_core.Value
+module Signature = Genalg_core.Signature
+module Term = Genalg_core.Term
+module Ops = Genalg_core.Ops
+module Builtin = Genalg_core.Builtin
+module Ontology = Genalg_core.Ontology
+module Requirements = Genalg_core.Requirements
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let contains_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  m = 0 || at 0
+
+(* ---- sorts ------------------------------------------------------------ *)
+
+let test_sort_strings () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool
+        ("round trip " ^ Sort.to_string s)
+        true
+        (Sort.of_string (Sort.to_string s) = Some s))
+    (Sort.all_base
+    @ [ Sort.List Sort.Dna; Sort.Uncertain Sort.Mrna; Sort.List (Sort.List Sort.Int) ]);
+  check Alcotest.bool "unknown sort" true (Sort.of_string "widget" = None)
+
+(* ---- values ------------------------------------------------------------ *)
+
+let test_value_sorts () =
+  check Alcotest.string "dna sort" "dna" (Sort.to_string (Value.sort_of (Value.dna "ACGT")));
+  check Alcotest.string "list sort" "list(int)"
+    (Sort.to_string (Value.sort_of (Value.vlist Sort.Int [ Value.VInt 1 ])));
+  Alcotest.check_raises "heterogeneous list rejected"
+    (Invalid_argument "Value.vlist: element of sort string in list(int)") (fun () ->
+      ignore (Value.vlist Sort.Int [ Value.VString "x" ]))
+
+let test_value_equal () =
+  check Alcotest.bool "dna equal" true (Value.equal (Value.dna "ACGT") (Value.dna "acgt"));
+  check Alcotest.bool "dna <> rna" false (Value.equal (Value.dna "ACGT") (Value.rna "ACGU"))
+
+(* ---- signature ---------------------------------------------------------- *)
+
+let dummy_op name args result =
+  {
+    Signature.name;
+    arg_sorts = args;
+    result_sort = result;
+    doc = "test";
+    impl = (fun _ -> Ok (Value.VInt 0));
+  }
+
+let test_signature_register_resolve () =
+  let sg = Signature.create () in
+  Signature.register_exn sg (dummy_op "f" [ Sort.Int ] Sort.Int);
+  check Alcotest.bool "resolves" true (Signature.resolve sg "f" [ Sort.Int ] <> None);
+  check Alcotest.bool "case-insensitive" true (Signature.resolve sg "F" [ Sort.Int ] <> None);
+  check Alcotest.bool "wrong arity" true (Signature.resolve sg "f" [] = None);
+  check Alcotest.bool "duplicate rejected" true
+    (Result.is_error (Signature.register sg (dummy_op "f" [ Sort.Int ] Sort.Float)));
+  (* overloading on different argument sorts is fine *)
+  check Alcotest.bool "overload ok" true
+    (Result.is_ok (Signature.register sg (dummy_op "f" [ Sort.Float ] Sort.Float)))
+
+let test_signature_widening () =
+  let sg = Signature.create () in
+  Signature.register_exn sg (dummy_op "g" [ Sort.Float ] Sort.Int);
+  check Alcotest.bool "int widens to float" true
+    (Signature.resolve sg "g" [ Sort.Int ] <> None)
+
+let test_signature_result_check () =
+  let sg = Signature.create () in
+  Signature.register_exn sg
+    {
+      Signature.name = "lying";
+      arg_sorts = [];
+      result_sort = Sort.String;
+      doc = "claims string, returns int";
+      impl = (fun _ -> Ok (Value.VInt 1));
+    };
+  check Alcotest.bool "result sort enforced" true
+    (Result.is_error (Signature.apply sg "lying" []))
+
+let test_rank_notation () =
+  let op = dummy_op "translate" [ Sort.Mrna ] Sort.Protein in
+  check Alcotest.string "paper notation" "translate: mrna -> protein"
+    (Signature.rank_to_string op)
+
+(* ---- terms ---------------------------------------------------------------- *)
+
+let gene_fixture () =
+  let rng = Genalg_synth.Rng.make 101 in
+  Genalg_synth.Genegen.gene rng ~id:"tst" ()
+
+let test_term_central_dogma () =
+  (* the paper's example: translate(splice(transcribe(g))) *)
+  let sg = Builtin.default in
+  let g = gene_fixture () in
+  let term =
+    Term.app "translate" [ Term.app "splice" [ Term.app "transcribe" [ Term.const (Value.VGene g) ] ] ]
+  in
+  (match Term.sort_check_closed sg term with
+  | Ok sort -> check Alcotest.string "term sort" "protein" (Sort.to_string sort)
+  | Error msg -> Alcotest.failf "sort check failed: %s" msg);
+  match Term.eval_closed sg term with
+  | Ok (Value.VProtein p) ->
+      check Alcotest.bool "non-empty protein" true (Protein.length p > 0);
+      (* must agree with the composed kernel function *)
+      let direct = Result.get_ok (Ops.decode g) in
+      check Alcotest.bool "term = decode" true (Protein.equal p direct)
+  | Ok v -> Alcotest.failf "unexpected value %s" (Value.to_display_string v)
+  | Error msg -> Alcotest.failf "eval failed: %s" msg
+
+let test_term_sort_errors () =
+  let sg = Builtin.default in
+  let bad = Term.app "translate" [ Term.const (Value.dna "ACGT") ] in
+  check Alcotest.bool "translate(dna) ill-sorted" true
+    (Result.is_error (Term.sort_check_closed sg bad));
+  let unknown = Term.app "frobnicate" [ Term.const (Value.VInt 1) ] in
+  check Alcotest.bool "unknown operator" true
+    (Result.is_error (Term.sort_check_closed sg unknown))
+
+let test_term_variables () =
+  let sg = Builtin.default in
+  let term = Term.app "gc_content" [ Term.var "x" Sort.Dna ] in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)) "vars"
+    [ ("x", "dna") ]
+    (List.map (fun (n, s) -> (n, Sort.to_string s)) (Term.vars term));
+  check Alcotest.bool "closed check rejects free vars" true
+    (Result.is_error (Term.sort_check_closed sg term));
+  let env name = if name = "x" then Some (Value.dna "GGCC") else None in
+  match Term.eval sg ~env term with
+  | Ok (Value.VFloat f) -> check (Alcotest.float 1e-9) "gc of GGCC" 1. f
+  | _ -> Alcotest.fail "eval with environment failed"
+
+let test_term_to_string () =
+  let term = Term.app "f" [ Term.var "g" Sort.Gene; Term.const (Value.VInt 3) ] in
+  check Alcotest.string "syntax" "f(g, 3)" (Term.to_string term)
+
+(* ---- kernel operations ------------------------------------------------------ *)
+
+let test_transcribe_splice () =
+  let g = gene_fixture () in
+  let primary = Ops.transcribe g in
+  check Alcotest.int "pre-mRNA length = gene length" (Gene.length g)
+    (Transcript.primary_length primary);
+  let m = Ops.splice primary in
+  check Alcotest.int "mRNA length = exonic length" (Gene.exonic_length g)
+    (Transcript.mrna_length m);
+  (* spliced RNA is the concatenation of exon transcripts *)
+  let expected =
+    Sequence.to_rna (Sequence.concat (Gene.exon_sequences g)) |> Sequence.to_string
+  in
+  check Alcotest.string "exon concatenation" expected (Sequence.to_string m.Transcript.rna)
+
+let test_translate () =
+  let g = gene_fixture () in
+  match Ops.decode g with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok p ->
+      (* generated CDS starts with ATG -> protein starts with M and, since
+         the generator writes ATG + sense codons + stop, its length is
+         exonic/3 - 1 *)
+      check Alcotest.char "starts with Met" 'M' (Sequence.get p.Protein.residues 0);
+      check Alcotest.int "protein length"
+        ((Gene.exonic_length g / 3) - 1)
+        (Protein.length p)
+
+let test_translate_no_start () =
+  let m =
+    Transcript.mrna ~gene_id:"x" ~code:Genetic_code.standard (Sequence.rna "CCCCCCCCC")
+  in
+  check Alcotest.bool "no start codon is an error" true (Result.is_error (Ops.translate m))
+
+let test_translate_frame () =
+  let s = Sequence.dna "ATGAAATAG" in
+  check Alcotest.string "frame 0" "MK*"
+    (Sequence.to_string (Ops.translate_frame ~frame:0 s));
+  check Alcotest.string "frame 1" "*N"
+    (Sequence.to_string (Ops.translate_frame ~frame:1 s));
+  Alcotest.check_raises "frame 3 invalid"
+    (Invalid_argument "Ops.translate_frame: frame must be 0-2") (fun () ->
+      ignore (Ops.translate_frame ~frame:3 s))
+
+let test_reverse_transcribe () =
+  check Alcotest.string "U -> T" "ACGT"
+    (Sequence.to_string (Ops.reverse_transcribe (Sequence.rna "ACGU")));
+  Alcotest.check_raises "DNA input rejected"
+    (Invalid_argument "Ops.reverse_transcribe: input must be RNA") (fun () ->
+      ignore (Ops.reverse_transcribe (Sequence.dna "ACGT")))
+
+let test_splice_uncertain () =
+  let rna = Sequence.rna (String.make 90 'A') in
+  let p =
+    Transcript.primary ~gene_id:"g" ~exons:[ (0, 10); (20, 10); (40, 10) ]
+      ~code:Genetic_code.standard rna
+  in
+  let u = Ops.splice_uncertain ~confidence:0.8 p in
+  check Alcotest.int "canonical + 1 skip variant" 2 (Uncertain.cardinal u);
+  check (Alcotest.float 1e-9) "canonical confidence" 0.8 (Uncertain.best_confidence u);
+  check Alcotest.int "canonical is full splice" 30
+    (Transcript.mrna_length (Uncertain.best u));
+  let variants = Uncertain.alternatives u in
+  let skip = List.nth variants 1 in
+  check Alcotest.int "variant skips one exon" 20
+    (Transcript.mrna_length skip.Uncertain.value)
+
+let test_find_orfs () =
+  (* hand-built: ATG AAA TAG at offset 0; reverse strand has its own *)
+  let s = Sequence.dna "ATGAAATAGCCC" in
+  let orfs = Ops.find_orfs ~min_length:9 s in
+  check Alcotest.bool "finds the forward ORF" true
+    (List.exists
+       (fun (o : Ops.orf) -> o.Ops.strand = Ops.Forward && o.Ops.start = 0 && o.Ops.length = 9)
+       orfs);
+  let orf =
+    List.find
+      (fun (o : Ops.orf) -> o.Ops.strand = Ops.Forward && o.Ops.start = 0)
+      orfs
+  in
+  check Alcotest.string "orf sequence" "ATGAAATAG"
+    (Sequence.to_string (Ops.orf_sequence s orf));
+  check Alcotest.string "orf protein" "MK"
+    (Sequence.to_string (Ops.orf_protein s orf))
+
+let test_find_orfs_on_generated_gene () =
+  let g = gene_fixture () in
+  let m = Ops.splice (Ops.transcribe g) in
+  let cdna = Ops.reverse_transcribe m.Transcript.rna in
+  let orfs = Ops.find_orfs ~min_length:30 ~both_strands:false cdna in
+  (* the full CDS must be among them, starting at 0 *)
+  check Alcotest.bool "CDS found as ORF" true
+    (List.exists
+       (fun (o : Ops.orf) -> o.Ops.start = 0 && o.Ops.length = Sequence.length cdna)
+       orfs)
+
+let test_gc_and_melting () =
+  check (Alcotest.float 1e-9) "gc of GGCC" 1. (Ops.gc_content (Sequence.dna "GGCC"));
+  check (Alcotest.float 1e-9) "gc of AT" 0. (Ops.gc_content (Sequence.dna "AT"));
+  check (Alcotest.float 1e-9) "empty" 0. (Ops.gc_content (Sequence.empty Sequence.Dna));
+  (* Wallace rule: 2(A+T) + 4(G+C) *)
+  check (Alcotest.float 1e-9) "wallace" 20. (Ops.melting_temperature (Sequence.dna "ATGCGC"));
+  let long = Sequence.dna (String.concat "" (List.init 10 (fun _ -> "AT")) ^ "GCGC") in
+  check Alcotest.bool "long formula differs" true
+    (Ops.melting_temperature long < 60.)
+
+let test_codon_usage () =
+  let usage = Ops.codon_usage (Sequence.dna "ATGATGAAA") in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "counts"
+    [ ("ATG", 2); ("AAA", 1) ] usage
+
+let test_restriction () =
+  let ecori = Option.get (Ops.enzyme_by_name "EcoRI") in
+  let s = Sequence.dna "AAAGAATTCAAAGAATTCAAA" in
+  check (Alcotest.list Alcotest.int) "sites" [ 3; 12 ] (Ops.restriction_sites ecori s);
+  let frags = Ops.digest ecori s in
+  check (Alcotest.list Alcotest.string) "fragments" [ "AAAG"; "AATTCAAAG"; "AATTCAAA" ]
+    (List.map Sequence.to_string frags);
+  check Alcotest.int "no sites: whole molecule" 1
+    (List.length (Ops.digest ecori (Sequence.dna "AAAA")))
+
+let test_resembles () =
+  let a = Sequence.dna "ACGTACGTACGTACGTACGT" in
+  check (Alcotest.float 1e-9) "self-resemblance" 1. (Ops.resembles a a);
+  let rng = Genalg_synth.Rng.make 5 in
+  let b = Genalg_synth.Seqgen.mutate rng ~rate:0.1 a in
+  let r = Ops.resembles a b in
+  check Alcotest.bool "mutant close but below 1" true (r > 0.3 && r <= 1.);
+  check (Alcotest.float 1e-9) "empty" 0. (Ops.resembles a (Sequence.empty Sequence.Dna));
+  Alcotest.check_raises "protein vs dna"
+    (Invalid_argument "Ops: cannot compare protein with nucleotide sequences")
+    (fun () -> ignore (Ops.resembles a (Sequence.protein "MK")))
+
+let test_back_translate () =
+  (* Met -> ATG exactly; frame-0 translation of any concretization of the
+     consensus recovers the protein *)
+  check Alcotest.string "M -> ATG" "ATG"
+    (Sequence.to_string (Ops.back_translate (Sequence.protein "M")));
+  check Alcotest.string "W -> TGG" "TGG"
+    (Sequence.to_string (Ops.back_translate (Sequence.protein "W")));
+  (* Leu codons TTA TTG CTT CTC CTA CTG -> Y T N *)
+  check Alcotest.string "L -> YTN" "YTN"
+    (Sequence.to_string (Ops.back_translate (Sequence.protein "L")));
+  let p = Sequence.protein "MKVLAW" in
+  let consensus = Ops.back_translate p in
+  check Alcotest.int "3 nt per residue" 18 (Sequence.length consensus);
+  (* translating the consensus with ambiguity-aware codon translation
+     recovers the residues wherever codons agree; at least M and W are
+     unambiguous *)
+  check Alcotest.char "first codon decodes to M" 'M'
+    (Amino_acid.to_char
+       (Genetic_code.translate_codon Genetic_code.standard
+          (String.init 3 (fun i -> Sequence.get consensus i))));
+  Alcotest.check_raises "nucleotide input rejected"
+    (Invalid_argument "Ops.back_translate: input must be a protein sequence")
+    (fun () -> ignore (Ops.back_translate (Sequence.dna "ACGT")))
+
+let test_longest_repeat () =
+  (match Ops.longest_repeat (Sequence.dna "ACGTTTACGT") with
+  | Some (p1, p2, len) ->
+      check Alcotest.int "repeat length" 4 len;
+      check Alcotest.int "first" 0 p1;
+      check Alcotest.int "second" 6 p2
+  | None -> Alcotest.fail "expected ACGT repeat");
+  check Alcotest.bool "no repeats in distinct letters" true
+    (Ops.longest_repeat (Sequence.dna "ACGT") = None)
+
+let test_identity_edit_distance () =
+  check (Alcotest.float 1e-9) "identical" 1.
+    (Ops.identity (Sequence.dna "ACGT") (Sequence.dna "ACGT"));
+  check Alcotest.int "edit distance" 1
+    (Ops.edit_distance (Sequence.dna "ACGT") (Sequence.dna "ACCT"))
+
+(* ---- builtin signature -------------------------------------------------------- *)
+
+let test_builtin_operator_count () =
+  let sg = Builtin.create () in
+  check Alcotest.bool "rich signature" true (Signature.cardinal sg >= 40);
+  List.iter
+    (fun name ->
+      check Alcotest.bool ("has " ^ name) true (Signature.mem sg name))
+    [ "transcribe"; "splice"; "translate"; "decode"; "gc_content"; "contains";
+      "resembles"; "find_orfs"; "digest"; "reverse_complement"; "length";
+      "back_translate"; "longest_repeat" ]
+
+let test_builtin_apply () =
+  let sg = Builtin.default in
+  (match Signature.apply sg "gc_content" [ Value.dna "GGCC" ] with
+  | Ok (Value.VFloat f) -> check (Alcotest.float 1e-9) "gc via signature" 1. f
+  | _ -> Alcotest.fail "gc_content apply failed");
+  (match Signature.apply sg "contains" [ Value.dna "AACGTA"; Value.VString "ACGT" ] with
+  | Ok (Value.VBool b) -> check Alcotest.bool "contains" true b
+  | _ -> Alcotest.fail "contains apply failed");
+  match Signature.apply sg "digest" [ Value.dna "AAAGAATTCAAA"; Value.VString "NoSuchEnzyme" ] with
+  | Error msg ->
+      check Alcotest.bool "enzyme error mentions name" true
+        (contains_sub msg "NoSuchEnzyme")
+  | Ok _ -> Alcotest.fail "unknown enzyme should fail"
+
+let test_builtin_extensibility () =
+  let sg = Builtin.create () in
+  Signature.register_exn sg
+    {
+      Signature.name = "at_content";
+      arg_sorts = [ Sort.Dna ];
+      result_sort = Sort.Float;
+      doc = "user extension";
+      impl =
+        (function
+        | [ Value.VDna s ] -> Ok (Value.VFloat (1. -. Ops.gc_content s))
+        | _ -> assert false);
+    };
+  match Signature.apply sg "at_content" [ Value.dna "AATT" ] with
+  | Ok (Value.VFloat f) -> check (Alcotest.float 1e-9) "extension works" 1. f
+  | _ -> Alcotest.fail "user-registered operator failed"
+
+(* ---- ontology ------------------------------------------------------------------ *)
+
+let test_ontology_resolution () =
+  let o = Ontology.default () in
+  check Alcotest.bool "gene resolves" true (Ontology.resolve o "gene" <> None);
+  check Alcotest.bool "synonym resolves" true
+    (Ontology.resolve_sort o "messenger rna" = Some Sort.Mrna);
+  check Alcotest.bool "case/space-insensitive" true
+    (Ontology.resolve_sort o "  Messenger   RNA " = Some Sort.Mrna);
+  check (Alcotest.option Alcotest.string) "operation" (Some "gc_content")
+    (Ontology.resolve_operation o "gc fraction");
+  check Alcotest.bool "unknown" true (Ontology.resolve o "flux capacitor" = None)
+
+let test_ontology_homonyms () =
+  let o = Ontology.default () in
+  check Alcotest.bool "expression is ambiguous" true (Ontology.is_ambiguous o "expression");
+  check (Alcotest.option Alcotest.string) "biology context" (Some "decode")
+    (Ontology.resolve_operation ~context:"molecular-biology" o "expression");
+  check Alcotest.bool "query-language context" true
+    (Ontology.resolve_sort ~context:"query-language" o "expression" = Some Sort.String)
+
+let test_ontology_uniqueness () =
+  let o = Ontology.default () in
+  check Alcotest.bool "duplicate canonical term rejected" true
+    (Result.is_error
+       (Ontology.add o
+          {
+            Ontology.term = "gene";
+            synonyms = [];
+            definition = "dup";
+            context = "molecular-biology";
+            target = Ontology.Sort_target Sort.Gene;
+          }))
+
+(* ---- requirements ---------------------------------------------------------------- *)
+
+let test_requirements_catalogue () =
+  check Alcotest.int "15 requirements" 15 (List.length Requirements.all_requirements);
+  check Alcotest.int "10 problems" 10 (List.length Requirements.all_problems);
+  (* every C references at least one B, and C15 maps to B4 as in the paper *)
+  List.iter
+    (fun c ->
+      check Alcotest.bool
+        (Requirements.requirement_label c ^ " has cross refs")
+        true
+        (Requirements.cross_references c <> []))
+    Requirements.all_requirements;
+  check (Alcotest.list Alcotest.string) "C15 -> B4" [ "B4" ]
+    (List.map Requirements.problem_label (Requirements.cross_references Requirements.C15))
+
+let suites =
+  [
+    ("core.sort", [ tc "strings" `Quick test_sort_strings ]);
+    ( "core.value",
+      [ tc "sorts" `Quick test_value_sorts; tc "equal" `Quick test_value_equal ] );
+    ( "core.signature",
+      [
+        tc "register/resolve" `Quick test_signature_register_resolve;
+        tc "widening" `Quick test_signature_widening;
+        tc "result check" `Quick test_signature_result_check;
+        tc "rank notation" `Quick test_rank_notation;
+      ] );
+    ( "core.term",
+      [
+        tc "central dogma" `Quick test_term_central_dogma;
+        tc "sort errors" `Quick test_term_sort_errors;
+        tc "variables" `Quick test_term_variables;
+        tc "to_string" `Quick test_term_to_string;
+      ] );
+    ( "core.ops",
+      [
+        tc "transcribe/splice" `Quick test_transcribe_splice;
+        tc "translate" `Quick test_translate;
+        tc "translate no start" `Quick test_translate_no_start;
+        tc "translate frame" `Quick test_translate_frame;
+        tc "reverse transcribe" `Quick test_reverse_transcribe;
+        tc "splice uncertain" `Quick test_splice_uncertain;
+        tc "find orfs" `Quick test_find_orfs;
+        tc "orfs on gene" `Quick test_find_orfs_on_generated_gene;
+        tc "gc/melting" `Quick test_gc_and_melting;
+        tc "codon usage" `Quick test_codon_usage;
+        tc "restriction" `Quick test_restriction;
+        tc "resembles" `Quick test_resembles;
+        tc "identity/edit" `Quick test_identity_edit_distance;
+        tc "back translate" `Quick test_back_translate;
+        tc "longest repeat" `Quick test_longest_repeat;
+      ] );
+    ( "core.builtin",
+      [
+        tc "operator count" `Quick test_builtin_operator_count;
+        tc "apply" `Quick test_builtin_apply;
+        tc "extensibility" `Quick test_builtin_extensibility;
+      ] );
+    ( "core.ontology",
+      [
+        tc "resolution" `Quick test_ontology_resolution;
+        tc "homonyms" `Quick test_ontology_homonyms;
+        tc "uniqueness" `Quick test_ontology_uniqueness;
+      ] );
+    ("core.requirements", [ tc "catalogue" `Quick test_requirements_catalogue ]);
+  ]

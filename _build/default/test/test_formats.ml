@@ -1,0 +1,185 @@
+(* Unit tests for repository formats (lib/formats). *)
+
+open Genalg_gdt
+open Genalg_formats
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let entry_t = Alcotest.testable Entry.pp Entry.equal
+
+let sample_entries () =
+  let rng = Genalg_synth.Rng.make 31 in
+  Genalg_synth.Recordgen.repository rng ~size:8 ~prefix:"TST" ()
+
+let fancy_entry () =
+  Entry.make ~version:3 ~definition:"putative kinase gene"
+    ~organism:"Synthetica primus"
+    ~features:
+      [
+        Feature.make ~qualifiers:[ ("gene", "k1") ] Feature.Gene (Location.range 10 90);
+        Feature.make
+          ~qualifiers:[ ("gene", "k1"); ("product", "kinase") ]
+          Feature.Cds
+          (Location.join [ Location.range 10 40; Location.range 60 90 ]);
+        Feature.make Feature.Mrna (Location.complement (Location.range 95 99));
+      ]
+    ~keywords:[ "kinase"; "test" ] ~accession:"TST000042"
+    (Sequence.dna (String.concat "" (List.init 10 (fun _ -> "ACGTACGTAG"))))
+
+(* ---- FASTA ---------------------------------------------------------- *)
+
+let test_fasta_roundtrip () =
+  let records =
+    [
+      { Fasta.id = "seq1"; description = "first"; sequence = Sequence.dna "ACGTACGT" };
+      { Fasta.id = "seq2"; description = ""; sequence = Sequence.dna (String.make 150 'A') };
+    ]
+  in
+  match Fasta.parse (Fasta.print records) with
+  | Ok back ->
+      check Alcotest.int "count" 2 (List.length back);
+      List.iter2
+        (fun a b ->
+          check Alcotest.string "id" a.Fasta.id b.Fasta.id;
+          check Alcotest.bool "sequence" true (Sequence.equal a.Fasta.sequence b.Fasta.sequence))
+        records back
+  | Error msg -> Alcotest.fail msg
+
+let test_fasta_wrapping () =
+  let r = { Fasta.id = "x"; description = ""; sequence = Sequence.dna (String.make 130 'G') } in
+  let lines = String.split_on_char '\n' (Fasta.print ~width:60 [ r ]) in
+  check Alcotest.int "60+60+10 wrapped" 5 (List.length lines) (* 3 seq lines + header + trailing "" *)
+
+let test_fasta_errors () =
+  check Alcotest.bool "data before header" true
+    (Result.is_error (Fasta.parse "ACGT\n>x\nACGT"));
+  check Alcotest.bool "bad letters" true (Result.is_error (Fasta.parse ">x\nAC!T"))
+
+let test_fasta_entry_conversion () =
+  let e = fancy_entry () in
+  let r = Fasta.of_entry e in
+  check Alcotest.string "versioned id" "TST000042.3" r.Fasta.id;
+  let back = Fasta.to_entry r in
+  check Alcotest.string "accession" "TST000042" back.Entry.accession;
+  check Alcotest.int "version" 3 back.Entry.version
+
+(* ---- GenBank ---------------------------------------------------------- *)
+
+let test_genbank_roundtrip () =
+  let entries = fancy_entry () :: sample_entries () in
+  match Genbank.parse (Genbank.print entries) with
+  | Ok back ->
+      check Alcotest.int "count" (List.length entries) (List.length back);
+      List.iter2 (fun a b -> check entry_t "entry" a b) entries back
+  | Error msg -> Alcotest.fail msg
+
+let test_genbank_multi_record () =
+  let entries = sample_entries () in
+  let text = String.concat "" (List.map Genbank.print_one entries) in
+  match Genbank.parse text with
+  | Ok back -> check Alcotest.int "all records" (List.length entries) (List.length back)
+  | Error msg -> Alcotest.fail msg
+
+let test_genbank_errors () =
+  check Alcotest.bool "missing terminator" true
+    (Result.is_error (Genbank.parse "LOCUS       X 4 bp\nACCESSION   X\nORIGIN\n        1 acgt\n"));
+  check Alcotest.bool "parse_one on two records" true
+    (Result.is_error (Genbank.parse_one (Genbank.print (sample_entries ()))))
+
+let test_genbank_parse_one () =
+  let e = fancy_entry () in
+  match Genbank.parse_one (Genbank.print_one e) with
+  | Ok back -> check entry_t "single" e back
+  | Error msg -> Alcotest.fail msg
+
+(* ---- EMBL ---------------------------------------------------------------- *)
+
+let test_embl_roundtrip () =
+  let entries = fancy_entry () :: sample_entries () in
+  match Embl.parse (Embl.print entries) with
+  | Ok back ->
+      check Alcotest.int "count" (List.length entries) (List.length back);
+      List.iter2 (fun a b -> check entry_t "entry" a b) entries back
+  | Error msg -> Alcotest.fail msg
+
+let test_embl_genbank_agree () =
+  (* the same entries through either syntax are the same entries *)
+  let entries = sample_entries () in
+  let via_gb = Result.get_ok (Genbank.parse (Genbank.print entries)) in
+  let via_embl = Result.get_ok (Embl.parse (Embl.print entries)) in
+  List.iter2 (fun a b -> check entry_t "cross-format" a b) via_gb via_embl
+
+(* ---- AceDB ------------------------------------------------------------------ *)
+
+let test_acedb_tree_roundtrip () =
+  let tree =
+    Acedb.node "Root" ~value:"r"
+      ~children:
+        [
+          Acedb.node "Child" ~value:"one";
+          Acedb.node "Child" ~value:"two"
+            ~children:[ Acedb.node "Leaf"; Acedb.node "Leaf" ~value:"x" ];
+        ]
+  in
+  match Acedb.parse (Acedb.print tree) with
+  | Ok back -> check Alcotest.bool "tree equal" true (Acedb.equal tree back)
+  | Error msg -> Alcotest.fail msg
+
+let test_acedb_entry_roundtrip () =
+  let e = fancy_entry () in
+  match Acedb.to_entry (Result.get_ok (Acedb.parse (Acedb.print (Acedb.of_entry e)))) with
+  | Ok back -> check entry_t "entry through tree" e back
+  | Error msg -> Alcotest.fail msg
+
+let test_acedb_errors () =
+  check Alcotest.bool "empty" true (Result.is_error (Acedb.parse ""));
+  check Alcotest.bool "no colon" true (Result.is_error (Acedb.parse "just words"));
+  check Alcotest.bool "indented first line" true
+    (Result.is_error (Acedb.parse "  Tag: x"))
+
+let test_acedb_size () =
+  let tree = Acedb.node "a" ~children:[ Acedb.node "b"; Acedb.node "c" ~children:[ Acedb.node "d" ] ] in
+  check Alcotest.int "size" 4 (Acedb.size tree)
+
+(* ---- Entry ---------------------------------------------------------------- *)
+
+let test_entry_essential_equality () =
+  let e = fancy_entry () in
+  let bumped = Entry.make ~version:(e.Entry.version + 1) ~definition:e.Entry.definition
+      ~organism:e.Entry.organism ~features:e.Entry.features ~keywords:e.Entry.keywords
+      ~accession:e.Entry.accession e.Entry.sequence
+  in
+  check Alcotest.bool "essentially equal" true (Entry.essentially_equal e bumped);
+  check Alcotest.bool "not equal" false (Entry.equal e bumped)
+
+let suites =
+  [
+    ( "formats.fasta",
+      [
+        tc "roundtrip" `Quick test_fasta_roundtrip;
+        tc "wrapping" `Quick test_fasta_wrapping;
+        tc "errors" `Quick test_fasta_errors;
+        tc "entry conversion" `Quick test_fasta_entry_conversion;
+      ] );
+    ( "formats.genbank",
+      [
+        tc "roundtrip" `Quick test_genbank_roundtrip;
+        tc "multi record" `Quick test_genbank_multi_record;
+        tc "errors" `Quick test_genbank_errors;
+        tc "parse one" `Quick test_genbank_parse_one;
+      ] );
+    ( "formats.embl",
+      [
+        tc "roundtrip" `Quick test_embl_roundtrip;
+        tc "agrees with genbank" `Quick test_embl_genbank_agree;
+      ] );
+    ( "formats.acedb",
+      [
+        tc "tree roundtrip" `Quick test_acedb_tree_roundtrip;
+        tc "entry roundtrip" `Quick test_acedb_entry_roundtrip;
+        tc "errors" `Quick test_acedb_errors;
+        tc "size" `Quick test_acedb_size;
+      ] );
+    ("formats.entry", [ tc "essential equality" `Quick test_entry_essential_equality ]);
+  ]

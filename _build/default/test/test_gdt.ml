@@ -1,0 +1,510 @@
+(* Unit tests for the genomic data types (lib/gdt). *)
+
+open Genalg_gdt
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---- nucleotides -------------------------------------------------- *)
+
+let test_nucleotide_roundtrip () =
+  List.iter
+    (fun b ->
+      check (Alcotest.option Alcotest.char) "of_char (to_char b) = b"
+        (Some (Nucleotide.to_char b))
+        (Option.map Nucleotide.to_char (Nucleotide.of_char (Nucleotide.to_char b))))
+    Nucleotide.all
+
+let test_nucleotide_lowercase () =
+  check Alcotest.char "lower-case parses" 'A'
+    (Nucleotide.to_char (Nucleotide.of_char_exn 'a'))
+
+let test_nucleotide_invalid () =
+  check Alcotest.bool "Z is invalid" true (Nucleotide.of_char 'Z' = None);
+  Alcotest.check_raises "of_char_exn raises" (Invalid_argument "Nucleotide.of_char_exn: 'Z'")
+    (fun () -> ignore (Nucleotide.of_char_exn 'Z'))
+
+let test_complement_involution () =
+  List.iter
+    (fun b ->
+      check Alcotest.char
+        (Printf.sprintf "complement^2 %c" (Nucleotide.to_char b))
+        (Nucleotide.to_char (if b = Nucleotide.U then Nucleotide.T else b))
+        (Nucleotide.to_char (Nucleotide.complement (Nucleotide.complement b))))
+    Nucleotide.all
+
+let test_expand () =
+  check Alcotest.int "N expands to 4" 4 (List.length (Nucleotide.expand Nucleotide.N));
+  check Alcotest.int "R expands to 2" 2 (List.length (Nucleotide.expand Nucleotide.R));
+  check Alcotest.bool "A not ambiguous" false (Nucleotide.is_ambiguous Nucleotide.A);
+  check Alcotest.bool "Y ambiguous" true (Nucleotide.is_ambiguous Nucleotide.Y)
+
+let test_matches () =
+  check Alcotest.bool "N matches A" true (Nucleotide.matches Nucleotide.N Nucleotide.A);
+  check Alcotest.bool "R matches G" true (Nucleotide.matches Nucleotide.R Nucleotide.G);
+  check Alcotest.bool "R does not match C" false
+    (Nucleotide.matches Nucleotide.R Nucleotide.C);
+  check Alcotest.bool "U matches T" true (Nucleotide.matches Nucleotide.U Nucleotide.T)
+
+(* ---- amino acids --------------------------------------------------- *)
+
+let test_amino_roundtrip () =
+  List.iter
+    (fun a ->
+      check Alcotest.char "one-letter round trip" (Amino_acid.to_char a)
+        (Amino_acid.to_char (Amino_acid.of_char_exn (Amino_acid.to_char a))))
+    (Amino_acid.all_standard @ [ Amino_acid.Asx; Amino_acid.Glx; Amino_acid.Xaa; Amino_acid.Stop ])
+
+let test_amino_three_letter () =
+  check (Alcotest.option Alcotest.char) "Met" (Some 'M')
+    (Option.map Amino_acid.to_char (Amino_acid.of_three_letter "Met"));
+  check Alcotest.string "Ter for stop" "Ter" (Amino_acid.to_three_letter Amino_acid.Stop);
+  check (Alcotest.option Alcotest.char) "case-insensitive" (Some 'W')
+    (Option.map Amino_acid.to_char (Amino_acid.of_three_letter "TRP"))
+
+let test_amino_masses () =
+  check Alcotest.bool "Gly lightest standard" true
+    (List.for_all
+       (fun a -> Amino_acid.average_mass Amino_acid.Gly <= Amino_acid.average_mass a)
+       Amino_acid.all_standard);
+  check Alcotest.bool "stop is massless" true (Amino_acid.average_mass Amino_acid.Stop = 0.)
+
+(* ---- sequences ----------------------------------------------------- *)
+
+let test_sequence_encodings () =
+  check Alcotest.bool "canonical DNA packs 2-bit" true
+    (Sequence.encoding (Sequence.dna "ACGTACGT") = Sequence.Packed2);
+  check Alcotest.bool "ambiguous DNA packs 4-bit" true
+    (Sequence.encoding (Sequence.dna "ACGTN") = Sequence.Packed4);
+  check Alcotest.bool "protein is byte-encoded" true
+    (Sequence.encoding (Sequence.protein "MKV") = Sequence.Byte);
+  check Alcotest.bool "canonical RNA packs 2-bit" true
+    (Sequence.encoding (Sequence.rna "ACGU") = Sequence.Packed2)
+
+let test_sequence_memory () =
+  (* 2-bit packing: 4 bases per byte *)
+  check Alcotest.int "100 bases in 25 bytes" 25
+    (Sequence.memory_bytes (Sequence.dna (String.make 100 'A')));
+  check Alcotest.int "IUPAC: 2 bases per byte" 50
+    (Sequence.memory_bytes
+       (Sequence.dna (String.concat "" (List.init 50 (fun _ -> "AN")))))
+
+let test_sequence_validation () =
+  check Alcotest.bool "U invalid in DNA" true
+    (Result.is_error (Sequence.of_string Sequence.Dna "ACGU"));
+  check Alcotest.bool "T invalid in RNA" true
+    (Result.is_error (Sequence.of_string Sequence.Rna "ACGT"));
+  check Alcotest.bool "J invalid in protein" true
+    (Result.is_error (Sequence.of_string Sequence.Protein "MJ"));
+  check Alcotest.bool "case normalised" true
+    (Sequence.equal (Sequence.dna "acgt") (Sequence.dna "ACGT"))
+
+let test_sequence_access () =
+  let s = Sequence.dna "ACGTN" in
+  check Alcotest.char "get 0" 'A' (Sequence.get s 0);
+  check Alcotest.char "get 4" 'N' (Sequence.get s 4);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Sequence.get: index out of bounds") (fun () ->
+      ignore (Sequence.get s 5));
+  check Alcotest.string "sub" "CGT" (Sequence.to_string (Sequence.sub s ~pos:1 ~len:3))
+
+let test_sequence_revcomp () =
+  check Alcotest.string "revcomp" "CCAATTGG"
+    (Sequence.to_string (Sequence.reverse_complement (Sequence.dna "CCAATTGG")));
+  check Alcotest.string "revcomp asymmetric" "TTTGCA"
+    (Sequence.to_string (Sequence.reverse_complement (Sequence.dna "TGCAAA")));
+  check Alcotest.string "RNA complement uses U" "UACG"
+    (Sequence.to_string (Sequence.complement (Sequence.rna "AUGC")));
+  Alcotest.check_raises "protein cannot complement"
+    (Invalid_argument "Sequence.complement: protein sequence") (fun () ->
+      ignore (Sequence.complement (Sequence.protein "MK")))
+
+let test_sequence_transcription_letters () =
+  check Alcotest.string "to_rna" "ACGU" (Sequence.to_string (Sequence.to_rna (Sequence.dna "ACGT")));
+  check Alcotest.string "to_dna" "ACGT" (Sequence.to_string (Sequence.to_dna (Sequence.rna "ACGU")))
+
+let test_sequence_concat_rev () =
+  let a = Sequence.dna "AAA" and b = Sequence.dna "CCC" in
+  check Alcotest.string "append" "AAACCC" (Sequence.to_string (Sequence.append a b));
+  check Alcotest.string "rev" "TGC" (Sequence.to_string (Sequence.rev (Sequence.dna "CGT")));
+  Alcotest.check_raises "mixed alphabets"
+    (Invalid_argument "Sequence.concat: mixed alphabets") (fun () ->
+      ignore (Sequence.concat [ a; Sequence.rna "AAA" ]))
+
+let test_sequence_find () =
+  let s = Sequence.dna "ACGTACGTACGT" in
+  check (Alcotest.option Alcotest.int) "find" (Some 0) (Sequence.find ~pattern:"ACG" s);
+  check (Alcotest.option Alcotest.int) "find from 1" (Some 4)
+    (Sequence.find ~start:1 ~pattern:"ACG" s);
+  check (Alcotest.list Alcotest.int) "find_all" [ 0; 4; 8 ]
+    (Sequence.find_all ~pattern:"ACG" s);
+  check (Alcotest.list Alcotest.int) "overlapping" [ 0; 1; 2 ]
+    (Sequence.find_all ~pattern:"AA" (Sequence.dna "AAAA"));
+  check Alcotest.bool "ambiguity codes match in subject" true
+    (Sequence.contains ~pattern:"ACG" (Sequence.dna "NNACGNN"));
+  check Alcotest.bool "ambiguity in pattern" true
+    (Sequence.contains ~pattern:"ARG" (Sequence.dna "TTAGGTT"))
+
+let test_sequence_counts () =
+  let s = Sequence.dna "GGCCAATT" in
+  check Alcotest.int "gc_count" 4 (Sequence.gc_count s);
+  check Alcotest.int "count A" 2 (Sequence.count (fun c -> c = 'A') s)
+
+let test_sequence_serialization () =
+  List.iter
+    (fun s ->
+      match Sequence.of_bytes (Sequence.to_bytes s) with
+      | Ok s2 -> check Alcotest.bool "binary round trip" true (Sequence.equal s s2)
+      | Error msg -> Alcotest.failf "of_bytes failed: %s" msg)
+    [
+      Sequence.dna "ACGTACGTACGTA";
+      Sequence.dna "ACGTN";
+      Sequence.rna "ACGUACGU";
+      Sequence.protein "MKVLAW";
+      Sequence.empty Sequence.Dna;
+    ];
+  check Alcotest.bool "corrupt input rejected" true
+    (Result.is_error (Sequence.of_bytes (Bytes.of_string "garbage")))
+
+let test_sequence_compare () =
+  check Alcotest.bool "equal across encodings" true
+    (Sequence.equal (Sequence.dna "ACGT") (Sequence.dna "ACGT"));
+  check Alcotest.bool "lexicographic" true
+    (Sequence.compare (Sequence.dna "AAA") (Sequence.dna "AAC") < 0);
+  check Alcotest.bool "prefix is smaller" true
+    (Sequence.compare (Sequence.dna "AA") (Sequence.dna "AAA") < 0)
+
+(* ---- genetic codes -------------------------------------------------- *)
+
+let test_translate_codon () =
+  let t c = Amino_acid.to_char (Genetic_code.translate_codon Genetic_code.standard c) in
+  check Alcotest.char "ATG = Met" 'M' (t "ATG");
+  check Alcotest.char "AUG = Met (RNA)" 'M' (t "AUG");
+  check Alcotest.char "TAA = stop" '*' (t "TAA");
+  check Alcotest.char "TGG = Trp" 'W' (t "TGG");
+  check Alcotest.char "GGG = Gly" 'G' (t "GGG");
+  check Alcotest.char "TTT = Phe" 'F' (t "TTT")
+
+let test_code_differences () =
+  (* TGA: stop in standard, Trp in vertebrate mitochondrial *)
+  check Alcotest.char "TGA standard" '*'
+    (Amino_acid.to_char (Genetic_code.translate_codon Genetic_code.standard "TGA"));
+  check Alcotest.char "TGA mito" 'W'
+    (Amino_acid.to_char
+       (Genetic_code.translate_codon Genetic_code.vertebrate_mitochondrial "TGA"));
+  (* AGA: Arg in standard, stop in vertebrate mitochondrial *)
+  check Alcotest.char "AGA mito stop" '*'
+    (Amino_acid.to_char
+       (Genetic_code.translate_codon Genetic_code.vertebrate_mitochondrial "AGA"))
+
+let test_ambiguous_codon () =
+  (* GCN is alanine for any N *)
+  check Alcotest.char "GCN = Ala" 'A'
+    (Amino_acid.to_char (Genetic_code.translate_codon Genetic_code.standard "GCN"));
+  (* NNN is unknown *)
+  check Alcotest.char "NNN = Xaa" 'X'
+    (Amino_acid.to_char (Genetic_code.translate_codon Genetic_code.standard "NNN"))
+
+let test_start_stop () =
+  check Alcotest.bool "ATG starts" true
+    (Genetic_code.is_start_codon Genetic_code.standard "ATG");
+  check Alcotest.bool "TAA stops" true
+    (Genetic_code.is_stop_codon Genetic_code.standard "TAA");
+  check (Alcotest.list Alcotest.string) "standard stops" [ "TAA"; "TAG"; "TGA" ]
+    (Genetic_code.stop_codons Genetic_code.standard);
+  check Alcotest.bool "bacterial has GTG start" true
+    (Genetic_code.is_start_codon Genetic_code.bacterial "GTG")
+
+let test_back_translate () =
+  check Alcotest.int "6 Leu codons" 6
+    (List.length (Genetic_code.back_translate Genetic_code.standard Amino_acid.Leu));
+  check (Alcotest.list Alcotest.string) "Met codon" [ "ATG" ]
+    (Genetic_code.back_translate Genetic_code.standard Amino_acid.Met)
+
+let test_code_registry () =
+  check Alcotest.bool "by_id 1" true (Genetic_code.by_id 1 <> None);
+  check Alcotest.bool "by_id 2" true (Genetic_code.by_id 2 <> None);
+  check Alcotest.bool "by_id 11" true (Genetic_code.by_id 11 <> None);
+  check Alcotest.bool "by_id 99 absent" true (Genetic_code.by_id 99 = None)
+
+(* ---- locations ------------------------------------------------------ *)
+
+let test_location_parse_print () =
+  List.iter
+    (fun s ->
+      match Location.of_string s with
+      | Ok l -> check Alcotest.string ("round trip " ^ s) s (Location.to_string l)
+      | Error msg -> Alcotest.failf "parse %s failed: %s" s msg)
+    [ "42"; "1..10"; "complement(3..9)"; "join(1..10,20..30)";
+      "join(1..10,complement(20..30),45)";
+      "complement(join(1..5,8..12))" ]
+
+let test_location_invalid () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("rejects " ^ s) true (Result.is_error (Location.of_string s)))
+    [ ""; "0..5"; "10..5"; "join()"; "abc"; "1..2extra" ]
+
+let test_location_partial_markers () =
+  match Location.of_string "<1..>99" with
+  | Ok l -> check Alcotest.string "partial markers dropped" "1..99" (Location.to_string l)
+  | Error msg -> Alcotest.failf "partial parse failed: %s" msg
+
+let test_location_extract () =
+  let seq = Sequence.dna "AACCGGTTAA" in
+  let get s = Sequence.to_string (Location.extract (Result.get_ok (Location.of_string s)) seq) in
+  check Alcotest.string "range" "ACCG" (get "2..5");
+  check Alcotest.string "point" "A" (get "1");
+  (* bases 4..7 are CGGT; the complement strand read 5'->3' is ACCG *)
+  check Alcotest.string "complement" "ACCG" (get "complement(4..7)");
+  check Alcotest.string "join" "AAAA" (get "join(1..2,9..10)")
+
+let test_location_metrics () =
+  let l = Result.get_ok (Location.of_string "join(1..10,complement(20..30))") in
+  check Alcotest.int "length sums parts" 21 (Location.length l);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "span" (1, 30) (Location.span l);
+  check Alcotest.string "shift" "join(11..20,complement(30..40))"
+    (Location.to_string (Location.shift 10 l))
+
+(* ---- features ------------------------------------------------------- *)
+
+let test_feature_kinds () =
+  check Alcotest.string "CDS round trip" "CDS"
+    (Feature.kind_to_string (Feature.kind_of_string "cds"));
+  check Alcotest.string "unknown preserved" "misc_signal"
+    (Feature.kind_to_string (Feature.kind_of_string "misc_signal"))
+
+let test_feature_qualifiers () =
+  let f =
+    Feature.make ~qualifiers:[ ("gene", "lacZ"); ("note", "a"); ("note", "b") ]
+      Feature.Gene (Location.range 1 10)
+  in
+  check (Alcotest.option Alcotest.string) "first qualifier" (Some "a")
+    (Feature.qualifier f "note");
+  check (Alcotest.list Alcotest.string) "all qualifiers" [ "a"; "b" ]
+    (Feature.qualifier_all f "note");
+  check (Alcotest.option Alcotest.string) "name via gene" (Some "lacZ") (Feature.name f);
+  let f2 = Feature.with_qualifier f "db_xref" "X:1" in
+  check (Alcotest.option Alcotest.string) "appended" (Some "X:1")
+    (Feature.qualifier f2 "db_xref")
+
+let test_feature_overlap () =
+  let f1 = Feature.make Feature.Gene (Location.range 1 10) in
+  let f2 = Feature.make Feature.Cds (Location.range 5 20) in
+  let f3 = Feature.make Feature.Exon (Location.range 15 30) in
+  check Alcotest.bool "1 and 2 overlap" true (Feature.overlaps f1 f2);
+  check Alcotest.bool "1 and 3 disjoint" false (Feature.overlaps f1 f3)
+
+(* ---- genes / transcripts / proteins --------------------------------- *)
+
+let test_gene_validation () =
+  let dna = Sequence.dna (String.make 100 'A') in
+  check Alcotest.bool "valid gene" true
+    (Result.is_ok (Gene.make ~id:"g" ~exons:[ (0, 30); (50, 30) ] dna));
+  check Alcotest.bool "overlapping exons rejected" true
+    (Result.is_error (Gene.make ~id:"g" ~exons:[ (0, 30); (20, 30) ] dna));
+  check Alcotest.bool "out-of-bounds exon rejected" true
+    (Result.is_error (Gene.make ~id:"g" ~exons:[ (90, 20) ] dna));
+  check Alcotest.bool "empty exon rejected" true
+    (Result.is_error (Gene.make ~id:"g" ~exons:[ (0, 0) ] dna));
+  check Alcotest.bool "RNA rejected" true
+    (Result.is_error (Gene.make ~id:"g" (Sequence.rna "ACGU")))
+
+let test_gene_structure () =
+  let dna = Sequence.dna (String.make 100 'A') in
+  let g = Gene.make_exn ~id:"g" ~exons:[ (10, 20); (50, 30) ] dna in
+  check Alcotest.int "length" 100 (Gene.length g);
+  check Alcotest.int "exon count" 2 (Gene.exon_count g);
+  check Alcotest.int "exonic length" 50 (Gene.exonic_length g);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "introns"
+    [ (30, 20) ] (Gene.introns g);
+  check Alcotest.int "default single exon" 1
+    (Gene.exon_count (Gene.make_exn ~id:"g2" dna))
+
+let test_transcript_constructors () =
+  let rna = Sequence.rna (String.make 30 'A') in
+  let p =
+    Transcript.primary ~gene_id:"g" ~exons:[ (0, 10); (20, 10) ]
+      ~code:Genetic_code.standard rna
+  in
+  check Alcotest.int "primary length" 30 (Transcript.primary_length p);
+  let m = Transcript.mrna ~gene_id:"g" ~code:Genetic_code.standard rna in
+  check Alcotest.int "mrna length" 30 (Transcript.mrna_length m);
+  Alcotest.check_raises "DNA rejected for mRNA"
+    (Invalid_argument "Transcript.mrna: sequence must be RNA") (fun () ->
+      ignore (Transcript.mrna ~gene_id:"g" ~code:Genetic_code.standard (Sequence.dna "ACGT")))
+
+let test_protein_weight () =
+  (* glycine dipeptide: 2 * 57.0519 + water *)
+  let p = Protein.make_exn ~id:"p" (Sequence.protein "GG") in
+  let expected = (2. *. 57.0519) +. 18.01528 in
+  check (Alcotest.float 0.001) "GG weight" expected (Protein.molecular_weight p);
+  check (Alcotest.float 1e-9) "empty protein" 0.
+    (Protein.molecular_weight (Protein.make_exn ~id:"e" (Sequence.protein "")))
+
+let test_protein_hydropathy () =
+  let p = Protein.make_exn ~id:"p" (Sequence.protein "IIIII") in
+  let profile = Protein.hydropathy_profile p ~window:3 in
+  check Alcotest.int "profile length" 3 (Array.length profile);
+  check (Alcotest.float 0.001) "Ile hydropathy" 4.5 profile.(0);
+  Alcotest.check_raises "even window rejected"
+    (Invalid_argument "Protein.hydropathy_profile: window must be positive, odd, <= length")
+    (fun () -> ignore (Protein.hydropathy_profile p ~window:2))
+
+(* ---- chromosomes / genomes ------------------------------------------ *)
+
+let test_chromosome () =
+  let dna = Sequence.dna (String.make 50 'G') in
+  let f = Feature.make ~qualifiers:[ ("gene", "x") ] Feature.Gene (Location.range 10 20) in
+  let c = Chromosome.make_exn ~features:[ f ] ~name:"chr1" dna in
+  check Alcotest.int "one gene feature" 1
+    (List.length (Chromosome.features_of_kind c Feature.Gene));
+  check Alcotest.int "window query hits" 1
+    (List.length (Chromosome.features_overlapping c ~lo:15 ~hi:25));
+  check Alcotest.int "window query misses" 0
+    (List.length (Chromosome.features_overlapping c ~lo:30 ~hi:40));
+  check Alcotest.int "extracted gene" 11 (Sequence.length (Chromosome.feature_sequence c f));
+  check Alcotest.bool "oversized feature rejected" true
+    (Result.is_error
+       (Chromosome.make ~features:[ Feature.make Feature.Gene (Location.range 1 100) ]
+          ~name:"bad" dna))
+
+let test_genome () =
+  let chrom name = Chromosome.make_exn ~name (Sequence.dna (String.make 10 'A')) in
+  let g = Genome.make_exn ~organism:"Testus" [ chrom "c1"; chrom "c2" ] in
+  check Alcotest.int "total length" 20 (Genome.total_length g);
+  check Alcotest.bool "lookup" true (Genome.find_chromosome g "c1" <> None);
+  check Alcotest.bool "duplicate names rejected" true
+    (Result.is_error (Genome.make ~organism:"X" [ chrom "c"; chrom "c" ]))
+
+(* ---- uncertainty ----------------------------------------------------- *)
+
+let test_uncertain_basics () =
+  let u = Uncertain.certain 42 in
+  check Alcotest.int "best of certain" 42 (Uncertain.best u);
+  check Alcotest.bool "is_certain" true (Uncertain.is_certain u);
+  let u2 =
+    Uncertain.of_alternatives
+      [
+        { Uncertain.value = 1; confidence = 0.2; provenance = None };
+        { Uncertain.value = 2; confidence = 0.7; provenance = None };
+      ]
+  in
+  check Alcotest.int "best is highest confidence" 2 (Uncertain.best u2);
+  check (Alcotest.float 1e-9) "best confidence" 0.7 (Uncertain.best_confidence u2);
+  check Alcotest.bool "not certain" false (Uncertain.is_certain u2)
+
+let test_uncertain_map_bind () =
+  let u =
+    Uncertain.of_alternatives
+      [
+        { Uncertain.value = 1; confidence = 0.9; provenance = None };
+        { Uncertain.value = 2; confidence = 0.1; provenance = None };
+      ]
+  in
+  check Alcotest.int "map preserves order" 10 (Uncertain.best (Uncertain.map (( * ) 10) u));
+  let bound = Uncertain.bind (fun x -> Uncertain.make ~confidence:0.5 (x + 1)) u in
+  check (Alcotest.float 1e-9) "bind multiplies confidence" 0.45
+    (Uncertain.best_confidence bound);
+  let scaled = Uncertain.map_confidence ~factor:0.5 Fun.id u in
+  check (Alcotest.float 1e-9) "factor scales" 0.45 (Uncertain.best_confidence scaled)
+
+let test_uncertain_merge_prune () =
+  let a = Uncertain.make ~confidence:0.8 "x" in
+  let b =
+    Uncertain.of_alternatives
+      [
+        { Uncertain.value = "x"; confidence = 0.3; provenance = None };
+        { Uncertain.value = "y"; confidence = 0.6; provenance = None };
+      ]
+  in
+  let m = Uncertain.merge ~equal:String.equal a b in
+  check Alcotest.int "merged distinct values" 2 (Uncertain.cardinal m);
+  check Alcotest.string "x keeps higher confidence" "x" (Uncertain.best m);
+  let pruned = Uncertain.prune ~min_confidence:0.7 m in
+  check Alcotest.int "pruned to best" 1 (Uncertain.cardinal pruned);
+  (* prune never drops everything *)
+  let all_low = Uncertain.make ~confidence:0.1 "z" in
+  check Alcotest.int "keeps best even below threshold" 1
+    (Uncertain.cardinal (Uncertain.prune ~min_confidence:0.9 all_low))
+
+let test_uncertain_empty_rejected () =
+  Alcotest.check_raises "empty alternatives"
+    (Invalid_argument "Uncertain.of_alternatives: empty") (fun () ->
+      ignore (Uncertain.of_alternatives ([] : int Uncertain.alternative list)))
+
+let suites =
+  [
+    ( "gdt.nucleotide",
+      [
+        tc "roundtrip" `Quick test_nucleotide_roundtrip;
+        tc "lowercase" `Quick test_nucleotide_lowercase;
+        tc "invalid" `Quick test_nucleotide_invalid;
+        tc "complement involution" `Quick test_complement_involution;
+        tc "expand" `Quick test_expand;
+        tc "matches" `Quick test_matches;
+      ] );
+    ( "gdt.amino_acid",
+      [
+        tc "roundtrip" `Quick test_amino_roundtrip;
+        tc "three letter" `Quick test_amino_three_letter;
+        tc "masses" `Quick test_amino_masses;
+      ] );
+    ( "gdt.sequence",
+      [
+        tc "encodings" `Quick test_sequence_encodings;
+        tc "memory" `Quick test_sequence_memory;
+        tc "validation" `Quick test_sequence_validation;
+        tc "access" `Quick test_sequence_access;
+        tc "revcomp" `Quick test_sequence_revcomp;
+        tc "transcription letters" `Quick test_sequence_transcription_letters;
+        tc "concat/rev" `Quick test_sequence_concat_rev;
+        tc "find" `Quick test_sequence_find;
+        tc "counts" `Quick test_sequence_counts;
+        tc "serialization" `Quick test_sequence_serialization;
+        tc "compare" `Quick test_sequence_compare;
+      ] );
+    ( "gdt.genetic_code",
+      [
+        tc "translate codon" `Quick test_translate_codon;
+        tc "code differences" `Quick test_code_differences;
+        tc "ambiguous codon" `Quick test_ambiguous_codon;
+        tc "start/stop" `Quick test_start_stop;
+        tc "back translate" `Quick test_back_translate;
+        tc "registry" `Quick test_code_registry;
+      ] );
+    ( "gdt.location",
+      [
+        tc "parse/print" `Quick test_location_parse_print;
+        tc "invalid" `Quick test_location_invalid;
+        tc "partial markers" `Quick test_location_partial_markers;
+        tc "extract" `Quick test_location_extract;
+        tc "metrics" `Quick test_location_metrics;
+      ] );
+    ( "gdt.feature",
+      [
+        tc "kinds" `Quick test_feature_kinds;
+        tc "qualifiers" `Quick test_feature_qualifiers;
+        tc "overlap" `Quick test_feature_overlap;
+      ] );
+    ( "gdt.gene",
+      [
+        tc "validation" `Quick test_gene_validation;
+        tc "structure" `Quick test_gene_structure;
+      ] );
+    ( "gdt.transcript", [ tc "constructors" `Quick test_transcript_constructors ] );
+    ( "gdt.protein",
+      [
+        tc "weight" `Quick test_protein_weight;
+        tc "hydropathy" `Quick test_protein_hydropathy;
+      ] );
+    ( "gdt.chromosome", [ tc "features" `Quick test_chromosome ] );
+    ( "gdt.genome", [ tc "basics" `Quick test_genome ] );
+    ( "gdt.uncertain",
+      [
+        tc "basics" `Quick test_uncertain_basics;
+        tc "map/bind" `Quick test_uncertain_map_bind;
+        tc "merge/prune" `Quick test_uncertain_merge_prune;
+        tc "empty rejected" `Quick test_uncertain_empty_rejected;
+      ] );
+  ]

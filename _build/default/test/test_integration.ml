@@ -1,0 +1,223 @@
+(* Cross-library integration tests: full warehouse flows, mediator vs
+   warehouse result equality, biolang end-to-end, save/load continuity. *)
+
+open Genalg_formats
+open Genalg_etl
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Exec = Genalg_sqlx.Exec
+module Mediator = Genalg_mediator.Mediator
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let build_world seed =
+  let rng = Genalg_synth.Rng.make seed in
+  let repo_a = Genalg_synth.Recordgen.repository rng ~size:25 ~prefix:"INA" () in
+  let repo_b = Genalg_synth.Recordgen.repository rng ~size:25 ~prefix:"INB" () in
+  let src_a = Source.create ~name:"bank-a" Source.Logged Source.Flat_file repo_a in
+  let src_b = Source.create ~name:"bank-b" Source.Queryable Source.Hierarchical repo_b in
+  (rng, repo_a, repo_b, src_a, src_b)
+
+let test_warehouse_vs_mediator_results () =
+  (* the same selection through both architectures returns the same set *)
+  let _, repo_a, repo_b, src_a, src_b = build_world 201 in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  let db = Pipeline.database pl in
+  let organism = (List.hd repo_a).Entry.organism in
+  let sql =
+    Printf.sprintf
+      "SELECT accession FROM sequences WHERE organism = '%s' AND length >= 800" organism
+  in
+  let warehouse_accessions =
+    match Exec.query db ~actor:"u" sql with
+    | Ok (Exec.Rows rs) ->
+        List.filter_map
+          (fun r -> match r.(0) with D.Str s -> Some s | _ -> None)
+          rs.Exec.rows
+        |> List.sort String.compare
+    | _ -> Alcotest.fail "warehouse query failed"
+  in
+  let med =
+    Mediator.create
+      [
+        Source.create ~name:"bank-a" Source.Queryable Source.Flat_file repo_a;
+        Source.create ~name:"bank-b" Source.Queryable Source.Hierarchical repo_b;
+      ]
+  in
+  let results, _ =
+    Mediator.run ~reconcile:false med
+      { Mediator.organism = Some organism; min_length = Some 800; contains_motif = None }
+  in
+  let mediator_accessions =
+    List.map (fun (e : Entry.t) -> e.Entry.accession) results |> List.sort String.compare
+  in
+  check (Alcotest.list Alcotest.string) "architectures agree" mediator_accessions
+    warehouse_accessions
+
+let test_full_refresh_cycle_consistency () =
+  (* after a bootstrap + several refresh rounds, the warehouse content
+     equals what a fresh bootstrap over the final source state would give *)
+  let rng, repo_a, _, src_a, src_b = build_world 202 in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  (* three rounds of updates + refresh on source a *)
+  let state = ref repo_a in
+  for _ = 1 to 3 do
+    let next, ups = Genalg_synth.Recordgen.update_stream rng !state ~fraction:0.15 () in
+    state := next;
+    Source.apply src_a
+      (List.map
+         (function
+           | Genalg_synth.Recordgen.Insert e -> Source.Insert e
+           | Genalg_synth.Recordgen.Delete a -> Source.Delete a
+           | Genalg_synth.Recordgen.Modify e -> Source.Modify e)
+         ups);
+    ignore (Result.get_ok (Pipeline.refresh pl))
+  done;
+  let db = Pipeline.database pl in
+  let warehouse_accessions =
+    match Exec.query db ~actor:"u" "SELECT accession FROM sequences ORDER BY accession" with
+    | Ok (Exec.Rows rs) ->
+        List.filter_map (fun r -> match r.(0) with D.Str s -> Some s | _ -> None) rs.Exec.rows
+    | _ -> Alcotest.fail "query failed"
+  in
+  let expected =
+    (List.map (fun (e : Entry.t) -> e.Entry.accession) (Source.entries src_a)
+    @ List.map (fun (e : Entry.t) -> e.Entry.accession) (Source.entries src_b))
+    |> List.sort String.compare
+  in
+  check (Alcotest.list Alcotest.string) "incremental maintenance is exact" expected
+    warehouse_accessions
+
+let test_user_space_annotations () =
+  (* C13: a biologist stores self-generated data alongside public data and
+     joins across the boundary *)
+  let _, _, _, src_a, src_b = build_world 203 in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  let db = Pipeline.database pl in
+  let run actor sql =
+    match Exec.query db ~actor sql with
+    | Ok o -> o
+    | Error m -> Alcotest.failf "%s: %s" sql m
+  in
+  ignore (run "alice" "CREATE TABLE notes (accession string, note string)");
+  (* pick two real accessions *)
+  let accs =
+    match run "alice" "SELECT accession FROM sequences ORDER BY accession LIMIT 2" with
+    | Exec.Rows rs ->
+        List.filter_map (fun r -> match r.(0) with D.Str s -> Some s | _ -> None) rs.Exec.rows
+    | _ -> Alcotest.fail "no accessions"
+  in
+  List.iter
+    (fun acc ->
+      ignore
+        (run "alice" (Printf.sprintf "INSERT INTO notes VALUES ('%s', 'interesting')" acc)))
+    accs;
+  (* join user annotations with public data *)
+  match
+    run "alice"
+      "SELECT s.accession, n.note, gc_content(s.seq) FROM sequences s, notes n WHERE s.accession = n.accession ORDER BY s.accession"
+  with
+  | Exec.Rows rs ->
+      check Alcotest.int "joined rows" 2 (List.length rs.Exec.rows);
+      (* bob cannot see alice's notes *)
+      check Alcotest.bool "bob blocked" true
+        (Result.is_error (Exec.query db ~actor:"bob" "SELECT * FROM notes"))
+  | _ -> Alcotest.fail "join failed"
+
+let test_biolang_over_pipeline () =
+  let _, _, _, src_a, src_b = build_world 204 in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  let db = Pipeline.database pl in
+  match Genalg_biolang.Biolang.run db ~actor:"u" "count sequences" with
+  | Ok (Exec.Rows { rows = [ [| D.Int n |] ]; _ }) ->
+      check Alcotest.int "all records visible to biolang" 50 n
+  | _ -> Alcotest.fail "biolang count failed"
+
+let test_save_load_warehouse () =
+  let _, _, _, src_a, src_b = build_world 205 in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  let db = Pipeline.database pl in
+  let path = Filename.temp_file "genalg_integration" ".db" in
+  (match Db.save db path with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Db.load path with
+  | Error m -> Alcotest.fail m
+  | Ok db2 ->
+      (* re-attach the adapter (UDTs are not persisted) and query *)
+      Genalg_adapter.Adapter.attach db2 Genalg_core.Builtin.default;
+      (match
+         Exec.query db2 ~actor:"u"
+           "SELECT count(*) FROM sequences WHERE contains(seq, 'ACGTACGT')"
+       with
+      | Ok (Exec.Rows { rows = [ [| D.Int _ |] ]; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unexpected shape"
+      | Error m -> Alcotest.fail m));
+  Sys.remove path
+
+let test_genes_loaded_and_decodable () =
+  (* genes extracted by the wrapper land in the warehouse as opaque gene
+     UDTs and can be decoded back through the adapter *)
+  let rng = Genalg_synth.Rng.make 206 in
+  (* build entries whose CDS features are clean joins *)
+  let chrom, _genes = Genalg_synth.Genegen.chromosome rng ~gene_count:4 ~name:"c1" () in
+  let entry =
+    Entry.make ~accession:"GEN001" ~organism:"Synthetica primus"
+      ~features:chrom.Genalg_gdt.Chromosome.features chrom.Genalg_gdt.Chromosome.dna
+  in
+  let src = Source.create ~name:"bank" Source.Logged Source.Flat_file [ entry ] in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src ] ()) in
+  let stats = Result.get_ok (Pipeline.bootstrap pl) in
+  check Alcotest.int "four genes extracted" 4 stats.Loader.genes;
+  let db = Pipeline.database pl in
+  match Exec.query db ~actor:"u" "SELECT gene FROM genes ORDER BY id" with
+  | Ok (Exec.Rows rs) ->
+      check Alcotest.int "four gene rows" 4 (List.length rs.Exec.rows);
+      List.iter
+        (fun row ->
+          match Genalg_adapter.Adapter.of_db row.(0) with
+          | Ok (Genalg_core.Value.VGene g) -> (
+              match Genalg_core.Ops.decode g with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "stored gene does not decode: %s" m)
+          | _ -> Alcotest.fail "gene column did not decode")
+        rs.Exec.rows
+  | _ -> Alcotest.fail "gene query failed"
+
+let test_conflicts_surface_in_warehouse () =
+  (* two sources disagreeing about the same record produce conflict rows *)
+  let rng = Genalg_synth.Rng.make 207 in
+  let e = List.hd (Genalg_synth.Recordgen.repository rng ~size:1 ~prefix:"CNF" ()) in
+  let noisy = Genalg_synth.Recordgen.noisy_copy rng ~error_rate:0.03 ~rename:"CNFCOPY" e in
+  let src_a = Source.create ~name:"a" Source.Logged Source.Flat_file [ e ] in
+  let src_b = Source.create ~name:"b" Source.Logged Source.Flat_file [ noisy ] in
+  let pl = Result.get_ok (Pipeline.create ~sources:[ src_a; src_b ] ()) in
+  let stats = Result.get_ok (Pipeline.bootstrap pl) in
+  check Alcotest.int "merged to one record" 1 stats.Loader.entries;
+  check Alcotest.bool "conflict recorded" true (stats.Loader.conflicts >= 2);
+  let db = Pipeline.database pl in
+  match
+    Exec.query db ~actor:"u"
+      "SELECT source, confidence FROM conflicts ORDER BY confidence DESC"
+  with
+  | Ok (Exec.Rows rs) ->
+      check Alcotest.bool "both sources appear" true (List.length rs.Exec.rows >= 2)
+  | _ -> Alcotest.fail "conflicts query failed"
+
+let suites =
+  [
+    ( "integration",
+      [
+        tc "warehouse vs mediator agree" `Quick test_warehouse_vs_mediator_results;
+        tc "refresh cycles stay consistent" `Quick test_full_refresh_cycle_consistency;
+        tc "user space annotations" `Quick test_user_space_annotations;
+        tc "biolang over pipeline" `Quick test_biolang_over_pipeline;
+        tc "save/load warehouse" `Quick test_save_load_warehouse;
+        tc "genes decodable from warehouse" `Quick test_genes_loaded_and_decodable;
+        tc "conflicts surface" `Quick test_conflicts_surface_in_warehouse;
+      ] );
+  ]

@@ -1,0 +1,86 @@
+(* Unit tests for the query-driven mediator baseline (lib/mediator). *)
+
+open Genalg_formats
+module Source = Genalg_etl.Source
+module Mediator = Genalg_mediator.Mediator
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let fixture () =
+  let rng = Genalg_synth.Rng.make 55 in
+  let repo_a, repo_b, _pairs =
+    Genalg_synth.Recordgen.overlapping_repositories rng ~size:20 ~overlap:0.5
+      ~noise_fraction:0.0 ()
+  in
+  let src_a = Source.create ~name:"a" Source.Queryable Source.Flat_file repo_a in
+  let src_b = Source.create ~name:"b" Source.Queryable Source.Relational repo_b in
+  (repo_a, repo_b, Mediator.create ~latency_s:0.05 [ src_a; src_b ])
+
+let test_query_all () =
+  let repo_a, repo_b, m = fixture () in
+  let results, timing = Mediator.run ~reconcile:false m Mediator.query_all in
+  check Alcotest.int "everything shipped"
+    (List.length repo_a + List.length repo_b)
+    (List.length results);
+  check Alcotest.int "both sources contacted" 2 timing.Mediator.sources_contacted;
+  check Alcotest.bool "latency accounted" true (timing.Mediator.simulated_network_s >= 0.1)
+
+let test_reconcile_dedupes () =
+  let repo_a, repo_b, m = fixture () in
+  let all, _ = Mediator.run ~reconcile:false m Mediator.query_all in
+  let merged, _ = Mediator.run ~reconcile:true m Mediator.query_all in
+  check Alcotest.int "raw has duplicates"
+    (List.length repo_a + List.length repo_b)
+    (List.length all);
+  (* 10 shared exact copies collapse *)
+  check Alcotest.int "reconciled" 30 (List.length merged)
+
+let test_pushdown_reduces_transfer () =
+  let _, _, m = fixture () in
+  let q = { Mediator.query_all with Mediator.organism = Some "Synthetica primus" } in
+  let results, timing = Mediator.run ~reconcile:false m q in
+  let _, full_timing = Mediator.run ~reconcile:false m Mediator.query_all in
+  check Alcotest.bool "filter applied" true
+    (List.for_all (fun (e : Entry.t) -> e.Entry.organism = "Synthetica primus") results);
+  check Alcotest.bool "fewer records shipped" true
+    (timing.Mediator.records_shipped < full_timing.Mediator.records_shipped)
+
+let test_client_side_filters () =
+  let _, _, m = fixture () in
+  let q = { Mediator.query_all with Mediator.min_length = Some 1000 } in
+  let results, timing = Mediator.run ~reconcile:false m q in
+  check Alcotest.bool "length filter works" true
+    (List.for_all
+       (fun (e : Entry.t) -> Genalg_gdt.Sequence.length e.Entry.sequence >= 1000)
+       results);
+  (* the filter is NOT pushed down: everything still ships *)
+  check Alcotest.int "all records shipped anyway" 40 timing.Mediator.records_shipped
+
+let test_motif_filter () =
+  let rng = Genalg_synth.Rng.make 56 in
+  let e = List.hd (Genalg_synth.Recordgen.repository rng ~size:1 ()) in
+  let with_motif, _ =
+    Genalg_synth.Seqgen.plant_motif rng ~motif:"ATTGCCATAATTGCC" e.Entry.sequence
+  in
+  let entry2 = Entry.make ~accession:"MOTIF1" ~organism:e.Entry.organism with_motif in
+  let src = Source.create ~name:"s" Source.Queryable Source.Flat_file [ e; entry2 ] in
+  let m = Mediator.create [ src ] in
+  let results, _ =
+    Mediator.run ~reconcile:false m
+      { Mediator.query_all with Mediator.contains_motif = Some "ATTGCCATAATTGCC" }
+  in
+  check Alcotest.bool "motif row found" true
+    (List.exists (fun (r : Entry.t) -> r.Entry.accession = "MOTIF1") results)
+
+let suites =
+  [
+    ( "mediator",
+      [
+        tc "query all" `Quick test_query_all;
+        tc "reconcile dedupes" `Quick test_reconcile_dedupes;
+        tc "pushdown reduces transfer" `Quick test_pushdown_reduces_transfer;
+        tc "client-side filters" `Quick test_client_side_filters;
+        tc "motif filter" `Quick test_motif_filter;
+      ] );
+  ]

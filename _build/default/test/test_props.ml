@@ -1,0 +1,364 @@
+(* Property-based tests (QCheck) on core data structures and invariants. *)
+
+open Genalg_gdt
+module Q = QCheck2
+
+let dna_letters = "ACGT"
+let iupac_letters = "ACGTRYSWKMBDHVN"
+let protein_letters = "ACDEFGHIKLMNPQRSTVWY"
+
+let string_over letters =
+  Q.Gen.(
+    let letter = map (fun i -> letters.[i]) (int_bound (String.length letters - 1)) in
+    map
+      (fun cs -> String.init (List.length cs) (List.nth cs))
+      (list_size (int_bound 200) letter))
+
+let dna_gen = string_over dna_letters
+let iupac_gen = string_over iupac_letters
+let protein_gen = string_over protein_letters
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count:200 ~name gen prop)
+
+(* ---- sequence invariants ------------------------------------------------ *)
+
+let seq_props =
+  [
+    qtest "to_string (of_string s) = s" iupac_gen (fun s ->
+        Sequence.to_string (Sequence.dna s) = s);
+    qtest "revcomp is an involution" iupac_gen (fun s ->
+        let seq = Sequence.dna s in
+        Sequence.equal (Sequence.reverse_complement (Sequence.reverse_complement seq)) seq);
+    qtest "complement preserves length" iupac_gen (fun s ->
+        let seq = Sequence.dna s in
+        Sequence.length (Sequence.complement seq) = Sequence.length seq);
+    qtest "binary serialization round-trips (DNA)" iupac_gen (fun s ->
+        let seq = Sequence.dna s in
+        match Sequence.of_bytes (Sequence.to_bytes seq) with
+        | Ok seq2 -> Sequence.equal seq seq2
+        | Error _ -> false);
+    qtest "binary serialization round-trips (protein)" protein_gen (fun s ->
+        let seq = Sequence.protein s in
+        match Sequence.of_bytes (Sequence.to_bytes seq) with
+        | Ok seq2 -> Sequence.equal seq seq2
+        | Error _ -> false);
+    qtest "dna->rna->dna is the identity" dna_gen (fun s ->
+        let seq = Sequence.dna s in
+        Sequence.equal (Sequence.to_dna (Sequence.to_rna seq)) seq);
+    qtest "sub covers concat" Q.Gen.(pair dna_gen dna_gen) (fun (a, b) ->
+        let sa = Sequence.dna a and sb = Sequence.dna b in
+        let joined = Sequence.append sa sb in
+        Sequence.equal (Sequence.sub joined ~pos:0 ~len:(Sequence.length sa)) sa
+        && Sequence.equal
+             (Sequence.sub joined ~pos:(Sequence.length sa) ~len:(Sequence.length sb))
+             sb);
+    qtest "find agrees with a naive scan" Q.Gen.(pair dna_gen dna_gen) (fun (text, pat) ->
+        let pat = if String.length pat > 5 then String.sub pat 0 5 else pat in
+        Q.assume (String.length pat > 0);
+        let seq = Sequence.dna text in
+        Sequence.find_all ~pattern:pat seq
+        = Genalg_seqindex.Search.naive_find_all ~pattern:pat text);
+    qtest "gc_count <= length" iupac_gen (fun s ->
+        let seq = Sequence.dna s in
+        Sequence.gc_count seq <= Sequence.length seq);
+  ]
+
+(* ---- central dogma laws --------------------------------------------------- *)
+
+let gene_gen =
+  Q.Gen.(
+    map
+      (fun (seed, exons) ->
+        let rng = Genalg_synth.Rng.make seed in
+        Genalg_synth.Genegen.gene rng ~exon_count:(1 + exons) ~id:"prop" ())
+      (pair (int_bound 10000) (int_bound 4)))
+
+let dogma_props =
+  [
+    qtest "transcribe preserves length" gene_gen (fun g ->
+        Genalg_gdt.Transcript.primary_length (Genalg_core.Ops.transcribe g) = Gene.length g);
+    qtest "splice yields the exonic length" gene_gen (fun g ->
+        let m = Genalg_core.Ops.splice (Genalg_core.Ops.transcribe g) in
+        Genalg_gdt.Transcript.mrna_length m = Gene.exonic_length g);
+    qtest "decode succeeds on generated genes and starts with Met" gene_gen (fun g ->
+        match Genalg_core.Ops.decode g with
+        | Ok p -> Protein.length p > 0 && Sequence.get p.Protein.residues 0 = 'M'
+        | Error _ -> false);
+    qtest "reverse_transcribe inverts sequence-level transcription" dna_gen (fun s ->
+        let seq = Sequence.dna s in
+        Sequence.equal (Genalg_core.Ops.reverse_transcribe (Sequence.to_rna seq)) seq);
+    qtest "all 64 codons translate in every registered code" Q.Gen.(int_bound 63)
+      (fun i ->
+        let codon =
+          let bases = "TCAG" in
+          String.init 3 (fun k ->
+              bases.[match k with 0 -> i / 16 | 1 -> i / 4 mod 4 | _ -> i mod 4])
+        in
+        List.for_all
+          (fun code ->
+            match Genetic_code.translate_codon code codon with _ -> true)
+          (Genetic_code.all ()));
+  ]
+
+(* ---- alignment & diff ------------------------------------------------------- *)
+
+let align_props =
+  [
+    qtest "self-alignment score equals self-score" dna_gen (fun s ->
+        Q.assume (String.length s > 0);
+        let matrix = Genalg_align.Scoring.dna ~match_:1 ~mismatch:(-1) in
+        let score =
+          Genalg_align.Pairwise.score_only ~mode:Genalg_align.Pairwise.Global ~matrix
+            ~gap:(Genalg_align.Scoring.linear_gap 1) ~query:s ~subject:s ()
+        in
+        score = String.length s);
+    qtest "alignment score is symmetric (global, symmetric matrix)"
+      Q.Gen.(pair dna_gen dna_gen)
+      (fun (a, b) ->
+        let matrix = Genalg_align.Scoring.dna ~match_:1 ~mismatch:(-1) in
+        let gap = Genalg_align.Scoring.linear_gap 1 in
+        let s1 =
+          Genalg_align.Pairwise.score_only ~mode:Genalg_align.Pairwise.Global ~matrix ~gap
+            ~query:a ~subject:b ()
+        in
+        let s2 =
+          Genalg_align.Pairwise.score_only ~mode:Genalg_align.Pairwise.Global ~matrix ~gap
+            ~query:b ~subject:a ()
+        in
+        s1 = s2);
+    qtest "local score >= 0 and >= any exact shared substring" Q.Gen.(pair dna_gen dna_gen)
+      (fun (a, b) ->
+        let matrix = Genalg_align.Scoring.dna ~match_:1 ~mismatch:(-1) in
+        let s =
+          Genalg_align.Pairwise.score_only ~mode:Genalg_align.Pairwise.Local ~matrix
+            ~gap:(Genalg_align.Scoring.linear_gap 1) ~query:a ~subject:b ()
+        in
+        s >= 0);
+    qtest "diff applies to produce the target" Q.Gen.(pair dna_gen dna_gen) (fun (a, b) ->
+        let arr s = Array.init (String.length s) (String.get s) in
+        let script = Genalg_align.Lcs.diff ~equal:Char.equal (arr a) (arr b) in
+        match Genalg_align.Lcs.apply script (arr a) with
+        | Some out -> String.init (Array.length out) (Array.get out) = b
+        | None -> false);
+    qtest "LCS length = kept elements of the diff" Q.Gen.(pair dna_gen dna_gen)
+      (fun (a, b) ->
+        let arr s = Array.init (String.length s) (String.get s) in
+        let script = Genalg_align.Lcs.diff ~equal:Char.equal (arr a) (arr b) in
+        let keeps =
+          List.length
+            (List.filter (function Genalg_align.Lcs.Keep _ -> true | _ -> false) script)
+        in
+        keeps = Genalg_align.Lcs.length ~equal:Char.equal (arr a) (arr b));
+    qtest "levenshtein triangle inequality" Q.Gen.(triple dna_gen dna_gen dna_gen)
+      (fun (a, b, c) ->
+        let d = Genalg_align.Distance.levenshtein in
+        d a c <= d a b + d b c);
+  ]
+
+(* ---- index structures --------------------------------------------------------- *)
+
+let index_props =
+  [
+    qtest "suffix array finds what the scan finds" Q.Gen.(pair dna_gen (int_bound 1000))
+      (fun (text, seed) ->
+        Q.assume (String.length text >= 4);
+        let rng = Genalg_synth.Rng.make seed in
+        let plen = 1 + Genalg_synth.Rng.int rng (min 6 (String.length text)) in
+        let off = Genalg_synth.Rng.int rng (String.length text - plen + 1) in
+        let pattern = String.sub text off plen in
+        Genalg_seqindex.Suffix_array.find_all (Genalg_seqindex.Suffix_array.build text) pattern
+        = Genalg_seqindex.Search.naive_find_all ~pattern text);
+    qtest "kmer index finds what the scan finds" Q.Gen.(pair dna_gen (int_bound 1000))
+      (fun (text, seed) ->
+        Q.assume (String.length text >= 8);
+        let rng = Genalg_synth.Rng.make seed in
+        let plen = 4 + Genalg_synth.Rng.int rng (min 8 (String.length text - 3)) in
+        Q.assume (plen <= String.length text);
+        let off = Genalg_synth.Rng.int rng (String.length text - plen + 1) in
+        let pattern = String.sub text off plen in
+        Genalg_seqindex.Kmer_index.find_all
+          (Genalg_seqindex.Kmer_index.build ~k:4 text)
+          pattern
+        = Genalg_seqindex.Search.naive_find_all ~pattern text);
+  ]
+
+(* ---- storage ---------------------------------------------------------------------- *)
+
+let storage_props =
+  [
+    qtest "btree agrees with an association-list model"
+      Q.Gen.(list_size (int_bound 300) (pair (int_bound 50) (int_bound 1000)))
+      (fun pairs ->
+        let module Bt = Genalg_storage.Btree in
+        let module D = Genalg_storage.Dtype in
+        let t = Bt.create () in
+        let model = Hashtbl.create 16 in
+        List.iteri
+          (fun i (k, _) ->
+            let rid = { Genalg_storage.Heap.page = i; slot = 0 } in
+            Bt.insert t (D.Int k) rid;
+            Hashtbl.replace model k
+              (rid :: Option.value (Hashtbl.find_opt model k) ~default:[]))
+          pairs;
+        Hashtbl.fold
+          (fun k expected ok ->
+            ok && Bt.find t (D.Int k) = List.rev expected)
+          model true);
+    qtest "row encoding round-trips"
+      Q.Gen.(
+        list_size (int_bound 12)
+          (oneof
+             [
+               return Genalg_storage.Dtype.Null;
+               map (fun b -> Genalg_storage.Dtype.Bool b) bool;
+               map (fun i -> Genalg_storage.Dtype.Int i) int;
+               map (fun f -> Genalg_storage.Dtype.Float f) (float_bound_inclusive 1e6);
+               map (fun s -> Genalg_storage.Dtype.Str s) string_printable;
+             ]))
+      (fun vals ->
+        let module D = Genalg_storage.Dtype in
+        let row = Array.of_list vals in
+        let back = D.decode_row (D.encode_row row) in
+        Array.length back = Array.length row
+        && Array.for_all2 D.equal_value row back);
+  ]
+
+(* ---- formats & xml ------------------------------------------------------------------ *)
+
+let entry_gen =
+  Q.Gen.(
+    map
+      (fun seed ->
+        let rng = Genalg_synth.Rng.make seed in
+        List.hd (Genalg_synth.Recordgen.repository rng ~size:1 ~seq_length:300 ()))
+      (int_bound 100000))
+
+let format_props =
+  [
+    qtest "GenBank print/parse round-trips entries" entry_gen (fun e ->
+        match Genalg_formats.Genbank.parse_one (Genalg_formats.Genbank.print_one e) with
+        | Ok e2 -> Genalg_formats.Entry.equal e e2
+        | Error _ -> false);
+    qtest "EMBL print/parse round-trips entries" entry_gen (fun e ->
+        match Genalg_formats.Embl.parse_one (Genalg_formats.Embl.print_one e) with
+        | Ok e2 -> Genalg_formats.Entry.equal e e2
+        | Error _ -> false);
+    qtest "AceDB tree round-trips entries" entry_gen (fun e ->
+        let tree = Genalg_formats.Acedb.of_entry e in
+        match Genalg_formats.Acedb.parse (Genalg_formats.Acedb.print tree) with
+        | Error _ -> false
+        | Ok tree2 -> (
+            match Genalg_formats.Acedb.to_entry tree2 with
+            | Ok e2 -> Genalg_formats.Entry.equal e e2
+            | Error _ -> false));
+    qtest "GenAlgXML round-trips DNA values" iupac_gen (fun s ->
+        let v = Genalg_core.Value.VDna (Sequence.dna s) in
+        match Genalg_xml.Genalgxml.of_string (Genalg_xml.Genalgxml.to_string v) with
+        | Ok v2 -> Genalg_core.Value.equal v v2
+        | Error _ -> false);
+    qtest "tree diff of a tree with itself is empty" entry_gen (fun e ->
+        let tree = Genalg_formats.Acedb.of_entry e in
+        Genalg_etl.Tree_diff.diff tree tree = []);
+  ]
+
+(* ---- new operations & genomic index ----------------------------------- *)
+
+let protein20_gen = string_over "ACDEFGHIKLMNPQRSTVWY"
+
+let extra_props =
+  [
+    qtest "back_translate: first-codon concretization translates back"
+      protein20_gen
+      (fun p ->
+        Q.assume (String.length p > 0);
+        let protein = Sequence.protein p in
+        let consensus = Genalg_core.Ops.back_translate protein in
+        (* concretize by picking each residue's first codon *)
+        let concrete =
+          String.concat ""
+            (List.map
+               (fun c ->
+                 List.hd
+                   (Genetic_code.back_translate Genetic_code.standard
+                      (Amino_acid.of_char_exn c)))
+               (List.init (String.length p) (String.get p)))
+        in
+        (* the concretization translates back to the protein ... *)
+        let back =
+          Genalg_core.Ops.translate_frame ~frame:0 (Sequence.dna concrete)
+        in
+        Sequence.equal back protein
+        (* ... and matches the IUPAC consensus position-wise *)
+        && Sequence.length consensus = String.length concrete
+        && (let ok = ref true in
+            String.iteri
+              (fun i c ->
+                let a = Nucleotide.of_char_exn c in
+                let b = Nucleotide.of_char_exn (Sequence.get consensus i) in
+                if not (Nucleotide.matches a b) then ok := false)
+              concrete;
+            !ok));
+    qtest "longest_repeat really occurs twice" dna_gen (fun s ->
+        Q.assume (String.length s >= 2);
+        match Genalg_core.Ops.longest_repeat (Sequence.dna s) with
+        | None -> true
+        | Some (p1, p2, len) ->
+            p1 <> p2 && len > 0
+            && p1 + len <= String.length s
+            && p2 + len <= String.length s
+            && String.sub s p1 len = String.sub s p2 len);
+    qtest "genomic index agrees with a scan (table level)"
+      Q.Gen.(pair (int_bound 10000) (int_bound 10000))
+      (fun (seed, pseed) ->
+        let module Db = Genalg_storage.Database in
+        let module Table = Genalg_storage.Table in
+        let module D = Genalg_storage.Dtype in
+        let rng = Genalg_synth.Rng.make seed in
+        let db = Db.create () in
+        Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+        let schema =
+          Genalg_storage.Schema.make_exn
+            [
+              { Genalg_storage.Schema.name = "id"; dtype = D.TInt; nullable = false };
+              { Genalg_storage.Schema.name = "seq"; dtype = D.TOpaque "dna"; nullable = false };
+            ]
+        in
+        let table =
+          Result.get_ok
+            (Db.create_table db ~actor:Db.loader_actor ~space:Db.Public ~name:"t" schema)
+        in
+        let texts =
+          List.init 30 (fun i ->
+              let t = Genalg_synth.Seqgen.dna_string rng (30 + Genalg_synth.Rng.int rng 60) in
+              ignore
+                (Table.insert_exn table
+                   [| D.Int i; D.Opaque ("dna", Sequence.to_bytes (Sequence.dna t)) |]);
+              t)
+        in
+        ignore (Table.create_genomic_index ~k:6 table ~column:"seq" ~registry:(Db.udts db));
+        let prng = Genalg_synth.Rng.make pseed in
+        let source = List.nth texts (Genalg_synth.Rng.int prng 30) in
+        let plen = 6 + Genalg_synth.Rng.int prng 8 in
+        let off = Genalg_synth.Rng.int prng (max 1 (String.length source - plen)) in
+        let pattern = String.sub source off (min plen (String.length source - off)) in
+        let expected =
+          List.filteri (fun _ t -> Sequence.contains ~pattern (Sequence.dna t)) texts
+          |> List.length
+        in
+        match Table.genomic_search table ~column:"seq" ~pattern with
+        | `Hits hits -> List.length hits = expected
+        | `Unsupported_pattern -> String.length pattern < 6
+        | `No_index -> false);
+  ]
+
+let suites =
+  [
+    ("props.sequence", seq_props);
+    ("props.dogma", dogma_props);
+    ("props.align", align_props);
+    ("props.index", index_props);
+    ("props.storage", storage_props);
+    ("props.formats", format_props);
+    ("props.extra", extra_props);
+  ]

@@ -1,0 +1,127 @@
+(* Unit tests for the genomic index structures (lib/seqindex). *)
+
+open Genalg_seqindex
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let text = "ACGTACGTACGTTTTACGT"
+
+let test_naive () =
+  check (Alcotest.list Alcotest.int) "all" [ 0; 4; 8; 15 ]
+    (Search.naive_find_all ~pattern:"ACGT" text);
+  check (Alcotest.option Alcotest.int) "first" (Some 0)
+    (Search.naive_find ~pattern:"ACGT" text);
+  check (Alcotest.option Alcotest.int) "from offset" (Some 4)
+    (Search.naive_find ~start:1 ~pattern:"ACGT" text);
+  check (Alcotest.list Alcotest.int) "absent" []
+    (Search.naive_find_all ~pattern:"GGGG" text);
+  check (Alcotest.list Alcotest.int) "empty pattern" []
+    (Search.naive_find_all ~pattern:"" text)
+
+let test_horspool_agrees_with_naive () =
+  let rng = Genalg_synth.Rng.make 11 in
+  for _ = 1 to 30 do
+    let t = Genalg_synth.Seqgen.dna_string rng 300 in
+    let plen = 2 + Genalg_synth.Rng.int rng 8 in
+    let off = Genalg_synth.Rng.int rng (300 - plen) in
+    let pattern = String.sub t off plen in
+    check (Alcotest.list Alcotest.int) ("horspool = naive for " ^ pattern)
+      (Search.naive_find_all ~pattern t)
+      (Search.horspool_find_all ~pattern t)
+  done
+
+let test_horspool_overlapping () =
+  check (Alcotest.list Alcotest.int) "overlapping occurrences" [ 0; 1; 2 ]
+    (Search.horspool_find_all ~pattern:"AA" "AAAA")
+
+let test_kmer_index () =
+  let idx = Kmer_index.build ~k:4 text in
+  check Alcotest.int "k" 4 (Kmer_index.k idx);
+  check (Alcotest.list Alcotest.int) "find_all matches naive" [ 0; 4; 8; 15 ]
+    (Kmer_index.find_all idx "ACGT");
+  check (Alcotest.option Alcotest.int) "longer pattern verified" (Some 0)
+    (Kmer_index.find idx "ACGTACGT");
+  check Alcotest.bool "contains" true (Kmer_index.contains idx "TTTA");
+  check Alcotest.bool "absent" false (Kmer_index.contains idx "GGGG");
+  Alcotest.check_raises "short pattern rejected"
+    (Invalid_argument "Kmer_index.find_all: pattern shorter than k") (fun () ->
+      ignore (Kmer_index.find_all idx "AC"))
+
+let test_kmer_index_ambiguous_text () =
+  (* k-mers crossing an N are skipped but search falls back correctly *)
+  let idx = Kmer_index.build ~k:4 "ACGTNACGT" in
+  check (Alcotest.list Alcotest.int) "windows without N only" [ 0; 5 ]
+    (Kmer_index.find_all idx "ACGT")
+
+let test_kmer_index_random_agreement () =
+  let rng = Genalg_synth.Rng.make 13 in
+  let t = Genalg_synth.Seqgen.dna_string rng 2000 in
+  let idx = Kmer_index.build ~k:8 t in
+  for _ = 1 to 20 do
+    let plen = 8 + Genalg_synth.Rng.int rng 12 in
+    let off = Genalg_synth.Rng.int rng (2000 - plen) in
+    let pattern = String.sub t off plen in
+    check (Alcotest.list Alcotest.int) "kmer = naive"
+      (Search.naive_find_all ~pattern t)
+      (Kmer_index.find_all idx pattern)
+  done
+
+let test_suffix_array_sorted () =
+  let sa = Suffix_array.build "BANANA" in
+  (* suffix order: A, ANA, ANANA, BANANA, NA, NANA -> 5 3 1 0 4 2 *)
+  check (Alcotest.list Alcotest.int) "banana suffixes" [ 5; 3; 1; 0; 4; 2 ]
+    (Array.to_list (Suffix_array.suffixes sa))
+
+let test_suffix_array_search () =
+  let sa = Suffix_array.build text in
+  check (Alcotest.list Alcotest.int) "ACGT occurrences" [ 0; 4; 8; 15 ]
+    (Suffix_array.find_all sa "ACGT");
+  check (Alcotest.option Alcotest.int) "leftmost" (Some 0) (Suffix_array.find sa "ACGT");
+  check Alcotest.bool "contains short" true (Suffix_array.contains sa "TTT");
+  check Alcotest.bool "absent" false (Suffix_array.contains sa "GGG");
+  check (Alcotest.list Alcotest.int) "empty pattern" [] (Suffix_array.find_all sa "")
+
+let test_suffix_array_random_agreement () =
+  let rng = Genalg_synth.Rng.make 17 in
+  let t = Genalg_synth.Seqgen.dna_string rng 1000 in
+  let sa = Suffix_array.build t in
+  for _ = 1 to 20 do
+    let plen = 1 + Genalg_synth.Rng.int rng 12 in
+    let off = Genalg_synth.Rng.int rng (1000 - plen) in
+    let pattern = String.sub t off plen in
+    check (Alcotest.list Alcotest.int) "sa = naive"
+      (Search.naive_find_all ~pattern t)
+      (Suffix_array.find_all sa pattern)
+  done
+
+let test_longest_repeat () =
+  match Suffix_array.longest_repeat (Suffix_array.build "ABCDABC") with
+  | Some (p1, p2, len) ->
+      check Alcotest.int "repeat length" 3 len;
+      check Alcotest.int "first position" 0 p1;
+      check Alcotest.int "second position" 4 p2
+  | None -> Alcotest.fail "expected a repeat"
+
+let suites =
+  [
+    ( "seqindex.search",
+      [
+        tc "naive" `Quick test_naive;
+        tc "horspool vs naive" `Quick test_horspool_agrees_with_naive;
+        tc "horspool overlap" `Quick test_horspool_overlapping;
+      ] );
+    ( "seqindex.kmer",
+      [
+        tc "basics" `Quick test_kmer_index;
+        tc "ambiguous text" `Quick test_kmer_index_ambiguous_text;
+        tc "random agreement" `Quick test_kmer_index_random_agreement;
+      ] );
+    ( "seqindex.suffix_array",
+      [
+        tc "sorted" `Quick test_suffix_array_sorted;
+        tc "search" `Quick test_suffix_array_search;
+        tc "random agreement" `Quick test_suffix_array_random_agreement;
+        tc "longest repeat" `Quick test_longest_repeat;
+      ] );
+  ]

@@ -1,0 +1,481 @@
+(* Unit tests for the extended query language (lib/sqlx). *)
+
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Schema = Genalg_storage.Schema
+module Ast = Genalg_sqlx.Ast
+module Parser = Genalg_sqlx.Parser
+module Eval = Genalg_sqlx.Eval
+module Plan = Genalg_sqlx.Plan
+module Exec = Genalg_sqlx.Exec
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---- lexer/parser ------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  (* parse |> print |> parse must be stable *)
+  let stable input =
+    match Parser.parse input with
+    | Error msg -> Alcotest.failf "parse %s failed: %s" input msg
+    | Ok stmt -> (
+        let printed = Ast.stmt_to_string stmt in
+        match Parser.parse printed with
+        | Error msg -> Alcotest.failf "reparse %s failed: %s" printed msg
+        | Ok stmt2 ->
+            check Alcotest.string ("stable " ^ input) printed (Ast.stmt_to_string stmt2))
+  in
+  List.iter stable
+    [
+      "SELECT * FROM t";
+      "SELECT a, b AS bee FROM t WHERE a = 1 AND b <> 'x'";
+      "SELECT count(*) FROM t GROUP BY a HAVING count(*) > 2";
+      "SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 5";
+      "SELECT t1.a, t2.b FROM t1, t2 x WHERE t1.a = x.b";
+      "SELECT gc_content(seq) FROM sequences WHERE contains(seq, 'ATG')";
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')";
+      "CREATE TABLE t (a int NOT NULL, b string, s dna)";
+      "CREATE INDEX ON t (a)";
+      "CREATE GENOMIC INDEX ON t (s)";
+      "ANALYZE t";
+      "DROP TABLE t";
+      "DELETE FROM t WHERE a < 3";
+      "SELECT a + b * 2 - -c FROM t WHERE NOT (a LIKE 'x%')";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun input ->
+      check Alcotest.bool ("rejects " ^ input) true (Result.is_error (Parser.parse input)))
+    [
+      ""; "SELECT"; "SELECT FROM t"; "SELECT * FROM"; "SELECT * FROM t WHERE";
+      "FROB x"; "SELECT * FROM t LIMIT 'x'"; "SELECT a FROM t GROUP";
+      "INSERT INTO t VALUES"; "SELECT * FROM t extra garbage here (";
+    ]
+
+let test_string_escapes () =
+  match Parser.parse "SELECT * FROM t WHERE a = 'it''s'" with
+  | Ok (Ast.Select { where = Some (Ast.Binop (Ast.Eq, _, Ast.Lit (D.Str s))); _ }) ->
+      check Alcotest.string "unescaped quote" "it's" s
+  | _ -> Alcotest.fail "quoted string with escape failed"
+
+(* ---- expression evaluation --------------------------------------------- *)
+
+let eval_const input =
+  match Parser.parse_expr input with
+  | Error msg -> Alcotest.failf "parse_expr %s: %s" input msg
+  | Ok e -> Eval.eval Eval.empty_env e
+
+let test_eval_arithmetic () =
+  check Alcotest.bool "1+2*3" true (eval_const "1 + 2 * 3" = Ok (D.Int 7));
+  check Alcotest.bool "mixed float" true (eval_const "1 + 0.5" = Ok (D.Float 1.5));
+  check Alcotest.bool "division by zero" true (Result.is_error (eval_const "1 / 0"));
+  check Alcotest.bool "unary minus" true (eval_const "-(2 + 3)" = Ok (D.Int (-5)))
+
+let test_eval_comparisons () =
+  check Alcotest.bool "lt" true (eval_const "1 < 2" = Ok (D.Bool true));
+  check Alcotest.bool "string eq" true (eval_const "'a' = 'a'" = Ok (D.Bool true));
+  check Alcotest.bool "int/float compare" true (eval_const "2 = 2.0" = Ok (D.Bool true));
+  check Alcotest.bool "null propagates" true (eval_const "NULL = 1" = Ok D.Null)
+
+let test_eval_logic () =
+  check Alcotest.bool "and" true (eval_const "TRUE AND FALSE" = Ok (D.Bool false));
+  check Alcotest.bool "or short-circuit with null" true
+    (eval_const "TRUE OR NULL" = Ok (D.Bool true));
+  check Alcotest.bool "and with null" true (eval_const "TRUE AND NULL" = Ok D.Null);
+  check Alcotest.bool "false and null = false" true
+    (eval_const "FALSE AND NULL" = Ok (D.Bool false));
+  check Alcotest.bool "not" true (eval_const "NOT FALSE" = Ok (D.Bool true))
+
+let test_eval_like () =
+  check Alcotest.bool "percent" true (eval_const "'hello' LIKE 'he%'" = Ok (D.Bool true));
+  check Alcotest.bool "underscore" true (eval_const "'cat' LIKE 'c_t'" = Ok (D.Bool true));
+  check Alcotest.bool "middle" true (eval_const "'abcdef' LIKE '%cd%'" = Ok (D.Bool true));
+  check Alcotest.bool "no match" true (eval_const "'abc' LIKE 'x%'" = Ok (D.Bool false));
+  check Alcotest.bool "exact" true (eval_const "'abc' LIKE 'abc'" = Ok (D.Bool true));
+  check Alcotest.bool "empty pattern" true (eval_const "'a' LIKE ''" = Ok (D.Bool false))
+
+let test_eval_builtins () =
+  check Alcotest.bool "upper" true (eval_const "upper('abc')" = Ok (D.Str "ABC"));
+  check Alcotest.bool "strlen" true (eval_const "strlen('abcd')" = Ok (D.Int 4));
+  check Alcotest.bool "coalesce" true (eval_const "coalesce(NULL, 5)" = Ok (D.Int 5));
+  check Alcotest.bool "substr" true (eval_const "substr('hello', 1, 3)" = Ok (D.Str "ell"));
+  check Alcotest.bool "unknown fn" true (Result.is_error (eval_const "nope(1)"))
+
+(* ---- planner -------------------------------------------------------------- *)
+
+let catalog ?(genomic = []) ~indexed () =
+  {
+    Plan.has_index = (fun ~table:_ ~column -> List.mem column indexed);
+    has_genomic_index = (fun ~table:_ ~column -> List.mem column genomic);
+    column_exists = (fun ~table:_ ~column:_ -> true);
+    equality_selectivity = (fun ~table:_ ~column:_ -> None);
+  }
+
+let select_of input =
+  match Parser.parse input with
+  | Ok (Ast.Select s) -> s
+  | _ -> Alcotest.fail ("not a select: " ^ input)
+
+let test_plan_pushdown () =
+  let s = select_of "SELECT * FROM a, b WHERE a.x = 1 AND b.y = 2 AND a.x = b.y" in
+  let p = Plan.make (catalog ~indexed:[] ()) s in
+  check Alcotest.int "two tables" 2 (List.length p.Plan.tables);
+  check Alcotest.int "one join filter" 1 (List.length p.Plan.join_filters);
+  List.iter
+    (fun (tp : Plan.table_plan) ->
+      check Alcotest.int ("one local filter on " ^ tp.Plan.table) 1
+        (List.length tp.Plan.filters))
+    p.Plan.tables
+
+let test_plan_index_selection () =
+  let s = select_of "SELECT * FROM t WHERE id = 42 AND name = 'x'" in
+  let p = Plan.make (catalog ~indexed:[ "id" ] ()) s in
+  match p.Plan.tables with
+  | [ tp ] -> (
+      (match tp.Plan.access with
+      | Plan.Index_eq { column; key } ->
+          check Alcotest.string "indexed column" "id" column;
+          check Alcotest.bool "key" true (D.equal_value key (D.Int 42))
+      | _ -> Alcotest.fail "expected an index access");
+      check Alcotest.int "residual filter" 1 (List.length tp.Plan.filters))
+  | _ -> Alcotest.fail "one table expected"
+
+let test_plan_range_index () =
+  let s = select_of "SELECT * FROM t WHERE id >= 10" in
+  let p = Plan.make (catalog ~indexed:[ "id" ] ()) s in
+  match (List.hd p.Plan.tables).Plan.access with
+  | Plan.Index_range { lo = Some lo; hi = None; lo_inclusive = true; _ } ->
+      check Alcotest.bool "lo bound" true (D.equal_value lo (D.Int 10))
+  | _ -> Alcotest.fail "expected range access"
+
+let test_plan_predicate_ordering () =
+  (* the expensive resembles() must be ordered after the cheap equality *)
+  let s =
+    select_of
+      "SELECT * FROM t WHERE resembles(seq, dna('ACGTACGT')) >= 0.8 AND organism = 'x'"
+  in
+  let p = Plan.make (catalog ~indexed:[] ()) s in
+  (match (List.hd p.Plan.tables).Plan.filters with
+  | [ first; second ] ->
+      check Alcotest.bool "cheap predicate first" true
+        (Plan.predicate_cost first < Plan.predicate_cost second)
+  | _ -> Alcotest.fail "two filters expected");
+  (* naive mode preserves source order *)
+  let naive = Plan.make ~optimize:false (catalog ~indexed:[] ()) s in
+  match (List.hd naive.Plan.tables).Plan.filters with
+  | first :: _ ->
+      check Alcotest.bool "naive keeps source order" true
+        (Plan.predicate_cost first > 1000.)
+  | _ -> Alcotest.fail "naive filters missing"
+
+let test_selectivity_model () =
+  let sel input =
+    match Parser.parse_expr input with
+    | Ok e -> Plan.predicate_selectivity e
+    | Error msg -> Alcotest.fail msg
+  in
+  check Alcotest.bool "long motif is selective" true
+    (sel "contains(seq, 'ATTGCCATA')" < 0.01);
+  check Alcotest.bool "short motif is not" true (sel "contains(seq, 'AT')" > 0.5);
+  check Alcotest.bool "equality default" true (sel "a = 1" = 0.05);
+  check Alcotest.bool "conjunction multiplies" true (sel "a = 1 AND b = 2" < 0.01)
+
+(* ---- executor ---------------------------------------------------------------- *)
+
+let fixture_db () =
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let run sql =
+    match Exec.query db ~actor:Db.loader_actor sql with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "fixture: %s (%s)" msg sql
+  in
+  ignore (run "CREATE TABLE frag (id int NOT NULL, organism string, seq dna, len int)");
+  let insert id organism seq =
+    ignore
+      (run
+         (Printf.sprintf "INSERT INTO frag VALUES (%d, '%s', dna('%s'), %d)" id organism
+            seq (String.length seq)))
+  in
+  insert 1 "ecoli" "ATTGCCATAGGCC";
+  insert 2 "ecoli" "ACGTACGTACGT";
+  insert 3 "yeast" "GGGGCCCCATTGCCATA";
+  insert 4 "yeast" "TTTTTTTT";
+  insert 5 "human" "ATGAAATAGATTGCCATA";
+  (db, run)
+
+let rows_of = function
+  | Exec.Rows rs -> rs
+  | _ -> Alcotest.fail "expected rows"
+
+let test_exec_select_where () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u" "SELECT id FROM frag WHERE organism = 'ecoli' ORDER BY id"))
+  in
+  check Alcotest.int "two rows" 2 (List.length rs.Exec.rows);
+  check (Alcotest.list Alcotest.string) "columns" [ "id" ] rs.Exec.columns
+
+let test_exec_udf_in_where () =
+  (* the paper's flagship example: contains() inside WHERE *)
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT id FROM frag WHERE contains(seq, 'ATTGCCATA') ORDER BY id"))
+  in
+  let ids = List.map (fun r -> r.(0)) rs.Exec.rows in
+  check Alcotest.bool "ids 1,3,5" true
+    (List.map (function D.Int i -> i | _ -> -1) ids = [ 1; 3; 5 ])
+
+let test_exec_udf_in_projection () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT id, gc_content(seq) AS gc FROM frag WHERE id = 4"))
+  in
+  match rs.Exec.rows with
+  | [ [| _; D.Float gc |] ] -> check (Alcotest.float 1e-9) "gc of T8" 0. gc
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_exec_order_and_limit () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u" "SELECT id FROM frag ORDER BY len DESC LIMIT 2"))
+  in
+  check Alcotest.int "limit" 2 (List.length rs.Exec.rows);
+  match rs.Exec.rows with
+  | [ [| D.Int first |]; [| D.Int second |] ] ->
+      check Alcotest.int "longest first" 5 first;
+      check Alcotest.int "second longest" 3 second
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_exec_aggregates () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT organism, count(*) AS n, avg(len) AS mean FROM frag GROUP BY organism ORDER BY organism"))
+  in
+  check Alcotest.int "three groups" 3 (List.length rs.Exec.rows);
+  (match rs.Exec.rows with
+  | [| D.Str "ecoli"; D.Int 2; D.Float mean |] :: _ ->
+      check (Alcotest.float 0.01) "ecoli mean" 12.5 mean
+  | _ -> Alcotest.fail "ecoli group wrong");
+  let total =
+    rows_of (Result.get_ok (Exec.query db ~actor:"u" "SELECT count(*) FROM frag"))
+  in
+  check Alcotest.bool "count(*) = 5" true
+    (match total.Exec.rows with [ [| D.Int 5 |] ] -> true | _ -> false)
+
+let test_exec_having () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT organism FROM frag GROUP BY organism HAVING count(*) > 1 ORDER BY organism"))
+  in
+  check Alcotest.int "two multi-row organisms" 2 (List.length rs.Exec.rows)
+
+let test_exec_join () =
+  let db, run = fixture_db () in
+  ignore (run "CREATE TABLE tax (organism string, kingdom string)");
+  ignore
+    (run
+       "INSERT INTO tax VALUES ('ecoli', 'bacteria'), ('yeast', 'fungi'), ('human', 'animalia')");
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT f.id, t.kingdom FROM frag f, tax t WHERE f.organism = t.organism AND t.kingdom = 'fungi' ORDER BY f.id"))
+  in
+  check Alcotest.int "yeast rows" 2 (List.length rs.Exec.rows)
+
+let test_exec_index_equivalence () =
+  let db, run = fixture_db () in
+  let q = "SELECT id FROM frag WHERE organism = 'yeast' ORDER BY id" in
+  let before = rows_of (Result.get_ok (Exec.query db ~actor:"u" q)) in
+  ignore (run "CREATE INDEX ON frag (organism)");
+  let after = rows_of (Result.get_ok (Exec.query db ~actor:"u" q)) in
+  check Alcotest.bool "index does not change results" true
+    (before.Exec.rows = after.Exec.rows);
+  let naive = rows_of (Result.get_ok (Exec.query ~optimize:false db ~actor:"u" q)) in
+  check Alcotest.bool "naive plan agrees" true (before.Exec.rows = naive.Exec.rows)
+
+let test_exec_insert_delete () =
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let run sql = Exec.query db ~actor:"alice" sql in
+  ignore (run "CREATE TABLE notes (id int, body string)");
+  (match run "INSERT INTO notes VALUES (1, 'a'), (2, 'b'), (3, 'c')" with
+  | Ok (Exec.Affected 3) -> ()
+  | _ -> Alcotest.fail "insert count");
+  (match run "DELETE FROM notes WHERE id < 3" with
+  | Ok (Exec.Affected 2) -> ()
+  | _ -> Alcotest.fail "delete count");
+  let rs = rows_of (Result.get_ok (run "SELECT count(*) FROM notes")) in
+  check Alcotest.bool "one left" true
+    (match rs.Exec.rows with [ [| D.Int 1 |] ] -> true | _ -> false)
+
+let test_exec_drop_table () =
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  ignore (Exec.query db ~actor:"alice" "CREATE TABLE scratch (id int)");
+  check Alcotest.bool "exists" true (Result.is_ok (Exec.query db ~actor:"alice" "SELECT * FROM scratch"));
+  (match Exec.query db ~actor:"alice" "DROP TABLE scratch" with
+  | Ok Exec.Executed -> ()
+  | _ -> Alcotest.fail "drop failed");
+  check Alcotest.bool "gone" true
+    (Result.is_error (Exec.query db ~actor:"alice" "SELECT * FROM scratch"));
+  (* users cannot drop public tables *)
+  ignore (Exec.query db ~actor:Db.loader_actor "CREATE TABLE pub (id int)");
+  check Alcotest.bool "public drop blocked for users" true
+    (Result.is_error (Exec.query db ~actor:"alice" "DROP TABLE pub"))
+
+let test_exec_permissions () =
+  let db, _ = fixture_db () in
+  (* alice cannot insert into the loader's public table *)
+  check Alcotest.bool "insert blocked" true
+    (Result.is_error (Exec.query db ~actor:"alice" "INSERT INTO frag VALUES (9, 'x', dna('A'), 1)"));
+  (* but she can read it *)
+  check Alcotest.bool "read allowed" true
+    (Result.is_ok (Exec.query db ~actor:"alice" "SELECT * FROM frag"))
+
+let test_exec_errors () =
+  let db, _ = fixture_db () in
+  let err sql = Result.is_error (Exec.query db ~actor:"u" sql) in
+  check Alcotest.bool "unknown table" true (err "SELECT * FROM nope");
+  check Alcotest.bool "unknown column" true (err "SELECT wat FROM frag");
+  check Alcotest.bool "unknown function" true (err "SELECT nope(id) FROM frag");
+  check Alcotest.bool "type error in UDF" true
+    (err "SELECT gc_content(organism) FROM frag")
+
+let test_exec_group_by_udf () =
+  (* GROUP BY over a computed genomic key: rows bucketed by rounded GC *)
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT round(gc_content(seq) * 10), count(*) FROM frag GROUP BY round(gc_content(seq) * 10) ORDER BY count(*) DESC"))
+  in
+  let total =
+    List.fold_left
+      (fun acc r -> match r.(1) with D.Int n -> acc + n | _ -> acc)
+      0 rs.Exec.rows
+  in
+  check Alcotest.int "groups cover all rows" 5 total
+
+let test_exec_order_by_udf () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT id FROM frag ORDER BY gc_content(seq) DESC LIMIT 1"))
+  in
+  (* row 3 (GGGGCCCC...) has the highest GC among the fixtures *)
+  match rs.Exec.rows with
+  | [ [| D.Int id |] ] -> check Alcotest.int "highest GC row" 3 id
+  | _ -> Alcotest.fail "order by UDF failed"
+
+let test_exec_three_way_join () =
+  let db, run = fixture_db () in
+  ignore (run "CREATE TABLE tax (organism string, kingdom string)");
+  ignore (run "INSERT INTO tax VALUES ('ecoli', 'bacteria'), ('yeast', 'fungi')");
+  ignore (run "CREATE TABLE ranks (kingdom string, rank int)");
+  ignore (run "INSERT INTO ranks VALUES ('bacteria', 1), ('fungi', 2)");
+  let rs =
+    rows_of
+      (Result.get_ok
+         (Exec.query db ~actor:"u"
+            "SELECT f.id, r.rank FROM frag f, tax t, ranks r WHERE f.organism = t.organism AND t.kingdom = r.kingdom ORDER BY f.id"))
+  in
+  check Alcotest.int "4 joined rows" 4 (List.length rs.Exec.rows)
+
+let test_exec_aggregate_empty () =
+  let db, run = fixture_db () in
+  ignore (run "CREATE TABLE void (x int)");
+  (match Exec.query db ~actor:"u" "SELECT count(*) FROM void" with
+  | Ok (Exec.Rows { rows = [ [| D.Int 0 |] ]; _ }) -> ()
+  | _ -> Alcotest.fail "count over empty table");
+  match Exec.query db ~actor:"u" "SELECT sum(x) FROM void" with
+  | Ok (Exec.Rows { rows = [ [| D.Null |] ]; _ }) -> ()
+  | _ -> Alcotest.fail "sum over empty table should be NULL"
+
+let test_exec_limit_zero () =
+  let db, _ = fixture_db () in
+  let rs = rows_of (Result.get_ok (Exec.query db ~actor:"u" "SELECT id FROM frag LIMIT 0")) in
+  check Alcotest.int "limit 0" 0 (List.length rs.Exec.rows)
+
+let test_render () =
+  let db, _ = fixture_db () in
+  let rs =
+    rows_of (Result.get_ok (Exec.query db ~actor:"u" "SELECT id, seq FROM frag WHERE id = 2"))
+  in
+  let text = Exec.render db rs in
+  check Alcotest.bool "shows decoded sequence" true
+    (let contains hay needle =
+       let n = String.length hay and m = String.length needle in
+       let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+       at 0
+     in
+     contains text "ACGTACGTACGT")
+
+let suites =
+  [
+    ( "sqlx.parser",
+      [
+        tc "roundtrip" `Quick test_parse_roundtrip;
+        tc "errors" `Quick test_parse_errors;
+        tc "string escapes" `Quick test_string_escapes;
+      ] );
+    ( "sqlx.eval",
+      [
+        tc "arithmetic" `Quick test_eval_arithmetic;
+        tc "comparisons" `Quick test_eval_comparisons;
+        tc "logic" `Quick test_eval_logic;
+        tc "like" `Quick test_eval_like;
+        tc "builtins" `Quick test_eval_builtins;
+      ] );
+    ( "sqlx.plan",
+      [
+        tc "pushdown" `Quick test_plan_pushdown;
+        tc "index selection" `Quick test_plan_index_selection;
+        tc "range index" `Quick test_plan_range_index;
+        tc "predicate ordering" `Quick test_plan_predicate_ordering;
+        tc "selectivity model" `Quick test_selectivity_model;
+      ] );
+    ( "sqlx.exec",
+      [
+        tc "select/where" `Quick test_exec_select_where;
+        tc "udf in where" `Quick test_exec_udf_in_where;
+        tc "udf in projection" `Quick test_exec_udf_in_projection;
+        tc "order/limit" `Quick test_exec_order_and_limit;
+        tc "aggregates" `Quick test_exec_aggregates;
+        tc "having" `Quick test_exec_having;
+        tc "join" `Quick test_exec_join;
+        tc "index equivalence" `Quick test_exec_index_equivalence;
+        tc "insert/delete" `Quick test_exec_insert_delete;
+        tc "drop table" `Quick test_exec_drop_table;
+        tc "permissions" `Quick test_exec_permissions;
+        tc "errors" `Quick test_exec_errors;
+        tc "group by UDF" `Quick test_exec_group_by_udf;
+        tc "order by UDF" `Quick test_exec_order_by_udf;
+        tc "three-way join" `Quick test_exec_three_way_join;
+        tc "aggregate over empty" `Quick test_exec_aggregate_empty;
+        tc "limit zero" `Quick test_exec_limit_zero;
+        tc "render" `Quick test_render;
+      ] );
+  ]

@@ -1,0 +1,224 @@
+(* Unit tests for the synthetic data generators (lib/synth). *)
+
+open Genalg_gdt
+open Genalg_synth
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_rng_determinism () =
+  let a = Rng.make 1 and b = Rng.make 1 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  check (Alcotest.list Alcotest.int) "equal seeds, equal streams" (seq a) (seq b);
+  let c = Rng.make 2 in
+  check Alcotest.bool "different seed differs" true (seq (Rng.copy c) <> seq (Rng.make 1))
+
+let test_rng_bounds () =
+  let r = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 7);
+    let f = Rng.float r in
+    check Alcotest.bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_sample () =
+  let r = Rng.make 4 in
+  let s = Rng.sample r 5 100 in
+  check Alcotest.int "k items" 5 (List.length s);
+  check Alcotest.bool "distinct" true (List.length (List.sort_uniq Int.compare s) = 5);
+  check Alcotest.bool "sorted" true (List.sort Int.compare s = s);
+  check Alcotest.bool "in range" true (List.for_all (fun x -> x >= 0 && x < 100) s)
+
+let test_rng_weighted () =
+  let r = Rng.make 5 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 2000 do
+    let v = Rng.choose_weighted r [| ("a", 9.); ("b", 1.) |] in
+    Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
+  done;
+  let a = Option.value (Hashtbl.find_opt counts "a") ~default:0 in
+  check Alcotest.bool "weights respected" true (a > 1500)
+
+let test_seqgen_gc_bias () =
+  let r = Rng.make 6 in
+  let high = Seqgen.dna r ~gc:0.9 5000 in
+  let low = Seqgen.dna r ~gc:0.1 5000 in
+  let gc s = float_of_int (Sequence.gc_count s) /. 5000. in
+  check Alcotest.bool "high-GC" true (gc high > 0.85);
+  check Alcotest.bool "low-GC" true (gc low < 0.15)
+
+let test_seqgen_alphabets () =
+  let r = Rng.make 7 in
+  check Alcotest.bool "rna alphabet" true
+    (Sequence.alphabet (Seqgen.rna r 100) = Sequence.Rna);
+  check Alcotest.bool "protein alphabet" true
+    (Sequence.alphabet (Seqgen.protein r 100) = Sequence.Protein)
+
+let test_plant_motif () =
+  let r = Rng.make 8 in
+  let s = Seqgen.dna r 200 in
+  let planted, off = Seqgen.plant_motif r ~motif:"ATTGCCATA" s in
+  check Alcotest.bool "motif present at offset" true
+    (Sequence.find ~pattern:"ATTGCCATA" planted = Some off
+    || Sequence.contains ~pattern:"ATTGCCATA" planted);
+  check Alcotest.int "length unchanged" 200 (Sequence.length planted)
+
+let test_mutate () =
+  let r = Rng.make 9 in
+  let s = Seqgen.dna r 2000 in
+  let m = Seqgen.mutate r ~rate:0.1 s in
+  let diffs = ref 0 in
+  Sequence.iteri (fun i c -> if c <> Sequence.get m i then incr diffs) s;
+  check Alcotest.bool "~10% changed" true (!diffs > 100 && !diffs < 320);
+  let unchanged = Seqgen.mutate r ~rate:0. s in
+  check Alcotest.bool "rate 0 is identity" true (Sequence.equal s unchanged)
+
+let test_homolog_similarity () =
+  let r = Rng.make 10 in
+  let s = Seqgen.dna r 300 in
+  let h = Seqgen.homolog r ~identity:0.9 s in
+  let sim = Genalg_core.Ops.resembles s h in
+  check Alcotest.bool "homolog is similar" true (sim > 0.5)
+
+let test_genegen_well_formed () =
+  let r = Rng.make 11 in
+  for i = 1 to 10 do
+    let g = Genegen.gene r ~id:(Printf.sprintf "g%d" i) () in
+    (* every generated gene decodes to a protein *)
+    match Genalg_core.Ops.decode g with
+    | Ok p ->
+        check Alcotest.char "starts with Met" 'M' (Sequence.get p.Protein.residues 0);
+        check Alcotest.bool "no internal stop" true
+          (not (Sequence.contains ~pattern:"*" p.Protein.residues))
+    | Error msg -> Alcotest.failf "gene %d does not decode: %s" i msg
+  done
+
+let test_genegen_exon_structure () =
+  let r = Rng.make 12 in
+  let g = Genegen.gene r ~exon_count:5 ~id:"g" () in
+  check Alcotest.int "five exons" 5 (Gene.exon_count g);
+  check Alcotest.int "four introns" 4 (List.length (Gene.introns g));
+  (* introns carry canonical GT...AG splice sites *)
+  List.iter
+    (fun (off, len) ->
+      let intron = Sequence.sub g.Gene.dna ~pos:off ~len in
+      check Alcotest.char "GT start" 'G' (Sequence.get intron 0);
+      check Alcotest.char "AG end" 'G' (Sequence.get intron (len - 1)))
+    (Gene.introns g)
+
+let test_chromosome_genes_extractable () =
+  let r = Rng.make 13 in
+  let chrom, genes = Genegen.chromosome r ~gene_count:5 ~name:"c" () in
+  check Alcotest.int "five gene features" 5
+    (List.length (Chromosome.features_of_kind chrom Feature.Gene));
+  check Alcotest.int "five CDS features" 5
+    (List.length (Chromosome.features_of_kind chrom Feature.Cds));
+  (* the gene feature's extracted sequence equals the generated gene DNA *)
+  List.iter2
+    (fun f (g : Gene.t) ->
+      let extracted = Chromosome.feature_sequence chrom f in
+      check Alcotest.bool ("gene " ^ g.Gene.id) true (Sequence.equal extracted g.Gene.dna))
+    (Chromosome.features_of_kind chrom Feature.Gene)
+    genes
+
+let test_genome_shape () =
+  let r = Rng.make 14 in
+  let g = Genegen.genome r ~chromosome_count:3 ~genes_per_chromosome:4 ~organism:"T" () in
+  check Alcotest.int "chromosomes" 3 (Genome.chromosome_count g);
+  check Alcotest.int "genes" 12 (Genome.gene_count g)
+
+let test_recordgen_repository () =
+  let r = Rng.make 15 in
+  let repo = Recordgen.repository r ~size:50 ~prefix:"XYZ" () in
+  check Alcotest.int "size" 50 (List.length repo);
+  let accs = List.map (fun (e : Genalg_formats.Entry.t) -> e.Genalg_formats.Entry.accession) repo in
+  check Alcotest.int "unique accessions" 50 (List.length (List.sort_uniq compare accs));
+  check Alcotest.bool "prefix" true
+    (List.for_all (fun a -> String.length a >= 3 && String.sub a 0 3 = "XYZ") accs)
+
+let test_recordgen_noisy_copy () =
+  let r = Rng.make 16 in
+  let e = List.hd (Recordgen.repository r ~size:1 ()) in
+  let noisy = Recordgen.noisy_copy r ~error_rate:0.05 ~rename:"COPY1" e in
+  check Alcotest.string "renamed" "COPY1" noisy.Genalg_formats.Entry.accession;
+  check Alcotest.string "organism kept" e.Genalg_formats.Entry.organism
+    noisy.Genalg_formats.Entry.organism;
+  check Alcotest.int "length preserved (substitutions only)"
+    (Sequence.length e.Genalg_formats.Entry.sequence)
+    (Sequence.length noisy.Genalg_formats.Entry.sequence)
+
+let test_overlapping_repositories () =
+  let r = Rng.make 17 in
+  let a, b, pairs = Recordgen.overlapping_repositories r ~size:40 ~overlap:0.5 () in
+  check Alcotest.int "repo a size" 40 (List.length a);
+  check Alcotest.int "repo b size" 40 (List.length b);
+  check Alcotest.int "20 ground-truth pairs" 20 (List.length pairs);
+  (* every pair's accessions exist in their repositories *)
+  List.iter
+    (fun (acc_a, acc_b) ->
+      check Alcotest.bool "a exists" true
+        (List.exists (fun (e : Genalg_formats.Entry.t) -> e.Genalg_formats.Entry.accession = acc_a) a);
+      check Alcotest.bool "b exists" true
+        (List.exists (fun (e : Genalg_formats.Entry.t) -> e.Genalg_formats.Entry.accession = acc_b) b))
+    pairs
+
+let test_update_stream () =
+  let r = Rng.make 18 in
+  let repo = Recordgen.repository r ~size:30 () in
+  let new_state, updates = Recordgen.update_stream r repo ~fraction:0.2 ()  in
+  check Alcotest.bool "some updates" true (List.length updates >= 1);
+  (* applying updates by key to the old state yields the new state *)
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Genalg_formats.Entry.t) -> Hashtbl.replace table e.Genalg_formats.Entry.accession e)
+    repo;
+  List.iter
+    (function
+      | Recordgen.Insert e -> Hashtbl.replace table e.Genalg_formats.Entry.accession e
+      | Recordgen.Delete a -> Hashtbl.remove table a
+      | Recordgen.Modify e -> Hashtbl.replace table e.Genalg_formats.Entry.accession e)
+    updates;
+  check Alcotest.int "state size matches" (Hashtbl.length table) (List.length new_state);
+  List.iter
+    (fun (e : Genalg_formats.Entry.t) ->
+      match Hashtbl.find_opt table e.Genalg_formats.Entry.accession with
+      | Some e' ->
+          check Alcotest.bool "entry matches" true (Genalg_formats.Entry.equal e e')
+      | None -> Alcotest.failf "unexpected entry %s" e.Genalg_formats.Entry.accession)
+    new_state
+
+let suites =
+  [
+    ( "synth.rng",
+      [
+        tc "determinism" `Quick test_rng_determinism;
+        tc "bounds" `Quick test_rng_bounds;
+        tc "sample" `Quick test_rng_sample;
+        tc "weighted" `Quick test_rng_weighted;
+      ] );
+    ( "synth.seqgen",
+      [
+        tc "gc bias" `Quick test_seqgen_gc_bias;
+        tc "alphabets" `Quick test_seqgen_alphabets;
+        tc "plant motif" `Quick test_plant_motif;
+        tc "mutate" `Quick test_mutate;
+        tc "homolog" `Quick test_homolog_similarity;
+      ] );
+    ( "synth.genegen",
+      [
+        tc "well-formed genes" `Quick test_genegen_well_formed;
+        tc "exon structure" `Quick test_genegen_exon_structure;
+        tc "chromosome extraction" `Quick test_chromosome_genes_extractable;
+        tc "genome shape" `Quick test_genome_shape;
+      ] );
+    ( "synth.recordgen",
+      [
+        tc "repository" `Quick test_recordgen_repository;
+        tc "noisy copy" `Quick test_recordgen_noisy_copy;
+        tc "overlapping repos" `Quick test_overlapping_repositories;
+        tc "update stream" `Quick test_update_stream;
+      ] );
+  ]

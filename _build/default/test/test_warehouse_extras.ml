@@ -1,0 +1,172 @@
+(* Tests for the proteins and history warehouse tables: decode-at-load
+   (C12 inverted) and archival of replaced data (C15 / section 5.2). *)
+
+open Genalg_gdt
+open Genalg_formats
+open Genalg_etl
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Exec = Genalg_sqlx.Exec
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* an entry whose CDS features come from well-formed generated genes *)
+let decodable_entry rng ~accession =
+  let chrom, genes = Genalg_synth.Genegen.chromosome rng ~gene_count:3 ~name:accession () in
+  ( Entry.make ~accession ~organism:"Synthetica primus"
+      ~features:chrom.Chromosome.features chrom.Chromosome.dna,
+    genes )
+
+let fresh_warehouse rng entries =
+  let db = Db.create () in
+  (match Loader.init db Genalg_core.Builtin.default with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match
+     Loader.load_merged db
+       (Integrator.reconcile (List.map (fun e -> ("src", e)) entries))
+   with
+  | Ok stats -> (db, stats)
+  | Error m -> Alcotest.fail m)
+  |> fun (db, stats) ->
+  ignore rng;
+  (db, stats)
+
+let count db sql =
+  match Exec.query db ~actor:"u" sql with
+  | Ok (Exec.Rows { rows = [ [| D.Int n |] ]; _ }) -> n
+  | Ok _ -> Alcotest.failf "unexpected shape for %s" sql
+  | Error m -> Alcotest.failf "%s: %s" sql m
+
+let test_proteins_loaded () =
+  let rng = Genalg_synth.Rng.make 7001 in
+  let e, genes = decodable_entry rng ~accession:"PRT001" in
+  let db, stats = fresh_warehouse rng [ e ] in
+  check Alcotest.int "3 genes" 3 stats.Loader.genes;
+  check Alcotest.int "3 proteins" 3 stats.Loader.proteins;
+  check Alcotest.int "3 protein rows" 3 (count db "SELECT count(*) FROM proteins");
+  (* the stored protein equals decoding the generated gene directly *)
+  match Exec.query db ~actor:"u" "SELECT protein FROM proteins ORDER BY id" with
+  | Ok (Exec.Rows rs) ->
+      let stored =
+        List.filter_map
+          (fun r ->
+            match Genalg_adapter.Adapter.of_db r.(0) with
+            | Ok (Genalg_core.Value.VProtein p) -> Some (Sequence.to_string p.Protein.residues)
+            | _ -> None)
+          rs.Exec.rows
+        |> List.sort String.compare
+      in
+      let expected =
+        List.filter_map
+          (fun g ->
+            match Genalg_core.Ops.decode g with
+            | Ok p -> Some (Sequence.to_string p.Protein.residues)
+            | Error _ -> None)
+          genes
+        |> List.sort String.compare
+      in
+      check (Alcotest.list Alcotest.string) "stored proteins = decoded genes" expected stored
+  | _ -> Alcotest.fail "protein query failed"
+
+let test_protein_weight_queryable () =
+  let rng = Genalg_synth.Rng.make 7002 in
+  let e, _ = decodable_entry rng ~accession:"PRT002" in
+  let db, _ = fresh_warehouse rng [ e ] in
+  (* weight column agrees with the molecular_weight UDF over the stored value *)
+  match
+    Exec.query db ~actor:"u"
+      "SELECT weight, molecular_weight(protein) FROM proteins LIMIT 1"
+  with
+  | Ok (Exec.Rows { rows = [ [| D.Float w1; D.Float w2 |] ]; _ }) ->
+      check (Alcotest.float 0.001) "stored weight = UDF weight" w1 w2
+  | _ -> Alcotest.fail "weight query failed"
+
+let test_biolang_proteins () =
+  let rng = Genalg_synth.Rng.make 7003 in
+  let e, _ = decodable_entry rng ~accession:"PRT003" in
+  let db, _ = fresh_warehouse rng [ e ] in
+  (match Genalg_biolang.Biolang.compile_to_sql "count proteins where weight above 1000" with
+  | Ok sql ->
+      check Alcotest.string "compiles to the proteins table"
+        "SELECT COUNT(*) AS count FROM proteins WHERE (weight > 1000)" sql
+  | Error m -> Alcotest.fail m);
+  match Genalg_biolang.Biolang.run db ~actor:"u" "count proteins" with
+  | Ok (Exec.Rows { rows = [ [| D.Int n |] ]; _ }) -> check Alcotest.int "3 proteins" 3 n
+  | _ -> Alcotest.fail "biolang protein count failed"
+
+let test_history_archives_modifications () =
+  let rng = Genalg_synth.Rng.make 7004 in
+  let entries = Genalg_synth.Recordgen.repository rng ~size:5 ~prefix:"HIS" () in
+  let db, _ = fresh_warehouse rng entries in
+  check Alcotest.int "history empty after bootstrap" 0
+    (count db "SELECT count(*) FROM history");
+  let victim = List.hd entries in
+  let modified =
+    Entry.make ~version:(victim.Entry.version + 1) ~definition:victim.Entry.definition
+      ~organism:victim.Entry.organism ~features:victim.Entry.features
+      ~keywords:victim.Entry.keywords ~accession:victim.Entry.accession
+      (Genalg_synth.Seqgen.mutate rng ~rate:0.01 victim.Entry.sequence)
+  in
+  let deleted = List.nth entries 2 in
+  let deltas =
+    [
+      Delta.modification ~id:1 ~timestamp:10. ~before:victim ~after:modified;
+      Delta.deletion ~id:2 ~timestamp:11. deleted;
+    ]
+  in
+  (match Loader.incremental db ~source:"src" deltas with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "two archived rows" 2 (count db "SELECT count(*) FROM history");
+  (* the archived row holds the a-priori sequence of the modified record *)
+  (match
+     Exec.query db ~actor:"u"
+       (Printf.sprintf "SELECT seq FROM history WHERE accession = '%s'"
+          victim.Entry.accession)
+   with
+  | Ok (Exec.Rows { rows = [ [| v |] ]; _ }) -> (
+      match Genalg_adapter.Adapter.of_db v with
+      | Ok (Genalg_core.Value.VDna s) ->
+          check Alcotest.bool "a-priori sequence preserved" true
+            (Sequence.equal s victim.Entry.sequence)
+      | _ -> Alcotest.fail "archived value did not decode")
+  | _ -> Alcotest.fail "history query failed");
+  (* the deleted record is gone from sequences but queryable from history *)
+  check Alcotest.int "deleted gone from sequences" 0
+    (count db
+       (Printf.sprintf "SELECT count(*) FROM sequences WHERE accession = '%s'"
+          deleted.Entry.accession));
+  check Alcotest.int "deleted preserved in history" 1
+    (count db
+       (Printf.sprintf "SELECT count(*) FROM history WHERE accession = '%s'"
+          deleted.Entry.accession))
+
+let test_history_survives_clear_semantics () =
+  (* clear wipes history too (full-reload semantics) *)
+  let rng = Genalg_synth.Rng.make 7005 in
+  let entries = Genalg_synth.Recordgen.repository rng ~size:3 ~prefix:"HCL" () in
+  let db, _ = fresh_warehouse rng entries in
+  let victim = List.hd entries in
+  ignore
+    (Loader.incremental db ~source:"src"
+       [ Delta.deletion ~id:1 ~timestamp:1. victim ]);
+  check Alcotest.int "one archived" 1 (count db "SELECT count(*) FROM history");
+  (match Loader.clear db with Ok () -> () | Error m -> Alcotest.fail m);
+  check Alcotest.int "history cleared" 0 (count db "SELECT count(*) FROM history")
+
+let suites =
+  [
+    ( "warehouse.proteins",
+      [
+        tc "decoded at load" `Quick test_proteins_loaded;
+        tc "weight queryable" `Quick test_protein_weight_queryable;
+        tc "biolang entity" `Quick test_biolang_proteins;
+      ] );
+    ( "warehouse.history",
+      [
+        tc "archives modifications and deletions" `Quick test_history_archives_modifications;
+        tc "clear semantics" `Quick test_history_survives_clear_semantics;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* Unit tests for GenAlgXML (lib/genalgxml). *)
+
+open Genalg_gdt
+module Xml = Genalg_xml.Xml
+module Genalgxml = Genalg_xml.Genalgxml
+module Value = Genalg_core.Value
+module Sort = Genalg_core.Sort
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---- the XML engine ------------------------------------------------- *)
+
+let test_xml_roundtrip () =
+  let doc =
+    Xml.element "root"
+      ~attrs:[ ("a", "1"); ("weird", "x<y&\"z\"") ]
+      ~children:
+        [
+          Xml.element "leaf" ~children:[ Xml.text "hello & <world>" ];
+          Xml.element "empty";
+          Xml.element "nested"
+            ~children:[ Xml.element "inner" ~attrs:[ ("k", "v") ] ];
+        ]
+  in
+  match Xml.parse (Xml.to_string doc) with
+  | Ok back -> (
+      check (Alcotest.option Alcotest.string) "attr" (Some "x<y&\"z\"")
+        (Xml.attr back "weird");
+      match Xml.child back "leaf" with
+      | Some leaf ->
+          check Alcotest.string "escaped text" "hello & <world>" (Xml.text_content leaf)
+      | None -> Alcotest.fail "leaf missing")
+  | Error msg -> Alcotest.fail msg
+
+let test_xml_parse_errors () =
+  let err s = Result.is_error (Xml.parse s) in
+  check Alcotest.bool "empty" true (err "");
+  check Alcotest.bool "mismatched tags" true (err "<a></b>");
+  check Alcotest.bool "unterminated" true (err "<a>");
+  check Alcotest.bool "trailing content" true (err "<a/><b/>");
+  check Alcotest.bool "bad entity" true (err "<a>&nope;</a>")
+
+let test_xml_skips_decl_and_comments () =
+  match Xml.parse "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>" with
+  | Ok root -> check Alcotest.int "children" 1 (List.length (Xml.children_named root "b"))
+  | Error msg -> Alcotest.fail msg
+
+(* ---- GenAlgXML ------------------------------------------------------- *)
+
+let roundtrip v =
+  match Genalgxml.of_string (Genalgxml.to_string v) with
+  | Ok v2 ->
+      check Alcotest.bool
+        ("roundtrip " ^ Sort.to_string (Value.sort_of v))
+        true (Value.equal v v2)
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+
+let test_scalars () =
+  List.iter roundtrip
+    [
+      Value.VBool true; Value.VInt (-7); Value.VFloat 3.25; Value.VFloat 0.1;
+      Value.VString "hello <world> & 'friends'";
+      Value.VNucleotide Nucleotide.R;
+      Value.VAmino_acid Amino_acid.Trp;
+    ]
+
+let test_sequences () =
+  List.iter roundtrip
+    [ Value.dna "ACGTACGTN"; Value.rna "ACGUACGU"; Value.protein_seq "MKVLAW" ]
+
+let test_gdts () =
+  let rng = Genalg_synth.Rng.make 61 in
+  let gene = Genalg_synth.Genegen.gene rng ~id:"xg" () in
+  roundtrip (Value.VGene gene);
+  let primary = Genalg_core.Ops.transcribe gene in
+  roundtrip (Value.VPrimary primary);
+  let mrna = Genalg_core.Ops.splice primary in
+  roundtrip (Value.VMrna mrna);
+  let protein = Result.get_ok (Genalg_core.Ops.translate mrna) in
+  roundtrip (Value.VProtein protein)
+
+let test_chromosome_genome () =
+  let rng = Genalg_synth.Rng.make 62 in
+  let genome =
+    Genalg_synth.Genegen.genome rng ~chromosome_count:2 ~genes_per_chromosome:2
+      ~organism:"Xml test" ()
+  in
+  roundtrip (Value.VGenome genome);
+  roundtrip (Value.VChromosome (List.hd genome.Genome.chromosomes))
+
+let test_lists_and_uncertain () =
+  roundtrip (Value.vlist Sort.Int [ Value.VInt 1; Value.VInt 2; Value.VInt 3 ]);
+  roundtrip (Value.vlist Sort.Dna [ Value.dna "ACGT"; Value.dna "GGCC" ]);
+  let u =
+    Uncertain.of_alternatives
+      [
+        {
+          Uncertain.value = Value.dna "ACGT";
+          confidence = 0.75;
+          provenance = Some (Provenance.make ~source:"bank" ~record_id:"X1" ());
+        };
+        { Uncertain.value = Value.dna "ACGA"; confidence = 0.25; provenance = None };
+      ]
+  in
+  roundtrip (Value.uncertain u)
+
+let test_genetic_code_preserved () =
+  let rng = Genalg_synth.Rng.make 63 in
+  let gene =
+    Genalg_synth.Genegen.gene rng ~code:Genetic_code.vertebrate_mitochondrial ~id:"mito" ()
+  in
+  match Genalgxml.of_string (Genalgxml.to_string (Value.VGene gene)) with
+  | Ok (Value.VGene g2) ->
+      check Alcotest.int "code id preserved" 2 (Genetic_code.id g2.Gene.code)
+  | _ -> Alcotest.fail "gene roundtrip failed"
+
+let test_reject_garbage () =
+  check Alcotest.bool "unknown element" true
+    (Result.is_error (Genalgxml.of_string "<widget/>"));
+  check Alcotest.bool "bad dna letters" true
+    (Result.is_error (Genalgxml.of_string "<dna>HELLO</dna>"));
+  check Alcotest.bool "gene without id" true
+    (Result.is_error (Genalgxml.of_string "<gene><dna>ACGT</dna></gene>"))
+
+let suites =
+  [
+    ( "xml.engine",
+      [
+        tc "roundtrip" `Quick test_xml_roundtrip;
+        tc "errors" `Quick test_xml_parse_errors;
+        tc "decl/comments" `Quick test_xml_skips_decl_and_comments;
+      ] );
+    ( "xml.genalgxml",
+      [
+        tc "scalars" `Quick test_scalars;
+        tc "sequences" `Quick test_sequences;
+        tc "gdts" `Quick test_gdts;
+        tc "chromosome/genome" `Quick test_chromosome_genome;
+        tc "lists/uncertain" `Quick test_lists_and_uncertain;
+        tc "genetic code" `Quick test_genetic_code_preserved;
+        tc "rejects garbage" `Quick test_reject_garbage;
+      ] );
+  ]
