@@ -19,6 +19,7 @@ module Monitor = Genalg_etl.Monitor
 module Loader = Genalg_etl.Loader
 module Pipeline = Genalg_etl.Pipeline
 module Mediator = Genalg_mediator.Mediator
+module Obs = Genalg_obs.Obs
 module R = Genalg_core.Requirements
 
 let rng () = Genalg_synth.Rng.make 20030105
@@ -71,6 +72,7 @@ let f1 () =
     [ "sources"; "mediator/query"; "shipped"; "warehouse load (once)"; "warehouse/query";
       "speedup" ]
   in
+  let last = ref None in
   let rows =
     List.map
       (fun n ->
@@ -113,6 +115,7 @@ let f1 () =
               | _ -> ())
         in
         ignore results_m;
+        last := Some (timing, db, sql);
         [
           string_of_int n;
           fmt_ms med_total;
@@ -124,7 +127,32 @@ let f1 () =
       [ 1; 2; 4; 8 ]
   in
   print_table header rows;
-  note "shape: mediator latency grows with source count; warehouse query time does not"
+  note "shape: mediator latency grows with source count; warehouse query time does not";
+  match !last with
+  | None -> ()
+  | Some (timing, db, sql) ->
+      print_newline ();
+      note "per-source mediator breakdown at %d sources:"
+        timing.Mediator.sources_contacted;
+      print_table
+        [ "source"; "network (sim)"; "wall"; "shipped"; "bytes" ]
+        (List.map
+           (fun (st : Mediator.source_timing) ->
+             [ st.Mediator.source; fmt_ms st.Mediator.network_s;
+               fmt_ms st.Mediator.wall_s; string_of_int st.Mediator.shipped;
+               string_of_int st.Mediator.bytes ])
+           timing.Mediator.per_source);
+      print_newline ();
+      note "warehouse operator breakdown (EXPLAIN ANALYZE, same query):";
+      (match Exec.query db ~actor:"u" ("EXPLAIN ANALYZE " ^ sql) with
+      | Ok (Exec.Rows rs) ->
+          List.iter
+            (fun row ->
+              match row with
+              | [| D.Str l |] -> Printf.printf "  %s\n" l
+              | _ -> ())
+            rs.Exec.rows
+      | _ -> ())
 
 (* ================================================================== *)
 (* F2 — the change-detection grid of Figure 2                          *)
@@ -216,6 +244,8 @@ let f2 () =
 
 let f3 () =
   heading "F3" "End-to-end pipeline (paper Figure 3): sources -> ETL -> warehouse -> query";
+  Obs.reset ();
+  Obs.set_enabled true;
   let r = rng () in
   let repo_a, repo_b, pairs =
     Genalg_synth.Recordgen.overlapping_repositories r ~size:100 ~overlap:0.4
@@ -263,7 +293,11 @@ let f3 () =
       [ "manual refresh"; fmt_ms refresh_t;
         Printf.sprintf "%d deltas detected and applied incrementally (%d rows rewritten)"
           ndeltas rstats.Loader.entries ];
-    ]
+    ];
+  print_newline ();
+  note "per-stage instrument snapshot (etl.* spans and counters over the run):";
+  print_endline (Obs.render_table ~prefix:"etl." ());
+  Obs.set_enabled false
 
 (* ================================================================== *)
 (* E1 — central-dogma operator throughput                              *)
@@ -1050,6 +1084,57 @@ let bechamel_suite () =
     (List.sort compare !rows)
 
 (* ================================================================== *)
+(* OVERHEAD — cost of the observability layer on the query hot path    *)
+(* ================================================================== *)
+
+let overhead () =
+  heading "OVERHEAD"
+    "Observability layer cost: instrumented engine, obs disabled vs enabled";
+  note "instrumentation is compiled in unconditionally; disabled = one";
+  note "branch per call site (the <5%% budget), enabled = counters+spans live";
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let exec sql =
+    match Exec.query db ~actor:Db.loader_actor sql with
+    | Ok o -> o
+    | Error msg -> failwith (sql ^ ": " ^ msg)
+  in
+  ignore (exec "CREATE TABLE frag (id int NOT NULL, organism string, len int)");
+  let r = rng () in
+  for i = 1 to 2000 do
+    ignore
+      (exec
+         (Printf.sprintf "INSERT INTO frag VALUES (%d, 'org%d', %d)" i
+            (Genalg_synth.Rng.int r 5)
+            (Genalg_synth.Rng.int r 1000)))
+  done;
+  let queries =
+    [
+      "SELECT * FROM frag WHERE len > 900";
+      "SELECT organism, count(*) FROM frag GROUP BY organism";
+      "SELECT * FROM frag ORDER BY len DESC LIMIT 10";
+    ]
+  in
+  let workload () = List.iter (fun q -> ignore (exec q)) queries in
+  let iters = 50 in
+  let per_iter () = measure ~runs:7 (fun () -> for _ = 1 to iters do workload () done) in
+  Obs.set_enabled false;
+  let t_disabled = per_iter () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let t_enabled = per_iter () in
+  Obs.set_enabled false;
+  let pct a b = (a /. b -. 1.) *. 100. in
+  print_table
+    [ "configuration"; "median / workload"; "vs disabled" ]
+    [
+      [ "obs disabled (default)"; fmt_ms (t_disabled /. float_of_int iters); "-" ];
+      [ "obs enabled"; fmt_ms (t_enabled /. float_of_int iters);
+        Printf.sprintf "%+.1f%%" (pct t_enabled t_disabled) ];
+    ];
+  note "workload = 3 queries (filter scan, group by, sort+limit) over 2000 rows"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1057,6 +1142,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("ABLATE", ablations);
+    ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);
   ]
 

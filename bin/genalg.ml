@@ -15,6 +15,7 @@ module Seq = Genalg_gdt.Sequence
 module Ops = Genalg_core.Ops
 module Db = Genalg_storage.Database
 module Exec = Genalg_sqlx.Exec
+module Obs = Genalg_obs.Obs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -108,14 +109,37 @@ let print_outcome db = function
   | Exec.Affected n -> Printf.printf "(%d rows affected)\n" n
   | Exec.Executed -> print_endline "ok"
 
+(* shared --trace/--stats handling: both enable the metrics layer; trace
+   streams completed spans to stderr as JSON lines, stats prints the
+   instrument table to stderr afterwards *)
+let with_obs ~trace ~stats f =
+  if trace || stats then Obs.set_enabled true;
+  if trace then
+    Obs.add_sink
+      (Obs.json_sink ~name:"stderr" (fun line -> Printf.eprintf "%s\n%!" line));
+  let result = f () in
+  if stats then Printf.eprintf "%s\n" (Obs.render_table ());
+  result
+
+let trace_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream completed spans to stderr as JSON lines")
+
+let stats_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the metrics table to stderr when done")
+
 let query_cmd =
-  let run path actor sql =
+  let run path actor trace stats sql =
     with_db path (fun db ->
-        match Exec.query db ~actor sql with
-        | Ok outcome -> print_outcome db outcome
-        | Error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 1)
+        with_obs ~trace ~stats (fun () ->
+            match Exec.query db ~actor sql with
+            | Ok outcome -> print_outcome db outcome
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1))
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
   let sql = Arg.(required & pos 1 (some string) None & info [] ~docv:"SQL") in
@@ -124,20 +148,21 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run an extended-SQL statement against a saved warehouse")
-    Term.(const run $ path $ actor $ sql)
+    Term.(const run $ path $ actor $ trace_flag $ stats_flag $ sql)
 
 let ask_cmd =
-  let run path actor question show_sql =
+  let run path actor question show_sql trace stats =
     with_db path (fun db ->
-        (if show_sql then
-           match Genalg_biolang.Biolang.compile_to_sql question with
-           | Ok sql -> Printf.printf "-- %s\n" sql
-           | Error _ -> ());
-        match Genalg_biolang.Biolang.run_rendered db ~actor question with
-        | Ok text -> print_endline text
-        | Error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 1)
+        with_obs ~trace ~stats (fun () ->
+            (if show_sql then
+               match Genalg_biolang.Biolang.compile_to_sql question with
+               | Ok sql -> Printf.printf "-- %s\n" sql
+               | Error _ -> ());
+            match Genalg_biolang.Biolang.run_rendered db ~actor question with
+            | Ok text -> print_endline text
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1))
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
   let q = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUESTION") in
@@ -150,7 +175,64 @@ let ask_cmd =
   Cmd.v
     (Cmd.info "ask"
        ~doc:"Ask a question in the biological query language against a warehouse")
-    Term.(const run $ path $ actor $ q $ show_sql)
+    Term.(const run $ path $ actor $ q $ show_sql $ trace_flag $ stats_flag)
+
+(* ---- stats ------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run path actor sql =
+    with_db path (fun db ->
+        Printf.printf "%-8s %-12s %8s %6s %-24s %s\n" "space" "table" "rows"
+          "pages" "indexed" "genomic";
+        List.iter
+          (fun (space, t) ->
+            let module Table = Genalg_storage.Table in
+            let module Schema = Genalg_storage.Schema in
+            let genomic_cols =
+              List.filter
+                (fun (c : Schema.column) ->
+                  Table.has_genomic_index t ~column:c.Schema.name)
+                (Schema.columns (Table.schema t))
+              |> List.map (fun (c : Schema.column) -> c.Schema.name)
+            in
+            Printf.printf "%-8s %-12s %8d %6d %-24s %s\n"
+              (match space with Db.Public -> "public" | Db.User u -> u)
+              (Table.name t) (Table.row_count t) (Table.page_count t)
+              (String.concat "," (Table.indexed_columns t))
+              (String.concat "," genomic_cols))
+          (Db.tables db);
+        match sql with
+        | None -> ()
+        | Some sql -> (
+            Obs.set_enabled true;
+            Obs.reset ();
+            print_newline ();
+            match Exec.query db ~actor sql with
+            | Ok outcome ->
+                print_outcome db outcome;
+                print_newline ();
+                print_endline (Obs.render_table ())
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let actor =
+    Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"SQL"
+          ~doc:"Also run this statement and print the metrics it generates")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Show warehouse table inventory (rows, pages, indexes), optionally \
+          with the metrics of a traced statement")
+    Term.(const run $ path $ actor $ sql)
 
 (* ---- repl -------------------------------------------------------------------- *)
 
@@ -328,4 +410,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))
+          [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; stats_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))

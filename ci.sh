@@ -1,0 +1,27 @@
+#!/bin/sh
+# Local CI: build, full test suite, then a smoke run of the CLI with the
+# observability layer switched on.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== smoke: demo warehouse + stats + EXPLAIN ANALYZE =="
+DB=$(mktemp -d)/smoke.db
+dune exec bin/genalg.exe -- demo --output "$DB" >/dev/null
+
+# inventory + instrument snapshot for a traced statement
+dune exec bin/genalg.exe -- stats "$DB" \
+  --sql "SELECT organism, count(*) FROM sequences GROUP BY organism"
+
+# operator tree with live row counts and timings
+dune exec bin/genalg.exe -- query "$DB" \
+  "EXPLAIN ANALYZE SELECT organism, count(*) AS n FROM sequences WHERE length > 500 GROUP BY organism"
+
+rm -rf "$(dirname "$DB")"
+echo "== ci ok =="

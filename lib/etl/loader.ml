@@ -4,6 +4,14 @@ module Db = Genalg_storage.Database
 module Table = Genalg_storage.Table
 module Schema = Genalg_storage.Schema
 module D = Genalg_storage.Dtype
+module Obs = Genalg_obs.Obs
+
+let c_sequences = Obs.counter "etl.rows.sequences"
+let c_genes = Obs.counter "etl.rows.genes"
+let c_proteins = Obs.counter "etl.rows.proteins"
+let c_conflicts = Obs.counter "etl.rows.conflicts"
+let c_history = Obs.counter "etl.rows.history"
+let c_deleted = Obs.counter "etl.rows.deleted"
 
 type stats = {
   entries : int;
@@ -177,6 +185,9 @@ let insert_entry db ~source (e : Entry.t) ~consistent ~sequence =
     insert_rows "proteins" 0
       (protein_rows ~accession:e.Entry.accession extracted.Wrapper.genes)
   in
+  Obs.add c_sequences 1;
+  Obs.add c_genes gene_count;
+  Obs.add c_proteins protein_count;
   Ok { entries = 1; genes = gene_count; proteins = protein_count; conflicts = 0 }
 
 let insert_conflicts db ~accession alternatives =
@@ -200,9 +211,12 @@ let insert_conflicts db ~accession alternatives =
         in
         loop (rank + 1) (n + 1) rest
   in
-  loop 1 0 alternatives
+  let* n = loop 1 0 alternatives in
+  Obs.add c_conflicts n;
+  Ok n
 
 let load_merged db merged =
+  Obs.with_span "etl.load_merged" @@ fun () ->
   let rec loop stats = function
     | [] -> Ok stats
     | (m : Integrator.merged) :: rest ->
@@ -235,6 +249,7 @@ let delete_where db name pred =
   let victims = ref [] in
   Table.scan table (fun rid row -> if pred row then victims := rid :: !victims);
   List.iter (fun rid -> ignore (Table.delete table rid)) !victims;
+  Obs.add c_deleted (List.length !victims);
   Ok (List.length !victims)
 
 let clear db =
@@ -271,9 +286,11 @@ let archive db ~source ~timestamp (before : Entry.t) =
         dna_value before.Entry.sequence;
       |]
   in
+  Obs.add c_history 1;
   Ok ()
 
 let incremental db ~source deltas =
+  Obs.with_span ~attrs:[ ("source", source) ] "etl.incremental" @@ fun () ->
   let rec loop stats = function
     | [] -> Ok stats
     | (d : Delta.t) :: rest -> (

@@ -1,5 +1,11 @@
 open Genalg_formats
 module Lcs = Genalg_align.Lcs
+module Obs = Genalg_obs.Obs
+
+let c_insertions = Obs.counter "etl.deltas.insertion"
+let c_deletions = Obs.counter "etl.deltas.deletion"
+let c_modifications = Obs.counter "etl.deltas.modification"
+let c_diff_cost = Obs.counter "etl.diff_cost"
 
 type technique =
   | Database_trigger
@@ -31,6 +37,15 @@ let technique_to_string = function
   | Snapshot_differential -> "snapshot differential"
   | Lcs_diff -> "LCS diff"
   | Tree_diff -> "tree diff"
+
+let technique_slug = function
+  | Database_trigger -> "database_trigger"
+  | Program_trigger -> "program_trigger"
+  | Log_inspection -> "log_inspection"
+  | Edit_sequence -> "edit_sequence"
+  | Snapshot_differential -> "snapshot_differential"
+  | Lcs_diff -> "lcs_diff"
+  | Tree_diff -> "tree_diff"
 
 type t = {
   source : Source.t;
@@ -112,7 +127,7 @@ let keyed_diff t old_entries new_entries =
     new_entries;
   List.rev !deltas
 
-let poll t =
+let poll_inner t =
   match t.technique with
   | Database_trigger | Program_trigger ->
       let ds = List.rev t.pushed in
@@ -190,3 +205,23 @@ let poll t =
       | _ ->
           t.last_dump <- dump;
           [])
+
+let poll t =
+  Obs.with_span
+    ~attrs:[ ("source", Source.name t.source) ]
+    ("etl.poll." ^ technique_slug t.technique)
+    (fun () ->
+      let ds = poll_inner t in
+      List.iter
+        (fun (d : Delta.t) ->
+          match Delta.kind d with
+          | Delta.Insertion -> Obs.add c_insertions 1
+          | Delta.Deletion -> Obs.add c_deletions 1
+          | Delta.Modification -> Obs.add c_modifications 1)
+        ds;
+      (match t.technique with
+      | Lcs_diff | Tree_diff -> Obs.add c_diff_cost t.diff_cost
+      | Database_trigger | Program_trigger | Log_inspection | Edit_sequence
+      | Snapshot_differential ->
+          ());
+      ds)

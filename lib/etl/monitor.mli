@@ -28,6 +28,10 @@ val technique_for :
 
 val technique_to_string : technique -> string
 
+val technique_slug : technique -> string
+(** Lower-snake-case name used in instrument names: each {!poll} runs
+    under an [etl.poll.<slug>] span carrying a [source] attribute. *)
+
 type t
 
 val create : Source.t -> (t, string) result
@@ -40,7 +44,12 @@ val technique : t -> technique
 val poll : t -> Delta.t list
 (** Changes since the last poll (or creation), in occurrence order.
     Deltas are renumbered by the monitor for snapshot techniques (the
-    source's own ids are unknowable there). *)
+    source's own ids are unknowable there).
+
+    Observability: runs under an [etl.poll.<technique_slug>] span; each
+    returned delta bumps [etl.deltas.insertion] / [etl.deltas.deletion] /
+    [etl.deltas.modification], and dump-comparison techniques add their
+    raw edit-script size to the [etl.diff_cost] counter. *)
 
 val last_diff_cost : t -> int
 (** Size of the most recent raw edit script (LCS line edits or tree-edit

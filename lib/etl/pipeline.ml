@@ -1,4 +1,5 @@
 module Db = Genalg_storage.Database
+module Obs = Genalg_obs.Obs
 
 type t = {
   db : Db.t;
@@ -33,18 +34,27 @@ let all_entries source =
       Source.parse_dump (Source.representation source) (Source.dump source)
 
 let bootstrap t =
+  Obs.with_span "etl.bootstrap" @@ fun () ->
   let* sourced =
     List.fold_left
       (fun acc (src, _) ->
         let* acc = acc in
-        let* entries = all_entries src in
+        let* entries =
+          Obs.with_span
+            ~attrs:[ ("source", Source.name src) ]
+            "etl.extract"
+            (fun () -> all_entries src)
+        in
         Ok (acc @ List.map (fun e -> (Source.name src, e)) entries))
       (Ok []) t.monitors
   in
-  let merged = Integrator.reconcile sourced in
+  let merged =
+    Obs.with_span "etl.reconcile" (fun () -> Integrator.reconcile sourced)
+  in
   Loader.load_merged t.db merged
 
 let refresh t =
+  Obs.with_span "etl.refresh" @@ fun () ->
   List.fold_left
     (fun acc (src, monitor) ->
       let* stats, count = acc in

@@ -25,8 +25,17 @@ val sources : t -> Source.t list
 
 val bootstrap : t -> (Loader.stats, string) result
 (** Initial load: read every source in full (via its dump for
-    non-queryable sources), reconcile across sources, load. *)
+    non-queryable sources), reconcile across sources, load.
+
+    Observability: runs under an [etl.bootstrap] span, with one
+    [etl.extract] child span per source (carrying a [source] attribute),
+    an [etl.reconcile] span around cross-source integration, and the
+    loader's [etl.load_merged] span around the warehouse load. *)
 
 val refresh : t -> (Loader.stats * int, string) result
 (** Poll all monitors; apply deltas incrementally. Returns load stats and
-    the number of deltas processed. *)
+    the number of deltas processed.
+
+    Observability: runs under an [etl.refresh] span; each poll runs under
+    its technique's [etl.poll.<slug>] span and each load under
+    [etl.incremental]. *)

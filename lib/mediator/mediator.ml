@@ -2,6 +2,11 @@ open Genalg_gdt
 open Genalg_formats
 module Source = Genalg_etl.Source
 module Integrator = Genalg_etl.Integrator
+module Obs = Genalg_obs.Obs
+
+let c_round_trips = Obs.counter "mediator.round_trips"
+let c_records_shipped = Obs.counter "mediator.records_shipped"
+let c_bytes_shipped = Obs.counter "mediator.bytes_shipped"
 
 type query = {
   organism : string option;
@@ -11,10 +16,19 @@ type query = {
 
 let query_all = { organism = None; min_length = None; contains_motif = None }
 
+type source_timing = {
+  source : string;
+  network_s : float;
+  wall_s : float;
+  shipped : int;
+  bytes : int;
+}
+
 type timing = {
   simulated_network_s : float;
   sources_contacted : int;
   records_shipped : int;
+  per_source : source_timing list;
 }
 
 type t = {
@@ -47,13 +61,21 @@ let client_side_filter q (e : Entry.t) =
      | None -> true)
 
 let run ?(reconcile = true) t q =
+  Obs.with_span "mediator.query" @@ fun () ->
   let network = ref 0. in
   let shipped = ref 0 in
+  let per_source = ref [] in
   let gathered =
     List.concat_map
       (fun source ->
+        Obs.with_span
+          ~attrs:[ ("source", Source.name source) ]
+          "mediator.source"
+        @@ fun () ->
+        let t0 = Obs.now_s () in
         (* one round-trip per source *)
-        network := !network +. t.latency_s;
+        Obs.add c_round_trips 1;
+        let src_network = ref t.latency_s in
         let entries = entries_of source in
         (* the source only understands organism equality *)
         let source_filtered =
@@ -65,8 +87,18 @@ let run ?(reconcile = true) t q =
         let bytes =
           List.fold_left (fun acc e -> acc + entry_bytes e) 0 source_filtered
         in
-        network := !network +. (float_of_int bytes /. t.bytes_per_second);
+        src_network := !src_network +. (float_of_int bytes /. t.bytes_per_second);
+        network := !network +. !src_network;
         shipped := !shipped + List.length source_filtered;
+        Obs.add c_records_shipped (List.length source_filtered);
+        Obs.add c_bytes_shipped bytes;
+        per_source :=
+          { source = Source.name source;
+            network_s = !src_network;
+            wall_s = Obs.now_s () -. t0;
+            shipped = List.length source_filtered;
+            bytes }
+          :: !per_source;
         List.map (fun e -> (Source.name source, e)) source_filtered)
       t.sources
   in
@@ -85,4 +117,5 @@ let run ?(reconcile = true) t q =
       simulated_network_s = !network;
       sources_contacted = List.length t.sources;
       records_shipped = !shipped;
+      per_source = List.rev !per_source;
     } )

@@ -23,10 +23,19 @@ type query = {
 val query_all : query
 (** No predicates. *)
 
+type source_timing = {
+  source : string;
+  network_s : float;  (** simulated round-trip + transfer for this source *)
+  wall_s : float;     (** real compute time spent querying this source *)
+  shipped : int;      (** records this source shipped *)
+  bytes : int;        (** approximate wire bytes shipped *)
+}
+
 type timing = {
   simulated_network_s : float;  (** round-trips + per-byte transfer *)
   sources_contacted : int;
   records_shipped : int;
+  per_source : source_timing list;  (** one entry per source, in order *)
 }
 
 type t
@@ -43,4 +52,10 @@ val run : ?reconcile:bool -> t -> query -> Entry.t list * timing
 (** Execute a query: ship to every source (each contributes a dump parsed
     client-side, the paper's wrapper work), filter, optionally
     deduplicate across sources ([reconcile], default true, pairs entries
-    with {!Genalg_etl.Integrator.pair_score} ≥ 0.6 and keeps one). *)
+    with {!Genalg_etl.Integrator.pair_score} ≥ 0.6 and keeps one).
+
+    Observability: runs under a [mediator.query] span with one
+    [mediator.source] child span per source contacted; every contact
+    bumps [mediator.round_trips] and adds to [mediator.records_shipped]
+    and [mediator.bytes_shipped]. The returned {!timing.per_source} list
+    gives the same breakdown without enabling the metrics layer. *)

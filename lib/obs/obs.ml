@@ -1,0 +1,243 @@
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Instruments and the process-wide registry                           *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+(* exponential buckets: powers of two starting at 1e-6 *)
+let n_buckets = 32
+let bucket_base = 1e-6
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type instrument = C of counter | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some (H _) ->
+      invalid_arg (Printf.sprintf "Obs.counter: %s is registered as a histogram" name)
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add registry name (C c);
+      c
+
+let add c by = if !enabled_flag then c.c_value <- c.c_value + by
+let value c = c.c_value
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some (C _) ->
+      invalid_arg (Printf.sprintf "Obs.histogram: %s is registered as a counter" name)
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0.; h_min = nan; h_max = nan;
+          h_buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.add registry name (H h);
+      h
+
+let bucket_of v =
+  if v <= bucket_base then 0
+  else
+    let i = 1 + int_of_float (Float.log2 (v /. bucket_base)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let observe h v =
+  if !enabled_flag then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if h.h_count = 1 || v < h.h_min then h.h_min <- v;
+    if h.h_count = 1 || v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+type hist_stats = { n : int; sum : float; min : float; max : float; mean : float }
+
+let stats h =
+  { n = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+    mean = (if h.h_count = 0 then nan else h.h_sum /. float_of_int h.h_count) }
+
+let buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      acc := (bucket_base *. (2. ** float_of_int i), h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Spans and sinks                                                     *)
+
+type span = {
+  span_name : string;
+  attrs : (string * string) list;
+  depth : int;
+  start_s : float;
+  elapsed_s : float;
+}
+
+type sink = { sink_name : string; emit : span -> unit }
+
+let sinks : sink list ref = ref []
+
+let add_sink s =
+  sinks := s :: List.filter (fun x -> x.sink_name <> s.sink_name) !sinks
+
+let remove_sink name = sinks := List.filter (fun x -> x.sink_name <> name) !sinks
+let sink_names () = List.map (fun s -> s.sink_name) !sinks
+
+let memory_sink () =
+  let acc = ref [] in
+  ( { sink_name = "memory"; emit = (fun sp -> acc := sp :: !acc) },
+    fun () -> List.rev !acc )
+
+(* %S produces valid JSON for the ASCII instrument/attribute names used
+   throughout the engine *)
+let span_to_json sp =
+  let attrs =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%S:%S" k v) sp.attrs)
+  in
+  Printf.sprintf
+    {|{"type":"span","name":%S,"depth":%d,"start_s":%.9f,"elapsed_s":%.9f,"attrs":{%s}}|}
+    sp.span_name sp.depth sp.start_s sp.elapsed_s attrs
+
+let json_sink ~name emit = { sink_name = name; emit = (fun sp -> emit (span_to_json sp)) }
+
+let span_depth = ref 0
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let d = !span_depth in
+    span_depth := d + 1;
+    let t0 = now_s () in
+    let finish () =
+      let elapsed = now_s () -. t0 in
+      span_depth := d;
+      observe (histogram name) elapsed;
+      let sp = { span_name = name; attrs; depth = d; start_s = t0; elapsed_s = elapsed } in
+      List.iter (fun s -> s.emit sp) !sinks
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let reset () =
+  span_depth := 0;
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | C c -> c.c_value <- 0
+      | H h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- nan;
+          h.h_max <- nan;
+          Array.fill h.h_buckets 0 n_buckets 0)
+    registry
+
+type entry = {
+  name : string;
+  kind : [ `Counter | `Histogram ];
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+}
+
+let snapshot ?(prefix = "") () =
+  Hashtbl.fold
+    (fun name inst acc ->
+      if not (String.starts_with ~prefix name) then acc
+      else
+        let e =
+          match inst with
+          | C c ->
+              { name; kind = `Counter; count = c.c_value;
+                sum = float_of_int c.c_value; min_v = nan; max_v = nan }
+          | H h -> { name; kind = `Histogram; count = h.h_count; sum = h.h_sum;
+                     min_v = h.h_min; max_v = h.h_max }
+        in
+        e :: acc)
+    registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let fmt_s t =
+  if Float.is_nan t then "-"
+  else if t >= 1. then Printf.sprintf "%.2f s" t
+  else if t >= 1e-3 then Printf.sprintf "%.2f ms" (t *. 1e3)
+  else if t >= 1e-6 then Printf.sprintf "%.1f us" (t *. 1e6)
+  else Printf.sprintf "%.0f ns" (t *. 1e9)
+
+let render_table ?prefix () =
+  let entries = snapshot ?prefix () in
+  let header = [ "instrument"; "kind"; "count"; "sum"; "mean"; "min"; "max" ] in
+  let rows =
+    List.map
+      (fun e ->
+        match e.kind with
+        | `Counter -> [ e.name; "counter"; string_of_int e.count; "-"; "-"; "-"; "-" ]
+        | `Histogram ->
+            let mean = if e.count = 0 then nan else e.sum /. float_of_int e.count in
+            [ e.name; "histogram"; string_of_int e.count;
+              (if e.count = 0 then "-" else fmt_s e.sum); fmt_s mean;
+              fmt_s e.min_v; fmt_s e.max_v ])
+      entries
+  in
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render row =
+    "  "
+    ^ String.concat "  "
+        (List.mapi (fun i c -> c ^ String.make (widths.(i) - String.length c) ' ') row)
+  in
+  String.concat "\n"
+    (render header
+     :: render (List.map (fun w -> String.make w '-') (Array.to_list widths))
+     :: List.map render rows)
+
+let render_json ?prefix () =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         match e.kind with
+         | `Counter ->
+             Printf.sprintf {|{"type":"counter","name":%S,"value":%d}|} e.name e.count
+         | `Histogram ->
+             Printf.sprintf
+               {|{"type":"histogram","name":%S,"count":%d,"sum":%.9f,"min":%s,"max":%s}|}
+               e.name e.count e.sum
+               (if Float.is_nan e.min_v then "null" else Printf.sprintf "%.9f" e.min_v)
+               (if Float.is_nan e.max_v then "null" else Printf.sprintf "%.9f" e.max_v))
+       (snapshot ?prefix ()))

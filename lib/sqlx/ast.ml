@@ -44,6 +44,7 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Analyze of string
   | Drop_table of string
+  | Explain of { analyze : bool; select : select }
 
 let binop_to_string = function
   | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
@@ -153,6 +154,10 @@ let stmt_to_string = function
         | Some w -> " WHERE " ^ expr_to_string w)
   | Analyze table -> Printf.sprintf "ANALYZE %s" table
   | Drop_table table -> Printf.sprintf "DROP TABLE %s" table
+  | Explain { analyze; select } ->
+      Printf.sprintf "EXPLAIN %s%s"
+        (if analyze then "ANALYZE " else "")
+        (select_to_string select)
 
 let is_aggregate_fn name =
   match String.lowercase_ascii name with

@@ -51,6 +51,10 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Analyze of string  (** collect per-column statistics for a table *)
   | Drop_table of string
+  | Explain of { analyze : bool; select : select }
+      (** [EXPLAIN SELECT ...] shows the access plan without running it;
+          [EXPLAIN ANALYZE SELECT ...] executes the query and reports the
+          per-operator tree with row counts and elapsed times *)
 
 val expr_to_string : expr -> string
 val stmt_to_string : stmt -> string

@@ -15,6 +15,12 @@ type outcome =
 
 let ( let* ) = Result.bind
 
+module Obs = Genalg_obs.Obs
+
+let c_queries = Obs.counter "sqlx.queries"
+let c_statements = Obs.counter "sqlx.statements"
+let c_rows_out = Obs.counter "sqlx.rows_out"
+
 type binding = {
   alias : string;
   schema : Schema.t;
@@ -228,11 +234,10 @@ let expr_aliases db bindings_schemas expr =
                bindings_schemas)
        cols)
 
-let run_select ?(optimize = true) db ~actor (select : Ast.select) =
-  (* catalog view for the planner *)
-  let catalog =
-    {
-      Plan.has_index =
+(* catalog view for the planner *)
+let catalog_of db ~actor =
+  {
+    Plan.has_index =
         (fun ~table ~column ->
           match Db.resolve db ~actor table with
           | Some (_, t) -> Table.has_index t ~column
@@ -256,15 +261,83 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
                   Some (1. /. float_of_int distinct)
               | Some _ | None -> None)
           | None -> None);
-    }
+  }
+
+(* per-operator execution profile; [elapsed_s] is inclusive of children *)
+type op_profile = {
+  op : string;
+  actual_rows : int;
+  elapsed_s : float;
+  children : op_profile list;
+}
+
+(* wrap the scan/join/group base in Sort, Limit and Select nodes; stage
+   times are measured from [t_query0] so every node is inclusive *)
+let assemble_profile ~(select : Ast.select) ~join_prof ~group_prof ~t_query0
+    ~t_after_sort ~t_after_limit ~n_sorted ~n_limited ~n_out =
+  let base = match group_prof with Some g -> g | None -> join_prof in
+  let base =
+    if select.Ast.order_by = [] then base
+    else
+      { op =
+          Printf.sprintf "Sort [%s]"
+            (String.concat "; "
+               (List.map
+                  (fun { Ast.key; ascending } ->
+                    Ast.expr_to_string key ^ if ascending then "" else " DESC")
+                  select.Ast.order_by));
+        actual_rows = n_sorted;
+        elapsed_s = t_after_sort -. t_query0;
+        children = [ base ] }
   in
+  let base =
+    match select.Ast.limit with
+    | None -> base
+    | Some n ->
+        { op = Printf.sprintf "Limit %d" n; actual_rows = n_limited;
+          elapsed_s = t_after_limit -. t_query0; children = [ base ] }
+  in
+  { op = "Select"; actual_rows = n_out; elapsed_s = Obs.now_s () -. t_query0;
+    children = [ base ] }
+
+let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
+  Obs.add c_queries 1;
+  Obs.with_span "sqlx.select" @@ fun () ->
+  let catalog = catalog_of db ~actor in
   let plan = Plan.make ~optimize catalog select in
+  let t_query0 = Obs.now_s () in
+  let scan_profs = ref [] in
+  let timed_scan (tp : Plan.table_plan) =
+    let t0 = Obs.now_s () in
+    let res =
+      Obs.with_span ~attrs:[ ("table", tp.Plan.table) ] "sqlx.scan" (fun () ->
+          scan_table db ~actor tp)
+    in
+    (match res with
+    | Ok rows ->
+        let label =
+          Printf.sprintf "Scan %s%s via %s%s" tp.Plan.table
+            (if tp.Plan.alias <> tp.Plan.table then " as " ^ tp.Plan.alias else "")
+            (Plan.access_to_string tp.Plan.access)
+            (match tp.Plan.filters with
+            | [] -> ""
+            | fs ->
+                Printf.sprintf " filter [%s]"
+                  (String.concat "; " (List.map Ast.expr_to_string fs)))
+        in
+        scan_profs :=
+          { op = label; actual_rows = List.length rows;
+            elapsed_s = Obs.now_s () -. t0; children = [] }
+          :: !scan_profs
+    | Error _ -> ());
+    res
+  in
   (* scan + join *)
-  let* joined =
+  let* joined, join_prof =
     match plan.Plan.tables with
     | [] -> Error "SELECT requires a FROM clause"
     | first :: rest ->
-        let* first_rows = scan_table db ~actor first in
+        let* first_rows = timed_scan first in
         let first_rows = List.map (fun b -> [ b ]) first_rows in
         let schemas_so_far tps =
           List.filter_map
@@ -292,7 +365,7 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
               in
               filt [] acc_rows
           | tp :: pending_rest ->
-              let* right_rows = scan_table db ~actor tp in
+              let* right_rows = timed_scan tp in
               let done_tps = done_tps @ [ tp ] in
               let bound_schemas = schemas_so_far done_tps in
               let applicable, deferred =
@@ -326,7 +399,23 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
               let* filtered = filt [] product in
               join_loop filtered done_tps pending_rest deferred
         in
-        join_loop first_rows [ first ] rest plan.Plan.join_filters
+        let* out = join_loop first_rows [ first ] rest plan.Plan.join_filters in
+        let scans = List.rev !scan_profs in
+        let prof =
+          match scans, rest, plan.Plan.join_filters with
+          | [ s ], [], [] -> s
+          | _ ->
+              let op =
+                match plan.Plan.join_filters with
+                | [] -> "Nested-loop join"
+                | fs ->
+                    Printf.sprintf "Nested-loop join filter [%s]"
+                      (String.concat "; " (List.map Ast.expr_to_string fs))
+              in
+              { op; actual_rows = List.length out;
+                elapsed_s = Obs.now_s () -. t_query0; children = scans }
+        in
+        Ok (out, prof)
   in
   (* projection setup *)
   let needs_grouping =
@@ -433,12 +522,21 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
             cmp (ka, kb))
           decorated
     in
+    let t_after_sort = Obs.now_s () in
     let limited =
       match select.Ast.limit with
       | None -> sorted
       | Some n -> List.filteri (fun i _ -> i < n) sorted
     in
-    Ok { columns; rows = List.map fst limited }
+    let t_after_limit = Obs.now_s () in
+    let rows = List.map fst limited in
+    Obs.add c_rows_out (List.length rows);
+    let prof =
+      assemble_profile ~select ~join_prof ~group_prof:None ~t_query0 ~t_after_sort
+        ~t_after_limit ~n_sorted:(List.length sorted)
+        ~n_limited:(List.length limited) ~n_out:(List.length rows)
+    in
+    Ok ({ columns; rows }, prof)
   end
   else begin
     (* grouping path *)
@@ -547,6 +645,21 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
       in
       per_group [] groups
     in
+    let t_after_group = Obs.now_s () in
+    let group_prof =
+      let op =
+        (if select.Ast.group_by = [] then "Aggregate"
+         else
+           Printf.sprintf "Group by [%s]"
+             (String.concat "; " (List.map Ast.expr_to_string select.Ast.group_by)))
+        ^
+        match select.Ast.having with
+        | None -> ""
+        | Some h -> Printf.sprintf " having [%s]" (Ast.expr_to_string h)
+      in
+      { op; actual_rows = List.length out_rows;
+        elapsed_s = t_after_group -. t_query0; children = [ join_prof ] }
+    in
     let sorted =
       if select.Ast.order_by = [] then out_rows
       else
@@ -562,13 +675,67 @@ let run_select ?(optimize = true) db ~actor (select : Ast.select) =
             cmp (ka, kb))
           out_rows
     in
+    let t_after_sort = Obs.now_s () in
     let limited =
       match select.Ast.limit with
       | None -> sorted
       | Some n -> List.filteri (fun i _ -> i < n) sorted
     in
-    Ok { columns = List.map item_name items; rows = List.map fst limited }
+    let t_after_limit = Obs.now_s () in
+    let rows = List.map fst limited in
+    Obs.add c_rows_out (List.length rows);
+    let prof =
+      assemble_profile ~select ~join_prof ~group_prof:(Some group_prof) ~t_query0
+        ~t_after_sort ~t_after_limit ~n_sorted:(List.length sorted)
+        ~n_limited:(List.length limited) ~n_out:(List.length rows)
+    in
+    Ok ({ columns = List.map item_name items; rows }, prof)
   end
+
+let run_select ?optimize db ~actor select =
+  let* rs, _prof = run_select_profiled ?optimize db ~actor select in
+  Ok rs
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+let render_profile prof =
+  let fmt_t t =
+    if t >= 1. then Printf.sprintf "%.3f s" t
+    else if t >= 1e-3 then Printf.sprintf "%.3f ms" (t *. 1e3)
+    else Printf.sprintf "%.1f us" (t *. 1e6)
+  in
+  let lines = ref [] in
+  let rec go prefix child_prefix node =
+    lines :=
+      Printf.sprintf "%s%s  (rows=%d, time=%s)" prefix node.op node.actual_rows
+        (fmt_t node.elapsed_s)
+      :: !lines;
+    let n = List.length node.children in
+    List.iteri
+      (fun i c ->
+        let last = i = n - 1 in
+        go
+          (child_prefix ^ if last then "└─ " else "├─ ")
+          (child_prefix ^ if last then "   " else "│  ")
+          c)
+      node.children
+  in
+  go "" "" prof;
+  List.rev !lines
+
+let explain ?optimize db ~actor ~analyze select =
+  if analyze then
+    let* _rs, prof = run_select_profiled ?optimize db ~actor select in
+    Ok { columns = [ "QUERY PLAN" ];
+         rows = List.map (fun l -> [| D.Str l |]) (render_profile prof) }
+  else
+    let plan = Plan.make ?optimize (catalog_of db ~actor) select in
+    Ok { columns = [ "QUERY PLAN" ];
+         rows =
+           List.map
+             (fun l -> [| D.Str l |])
+             (String.split_on_char '\n' (Plan.to_string plan)) }
 
 (* ------------------------------------------------------------------ *)
 (* DML / DDL                                                           *)
@@ -577,9 +744,13 @@ let target_space ~actor =
   if actor = Db.loader_actor then Db.Public else Db.User actor
 
 let run ?optimize db ~actor stmt =
+  Obs.add c_statements 1;
   match stmt with
   | Ast.Select s ->
       let* rs = run_select ?optimize db ~actor s in
+      Ok (Rows rs)
+  | Ast.Explain { analyze; select } ->
+      let* rs = explain ?optimize db ~actor ~analyze select in
       Ok (Rows rs)
   | Ast.Create_table { table; defs } ->
       let cols =
@@ -696,6 +867,13 @@ let query ?optimize db ~actor input =
   let* stmt = Parser.parse input in
   run ?optimize db ~actor stmt
 
+(* column widths in code points, not bytes — EXPLAIN ANALYZE output
+   contains multi-byte box-drawing characters *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xc0 <> 0x80 then incr n) s;
+  !n
+
 let render db rs =
   let registry = Db.udts db in
   let display v = Genalg_storage.Udt.display_value registry v in
@@ -703,11 +881,11 @@ let render db rs =
   let body = List.map (fun row -> List.map display (Array.to_list row)) rs.rows in
   let ncols = List.length header in
   let widths = Array.make (max 1 ncols) 0 in
-  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iteri (fun i h -> widths.(i) <- display_width h) header;
   List.iter
-    (List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    (List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (display_width cell)))
     body;
-  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let pad i s = s ^ String.make (max 0 (widths.(i) - display_width s)) ' ' in
   let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
   let sep =
     "+-"

@@ -4,7 +4,14 @@
     pushed-down filters, nested-loop joins with early join-filter
     application, grouping/aggregation, HAVING, ORDER BY, LIMIT. All reads
     and writes are permission-checked through {!Genalg_storage.Database}
-    with the calling actor. *)
+    with the calling actor.
+
+    Observability: every SELECT increments the [sqlx.queries] counter and
+    runs under an [sqlx.select] span; each table access runs under an
+    [sqlx.scan] span carrying a [table] attribute, and result cardinality
+    feeds [sqlx.rows_out]. Execution always assembles a per-operator
+    {!op_profile} tree — cheap enough to build unconditionally — which
+    {!explain} renders for [EXPLAIN ANALYZE]. *)
 
 module D := Genalg_storage.Dtype
 
@@ -18,10 +25,39 @@ type outcome =
   | Affected of int   (** INSERT / DELETE *)
   | Executed          (** DDL *)
 
+type op_profile = {
+  op : string;            (** operator label, e.g. ["Scan genes via full scan"] *)
+  actual_rows : int;      (** rows the operator produced *)
+  elapsed_s : float;      (** wall-clock seconds, inclusive of children *)
+  children : op_profile list;
+}
+(** One node of an EXPLAIN ANALYZE operator tree. The root is always a
+    [Select] node whose [actual_rows] equals the result-set cardinality. *)
+
 val run_select :
   ?optimize:bool ->
   Genalg_storage.Database.t -> actor:string -> Ast.select ->
   (result_set, string) result
+
+val run_select_profiled :
+  ?optimize:bool ->
+  Genalg_storage.Database.t -> actor:string -> Ast.select ->
+  (result_set * op_profile, string) result
+(** Like {!run_select} but also returns the per-operator profile tree.
+    Profiling is always on — it adds a handful of clock reads per query,
+    not per row. *)
+
+val render_profile : op_profile -> string list
+(** Render a profile tree as indented lines,
+    ["Select  (rows=3, time=1.204 ms)"] style. *)
+
+val explain :
+  ?optimize:bool ->
+  Genalg_storage.Database.t -> actor:string -> analyze:bool -> Ast.select ->
+  (result_set, string) result
+(** [EXPLAIN] ([analyze:false]) renders the access plan without executing;
+    [EXPLAIN ANALYZE] executes the SELECT and renders the operator tree.
+    Either way the result is a single-column [QUERY PLAN] result set. *)
 
 val run :
   ?optimize:bool ->

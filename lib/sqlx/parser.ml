@@ -35,7 +35,8 @@ let expect_kw st kw =
 let keywords =
   [ "select"; "from"; "where"; "group"; "by"; "having"; "order"; "limit";
     "insert"; "into"; "values"; "create"; "table"; "index"; "genomic"; "on"; "delete";
-    "analyze"; "drop"; "and"; "or"; "not"; "like"; "as"; "asc"; "desc"; "true"; "false"; "null" ]
+    "analyze"; "drop"; "explain"; "and"; "or"; "not"; "like"; "as"; "asc"; "desc";
+    "true"; "false"; "null" ]
 
 let ident st what =
   match peek st with
@@ -392,6 +393,12 @@ let parse_stmt st =
           advance st;
           expect_kw st "table";
           Ast.Drop_table (ident st "table name")
+      | "explain" -> (
+          advance st;
+          let analyze = eat_kw st "analyze" in
+          match parse_select st with
+          | Ast.Select select -> Ast.Explain { analyze; select }
+          | _ -> fail "EXPLAIN expects a SELECT statement")
       | other -> fail "unknown statement %s" other)
   | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
 

@@ -77,3 +77,7 @@ val make : ?optimize:bool -> catalog -> Ast.select -> t
 
 val to_string : t -> string
 (** Human-readable plan (one line per table, then join filters). *)
+
+val access_to_string : access -> string
+(** One-line description of an access path, e.g. ["full scan"] or
+    ["index id = 42"] — used for EXPLAIN output and scan labels. *)

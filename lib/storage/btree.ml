@@ -4,6 +4,13 @@
 let min_degree = 16
 let max_keys = (2 * min_degree) - 1
 
+module Obs = Genalg_obs.Obs
+
+let c_lookups = Obs.counter "storage.btree.lookups"
+let c_inserts = Obs.counter "storage.btree.inserts"
+let c_splits = Obs.counter "storage.btree.node_splits"
+let c_ranges = Obs.counter "storage.btree.range_scans"
+
 type node = {
   mutable keys : Dtype.value array;
   mutable postings : Heap.rid list array;
@@ -46,12 +53,14 @@ let rec find_node node k =
   else find_node node.children.(i) k
 
 let find t k =
+  Obs.add c_lookups 1;
   match find_node t.root k with
   | Some (node, i) -> List.rev node.postings.(i)
   | None -> []
 
 (* Split the full child [child] of [parent] at child index [ci]. *)
 let split_child parent ci =
+  Obs.add c_splits 1;
   let child = parent.children.(ci) in
   let right = new_node child.leaf in
   let mid = min_degree - 1 in
@@ -109,6 +118,7 @@ let rec insert_nonfull node k rid =
   end
 
 let insert t k rid =
+  Obs.add c_inserts 1;
   if t.root.n = max_keys then begin
     let new_root = new_node false in
     new_root.children.(0) <- t.root;
@@ -142,6 +152,7 @@ let rec iter_node f node =
 let iter f t = iter_node f t.root
 
 let range ?lo ?hi ?(lo_inclusive = true) ?(hi_inclusive = true) t =
+  Obs.add c_ranges 1;
   let in_range k =
     (match lo with
     | None -> true

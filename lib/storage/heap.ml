@@ -1,3 +1,9 @@
+module Obs = Genalg_obs.Obs
+
+let c_page_allocs = Obs.counter "storage.heap.page_allocs"
+let c_inserts = Obs.counter "storage.heap.inserts"
+let c_deletes = Obs.counter "storage.heap.deletes"
+
 type rid = { page : int; slot : int }
 
 type t = {
@@ -17,12 +23,14 @@ let ensure_capacity t =
 
 let add_page t =
   ensure_capacity t;
+  Obs.add c_page_allocs 1;
   let p = Page.create () in
   t.pages.(t.npages) <- p;
   t.npages <- t.npages + 1;
   (t.npages - 1, p)
 
 let insert t record =
+  Obs.add c_inserts 1;
   (* try the last page first; heap loads are append-dominated *)
   let try_page i =
     match Page.insert t.pages.(i) record with
@@ -56,7 +64,10 @@ let delete t rid =
   if rid.page < 0 || rid.page >= t.npages then false
   else begin
     let ok = Page.delete t.pages.(rid.page) rid.slot in
-    if ok then t.live <- t.live - 1;
+    if ok then begin
+      Obs.add c_deletes 1;
+      t.live <- t.live - 1
+    end;
     ok
   end
 

@@ -7,6 +7,12 @@ let page_size = 8192
 let header = 8
 let slot_bytes = 8
 
+module Obs = Genalg_obs.Obs
+
+let c_reads = Obs.counter "storage.page.reads"
+let c_writes = Obs.counter "storage.page.writes"
+let c_compactions = Obs.counter "storage.page.compactions"
+
 type t = { data : Bytes.t }
 
 let get_i32 t off = Int32.to_int (Bytes.get_int32_le t.data off)
@@ -40,6 +46,7 @@ let insert t record =
     invalid_arg "Page.insert: record exceeds page capacity";
   if free_space t < len then None
   else begin
+    Obs.add c_writes 1;
     let n = slot_count t in
     let offset = free_end t - len in
     Bytes.blit record 0 t.data offset len;
@@ -56,7 +63,10 @@ let get t i =
   else begin
     let offset = slot_offset t i in
     if offset < 0 then None
-    else Some (Bytes.sub t.data offset (slot_length t i))
+    else begin
+      Obs.add c_reads 1;
+      Some (Bytes.sub t.data offset (slot_length t i))
+    end
   end
 
 let delete t i =
@@ -79,6 +89,7 @@ let live_count t =
 
 let compact t =
   (* Copy live records into a scratch region, tightly packed at the end. *)
+  Obs.add c_compactions 1;
   let scratch = Bytes.create page_size in
   let write_ptr = ref page_size in
   let n = slot_count t in
@@ -108,6 +119,7 @@ let update t i record =
       let new_len = Bytes.length record in
       let old_len = slot_length t i in
       if new_len <= old_len then begin
+        Obs.add c_writes 1;
         Bytes.blit record 0 t.data offset new_len;
         set_slot t i ~offset ~length:new_len;
         true
@@ -123,6 +135,7 @@ let update t i record =
         else begin
           set_slot t i ~offset:(-1) ~length:0;
           compact t;
+          Obs.add c_writes 1;
           let offset = free_end t - new_len in
           Bytes.blit record 0 t.data offset new_len;
           set_slot t i ~offset ~length:new_len;

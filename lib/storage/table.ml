@@ -1,3 +1,9 @@
+module Obs = Genalg_obs.Obs
+
+let c_rows_scanned = Obs.counter "storage.table.rows_scanned"
+let c_index_lookups = Obs.counter "storage.table.index_lookups"
+let c_genomic_searches = Obs.counter "storage.table.genomic_searches"
+
 type t = {
   name : string;
   schema : Schema.t;
@@ -76,7 +82,12 @@ let update t rid row =
           genomic_updates t rid' row Text_index.add;
           Ok rid')
 
-let scan t f = Heap.iter (fun rid bytes -> f rid (Dtype.decode_row bytes)) t.heap
+let scan t f =
+  Heap.iter
+    (fun rid bytes ->
+      Obs.add c_rows_scanned 1;
+      f rid (Dtype.decode_row bytes))
+    t.heap
 
 let fold t ~init ~f =
   Heap.fold (fun rid bytes acc -> f acc rid (Dtype.decode_row bytes)) t.heap init
@@ -105,12 +116,16 @@ let indexed_columns t =
   |> List.sort String.compare
 
 let index_lookup t ~column key =
-  Option.map (fun idx -> Btree.find idx key)
+  Option.map
+    (fun idx ->
+      Obs.add c_index_lookups 1;
+      Btree.find idx key)
     (Hashtbl.find_opt t.indexes (String.lowercase_ascii column))
 
 let index_range t ~column ?lo ?hi ?lo_inclusive ?hi_inclusive () =
   Option.map
     (fun idx ->
+      Obs.add c_index_lookups 1;
       List.concat_map snd (Btree.range ?lo ?hi ?lo_inclusive ?hi_inclusive idx))
     (Hashtbl.find_opt t.indexes (String.lowercase_ascii column))
 
@@ -187,6 +202,7 @@ let genomic_search t ~column ~pattern =
   match Hashtbl.find_opt t.genomic (String.lowercase_ascii column) with
   | None -> `No_index
   | Some (i, gidx) -> (
+      Obs.add c_genomic_searches 1;
       let payload_of rid =
         match get t rid with
         | Some row -> (

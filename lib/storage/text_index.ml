@@ -1,3 +1,8 @@
+module Obs = Genalg_obs.Obs
+
+let c_candidates = Obs.counter "storage.text_index.candidates"
+let c_verified = Obs.counter "storage.text_index.verified"
+
 type t = {
   k : int;
   support : Udt.search_support;
@@ -95,16 +100,21 @@ let candidates t ~pattern =
       let with_always =
         Hashtbl.fold (fun rid () acc -> rid :: acc) t.always hits
       in
-      Some (List.sort_uniq compare with_always)
+      let out = List.sort_uniq compare with_always in
+      Obs.add c_candidates (List.length out);
+      Some out
 
 let search t ~pattern ~payload_of =
   match candidates t ~pattern with
   | None -> None
   | Some rids ->
-      Some
-        (List.filter
-           (fun rid ->
-             match payload_of rid with
-             | Some payload -> t.support.Udt.matches payload ~pattern
-             | None -> false)
-           rids)
+      let hits =
+        List.filter
+          (fun rid ->
+            match payload_of rid with
+            | Some payload -> t.support.Udt.matches payload ~pattern
+            | None -> false)
+          rids
+      in
+      Obs.add c_verified (List.length hits);
+      Some hits

@@ -1,0 +1,257 @@
+(* Unit tests for the observability layer (lib/obs) and its integration
+   with the query executor (EXPLAIN ANALYZE, storage counters). *)
+
+module Obs = Genalg_obs.Obs
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Ast = Genalg_sqlx.Ast
+module Parser = Genalg_sqlx.Parser
+module Exec = Genalg_sqlx.Exec
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* Every test runs against the process-wide registry, so each one resets
+   and disables the layer on the way out, whatever happens. *)
+let isolated f =
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.remove_sink "memory";
+      Obs.reset ())
+    f
+
+(* ---- counters and histograms ------------------------------------------- *)
+
+let test_counter_gating () =
+  isolated @@ fun () ->
+  let c = Obs.counter "test.gated" in
+  Obs.add c 5;
+  check Alcotest.int "disabled adds are dropped" 0 (Obs.value c);
+  Obs.set_enabled true;
+  Obs.add c 3;
+  Obs.add c 4;
+  check Alcotest.int "enabled adds accumulate" 7 (Obs.value c);
+  Obs.reset ();
+  check Alcotest.int "reset zeroes" 0 (Obs.value c);
+  (* re-registering the same name yields the same instrument *)
+  Obs.add (Obs.counter "test.gated") 2;
+  check Alcotest.int "registry dedups by name" 2 (Obs.value c)
+
+let test_histogram_stats () =
+  isolated @@ fun () ->
+  Obs.set_enabled true;
+  let h = Obs.histogram "test.hist" in
+  List.iter (Obs.observe h) [ 0.002; 0.004; 0.006 ];
+  let s = Obs.stats h in
+  check Alcotest.int "count" 3 s.Obs.n;
+  check (Alcotest.float 1e-9) "sum" 0.012 s.Obs.sum;
+  check (Alcotest.float 1e-9) "min" 0.002 s.Obs.min;
+  check (Alcotest.float 1e-9) "max" 0.006 s.Obs.max;
+  check (Alcotest.float 1e-9) "mean" 0.004 s.Obs.mean;
+  check Alcotest.int "observations land in buckets" 3
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Obs.buckets h))
+
+let test_instrument_kind_clash () =
+  isolated @@ fun () ->
+  ignore (Obs.counter "test.clash");
+  check Alcotest.bool "histogram over counter name rejected" true
+    (try
+       ignore (Obs.histogram "test.clash");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  isolated @@ fun () ->
+  Obs.set_enabled true;
+  let sink, collected = Obs.memory_sink () in
+  Obs.add_sink sink;
+  let r =
+    Obs.with_span "test.outer" (fun () ->
+        Obs.with_span ~attrs:[ ("k", "v") ] "test.inner" (fun () -> 41) + 1)
+  in
+  check Alcotest.int "with_span returns the body's value" 42 r;
+  match collected () with
+  | [ inner; outer ] ->
+      (* the inner span finishes (and is emitted) first *)
+      check Alcotest.string "inner name" "test.inner" inner.Obs.span_name;
+      check Alcotest.string "outer name" "test.outer" outer.Obs.span_name;
+      check Alcotest.int "inner depth" 1 inner.Obs.depth;
+      check Alcotest.int "outer depth" 0 outer.Obs.depth;
+      check Alcotest.bool "attrs carried" true (inner.Obs.attrs = [ ("k", "v") ]);
+      check Alcotest.bool "outer encloses inner" true
+        (outer.Obs.elapsed_s >= inner.Obs.elapsed_s);
+      (* each span also feeds the same-named histogram *)
+      check Alcotest.int "span histogram observed" 1
+        (Obs.stats (Obs.histogram "test.inner")).Obs.n
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_span_disabled_is_passthrough () =
+  isolated @@ fun () ->
+  let sink, collected = Obs.memory_sink () in
+  Obs.add_sink sink;
+  check Alcotest.int "body still runs" 7 (Obs.with_span "test.off" (fun () -> 7));
+  check Alcotest.int "nothing emitted while disabled" 0 (List.length (collected ()));
+  check Alcotest.int "no histogram samples" 0
+    (Obs.stats (Obs.histogram "test.off")).Obs.n
+
+(* ---- sink output stability ---------------------------------------------- *)
+
+let test_json_output () =
+  isolated @@ fun () ->
+  Obs.set_enabled true;
+  let lines = ref [] in
+  Obs.add_sink (Obs.json_sink ~name:"memory" (fun l -> lines := l :: !lines));
+  Obs.with_span ~attrs:[ ("table", "frag") ] "test.json" (fun () -> ());
+  (match !lines with
+  | [ l ] ->
+      check Alcotest.bool "span json shape" true
+        (String.length l > 0
+        && l.[0] = '{'
+        && l.[String.length l - 1] = '}');
+      let has needle =
+        let n = String.length needle and m = String.length l in
+        let rec go i = i + n <= m && (String.sub l i n = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "name field" true (has {|"name":"test.json"|});
+      check Alcotest.bool "attr field" true (has {|"table":"frag"|})
+  | ls -> Alcotest.failf "expected 1 json line, got %d" (List.length ls));
+  Obs.add (Obs.counter "test.json_counter") 9;
+  let snap = Obs.render_json ~prefix:"test.json_counter" () in
+  check Alcotest.string "counter json is stable"
+    {|{"type":"counter","name":"test.json_counter","value":9}|} snap
+
+let test_render_table () =
+  isolated @@ fun () ->
+  Obs.set_enabled true;
+  Obs.add (Obs.counter "test.tbl.hits") 12;
+  Obs.observe (Obs.histogram "test.tbl.lat") 0.5;
+  let t = Obs.render_table ~prefix:"test.tbl." () in
+  let lines = String.split_on_char '\n' t in
+  check Alcotest.int "header + rule + 2 rows" 4 (List.length lines);
+  let widths = List.map String.length lines in
+  check Alcotest.bool "columns aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+(* ---- executor integration ----------------------------------------------- *)
+
+let fixture_db () =
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let run sql =
+    match Exec.query db ~actor:Db.loader_actor sql with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "fixture: %s (%s)" msg sql
+  in
+  ignore (run "CREATE TABLE frag (id int NOT NULL, organism string, len int)");
+  for i = 1 to 20 do
+    ignore
+      (run
+         (Printf.sprintf "INSERT INTO frag VALUES (%d, '%s', %d)" i
+            (if i mod 2 = 0 then "ecoli" else "yeast")
+            (i * 10)))
+  done;
+  db
+
+let select_of sql =
+  match Parser.parse sql with
+  | Ok (Ast.Select s) -> s
+  | _ -> Alcotest.failf "not a SELECT: %s" sql
+
+let rows_of = function
+  | Exec.Rows rs -> rs.Exec.rows
+  | _ -> Alcotest.fail "expected rows"
+
+(* first "rows=N" figure on a rendered plan line *)
+let rendered_rows line =
+  let tag = "rows=" in
+  let n = String.length line in
+  let rec find i =
+    if i + 5 > n then Alcotest.failf "no rows= in %S" line
+    else if String.sub line i 5 = tag then
+      let j = ref (i + 5) in
+      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+      int_of_string (String.sub line (i + 5) (!j - i - 5))
+    else find (i + 1)
+  in
+  find 0
+
+let test_profile_rows_match () =
+  isolated @@ fun () ->
+  let db = fixture_db () in
+  List.iter
+    (fun sql ->
+      let rs, prof =
+        match Exec.run_select_profiled db ~actor:"u" (select_of sql) with
+        | Ok v -> v
+        | Error msg -> Alcotest.failf "%s: %s" sql msg
+      in
+      check Alcotest.string ("root op for " ^ sql) "Select" prof.Exec.op;
+      check Alcotest.int ("root rows for " ^ sql) (List.length rs.Exec.rows)
+        prof.Exec.actual_rows;
+      (* the rendered tree carries the same figure on its first line *)
+      match Exec.render_profile prof with
+      | root :: _ ->
+          check Alcotest.int ("rendered rows for " ^ sql)
+            (List.length rs.Exec.rows) (rendered_rows root)
+      | [] -> Alcotest.fail "empty rendering")
+    [
+      "SELECT * FROM frag";
+      "SELECT * FROM frag WHERE organism = 'ecoli'";
+      "SELECT organism, count(*) FROM frag GROUP BY organism";
+      "SELECT * FROM frag ORDER BY len DESC LIMIT 3";
+      "SELECT a.id FROM frag a, frag b WHERE a.id = b.id AND a.len > 150";
+    ]
+
+let test_explain_analyze_statement () =
+  isolated @@ fun () ->
+  let db = fixture_db () in
+  let q = "SELECT * FROM frag WHERE len > 100" in
+  let actual = List.length (rows_of (Result.get_ok (Exec.query db ~actor:"u" q))) in
+  check Alcotest.bool "fixture returns rows" true (actual > 0);
+  match Exec.query db ~actor:"u" ("EXPLAIN ANALYZE " ^ q) with
+  | Ok (Exec.Rows rs) ->
+      check Alcotest.bool "single QUERY PLAN column" true
+        (rs.Exec.columns = [ "QUERY PLAN" ]);
+      (match rs.Exec.rows with
+      | [| D.Str root |] :: _ ->
+          check Alcotest.int "EXPLAIN ANALYZE row count matches execution" actual
+            (rendered_rows root)
+      | _ -> Alcotest.fail "expected string plan rows")
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error msg -> Alcotest.failf "EXPLAIN ANALYZE failed: %s" msg
+
+let test_storage_counters_flow () =
+  isolated @@ fun () ->
+  let db = fixture_db () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  ignore (Exec.query db ~actor:"u" "SELECT * FROM frag");
+  check Alcotest.int "one query counted" 1 (Obs.value (Obs.counter "sqlx.queries"));
+  check Alcotest.int "full scan touches every row" 20
+    (Obs.value (Obs.counter "storage.table.rows_scanned"));
+  check Alcotest.int "result rows counted" 20
+    (Obs.value (Obs.counter "sqlx.rows_out"));
+  check Alcotest.bool "select span recorded" true
+    ((Obs.stats (Obs.histogram "sqlx.select")).Obs.n = 1)
+
+let suites =
+  [
+    ( "obs",
+      [
+        tc "counter gating and reset" `Quick test_counter_gating;
+        tc "histogram stats" `Quick test_histogram_stats;
+        tc "instrument kind clash" `Quick test_instrument_kind_clash;
+        tc "span nesting" `Quick test_span_nesting;
+        tc "spans disabled are passthrough" `Quick test_span_disabled_is_passthrough;
+        tc "json output stability" `Quick test_json_output;
+        tc "render_table alignment" `Quick test_render_table;
+        tc "profile rows match results" `Quick test_profile_rows_match;
+        tc "EXPLAIN ANALYZE statement" `Quick test_explain_analyze_statement;
+        tc "storage counters flow" `Quick test_storage_counters_flow;
+      ] );
+  ]
