@@ -201,7 +201,7 @@ let stats_cmd =
               (String.concat "," (Table.indexed_columns t))
               (String.concat "," genomic_cols))
           (Db.tables db);
-        match sql with
+        (match sql with
         | None -> ()
         | Some sql -> (
             Obs.set_enabled true;
@@ -214,7 +214,24 @@ let stats_cmd =
                 print_endline (Obs.render_table ())
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
-                exit 1))
+                exit 1));
+        (* cache activity so far in this process (always-on tallies, so
+           this works without --sql / the metrics layer) *)
+        let module Lru = Genalg_cache.Lru in
+        print_newline ();
+        Printf.printf "%-12s %8s %8s %9s %9s %13s\n" "cache" "hits" "misses"
+          "hit rate" "evictions" "invalidations";
+        List.iter
+          (fun (name, (s : Lru.stats)) ->
+            let total = s.Lru.hits + s.Lru.misses in
+            Printf.printf "%-12s %8d %8d %9s %9d %13d\n" name s.Lru.hits
+              s.Lru.misses
+              (if total = 0 then "-"
+               else
+                 Printf.sprintf "%.0f%%"
+                   (100. *. float_of_int s.Lru.hits /. float_of_int total))
+              s.Lru.evictions s.Lru.invalidations)
+          (Lru.registry_stats ()))
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
   let actor =

@@ -24,4 +24,13 @@ dune exec bin/genalg.exe -- query "$DB" \
   "EXPLAIN ANALYZE SELECT organism, count(*) AS n FROM sequences WHERE length > 500 GROUP BY organism"
 
 rm -rf "$(dirname "$DB")"
+
+echo "== smoke: cache layers (CACHE bench, warm hit rate must be nonzero) =="
+CACHE_OUT=$(dune exec bench/main.exe -- CACHE)
+echo "$CACHE_OUT"
+echo "$CACHE_OUT" | grep -q "cache-smoke: warm-hit-rate-nonzero=yes" || {
+  echo "cache smoke FAILED: warm hit rate is zero" >&2
+  exit 1
+}
+
 echo "== ci ok =="

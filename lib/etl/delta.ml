@@ -47,6 +47,24 @@ let apply deltas entries =
   in
   surviving @ inserted
 
+(* ---- change notifications ----------------------------------------- *)
+(* Downstream caches (the mediator's per-source response cache) register
+   here; [Monitor.poll] publishes every non-empty batch of detected
+   deltas under the originating source's name. *)
+
+let next_listener = ref 0
+let listeners : (int, source:string -> t list -> unit) Hashtbl.t = Hashtbl.create 4
+
+let on_change f =
+  incr next_listener;
+  Hashtbl.replace listeners !next_listener f;
+  !next_listener
+
+let unsubscribe id = Hashtbl.remove listeners id
+
+let notify ~source deltas =
+  if deltas <> [] then Hashtbl.iter (fun _ f -> f ~source deltas) listeners
+
 let pp ppf t =
   let k = match kind t with
     | Insertion -> "insert"

@@ -29,4 +29,22 @@ val apply : t list -> Entry.t list -> Entry.t list
 (** Replay deltas over a repository state (keyed by accession; insertion
     order preserved, inserts appended). *)
 
+(** {1 Change notifications}
+
+    A process-wide listener registry connecting change detection to the
+    caches above it: [Monitor.poll] calls {!notify} with every non-empty
+    delta batch it detects, and e.g. the mediator's response cache
+    subscribes with {!on_change} to drop entries for the changed source
+    (see [docs/CACHING.md]). *)
+
+val on_change : (source:string -> t list -> unit) -> int
+(** Register a listener; returns a token for {!unsubscribe}. The
+    registry holds the listener (and anything it closes over) alive
+    until unsubscribed. *)
+
+val unsubscribe : int -> unit
+
+val notify : source:string -> t list -> unit
+(** Deliver a batch to every listener; no-op on the empty list. *)
+
 val pp : Format.formatter -> t -> unit

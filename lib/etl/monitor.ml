@@ -224,4 +224,5 @@ let poll t =
       | Database_trigger | Program_trigger | Log_inspection | Edit_sequence
       | Snapshot_differential ->
           ());
+      Delta.notify ~source:(Source.name t.source) ds;
       ds)

@@ -2,7 +2,9 @@ open Genalg_gdt
 open Genalg_formats
 module Source = Genalg_etl.Source
 module Integrator = Genalg_etl.Integrator
+module Delta = Genalg_etl.Delta
 module Obs = Genalg_obs.Obs
+module Lru = Genalg_cache.Lru
 
 let c_round_trips = Obs.counter "mediator.round_trips"
 let c_records_shipped = Obs.counter "mediator.records_shipped"
@@ -22,6 +24,7 @@ type source_timing = {
   wall_s : float;
   shipped : int;
   bytes : int;
+  from_cache : bool;
 }
 
 type timing = {
@@ -31,14 +34,50 @@ type timing = {
   per_source : source_timing list;
 }
 
+(* one cached source response: post-pushdown entries, keyed below by
+   (source name, pushed-down organism) *)
+type cached = {
+  entries : Entry.t list;
+  expires_s : float; (* Obs.now_s deadline *)
+}
+
 type t = {
   sources : Source.t list;
   latency_s : float;
   bytes_per_second : float;
+  cache : (string * string option, cached) Lru.t option;
+  ttl_s : float;
+  mutable listener : int option; (* Delta.on_change token *)
 }
 
-let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) sources =
-  { sources; latency_s; bytes_per_second }
+let invalidate_source t name =
+  match t.cache with
+  | None -> 0
+  | Some c -> Lru.invalidate_where c (fun (src, _) _ -> src = name)
+
+let detach t =
+  match t.listener with
+  | Some id ->
+      Delta.unsubscribe id;
+      t.listener <- None
+  | None -> ()
+
+let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) ?cache_ttl_s sources =
+  let cache =
+    Option.map
+      (fun _ -> Lru.create ~name:"mediator" ~max_entries:256 ())
+      cache_ttl_s
+  in
+  let t =
+    { sources; latency_s; bytes_per_second; cache;
+      ttl_s = Option.value cache_ttl_s ~default:0.; listener = None }
+  in
+  (* ETL change detection drives explicit invalidation: whenever a
+     monitor publishes deltas for a source, its cached responses die *)
+  if cache <> None then
+    t.listener <-
+      Some (Delta.on_change (fun ~source _deltas -> ignore (invalidate_source t source)));
+  t
 
 let entries_of source =
   match Source.query_all source with
@@ -73,31 +112,54 @@ let run ?(reconcile = true) t q =
           "mediator.source"
         @@ fun () ->
         let t0 = Obs.now_s () in
-        (* one round-trip per source *)
-        Obs.add c_round_trips 1;
-        let src_network = ref t.latency_s in
-        let entries = entries_of source in
-        (* the source only understands organism equality *)
-        let source_filtered =
-          match q.organism with
-          | None -> entries
-          | Some org ->
-              List.filter (fun (e : Entry.t) -> e.Entry.organism = org) entries
+        let key = (Source.name source, q.organism) in
+        let cached =
+          match t.cache with
+          | None -> None
+          | Some c ->
+              Lru.find_validated c key ~validate:(fun e ->
+                  e.expires_s > Obs.now_s ())
         in
-        let bytes =
-          List.fold_left (fun acc e -> acc + entry_bytes e) 0 source_filtered
+        let source_filtered, bytes, from_cache =
+          match cached with
+          | Some e -> (e.entries, 0, true) (* no round trip, nothing shipped *)
+          | None ->
+              (* one round-trip per source *)
+              Obs.add c_round_trips 1;
+              let src_network = ref t.latency_s in
+              let entries = entries_of source in
+              (* the source only understands organism equality *)
+              let source_filtered =
+                match q.organism with
+                | None -> entries
+                | Some org ->
+                    List.filter (fun (e : Entry.t) -> e.Entry.organism = org) entries
+              in
+              let bytes =
+                List.fold_left (fun acc e -> acc + entry_bytes e) 0 source_filtered
+              in
+              src_network := !src_network +. (float_of_int bytes /. t.bytes_per_second);
+              network := !network +. !src_network;
+              shipped := !shipped + List.length source_filtered;
+              Obs.add c_records_shipped (List.length source_filtered);
+              Obs.add c_bytes_shipped bytes;
+              (match t.cache with
+              | Some c ->
+                  Lru.put c key
+                    { entries = source_filtered;
+                      expires_s = Obs.now_s () +. t.ttl_s }
+              | None -> ());
+              (source_filtered, bytes, false)
         in
-        src_network := !src_network +. (float_of_int bytes /. t.bytes_per_second);
-        network := !network +. !src_network;
-        shipped := !shipped + List.length source_filtered;
-        Obs.add c_records_shipped (List.length source_filtered);
-        Obs.add c_bytes_shipped bytes;
         per_source :=
           { source = Source.name source;
-            network_s = !src_network;
+            network_s =
+              (if from_cache then 0.
+               else t.latency_s +. (float_of_int bytes /. t.bytes_per_second));
             wall_s = Obs.now_s () -. t0;
-            shipped = List.length source_filtered;
-            bytes }
+            shipped = (if from_cache then 0 else List.length source_filtered);
+            bytes;
+            from_cache }
           :: !per_source;
         List.map (fun e -> (Source.name source, e)) source_filtered)
       t.sources

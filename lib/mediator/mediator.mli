@@ -29,6 +29,8 @@ type source_timing = {
   wall_s : float;     (** real compute time spent querying this source *)
   shipped : int;      (** records this source shipped *)
   bytes : int;        (** approximate wire bytes shipped *)
+  from_cache : bool;  (** served from the response cache: no round trip,
+                          [network_s] and [shipped] are zero *)
 }
 
 type timing = {
@@ -43,10 +45,27 @@ type t
 val create :
   ?latency_s:float ->
   ?bytes_per_second:float ->
+  ?cache_ttl_s:float ->
   Genalg_etl.Source.t list ->
   t
 (** Wrap sources for mediation. Default latency 0.02 s per round-trip,
-    transfer 10 MB/s. *)
+    transfer 10 MB/s.
+
+    [cache_ttl_s] switches on the per-source response cache ([cache.mediator.*]
+    instruments): each (source, pushed-down organism) response is kept for
+    that many seconds and dropped early when ETL change detection publishes
+    deltas for the source ({!Genalg_etl.Delta.on_change}). Off by default —
+    the paper's Figure-1 baseline pays every round trip, and the F1
+    experiment measures it that way. A caching mediator is registered with
+    the delta notifier; call {!detach} when discarding it. *)
+
+val invalidate_source : t -> string -> int
+(** Drop every cached response from the named source; returns the number
+    dropped (counted under [cache.mediator.invalidations]). No-op without
+    a cache. *)
+
+val detach : t -> unit
+(** Unsubscribe from delta notifications (no-op if not subscribed). *)
 
 val run : ?reconcile:bool -> t -> query -> Entry.t list * timing
 (** Execute a query: ship to every source (each contributes a dump parsed

@@ -16,6 +16,7 @@ type outcome =
 let ( let* ) = Result.bind
 
 module Obs = Genalg_obs.Obs
+module Lru = Genalg_cache.Lru
 
 let c_queries = Obs.counter "sqlx.queries"
 let c_statements = Obs.counter "sqlx.statements"
@@ -234,6 +235,137 @@ let expr_aliases db bindings_schemas expr =
                bindings_schemas)
        cols)
 
+(* ------------------------------------------------------------------ *)
+(* Statement caches (docs/CACHING.md): a parse cache keyed on the
+   normalized statement text, a plan cache and a read-only result cache
+   keyed on (database id, actor, optimize flag, SELECT ast). Plan and
+   result entries carry the version counters of every table they touched
+   and are validated on lookup, so invalidation is correct no matter
+   which path wrote (sqlx, the ETL loader, or direct Table calls);
+   SQL writes additionally sweep eagerly via [invalidate_table]. *)
+
+let normalize_statement s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending_space := true
+      | c ->
+          if !pending_space then Buffer.add_char buf ' ';
+          pending_space := false;
+          Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type query_key = {
+  qk_db : int;
+  qk_actor : string; (* lowercased; resolution is case-insensitive *)
+  qk_optimize : bool;
+  qk_select : Ast.select;
+}
+
+type plan_entry = {
+  pe_plan : Plan.t;
+  pe_catalog : int;
+  pe_deps : (string * int option) list;
+      (* FROM table -> schema_version at build; None = unresolvable *)
+}
+
+type result_entry = {
+  re_rs : result_set;
+  re_catalog : int;
+  re_deps : (string * int * int) list; (* table, data_version, schema_version *)
+}
+
+let stmt_cache : (string, Ast.stmt) Lru.t ref =
+  ref (Lru.create ~name:"stmt" ~max_entries:512 ())
+
+let plan_cache : (query_key, plan_entry) Lru.t ref =
+  ref (Lru.create ~name:"plan" ~max_entries:256 ())
+
+let value_weight = function
+  | D.Null | D.Bool _ | D.Int _ | D.Float _ -> 16
+  | D.Str s -> 24 + String.length s
+  | D.Opaque (tag, payload) -> 32 + String.length tag + Bytes.length payload
+
+let result_weight _ e =
+  List.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> acc + value_weight v) (acc + 24) row)
+    (List.fold_left (fun acc c -> acc + 24 + String.length c) 0 e.re_rs.columns)
+    e.re_rs.rows
+
+let default_result_entries = 128
+let default_result_bytes = 4 * 1024 * 1024
+
+let result_cache : (query_key, result_entry) Lru.t ref =
+  ref
+    (Lru.create ~name:"result" ~max_entries:default_result_entries
+       ~max_bytes:default_result_bytes ~weight:result_weight ())
+
+let set_plan_cache_entries n =
+  plan_cache := Lru.create ~name:"plan" ~max_entries:(max 1 n) ()
+
+let set_result_cache_limits ~entries ~bytes =
+  result_cache :=
+    Lru.create ~name:"result" ~max_entries:(max 1 entries) ~max_bytes:(max 0 bytes)
+      ~weight:result_weight ()
+
+let clear_statement_caches () =
+  Lru.clear !stmt_cache;
+  Lru.clear !plan_cache;
+  Lru.clear !result_cache
+
+let query_key db ~actor ~optimize select =
+  { qk_db = Db.id db; qk_actor = String.lowercase_ascii actor; qk_optimize = optimize;
+    qk_select = select }
+
+let dep_table db ~actor name =
+  Option.map snd (Db.resolve db ~actor name)
+
+let plan_deps db ~actor (select : Ast.select) =
+  List.map
+    (fun (table, _alias) ->
+      (table, Option.map Table.schema_version (dep_table db ~actor table)))
+    select.Ast.from
+
+let plan_fresh db ~actor e =
+  e.pe_catalog = Db.catalog_version db
+  && List.for_all
+       (fun (table, v) ->
+         Option.map Table.schema_version (dep_table db ~actor table) = v)
+       e.pe_deps
+
+let result_deps db ~actor (select : Ast.select) =
+  (* only called after a successful execution, so every table resolves *)
+  List.filter_map
+    (fun (table, _alias) ->
+      Option.map
+        (fun t -> (table, Table.data_version t, Table.schema_version t))
+        (dep_table db ~actor table))
+    select.Ast.from
+
+let result_fresh db ~actor e =
+  e.re_catalog = Db.catalog_version db
+  && List.for_all
+       (fun (table, dv, sv) ->
+         match dep_table db ~actor table with
+         | Some t -> Table.data_version t = dv && Table.schema_version t = sv
+         | None -> false)
+       e.re_deps
+
+let invalidate_table db ~table =
+  let id = Db.id db in
+  let lname = String.lowercase_ascii table in
+  let touches deps name_of k =
+    k.qk_db = id
+    && List.exists (fun d -> String.lowercase_ascii (name_of d) = lname) deps
+  in
+  Lru.invalidate_where !result_cache (fun k e ->
+      touches e.re_deps (fun (n, _, _) -> n) k)
+  + Lru.invalidate_where !plan_cache (fun k e ->
+        touches e.pe_deps fst k)
+
 (* catalog view for the planner *)
 let catalog_of db ~actor =
   {
@@ -262,6 +394,17 @@ let catalog_of db ~actor =
               | Some _ | None -> None)
           | None -> None);
   }
+
+let cached_plan db ~actor ~optimize select =
+  let key = query_key db ~actor ~optimize select in
+  match Lru.find_validated !plan_cache key ~validate:(plan_fresh db ~actor) with
+  | Some e -> e.pe_plan
+  | None ->
+      let plan = Plan.make ~optimize (catalog_of db ~actor) select in
+      Lru.put !plan_cache key
+        { pe_plan = plan; pe_catalog = Db.catalog_version db;
+          pe_deps = plan_deps db ~actor select };
+      plan
 
 (* per-operator execution profile; [elapsed_s] is inclusive of children *)
 type op_profile = {
@@ -303,8 +446,7 @@ let assemble_profile ~(select : Ast.select) ~join_prof ~group_prof ~t_query0
 let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
   Obs.add c_queries 1;
   Obs.with_span "sqlx.select" @@ fun () ->
-  let catalog = catalog_of db ~actor in
-  let plan = Plan.make ~optimize catalog select in
+  let plan = cached_plan db ~actor ~optimize select in
   let t_query0 = Obs.now_s () in
   let scan_profs = ref [] in
   let timed_scan (tp : Plan.table_plan) =
@@ -730,7 +872,8 @@ let explain ?optimize db ~actor ~analyze select =
     Ok { columns = [ "QUERY PLAN" ];
          rows = List.map (fun l -> [| D.Str l |]) (render_profile prof) }
   else
-    let plan = Plan.make ?optimize (catalog_of db ~actor) select in
+    let optimize = Option.value optimize ~default:true in
+    let plan = cached_plan db ~actor ~optimize select in
     Ok { columns = [ "QUERY PLAN" ];
          rows =
            List.map
@@ -746,9 +889,24 @@ let target_space ~actor =
 let run ?optimize db ~actor stmt =
   Obs.add c_statements 1;
   match stmt with
-  | Ast.Select s ->
-      let* rs = run_select ?optimize db ~actor s in
-      Ok (Rows rs)
+  | Ast.Select s -> (
+      (* read-only: served from the result cache when every dependency's
+         version counters still match (see docs/CACHING.md) *)
+      let opt = Option.value optimize ~default:true in
+      let key = query_key db ~actor ~optimize:opt s in
+      match
+        Lru.find_validated !result_cache key ~validate:(result_fresh db ~actor)
+      with
+      | Some e ->
+          Obs.add c_queries 1;
+          Obs.add c_rows_out (List.length e.re_rs.rows);
+          Ok (Rows e.re_rs)
+      | None ->
+          let* rs = run_select ?optimize db ~actor s in
+          Lru.put !result_cache key
+            { re_rs = rs; re_catalog = Db.catalog_version db;
+              re_deps = result_deps db ~actor s };
+          Ok (Rows rs))
   | Ast.Explain { analyze; select } ->
       let* rs = explain ?optimize db ~actor ~analyze select in
       Ok (Rows rs)
@@ -767,18 +925,21 @@ let run ?optimize db ~actor stmt =
       let* _ = Db.create_table db ~actor ~space:(target_space ~actor) ~name:table schema in
       Ok Executed
   | Ast.Create_index { table; column } -> (
+      ignore (invalidate_table db ~table);
       match Db.resolve db ~actor table with
       | None -> Error (Printf.sprintf "unknown table %s" table)
       | Some (_, t) ->
           let* () = Table.create_index t ~column in
           Ok Executed)
   | Ast.Create_genomic_index { table; column } -> (
+      ignore (invalidate_table db ~table);
       match Db.resolve db ~actor table with
       | None -> Error (Printf.sprintf "unknown table %s" table)
       | Some (_, t) ->
           let* () = Table.create_genomic_index t ~column ~registry:(Db.udts db) in
           Ok Executed)
   | Ast.Insert { table; columns; rows } -> (
+      ignore (invalidate_table db ~table);
       let space = target_space ~actor in
       match Db.find_table db ~space table with
       | None -> Error (Printf.sprintf "no table %s in your writable space" table)
@@ -826,16 +987,19 @@ let run ?optimize db ~actor stmt =
           in
           insert_rows 0 rows)
   | Ast.Analyze table -> (
+      ignore (invalidate_table db ~table);
       match Db.resolve db ~actor table with
       | None -> Error (Printf.sprintf "unknown table %s" table)
       | Some (_, t) ->
           Table.analyze t;
           Ok Executed)
   | Ast.Drop_table table ->
+      ignore (invalidate_table db ~table);
       let space = target_space ~actor in
       let* () = Db.drop_table db ~actor ~space ~name:table in
       Ok Executed
   | Ast.Delete { table; where } -> (
+      ignore (invalidate_table db ~table);
       let space = target_space ~actor in
       match Db.find_table db ~space table with
       | None -> Error (Printf.sprintf "no table %s in your writable space" table)
@@ -864,7 +1028,15 @@ let run ?optimize db ~actor stmt =
               Ok (Affected n)))
 
 let query ?optimize db ~actor input =
-  let* stmt = Parser.parse input in
+  let* stmt =
+    let key = normalize_statement input in
+    match Lru.find !stmt_cache key with
+    | Some stmt -> Ok stmt
+    | None ->
+        let* stmt = Parser.parse input in
+        Lru.put !stmt_cache key stmt;
+        Ok stmt
+  in
   run ?optimize db ~actor stmt
 
 (* column widths in code points, not bytes — EXPLAIN ANALYZE output

@@ -70,7 +70,40 @@ val query :
   ?optimize:bool ->
   Genalg_storage.Database.t -> actor:string -> string ->
   (outcome, string) result
-(** Parse then {!run}. *)
+(** Parse then {!run}. Parsing goes through the statement cache, keyed
+    on the whitespace-normalized statement text. *)
+
+(** {1 Statement caches}
+
+    Three process-wide LRUs back {!query} and {!run} (full story in
+    [docs/CACHING.md]):
+
+    - [cache.stmt] — normalized statement text -> parsed AST;
+    - [cache.plan] — (database id, actor, optimize, SELECT ast) -> plan,
+      validated against table schema versions and the catalog version;
+    - [cache.result] — same key -> result set for read-only SELECTs
+      executed via {!run}/{!query}, validated against table data/schema
+      versions, eagerly swept by SQL writes and DDL.
+
+    Validation makes staleness impossible regardless of the write path:
+    a hit is only served while every touched table's version counters
+    match those recorded at execution. A cached result set is shared —
+    treat returned rows as read-only (the engine never mutates them). *)
+
+val invalidate_table : Genalg_storage.Database.t -> table:string -> int
+(** Eagerly drop every cached plan/result depending on [table] in this
+    database; returns how many entries were dropped (all counted under
+    [cache.{plan,result}.invalidations]). *)
+
+val clear_statement_caches : unit -> unit
+(** Empty all three caches (statistics are kept). For tests/benches. *)
+
+val set_plan_cache_entries : int -> unit
+(** Replace the plan cache with an empty one of the given capacity. *)
+
+val set_result_cache_limits : entries:int -> bytes:int -> unit
+(** Replace the result cache with an empty one bounded by [entries] and
+    [bytes] (approximate decoded size of the cached result sets). *)
 
 val render : Genalg_storage.Database.t -> result_set -> string
 (** ASCII table with UDT-aware value display. *)

@@ -1,0 +1,98 @@
+module Lru = Genalg_cache.Lru
+
+type frame = { page : Page.t; mutable dirty : bool }
+
+type t = {
+  mutable images : Bytes.t option array;
+      (* the "disk" tier; [None] only while the page's frame is dirty *)
+  mutable npages : int;
+  frames : (int, frame) Lru.t;
+}
+
+let default_cap = ref 256
+let set_default_capacity n = default_cap := max 4 n
+let default_capacity () = !default_cap
+
+let write_back t i fr =
+  if fr.dirty then begin
+    t.images.(i) <- Some (Page.to_bytes fr.page);
+    fr.dirty <- false
+  end
+
+let create ?capacity () =
+  let capacity = max 4 (Option.value capacity ~default:!default_cap) in
+  (* Tie the eviction callback to the pool through a forward reference:
+     the Lru must exist before the record it writes back into. *)
+  let self = ref None in
+  let on_evict i fr =
+    match !self with Some t -> write_back t i fr | None -> ()
+  in
+  let t =
+    {
+      images = Array.make 4 None;
+      npages = 0;
+      frames = Lru.create ~name:"bufferpool" ~max_entries:capacity ~on_evict ();
+    }
+  in
+  self := Some t;
+  t
+
+let page_count t = t.npages
+
+let ensure_capacity t =
+  if t.npages = Array.length t.images then begin
+    let bigger = Array.make (2 * Array.length t.images) None in
+    Array.blit t.images 0 bigger 0 t.npages;
+    t.images <- bigger
+  end
+
+let add_page t =
+  ensure_capacity t;
+  let i = t.npages in
+  t.npages <- t.npages + 1;
+  Lru.put t.frames i { page = Page.create (); dirty = true };
+  i
+
+let install_page_image t img =
+  ensure_capacity t;
+  t.images.(t.npages) <- Some img;
+  t.npages <- t.npages + 1
+
+let frame t i =
+  match Lru.find t.frames i with
+  | Some fr -> fr
+  | None -> (
+      match t.images.(i) with
+      | None -> invalid_arg "Buffer_pool: page has neither frame nor image"
+      | Some img -> (
+          match Page.of_bytes img with
+          | Ok page ->
+              let fr = { page; dirty = false } in
+              Lru.put t.frames i fr;
+              fr
+          | Error msg -> invalid_arg ("Buffer_pool: corrupt page image: " ^ msg)))
+
+let with_frame t i f =
+  if i < 0 || i >= t.npages then invalid_arg "Buffer_pool.with_page: out of range";
+  let fr = frame t i in
+  ignore (Lru.pin t.frames i);
+  Fun.protect ~finally:(fun () -> Lru.unpin t.frames i) (fun () -> f fr)
+
+let with_page t i f = with_frame t i (fun fr -> f fr.page)
+
+let with_page_mut t i f =
+  with_frame t i (fun fr ->
+      fr.dirty <- true;
+      f fr.page)
+
+let flush t = Lru.iter (fun i fr -> write_back t i fr) t.frames
+
+let drop_frames t =
+  flush t;
+  Lru.clear t.frames
+
+let page_image t i =
+  if i < 0 || i >= t.npages then invalid_arg "Buffer_pool.page_image: out of range";
+  match t.images.(i) with
+  | Some img -> img
+  | None -> invalid_arg "Buffer_pool.page_image: dirty page, flush first"

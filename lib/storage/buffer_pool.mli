@@ -1,0 +1,53 @@
+(** A buffer pool in front of {!Page}: the serialized 8 KB page images are
+    the "disk" tier, and a bounded LRU of decoded {!Page.t} frames sits in
+    front of them. A miss decodes (and validates) the image; a dirty frame
+    is written back to its image when evicted or flushed. Frames are pinned
+    for the duration of every [with_page*] callback, so the LRU can never
+    evict a page that is being read or mutated.
+
+    All pools share the [cache.bufferpool.*] instruments and the
+    "bufferpool" row of [Lru.registry_stats]. The per-process default
+    capacity (frames per pool) is a tuning knob; see [docs/CACHING.md]. *)
+
+type t
+
+val set_default_capacity : int -> unit
+(** Frames per newly created pool (clamped to >= 4; default 256 = 2 MiB
+    of decoded pages per heap file). Existing pools are unaffected. *)
+
+val default_capacity : unit -> int
+
+val create : ?capacity:int -> unit -> t
+(** An empty pool (no pages). *)
+
+val page_count : t -> int
+
+val add_page : t -> int
+(** Append a fresh empty page; returns its index. The new frame is dirty
+    (its image does not exist until write-back). *)
+
+val install_page_image : t -> bytes -> unit
+(** Append an already-serialized page image without decoding it — the
+    deserialization path ({!Heap.of_bytes}) validates and then installs,
+    leaving the pool cold. The pool takes ownership of [img]. *)
+
+val with_page : t -> int -> (Page.t -> 'a) -> 'a
+(** [with_page t i f] pins page [i] (decoding its image on a miss), runs
+    [f] on the frame, and unpins. The [Page.t] must not escape [f].
+    Raises [Invalid_argument] if [i] is out of range. *)
+
+val with_page_mut : t -> int -> (Page.t -> 'a) -> 'a
+(** Like {!with_page} but marks the frame dirty, scheduling write-back. *)
+
+val flush : t -> unit
+(** Write every dirty frame back to its image (frames stay resident). *)
+
+val drop_frames : t -> unit
+(** {!flush}, then empty the frame cache — a cold restart. Subsequent
+    reads decode from images again. Used by [Database.flush_buffers] and
+    the [CACHE] bench's cold runs. *)
+
+val page_image : t -> int -> bytes
+(** The serialized image of page [i]. Only valid when the frame is clean
+    or absent — call {!flush} first. The returned bytes are the pool's own
+    copy; treat as read-only. *)

@@ -9,14 +9,24 @@ type entry = {
 }
 
 type t = {
+  id : int;
   mutable entries : entry list;
+  mutable catalog_version : int;
   udts : Udt.t;
 }
 
 let loader_actor = "etl"
 
-let create () = { entries = []; udts = Udt.create () }
+(* Process-unique ids let process-wide caches (sqlx plan/result) key by
+   database instance without keeping the instance alive. *)
+let next_id = ref 0
 
+let create () =
+  incr next_id;
+  { id = !next_id; entries = []; catalog_version = 0; udts = Udt.create () }
+
+let id t = t.id
+let catalog_version t = t.catalog_version
 let udts t = t.udts
 
 let space_key = function
@@ -56,6 +66,7 @@ let create_table t ~actor ~space ~name schema =
   else begin
     let table = Table.create ~name schema in
     t.entries <- t.entries @ [ { space; table; grantees = [] } ];
+    t.catalog_version <- t.catalog_version + 1;
     Ok table
   end
 
@@ -67,6 +78,7 @@ let drop_table t ~actor ~space ~name =
     | None -> Error (Printf.sprintf "no table %s" name)
     | Some e ->
         t.entries <- List.filter (fun e' -> e' != e) t.entries;
+        t.catalog_version <- t.catalog_version + 1;
         Ok ()
 
 let find_table t ~space name =
@@ -96,7 +108,10 @@ let grant_read t ~owner ~grantee ~table =
   match find_entry t (User owner) table with
   | None -> Error (Printf.sprintf "no table %s owned by %s" table owner)
   | Some e ->
-      if not (List.mem grantee e.grantees) then e.grantees <- grantee :: e.grantees;
+      if not (List.mem grantee e.grantees) then begin
+        e.grantees <- grantee :: e.grantees;
+        t.catalog_version <- t.catalog_version + 1
+      end;
       Ok ()
 
 let insert t ~actor ~space ~table row =
@@ -125,6 +140,9 @@ let tables t =
          if c <> 0 then c else String.compare (Table.name t1) (Table.name t2))
 
 let table_count t = List.length t.entries
+
+let flush_buffers t =
+  List.iter (fun e -> Table.drop_page_cache e.table) t.entries
 
 (* --------------------------------------------------------------- *)
 (* Persistence                                                      *)

@@ -17,6 +17,19 @@ type t
 
 val create : unit -> t
 
+val id : t -> int
+(** Process-unique instance id; process-wide caches (sqlx plan/result)
+    use it as part of their keys. *)
+
+val catalog_version : t -> int
+(** Bumped by {!create_table}, {!drop_table} and new {!grant_read}s —
+    anything that can change how a name resolves or who may read it.
+    Cache-coherence token (see [docs/CACHING.md]). *)
+
+val flush_buffers : t -> unit
+(** Drop every table's buffer-pool frames (dirty pages are written back
+    first). The next reads start cold; used by the [CACHE] bench. *)
+
 val loader_actor : string
 (** The distinguished actor ("etl") allowed to write the public space. *)
 

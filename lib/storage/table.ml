@@ -13,6 +13,10 @@ type t = {
       (* lower-case column name -> (column position, k-mer postings) *)
   mutable stats : (string, column_stats) Hashtbl.t option;
       (* per-column statistics, present after [analyze] *)
+  mutable data_version : int;
+      (* bumped on every row write; result-cache validation token *)
+  mutable schema_version : int;
+      (* bumped on planning-relevant changes (indexes, analyze) *)
 }
 
 and column_stats = {
@@ -23,10 +27,15 @@ and column_stats = {
 
 let create ~name schema =
   { name; schema; heap = Heap.create (); indexes = Hashtbl.create 4;
-    genomic = Hashtbl.create 2; stats = None }
+    genomic = Hashtbl.create 2; stats = None; data_version = 0;
+    schema_version = 0 }
 
 let name t = t.name
 let schema t = t.schema
+let data_version t = t.data_version
+let schema_version t = t.schema_version
+let touch_data t = t.data_version <- t.data_version + 1
+let touch_schema t = t.schema_version <- t.schema_version + 1
 
 let index_updates t row f =
   Hashtbl.iter
@@ -51,6 +60,7 @@ let insert t row =
       let rid = Heap.insert t.heap (Dtype.encode_row row) in
       index_updates t row (fun idx key -> Btree.insert idx key rid);
       genomic_updates t rid row Text_index.add;
+      touch_data t;
       Ok rid
 
 let insert_exn t row =
@@ -66,7 +76,9 @@ let delete t rid =
   | Some row ->
       index_updates t row (fun idx key -> ignore (Btree.remove idx key rid));
       genomic_updates t rid row Text_index.remove;
-      Heap.delete t.heap rid
+      let ok = Heap.delete t.heap rid in
+      if ok then touch_data t;
+      ok
 
 let update t rid row =
   match Schema.validate_row t.schema row with
@@ -80,6 +92,7 @@ let update t rid row =
           let rid' = Heap.update t.heap rid (Dtype.encode_row row) in
           index_updates t row (fun idx key -> Btree.insert idx key rid');
           genomic_updates t rid' row Text_index.add;
+          touch_data t;
           Ok rid')
 
 let scan t f =
@@ -94,6 +107,7 @@ let fold t ~init ~f =
 
 let row_count t = Heap.record_count t.heap
 let page_count t = Heap.page_count t.heap
+let drop_page_cache t = Heap.drop_page_cache t.heap
 
 let create_index t ~column =
   let col = String.lowercase_ascii column in
@@ -106,6 +120,7 @@ let create_index t ~column =
         let idx = Btree.create () in
         scan t (fun rid row -> Btree.insert idx row.(i) rid);
         Hashtbl.add t.indexes col idx;
+        touch_schema t;
         Ok ()
       end
 
@@ -155,7 +170,8 @@ let analyze t =
         (String.lowercase_ascii c.Schema.name)
         { rows = !rows; distinct = Hashtbl.length seen.(i); nulls = nulls.(i) })
     (Schema.columns t.schema);
-  t.stats <- Some table
+  t.stats <- Some table;
+  touch_schema t
 
 let column_stats t ~column =
   match t.stats with
@@ -193,6 +209,7 @@ let create_genomic_index ?k t ~column ~registry =
                         | Dtype.Str _ ->
                             ());
                     Hashtbl.add t.genomic col (i, gidx);
+                    touch_schema t;
                     Ok ())))
 
 let has_genomic_index t ~column =

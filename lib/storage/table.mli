@@ -27,6 +27,23 @@ val fold : t -> init:'a -> f:('a -> Heap.rid -> Dtype.value array -> 'a) -> 'a
 val row_count : t -> int
 val page_count : t -> int
 
+val drop_page_cache : t -> unit
+(** Flush and empty the heap's buffer pool (cold restart). For benches. *)
+
+(** {1 Version counters — cache-coherence tokens}
+
+    Every cache above the storage engine validates entries against these
+    monotonic counters instead of trusting write paths to call back, so
+    invalidation is correct no matter who wrote (sqlx, the ETL loader, or
+    direct [Table] calls). See [docs/CACHING.md]. *)
+
+val data_version : t -> int
+(** Bumped by every successful {!insert}, {!delete}, {!update}. *)
+
+val schema_version : t -> int
+(** Bumped by planning-relevant changes: {!create_index},
+    {!create_genomic_index}, {!analyze}. *)
+
 val create_index : t -> column:string -> (unit, string) result
 (** Build a B-tree over an existing column (backfilled from the heap).
     Fails for unknown columns or when an index already exists. *)

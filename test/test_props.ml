@@ -352,6 +352,124 @@ let extra_props =
         | `No_index -> false);
   ]
 
+(* ---- LRU cache invariants (lib/cache) ----------------------------------- *)
+(* Random op sequences against a reference model: an MRU-first assoc list
+   with the same admit/touch/evict rules. Lockstep execution lets us
+   compare membership, values, recency order, and the exact eviction
+   sequence (observed through on_evict). *)
+
+module Lru = Genalg_cache.Lru
+
+type lru_op = L_put of int * int | L_get of int | L_rm of int | L_pin of int | L_unpin of int
+
+type lru_model_entry = { mk : int; mutable mv : int; mutable mpins : int }
+
+let lru_cap = 8
+
+let lru_ops_gen ~with_pins =
+  Q.Gen.(
+    let key = int_bound 15 in
+    let base =
+      [ (4, map2 (fun k v -> L_put (k, v)) key (int_bound 1000));
+        (3, map (fun k -> L_get k) key);
+        (1, map (fun k -> L_rm k) key) ]
+    in
+    let pins = [ (2, map (fun k -> L_pin k) key); (2, map (fun k -> L_unpin k) key) ] in
+    list_size (int_bound 300) (frequency (if with_pins then base @ pins else base)))
+
+(* Run the ops through a real cache and the model in lockstep. Returns
+   (cache, model MRU-first, cache evictions, model evictions,
+    every-op capacity bound held, every Get agreed with the model). *)
+let lru_run ops =
+  let cache_evictions = ref [] in
+  let cache =
+    Lru.create ~name:"props" ~max_entries:lru_cap
+      ~on_evict:(fun k _ -> cache_evictions := k :: !cache_evictions)
+      ()
+  in
+  let model = ref [] in
+  let model_evictions = ref [] in
+  let within_cap = ref true in
+  let gets_coherent = ref true in
+  let mfind k = List.find_opt (fun e -> e.mk = k) !model in
+  let mdetach k = model := List.filter (fun e -> e.mk <> k) !model in
+  let mtouch e =
+    mdetach e.mk;
+    model := e :: !model
+  in
+  let mevict () =
+    (* evict the least-recent unpinned entry until within capacity *)
+    let continue = ref true in
+    while !continue && List.length !model > lru_cap do
+      match List.fold_left (fun acc e -> if e.mpins = 0 then Some e else acc) None !model with
+      | Some victim ->
+          mdetach victim.mk;
+          model_evictions := victim.mk :: !model_evictions
+      | None -> continue := false
+    done
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | L_put (k, v) -> (
+          Lru.put cache k v;
+          (match mfind k with
+          | Some e ->
+              e.mv <- v;
+              mtouch e
+          | None -> model := { mk = k; mv = v; mpins = 0 } :: !model);
+          mevict ())
+      | L_get k -> (
+          let got = Lru.find cache k in
+          match mfind k with
+          | Some e ->
+              mtouch e;
+              if got <> Some e.mv then gets_coherent := false
+          | None -> if got <> None then gets_coherent := false)
+      | L_rm k ->
+          ignore (Lru.remove cache k);
+          mdetach k
+      | L_pin k -> (
+          ignore (Lru.pin cache k);
+          match mfind k with
+          | Some e ->
+              e.mpins <- e.mpins + 1;
+              mtouch e
+          | None -> ())
+      | L_unpin k -> (
+          Lru.unpin cache k;
+          match mfind k with
+          | Some e -> if e.mpins > 0 then e.mpins <- e.mpins - 1
+          | None -> ()));
+      if List.for_all (fun e -> e.mpins = 0) !model && Lru.length cache > lru_cap then
+        within_cap := false)
+    ops;
+  (cache, !model, List.rev !cache_evictions, List.rev !model_evictions,
+   !within_cap, !gets_coherent)
+
+let lru_props =
+  [
+    qtest "capacity never exceeded (no pins)" (lru_ops_gen ~with_pins:false)
+      (fun ops ->
+        let cache, _, _, _, within_cap, _ = lru_run ops in
+        within_cap && Lru.length cache <= lru_cap);
+    qtest "pinned entries never evicted" (lru_ops_gen ~with_pins:true) (fun ops ->
+        (* the model never evicts a pinned entry by construction, so a
+           matching eviction sequence proves the cache didn't either *)
+        let _, _, cache_ev, model_ev, _, _ = lru_run ops in
+        cache_ev = model_ev);
+    qtest "get-after-put coherence" (lru_ops_gen ~with_pins:true) (fun ops ->
+        let cache, model, _, _, _, gets_coherent = lru_run ops in
+        gets_coherent
+        && List.for_all (fun e -> Lru.peek cache e.mk = Some e.mv) model
+        && Lru.length cache = List.length model);
+    qtest "eviction order matches recency under random ops"
+      (lru_ops_gen ~with_pins:false) (fun ops ->
+        let cache, model, cache_ev, model_ev, _, _ = lru_run ops in
+        cache_ev = model_ev
+        && Lru.keys cache = List.map (fun e -> e.mk) model);
+  ]
+
 let suites =
   [
     ("props.sequence", seq_props);
@@ -361,4 +479,5 @@ let suites =
     ("props.storage", storage_props);
     ("props.formats", format_props);
     ("props.extra", extra_props);
+    ("props.cache", lru_props);
   ]
