@@ -1239,6 +1239,119 @@ let cache_bench () =
   note "shape: every warm path should be well over 2x its cold path"
 
 (* ================================================================== *)
+(* PAR — parallel execution: hash join, partitioned scans, batch align *)
+(* ================================================================== *)
+
+let par_bench () =
+  let module Par = Genalg_par.Par in
+  heading "PAR" "Parallel execution: hash join vs nested loop, jobs=1 vs jobs=N";
+  let n =
+    match Sys.getenv_opt "GENALG_PAR_N" with
+    | Some s -> (try max 100 (int_of_string s) with Failure _ -> 10_000)
+    | None -> 10_000
+  in
+  (* on a single-core box the recommended count is 1; still exercise the
+     pool with real worker domains so the identity checks mean something *)
+  let jobs_n = max 4 (Par.default_jobs ()) in
+  note "join: %d x %d rows on an int key (GENALG_PAR_N overrides); jobs=N is %d"
+    n n jobs_n;
+  let ok = function Ok v -> v | Error m -> failwith m in
+  let db = Db.create () in
+  let actor = "bench" in
+  ignore (ok (Exec.query db ~actor "CREATE TABLE genes (gid int, organism string)"));
+  ignore (ok (Exec.query db ~actor "CREATE TABLE prots (pid int, gene int, plen int)"));
+  let _, genes_t = Option.get (Db.resolve db ~actor "genes") in
+  let _, prots_t = Option.get (Db.resolve db ~actor "prots") in
+  for i = 1 to n do
+    ignore
+      (Genalg_storage.Table.insert_exn genes_t
+         [| D.Int i; D.Str (if i mod 2 = 0 then "ecoli" else "yeast") |]);
+    ignore
+      (Genalg_storage.Table.insert_exn prots_t
+         [| D.Int (100_000 + i); D.Int (((i * 7) mod n) + 1); D.Int (i * 13 mod 400) |])
+  done;
+  let join_sql =
+    "SELECT g.gid, p.pid FROM genes g, prots p \
+     WHERE g.gid = p.gene AND p.plen >= 40"
+  in
+  let scan_sql =
+    "SELECT gid FROM genes WHERE gid * 3 > 100 AND organism = 'ecoli'"
+  in
+  let rows_of sql =
+    match ok (Exec.query db ~actor sql) with
+    | Exec.Rows rs -> rs.Exec.rows
+    | _ -> failwith "expected rows"
+  in
+  (* the result cache would otherwise serve every repeat, so each timed
+     run starts from cleared statement caches (clearing is O(1)) *)
+  let timed_rows sql =
+    let rows = ref [] in
+    let t =
+      measure ~runs:3 (fun () ->
+          Exec.clear_statement_caches ();
+          rows := rows_of sql)
+    in
+    (!rows, t)
+  in
+  (* -- join strategy: nested loop vs hash, sequential ---------------- *)
+  Par.set_jobs 1;
+  Exec.set_hash_join_enabled false;
+  let nested_rows, nested_t = timed_rows join_sql in
+  Exec.set_hash_join_enabled true;
+  let hash_rows, hash_t = timed_rows join_sql in
+  let hash_same = nested_rows = hash_rows in
+  (* -- degree of parallelism: jobs=1 vs jobs=N ----------------------- *)
+  let scan_rows_1, scan_t_1 = timed_rows scan_sql in
+  let join_t_1 = hash_t in
+  Par.set_jobs jobs_n;
+  let scan_rows_n, scan_t_n = timed_rows scan_sql in
+  let join_rows_n, join_t_n = timed_rows join_sql in
+  (* -- batch alignment: the same pool drives the genomic kernels ----- *)
+  let r = rng () in
+  let pairs =
+    Array.init 64 (fun _ ->
+        (Genalg_synth.Seqgen.dna_string r 160, Genalg_synth.Seqgen.dna_string r 160))
+  in
+  Par.set_jobs 1;
+  let scores_1 = ref [||] in
+  let align_t_1 =
+    measure ~runs:3 (fun () -> scores_1 := Genalg_align.Batch.score_pairs pairs)
+  in
+  Par.set_jobs jobs_n;
+  let scores_n = ref [||] in
+  let align_t_n =
+    measure ~runs:3 (fun () -> scores_n := Genalg_align.Batch.score_pairs pairs)
+  in
+  let identical =
+    nested_rows = join_rows_n && scan_rows_1 = scan_rows_n && !scores_1 = !scores_n
+  in
+  Par.set_jobs 1;
+  let speedup a b = Printf.sprintf "%.1fx" (a /. Float.max b 1e-9) in
+  print_table
+    [ "workload"; "baseline"; "tuned"; "speedup" ]
+    [
+      [ Printf.sprintf "equi-join %dx%d (nested -> hash)" n n;
+        fmt_ms nested_t; fmt_ms hash_t; speedup nested_t hash_t ];
+      [ Printf.sprintf "same join (jobs=1 -> jobs=%d)" jobs_n;
+        fmt_ms join_t_1; fmt_ms join_t_n; speedup join_t_1 join_t_n ];
+      [ Printf.sprintf "filter scan (jobs=1 -> jobs=%d)" jobs_n;
+        fmt_ms scan_t_1; fmt_ms scan_t_n; speedup scan_t_1 scan_t_n ];
+      [ Printf.sprintf "64 pairwise alignments (jobs=1 -> jobs=%d)" jobs_n;
+        fmt_ms align_t_1; fmt_ms align_t_n; speedup align_t_1 align_t_n ];
+    ];
+  note "join rows: %d; pool spawned %d worker domain(s) over the run"
+    (List.length nested_rows) (Par.spawned_total ());
+  note "jobs>1 speedups depend on available cores (this host: %d)"
+    (Domain.recommended_domain_count ());
+  (* machine-checkable markers for ci.sh's parallel smoke step *)
+  Printf.printf "par-smoke: hash-join-2x=%s\n"
+    (if hash_same && nested_t >= 2. *. hash_t then "yes" else "no");
+  Printf.printf "par-smoke: jobs-results-identical=%s\n"
+    (if identical then "yes" else "no");
+  note "shape: hash join is O(|L|+|R|) vs the nested loop's O(|L|*|R|);";
+  note "jobs=N never changes results, only who computes them"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1246,6 +1359,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("ABLATE", ablations);
+    ("PAR", par_bench);
     ("CACHE", cache_bench);
     ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);

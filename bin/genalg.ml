@@ -16,6 +16,7 @@ module Ops = Genalg_core.Ops
 module Db = Genalg_storage.Database
 module Exec = Genalg_sqlx.Exec
 module Obs = Genalg_obs.Obs
+module Par = Genalg_par.Par
 
 let read_file path =
   let ic = open_in_bin path in
@@ -126,13 +127,28 @@ let trace_flag =
     value & flag
     & info [ "trace" ] ~doc:"Stream completed spans to stderr as JSON lines")
 
+(* degree of parallelism for the whole process (scans, joins, kernels);
+   the default comes from GENALG_JOBS or the core count *)
+let jobs_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Degree of parallelism: N-1 worker domains plus the main one. \
+           Defaults to $(b,GENALG_JOBS) when set, else the recommended \
+           domain count. $(b,--jobs 1) forces sequential execution.")
+
+let apply_jobs = function None -> () | Some n -> Par.set_jobs n
+
 let stats_flag =
   Cmdliner.Arg.(
     value & flag
     & info [ "stats" ] ~doc:"Print the metrics table to stderr when done")
 
 let query_cmd =
-  let run path actor trace stats sql =
+  let run path actor trace stats jobs sql =
+    apply_jobs jobs;
     with_db path (fun db ->
         with_obs ~trace ~stats (fun () ->
             match Exec.query db ~actor sql with
@@ -148,10 +164,11 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run an extended-SQL statement against a saved warehouse")
-    Term.(const run $ path $ actor $ trace_flag $ stats_flag $ sql)
+    Term.(const run $ path $ actor $ trace_flag $ stats_flag $ jobs_flag $ sql)
 
 let ask_cmd =
-  let run path actor question show_sql trace stats =
+  let run path actor question show_sql trace stats jobs =
+    apply_jobs jobs;
     with_db path (fun db ->
         with_obs ~trace ~stats (fun () ->
             (if show_sql then
@@ -175,12 +192,15 @@ let ask_cmd =
   Cmd.v
     (Cmd.info "ask"
        ~doc:"Ask a question in the biological query language against a warehouse")
-    Term.(const run $ path $ actor $ q $ show_sql $ trace_flag $ stats_flag)
+    Term.(
+      const run $ path $ actor $ q $ show_sql $ trace_flag $ stats_flag
+      $ jobs_flag)
 
 (* ---- stats ------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run path actor sql =
+  let run path actor jobs sql =
+    apply_jobs jobs;
     with_db path (fun db ->
         Printf.printf "%-8s %-12s %8s %6s %-24s %s\n" "space" "table" "rows"
           "pages" "indexed" "genomic";
@@ -249,12 +269,13 @@ let stats_cmd =
        ~doc:
          "Show warehouse table inventory (rows, pages, indexes), optionally \
           with the metrics of a traced statement")
-    Term.(const run $ path $ actor $ sql)
+    Term.(const run $ path $ actor $ jobs_flag $ sql)
 
 (* ---- repl -------------------------------------------------------------------- *)
 
 let repl_cmd =
-  let run path actor =
+  let run path actor jobs =
+    apply_jobs jobs;
     with_db path (fun db ->
         Printf.printf
           "genalg interactive shell — extended SQL or biological language.\n\
@@ -319,7 +340,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL/biolang shell over a saved warehouse")
-    Term.(const run $ path $ actor)
+    Term.(const run $ path $ actor $ jobs_flag)
 
 (* ---- orfs -------------------------------------------------------------------- *)
 

@@ -33,4 +33,16 @@ echo "$CACHE_OUT" | grep -q "cache-smoke: warm-hit-rate-nonzero=yes" || {
   exit 1
 }
 
+echo "== smoke: parallel engine (PAR bench: hash join >=2x, jobs-identical) =="
+PAR_OUT=$(GENALG_PAR_N=2500 dune exec bench/main.exe -- PAR)
+echo "$PAR_OUT"
+echo "$PAR_OUT" | grep -q "par-smoke: hash-join-2x=yes" || {
+  echo "parallel smoke FAILED: hash join is not >=2x faster than nested loop" >&2
+  exit 1
+}
+echo "$PAR_OUT" | grep -q "par-smoke: jobs-results-identical=yes" || {
+  echo "parallel smoke FAILED: jobs>1 changed query or alignment results" >&2
+  exit 1
+}
+
 echo "== ci ok =="

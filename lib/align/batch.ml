@@ -1,0 +1,40 @@
+module Par = Genalg_par.Par
+
+let align_pairs ?mode ?matrix ?gap pairs =
+  Par.parallel_map
+    (fun (query, subject) -> Pairwise.align ?mode ?matrix ?gap ~query ~subject ())
+    pairs
+
+let score_pairs ?mode ?matrix ?gap pairs =
+  Par.parallel_map
+    (fun (query, subject) ->
+      Pairwise.score_only ?mode ?matrix ?gap ~query ~subject ())
+    pairs
+
+let align_many ?mode ?matrix ?gap ~query subjects =
+  Par.parallel_map
+    (fun subject -> Pairwise.align ?mode ?matrix ?gap ~query ~subject ())
+    subjects
+
+let best_match ?mode ?matrix ?gap ~query subjects =
+  if Array.length subjects = 0 then None
+  else begin
+    let scores =
+      Par.parallel_map
+        (fun (_, subject) ->
+          Pairwise.score_only ?mode ?matrix ?gap ~query ~subject ())
+        subjects
+    in
+    let best = ref 0 in
+    Array.iteri (fun i s -> if s > scores.(!best) then best := i) scores;
+    let id, _ = subjects.(!best) in
+    Some (id, scores.(!best))
+  end
+
+let blast_search_many ?matrix ?min_score ?x_drop ?gapped db ~queries =
+  Par.parallel_map
+    (fun query -> Blast.search ?matrix ?min_score ?x_drop ?gapped db ~query)
+    queries
+
+let blast_best_hits ?matrix ?min_score db ~queries =
+  Par.parallel_map (fun query -> Blast.best_hit ?matrix ?min_score db ~query) queries

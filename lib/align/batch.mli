@@ -1,0 +1,66 @@
+(** Batch (data-parallel) alignment and similarity search.
+
+    Pairwise DP and BLAST candidate scoring are the engine's most
+    CPU-bound kernels; a batch of independent alignments is embarrassingly
+    parallel, so these wrappers fan the work out over the
+    {!Genalg_par.Par} domain pool. Results are merged in input order and
+    are bit-identical to a sequential loop for any jobs setting.
+
+    All the heavy lifting is done by {!Pairwise} and {!Blast}; both are
+    pure (shared inputs are read-only), which is what makes running them
+    on worker domains safe. *)
+
+val align_pairs :
+  ?mode:Pairwise.mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  (string * string) array ->
+  Pairwise.t array
+(** [align_pairs [| (query, subject); ... |]] — one full alignment per
+    (query, subject) pair, same defaults as {!Pairwise.align}. *)
+
+val score_pairs :
+  ?mode:Pairwise.mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  (string * string) array ->
+  int array
+(** Scores only, in O(min) memory per pair ({!Pairwise.score_only}). *)
+
+val align_many :
+  ?mode:Pairwise.mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:string ->
+  string array ->
+  Pairwise.t array
+(** One query against many subjects. *)
+
+val best_match :
+  ?mode:Pairwise.mode ->
+  ?matrix:Scoring.t ->
+  ?gap:Scoring.gap ->
+  query:string ->
+  (string * string) array ->
+  (string * int) option
+(** [best_match ~query [| (id, letters); ... |]] scores the query against
+    every named subject and returns the best [(id, score)] (first on
+    ties); [None] on an empty batch. *)
+
+val blast_search_many :
+  ?matrix:Scoring.t ->
+  ?min_score:int ->
+  ?x_drop:int ->
+  ?gapped:bool ->
+  Blast.db ->
+  queries:string array ->
+  Blast.hit list array
+(** {!Blast.search} for each query, parallel over queries (the shared
+    k-mer database is only read). *)
+
+val blast_best_hits :
+  ?matrix:Scoring.t ->
+  ?min_score:int ->
+  Blast.db ->
+  queries:string array ->
+  Blast.hit option array

@@ -1,0 +1,327 @@
+module Obs = Genalg_obs.Obs
+
+let c_ops = Obs.counter "par.ops"
+let c_ops_inline = Obs.counter "par.ops_inline"
+let c_chunks = Obs.counter "par.chunks"
+let c_chunks_stolen = Obs.counter "par.chunks_stolen"
+let c_spawned = Obs.counter "par.spawned"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+let default_jobs () =
+  match Sys.getenv_opt "GENALG_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let jobs_override = ref None
+let jobs () = match !jobs_override with Some n -> n | None -> default_jobs ()
+let set_jobs n = jobs_override := Some (max 1 n)
+
+(* ------------------------------------------------------------------ *)
+(* Pool: a queue of chunked tasks; workers and the submitter claim
+   chunk indices with an atomic fetch-and-add, so scheduling is
+   self-balancing while the merge stays order-preserving (each chunk
+   writes only its own slot).                                          *)
+
+type task = {
+  run : int -> unit; (* execute chunk [i]; must not raise *)
+  total : int;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+  fin_mutex : Mutex.t;
+  fin_cond : Condition.t;
+  mutable finished : bool;
+}
+
+let pool_mutex = Mutex.create ()
+let pool_cond = Condition.create ()
+let pending : task Queue.t = Queue.create ()
+let workers : unit Domain.t list ref = ref []
+let shutting_down = ref false
+let spawned = ref 0 (* cumulative; only touched under [pool_mutex] *)
+
+let pool_size () =
+  Mutex.lock pool_mutex;
+  let n = List.length !workers in
+  Mutex.unlock pool_mutex;
+  n
+
+let spawned_total () =
+  Mutex.lock pool_mutex;
+  let n = !spawned in
+  Mutex.unlock pool_mutex;
+  n
+
+(* workers flag their domain so nested parallel calls run inline *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let finish t =
+  Mutex.lock t.fin_mutex;
+  t.finished <- true;
+  Condition.broadcast t.fin_cond;
+  Mutex.unlock t.fin_mutex
+
+(* Claim and execute chunks until the task is exhausted; returns how many
+   chunks this domain ran. *)
+let run_chunks t =
+  let rec go ran =
+    let c = Atomic.fetch_and_add t.next 1 in
+    if c >= t.total then ran
+    else begin
+      t.run c;
+      if Atomic.fetch_and_add t.remaining (-1) = 1 then finish t;
+      go (ran + 1)
+    end
+  in
+  go 0
+
+let wait_finished t =
+  Mutex.lock t.fin_mutex;
+  while not t.finished do
+    Condition.wait t.fin_cond t.fin_mutex
+  done;
+  Mutex.unlock t.fin_mutex
+
+(* Drop [t] from the head of the queue if nobody has yet. *)
+let unqueue t =
+  Mutex.lock pool_mutex;
+  (match Queue.peek_opt pending with
+  | Some t' when t' == t -> ignore (Queue.pop pending)
+  | _ -> ());
+  Mutex.unlock pool_mutex
+
+let rec worker_loop () =
+  Mutex.lock pool_mutex;
+  let rec await () =
+    if !shutting_down then None
+    else
+      match Queue.peek_opt pending with
+      | Some t -> Some t
+      | None ->
+          Condition.wait pool_cond pool_mutex;
+          await ()
+  in
+  match await () with
+  | None -> Mutex.unlock pool_mutex
+  | Some t ->
+      Mutex.unlock pool_mutex;
+      ignore (run_chunks t);
+      (* chunks all claimed: wait for in-flight ones, then make sure the
+         task leaves the queue before looking for the next one *)
+      wait_finished t;
+      unqueue t;
+      worker_loop ()
+
+let worker_main () =
+  Domain.DLS.set in_worker true;
+  worker_loop ()
+
+(* Grow the pool (lazily, on first use) to [jobs () - 1] workers. *)
+let ensure_workers () =
+  let target = jobs () - 1 in
+  Mutex.lock pool_mutex;
+  let missing = target - List.length !workers in
+  if missing > 0 then begin
+    for _ = 1 to missing do
+      workers := Domain.spawn worker_main :: !workers;
+      incr spawned
+    done;
+    Obs.add c_spawned missing
+  end;
+  Mutex.unlock pool_mutex
+
+let shutdown () =
+  Mutex.lock pool_mutex;
+  shutting_down := true;
+  Condition.broadcast pool_cond;
+  let ws = !workers in
+  workers := [];
+  Mutex.unlock pool_mutex;
+  List.iter Domain.join ws;
+  Mutex.lock pool_mutex;
+  shutting_down := false;
+  Mutex.unlock pool_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Chunked submission                                                  *)
+
+let chunk_size ?chunk n j =
+  match chunk with
+  | Some c -> max 1 c
+  | None -> max 1 ((n + (4 * j) - 1) / (4 * j))
+
+(* Run [nchunks] chunks of [body] on the pool, submitter included.
+   [body i] must not raise — wrap user code with [guarded] below. *)
+let submit ~nchunks body =
+  ensure_workers ();
+  let t =
+    {
+      run = body;
+      total = nchunks;
+      next = Atomic.make 0;
+      remaining = Atomic.make nchunks;
+      fin_mutex = Mutex.create ();
+      fin_cond = Condition.create ();
+      finished = false;
+    }
+  in
+  Mutex.lock pool_mutex;
+  Queue.push t pending;
+  Condition.broadcast pool_cond;
+  Mutex.unlock pool_mutex;
+  let mine = run_chunks t in
+  wait_finished t;
+  unqueue t;
+  Obs.add c_chunks nchunks;
+  Obs.add c_chunks_stolen (nchunks - mine)
+
+(* First exception wins; the rest of the chunks are cancelled. *)
+type failure = { mutable exn : (exn * Printexc.raw_backtrace) option }
+
+let guarded fail fail_mutex cancelled body i =
+  if not (Atomic.get cancelled) then
+    try body i
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Atomic.set cancelled true;
+      Mutex.lock fail_mutex;
+      if fail.exn = None then fail.exn <- Some (e, bt);
+      Mutex.unlock fail_mutex
+
+let run_parallel ~nchunks body =
+  let fail = { exn = None } in
+  let fail_mutex = Mutex.create () in
+  let cancelled = Atomic.make false in
+  Obs.add c_ops 1;
+  Obs.with_span ~attrs:[ ("chunks", string_of_int nchunks) ] "par.run"
+    (fun () -> submit ~nchunks (guarded fail fail_mutex cancelled body));
+  match fail.exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* Parallelism is worth taking when we are not already on a worker, more
+   than one job is configured, and there are at least two chunks. *)
+let effective_jobs () = if Domain.DLS.get in_worker then 1 else jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+
+let parallel_map ?chunk f arr =
+  let n = Array.length arr in
+  let j = effective_jobs () in
+  let csize = chunk_size ?chunk n j in
+  let nchunks = if csize >= n then 1 else (n + csize - 1) / csize in
+  if j <= 1 || nchunks <= 1 then begin
+    Obs.add c_ops_inline 1;
+    Array.map f arr
+  end
+  else begin
+    let parts = Array.make nchunks [||] in
+    run_parallel ~nchunks (fun ci ->
+        let lo = ci * csize in
+        let hi = min n (lo + csize) in
+        parts.(ci) <- Array.init (hi - lo) (fun i -> f arr.(lo + i)));
+    Array.concat (Array.to_list parts)
+  end
+
+let parallel_map_list ?chunk f l =
+  Array.to_list (parallel_map ?chunk f (Array.of_list l))
+
+let parallel_fold ?chunk ~map ~combine ~init arr =
+  let n = Array.length arr in
+  let j = effective_jobs () in
+  let csize = chunk_size ?chunk n j in
+  let nchunks = if csize >= n then 1 else (n + csize - 1) / csize in
+  if j <= 1 || nchunks <= 1 then begin
+    Obs.add c_ops_inline 1;
+    Array.fold_left (fun acc x -> combine acc (map x)) init arr
+  end
+  else begin
+    let parts = Array.make nchunks init in
+    run_parallel ~nchunks (fun ci ->
+        let lo = ci * csize in
+        let hi = min n (lo + csize) in
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := combine !acc (map arr.(i))
+        done;
+        parts.(ci) <- !acc);
+    Array.fold_left combine init parts
+  end
+
+let parallel_for ?chunk n f =
+  let j = effective_jobs () in
+  let csize = chunk_size ?chunk n j in
+  let nchunks = if csize >= n then 1 else (n + csize - 1) / csize in
+  if j <= 1 || nchunks <= 1 then begin
+    Obs.add c_ops_inline 1;
+    for i = 0 to n - 1 do
+      f i
+    done
+  end
+  else
+    run_parallel ~nchunks (fun ci ->
+        let lo = ci * csize in
+        let hi = min n (lo + csize) in
+        for i = lo to hi - 1 do
+          f i
+        done)
+
+(* Stable merge of two sorted arrays (left elements first on ties). *)
+let merge cmp a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !i < na && (!j >= nb || cmp a.(!i) b.(!j) <= 0) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+let parallel_sort ?chunk cmp arr =
+  let n = Array.length arr in
+  let j = effective_jobs () in
+  let csize =
+    match chunk with Some c -> max 1 c | None -> max 1024 ((n + j - 1) / j)
+  in
+  let nchunks = if csize >= n then 1 else (n + csize - 1) / csize in
+  if j <= 1 || nchunks <= 1 then Array.sort cmp arr
+  else begin
+    let parts =
+      Array.init nchunks (fun ci ->
+          let lo = ci * csize in
+          Array.sub arr lo (min csize (n - lo)))
+    in
+    run_parallel ~nchunks (fun ci -> Array.sort cmp parts.(ci));
+    (* pairwise merge rounds; each round's merges run on the pool *)
+    let runs = ref parts in
+    while Array.length !runs > 1 do
+      let m = Array.length !runs in
+      let nout = (m + 1) / 2 in
+      let out = Array.make nout [||] in
+      let prev = !runs in
+      let merge_one i =
+        out.(i) <-
+          (if (2 * i) + 1 < m then merge cmp prev.(2 * i) prev.((2 * i) + 1)
+           else prev.(2 * i))
+      in
+      if nout > 1 then run_parallel ~nchunks:nout merge_one
+      else merge_one 0;
+      runs := out
+    done;
+    Array.blit !runs.(0) 0 arr 0 n
+  end

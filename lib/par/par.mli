@@ -1,0 +1,80 @@
+(** Multicore parallel execution: a process-wide, lazily-spawned pool of
+    OCaml 5 domains with chunked, order-preserving data-parallel
+    combinators.
+
+    ROADMAP's north star is an engine that "runs as fast as the hardware
+    allows"; this module is the single place the engine takes parallelism
+    from. The SQL executor partitions scans and join probes over it, and
+    the CPU-bound genomic kernels (batch alignment, k-mer / suffix-array
+    index construction) fan their chunks out through the same pool, so one
+    [--jobs] knob governs the whole process.
+
+    Design (docs/PARALLELISM.md has the full story):
+
+    - Degree of parallelism [jobs] = worker domains + the submitting
+      domain. It defaults to [GENALG_JOBS] when set, otherwise
+      {!Domain.recommended_domain_count} (so the pool holds
+      [recommended - 1] workers and the caller makes up the difference).
+    - Workers are spawned lazily on the first parallel operation and are
+      reused for the life of the process ({!shutdown} tears them down).
+    - Every combinator is {e deterministic}: results are merged in input
+      order, so output is identical for any [jobs], including [jobs = 1]
+      (which runs inline, spawning nothing).
+    - The submitting domain participates in chunk execution; an exception
+      raised by the user function cancels the remaining chunks and is
+      re-raised (with its backtrace) in the submitter once in-flight
+      chunks drain.
+    - Nested parallel calls from inside a worker run sequentially inline —
+      no deadlock, no domain explosion.
+    - Instruments (submitter-side only, so recording stays race-free):
+      [par.ops], [par.ops_inline], [par.chunks], [par.chunks_stolen],
+      [par.spawned] counters and the [par.run] span/histogram. *)
+
+val default_jobs : unit -> int
+(** [GENALG_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** Current degree of parallelism (includes the submitting domain). *)
+
+val set_jobs : int -> unit
+(** Override the degree of parallelism; clamped to [>= 1]. Growing takes
+    effect on the next parallel operation; shrinking below the number of
+    already-spawned workers takes effect after {!shutdown}. *)
+
+val pool_size : unit -> int
+(** Worker domains currently alive (0 until the first parallel op). *)
+
+val spawned_total : unit -> int
+(** Cumulative worker domains spawned by this process — stays flat across
+    repeated parallel operations once the pool is warm. *)
+
+val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f a] is [Array.map f a] computed on the pool. [f] runs
+    on arbitrary domains; it must not touch domain-unsafe shared state.
+    Order is preserved exactly. [chunk] overrides the chunk size (default
+    [length / (4 * jobs)], at least 1). *)
+
+val parallel_map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!parallel_map} (converts through arrays). *)
+
+val parallel_fold :
+  ?chunk:int ->
+  map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** Map-reduce: each chunk folds [combine acc (map x)] left-to-right from
+    [init], then the per-chunk results are combined left-to-right in chunk
+    order. Deterministic whenever [combine] is associative with [init] as
+    identity. *)
+
+val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for [i = 0 .. n-1] on the pool. [f]
+    must only write to disjoint slots (e.g. [results.(i)]). *)
+
+val parallel_sort : ?chunk:int -> ('a -> 'a -> int) -> 'a array -> unit
+(** In-place sort: chunks are sorted concurrently, then merged with a
+    stable pairwise merge. Like [Array.sort], not stable overall (the
+    per-chunk sorts are [Array.sort]). *)
+
+val shutdown : unit -> unit
+(** Join every worker domain and empty the pool. Subsequent parallel
+    operations re-spawn lazily. For tests and orderly exits. *)

@@ -15,15 +15,15 @@ let code = function
   | 'T' -> 3
   | _ -> -1
 
-let build ?(k = 12) text =
-  if k < 2 || k > 31 then invalid_arg "Kmer_index.build: k must be in [2, 31]";
-  let text = String.uppercase_ascii text in
+(* Collect k-mers whose start positions fall in [lo, hi) into [table],
+   positions per key in descending order (the rolling scan pushes later
+   positions on top). The window may read up to [k - 1] letters past
+   [hi], which is why parallel segments need no communication. *)
+let scan_segment ~k ~mask text table ~lo ~hi =
   let n = String.length text in
-  let table = Hashtbl.create (max 64 (n / 4)) in
-  let mask = (1 lsl (2 * k)) - 1 in
-  (* Rolling 2-bit hash; [valid] counts canonical letters in the window. *)
   let hash = ref 0 and valid = ref 0 in
-  for i = 0 to n - 1 do
+  let stop = min (n - 1) (hi + k - 2) in
+  for i = lo to stop do
     let c = code text.[i] in
     if c < 0 then begin
       valid := 0;
@@ -34,12 +34,58 @@ let build ?(k = 12) text =
       incr valid;
       if !valid >= k then begin
         let pos = i - k + 1 in
-        let prev = Option.value (Hashtbl.find_opt table !hash) ~default:[] in
-        Hashtbl.replace table !hash (pos :: prev)
+        if pos >= lo && pos < hi then begin
+          let prev = Option.value (Hashtbl.find_opt table !hash) ~default:[] in
+          Hashtbl.replace table !hash (pos :: prev)
+        end
       end
     end
-  done;
-  { k; text; table }
+  done
+
+(* Below this length a single rolling scan beats spawning chunks. *)
+let par_threshold = 1 lsl 15
+
+let build ?(k = 12) text =
+  if k < 2 || k > 31 then invalid_arg "Kmer_index.build: k must be in [2, 31]";
+  let text = String.uppercase_ascii text in
+  let n = String.length text in
+  let mask = (1 lsl (2 * k)) - 1 in
+  let module Par = Genalg_par.Par in
+  if n < par_threshold || Par.jobs () <= 1 then begin
+    let table = Hashtbl.create (max 64 (n / 4)) in
+    scan_segment ~k ~mask text table ~lo:0 ~hi:n;
+    { k; text; table }
+  end
+  else begin
+    (* partition the text into per-worker segments (each re-reads at most
+       k - 1 letters of its right neighbour), build local tables in
+       parallel, then splice the per-key position lists back together in
+       segment order so the result is identical to the sequential scan *)
+    let nseg = 2 * Par.jobs () in
+    let seg = (n + nseg - 1) / nseg in
+    let locals =
+      Par.parallel_map ~chunk:1
+        (fun si ->
+          let lo = si * seg in
+          let hi = min n (lo + seg) in
+          let local = Hashtbl.create (max 64 (seg / 4)) in
+          if lo < hi then scan_segment ~k ~mask text local ~lo ~hi;
+          local)
+        (Array.init nseg Fun.id)
+    in
+    let table = Hashtbl.create (max 64 (n / 4)) in
+    (* ascending segments hold ascending positions: prepending each local
+       (descending) list keeps every key's list globally descending *)
+    Array.iter
+      (fun local ->
+        Hashtbl.iter
+          (fun key positions ->
+            let prev = Option.value (Hashtbl.find_opt table key) ~default:[] in
+            Hashtbl.replace table key (positions @ prev))
+          local)
+      locals;
+    { k; text; table }
+  end
 
 let verify_at text pattern pos =
   let m = String.length pattern in

@@ -19,10 +19,18 @@ let build text =
     let key i =
       (rank.(i), if i + kk < n then rank.(i + kk) else -1)
     in
-    Array.sort
+    (* the prefix-doubling sort dominates construction; the pool sorts
+       chunks concurrently and merges them in order. Ties (equal keys)
+       collapse to equal ranks below, so any correct sort yields the
+       same final array. *)
+    Genalg_par.Par.parallel_sort
       (fun a b ->
-        let ka = key a and kb = key b in
-        compare ka kb)
+        let c = Int.compare rank.(a) rank.(b) in
+        if c <> 0 then c
+        else
+          Int.compare
+            (if a + kk < n then rank.(a + kk) else -1)
+            (if b + kk < n then rank.(b + kk) else -1))
       sa;
     (* re-rank *)
     tmp.(sa.(0)) <- 0;

@@ -17,10 +17,14 @@ let ( let* ) = Result.bind
 
 module Obs = Genalg_obs.Obs
 module Lru = Genalg_cache.Lru
+module Par = Genalg_par.Par
 
 let c_queries = Obs.counter "sqlx.queries"
 let c_statements = Obs.counter "sqlx.statements"
 let c_rows_out = Obs.counter "sqlx.rows_out"
+let c_hash_steps = Obs.counter "sqlx.join.hash_steps"
+let c_nested_steps = Obs.counter "sqlx.join.nested_steps"
+let c_scan_partitions = Obs.counter "sqlx.scan.partitions"
 
 type binding = {
   alias : string;
@@ -147,6 +151,52 @@ let eval_in_group db group expr =
       Eval.eval (env_of db first) folded
 
 (* ------------------------------------------------------------------ *)
+(* Parallel row filtering and join expansion.
+
+   Rows are decoded from the buffer pool sequentially (the pool and heap
+   are not domain-safe); the decoded, immutable binding arrays are then
+   partitioned over the {!Par} pool. Each partition writes only its own
+   slot and partitions are merged in input order, so results — including
+   which error surfaces first — are identical for any jobs setting.      *)
+
+let par_row_threshold = 256
+
+let apply_filters db filters row =
+  let rec apply = function
+    | [] -> Ok true
+    | f :: fs -> (
+        match Eval.eval_predicate (env_of db row) f with
+        | Ok true -> apply fs
+        | Ok false -> Ok false
+        | Error _ as e -> e)
+  in
+  apply filters
+
+(* [expand_ordered ~expand items] maps every item to the (ordered) list of
+   rows it produces and concatenates in input order; the first error in
+   input order wins. Parallel when worthwhile; returns the degree of
+   parallelism used. *)
+let expand_ordered ~expand items =
+  let n = Array.length items in
+  let j = Par.jobs () in
+  let dop = if j > 1 && n >= par_row_threshold then j else 1 in
+  let results = if dop > 1 then Par.parallel_map expand items else Array.map expand items in
+  let rec merge acc i =
+    if i = n then Ok (List.rev acc)
+    else
+      match results.(i) with
+      | Ok rows -> merge (List.rev_append rows acc) (i + 1)
+      | Error _ as e -> e
+  in
+  let* out = merge [] 0 in
+  Ok (out, dop)
+
+let filter_ordered db filters items =
+  expand_ordered items ~expand:(fun row ->
+      let* keep = apply_filters db filters row in
+      Ok (if keep then [ row ] else []))
+
+(* ------------------------------------------------------------------ *)
 (* Scanning                                                            *)
 
 let scan_table db ~actor (tp : Plan.table_plan) =
@@ -195,21 +245,17 @@ let scan_table db ~actor (tp : Plan.table_plan) =
                 List.rev !acc)
       in
       let bindings_of row = { alias = tp.Plan.alias; schema; values = row } in
-      (* apply pushed-down filters in plan order *)
-      let rec filter_rows acc = function
-        | [] -> Ok (List.rev acc)
-        | row :: rest ->
-            let b = bindings_of row in
-            let rec apply = function
-              | [] -> Ok true
-              | f :: fs ->
-                  let* keep = Eval.eval_predicate (env_of db [ b ]) f in
-                  if keep then apply fs else Ok false
-            in
-            let* keep = apply (!fallback_filter @ tp.Plan.filters) in
-            filter_rows (if keep then b :: acc else acc) rest
-      in
-      filter_rows [] raw_rows
+      (* apply pushed-down filters in plan order, over parallel
+         partitions of the decoded rows when worthwhile *)
+      (match !fallback_filter @ tp.Plan.filters with
+      | [] -> Ok (List.map bindings_of raw_rows, 1)
+      | filters ->
+          let items =
+            Array.of_list (List.map (fun row -> [ bindings_of row ]) raw_rows)
+          in
+          let* kept, parts = filter_ordered db filters items in
+          if parts > 1 then Obs.add c_scan_partitions parts;
+          Ok (List.map List.hd kept, parts))
 
 (* When the index-eq access came from a conjunct that the planner removed,
    rows from a fallback full scan could violate it. To stay correct we
@@ -218,22 +264,87 @@ let scan_table db ~actor (tp : Plan.table_plan) =
    conjunct — the planner only removes it when the catalog reported an
    index, in which case the index path is taken. *)
 
-let expr_aliases db bindings_schemas expr =
-  ignore db;
-  let cols = Ast.columns_of_expr expr in
-  List.sort_uniq String.compare
-    (List.concat_map
-       (fun (q, c) ->
-         match q with
-         | Some q -> [ String.lowercase_ascii q ]
-         | None ->
-             List.filter_map
-               (fun (alias, schema) ->
-                 Option.map
-                   (fun _ -> String.lowercase_ascii alias)
-                   (Schema.column_index schema c))
-               bindings_schemas)
-       cols)
+(* ------------------------------------------------------------------ *)
+(* Joins: one step per table after the first, strategy chosen by the
+   planner. A hash step builds a table over the incoming rows keyed on
+   the join column and probes it with each accumulated row; key equality
+   follows SQL [=] (NULL keys never match; Int and Float keys compare
+   numerically, so the hash normalizes Int to Float).                    *)
+
+module JoinHash = Hashtbl.Make (struct
+  type t = D.value
+
+  let equal a b = D.compare_value a b = 0
+
+  let hash v =
+    Hashtbl.hash
+      (match v with D.Int i -> D.Float (float_of_int i) | v -> v)
+end)
+
+let build_hash right_rows ~inner_col ~step_alias =
+  let tbl = JoinHash.create (max 16 (2 * List.length right_rows)) in
+  let* idx =
+    match right_rows with
+    | [] -> Ok (-1)
+    | b :: _ -> (
+        match Schema.column_index b.schema (String.lowercase_ascii inner_col) with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "no column %s in %s" inner_col step_alias))
+  in
+  List.iter
+    (fun b ->
+      let key = b.values.(idx) in
+      if key <> D.Null then
+        let prev = Option.value (JoinHash.find_opt tbl key) ~default:[] in
+        JoinHash.replace tbl key (b :: prev))
+    right_rows;
+  (* per-key chains back into scan order so output matches a nested loop *)
+  JoinHash.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
+  Ok tbl
+
+(* Expand one accumulated row through the step: nested loop walks every
+   incoming row; hash probes the build table. Both apply the step's
+   residual filters per combined row and keep incoming-scan order. *)
+let exec_join_step db (step : Plan.join_step) ~right_rows acc_rows =
+  let* expand =
+    match step.Plan.strategy with
+    | Plan.Nested_loop ->
+        Obs.add c_nested_steps 1;
+        Ok
+          (fun row ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | b :: rest ->
+                  let combined = row @ [ b ] in
+                  let* keep = apply_filters db step.Plan.step_filters combined in
+                  go (if keep then combined :: acc else acc) rest
+            in
+            go [] right_rows)
+    | Plan.Hash_join { outer_alias; outer_col; inner_col } ->
+        Obs.add c_hash_steps 1;
+        let* tbl =
+          build_hash right_rows ~inner_col ~step_alias:step.Plan.step_alias
+        in
+        Ok
+          (fun row ->
+            let* key = lookup_in row (Some outer_alias) outer_col in
+            if key = D.Null then Ok []
+            else
+              let matches =
+                Option.value (JoinHash.find_opt tbl key) ~default:[]
+              in
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | b :: rest ->
+                    let combined = row @ [ b ] in
+                    let* keep =
+                      apply_filters db step.Plan.step_filters combined
+                    in
+                    go (if keep then combined :: acc else acc) rest
+              in
+              go [] matches)
+  in
+  expand_ordered ~expand (Array.of_list acc_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Statement caches (docs/CACHING.md): a parse cache keyed on the
@@ -315,6 +426,12 @@ let clear_statement_caches () =
   Lru.clear !stmt_cache;
   Lru.clear !plan_cache;
   Lru.clear !result_cache
+
+(* flipping the strategy invalidates every cached plan (the cache key
+   does not include the flag) and the results derived from them *)
+let set_hash_join_enabled b =
+  Plan.set_hash_join_enabled b;
+  clear_statement_caches ()
 
 let query_key db ~actor ~optimize select =
   { qk_db = Db.id db; qk_actor = String.lowercase_ascii actor; qk_optimize = optimize;
@@ -456,11 +573,12 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
           scan_table db ~actor tp)
     in
     (match res with
-    | Ok rows ->
+    | Ok (rows, parts) ->
         let label =
-          Printf.sprintf "Scan %s%s via %s%s" tp.Plan.table
+          Printf.sprintf "Scan %s%s via %s%s%s" tp.Plan.table
             (if tp.Plan.alias <> tp.Plan.table then " as " ^ tp.Plan.alias else "")
             (Plan.access_to_string tp.Plan.access)
+            (if parts > 1 then Printf.sprintf " [partitions=%d]" parts else "")
             (match tp.Plan.filters with
             | [] -> ""
             | fs ->
@@ -472,87 +590,66 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
             elapsed_s = Obs.now_s () -. t0; children = [] }
           :: !scan_profs
     | Error _ -> ());
-    res
+    Result.map fst res
   in
-  (* scan + join *)
+  (* scan + join: one step per table after the first, following the
+     planner's per-step strategy and filter assignment *)
   let* joined, join_prof =
     match plan.Plan.tables with
     | [] -> Error "SELECT requires a FROM clause"
     | first :: rest ->
         let* first_rows = timed_scan first in
         let first_rows = List.map (fun b -> [ b ]) first_rows in
-        let schemas_so_far tps =
-          List.filter_map
-            (fun (tp : Plan.table_plan) ->
-              match Db.resolve db ~actor tp.Plan.table with
-              | Some (_, t) -> Some (tp.Plan.alias, Table.schema t)
-              | None -> None)
-            tps
-        in
-        let rec join_loop acc_rows done_tps pending remaining_filters =
-          match pending with
-          | [] ->
-              (* apply any leftover join filters *)
-              let rec filt acc = function
-                | [] -> Ok (List.rev acc)
-                | row :: rest ->
-                    let rec apply = function
-                      | [] -> Ok true
-                      | f :: fs ->
-                          let* keep = Eval.eval_predicate (env_of db row) f in
-                          if keep then apply fs else Ok false
-                    in
-                    let* keep = apply remaining_filters in
-                    filt (if keep then row :: acc else acc) rest
-              in
-              filt [] acc_rows
-          | tp :: pending_rest ->
+        let join_dop = ref 1 in
+        let rec join_loop acc_rows steps tps =
+          match steps, tps with
+          | [], [] -> Ok acc_rows
+          | step :: steps_rest, tp :: tps_rest ->
               let* right_rows = timed_scan tp in
-              let done_tps = done_tps @ [ tp ] in
-              let bound_schemas = schemas_so_far done_tps in
-              let applicable, deferred =
-                List.partition
-                  (fun f ->
-                    List.for_all
-                      (fun a ->
-                        List.exists
-                          (fun (alias, _) -> String.lowercase_ascii alias = a)
-                          bound_schemas)
-                      (expr_aliases db bound_schemas f))
-                  remaining_filters
-              in
-              let product =
-                List.concat_map
-                  (fun row -> List.map (fun b -> row @ [ b ]) right_rows)
-                  acc_rows
-              in
-              let rec filt acc = function
-                | [] -> Ok (List.rev acc)
-                | row :: rest ->
-                    let rec apply = function
-                      | [] -> Ok true
-                      | f :: fs ->
-                          let* keep = Eval.eval_predicate (env_of db row) f in
-                          if keep then apply fs else Ok false
-                    in
-                    let* keep = apply applicable in
-                    filt (if keep then row :: acc else acc) rest
-              in
-              let* filtered = filt [] product in
-              join_loop filtered done_tps pending_rest deferred
+              let* out, dop = exec_join_step db step ~right_rows acc_rows in
+              join_dop := max !join_dop dop;
+              join_loop out steps_rest tps_rest
+          | _ -> Error "internal error: join plan shape mismatch"
         in
-        let* out = join_loop first_rows [ first ] rest plan.Plan.join_filters in
+        let* out = join_loop first_rows plan.Plan.joins rest in
+        (* conjuncts no step could evaluate: apply last so the same
+           evaluation error a nested loop would hit still surfaces *)
+        let* out =
+          match plan.Plan.tail_filters with
+          | [] -> Ok out
+          | fs ->
+              let* kept, dop = filter_ordered db fs (Array.of_list out) in
+              join_dop := max !join_dop dop;
+              Ok kept
+        in
         let scans = List.rev !scan_profs in
         let prof =
-          match scans, rest, plan.Plan.join_filters with
+          match scans, plan.Plan.joins, plan.Plan.tail_filters with
           | [ s ], [], [] -> s
           | _ ->
+              let describe (step : Plan.join_step) =
+                Printf.sprintf "%s: %s%s" step.Plan.step_alias
+                  (Plan.strategy_to_string step)
+                  (match step.Plan.step_filters with
+                  | [] -> ""
+                  | fs ->
+                      Printf.sprintf " filter [%s]"
+                        (String.concat "; " (List.map Ast.expr_to_string fs)))
+              in
               let op =
-                match plan.Plan.join_filters with
-                | [] -> "Nested-loop join"
-                | fs ->
-                    Printf.sprintf "Nested-loop join filter [%s]"
-                      (String.concat "; " (List.map Ast.expr_to_string fs))
+                (match plan.Plan.joins with
+                | [] -> "Join"
+                | steps ->
+                    Printf.sprintf "Join [%s]"
+                      (String.concat "; " (List.map describe steps)))
+                ^ (match plan.Plan.tail_filters with
+                  | [] -> ""
+                  | fs ->
+                      Printf.sprintf " filter [%s]"
+                        (String.concat "; " (List.map Ast.expr_to_string fs)))
+                ^
+                if !join_dop > 1 then Printf.sprintf " (jobs=%d)" !join_dop
+                else ""
               in
               { op; actual_rows = List.length out;
                 elapsed_s = Obs.now_s () -. t_query0; children = scans }
@@ -878,7 +975,8 @@ let explain ?optimize db ~actor ~analyze select =
          rows =
            List.map
              (fun l -> [| D.Str l |])
-             (String.split_on_char '\n' (Plan.to_string plan)) }
+             (String.split_on_char '\n'
+                (Plan.to_string ~jobs:(Par.jobs ()) plan)) }
 
 (* ------------------------------------------------------------------ *)
 (* DML / DDL                                                           *)

@@ -98,6 +98,12 @@ val invalidate_table : Genalg_storage.Database.t -> table:string -> int
 val clear_statement_caches : unit -> unit
 (** Empty all three caches (statistics are kept). For tests/benches. *)
 
+val set_hash_join_enabled : bool -> unit
+(** Enable/disable the hash equi-join strategy (default enabled). Also
+    drops cached plans and results so the toggle takes effect
+    immediately. Disabling forces the nested-loop baseline — used by the
+    PAR bench and the hash ≡ nested-loop equivalence tests. *)
+
 val set_plan_cache_entries : int -> unit
 (** Replace the plan cache with an empty one of the given capacity. *)
 

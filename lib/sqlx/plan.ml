@@ -19,10 +19,29 @@ type table_plan = {
   filters : Ast.expr list;
 }
 
+type join_strategy =
+  | Nested_loop
+  | Hash_join of { outer_alias : string; outer_col : string; inner_col : string }
+
+type join_step = {
+  step_alias : string;
+  strategy : join_strategy;
+  step_filters : Ast.expr list;
+}
+
 type t = {
   tables : table_plan list;
   join_filters : Ast.expr list;
+  joins : join_step list;
+  tail_filters : Ast.expr list;
 }
+
+(* Global switch so benches/tests can force the nested-loop baseline.
+   Callers that flip it must drop cached plans (Exec.set_hash_join_enabled
+   does). *)
+let hash_join_flag = ref true
+let set_hash_join_enabled b = hash_join_flag := b
+let hash_join_enabled () = !hash_join_flag
 
 type catalog = {
   has_index : table:string -> column:string -> bool;
@@ -192,6 +211,119 @@ let genomic_access catalog ~table ~alias expr =
       | _ -> None)
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Join steps: each cross-table conjunct is applied exactly once, at the
+   first join step where every alias it references is bound (fixes the
+   deferred-filter double bookkeeping of the executor's old dynamic
+   partitioning, which also mis-attributed unqualified columns of
+   not-yet-bound tables). A step whose filters include a simple column
+   equality between the incoming table and an already-bound one becomes a
+   build/probe hash join; everything else stays a nested loop.           *)
+
+(* Aliases a single column reference can belong to. *)
+let resolve_col catalog from (qualifier, col) =
+  match qualifier with
+  | Some q -> [ String.lowercase_ascii q ]
+  | None ->
+      List.filter_map
+        (fun (table, alias) ->
+          if catalog.column_exists ~table ~column:col then
+            Some (String.lowercase_ascii alias)
+          else None)
+        from
+
+(* An equality conjunct usable as the hash key when joining [alias_k]
+   against the aliases bound before it. Both sides must resolve to exactly
+   one alias (so evaluation could not be ambiguous), to existing columns,
+   and to opposite sides of the join frontier. *)
+let hash_key_of catalog from ~bound ~alias_k expr =
+  let table_of alias =
+    let la = String.lowercase_ascii alias in
+    List.find_map
+      (fun (table, a) ->
+        if String.lowercase_ascii a = la then Some table else None)
+      from
+  in
+  let side (q, c) =
+    let c = String.lowercase_ascii c in
+    match resolve_col catalog from (q, c) with
+    | [ a ] -> (
+        match table_of a with
+        | Some table when catalog.column_exists ~table ~column:c -> Some (a, c)
+        | _ -> None)
+    | _ -> None
+  in
+  match expr with
+  | Ast.Binop (Ast.Eq, Ast.Col (qa, ca), Ast.Col (qb, cb)) -> (
+      match side (qa, ca), side (qb, cb) with
+      | Some (a1, c1), Some (a2, c2) ->
+          let lk = String.lowercase_ascii alias_k in
+          if a1 = lk && a2 <> lk && List.mem a2 bound then
+            Some (Hash_join { outer_alias = a2; outer_col = c2; inner_col = c1 })
+          else if a2 = lk && a1 <> lk && List.mem a1 bound then
+            Some (Hash_join { outer_alias = a1; outer_col = c1; inner_col = c2 })
+          else None
+      | _ -> None)
+  | _ -> None
+
+(* Distribute [join_filters] (kept in their evaluation order) over the
+   join steps; conjuncts no step can ever evaluate go to [tail_filters]
+   so the executor surfaces the evaluation error exactly like a nested
+   loop would. *)
+let make_steps ~hash_join catalog (from : (string * string) list) classified
+    join_filters =
+  match from with
+  | [] | [ _ ] -> ([], join_filters)
+  | _ :: rest ->
+      let aliases = List.map (fun (_, a) -> String.lowercase_ascii a) from in
+      let alias_array = Array.of_list aliases in
+      let bound_upto k =
+        Array.to_list (Array.sub alias_array 0 (k + 1))
+      in
+      let step_of f =
+        let af =
+          match List.assoc_opt f classified with
+          | Some al -> List.map String.lowercase_ascii al
+          | None -> []
+        in
+        let rec find k =
+          if k >= Array.length alias_array then None
+          else if
+            List.for_all (fun a -> List.mem a (bound_upto k)) af
+          then Some (max 1 k)
+          else find (k + 1)
+        in
+        find 0
+      in
+      let placed = List.map (fun f -> (f, step_of f)) join_filters in
+      let tail = List.filter_map (fun (f, s) -> if s = None then Some f else None) placed in
+      let steps =
+        List.mapi
+          (fun i (_, alias) ->
+            let k = i + 1 in
+            let mine =
+              List.filter_map
+                (fun (f, s) -> if s = Some k then Some f else None)
+                placed
+            in
+            let bound = bound_upto (k - 1) in
+            let strategy, residual =
+              if not hash_join then (Nested_loop, mine)
+              else
+                let rec pick seen = function
+                  | [] -> (Nested_loop, List.rev seen)
+                  | f :: fs -> (
+                      match hash_key_of catalog from ~bound ~alias_k:alias f with
+                      | Some s -> (s, List.rev_append seen fs)
+                      | None -> pick (f :: seen) fs)
+                in
+                pick [] mine
+            in
+            { step_alias = alias; strategy; step_filters = residual })
+          rest
+      in
+      (steps, tail)
+
 let make ?(optimize = true) catalog (select : Ast.select) =
   let conjuncts =
     match select.Ast.where with None -> [] | Some w -> Ast.conjuncts w
@@ -218,7 +350,10 @@ let make ?(optimize = true) catalog (select : Ast.select) =
         (fun (c, al) -> if List.length al <> 1 then Some c else None)
         classified
     in
-    { tables; join_filters }
+    let joins, tail_filters =
+      make_steps ~hash_join:false catalog from classified join_filters
+    in
+    { tables; join_filters; joins; tail_filters }
   end
   else begin
     let tables =
@@ -260,7 +395,11 @@ let make ?(optimize = true) catalog (select : Ast.select) =
         classified
       |> List.stable_sort (fun a b -> Float.compare (rank a) (rank b))
     in
-    { tables; join_filters }
+    let joins, tail_filters =
+      make_steps ~hash_join:(hash_join_enabled ()) catalog from classified
+        join_filters
+    in
+    { tables; join_filters; joins; tail_filters }
   end
 
 let access_to_string = function
@@ -274,12 +413,23 @@ let access_to_string = function
   | Genomic_contains { column; pattern } ->
       Printf.sprintf "genomic index %s contains %S" column pattern
 
-let to_string t =
+let strategy_to_string step =
+  match step.strategy with
+  | Hash_join { outer_alias; outer_col; inner_col } ->
+      Printf.sprintf "hash join on %s.%s = %s.%s" outer_alias outer_col
+        step.step_alias inner_col
+  | Nested_loop -> "nested-loop join"
+
+let to_string ?(jobs = 1) t =
+  let partitions =
+    if jobs > 1 then Printf.sprintf " [partitions=%d]" jobs else ""
+  in
   let lines =
     List.map
       (fun tp ->
-        Printf.sprintf "scan %s as %s via %s%s" tp.table tp.alias
+        Printf.sprintf "scan %s as %s via %s%s%s" tp.table tp.alias
           (access_to_string tp.access)
+          (match tp.access with Full_scan -> partitions | _ -> "")
           (match tp.filters with
           | [] -> ""
           | fs ->
@@ -287,11 +437,23 @@ let to_string t =
                 (String.concat "; " (List.map Ast.expr_to_string fs))))
       t.tables
   in
-  let join_line =
-    match t.join_filters with
+  let join_lines =
+    List.map
+      (fun step ->
+        Printf.sprintf "join %s via %s%s" step.step_alias
+          (strategy_to_string step)
+          (match step.step_filters with
+          | [] -> ""
+          | fs ->
+              Printf.sprintf " filter [%s]"
+                (String.concat "; " (List.map Ast.expr_to_string fs))))
+      t.joins
+  in
+  let tail_line =
+    match t.tail_filters with
     | [] -> []
     | fs ->
         [ Printf.sprintf "join filter [%s]"
             (String.concat "; " (List.map Ast.expr_to_string fs)) ]
   in
-  String.concat "\n" (lines @ join_line)
+  String.concat "\n" (lines @ join_lines @ tail_line)

@@ -35,10 +35,41 @@ type table_plan = {
   filters : Ast.expr list;  (** residual predicates, in evaluation order *)
 }
 
-type t = {
-  tables : table_plan list;      (** joined left to right by nested loops *)
-  join_filters : Ast.expr list;  (** cross-table conjuncts, evaluation order *)
+type join_strategy =
+  | Nested_loop
+  | Hash_join of {
+      outer_alias : string;  (** already-bound side, lowercased alias *)
+      outer_col : string;    (** probe key column on the bound side *)
+      inner_col : string;    (** build key column on the incoming table *)
+    }
+      (** build a hash table over the incoming table keyed on [inner_col]
+          (NULL keys excluded, SQL three-valued [=] semantics), probe it
+          with each accumulated row's [outer_alias.outer_col] — chosen
+          whenever a join step's conjuncts contain a simple column
+          equality across the join frontier *)
+
+type join_step = {
+  step_alias : string;           (** lowercased alias of the joined table *)
+  strategy : join_strategy;
+  step_filters : Ast.expr list;
+      (** conjuncts first evaluable at this step (the hash-key equality,
+          when consumed by [Hash_join], is removed), evaluation order *)
 }
+
+type t = {
+  tables : table_plan list;      (** joined left to right *)
+  join_filters : Ast.expr list;  (** all cross-table conjuncts, evaluation order *)
+  joins : join_step list;        (** one step per table after the first *)
+  tail_filters : Ast.expr list;
+      (** conjuncts no step can evaluate (unknown aliases/columns); the
+          executor applies them last so the error still surfaces *)
+}
+
+val set_hash_join_enabled : bool -> unit
+(** Force the nested-loop baseline when [false] (default [true]). Use
+    {!Exec.set_hash_join_enabled}, which also drops cached plans. *)
+
+val hash_join_enabled : unit -> bool
 
 type catalog = {
   has_index : table:string -> column:string -> bool;
@@ -75,8 +106,15 @@ val make : ?optimize:bool -> catalog -> Ast.select -> t
     the last table that makes them evaluable — the naive baseline for the
     optimizer experiment. *)
 
-val to_string : t -> string
-(** Human-readable plan (one line per table, then join filters). *)
+val to_string : ?jobs:int -> t -> string
+(** Human-readable plan: one line per table scan (full scans carry the
+    planned partition count when [jobs > 1]), one line per join step with
+    its strategy ("hash join on l.k = r.k" vs "nested-loop join"), then
+    any tail join filters. *)
+
+val strategy_to_string : join_step -> string
+(** ["hash join on l.k = r.k"] or ["nested-loop join"] — used for EXPLAIN
+    output and join operator labels. *)
 
 val access_to_string : access -> string
 (** One-line description of an access path, e.g. ["full scan"] or

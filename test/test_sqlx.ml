@@ -433,6 +433,177 @@ let test_render () =
      in
      contains text "ACGTACGTACGT")
 
+(* ---- join strategies --------------------------------------------------- *)
+
+(* run [f] with the hash-join strategy forced on or off, restoring the
+   default (enabled) afterwards *)
+let with_hash enabled f =
+  Exec.set_hash_join_enabled enabled;
+  Fun.protect ~finally:(fun () -> Exec.set_hash_join_enabled true) f
+
+let join_fixture () =
+  let db = Db.create () in
+  let run sql =
+    match Exec.query db ~actor:Db.loader_actor sql with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "join fixture: %s (%s)" msg sql
+  in
+  (* duplicates on both sides, NULL keys on both sides, and a float-keyed
+     probe side so Int/Float key equality (1 = 1.0) is exercised *)
+  ignore (run "CREATE TABLE l (k int, v int)");
+  ignore (run "CREATE TABLE r (k float, w int)");
+  ignore
+    (run
+       "INSERT INTO l VALUES (1, 10), (2, 20), (2, 21), (NULL, 30), (3, 40), (7, 50)");
+  ignore
+    (run
+       "INSERT INTO r VALUES (2.0, 100), (1.0, 200), (2.0, 300), (NULL, 400), (9.0, 500)");
+  (db, run)
+
+let join_rows db sql =
+  Exec.clear_statement_caches ();
+  match Exec.query db ~actor:"u" sql with
+  | Ok (Exec.Rows rs) -> rs.Exec.rows
+  | Ok _ -> Alcotest.failf "expected rows from %s" sql
+  | Error msg -> Alcotest.failf "%s (%s)" msg sql
+
+let test_join_hash_equals_nested () =
+  let db, _ = join_fixture () in
+  List.iter
+    (fun sql ->
+      let nested = with_hash false (fun () -> join_rows db sql) in
+      let hashed = with_hash true (fun () -> join_rows db sql) in
+      check Alcotest.bool ("same rows, same order: " ^ sql) true (nested = hashed))
+    [
+      "SELECT l.v, r.w FROM l, r WHERE l.k = r.k";
+      "SELECT l.v, r.w FROM l, r WHERE l.k = r.k ORDER BY l.v DESC, r.w";
+      "SELECT l.v, r.w FROM l, r WHERE l.k = r.k AND r.w > 150";
+      "SELECT count(*) FROM l, r WHERE l.k = r.k";
+    ]
+
+let test_join_semantics () =
+  let db, _ = join_fixture () in
+  (* spot-check the actual contents: NULL keys never match (either side),
+     duplicates multiply (2 l-rows x 2 r-rows for k=2), 1 = 1.0 matches *)
+  let rows =
+    join_rows db "SELECT l.v, r.w FROM l, r WHERE l.k = r.k ORDER BY l.v, r.w"
+  in
+  let as_pairs =
+    List.map
+      (function [| D.Int v; D.Int w |] -> (v, w) | _ -> Alcotest.fail "shape")
+      rows
+  in
+  check Alcotest.bool "expected join contents" true
+    (as_pairs
+    = [ (10, 200); (20, 100); (20, 300); (21, 100); (21, 300) ])
+
+let test_join_filter_spans_tables_1_and_3 () =
+  (* regression: a join filter over tables 1 and 3 must not be applied
+     until table 3 is bound, and must not be dropped. The second query
+     references table 3's column without qualification. *)
+  let db = Db.create () in
+  let run sql =
+    match Exec.query db ~actor:Db.loader_actor sql with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "%s (%s)" msg sql
+  in
+  ignore (run "CREATE TABLE a (x int)");
+  ignore (run "CREATE TABLE b (y int)");
+  ignore (run "CREATE TABLE c (z int, tag string)");
+  ignore (run "INSERT INTO a VALUES (1), (2), (3)");
+  ignore (run "INSERT INTO b VALUES (1), (2)");
+  ignore (run "INSERT INTO c VALUES (2, 'two'), (3, 'three'), (5, 'five')");
+  List.iter
+    (fun sql ->
+      let nested = with_hash false (fun () -> join_rows db sql) in
+      let hashed = with_hash true (fun () -> join_rows db sql) in
+      check Alcotest.bool ("strategies agree: " ^ sql) true (nested = hashed);
+      let got =
+        List.map (function [| D.Int x |] -> x | _ -> Alcotest.fail "shape") hashed
+      in
+      (* a.x must equal both b.y and c.z: only x = 2 survives *)
+      check Alcotest.(list int) ("rows: " ^ sql) [ 2 ] got)
+    [
+      "SELECT a.x FROM a, b, c WHERE a.x = b.y AND a.x = c.z";
+      (* unqualified z only resolves once table 3 is in scope *)
+      "SELECT a.x FROM a, b, c WHERE a.x = b.y AND a.x = z";
+    ]
+
+let test_explain_join_strategy () =
+  let db, _ = join_fixture () in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+    at 0
+  in
+  let explain_text sql =
+    Exec.clear_statement_caches ();
+    match Exec.query db ~actor:"u" ("EXPLAIN " ^ sql) with
+    | Ok (Exec.Rows rs) ->
+        String.concat "\n"
+          (List.filter_map
+             (function [| D.Str l |] -> Some l | _ -> None)
+             rs.Exec.rows)
+    | _ -> Alcotest.fail "EXPLAIN failed"
+  in
+  let sql = "SELECT l.v, r.w FROM l, r WHERE l.k = r.k" in
+  let hash_plan = with_hash true (fun () -> explain_text sql) in
+  check Alcotest.bool "hash strategy shown" true
+    (contains hash_plan "hash join on l.k = r.k");
+  let nested_plan = with_hash false (fun () -> explain_text sql) in
+  check Alcotest.bool "nested strategy shown" true
+    (contains nested_plan "nested-loop join");
+  (* non-equi predicates can never use the hash path *)
+  let range_plan =
+    with_hash true (fun () ->
+        explain_text "SELECT l.v FROM l, r WHERE l.k < r.k")
+  in
+  check Alcotest.bool "range join stays nested" true
+    (contains range_plan "nested-loop join");
+  (* planned scan partitions appear once jobs > 1 *)
+  let module Par = Genalg_par.Par in
+  let prev = Par.jobs () in
+  Par.set_jobs 4;
+  Fun.protect
+    ~finally:(fun () -> Par.set_jobs prev)
+    (fun () ->
+      let plan = explain_text sql in
+      check Alcotest.bool "partitions shown at jobs=4" true
+        (contains plan "[partitions=4]"))
+
+let join_property =
+  let module Q = QCheck2 in
+  let key_list = Q.Gen.(list_size (int_bound 20) (option (int_bound 4))) in
+  let prop (ls, rs) =
+    let db = Db.create () in
+    let run sql =
+      match Exec.query db ~actor:Db.loader_actor sql with
+      | Ok o -> o
+      | Error msg -> failwith (msg ^ " (" ^ sql ^ ")")
+    in
+    ignore (run "CREATE TABLE l (k int, v int)");
+    ignore (run "CREATE TABLE r (k int, w int)");
+    let insert table i = function
+      | Some k -> ignore (run (Printf.sprintf "INSERT INTO %s VALUES (%d, %d)" table k i))
+      | None -> ignore (run (Printf.sprintf "INSERT INTO %s VALUES (NULL, %d)" table i))
+    in
+    List.iteri (insert "l") ls;
+    List.iteri (insert "r") rs;
+    List.for_all
+      (fun sql ->
+        let nested = with_hash false (fun () -> join_rows db sql) in
+        let hashed = with_hash true (fun () -> join_rows db sql) in
+        nested = hashed)
+      [
+        "SELECT l.v, r.w FROM l, r WHERE l.k = r.k";
+        "SELECT l.v, r.w FROM l, r WHERE l.k = r.k ORDER BY l.v DESC, r.w";
+      ]
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"hash join = nested loop (random tables)"
+       QCheck2.Gen.(pair key_list key_list)
+       prop)
+
 let suites =
   [
     ( "sqlx.parser",
@@ -477,5 +648,14 @@ let suites =
         tc "aggregate over empty" `Quick test_exec_aggregate_empty;
         tc "limit zero" `Quick test_exec_limit_zero;
         tc "render" `Quick test_render;
+      ] );
+    ( "sqlx.join",
+      [
+        tc "hash = nested (fixture)" `Quick test_join_hash_equals_nested;
+        tc "NULLs, duplicates, int=float" `Quick test_join_semantics;
+        tc "filter spanning tables 1 and 3" `Quick
+          test_join_filter_spans_tables_1_and_3;
+        tc "EXPLAIN shows strategy" `Quick test_explain_join_strategy;
+        join_property;
       ] );
   ]
