@@ -1352,6 +1352,193 @@ let par_bench () =
   note "jobs=N never changes results, only who computes them"
 
 (* ================================================================== *)
+(* AVAIL — availability under injected faults: mediator vs warehouse   *)
+(* ================================================================== *)
+
+let avail () =
+  let module Fault = Genalg_fault.Fault in
+  let module Resilience = Genalg_resilience.Resilience in
+  heading "AVAIL"
+    "Availability under injected faults: mediator (Figure 1) vs warehouse (Figure 3)";
+  note "F1 workload (organism + length query, 100 records/source, 4 sources)";
+  note "replayed %d times under a fixed fault spec; the warehouse is loaded" 40;
+  note "before the outage window — the paper's availability argument, quantified";
+  let n_queries = 40 in
+  let organism = "Synthetica primus" in
+  let q =
+    { Mediator.organism = Some organism; min_length = Some 900;
+      contains_motif = None }
+  in
+  let mk_sources () =
+    let r = rng () in
+    List.init 4 (fun i ->
+        Source.create
+          ~name:(Printf.sprintf "s%d" i)
+          (if i = 2 then Source.Non_queryable else Source.Queryable)
+          (match i mod 3 with
+          | 0 -> Source.Relational
+          | 1 -> Source.Hierarchical
+          | _ -> Source.Flat_file)
+          (Genalg_synth.Recordgen.repository r ~size:100
+             ~prefix:(Printf.sprintf "F%d" i) ()))
+  in
+  (* -- gate 1: with injection disabled, instrumented code never fires -- *)
+  Fault.disable ();
+  Fault.reset_tallies ();
+  let med0 = Mediator.create (mk_sources ()) in
+  let baseline_results, _ = Mediator.run med0 q in
+  let zero_when_disabled = Fault.total_injected () = 0 in
+  (* warehouse loaded once, while the sources are healthy *)
+  let pl = Result.get_ok (Pipeline.create ~sources:(mk_sources ()) ()) in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  let db = Pipeline.database pl in
+  ignore (Exec.query db ~actor:"u" "CREATE INDEX ON sequences (organism)");
+  let sql =
+    Printf.sprintf
+      "SELECT accession FROM sequences WHERE organism = '%s' AND length >= 900"
+      organism
+  in
+  let spec =
+    "seed=11;source.s0:error:p=0.9;source.s1:latency:p=0.3:s=0.4;\
+     source.s2:corrupt:p=0.25:frac=0.02;source.s3:error:p=0.25"
+  in
+  note "fault spec: %s" spec;
+  (* one full replay: fresh spec (resets the registry's deterministic
+     counters), fresh sources, fresh breakers *)
+  let replay () =
+    (match Fault.configure spec with Ok () -> () | Error m -> failwith m);
+    let med =
+      Mediator.create ~resilience:Resilience.default_policy (mk_sources ())
+    in
+    let full = ref 0 and partial = ref 0 and unanswered = ref 0 in
+    let contacts_ok = ref 0 and contacts = ref 0 in
+    let retries = ref 0 and skips = ref 0 and fails = ref 0 in
+    for _ = 1 to n_queries do
+      let _, tm = Mediator.run med q in
+      contacts := !contacts + tm.Mediator.sources_contacted;
+      contacts_ok := !contacts_ok + tm.Mediator.sources_answered;
+      if tm.Mediator.sources_answered = tm.Mediator.sources_contacted then
+        incr full
+      else if tm.Mediator.sources_answered > 0 then incr partial
+      else incr unanswered;
+      List.iter
+        (fun (st : Mediator.source_timing) ->
+          match st.Mediator.status with
+          | Mediator.Retried n -> retries := !retries + n
+          | Mediator.Skipped_open_circuit -> incr skips
+          | Mediator.Failed _ -> incr fails
+          | Mediator.Served -> ())
+        tm.Mediator.per_source
+    done;
+    Fault.disable ();
+    (!full, !partial, !unanswered, !contacts_ok, !contacts, !retries, !skips,
+     !fails)
+  in
+  let run1 = replay () in
+  let run2 = replay () in
+  let deterministic = run1 = run2 in
+  let full, partial, unanswered, cok, ctot, retries, skips, fails = run1 in
+  (* the warehouse answers the same workload locally *)
+  let wh_ok = ref 0 in
+  for _ = 1 to n_queries do
+    match Exec.query db ~actor:"u" sql with
+    | Ok _ -> incr wh_ok
+    | Error _ -> ()
+  done;
+  let frac a b = float_of_int a /. float_of_int (max 1 b) in
+  print_table
+    [ "architecture"; "queries"; "complete"; "partial"; "unanswered";
+      "answered-frac"; "contact-avail"; "retries"; "breaker-skips"; "failures" ]
+    [
+      [ "mediator (faults)"; string_of_int n_queries; string_of_int full;
+        string_of_int partial; string_of_int unanswered;
+        Printf.sprintf "%.3f" (frac full n_queries);
+        Printf.sprintf "%.3f" (frac cok ctot); string_of_int retries;
+        string_of_int skips; string_of_int fails ];
+      [ "warehouse (faults)"; string_of_int n_queries; string_of_int !wh_ok;
+        "0"; string_of_int (n_queries - !wh_ok);
+        Printf.sprintf "%.3f" (frac !wh_ok n_queries); "1.000"; "0"; "0"; "0" ];
+    ];
+  note "complete = every source answered; partial queries still return the";
+  note "records of live sources with per-source statuses (never an exception)";
+  let wh_ge_med =
+    frac !wh_ok n_queries >= frac full n_queries && !wh_ok = n_queries
+  in
+  (* -- crash-recovery: interrupt a save at every registered point ------ *)
+  print_newline ();
+  note "crash matrix: grow a table, interrupt Db.save at each crash point, reopen;";
+  note "the reopened file must hold exactly the pre- or post-save row count:";
+  Obs.set_enabled true;
+  Obs.reset ();
+  let path = Filename.temp_file "genalg_avail" ".db" in
+  let cdb = Db.create () in
+  let cok = function Ok v -> v | Error m -> failwith m in
+  ignore (cok (Exec.query cdb ~actor:"u" "CREATE TABLE t (k int)"));
+  ignore (cok (Exec.query cdb ~actor:"u" "INSERT INTO t VALUES (0)"));
+  let recovery_ok = ref (Result.is_ok (Db.save cdb path)) in
+  let file_rows = ref 1 and mem_rows = ref 1 in
+  let count_rows db' =
+    match Exec.query db' ~actor:"u" "SELECT k FROM t" with
+    | Ok (Exec.Rows rs) -> List.length rs.Exec.rows
+    | _ -> -1
+  in
+  List.iter
+    (fun site ->
+      (* each interrupted save carries one new row, so pre- and
+         post-save states are distinguishable on disk *)
+      incr mem_rows;
+      ignore
+        (cok
+           (Exec.query cdb ~actor:"u"
+              (Printf.sprintf "INSERT INTO t VALUES (%d)" !mem_rows)));
+      (match Fault.configure (site ^ ":crash:times=1") with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      let crashed =
+        match Db.save cdb path with
+        | exception Genalg_fault.Fault.Crash_point _ -> true
+        | Ok () | Error _ -> false
+      in
+      Fault.disable ();
+      let outcome = Db.recover path in
+      let rows =
+        match Db.load path with Ok db' -> count_rows db' | Error _ -> -1
+      in
+      (* the new image survives only once it fully reached the tmp file *)
+      let expected =
+        match site with
+        | "storage.save.tmp" | "storage.save.rename" -> !mem_rows
+        | _ -> !file_rows
+      in
+      let consistent = rows = expected in
+      note "  %-28s crashed=%b recovery=%-14s rows=%d (pre=%d post=%d) ok=%b"
+        site crashed
+        (Db.recovery_to_string outcome)
+        rows !file_rows !mem_rows consistent;
+      if not (crashed && consistent) then recovery_ok := false;
+      file_rows := expected)
+    Db.crash_points;
+  List.iter
+    (fun (e : Obs.entry) -> note "  %-34s %d" e.Obs.name e.Obs.count)
+    (Obs.snapshot ~prefix:"storage.recovery" ());
+  Obs.set_enabled false;
+  List.iter
+    (fun f -> if Sys.file_exists f then Sys.remove f)
+    [ path; path ^ ".tmp"; path ^ ".journal" ];
+  ignore baseline_results;
+  (* machine-checkable markers for ci.sh's availability smoke step *)
+  Printf.printf "avail-smoke: zero-faults-when-disabled=%s\n"
+    (if zero_when_disabled then "yes" else "no");
+  Printf.printf "avail-smoke: deterministic=%s\n"
+    (if deterministic then "yes" else "no");
+  Printf.printf "avail-smoke: warehouse-ge-mediator=%s\n"
+    (if wh_ge_med then "yes" else "no");
+  Printf.printf "avail-smoke: crash-recovery=%s\n"
+    (if !recovery_ok then "ok" else "fail");
+  note "shape: the warehouse keeps answering when sources die; the mediator";
+  note "degrades per-source and recovers what retries and breakers allow"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1361,6 +1548,7 @@ let experiments =
     ("ABLATE", ablations);
     ("PAR", par_bench);
     ("CACHE", cache_bench);
+    ("AVAIL", avail);
     ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);
   ]

@@ -17,6 +17,47 @@ module Db = Genalg_storage.Database
 module Exec = Genalg_sqlx.Exec
 module Obs = Genalg_obs.Obs
 module Par = Genalg_par.Par
+module Fault = Genalg_fault.Fault
+module Resilience = Genalg_resilience.Resilience
+
+(* deterministic fault injection (docs/ROBUSTNESS.md); the same spec can
+   also arrive via GENALG_FAULTS *)
+let fault_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Activate deterministic fault injection, e.g. \
+           $(b,seed=7;source.*:error:p=0.3). Clauses are \
+           semicolon-separated: $(b,seed=INT) or \
+           $(b,site:kind:param...) with kinds error, latency, truncate, \
+           corrupt, crash and params p=, after=, times=, s=, frac=, \
+           msg=. Overrides $(b,GENALG_FAULTS).")
+
+let apply_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Fault.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "error: bad fault spec: %s\n" msg;
+          exit 2)
+
+let print_fault_tallies () =
+  match Fault.tallies () with
+  | [] -> ()
+  | tallies ->
+      print_newline ();
+      Printf.printf "%-24s %8s %9s %7s %9s %10s %9s %8s\n" "fault site"
+        "checks" "injected" "errors" "latencies" "truncated" "corrupted"
+        "crashes";
+      List.iter
+        (fun (site, (y : Fault.tally)) ->
+          Printf.printf "%-24s %8d %9d %7d %9d %10d %9d %8d\n" site y.Fault.checks
+            y.Fault.injected y.Fault.errors y.Fault.latencies y.Fault.truncations
+            y.Fault.corruptions y.Fault.crashes)
+        tallies
 
 let read_file path =
   let ic = open_in_bin path in
@@ -55,7 +96,8 @@ let ops_cmd =
 (* ---- demo -------------------------------------------------------------- *)
 
 let demo_cmd =
-  let run output size seed =
+  let run output size seed fault =
+    apply_faults fault;
     let rng = Genalg_synth.Rng.make seed in
     let repo_a, repo_b, _ =
       Genalg_synth.Recordgen.overlapping_repositories rng ~size ~overlap:0.4
@@ -92,7 +134,7 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Build a demo warehouse from two synthetic repositories and save it")
-    Term.(const run $ output $ size $ seed)
+    Term.(const run $ output $ size $ seed $ fault_flag)
 
 (* ---- query / ask ----------------------------------------------------------- *)
 
@@ -147,8 +189,9 @@ let stats_flag =
     & info [ "stats" ] ~doc:"Print the metrics table to stderr when done")
 
 let query_cmd =
-  let run path actor trace stats jobs sql =
+  let run path actor trace stats jobs fault sql =
     apply_jobs jobs;
+    apply_faults fault;
     with_db path (fun db ->
         with_obs ~trace ~stats (fun () ->
             match Exec.query db ~actor sql with
@@ -164,7 +207,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run an extended-SQL statement against a saved warehouse")
-    Term.(const run $ path $ actor $ trace_flag $ stats_flag $ jobs_flag $ sql)
+    Term.(
+      const run $ path $ actor $ trace_flag $ stats_flag $ jobs_flag
+      $ fault_flag $ sql)
 
 let ask_cmd =
   let run path actor question show_sql trace stats jobs =
@@ -199,8 +244,9 @@ let ask_cmd =
 (* ---- stats ------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run path actor jobs sql =
+  let run path actor jobs fault sql =
     apply_jobs jobs;
+    apply_faults fault;
     with_db path (fun db ->
         Printf.printf "%-8s %-12s %8s %6s %-24s %s\n" "space" "table" "rows"
           "pages" "indexed" "genomic";
@@ -251,7 +297,10 @@ let stats_cmd =
                  Printf.sprintf "%.0f%%"
                    (100. *. float_of_int s.Lru.hits /. float_of_int total))
               s.Lru.evictions s.Lru.invalidations)
-          (Lru.registry_stats ()))
+          (Lru.registry_stats ());
+        (* fault-injection activity (always-on tallies, like the cache
+           table); silent unless a spec fired *)
+        print_fault_tallies ())
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
   let actor =
@@ -269,7 +318,7 @@ let stats_cmd =
        ~doc:
          "Show warehouse table inventory (rows, pages, indexes), optionally \
           with the metrics of a traced statement")
-    Term.(const run $ path $ actor $ jobs_flag $ sql)
+    Term.(const run $ path $ actor $ jobs_flag $ fault_flag $ sql)
 
 (* ---- repl -------------------------------------------------------------------- *)
 
@@ -425,6 +474,81 @@ let align_cmd =
     (Cmd.info "align" ~doc:"Pairwise-align the first sequences of two FASTA files")
     Term.(const run $ a $ b $ mode)
 
+(* ---- faults ----------------------------------------------------------------------- *)
+
+let faults_cmd =
+  let run fault exercise =
+    apply_faults fault;
+    if not (Fault.active ()) then
+      print_endline
+        "fault injection: inactive (pass --fault-spec or set GENALG_FAULTS)"
+    else begin
+      Printf.printf "fault injection: active, seed %d\n" (Fault.seed ());
+      Printf.printf "spec: %s\n" (Fault.render_spec ());
+      let rules = Fault.rules () in
+      Printf.printf "\n%d rule(s):\n" (List.length rules);
+      List.iter
+        (fun (r : Fault.rule) ->
+          Printf.printf "  %-24s %-8s p=%g after=%d times=%s s=%g frac=%g%s\n"
+            r.Fault.site
+            (Fault.kind_to_string r.Fault.kind)
+            r.Fault.p r.Fault.after
+            (match r.Fault.times with None -> "inf" | Some n -> string_of_int n)
+            r.Fault.seconds r.Fault.fraction
+            (if r.Fault.message = "" then ""
+             else Printf.sprintf " msg=%S" r.Fault.message))
+        rules
+    end;
+    Printf.printf "\nregistered crash points:\n";
+    List.iter (fun site -> Printf.printf "  %s\n" site) (Fault.crash_points ());
+    if exercise then begin
+      (* a small mediated fan-out so the spec's effects show up in the
+         tallies below: three synthetic sources, resilient mediator,
+         two identical queries *)
+      let rng = Genalg_synth.Rng.make 7 in
+      let open Genalg_etl in
+      let sources =
+        List.init 3 (fun i ->
+            Source.create
+              ~name:(Printf.sprintf "s%d" i)
+              Source.Queryable
+              (if i mod 2 = 0 then Source.Relational else Source.Hierarchical)
+              (Genalg_synth.Recordgen.repository rng ~size:10
+                 ~prefix:(Printf.sprintf "X%d" i) ()))
+      in
+      let module Mediator = Genalg_mediator.Mediator in
+      let med =
+        Mediator.create ~resilience:Resilience.default_policy sources
+      in
+      print_newline ();
+      for round = 1 to 2 do
+        let _, timing = Mediator.run med Mediator.query_all in
+        Printf.printf "exercise round %d: %d/%d sources answered\n" round
+          timing.Mediator.sources_answered timing.Mediator.sources_contacted;
+        List.iter
+          (fun (st : Mediator.source_timing) ->
+            Printf.printf "  %-8s %s\n" st.Mediator.source
+              (Mediator.status_to_string st.Mediator.status))
+          timing.Mediator.per_source
+      done
+    end;
+    print_fault_tallies ()
+  in
+  let exercise =
+    Arg.(
+      value & flag
+      & info [ "exercise" ]
+          ~doc:
+            "Run a small mediated fan-out (3 synthetic sources, 2 queries) \
+             under the spec and print per-source statuses and tallies")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Show the active fault-injection spec, registered crash points and \
+          per-site injection tallies")
+    Term.(const run $ fault_flag $ exercise)
+
 (* ---- xml ------------------------------------------------------------------------- *)
 
 let xml_cmd =
@@ -441,6 +565,11 @@ let xml_cmd =
     Term.(const run $ path)
 
 let () =
+  (match Fault.configure_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: bad GENALG_FAULTS: %s\n" msg;
+      exit 2);
   let info =
     Cmd.info "genalg" ~version:"1.0.0"
       ~doc:"The Genomics Algebra and Unifying Database (Hammer & Schneider, CIDR 2003)"
@@ -448,4 +577,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; stats_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))
+          [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; stats_cmd;
+            faults_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))

@@ -45,4 +45,24 @@ echo "$PAR_OUT" | grep -q "par-smoke: jobs-results-identical=yes" || {
   exit 1
 }
 
+echo "== smoke: availability under faults (AVAIL bench + crash matrix) =="
+AVAIL_OUT=$(dune exec bench/main.exe -- AVAIL)
+echo "$AVAIL_OUT"
+echo "$AVAIL_OUT" | grep -q "avail-smoke: zero-faults-when-disabled=yes" || {
+  echo "availability smoke FAILED: faults fired with injection disabled" >&2
+  exit 1
+}
+echo "$AVAIL_OUT" | grep -q "avail-smoke: deterministic=yes" || {
+  echo "availability smoke FAILED: replay under a fixed seed was not reproducible" >&2
+  exit 1
+}
+echo "$AVAIL_OUT" | grep -q "avail-smoke: warehouse-ge-mediator=yes" || {
+  echo "availability smoke FAILED: warehouse availability fell below the mediator's" >&2
+  exit 1
+}
+echo "$AVAIL_OUT" | grep -q "avail-smoke: crash-recovery=ok" || {
+  echo "availability smoke FAILED: a crash point left the database torn" >&2
+  exit 1
+}
+
 echo "== ci ok =="

@@ -1,9 +1,14 @@
 module Db = Genalg_storage.Database
 module Obs = Genalg_obs.Obs
+module Fault = Genalg_fault.Fault
+module Resilience = Genalg_resilience.Resilience
+
+let c_quarantined = Obs.counter "etl.poll.quarantined"
 
 type t = {
   db : Db.t;
   monitors : (Source.t * Monitor.t) list;
+  breakers : (string, Resilience.Breaker.t) Hashtbl.t;
 }
 
 let ( let* ) = Result.bind
@@ -21,17 +26,37 @@ let create ?signature ~sources () =
         attach ((src, m) :: acc) rest
   in
   let* monitors = attach [] sources in
-  Ok { db; monitors }
+  Ok { db; monitors; breakers = Hashtbl.create 7 }
+
+let breaker_for t name =
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+      let b = Resilience.Breaker.create () in
+      Hashtbl.add t.breakers name b;
+      b
+
+let quarantined t =
+  Hashtbl.fold
+    (fun name b acc ->
+      if Resilience.Breaker.state b = Resilience.Breaker.Open then name :: acc
+      else acc)
+    t.breakers []
+  |> List.sort compare
 
 let database t = t.db
 let sources t = List.map fst t.monitors
 
 let all_entries source =
-  match Source.query_all source with
-  | Ok entries -> Ok entries
-  | Error _ ->
-      (* non-queryable: go through the offline dump *)
-      Source.parse_dump (Source.representation source) (Source.dump source)
+  match
+    match Source.query_all source with
+    | Ok entries -> Ok entries
+    | Error _ ->
+        (* non-queryable: go through the offline dump *)
+        Source.parse_dump (Source.representation source) (Source.dump source)
+  with
+  | result -> result
+  | exception Fault.Injected (_, msg) -> Error msg
 
 let bootstrap t =
   Obs.with_span "etl.bootstrap" @@ fun () ->
@@ -53,13 +78,66 @@ let bootstrap t =
   in
   Loader.load_merged t.db merged
 
-let refresh t =
+type poll_status =
+  | Polled of int
+  | Quarantined
+  | Poll_failed of string
+
+let poll_status_to_string = function
+  | Polled n -> Printf.sprintf "polled(%d)" n
+  | Quarantined -> "quarantined"
+  | Poll_failed msg -> Printf.sprintf "failed(%s)" msg
+
+type refresh_report = {
+  stats : Loader.stats;
+  deltas : int;
+  statuses : (string * poll_status) list;
+}
+
+let refresh_report t =
   Obs.with_span "etl.refresh" @@ fun () ->
-  List.fold_left
-    (fun acc (src, monitor) ->
-      let* stats, count = acc in
-      let deltas = Monitor.poll monitor in
-      let* s = Loader.incremental t.db ~source:(Source.name src) deltas in
-      Ok (Loader.add_stats stats s, count + List.length deltas))
-    (Ok (Loader.zero_stats, 0))
-    t.monitors
+  let stats = ref Loader.zero_stats in
+  let total = ref 0 in
+  let statuses =
+    List.map
+      (fun (src, monitor) ->
+        let name = Source.name src in
+        let b = breaker_for t name in
+        let status =
+          if not (Resilience.Breaker.allow b) then begin
+            (* quarantined: a source that kept failing is not polled
+               again until its cooldown lets a probe through *)
+            Obs.add c_quarantined 1;
+            Quarantined
+          end
+          else
+            match
+              let deltas = Monitor.poll monitor in
+              match Loader.incremental t.db ~source:name deltas with
+              | Ok s -> Ok (s, List.length deltas)
+              | Error _ as e -> e
+            with
+            | Ok (s, n) ->
+                Resilience.Breaker.success b;
+                stats := Loader.add_stats !stats s;
+                total := !total + n;
+                Polled n
+            | Error msg ->
+                Resilience.Breaker.failure b;
+                Poll_failed msg
+            | exception Fault.Injected (_, msg) ->
+                Resilience.Breaker.failure b;
+                Poll_failed msg
+            | exception (Fault.Crash_point _ as e) -> raise e
+            | exception exn ->
+                Resilience.Breaker.failure b;
+                Poll_failed (Printexc.to_string exn)
+        in
+        (name, status))
+      t.monitors
+  in
+  { stats = !stats; deltas = !total; statuses }
+
+let refresh t =
+  let r = refresh_report t in
+  Ok (r.stats, r.deltas)

@@ -32,10 +32,40 @@ val bootstrap : t -> (Loader.stats, string) result
     an [etl.reconcile] span around cross-source integration, and the
     loader's [etl.load_merged] span around the warehouse load. *)
 
-val refresh : t -> (Loader.stats * int, string) result
-(** Poll all monitors; apply deltas incrementally. Returns load stats and
-    the number of deltas processed.
+(** {1 Refresh} *)
+
+(** Per-source outcome of one refresh round. *)
+type poll_status =
+  | Polled of int         (** deltas detected and applied *)
+  | Quarantined           (** skipped: its circuit breaker is open after
+                              repeated failures ([etl.poll.quarantined]) *)
+  | Poll_failed of string (** the poll or its load failed this round *)
+
+val poll_status_to_string : poll_status -> string
+
+type refresh_report = {
+  stats : Loader.stats;   (** aggregated over the sources that polled *)
+  deltas : int;           (** total deltas applied *)
+  statuses : (string * poll_status) list;  (** per source, in order *)
+}
+
+val refresh_report : t -> refresh_report
+(** Poll every non-quarantined monitor and apply deltas incrementally.
+    One failing source — including injected faults — cannot abort the
+    round: its status is recorded and the rest still refresh. A source
+    that fails 3 consecutive rounds is quarantined (circuit breaker with
+    a 2-round cooldown, then one probe poll; see
+    {!Genalg_resilience.Resilience.Breaker}).
+    {!Genalg_fault.Fault.Crash_point} is the one exception that always
+    propagates.
 
     Observability: runs under an [etl.refresh] span; each poll runs under
     its technique's [etl.poll.<slug>] span and each load under
     [etl.incremental]. *)
+
+val refresh : t -> (Loader.stats * int, string) result
+(** [refresh_report] without the per-source detail (never [Error];
+    kept for compatibility). *)
+
+val quarantined : t -> string list
+(** Sources currently quarantined (breaker open), sorted. *)

@@ -1,5 +1,6 @@
 open Genalg_gdt
 open Genalg_formats
+module Fault = Genalg_fault.Fault
 
 type capability = Active | Logged | Queryable | Non_queryable
 type representation = Relational | Flat_file | Hierarchical
@@ -28,6 +29,11 @@ let name t = t.name
 let capability t = t.capability
 let representation t = t.representation
 let entries t = t.entries
+
+(* Every remote access consults the fault registry under this site, so
+   one spec clause (e.g. [source.s3:error:p=0.5]) covers queries, log
+   reads and dumps alike. *)
+let fault_site t = "source." ^ t.name
 
 let find t accession =
   List.find_opt (fun (e : Entry.t) -> e.Entry.accession = accession) t.entries
@@ -70,14 +76,18 @@ let subscribe t callback =
 
 let read_log t ~since =
   match t.capability with
-  | Logged -> Ok (List.rev (List.filter (fun (d : Delta.t) -> d.Delta.id > since) t.log))
+  | Logged ->
+      Fault.hit (fault_site t);
+      Ok (List.rev (List.filter (fun (d : Delta.t) -> d.Delta.id > since) t.log))
   | Active | Queryable | Non_queryable ->
       Error (Printf.sprintf "source %s keeps no log" t.name)
 
 let query_all t =
   match t.capability with
   | Non_queryable -> Error (Printf.sprintf "source %s is not queryable" t.name)
-  | Active | Logged | Queryable -> Ok t.entries
+  | Active | Logged | Queryable ->
+      Fault.hit (fault_site t);
+      Ok t.entries
 
 (* ------------------------------------------------------------------ *)
 (* Dumps                                                               *)
@@ -156,12 +166,19 @@ let relational_row_parse line =
                   (List.length (String.split_on_char '\t' line)))
 
 let dump t =
-  match t.representation with
-  | Flat_file -> Genbank.print t.entries
-  | Hierarchical ->
-      String.concat "" (List.map (fun e -> Acedb.print (Acedb.of_entry e)) t.entries)
-  | Relational ->
-      String.concat "" (List.map (fun e -> relational_row e ^ "\n") t.entries)
+  Fault.hit (fault_site t);
+  let text =
+    match t.representation with
+    | Flat_file -> Genbank.print t.entries
+    | Hierarchical ->
+        String.concat ""
+          (List.map (fun e -> Acedb.print (Acedb.of_entry e)) t.entries)
+    | Relational ->
+        String.concat "" (List.map (fun e -> relational_row e ^ "\n") t.entries)
+  in
+  (* truncate/corrupt rules mangle the dump text — the wire payload — so
+     downstream parsers see realistic damage *)
+  Fault.mangle (fault_site t) text
 
 let parse_dump representation text =
   match representation with

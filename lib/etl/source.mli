@@ -10,7 +10,14 @@
     - [Non_queryable] sources only publish periodic textual dumps.
 
     Representations: [Relational] (rows), [Flat_file] (GenBank text),
-    [Hierarchical] (AceDB-like trees). *)
+    [Hierarchical] (AceDB-like trees).
+
+    Remote access is instrumented for fault injection: {!query_all},
+    {!read_log} and {!dump} consult {!Genalg_fault.Fault} under site
+    [source.<name>] ({!fault_site}) — [error] rules raise there, and
+    [truncate]/[corrupt] rules mangle the dump text. Callers that model
+    network time (the mediator) additionally charge
+    [Fault.latency_s (fault_site s)] per access. *)
 
 open Genalg_formats
 
@@ -30,6 +37,10 @@ val create :
 val name : t -> string
 val capability : t -> capability
 val representation : t -> representation
+
+val fault_site : t -> string
+(** ["source." ^ name t] — the fault-registry site all remote accessors
+    of this source consult. *)
 
 val entries : t -> Entry.t list
 (** Current content, for test assertions — monitors must not call this on

@@ -1,0 +1,366 @@
+module Obs = Genalg_obs.Obs
+
+let c_checks = Obs.counter "fault.checks"
+let c_error = Obs.counter "fault.injected.error"
+let c_latency = Obs.counter "fault.injected.latency"
+let c_truncate = Obs.counter "fault.injected.truncate"
+let c_corrupt = Obs.counter "fault.injected.corrupt"
+let c_crash = Obs.counter "fault.injected.crash"
+
+type kind = Error | Latency | Truncate | Corrupt | Crash
+
+let kind_to_string = function
+  | Error -> "error"
+  | Latency -> "latency"
+  | Truncate -> "truncate"
+  | Corrupt -> "corrupt"
+  | Crash -> "crash"
+
+let kind_of_string = function
+  | "error" -> Some Error
+  | "latency" -> Some Latency
+  | "truncate" -> Some Truncate
+  | "corrupt" -> Some Corrupt
+  | "crash" -> Some Crash
+  | _ -> None
+
+type rule = {
+  site : string;
+  kind : kind;
+  p : float;
+  after : int;
+  times : int option;
+  seconds : float;
+  fraction : float;
+  message : string;
+}
+
+(* runtime state of one rule: evaluation and fire counters drive the
+   after/times schedule and the deterministic hash stream *)
+type live_rule = { rule : rule; mutable evals : int; mutable fires : int }
+
+type state = { state_seed : int; live : live_rule list }
+
+let current : state option ref = ref None
+
+exception Injected of string * string
+exception Crash_point of string
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic pseudo-randomness: splitmix64 finalizer over the seed,
+   the site, the rule identity and the per-rule evaluation count.       *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let unit_float ~seed ~salt ~n =
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.of_int ((salt * 2654435761) + n)))
+  in
+  let bits = Int64.to_float (Int64.shift_right_logical h 11) in
+  bits /. 9007199254740992. (* 2^53 *)
+
+let rule_salt site lr =
+  Hashtbl.hash (site, lr.rule.site, kind_to_string lr.rule.kind)
+
+(* ------------------------------------------------------------------ *)
+(* Always-on per-site tallies                                          *)
+
+type tally = {
+  checks : int;
+  injected : int;
+  errors : int;
+  latencies : int;
+  truncations : int;
+  corruptions : int;
+  crashes : int;
+}
+
+let zero_tally =
+  { checks = 0; injected = 0; errors = 0; latencies = 0; truncations = 0;
+    corruptions = 0; crashes = 0 }
+
+let tally_table : (string, tally) Hashtbl.t = Hashtbl.create 16
+
+let bump_check site =
+  let t = Option.value (Hashtbl.find_opt tally_table site) ~default:zero_tally in
+  Hashtbl.replace tally_table site { t with checks = t.checks + 1 };
+  Obs.add c_checks 1
+
+let bump_fire site kind =
+  let t = Option.value (Hashtbl.find_opt tally_table site) ~default:zero_tally in
+  let t = { t with injected = t.injected + 1 } in
+  let t =
+    match kind with
+    | Error ->
+        Obs.add c_error 1;
+        { t with errors = t.errors + 1 }
+    | Latency ->
+        Obs.add c_latency 1;
+        { t with latencies = t.latencies + 1 }
+    | Truncate ->
+        Obs.add c_truncate 1;
+        { t with truncations = t.truncations + 1 }
+    | Corrupt ->
+        Obs.add c_corrupt 1;
+        { t with corruptions = t.corruptions + 1 }
+    | Crash ->
+        Obs.add c_crash 1;
+        { t with crashes = t.crashes + 1 }
+  in
+  Hashtbl.replace tally_table site t
+
+let tallies () =
+  Hashtbl.fold (fun site t acc -> (site, t) :: acc) tally_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_injected () =
+  Hashtbl.fold (fun _ t acc -> acc + t.injected) tally_table 0
+
+let reset_tallies () = Hashtbl.reset tally_table
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+
+let parse_clause clause =
+  match String.split_on_char ':' clause with
+  | [] | [ "" ] -> Stdlib.Error "empty clause"
+  | site :: kind_str :: params -> (
+      match kind_of_string (String.trim kind_str) with
+      | None -> Stdlib.Error (Printf.sprintf "unknown fault kind %S" kind_str)
+      | Some kind ->
+          let default_fraction = match kind with Truncate -> 0.5 | _ -> 0.01 in
+          let init =
+            { site = String.trim site; kind; p = 1.0; after = 0; times = None;
+              seconds = 0.25; fraction = default_fraction;
+              message = Printf.sprintf "injected fault at %s" (String.trim site) }
+          in
+          let rec fold r = function
+            | [] -> Stdlib.Ok r
+            | param :: rest -> (
+                match String.index_opt param '=' with
+                | None -> Stdlib.Error (Printf.sprintf "bad parameter %S" param)
+                | Some i -> (
+                    let k = String.trim (String.sub param 0 i) in
+                    let v = String.sub param (i + 1) (String.length param - i - 1) in
+                    match k with
+                    | "p" -> (
+                        match float_of_string_opt v with
+                        | Some p when p >= 0. && p <= 1. -> fold { r with p } rest
+                        | _ -> Stdlib.Error (Printf.sprintf "bad probability %S" v))
+                    | "after" -> (
+                        match int_of_string_opt v with
+                        | Some after when after >= 0 -> fold { r with after } rest
+                        | _ -> Stdlib.Error (Printf.sprintf "bad after %S" v))
+                    | "times" -> (
+                        match int_of_string_opt v with
+                        | Some n when n >= 0 -> fold { r with times = Some n } rest
+                        | _ -> Stdlib.Error (Printf.sprintf "bad times %S" v))
+                    | "s" -> (
+                        match float_of_string_opt v with
+                        | Some seconds when seconds >= 0. -> fold { r with seconds } rest
+                        | _ -> Stdlib.Error (Printf.sprintf "bad seconds %S" v))
+                    | "frac" -> (
+                        match float_of_string_opt v with
+                        | Some fraction when fraction >= 0. && fraction <= 1. ->
+                            fold { r with fraction } rest
+                        | _ -> Stdlib.Error (Printf.sprintf "bad fraction %S" v))
+                    | "msg" -> fold { r with message = v } rest
+                    | _ -> Stdlib.Error (Printf.sprintf "unknown parameter %S" k)))
+          in
+          if init.site = "" then Stdlib.Error "empty site"
+          else fold init params)
+  | [ _ ] -> Stdlib.Error (Printf.sprintf "clause %S has no fault kind" clause)
+
+let parse spec =
+  let clauses =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let rec go seed rules = function
+    | [] -> Stdlib.Ok (seed, List.rev rules)
+    | clause :: rest ->
+        if String.length clause > 5 && String.sub clause 0 5 = "seed=" then
+          match int_of_string_opt (String.sub clause 5 (String.length clause - 5)) with
+          | Some s -> go s rules rest
+          | None -> Stdlib.Error (Printf.sprintf "bad seed clause %S" clause)
+        else begin
+          match parse_clause clause with
+          | Stdlib.Ok r -> go seed (r :: rules) rest
+          | Error msg -> Stdlib.Error (Printf.sprintf "%s (in clause %S)" msg clause)
+        end
+  in
+  go 1 [] clauses
+
+let configure spec =
+  match parse spec with
+  | Stdlib.Error _ as e -> e
+  | Stdlib.Ok (_, []) ->
+      current := None;
+      reset_tallies ();
+      Stdlib.Ok ()
+  | Stdlib.Ok (seed, rules) ->
+      current :=
+        Some
+          { state_seed = seed;
+            live = List.map (fun rule -> { rule; evals = 0; fires = 0 }) rules };
+      reset_tallies ();
+      Stdlib.Ok ()
+
+let configure_env () =
+  match Sys.getenv_opt "GENALG_FAULTS" with
+  | None | Some "" -> Stdlib.Ok ()
+  | Some spec -> configure spec
+
+let disable () = current := None
+let active () = !current <> None
+let seed () = match !current with Some s -> s.state_seed | None -> 0
+let rules () = match !current with Some s -> List.map (fun l -> l.rule) s.live | None -> []
+
+let render_rule r =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (r.site ^ ":" ^ kind_to_string r.kind);
+  if r.p <> 1.0 then Buffer.add_string b (Printf.sprintf ":p=%g" r.p);
+  if r.after <> 0 then Buffer.add_string b (Printf.sprintf ":after=%d" r.after);
+  (match r.times with
+  | Some n -> Buffer.add_string b (Printf.sprintf ":times=%d" n)
+  | None -> ());
+  (match r.kind with
+  | Latency -> Buffer.add_string b (Printf.sprintf ":s=%g" r.seconds)
+  | Truncate | Corrupt -> Buffer.add_string b (Printf.sprintf ":frac=%g" r.fraction)
+  | Error | Crash -> ());
+  Buffer.contents b
+
+let render_spec () =
+  match !current with
+  | None -> ""
+  | Some s ->
+      String.concat ";"
+        (Printf.sprintf "seed=%d" s.state_seed
+        :: List.map (fun l -> render_rule l.rule) s.live)
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation                                                     *)
+
+let site_matches pattern site =
+  pattern = site
+  || String.length pattern > 0
+     && pattern.[String.length pattern - 1] = '*'
+     &&
+     let prefix = String.sub pattern 0 (String.length pattern - 1) in
+     String.length site >= String.length prefix
+     && String.sub site 0 (String.length prefix) = prefix
+
+(* decide whether [lr] fires for this hit at [site]; advances the rule's
+   deterministic schedule either way *)
+let decide state site lr =
+  lr.evals <- lr.evals + 1;
+  if lr.evals <= lr.rule.after then false
+  else
+    match lr.rule.times with
+    | Some m when lr.fires >= m -> false
+    | _ ->
+        let u =
+          unit_float ~seed:state.state_seed ~salt:(rule_salt site lr) ~n:lr.evals
+        in
+        if u < lr.rule.p then begin
+          lr.fires <- lr.fires + 1;
+          true
+        end
+        else false
+
+(* first firing rule of the given kinds at this site *)
+let fire_first state site kinds =
+  List.find_opt
+    (fun lr ->
+      List.mem lr.rule.kind kinds
+      && site_matches lr.rule.site site
+      && decide state site lr)
+    state.live
+
+let hit site =
+  match !current with
+  | None -> ()
+  | Some state -> (
+      bump_check site;
+      match fire_first state site [ Error ] with
+      | Some lr ->
+          bump_fire site Error;
+          raise (Injected (site, lr.rule.message))
+      | None -> ())
+
+let latency_s site =
+  match !current with
+  | None -> 0.
+  | Some state -> (
+      bump_check site;
+      match fire_first state site [ Latency ] with
+      | Some lr ->
+          bump_fire site Latency;
+          lr.rule.seconds
+      | None -> 0.)
+
+let mangle site payload =
+  match !current with
+  | None -> payload
+  | Some state -> (
+      bump_check site;
+      match fire_first state site [ Truncate; Corrupt ] with
+      | None -> payload
+      | Some lr -> (
+          let n = String.length payload in
+          match lr.rule.kind with
+          | Truncate ->
+              bump_fire site Truncate;
+              let keep = int_of_float (lr.rule.fraction *. float_of_int n) in
+              String.sub payload 0 (max 0 (min n keep))
+          | Corrupt ->
+              bump_fire site Corrupt;
+              if n = 0 then payload
+              else begin
+                let flips =
+                  max 1 (int_of_float (lr.rule.fraction *. float_of_int n))
+                in
+                let b = Bytes.of_string payload in
+                for i = 1 to flips do
+                  let u =
+                    unit_float ~seed:state.state_seed
+                      ~salt:(rule_salt site lr + i)
+                      ~n:lr.evals
+                  in
+                  let pos = int_of_float (u *. float_of_int n) mod n in
+                  Bytes.set b pos
+                    (Char.chr (Char.code (Bytes.get b pos) lxor 0x55))
+                done;
+                Bytes.to_string b
+              end
+          | Error | Latency | Crash -> payload))
+
+let crash site =
+  match !current with
+  | None -> ()
+  | Some state -> (
+      bump_check site;
+      match fire_first state site [ Crash ] with
+      | Some _ ->
+          bump_fire site Crash;
+          raise (Crash_point site)
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point registry                                                *)
+
+let crash_point_set : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let register_crash_point site = Hashtbl.replace crash_point_set site ()
+
+let crash_points () =
+  Hashtbl.fold (fun site () acc -> site :: acc) crash_point_set []
+  |> List.sort String.compare

@@ -1,0 +1,129 @@
+(** Deterministic fault injection for robustness experiments.
+
+    The paper's availability argument (the Figure-1 mediator degrades when
+    remote repositories fail; the Figure-3 warehouse keeps serving) is only
+    measurable if the engine can misbehave on demand. This module is a
+    process-wide registry of {e fault rules}, keyed by {e site} — a
+    dot-separated name such as [source.synthbank] or
+    [storage.save.tmp_partial] — that instrumented code consults at each
+    boundary crossing.
+
+    Everything is deterministic: a rule fires based on a pure hash of the
+    configured seed, the site, the rule identity and a per-rule hit
+    counter, so the same spec replays the same fault sequence run after
+    run. Nothing fires unless a spec has been {!configure}d (the default),
+    and the disabled hooks cost one branch.
+
+    Spec grammar (semicolon-separated clauses; see docs/ROBUSTNESS.md):
+    {v
+    spec   ::= clause (';' clause)*
+    clause ::= 'seed=' INT
+             | site ':' kind (':' param)*
+    site   ::= dotted name, optionally ending in '*' (prefix match)
+    kind   ::= 'error' | 'latency' | 'truncate' | 'corrupt' | 'crash'
+    param  ::= 'p=' FLOAT      probability per hit          (default 1)
+             | 'after=' INT    skip the first n hits        (default 0)
+             | 'times=' INT    fire at most n times         (default inf)
+             | 's=' FLOAT     latency seconds, simulated   (default 0.25)
+             | 'frac=' FLOAT   payload fraction             (see below)
+             | 'msg=' STRING   injected error message
+    v}
+
+    For [truncate], [frac] is the fraction of the payload kept (default
+    0.5); for [corrupt] it is the fraction of bytes flipped (default
+    0.01, at least one byte).
+
+    Accounting is always on while a spec is active: per-site tallies of
+    checks and injections are kept independently of the metrics layer,
+    and mirrored into [fault.*] Obs counters when that layer is enabled. *)
+
+type kind = Error | Latency | Truncate | Corrupt | Crash
+
+val kind_to_string : kind -> string
+
+type rule = {
+  site : string;  (** exact site, or prefix when it ends in ['*'] *)
+  kind : kind;
+  p : float;
+  after : int;
+  times : int option;
+  seconds : float;
+  fraction : float;
+  message : string;
+}
+
+exception Injected of string * string
+(** [Injected (site, message)]: an [error] rule fired at [site]. *)
+
+exception Crash_point of string
+(** A [crash] rule fired: the process is considered dead at this point.
+    Resilience machinery must never catch this — only test harnesses and
+    benches that simulate a restart do. *)
+
+(** {1 Configuration} *)
+
+val configure : string -> (unit, string) result
+(** Parse a spec and activate it. Replaces any previous spec and resets
+    all tallies and per-rule counters, so a reconfigure replays the same
+    deterministic sequence. An empty spec deactivates injection. *)
+
+val configure_env : unit -> (unit, string) result
+(** [configure] from [GENALG_FAULTS] if set; [Ok ()] if unset. *)
+
+val disable : unit -> unit
+(** Deactivate injection and clear the spec (tallies are kept until the
+    next {!configure}). *)
+
+val active : unit -> bool
+
+val seed : unit -> int
+(** The active seed (default 1, [seed=] clause overrides); 0 when
+    inactive. *)
+
+val rules : unit -> rule list
+val render_spec : unit -> string
+(** The active spec, normalized (one clause per rule, seed first). *)
+
+(** {1 Hooks for instrumented code} *)
+
+val hit : string -> unit
+(** Evaluate [error] rules at this site; raises {!Injected} when one
+    fires. *)
+
+val latency_s : string -> float
+(** Injected extra latency (simulated seconds) for this site; 0 when
+    nothing fires. *)
+
+val mangle : string -> string -> string
+(** [mangle site payload]: apply a firing [truncate]/[corrupt] rule to
+    the payload; identity when nothing fires. *)
+
+val crash : string -> unit
+(** Evaluate [crash] rules; raises {!Crash_point} when one fires. *)
+
+(** {1 Crash-point registry} *)
+
+val register_crash_point : string -> unit
+(** Announce a site at which {!crash} is consulted, so tests can
+    enumerate the crash matrix. Idempotent. *)
+
+val crash_points : unit -> string list
+(** Every registered crash point, sorted. *)
+
+(** {1 Accounting (always on while a spec is active)} *)
+
+type tally = {
+  checks : int;       (** hook evaluations at this site *)
+  injected : int;     (** total faults fired *)
+  errors : int;
+  latencies : int;
+  truncations : int;
+  corruptions : int;
+  crashes : int;
+}
+
+val tallies : unit -> (string * tally) list
+(** Per-site tallies, sorted by site. *)
+
+val total_injected : unit -> int
+val reset_tallies : unit -> unit

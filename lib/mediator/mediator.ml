@@ -5,10 +5,14 @@ module Integrator = Genalg_etl.Integrator
 module Delta = Genalg_etl.Delta
 module Obs = Genalg_obs.Obs
 module Lru = Genalg_cache.Lru
+module Fault = Genalg_fault.Fault
+module Resilience = Genalg_resilience.Resilience
 
 let c_round_trips = Obs.counter "mediator.round_trips"
 let c_records_shipped = Obs.counter "mediator.records_shipped"
 let c_bytes_shipped = Obs.counter "mediator.bytes_shipped"
+let c_source_failures = Obs.counter "mediator.source_failures"
+let c_partial_answers = Obs.counter "mediator.partial_answers"
 
 type query = {
   organism : string option;
@@ -18,6 +22,22 @@ type query = {
 
 let query_all = { organism = None; min_length = None; contains_motif = None }
 
+type source_status =
+  | Served
+  | Retried of int
+  | Skipped_open_circuit
+  | Failed of string
+
+let status_to_string = function
+  | Served -> "ok"
+  | Retried n -> Printf.sprintf "retried(%d)" n
+  | Skipped_open_circuit -> "skipped-open-circuit"
+  | Failed msg -> Printf.sprintf "failed(%s)" msg
+
+let status_ok = function
+  | Served | Retried _ -> true
+  | Skipped_open_circuit | Failed _ -> false
+
 type source_timing = {
   source : string;
   network_s : float;
@@ -25,11 +45,13 @@ type source_timing = {
   shipped : int;
   bytes : int;
   from_cache : bool;
+  status : source_status;
 }
 
 type timing = {
   simulated_network_s : float;
   sources_contacted : int;
+  sources_answered : int;
   records_shipped : int;
   per_source : source_timing list;
 }
@@ -47,8 +69,24 @@ type t = {
   bytes_per_second : float;
   cache : (string * string option, cached) Lru.t option;
   ttl_s : float;
+  resilience : Resilience.policy option;
+  breakers : (string, Resilience.Breaker.t) Hashtbl.t;
   mutable listener : int option; (* Delta.on_change token *)
 }
+
+let breaker_for t source =
+  let name = Source.name source in
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+      let b = Resilience.Breaker.create () in
+      Hashtbl.add t.breakers name b;
+      b
+
+let breaker_states t =
+  Hashtbl.fold (fun name b acc -> (name, Resilience.Breaker.state b) :: acc)
+    t.breakers []
+  |> List.sort compare
 
 let invalidate_source t name =
   match t.cache with
@@ -62,7 +100,8 @@ let detach t =
       t.listener <- None
   | None -> ()
 
-let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) ?cache_ttl_s sources =
+let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) ?cache_ttl_s
+    ?resilience sources =
   let cache =
     Option.map
       (fun _ -> Lru.create ~name:"mediator" ~max_entries:256 ())
@@ -70,7 +109,8 @@ let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) ?cache_ttl_s sources =
   in
   let t =
     { sources; latency_s; bytes_per_second; cache;
-      ttl_s = Option.value cache_ttl_s ~default:0.; listener = None }
+      ttl_s = Option.value cache_ttl_s ~default:0.;
+      resilience; breakers = Hashtbl.create 7; listener = None }
   in
   (* ETL change detection drives explicit invalidation: whenever a
      monitor publishes deltas for a source, its cached responses die *)
@@ -79,13 +119,21 @@ let create ?(latency_s = 0.02) ?(bytes_per_second = 10e6) ?cache_ttl_s sources =
       Some (Delta.on_change (fun ~source _deltas -> ignore (invalidate_source t source)));
   t
 
-let entries_of source =
-  match Source.query_all source with
-  | Ok entries -> entries
-  | Error _ -> (
-      match Source.parse_dump (Source.representation source) (Source.dump source) with
-      | Ok entries -> entries
-      | Error _ -> [])
+(* One remote access. Injected faults and any other source-side
+   exception surface as [Error] so the fan-out can record them per
+   source instead of dying. *)
+let fetch_entries source =
+  match
+    match Source.query_all source with
+    | Ok entries -> Ok entries
+    | Error _ ->
+        (* not queryable: pull and re-parse its dump (wrapper work);
+           corrupt/truncated dumps fail in the parser *)
+        Source.parse_dump (Source.representation source) (Source.dump source)
+  with
+  | result -> result
+  | exception Fault.Injected (_, msg) -> Error msg
+  | exception exn -> Error (Printexc.to_string exn)
 
 let entry_bytes (e : Entry.t) =
   (* wire size approximation: sequence plus annotation text *)
@@ -113,6 +161,7 @@ let run ?(reconcile = true) t q =
         @@ fun () ->
         let t0 = Obs.now_s () in
         let key = (Source.name source, q.organism) in
+        let site = Source.fault_site source in
         let cached =
           match t.cache with
           | None -> None
@@ -120,46 +169,104 @@ let run ?(reconcile = true) t q =
               Lru.find_validated c key ~validate:(fun e ->
                   e.expires_s > Obs.now_s ())
         in
-        let source_filtered, bytes, from_cache =
+        let source_filtered, bytes, src_network, from_cache, status =
           match cached with
-          | Some e -> (e.entries, 0, true) (* no round trip, nothing shipped *)
+          | Some e ->
+              (e.entries, 0, 0., true, Served) (* no round trip *)
           | None ->
-              (* one round-trip per source *)
-              Obs.add c_round_trips 1;
-              let src_network = ref t.latency_s in
-              let entries = entries_of source in
-              (* the source only understands organism equality *)
-              let source_filtered =
-                match q.organism with
-                | None -> entries
-                | Some org ->
-                    List.filter (fun (e : Entry.t) -> e.Entry.organism = org) entries
+              (* simulated network time for this source, accumulated
+                 across attempts (failed attempts still cost latency) *)
+              let net = ref 0. in
+              let attempt () =
+                Obs.add c_round_trips 1;
+                let lat = t.latency_s +. Fault.latency_s site in
+                let timeout =
+                  Option.bind t.resilience (fun p -> p.Resilience.timeout_s)
+                in
+                match timeout with
+                | Some tmo when lat > tmo ->
+                    (* we stop waiting at the deadline *)
+                    net := !net +. tmo;
+                    Error (Printf.sprintf "timeout after %.3g s" tmo)
+                | _ -> (
+                    net := !net +. lat;
+                    match fetch_entries source with
+                    | Error _ as e -> e
+                    | Ok entries ->
+                        (* the source only understands organism equality *)
+                        let source_filtered =
+                          match q.organism with
+                          | None -> entries
+                          | Some org ->
+                              List.filter
+                                (fun (e : Entry.t) -> e.Entry.organism = org)
+                                entries
+                        in
+                        let bytes =
+                          List.fold_left
+                            (fun acc e -> acc + entry_bytes e)
+                            0 source_filtered
+                        in
+                        net := !net +. (float_of_int bytes /. t.bytes_per_second);
+                        Ok (source_filtered, bytes))
               in
-              let bytes =
-                List.fold_left (fun acc e -> acc + entry_bytes e) 0 source_filtered
+              let fetched, status =
+                match t.resilience with
+                | None -> (
+                    (* no retries, but a failing source still cannot
+                       abort the fan-out *)
+                    match attempt () with
+                    | Ok _ as ok -> (ok, Served)
+                    | Error msg as e -> (e, Failed msg))
+                | Some policy ->
+                    let breaker = breaker_for t source in
+                    if not (Resilience.Breaker.allow breaker) then
+                      (Error "open circuit", Skipped_open_circuit)
+                    else begin
+                      let seed =
+                        let s = Fault.seed () in
+                        if s = 0 then 1 else s
+                      in
+                      let o = Resilience.run ~policy ~seed ~site attempt in
+                      (* simulated backoff waiting is network-side time *)
+                      net := !net +. o.Resilience.backoff_s;
+                      match o.Resilience.result with
+                      | Ok _ as ok ->
+                          Resilience.Breaker.success breaker;
+                          ( ok,
+                            if o.Resilience.attempts > 1 then
+                              Retried (o.Resilience.attempts - 1)
+                            else Served )
+                      | Error msg as e ->
+                          Resilience.Breaker.failure breaker;
+                          (e, Failed msg)
+                    end
               in
-              src_network := !src_network +. (float_of_int bytes /. t.bytes_per_second);
-              network := !network +. !src_network;
-              shipped := !shipped + List.length source_filtered;
-              Obs.add c_records_shipped (List.length source_filtered);
-              Obs.add c_bytes_shipped bytes;
-              (match t.cache with
-              | Some c ->
-                  Lru.put c key
-                    { entries = source_filtered;
-                      expires_s = Obs.now_s () +. t.ttl_s }
-              | None -> ());
-              (source_filtered, bytes, false)
+              network := !network +. !net;
+              (match fetched with
+              | Ok (source_filtered, bytes) ->
+                  shipped := !shipped + List.length source_filtered;
+                  Obs.add c_records_shipped (List.length source_filtered);
+                  Obs.add c_bytes_shipped bytes;
+                  (match t.cache with
+                  | Some c ->
+                      Lru.put c key
+                        { entries = source_filtered;
+                          expires_s = Obs.now_s () +. t.ttl_s }
+                  | None -> ());
+                  (source_filtered, bytes, !net, false, status)
+              | Error _ ->
+                  Obs.add c_source_failures 1;
+                  ([], 0, !net, false, status))
         in
         per_source :=
           { source = Source.name source;
-            network_s =
-              (if from_cache then 0.
-               else t.latency_s +. (float_of_int bytes /. t.bytes_per_second));
+            network_s = src_network;
             wall_s = Obs.now_s () -. t0;
             shipped = (if from_cache then 0 else List.length source_filtered);
             bytes;
-            from_cache }
+            from_cache;
+            status }
           :: !per_source;
         List.map (fun e -> (Source.name source, e)) source_filtered)
       t.sources
@@ -174,10 +281,16 @@ let run ?(reconcile = true) t q =
       List.map (fun (m : Integrator.merged) -> m.Integrator.canonical) merged
     end
   in
+  let per_source = List.rev !per_source in
+  let answered =
+    List.length (List.filter (fun st -> status_ok st.status) per_source)
+  in
+  if answered < List.length per_source then Obs.add c_partial_answers 1;
   ( results,
     {
       simulated_network_s = !network;
       sources_contacted = List.length t.sources;
+      sources_answered = answered;
       records_shipped = !shipped;
-      per_source = List.rev !per_source;
+      per_source;
     } )

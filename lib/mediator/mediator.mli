@@ -23,19 +23,36 @@ type query = {
 val query_all : query
 (** No predicates. *)
 
+(** How each source fared during a fan-out. A query never raises because
+    of one bad source: failures are recorded here and the query answers
+    from whatever sources did respond. *)
+type source_status =
+  | Served                (** answered on the first attempt *)
+  | Retried of int        (** answered after this many retries *)
+  | Skipped_open_circuit  (** not contacted: its circuit breaker is open *)
+  | Failed of string      (** all attempts failed (last error message) *)
+
+val status_to_string : source_status -> string
+val status_ok : source_status -> bool
+(** [Served] and [Retried _] contributed records. *)
+
 type source_timing = {
   source : string;
-  network_s : float;  (** simulated round-trip + transfer for this source *)
+  network_s : float;  (** simulated network time charged to this source:
+                          per-attempt round-trips (failed ones included),
+                          transfer, injected latency and retry backoff *)
   wall_s : float;     (** real compute time spent querying this source *)
   shipped : int;      (** records this source shipped *)
   bytes : int;        (** approximate wire bytes shipped *)
   from_cache : bool;  (** served from the response cache: no round trip,
                           [network_s] and [shipped] are zero *)
+  status : source_status;
 }
 
 type timing = {
   simulated_network_s : float;  (** round-trips + per-byte transfer *)
   sources_contacted : int;
+  sources_answered : int;       (** sources with {!status_ok} statuses *)
   records_shipped : int;
   per_source : source_timing list;  (** one entry per source, in order *)
 }
@@ -46,10 +63,21 @@ val create :
   ?latency_s:float ->
   ?bytes_per_second:float ->
   ?cache_ttl_s:float ->
+  ?resilience:Genalg_resilience.Resilience.policy ->
   Genalg_etl.Source.t list ->
   t
 (** Wrap sources for mediation. Default latency 0.02 s per round-trip,
     transfer 10 MB/s.
+
+    [resilience] switches on retries with deterministic backoff, a
+    per-attempt timeout against simulated latency, and one circuit
+    breaker per source (see {!Genalg_resilience.Resilience}): failing
+    sources are retried within the policy's budget, and a source that
+    keeps failing trips its breaker and is skipped (recorded as
+    {!Skipped_open_circuit}) until the call-counted cooldown lets a
+    probe through. Off by default: each source gets exactly one attempt
+    — but even then a raising source is caught and reported as
+    {!Failed}, never allowed to abort the fan-out.
 
     [cache_ttl_s] switches on the per-source response cache ([cache.mediator.*]
     instruments): each (source, pushed-down organism) response is kept for
@@ -67,14 +95,25 @@ val invalidate_source : t -> string -> int
 val detach : t -> unit
 (** Unsubscribe from delta notifications (no-op if not subscribed). *)
 
+val breaker_states :
+  t -> (string * Genalg_resilience.Resilience.Breaker.state) list
+(** Per-source circuit-breaker states, sorted by source name. Empty
+    until a resilience-enabled mediator has contacted sources. *)
+
 val run : ?reconcile:bool -> t -> query -> Entry.t list * timing
 (** Execute a query: ship to every source (each contributes a dump parsed
     client-side, the paper's wrapper work), filter, optionally
     deduplicate across sources ([reconcile], default true, pairs entries
     with {!Genalg_etl.Integrator.pair_score} ≥ 0.6 and keeps one).
 
+    Degradation: a source that fails (or whose breaker is open) simply
+    contributes no records; its {!source_timing.status} says why, and
+    the query still answers from the rest ([mediator.partial_answers]
+    counts such queries, [mediator.source_failures] each dead source).
+
     Observability: runs under a [mediator.query] span with one
-    [mediator.source] child span per source contacted; every contact
-    bumps [mediator.round_trips] and adds to [mediator.records_shipped]
-    and [mediator.bytes_shipped]. The returned {!timing.per_source} list
-    gives the same breakdown without enabling the metrics layer. *)
+    [mediator.source] child span per source contacted; every attempt
+    bumps [mediator.round_trips] and successful ones add to
+    [mediator.records_shipped] and [mediator.bytes_shipped]. The
+    returned {!timing.per_source} list gives the same breakdown without
+    enabling the metrics layer. *)

@@ -1,0 +1,199 @@
+module Obs = Genalg_obs.Obs
+module Fault = Genalg_fault.Fault
+
+let c_retries = Obs.counter "resilience.retries"
+let c_recovered = Obs.counter "resilience.recovered"
+let c_exhausted = Obs.counter "resilience.exhausted"
+let c_opened = Obs.counter "resilience.breaker.opened"
+let c_skipped = Obs.counter "resilience.breaker.skipped"
+let c_half_open = Obs.counter "resilience.breaker.half_open"
+let c_reclosed = Obs.counter "resilience.breaker.reclosed"
+
+type backoff = {
+  initial_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  jitter : float;
+}
+
+let default_backoff =
+  { initial_s = 0.05; multiplier = 2.0; max_delay_s = 1.0; jitter = 0.1 }
+
+type policy = {
+  max_attempts : int;
+  backoff : backoff;
+  budget_s : float;
+  timeout_s : float option;
+}
+
+let default_policy =
+  { max_attempts = 4; backoff = default_backoff; budget_s = 2.0;
+    timeout_s = Some 0.25 }
+
+(* the same splitmix64 finalizer the fault registry uses; jitter must be
+   a pure function of (seed, site, attempt) *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let unit_float ~seed ~site ~attempt =
+  let salt = Hashtbl.hash site in
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.of_int ((salt * 2654435761) + attempt)))
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+let delay_for policy ~seed ~site ~attempt =
+  let b = policy.backoff in
+  let base =
+    Float.min b.max_delay_s
+      (b.initial_s *. (b.multiplier ** float_of_int (attempt - 1)))
+  in
+  if b.jitter <= 0. then base
+  else begin
+    (* jitter in [-j, +j] around the base delay, never negative *)
+    let u = unit_float ~seed ~site ~attempt in
+    Float.max 0. (base *. (1. +. (b.jitter *. ((2. *. u) -. 1.))))
+  end
+
+let delays policy ~seed ~site =
+  let rec go acc spent attempt =
+    if attempt >= policy.max_attempts then List.rev acc
+    else
+      let d = delay_for policy ~seed ~site ~attempt in
+      if spent +. d > policy.budget_s then List.rev acc
+      else go (d :: acc) (spent +. d) (attempt + 1)
+  in
+  go [] 0. 1
+
+type 'a outcome = {
+  result : ('a, string) result;
+  attempts : int;
+  backoff_s : float;
+}
+
+let run ?(policy = default_policy) ?(seed = 1) ~site f =
+  let max_attempts = max 1 policy.max_attempts in
+  let attempt_once () =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error _ as e -> e
+    | exception (Fault.Crash_point _ as e) ->
+        (* simulated process death must never be absorbed by a retry *)
+        raise e
+    | exception Fault.Injected (_, msg) -> Error msg
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let rec go attempt spent =
+    match attempt_once () with
+    | Ok _ as result ->
+        if attempt > 1 then Obs.add c_recovered 1;
+        { result; attempts = attempt; backoff_s = spent }
+    | Error _ as result ->
+        if attempt >= max_attempts then begin
+          Obs.add c_exhausted 1;
+          { result; attempts = attempt; backoff_s = spent }
+        end
+        else begin
+          let d = delay_for policy ~seed ~site ~attempt in
+          if spent +. d > policy.budget_s then begin
+            (* retrying again would blow the backoff budget: stop here *)
+            Obs.add c_exhausted 1;
+            { result; attempts = attempt; backoff_s = spent }
+          end
+          else begin
+            Obs.add c_retries 1;
+            go (attempt + 1) (spent +. d)
+          end
+        end
+  in
+  go 1 0.
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type t = {
+    failure_threshold : int;
+    cooldown_calls : int;
+    mutable state : state;
+    mutable consecutive_failures : int;
+    mutable rejected : int;       (* refusals since the breaker opened *)
+    mutable probe_in_flight : bool;
+  }
+
+  let create ?(failure_threshold = 3) ?(cooldown_calls = 2) () =
+    { failure_threshold = max 1 failure_threshold;
+      cooldown_calls = max 1 cooldown_calls;
+      state = Closed; consecutive_failures = 0; rejected = 0;
+      probe_in_flight = false }
+
+  let state t = t.state
+
+  let allow t =
+    match t.state with
+    | Closed -> true
+    | Open ->
+        t.rejected <- t.rejected + 1;
+        if t.rejected >= t.cooldown_calls then begin
+          (* cooldown served: this very call becomes the half-open probe *)
+          t.state <- Half_open;
+          t.probe_in_flight <- true;
+          Obs.add c_half_open 1;
+          true
+        end
+        else begin
+          Obs.add c_skipped 1;
+          false
+        end
+    | Half_open ->
+        if t.probe_in_flight then begin
+          Obs.add c_skipped 1;
+          false
+        end
+        else begin
+          t.probe_in_flight <- true;
+          Obs.add c_half_open 1;
+          true
+        end
+
+  let success t =
+    match t.state with
+    | Half_open ->
+        t.state <- Closed;
+        t.consecutive_failures <- 0;
+        t.rejected <- 0;
+        t.probe_in_flight <- false;
+        Obs.add c_reclosed 1
+    | Closed -> t.consecutive_failures <- 0
+    | Open -> ()
+
+  let failure t =
+    match t.state with
+    | Half_open ->
+        (* failed probe: back to a full cooldown *)
+        t.state <- Open;
+        t.rejected <- 0;
+        t.probe_in_flight <- false;
+        Obs.add c_opened 1
+    | Closed ->
+        t.consecutive_failures <- t.consecutive_failures + 1;
+        if t.consecutive_failures >= t.failure_threshold then begin
+          t.state <- Open;
+          t.rejected <- 0;
+          Obs.add c_opened 1
+        end
+    | Open -> ()
+
+  let state_to_string = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+end

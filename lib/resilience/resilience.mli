@@ -1,0 +1,109 @@
+(** Generic resilience policies: bounded retries with deterministic
+    exponential backoff, and a per-dependency circuit breaker.
+
+    Used by the mediator (per-source queries) and the ETL pipeline
+    (per-monitor polls) to degrade gracefully when a source fails,
+    instead of aborting a whole fan-out. Delays are {e simulated} — no
+    wall-clock sleeping — so retried work stays deterministic and fast;
+    callers that model network time (the mediator) add {!outcome.backoff_s}
+    to their simulated clock.
+
+    All jitter is a pure function of [(seed, site, attempt)], so a fixed
+    seed replays the same schedule, and running calls on several domains
+    ([lib/par]) cannot change any call's own accounting.
+
+    Instruments (see docs/OBSERVABILITY.md): [resilience.retries],
+    [resilience.recovered], [resilience.exhausted],
+    [resilience.breaker.opened], [resilience.breaker.skipped],
+    [resilience.breaker.half_open], [resilience.breaker.reclosed]. *)
+
+(** {1 Backoff and retry} *)
+
+type backoff = {
+  initial_s : float;    (** delay before the first retry (default 0.05) *)
+  multiplier : float;   (** exponential growth factor (default 2.0) *)
+  max_delay_s : float;  (** per-delay cap, pre-jitter (default 1.0) *)
+  jitter : float;       (** +/- fraction of the delay, in [0,1] (default 0.1) *)
+}
+
+val default_backoff : backoff
+
+type policy = {
+  max_attempts : int;        (** total attempts including the first (>= 1) *)
+  backoff : backoff;
+  budget_s : float;          (** total backoff budget per call; retrying
+                                 stops before it would be exceeded *)
+  timeout_s : float option;  (** per-attempt deadline against simulated
+                                 latency (callers enforce it; see
+                                 {!Genalg_mediator}) *)
+}
+
+val default_policy : policy
+(** 4 attempts, default backoff, 2 s budget, 0.25 s attempt timeout. *)
+
+val delay_for : policy -> seed:int -> site:string -> attempt:int -> float
+(** Deterministic jittered delay before retry [attempt] (1-based).
+    Pure: same arguments, same delay. *)
+
+val delays : policy -> seed:int -> site:string -> float list
+(** The full backoff schedule for a call at this site: at most
+    [max_attempts - 1] delays, truncated so the running sum never
+    exceeds [budget_s]. *)
+
+type 'a outcome = {
+  result : ('a, string) result;
+  attempts : int;     (** attempts actually made (>= 1) *)
+  backoff_s : float;  (** total simulated delay spent between attempts *)
+}
+
+val run :
+  ?policy:policy ->
+  ?seed:int ->
+  site:string ->
+  (unit -> ('a, string) result) ->
+  'a outcome
+(** [run ~site f] calls [f] up to [max_attempts] times, charging the
+    deterministic backoff schedule between failures and stopping early
+    when the budget is spent. [Error _] results and raised exceptions
+    both count as failures — except {!Genalg_fault.Fault.Crash_point},
+    which models process death and is always re-raised immediately.
+
+    Counters: each retry bumps [resilience.retries]; a success after at
+    least one failure bumps [resilience.recovered]; returning [Error]
+    after the last attempt bumps [resilience.exhausted]. *)
+
+(** {1 Circuit breaker} *)
+
+module Breaker : sig
+  (** A per-dependency circuit breaker with deterministic, call-counted
+      cooldown (no wall clock, so experiment runs replay exactly):
+
+      - {b Closed}: calls flow; [failure_threshold] {e consecutive}
+        failures trip it to Open ([resilience.breaker.opened]).
+      - {b Open}: {!allow} refuses ([resilience.breaker.skipped]); after
+        [cooldown_calls] refusals the breaker moves to Half-open.
+      - {b Half-open}: exactly one probe call is allowed
+        ([resilience.breaker.half_open]); success closes the breaker
+        ([resilience.breaker.reclosed]), failure re-opens it and the
+        cooldown starts over. *)
+
+  type state = Closed | Open | Half_open
+
+  type t
+
+  val create : ?failure_threshold:int -> ?cooldown_calls:int -> unit -> t
+  (** Defaults: [failure_threshold = 3], [cooldown_calls = 2]. Both are
+      clamped to at least 1. *)
+
+  val state : t -> state
+
+  val allow : t -> bool
+  (** Ask to place a call. Counts a refusal while Open (advancing the
+      cooldown) and claims the single Half-open probe slot. Callers must
+      follow a [true] with exactly one {!success} or {!failure}. *)
+
+  val success : t -> unit
+  val failure : t -> unit
+
+  val state_to_string : state -> string
+end

@@ -145,9 +145,46 @@ let flush_buffers t =
   List.iter (fun e -> Table.drop_page_cache e.table) t.entries
 
 (* --------------------------------------------------------------- *)
-(* Persistence                                                      *)
+(* Persistence: crash-safe, checksummed snapshots.
+
+   On-disk format (v2, magic GENALGDB2):
+     magic | n_chunks:i64 | payload_len:i64
+     then per chunk: len:i64 | crc32:i64 | bytes
+   The concatenated chunk bytes are the v1 body (magic GENALGDB1 ...),
+   which loads unchanged for pre-v2 files. Per-chunk CRCs turn torn
+   writes and bit flips into clean load errors instead of silent
+   corruption.
+
+   Saves follow a write-ahead intent protocol, punctuated by registered
+   fault crash points so the whole sequence is testable:
+
+     serialize -> write <path>.journal (CRC + length of the complete
+     new image) -> write <path>.tmp -> rename over <path> -> clear
+     journal.
+
+   [recover] (run by every [load]) looks at the journal: a tmp matching
+   the journaled CRC is rolled forward (the save is completed); anything
+   else is rolled back to the previous snapshot. Either way the database
+   opens to exactly the pre-save or post-save state, never a mix. *)
+
+module Fault = Genalg_fault.Fault
+module Obs = Genalg_obs.Obs
+
+let c_roll_forward = Obs.counter "storage.recovery.roll_forward"
+let c_roll_back = Obs.counter "storage.recovery.roll_back"
+let c_journal_cleared = Obs.counter "storage.recovery.journal_cleared"
+let c_checksum_failures = Obs.counter "storage.recovery.checksum_failures"
+let c_clean_open = Obs.counter "storage.recovery.clean_open"
+
+let crash_points =
+  [ "storage.save.serialize"; "storage.save.journal";
+    "storage.save.tmp_partial"; "storage.save.tmp"; "storage.save.rename" ]
+
+let () = List.iter Fault.register_crash_point crash_points
 
 let magic = "GENALGDB1"
+let magic_v2 = "GENALGDB2"
+let journal_magic = "GENALGJL1"
 
 let add_sized buf s =
   Buffer.add_int64_le buf (Int64.of_int (String.length s));
@@ -163,7 +200,7 @@ let encode_schema buf schema =
       Buffer.add_char buf (if c.Schema.nullable then '\001' else '\000'))
     cols
 
-let save t path =
+let serialize t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
   Buffer.add_int64_le buf (Int64.of_int (List.length t.entries));
@@ -190,24 +227,174 @@ let save t path =
           Buffer.add_bytes buf enc)
         rows)
     t.entries;
+  Buffer.contents buf
+
+exception Corrupt of string
+
+let chunk_size = 8192
+
+(* Wrap a v1 body in the v2 chunk-checksummed envelope. *)
+let encode_v2 body =
+  let nbytes = String.length body in
+  let n_chunks = (nbytes + chunk_size - 1) / chunk_size in
+  let buf = Buffer.create (nbytes + 32 + (16 * n_chunks)) in
+  Buffer.add_string buf magic_v2;
+  Buffer.add_int64_le buf (Int64.of_int n_chunks);
+  Buffer.add_int64_le buf (Int64.of_int nbytes);
+  for i = 0 to n_chunks - 1 do
+    let pos = i * chunk_size in
+    let len = min chunk_size (nbytes - pos) in
+    Buffer.add_int64_le buf (Int64.of_int len);
+    Buffer.add_int64_le buf
+      (Int64.of_int32 (Checksum.string (String.sub body pos len)));
+    Buffer.add_substring buf body pos len
+  done;
+  Buffer.contents buf
+
+(* Unwrap a v2 envelope, verifying every chunk CRC. Raises [Corrupt]. *)
+let decode_v2 contents =
+  let data = Bytes.of_string contents in
+  let pos = ref (String.length magic_v2) in
+  let need n =
+    if !pos + n > Bytes.length data then raise (Corrupt "truncated envelope")
+  in
+  let read_int () =
+    need 8;
+    let v = Int64.to_int (Bytes.get_int64_le data !pos) in
+    pos := !pos + 8;
+    if v < 0 then raise (Corrupt "negative envelope length");
+    v
+  in
+  let n_chunks = read_int () in
+  let payload_len = read_int () in
+  if n_chunks > Bytes.length data || payload_len > Bytes.length data then
+    raise (Corrupt "implausible envelope header");
+  let buf = Buffer.create payload_len in
+  for _ = 1 to n_chunks do
+    let len = read_int () in
+    if len > chunk_size then raise (Corrupt "oversized chunk");
+    need 8;
+    let crc = Int64.to_int32 (Bytes.get_int64_le data !pos) in
+    pos := !pos + 8;
+    need len;
+    if Checksum.sub data ~pos:!pos ~len <> crc then begin
+      Obs.add c_checksum_failures 1;
+      raise (Corrupt "chunk checksum mismatch (torn or corrupt write)")
+    end;
+    Buffer.add_subbytes buf data !pos len;
+    pos := !pos + len
+  done;
+  if Buffer.length buf <> payload_len then
+    raise (Corrupt "payload length mismatch");
+  Buffer.contents buf
+
+(* ---- write-ahead intent journal ---- *)
+
+let journal_path path = path ^ ".journal"
+let tmp_path path = path ^ ".tmp"
+
+let encode_journal image =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf journal_magic;
+  Buffer.add_int64_le buf (Int64.of_int32 (Checksum.string image));
+  Buffer.add_int64_le buf (Int64.of_int (String.length image));
+  Buffer.contents buf
+
+let parse_journal s =
+  let m = String.length journal_magic in
+  if String.length s = m + 16 && String.sub s 0 m = journal_magic then begin
+    let b = Bytes.of_string s in
+    let crc = Int64.to_int32 (Bytes.get_int64_le b m) in
+    let len = Int64.to_int (Bytes.get_int64_le b (m + 8)) in
+    if len >= 0 then Some (crc, len) else None
+  end
+  else None
+
+let write_file file contents =
+  let oc = open_out_bin file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let read_file_opt file =
+  if Sys.file_exists file then
+    Some
+      (let ic = open_in_bin file in
+       Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+           really_input_string ic (in_channel_length ic)))
+  else None
+
+let remove_if_exists file = if Sys.file_exists file then Sys.remove file
+
+type recovery = No_journal | Rolled_forward | Rolled_back | Completed
+
+let recovery_to_string = function
+  | No_journal -> "no-journal"
+  | Rolled_forward -> "rolled-forward"
+  | Rolled_back -> "rolled-back"
+  | Completed -> "completed"
+
+let recover path =
+  let journal = journal_path path and tmp = tmp_path path in
+  match read_file_opt journal with
+  | None ->
+      (* no interrupted save; a stray tmp is leftover garbage *)
+      remove_if_exists tmp;
+      No_journal
+  | Some jbytes ->
+      let matches file (crc, len) =
+        match read_file_opt file with
+        | Some img -> String.length img = len && Checksum.string img = crc
+        | None -> false
+      in
+      let outcome =
+        match Option.bind (Some jbytes) parse_journal with
+        | Some intent when matches tmp intent ->
+            (* complete new image made it to tmp: finish the save *)
+            Sys.rename tmp path;
+            Obs.add c_roll_forward 1;
+            Rolled_forward
+        | Some intent when matches path intent ->
+            (* rename happened; only the journal clear was lost *)
+            remove_if_exists tmp;
+            Completed
+        | Some _ | None ->
+            (* torn/absent tmp (or unreadable journal): keep the old
+               snapshot *)
+            remove_if_exists tmp;
+            Obs.add c_roll_back 1;
+            Rolled_back
+      in
+      Sys.remove journal;
+      Obs.add c_journal_cleared 1;
+      outcome
+
+let save t path =
   match
-    let oc = open_out_bin path in
+    let body = serialize t in
+    Fault.crash "storage.save.serialize";
+    let image = encode_v2 body in
+    let journal = journal_path path and tmp = tmp_path path in
+    write_file journal (encode_journal image);
+    Fault.crash "storage.save.journal";
+    (* the tmp image is written in two halves around a crash point, so
+       fault specs can manufacture a genuinely torn file *)
+    let mid = String.length image / 2 in
+    let oc = open_out_bin tmp in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-        Buffer.output_buffer oc buf)
+        output_substring oc image 0 mid;
+        flush oc;
+        Fault.crash "storage.save.tmp_partial";
+        output_substring oc image mid (String.length image - mid));
+    Fault.crash "storage.save.tmp";
+    Sys.rename tmp path;
+    Fault.crash "storage.save.rename";
+    Sys.remove journal
   with
   | () -> Ok ()
   | exception Sys_error msg -> Error msg
 
-exception Corrupt of string
-
-let load path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error msg -> Error msg
-  | contents ->
+(* Parse a v1 body (magic GENALGDB1 ...) into a database. *)
+let parse_body contents =
       let data = Bytes.of_string contents in
       let pos = ref 0 in
       let need n =
@@ -295,3 +482,26 @@ let load path =
        with
       | Corrupt msg -> Error ("Database.load: " ^ msg)
       | Invalid_argument msg -> Error ("Database.load: " ^ msg))
+
+let load path =
+  match
+    let (_ : recovery) = recover path in
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match
+        let m2 = String.length magic_v2 in
+        if String.length contents >= m2 && String.sub contents 0 m2 = magic_v2
+        then decode_v2 contents
+        else contents (* legacy v1 body, stored bare *)
+      with
+      | exception Corrupt msg -> Error ("Database.load: " ^ msg)
+      | body -> (
+          match parse_body body with
+          | Ok _ as ok ->
+              Obs.add c_clean_open 1;
+              ok
+          | Error _ as err -> err))

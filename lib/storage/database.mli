@@ -68,10 +68,44 @@ val tables : t -> (space * Table.t) list
 val table_count : t -> int
 
 val save : t -> string -> (unit, string) result
-(** Snapshot the catalog, all heaps and index definitions to a file. *)
+(** Snapshot the catalog, all heaps and index definitions to a file.
+
+    Crash-safe: the snapshot body is wrapped in CRC-32-checksummed 8 KiB
+    chunks (torn-write detection) and written under a write-ahead intent
+    journal ([<path>.journal]) via [<path>.tmp] and an atomic rename. A
+    save interrupted at any point — the fault registry exposes crash
+    points [storage.save.serialize], [.journal], [.tmp_partial], [.tmp]
+    and [.rename] — leaves a file that {!load} restores to either the
+    previous or the new snapshot, never a mix. *)
 
 val load : string -> (t, string) result
-(** Restore a snapshot; B-tree indexes are rebuilt. UDT registrations,
+(** Restore a snapshot; runs {!recover} first, then verifies chunk
+    checksums (counter [storage.recovery.checksum_failures] on
+    mismatch). Files written by pre-checksum versions (bare [GENALGDB1]
+    bodies) still load. B-tree indexes are rebuilt. UDT registrations,
     genomic (substring) indexes and ANALYZE statistics are in-memory
     only — re-attach the adapter and re-issue [CREATE GENOMIC INDEX] /
     [ANALYZE] after loading. *)
+
+(** {1 Crash recovery} *)
+
+type recovery =
+  | No_journal      (** clean open: no interrupted save *)
+  | Rolled_forward  (** a complete new image in [<path>.tmp] was
+                        promoted ([storage.recovery.roll_forward]) *)
+  | Rolled_back     (** the interrupted save was discarded; the previous
+                        snapshot stands ([storage.recovery.roll_back]) *)
+  | Completed       (** the rename had landed; only the journal clear
+                        was replayed *)
+
+val recover : string -> recovery
+(** Inspect [<path>.journal] and finish or undo an interrupted save.
+    Called automatically by {!load}; idempotent. Always clears the
+    journal and any leftover tmp file
+    ([storage.recovery.journal_cleared]). *)
+
+val recovery_to_string : recovery -> string
+
+val crash_points : string list
+(** The fault-injection crash points registered by the save path, in
+    protocol order. *)

@@ -1,0 +1,244 @@
+(* Crash-safe storage: interrupt Database.save at every registered crash
+   point and prove the reopened file is never torn, plus checksum
+   detection of bit-flipped pages, legacy-format loads and journal
+   hygiene. *)
+
+module Db = Genalg_storage.Database
+module Exec = Genalg_sqlx.Exec
+module Fault = Genalg_fault.Fault
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let ok = function Ok v -> v | Error m -> Alcotest.fail m
+
+let with_tmp_db f =
+  let path = Filename.temp_file "genalg_crash" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      List.iter
+        (fun file -> if Sys.file_exists file then Sys.remove file)
+        [ path; path ^ ".tmp"; path ^ ".journal" ])
+    (fun () -> f path)
+
+let count_rows db =
+  match Exec.query db ~actor:"u" "SELECT k FROM t" with
+  | Ok (Exec.Rows rs) -> List.length rs.Exec.rows
+  | _ -> -1
+
+(* ---- clean path -------------------------------------------------------- *)
+
+let test_clean_save_leaves_no_artifacts () =
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ignore (ok (Exec.query db ~actor:"u" "INSERT INTO t VALUES (1)"));
+      ok (Db.save db path);
+      checkb "no journal left" false (Sys.file_exists (path ^ ".journal"));
+      checkb "no tmp left" false (Sys.file_exists (path ^ ".tmp"));
+      checks "clean open" "no-journal" (Db.recovery_to_string (Db.recover path));
+      checki "round-trip rows" 1 (count_rows (ok (Db.load path))))
+
+(* ---- the crash matrix -------------------------------------------------- *)
+
+(* Interrupt save at each protocol point in order. Each interrupted save
+   carries exactly one new row, so the pre- and post-save states are
+   distinguishable on disk; the reopened database must hold one of the
+   two — never a torn in-between. *)
+let test_crash_matrix () =
+  checkb "crash points registered" true (Db.crash_points <> []);
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ignore (ok (Exec.query db ~actor:"u" "INSERT INTO t VALUES (0)"));
+      ok (Db.save db path);
+      let file_rows = ref 1 and mem_rows = ref 1 in
+      List.iter
+        (fun site ->
+          incr mem_rows;
+          ignore
+            (ok
+               (Exec.query db ~actor:"u"
+                  (Printf.sprintf "INSERT INTO t VALUES (%d)" !mem_rows)));
+          (match Fault.configure (site ^ ":crash:times=1") with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          (match Db.save db path with
+          | exception Fault.Crash_point s ->
+              checks (site ^ " crashes at itself") site s
+          | Ok () | Error _ ->
+              Alcotest.failf "%s: save was not interrupted" site);
+          Fault.disable ();
+          ignore (Db.recover path);
+          let rows = count_rows (ok (Db.load path)) in
+          (* the new image survives only once it fully reached the tmp
+             file; before that the old image must be intact *)
+          let expected =
+            match site with
+            | "storage.save.tmp" | "storage.save.rename" -> !mem_rows
+            | _ -> !file_rows
+          in
+          checki (site ^ ": pre- or post-save state, never torn") expected rows;
+          checkb (site ^ ": journal cleared") false
+            (Sys.file_exists (path ^ ".journal"));
+          checkb (site ^ ": tmp cleared") false
+            (Sys.file_exists (path ^ ".tmp"));
+          file_rows := expected)
+        Db.crash_points;
+      (* an uninterrupted save still works after all that *)
+      ok (Db.save db path);
+      checki "final clean save" !mem_rows (count_rows (ok (Db.load path))))
+
+let test_recovery_outcomes_per_point () =
+  (* the specific recovery verdict for the interesting points *)
+  let expect =
+    [
+      ("storage.save.serialize", "no-journal");   (* nothing written yet *)
+      ("storage.save.journal", "rolled-back");    (* torn/absent new image *)
+      ("storage.save.tmp_partial", "rolled-back");
+      ("storage.save.tmp", "rolled-forward");     (* complete image promoted *)
+      ("storage.save.rename", "completed");       (* only the clear replayed *)
+    ]
+  in
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ignore (ok (Exec.query db ~actor:"u" "INSERT INTO t VALUES (0)"));
+      ok (Db.save db path);
+      let n = ref 0 in
+      List.iter
+        (fun (site, verdict) ->
+          checkb (site ^ " is a registered point") true
+            (List.mem site Db.crash_points);
+          incr n;
+          ignore
+            (ok
+               (Exec.query db ~actor:"u"
+                  (Printf.sprintf "INSERT INTO t VALUES (%d)" !n)));
+          (match Fault.configure (site ^ ":crash:times=1") with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          (match Db.save db path with
+          | exception Fault.Crash_point _ -> ()
+          | _ -> Alcotest.failf "%s: save was not interrupted" site);
+          Fault.disable ();
+          checks site verdict (Db.recovery_to_string (Db.recover path)))
+        expect)
+
+(* ---- checksum detection ------------------------------------------------ *)
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string contents in
+  let pos = if pos >= 0 then pos else Bytes.length b + pos in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_bytes oc b)
+
+let test_bit_flip_detected () =
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      for i = 1 to 50 do
+        ignore
+          (ok
+             (Exec.query db ~actor:"u"
+                (Printf.sprintf "INSERT INTO t VALUES (%d)" i)))
+      done;
+      ok (Db.save db path);
+      (* flip a bit inside the last chunk's data, well past the header *)
+      flip_byte path (-5);
+      match Db.load path with
+      | Ok _ -> Alcotest.fail "bit flip went undetected"
+      | Error msg ->
+          checkb "error names the checksum" true
+            (let lower = String.lowercase_ascii msg in
+             let needle = "checksum" in
+             let n = String.length needle and l = String.length lower in
+             let rec mem i = i + n <= l && (String.sub lower i n = needle || mem (i + 1)) in
+             mem 0))
+
+let test_header_corruption_is_error_not_crash () =
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ok (Db.save db path);
+      (* mangle the chunk-count field: must surface as Error, not raise *)
+      flip_byte path (String.length "GENALGDB2" + 2);
+      checkb "corrupt header is a clean Error" true
+        (Result.is_error (Db.load path)))
+
+(* ---- format compatibility and journal hygiene -------------------------- *)
+
+let test_legacy_v1_loads () =
+  with_tmp_db (fun path ->
+      (* a bare pre-checksum v1 image: magic + zero table count *)
+      let buf = Buffer.create 24 in
+      Buffer.add_string buf "GENALGDB1";
+      Buffer.add_int64_le buf 0L;
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc (Buffer.contents buf));
+      let db = ok (Db.load path) in
+      checki "legacy image loads empty" 0 (Db.table_count db))
+
+let test_garbage_journal_rolled_back () =
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ignore (ok (Exec.query db ~actor:"u" "INSERT INTO t VALUES (7)"));
+      ok (Db.save db path);
+      let oc = open_out_bin (path ^ ".journal") in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc "not a journal at all");
+      checks "garbage journal rolled back" "rolled-back"
+        (Db.recovery_to_string (Db.recover path));
+      checkb "journal cleared" false (Sys.file_exists (path ^ ".journal"));
+      checki "image intact" 1 (count_rows (ok (Db.load path))))
+
+let test_stray_tmp_removed () =
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      ok (Db.save db path);
+      let oc = open_out_bin (path ^ ".tmp") in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc "leftover");
+      checks "no journal, stray tmp" "no-journal"
+        (Db.recovery_to_string (Db.recover path));
+      checkb "stray tmp removed" false (Sys.file_exists (path ^ ".tmp"));
+      checkb "image intact" true (Result.is_ok (Db.load path)))
+
+let suites =
+  [
+    ( "crash-recovery:matrix",
+      [
+        Alcotest.test_case "clean save leaves no artifacts" `Quick
+          test_clean_save_leaves_no_artifacts;
+        Alcotest.test_case "every crash point recovers untorn" `Quick
+          test_crash_matrix;
+        Alcotest.test_case "recovery verdict per crash point" `Quick
+          test_recovery_outcomes_per_point;
+      ] );
+    ( "crash-recovery:checksum",
+      [
+        Alcotest.test_case "bit flip detected on load" `Quick
+          test_bit_flip_detected;
+        Alcotest.test_case "corrupt header is a clean error" `Quick
+          test_header_corruption_is_error_not_crash;
+      ] );
+    ( "crash-recovery:format",
+      [
+        Alcotest.test_case "legacy v1 image loads" `Quick test_legacy_v1_loads;
+        Alcotest.test_case "garbage journal rolled back" `Quick
+          test_garbage_journal_rolled_back;
+        Alcotest.test_case "stray tmp removed" `Quick test_stray_tmp_removed;
+      ] );
+  ]

@@ -1,0 +1,199 @@
+(* The deterministic fault-injection registry: spec parsing, the
+   seeded fire schedule, payload mangling, crash points and tallies. *)
+
+module Fault = Genalg_fault.Fault
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* every test leaves the process-wide registry clean *)
+let with_spec spec f =
+  (match Fault.configure spec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "bad spec %S: %s" spec msg);
+  Fun.protect ~finally:(fun () -> Fault.disable ()) f
+
+(* ---- spec parsing ------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  with_spec "seed=7;source.s1:error:p=0.5;x.y:latency:s=0.4:p=0.3" (fun () ->
+      checkb "active" true (Fault.active ());
+      checki "seed" 7 (Fault.seed ());
+      check Alcotest.string "normalized"
+        "seed=7;source.s1:error:p=0.5;x.y:latency:p=0.3:s=0.4"
+        (Fault.render_spec ());
+      checki "rules" 2 (List.length (Fault.rules ())))
+
+let test_parse_defaults () =
+  with_spec "a.b:truncate" (fun () ->
+      match Fault.rules () with
+      | [ r ] ->
+          check (Alcotest.float 1e-9) "p" 1.0 r.Fault.p;
+          checki "after" 0 r.Fault.after;
+          checkb "times" true (r.Fault.times = None);
+          check (Alcotest.float 1e-9) "truncate frac default" 0.5
+            r.Fault.fraction
+      | rs -> Alcotest.failf "expected 1 rule, got %d" (List.length rs))
+
+let test_parse_rejects () =
+  let bad spec =
+    match Fault.configure spec with
+    | Ok () -> Alcotest.failf "spec %S should be rejected" spec
+    | Error _ -> ()
+  in
+  bad "a.b:explode";
+  bad "a.b:error:p=1.5";
+  bad ":error";
+  bad "a.b:error:nonsense";
+  bad "seed=x;a.b:error";
+  Fault.disable ()
+
+let test_empty_spec_deactivates () =
+  with_spec "a.b:error" (fun () -> checkb "active" true (Fault.active ()));
+  (match Fault.configure "" with Ok () -> () | Error m -> Alcotest.fail m);
+  checkb "inactive" false (Fault.active ())
+
+(* ---- hooks ------------------------------------------------------------- *)
+
+let test_disabled_hooks_noop () =
+  Fault.disable ();
+  Fault.reset_tallies ();
+  Fault.hit "any.site";
+  Fault.crash "any.site";
+  check (Alcotest.float 1e-9) "latency" 0. (Fault.latency_s "any.site");
+  check Alcotest.string "mangle" "payload" (Fault.mangle "any.site" "payload");
+  checki "nothing injected" 0 (Fault.total_injected ())
+
+let test_error_hit () =
+  with_spec "a.b:error:msg=boom" (fun () ->
+      match Fault.hit "a.b" with
+      | exception Fault.Injected (site, msg) ->
+          check Alcotest.string "site" "a.b" site;
+          check Alcotest.string "msg" "boom" msg
+      | () -> Alcotest.fail "error rule did not fire")
+
+let test_wildcard_site () =
+  with_spec "source.*:error" (fun () ->
+      (match Fault.hit "source.anything" with
+      | exception Fault.Injected _ -> ()
+      | () -> Alcotest.fail "wildcard should match source.anything");
+      (* unrelated sites are untouched *)
+      Fault.hit "storage.save.tmp")
+
+let test_after_times_schedule () =
+  with_spec "a.b:error:after=2:times=3" (fun () ->
+      let fired =
+        List.init 10 (fun _ ->
+            match Fault.hit "a.b" with
+            | exception Fault.Injected _ -> true
+            | () -> false)
+      in
+      (* p=1: skips the first 2 hits, then fires exactly 3 times *)
+      check
+        (Alcotest.list Alcotest.bool)
+        "schedule"
+        [ false; false; true; true; true; false; false; false; false; false ]
+        fired)
+
+let test_deterministic_sequence () =
+  let spec = "seed=42;a.b:error:p=0.4" in
+  let sample () =
+    with_spec spec (fun () ->
+        List.init 100 (fun _ ->
+            match Fault.hit "a.b" with
+            | exception Fault.Injected _ -> true
+            | () -> false))
+  in
+  let s1 = sample () and s2 = sample () in
+  check (Alcotest.list Alcotest.bool) "same seed, same faults" s1 s2;
+  checkb "some fired" true (List.mem true s1);
+  checkb "some passed" true (List.mem false s1);
+  (* a different seed draws a different sequence *)
+  let s3 =
+    with_spec "seed=43;a.b:error:p=0.4" (fun () ->
+        List.init 100 (fun _ ->
+            match Fault.hit "a.b" with
+            | exception Fault.Injected _ -> true
+            | () -> false))
+  in
+  checkb "different seed differs" true (s1 <> s3)
+
+let test_latency () =
+  with_spec "net.x:latency:s=0.75" (fun () ->
+      check (Alcotest.float 1e-9) "seconds" 0.75 (Fault.latency_s "net.x");
+      check (Alcotest.float 1e-9) "other site" 0. (Fault.latency_s "net.y"))
+
+let test_truncate () =
+  with_spec "w.x:truncate:frac=0.5" (fun () ->
+      let payload = String.make 100 'A' in
+      checki "half kept" 50 (String.length (Fault.mangle "w.x" payload)))
+
+let test_corrupt () =
+  with_spec "w.x:corrupt:frac=0.1" (fun () ->
+      let payload = String.make 100 'A' in
+      let mangled = Fault.mangle "w.x" payload in
+      checki "length preserved" 100 (String.length mangled);
+      checkb "bytes flipped" true (mangled <> payload))
+
+let test_crash_hook () =
+  with_spec "cp.x:crash" (fun () ->
+      match Fault.crash "cp.x" with
+      | exception Fault.Crash_point site ->
+          check Alcotest.string "site" "cp.x" site
+      | () -> Alcotest.fail "crash rule did not fire")
+
+let test_crash_point_registry () =
+  (* the storage save path registers its protocol points at link time *)
+  let points = Fault.crash_points () in
+  List.iter
+    (fun site -> checkb site true (List.mem site points))
+    Genalg_storage.Database.crash_points
+
+(* ---- tallies ----------------------------------------------------------- *)
+
+let test_tallies () =
+  with_spec "a.b:error:times=2" (fun () ->
+      for _ = 1 to 5 do
+        try Fault.hit "a.b" with Fault.Injected _ -> ()
+      done;
+      match List.assoc_opt "a.b" (Fault.tallies ()) with
+      | None -> Alcotest.fail "no tally for a.b"
+      | Some t ->
+          checki "checks" 5 t.Fault.checks;
+          checki "injected" 2 t.Fault.injected;
+          checki "errors" 2 t.Fault.errors;
+          checki "total" 2 (Fault.total_injected ()))
+
+let suites =
+  [
+    ( "fault:spec",
+      [
+        Alcotest.test_case "parse and render round-trip" `Quick
+          test_parse_roundtrip;
+        Alcotest.test_case "defaults" `Quick test_parse_defaults;
+        Alcotest.test_case "bad specs rejected" `Quick test_parse_rejects;
+        Alcotest.test_case "empty spec deactivates" `Quick
+          test_empty_spec_deactivates;
+      ] );
+    ( "fault:hooks",
+      [
+        Alcotest.test_case "disabled hooks are no-ops" `Quick
+          test_disabled_hooks_noop;
+        Alcotest.test_case "error rule raises Injected" `Quick test_error_hit;
+        Alcotest.test_case "wildcard sites" `Quick test_wildcard_site;
+        Alcotest.test_case "after/times schedule" `Quick
+          test_after_times_schedule;
+        Alcotest.test_case "seeded sequence is deterministic" `Quick
+          test_deterministic_sequence;
+        Alcotest.test_case "latency rule" `Quick test_latency;
+        Alcotest.test_case "truncate rule" `Quick test_truncate;
+        Alcotest.test_case "corrupt rule" `Quick test_corrupt;
+        Alcotest.test_case "crash rule raises Crash_point" `Quick
+          test_crash_hook;
+        Alcotest.test_case "storage crash points registered" `Quick
+          test_crash_point_registry;
+      ] );
+    ( "fault:tallies",
+      [ Alcotest.test_case "checks and fires counted" `Quick test_tallies ] );
+  ]

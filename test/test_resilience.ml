@@ -1,0 +1,242 @@
+(* Retry/backoff policies and the circuit breaker: deterministic
+   schedules, budget enforcement, a model-checked state machine, and
+   jobs>1 leaving retry accounting untouched. *)
+
+module Resilience = Genalg_resilience.Resilience
+module Fault = Genalg_fault.Fault
+module Par = Genalg_par.Par
+module Q = QCheck2
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name gen prop)
+
+let default = Resilience.default_policy
+
+(* ---- backoff schedules ------------------------------------------------- *)
+
+let backoff_props =
+  [
+    qtest "delay_for is a pure function of (seed, site, attempt)"
+      Q.Gen.(triple (int_bound 10_000) (int_bound 20) (int_range 1 8))
+      (fun (seed, site_n, attempt) ->
+        let site = Printf.sprintf "source.s%d" site_n in
+        Resilience.delay_for default ~seed ~site ~attempt
+        = Resilience.delay_for default ~seed ~site ~attempt);
+    qtest "jitter stays within +/- jitter of the exponential base"
+      Q.Gen.(triple (int_bound 10_000) (int_bound 20) (int_range 1 8))
+      (fun (seed, site_n, attempt) ->
+        let site = Printf.sprintf "source.s%d" site_n in
+        let b = default.Resilience.backoff in
+        let base =
+          Float.min b.Resilience.max_delay_s
+            (b.Resilience.initial_s
+            *. (b.Resilience.multiplier ** float_of_int (attempt - 1)))
+        in
+        let d = Resilience.delay_for default ~seed ~site ~attempt in
+        d >= base *. (1. -. b.Resilience.jitter) -. 1e-9
+        && d <= base *. (1. +. b.Resilience.jitter) +. 1e-9);
+    qtest "schedule sum never exceeds the budget"
+      Q.Gen.(
+        quad (int_bound 10_000) (int_bound 20) (int_range 1 12)
+          (float_range 0.01 3.0))
+      (fun (seed, site_n, max_attempts, budget_s) ->
+        let site = Printf.sprintf "s%d" site_n in
+        let policy = { default with Resilience.max_attempts; budget_s } in
+        let ds = Resilience.delays policy ~seed ~site in
+        List.length ds <= max_attempts - 1
+        && List.fold_left ( +. ) 0. ds <= budget_s +. 1e-9);
+  ]
+
+(* ---- run --------------------------------------------------------------- *)
+
+let test_run_first_try () =
+  let o = Resilience.run ~site:"s" (fun () -> Ok 42) in
+  checkb "ok" true (o.Resilience.result = Ok 42);
+  checki "attempts" 1 o.Resilience.attempts;
+  Alcotest.check (Alcotest.float 1e-9) "no backoff" 0. o.Resilience.backoff_s
+
+let test_run_recovers () =
+  let n = ref 0 in
+  let o =
+    Resilience.run ~site:"s" (fun () ->
+        incr n;
+        if !n < 3 then Error "transient" else Ok !n)
+  in
+  checkb "ok" true (o.Resilience.result = Ok 3);
+  checki "attempts" 3 o.Resilience.attempts;
+  checkb "backoff charged" true (o.Resilience.backoff_s > 0.)
+
+let test_run_exhausts () =
+  let n = ref 0 in
+  let o =
+    Resilience.run ~site:"s" (fun () ->
+        incr n;
+        Error "down")
+  in
+  checkb "error" true (o.Resilience.result = Error "down");
+  checki "all attempts used" default.Resilience.max_attempts
+    o.Resilience.attempts;
+  checki "calls made" default.Resilience.max_attempts !n
+
+let test_run_budget_stops_early () =
+  (* delays of ~1 s against a 0.1 s budget: no retry is affordable *)
+  let policy =
+    { default with
+      Resilience.backoff =
+        { Resilience.initial_s = 1.0; multiplier = 2.0; max_delay_s = 5.0;
+          jitter = 0. };
+      budget_s = 0.1 }
+  in
+  let n = ref 0 in
+  let o =
+    Resilience.run ~policy ~site:"s" (fun () ->
+        incr n;
+        Error "down")
+  in
+  checki "single attempt" 1 o.Resilience.attempts;
+  checkb "budget respected" true
+    (o.Resilience.backoff_s <= policy.Resilience.budget_s)
+
+let test_run_catches_exceptions () =
+  let o = Resilience.run ~site:"s" (fun () -> failwith "kaboom") in
+  checkb "failure result" true (Result.is_error o.Resilience.result)
+
+let test_run_reraises_crash_points () =
+  match
+    Resilience.run ~site:"s" (fun () -> raise (Fault.Crash_point "cp"))
+  with
+  | exception Fault.Crash_point "cp" -> ()
+  | _ -> Alcotest.fail "Crash_point must never be retried or absorbed"
+
+let test_run_deterministic_accounting () =
+  let go () =
+    let n = ref 0 in
+    let o =
+      Resilience.run ~seed:5 ~site:"s" (fun () ->
+          incr n;
+          if !n < 4 then Error "x" else Ok ())
+    in
+    (o.Resilience.attempts, o.Resilience.backoff_s)
+  in
+  checkb "same seed, same accounting" true (go () = go ())
+
+(* ---- circuit breaker: model-checked state machine ---------------------- *)
+
+(* reference model of the documented protocol *)
+type mstate = MClosed of int | MOpen of int
+
+let model_step ~threshold ~cooldown st outcome =
+  match st with
+  | MClosed k ->
+      if outcome then (true, MClosed 0)
+      else if k + 1 >= threshold then (true, MOpen 0)
+      else (true, MClosed (k + 1))
+  | MOpen r ->
+      if r + 1 >= cooldown then
+        (* this call is the half-open probe *)
+        if outcome then (true, MClosed 0) else (true, MOpen 0)
+      else (false, MOpen (r + 1))
+
+let state_of = function
+  | MClosed _ -> Resilience.Breaker.Closed
+  | MOpen _ -> Resilience.Breaker.Open
+
+let breaker_model =
+  qtest ~count:300 "breaker follows the modelled state machine"
+    Q.Gen.(triple (int_range 1 4) (int_range 1 4) (list_size (int_bound 60) bool))
+    (fun (threshold, cooldown, outcomes) ->
+      let b =
+        Resilience.Breaker.create ~failure_threshold:threshold
+          ~cooldown_calls:cooldown ()
+      in
+      let st = ref (MClosed 0) in
+      List.for_all
+        (fun outcome ->
+          let allowed = Resilience.Breaker.allow b in
+          if allowed then
+            if outcome then Resilience.Breaker.success b
+            else Resilience.Breaker.failure b;
+          let m_allowed, m_next =
+            model_step ~threshold ~cooldown !st outcome
+          in
+          st := m_next;
+          allowed = m_allowed
+          && Resilience.Breaker.state b = state_of !st)
+        outcomes)
+
+let test_breaker_walkthrough () =
+  let b = Resilience.Breaker.create ~failure_threshold:2 ~cooldown_calls:2 () in
+  let open Resilience.Breaker in
+  checkb "starts closed" true (state b = Closed);
+  checkb "allows" true (allow b);
+  failure b;
+  checkb "one failure keeps closed" true (state b = Closed);
+  checkb "allows" true (allow b);
+  failure b;
+  checkb "threshold trips open" true (state b = Open);
+  checkb "refusal 1" false (allow b);
+  checkb "still open" true (state b = Open);
+  checkb "cooldown served: probe allowed" true (allow b);
+  success b;
+  checkb "probe success recloses" true (state b = Closed)
+
+(* ---- parallelism does not change per-call accounting ------------------- *)
+
+let test_jobs_accounting_identical () =
+  (* each work item fails a deterministic number of times before
+     succeeding; its retry accounting must not depend on which domain
+     runs it *)
+  let work i =
+    let n = ref 0 in
+    let o =
+      Resilience.run ~seed:9
+        ~site:(Printf.sprintf "item.%d" i)
+        (fun () ->
+          incr n;
+          if !n <= i mod 3 then Error "transient" else Ok (i * 10))
+    in
+    (o.Resilience.result, o.Resilience.attempts, o.Resilience.backoff_s)
+  in
+  let items = List.init 16 Fun.id in
+  let prev = Par.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Par.set_jobs prev)
+    (fun () ->
+      Par.set_jobs 1;
+      let seq = Par.parallel_map_list work items in
+      Par.set_jobs 4;
+      let par = Par.parallel_map_list work items in
+      checkb "jobs=4 accounting identical to jobs=1" true (seq = par))
+
+let suites =
+  [
+    ("resilience:backoff", backoff_props);
+    ( "resilience:run",
+      [
+        Alcotest.test_case "first try" `Quick test_run_first_try;
+        Alcotest.test_case "recovers after failures" `Quick test_run_recovers;
+        Alcotest.test_case "exhausts attempts" `Quick test_run_exhausts;
+        Alcotest.test_case "budget stops retrying" `Quick
+          test_run_budget_stops_early;
+        Alcotest.test_case "exceptions count as failures" `Quick
+          test_run_catches_exceptions;
+        Alcotest.test_case "crash points re-raised" `Quick
+          test_run_reraises_crash_points;
+        Alcotest.test_case "deterministic accounting" `Quick
+          test_run_deterministic_accounting;
+      ] );
+    ( "resilience:breaker",
+      [
+        breaker_model;
+        Alcotest.test_case "documented walkthrough" `Quick
+          test_breaker_walkthrough;
+      ] );
+    ( "resilience:par",
+      [
+        Alcotest.test_case "jobs>1 keeps retry accounting" `Quick
+          test_jobs_accounting_identical;
+      ] );
+  ]
