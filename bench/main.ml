@@ -1539,6 +1539,293 @@ let avail () =
   note "degrades per-source and recovers what retries and breakers allow"
 
 (* ================================================================== *)
+(* SERVE — concurrent sessions over the wire protocol + group-commit   *)
+(* WAL (docs/SERVING.md); gated in ci.sh                               *)
+(* ================================================================== *)
+
+let serve_bench () =
+  let module Server = Genalg_serve.Server in
+  let module Client = Genalg_serve.Client in
+  let module Proto = Genalg_serve.Protocol in
+  let module Wal = Genalg_storage.Wal in
+  let module Fault = Genalg_fault.Fault in
+  heading "SERVE"
+    "Multi-client serving: concurrent sessions, transactions, group-commit WAL";
+  let n_clients =
+    match Sys.getenv_opt "GENALG_SERVE_CLIENTS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 8)
+    | None -> 8
+  in
+  let ops_per_client =
+    match Sys.getenv_opt "GENALG_SERVE_OPS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 40)
+    | None -> 40
+  in
+  note "%d concurrent client sessions x %d operations each" n_clients
+    ops_per_client;
+  note "mix: 70%% SELECT / 20%% autocommit INSERT / 10%% BEGIN-INSERT-COMMIT";
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "genalg_serve_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let db_path = Filename.concat dir "serve.db" in
+  let socket = Filename.concat dir "serve.sock" in
+  let attach db = Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default in
+  (* the warehouse under test: the F-series synthetic federation *)
+  let pl =
+    Result.get_ok
+      (Pipeline.create
+         ~sources:
+           (let r = rng () in
+            List.init 2 (fun i ->
+                Source.create
+                  ~name:(Printf.sprintf "s%d" i)
+                  Source.Queryable Source.Relational
+                  (Genalg_synth.Recordgen.repository r ~size:150
+                     ~prefix:(Printf.sprintf "S%d" i) ())))
+         ())
+  in
+  ignore (Result.get_ok (Pipeline.bootstrap pl));
+  (match Db.save (Pipeline.database pl) db_path with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let config =
+    { (Server.default_config ~socket_path:socket) with Server.attach } in
+  let server = Result.get_ok (Server.create config ~db_path) in
+  let server_domain =
+    Domain.spawn (fun () -> Server.serve server)
+  in
+  (* wait until the socket answers *)
+  let rec wait_ready n =
+    if n = 0 then failwith "server did not come up"
+    else
+      match Client.connect ~actor:"probe" ~socket () with
+      | Ok c -> Client.close c
+      | Error _ ->
+          Unix.sleepf 0.05;
+          wait_ready (n - 1)
+  in
+  wait_ready 100;
+  (* one client session's workload; returns (latencies, failures) *)
+  let client_workload i () =
+    let actor = Printf.sprintf "u%d" i in
+    match Client.connect ~actor ~socket () with
+    | Error msg -> ([||], [ "connect: " ^ msg ])
+    | Ok c ->
+        let failures = ref [] in
+        let fail msg = failures := msg :: !failures in
+        let expect_applied label = function
+          | Ok (Proto.Rows _ | Proto.Affected _ | Proto.Ok_reply _) -> ()
+          | Ok (Proto.Error_reply { code; message }) ->
+              fail
+                (Printf.sprintf "%s: [%s] %s" label
+                   (Proto.error_code_to_string code)
+                   message)
+          | Ok _ -> fail (label ^ ": unexpected reply")
+          | Error msg -> fail (label ^ ": " ^ msg)
+        in
+        expect_applied "create"
+          (Client.query c "CREATE TABLE notes (k int, tag string)");
+        let lat = Array.make ops_per_client 0. in
+        for j = 0 to ops_per_client - 1 do
+          let t0 = Unix.gettimeofday () in
+          (match j mod 10 with
+          | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+              expect_applied "select"
+                (Client.query c
+                   (Printf.sprintf
+                      "SELECT accession, organism FROM sequences WHERE length \
+                       > %d LIMIT 20"
+                      (400 + (37 * ((i + j) mod 20)))))
+          | 7 | 8 ->
+              expect_applied "insert"
+                (Client.query c
+                   (Printf.sprintf "INSERT INTO notes VALUES (%d, 'auto')" j))
+          | _ -> (
+              match Client.begin_ c with
+              | Error msg -> fail ("begin: " ^ msg)
+              | Ok () ->
+                  expect_applied "txn-insert"
+                    (Client.query c
+                       (Printf.sprintf "INSERT INTO notes VALUES (%d, 'txn')" j));
+                  (match Client.commit c with
+                  | Ok () -> ()
+                  | Error msg -> fail ("commit: " ^ msg))));
+          lat.(j) <- Unix.gettimeofday () -. t0
+        done;
+        Client.close c;
+        (lat, List.rev !failures)
+  in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init n_clients (fun i -> Domain.spawn (client_workload i))
+  in
+  let results = List.map Domain.join workers in
+  let wall = Unix.gettimeofday () -. t0 in
+  let all_lat =
+    Array.concat (List.map fst results)
+  in
+  let failures = List.concat_map snd results in
+  Array.sort Float.compare all_lat;
+  let n_ops = Array.length all_lat in
+  let pct p =
+    if n_ops = 0 then nan
+    else all_lat.(min (n_ops - 1) (int_of_float (p *. float_of_int n_ops)))
+  in
+  let qps = float_of_int n_ops /. wall in
+  print_table
+    [ "sessions"; "ops"; "failed"; "wall"; "QPS"; "p50"; "p99"; "max" ]
+    [
+      [ string_of_int n_clients; string_of_int n_ops;
+        string_of_int (List.length failures); fmt_ms wall;
+        Printf.sprintf "%.0f" qps; fmt_ms (pct 0.50); fmt_ms (pct 0.99);
+        fmt_ms (pct 1.0) ];
+    ];
+  List.iteri
+    (fun i msg -> if i < 5 then note "failure: %s" msg)
+    failures;
+  (* server-side accounting (single process: read the registry after the
+     workers have drained) *)
+  print_newline ();
+  note "server-side serve.* instruments:";
+  List.iter
+    (fun (e : Obs.entry) -> note "  %-32s %d" e.Obs.name e.Obs.count)
+    (Obs.snapshot ~prefix:"serve" ());
+  let commits =
+    List.fold_left
+      (fun acc (e : Obs.entry) ->
+        if e.Obs.name = "serve.group_commit.commits" then e.Obs.count else acc)
+      0
+      (Obs.snapshot ~prefix:"serve" ())
+  and batches =
+    List.fold_left
+      (fun acc (e : Obs.entry) ->
+        if e.Obs.name = "serve.group_commit.batches" then e.Obs.count else acc)
+      0
+      (Obs.snapshot ~prefix:"serve" ())
+  in
+  if batches > 0 then
+    note "group commit: %d commits in %d WAL flushes (%.2f commits/flush)"
+      commits batches
+      (float_of_int commits /. float_of_int (max 1 batches));
+  (* -- phase 2: dirty shutdown, then WAL-replay recovery -------------- *)
+  print_newline ();
+  note "recovery: commit rows, shut down WITHOUT checkpoint, reopen, replay:";
+  let recovery_ok =
+    match Client.connect ~actor:"rec" ~socket () with
+    | Error msg ->
+        note "  recovery client failed: %s" msg;
+        false
+    | Ok c ->
+        let ok1 =
+          Client.query c "CREATE TABLE ledger (k int)" |> Result.is_ok
+        in
+        let committed = ref 0 in
+        for k = 1 to 5 do
+          match
+            Client.query c (Printf.sprintf "INSERT INTO ledger VALUES (%d)" k)
+          with
+          | Ok (Proto.Affected 1) -> incr committed
+          | _ -> ()
+        done;
+        (match Client.shutdown c ~dirty:true with Ok () | Error _ -> ());
+        Client.close c;
+        (match Domain.join server_domain with Ok () | Error _ -> ());
+        ignore ok1;
+        (* the image on disk predates every commit; reopening must
+           replay them all from the WAL *)
+        let config2 =
+          { (Server.default_config ~socket_path:socket) with Server.attach }
+        in
+        let s2 = Result.get_ok (Server.create config2 ~db_path) in
+        let rows =
+          match
+            Exec.query (Server.db s2) ~actor:"rec" "SELECT k FROM ledger"
+          with
+          | Ok (Exec.Rows rs) -> List.length rs.Exec.rows
+          | _ -> -1
+        in
+        Server.stop s2;
+        let d2 = Domain.spawn (fun () -> Server.serve s2) in
+        (match Domain.join d2 with Ok () | Error _ -> ());
+        note "  committed=%d, image rows=0, replayed statements=%d, rows \
+              after reopen=%d"
+          !committed (Server.replayed s2) rows;
+        rows = !committed && Server.replayed s2 > 0
+  in
+  (* -- phase 3: crash matrix at the WAL group-commit crash points ----- *)
+  print_newline ();
+  note "WAL crash matrix: txn A flushed+acked, then crash while flushing txn B;";
+  note "an acknowledged commit must never be lost:";
+  let crash_ok = ref true in
+  List.iter
+    (fun site ->
+      let wal_file = Filename.concat dir ("crash_" ^ Filename.basename site) in
+      (try Sys.remove wal_file with Sys_error _ -> ());
+      let wal = Result.get_ok (Wal.open_ wal_file) in
+      Wal.append_begin wal ~txn:1;
+      Wal.append_stmt wal ~txn:1 ~actor:"u" ~sql:"INSERT INTO t VALUES (1)";
+      Wal.append_commit wal ~txn:1;
+      (match Wal.flush wal with Ok () -> () | Error m -> failwith m);
+      Wal.append_begin wal ~txn:2;
+      Wal.append_stmt wal ~txn:2 ~actor:"u" ~sql:"INSERT INTO t VALUES (2)";
+      Wal.append_commit wal ~txn:2;
+      (match Fault.configure (site ^ ":crash:times=1") with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      let crashed =
+        match Wal.flush wal with
+        | exception Genalg_fault.Fault.Crash_point _ -> true
+        | Ok () | Error _ -> false
+      in
+      Fault.disable ();
+      Wal.close wal;
+      let rp = Result.get_ok (Wal.replay wal_file) in
+      let sqls =
+        List.map (fun (s : Wal.replay_stmt) -> s.Wal.rp_sql) rp.Wal.committed
+      in
+      let txn1_survives = List.mem "INSERT INTO t VALUES (1)" sqls in
+      (* a crash after the fsync (storage.wal.flush) means txn B is
+         durable too; a torn tail (flush_partial) may lose it — it was
+         never acknowledged *)
+      let consistent =
+        txn1_survives
+        && (site <> "storage.wal.flush"
+           || List.mem "INSERT INTO t VALUES (2)" sqls)
+      in
+      note "  %-28s crashed=%b torn=%b committed-replayed=%d ok=%b" site
+        crashed rp.Wal.torn
+        (List.length rp.Wal.committed)
+        consistent;
+      if not (crashed && consistent) then crash_ok := false)
+    Wal.crash_points;
+  (* cleanup *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Obs.set_enabled false;
+  (* machine-checkable markers for ci.sh *)
+  Printf.printf "serve-smoke: sessions=%d zero-failed=%s\n" n_clients
+    (if failures = [] then "yes" else "no");
+  Printf.printf "serve-smoke: p99-reported=%s\n"
+    (if n_ops > 0 && Float.is_finite (pct 0.99) then "yes" else "no");
+  Printf.printf "serve-smoke: wal-recovery=%s\n"
+    (if recovery_ok then "ok" else "fail");
+  Printf.printf "serve-smoke: wal-crash-matrix=%s\n"
+    (if !crash_ok then "ok" else "fail");
+  note "shape: one event loop interleaves N sessions at statement granularity;";
+  note "commits are acknowledged once per group flush, and replay after a";
+  note "dirty stop recovers every acknowledged transaction"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1549,6 +1836,7 @@ let experiments =
     ("PAR", par_bench);
     ("CACHE", cache_bench);
     ("AVAIL", avail);
+    ("SERVE", serve_bench);
     ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);
   ]

@@ -8,7 +8,9 @@
      genalg orfs seqs.fasta             ORF finding over FASTA input
      genalg translate seqs.fasta        six-frame translation
      genalg align A.fasta B.fasta       pairwise alignment
-     genalg xml seqs.fasta              FASTA -> GenAlgXML *)
+     genalg xml seqs.fasta              FASTA -> GenAlgXML
+     genalg serve wh.db                 serve the warehouse over a socket
+     genalg connect --socket S          wire-protocol client/REPL *)
 
 open Cmdliner
 module Seq = Genalg_gdt.Sequence
@@ -244,9 +246,49 @@ let ask_cmd =
 (* ---- stats ------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run path actor jobs fault sql =
+  let run path socket actor jobs fault sql =
     apply_jobs jobs;
     apply_faults fault;
+    (* against a running server: fetch serve.* counters over the wire
+       (the server's stats page), optionally tracing one statement *)
+    match socket with
+    | Some sock -> (
+        let module Client = Genalg_serve.Client in
+        let module Proto = Genalg_serve.Protocol in
+        match Client.connect ~actor ~socket:sock () with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | Ok c ->
+            (match sql with
+            | None -> ()
+            | Some sql -> (
+                match Client.query c sql with
+                | Ok (Proto.Rows { columns; rows }) ->
+                    print_endline (Client.render_rows ~columns rows);
+                    print_newline ()
+                | Ok (Proto.Affected n) -> Printf.printf "(%d rows affected)\n" n
+                | Ok (Proto.Error_reply { code; message }) ->
+                    Printf.eprintf "error [%s]: %s\n"
+                      (Proto.error_code_to_string code) message
+                | Ok _ -> ()
+                | Error msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    exit 1));
+            (match Client.stats c with
+            | Ok text -> print_endline text
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1);
+            Client.close c)
+    | None ->
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "error: a DB path (or --socket) is required\n";
+          exit 2
+    in
     with_db path (fun db ->
         Printf.printf "%-8s %-12s %8s %6s %-24s %s\n" "space" "table" "rows"
           "pages" "indexed" "genomic";
@@ -302,7 +344,16 @@ let stats_cmd =
            table); silent unless a spec fired *)
         print_fault_tallies ())
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"DB") in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Report a running server's counters over the wire instead of \
+             opening a database file")
+  in
   let actor =
     Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
   in
@@ -317,8 +368,9 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Show warehouse table inventory (rows, pages, indexes), optionally \
-          with the metrics of a traced statement")
-    Term.(const run $ path $ actor $ jobs_flag $ fault_flag $ sql)
+          with the metrics of a traced statement; with --socket, report a \
+          running server's serve.* counters over the wire")
+    Term.(const run $ path $ socket $ actor $ jobs_flag $ fault_flag $ sql)
 
 (* ---- repl -------------------------------------------------------------------- *)
 
@@ -390,6 +442,169 @@ let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL/biolang shell over a saved warehouse")
     Term.(const run $ path $ actor $ jobs_flag)
+
+(* ---- serve / connect --------------------------------------------------------- *)
+
+module Server = Genalg_serve.Server
+module Client = Genalg_serve.Client
+module Proto = Genalg_serve.Protocol
+
+let socket_flag ~doc =
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run path socket max_sessions max_rows max_query_s jobs fault =
+    apply_jobs jobs;
+    apply_faults fault;
+    let socket_path = Option.value socket ~default:(path ^ ".sock") in
+    let config =
+      {
+        (Server.default_config ~socket_path) with
+        Server.max_sessions;
+        max_rows;
+        max_query_s;
+        attach = (fun db -> attach db);
+      }
+    in
+    match Server.create config ~db_path:path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok server ->
+        Printf.printf
+          "genalg server: %s\n\
+           socket: %s\n\
+           wal: %s (%d statements replayed)\n\
+           limits: %d sessions, %d rows/query, %.1fs/query\n\
+           connect with: genalg connect --socket %s\n\
+           ^C for clean shutdown (checkpoint + WAL truncate)\n\
+           %!"
+          path socket_path
+          (Genalg_storage.Wal.wal_path path)
+          (Server.replayed server) max_sessions max_rows max_query_s
+          socket_path;
+        let stop_handler _ = Server.stop server in
+        ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop_handler));
+        ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop_handler));
+        (match Server.serve server with
+        | Ok () -> print_endline "server stopped (checkpointed)"
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DB") in
+  let socket =
+    socket_flag ~doc:"Unix-domain socket to listen on (default $(i,DB).sock)"
+  in
+  let max_sessions =
+    Arg.(value & opt int 32 & info [ "max-sessions" ] ~doc:"Concurrent session cap")
+  in
+  let max_rows =
+    Arg.(value & opt int 100_000 & info [ "max-rows" ] ~doc:"Per-query result row cap")
+  in
+  let max_query_s =
+    Arg.(
+      value & opt float 5.0
+      & info [ "max-query-s" ] ~doc:"Per-query wall-clock cap in seconds")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a warehouse over a Unix-domain socket: concurrent sessions, \
+          BEGIN/COMMIT transactions with snapshot reads, group-commit WAL \
+          (see docs/SERVING.md)")
+    Term.(
+      const run $ path $ socket $ max_sessions $ max_rows $ max_query_s
+      $ jobs_flag $ fault_flag)
+
+let print_reply = function
+  | Proto.Rows { columns; rows } ->
+      print_endline (Client.render_rows ~columns rows)
+  | Proto.Affected n -> Printf.printf "(%d rows affected)\n" n
+  | Proto.Ok_reply { info } -> print_endline info
+  | Proto.Error_reply { code; message } ->
+      Printf.printf "error [%s]: %s\n" (Proto.error_code_to_string code) message
+  | Proto.Stats_text text -> print_endline text
+  | Proto.Pong -> print_endline "pong"
+  | Proto.Welcome _ | Proto.Bye -> ()
+
+let connect_cmd =
+  let run socket actor command =
+    let socket =
+      match socket with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "error: --socket is required\n";
+          exit 2
+    in
+    match Client.connect ~actor ~socket () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok c -> (
+        let dispatch line =
+          match String.lowercase_ascii (String.trim line) with
+          | "begin" -> Result.map (fun () -> ()) (Client.begin_ c)
+          | "commit" -> Client.commit c
+          | "rollback" -> Client.rollback c
+          | "\\stats" -> Result.map print_endline (Client.stats c)
+          | "\\shutdown" -> Client.shutdown c ~dirty:false
+          | _ -> (
+              match Client.query c line with
+              | Ok reply ->
+                  print_reply reply;
+                  Ok ()
+              | Error _ as e -> Result.map ignore e)
+        in
+        match command with
+        | Some line -> (
+            (* one-shot: run a single statement and exit *)
+            match dispatch line with
+            | Ok () -> Client.close c
+            | Error msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 1)
+        | None ->
+            Printf.printf
+              "connected to %s as %s (session %d)\n\
+               SQL statements run remotely; BEGIN/COMMIT/ROLLBACK control \
+               the transaction.\n\
+               Commands: \\stats  \\shutdown  \\quit\n\n"
+              socket actor (Client.session_id c);
+            let rec loop () =
+              Printf.printf "%s@%d> %!" actor (Client.session_id c);
+              match In_channel.input_line stdin with
+              | None -> print_newline ()
+              | Some line -> (
+                  match String.lowercase_ascii (String.trim line) with
+                  | "" -> loop ()
+                  | "\\quit" | "\\q" | "exit" | "quit" -> ()
+                  | _ -> (
+                      match dispatch line with
+                      | Ok () -> loop ()
+                      | Error msg ->
+                          Printf.printf "connection error: %s\n" msg))
+            in
+            loop ();
+            Client.close c)
+  in
+  let socket = socket_flag ~doc:"Server socket (from $(b,genalg serve))" in
+  let actor =
+    Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
+  in
+  let command =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c"; "command" ] ~docv:"SQL"
+          ~doc:"Run one statement (or BEGIN/COMMIT/ROLLBACK/\\\\stats) and exit")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Connect to a running genalg server: remote SQL REPL over the \
+             wire protocol")
+    Term.(const run $ socket $ actor $ command)
 
 (* ---- orfs -------------------------------------------------------------------- *)
 
@@ -578,4 +793,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ ops_cmd; demo_cmd; query_cmd; ask_cmd; repl_cmd; stats_cmd;
-            faults_cmd; orfs_cmd; translate_cmd; align_cmd; xml_cmd ]))
+            serve_cmd; connect_cmd; faults_cmd; orfs_cmd; translate_cmd;
+            align_cmd; xml_cmd ]))

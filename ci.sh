@@ -65,4 +65,24 @@ echo "$AVAIL_OUT" | grep -q "avail-smoke: crash-recovery=ok" || {
   exit 1
 }
 
+echo "== smoke: serve layer (SERVE bench: concurrent sessions + WAL recovery) =="
+SERVE_OUT=$(dune exec bench/main.exe -- SERVE)
+echo "$SERVE_OUT"
+echo "$SERVE_OUT" | grep -q "serve-smoke: sessions=8 zero-failed=yes" || {
+  echo "serve smoke FAILED: a query failed under 8 concurrent sessions" >&2
+  exit 1
+}
+echo "$SERVE_OUT" | grep -q "serve-smoke: p99-reported=yes" || {
+  echo "serve smoke FAILED: no p99 latency reported" >&2
+  exit 1
+}
+echo "$SERVE_OUT" | grep -q "serve-smoke: wal-recovery=ok" || {
+  echo "serve smoke FAILED: WAL replay lost an acknowledged commit" >&2
+  exit 1
+}
+echo "$SERVE_OUT" | grep -q "serve-smoke: wal-crash-matrix=ok" || {
+  echo "serve smoke FAILED: a group-commit crash point lost an acked commit" >&2
+  exit 1
+}
+
 echo "== ci ok =="

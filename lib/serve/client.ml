@@ -1,0 +1,121 @@
+module D = Genalg_storage.Dtype
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  session : int;
+  client_actor : string;
+}
+
+let session_id t = t.session
+let actor t = t.client_actor
+
+let roundtrip_fd fd req =
+  match
+    P.write_frame fd (P.encode_request req);
+    P.read_frame fd
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Error _ as e -> e
+  | Ok frame -> P.decode_reply frame
+
+let connect ?(actor = "biologist") ~socket () =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (socket ^ ": " ^ Unix.error_message e)
+  | fd -> (
+      match
+        roundtrip_fd fd (P.Hello { actor; client_version = P.version })
+      with
+      | Ok (P.Welcome { session; _ }) ->
+          Ok { fd; session; client_actor = actor }
+      | Ok (P.Error_reply { code; message }) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "%s: %s" (P.error_code_to_string code) message)
+      | Ok _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error "unexpected reply to HELLO"
+      | Error msg ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error msg)
+
+let roundtrip t req = roundtrip_fd t.fd req
+
+let query t sql = roundtrip t (P.Query { sql })
+
+let expect_ok t req =
+  match roundtrip t req with
+  | Ok (P.Ok_reply _) -> Ok ()
+  | Ok (P.Error_reply { code; message }) ->
+      Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) message)
+  | Ok _ -> Error "unexpected reply"
+  | Error _ as e -> e
+
+let begin_ t = expect_ok t P.Begin
+let commit t = expect_ok t P.Commit
+let rollback t = expect_ok t P.Rollback
+
+let stats t =
+  match roundtrip t P.Stats with
+  | Ok (P.Stats_text text) -> Ok text
+  | Ok (P.Error_reply { code; message }) ->
+      Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) message)
+  | Ok _ -> Error "unexpected reply"
+  | Error _ as e -> e
+
+let ping t =
+  match roundtrip t P.Ping with
+  | Ok P.Pong -> Ok ()
+  | Ok _ -> Error "unexpected reply"
+  | Error _ as e -> e
+
+let shutdown t ~dirty = expect_ok t (P.Shutdown { dirty })
+
+let close t =
+  (try P.write_frame t.fd (P.encode_request P.Goodbye)
+   with Unix.Unix_error _ -> ());
+  (* best-effort: drain the BYE so the server sees an orderly close *)
+  (match P.read_frame t.fd with Ok _ | Error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let render_rows ~columns rows =
+  let cells = List.map (fun row -> Array.map D.value_to_display row) rows in
+  let ncols = List.length columns in
+  let widths = Array.of_list (List.map String.length columns) in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    cells;
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad c widths.(i)))
+    columns;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Array.iteri
+        (fun i cell ->
+          if i > 0 then Buffer.add_string buf "  ";
+          if i < ncols then Buffer.add_string buf (pad cell widths.(i)))
+        row)
+    cells;
+  Printf.bprintf buf "\n(%d rows)" (List.length rows);
+  Buffer.contents buf

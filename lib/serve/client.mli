@@ -1,0 +1,46 @@
+(** Blocking client for the genalg wire protocol ([docs/SERVING.md]).
+
+    One connection is one session. Calls are synchronous
+    request/reply; the bench drives N concurrent sessions by running N
+    clients on N domains. *)
+
+type t
+
+val connect :
+  ?actor:string -> socket:string -> unit -> (t, string) result
+(** Connect to a server's Unix-domain socket and perform the
+    HELLO/WELCOME handshake ([actor] defaults to ["biologist"]). An
+    admission refusal surfaces as [Error]. *)
+
+val session_id : t -> int
+val actor : t -> string
+
+val query : t -> string -> (Protocol.reply, string) result
+(** One extended-SQL statement. [Ok] carries the server's reply —
+    including [Error_reply] (a query-level failure is not a transport
+    failure); [Error] means the connection itself broke. *)
+
+val begin_ : t -> (unit, string) result
+val commit : t -> (unit, string) result
+val rollback : t -> (unit, string) result
+(** Transaction control. [Error] carries the server's refusal
+    (TXN_STATE, CONFLICT) or a transport failure. *)
+
+val stats : t -> (string, string) result
+(** The server's rendered stats page ([serve.*] counters included). *)
+
+val ping : t -> (unit, string) result
+
+val shutdown : t -> dirty:bool -> (unit, string) result
+(** Ask the server to stop. [dirty:true] skips the checkpoint —
+    recovery tests use it to simulate a crash right after commit
+    acknowledgements. *)
+
+val close : t -> unit
+(** Send GOODBYE (best-effort) and close the socket. *)
+
+val render_rows :
+  columns:string list -> Genalg_storage.Dtype.value array list -> string
+(** Client-side ASCII table for [Rows] replies (the client has no
+    database handle, so values render through
+    {!Genalg_storage.Dtype.value_to_display}). *)

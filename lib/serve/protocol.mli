@@ -1,0 +1,104 @@
+(** The genalg wire protocol, version 1 (spec: [docs/SERVING.md]).
+
+    Frames are length-prefixed: [len:u32be | tag:u8 | body], where [len]
+    counts the tag byte plus the body. Bodies are built from
+    [i64le]-length-prefixed strings and [i64le] integers; result-set
+    rows travel in the storage engine's own row encoding
+    ({!Genalg_storage.Dtype.encode_row}), so the client decodes values
+    without a copy of the schema.
+
+    Everything here is pure (message <-> string); the blocking framing
+    helpers at the bottom are the only code that touches a file
+    descriptor. The server reads frames incrementally through
+    {!Framing.feed} instead. *)
+
+module D := Genalg_storage.Dtype
+
+val version : int
+(** Protocol version carried in HELLO/WELCOME; v1. *)
+
+val max_frame : int
+(** Refuse frames longer than this (16 MiB) — a malformed length prefix
+    must not allocate unboundedly. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Hello of { actor : string; client_version : int }
+      (** first message on a connection; answered by [Welcome] or
+          [Error_reply ADMISSION] *)
+  | Query of { sql : string }   (** one extended-SQL statement *)
+  | Begin                       (** open a transaction *)
+  | Commit
+  | Rollback
+  | Stats                       (** server + instrument snapshot, rendered *)
+  | Ping
+  | Goodbye                     (** orderly session close; answered by [Bye] *)
+  | Shutdown of { dirty : bool }
+      (** stop the whole server. [dirty = false] checkpoints (snapshot
+          save + WAL truncate) first; [dirty = true] skips the
+          checkpoint, leaving recovery to WAL replay — tests use it to
+          simulate a crash right after the commit acknowledgement *)
+
+type error_code =
+  | PROTO      (** malformed frame or message out of order *)
+  | ADMISSION  (** server full, or the session's breaker is open *)
+  | QUERY      (** parse or execution failure *)
+  | TXN_STATE  (** BEGIN inside a transaction, COMMIT/ROLLBACK outside *)
+  | CONFLICT   (** first-committer-wins serialization failure *)
+  | LIMIT      (** per-query row or time limit exceeded *)
+  | SHUTDOWN   (** server is stopping *)
+
+type reply =
+  | Welcome of { session : int; server_version : int }
+  | Ok_reply of { info : string }    (** BEGIN/COMMIT/ROLLBACK/DDL ack *)
+  | Rows of { columns : string list; rows : D.value array list }
+  | Affected of int                  (** INSERT/DELETE row count *)
+  | Error_reply of { code : error_code; message : string }
+  | Pong
+  | Stats_text of string
+  | Bye
+
+val error_code_to_string : error_code -> string
+val error_code_of_int : int -> error_code option
+val error_code_to_int : error_code -> int
+
+val request_tag : request -> char
+val reply_tag : reply -> char
+(** The on-wire tag bytes ([H Q B C R S P G X] for requests,
+    [W K T A E O Z Y] for replies); the spec documents each. *)
+
+(** {1 Codecs} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result
+(** Encode/decode one message payload (tag byte + body, no length
+    prefix). [decode_*] errors on unknown tags and truncated bodies. *)
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Prefix with the u32be length and write fully (blocking). Raises
+    [Unix.Unix_error] on a dead peer. *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** Blocking read of exactly one frame (client side). [Error] on EOF,
+    oversized length, or a truncated frame. *)
+
+module Framing : sig
+  (** Incremental decoder for the server's event loop: feed raw bytes
+      as they arrive, pop complete frames. *)
+
+  type t
+
+  val create : unit -> t
+  val feed : t -> bytes -> int -> unit
+  (** [feed t b n] appends the first [n] bytes of [b]. *)
+
+  val next : t -> (string option, string) result
+  (** Pop the next complete frame payload, [Ok None] if more bytes are
+      needed, [Error] once the stream is unrecoverable (oversized
+      frame). *)
+end

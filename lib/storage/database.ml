@@ -483,6 +483,16 @@ let parse_body contents =
       | Corrupt msg -> Error ("Database.load: " ^ msg)
       | Invalid_argument msg -> Error ("Database.load: " ^ msg))
 
+(* Snapshot clone through the serializer: cheap enough at warehouse
+   scale, and it reuses the one codepath that already knows how to copy
+   every table. B-tree indexes are rebuilt; genomic indexes, UDT
+   registrations and ANALYZE statistics are not carried over (same
+   contract as [load] — the serve layer re-attaches its adapter). *)
+let clone t =
+  match parse_body (serialize t) with
+  | Ok t' -> t'
+  | Error msg -> invalid_arg ("Database.clone: " ^ msg)
+
 let load path =
   match
     let (_ : recovery) = recover path in

@@ -62,6 +62,14 @@ val insert :
 (** Permission-checked insert; [Opaque] values are validated against the
     UDT registry. *)
 
+val clone : t -> t
+(** An independent deep copy (fresh {!id}, catalog version 0): every
+    table, row, grant and B-tree index is duplicated through the
+    snapshot serializer; genomic indexes, UDT registrations and ANALYZE
+    statistics are not carried (the {!load} contract) — re-attach the
+    adapter on the copy. Transaction snapshots in the serve layer are
+    made with this. *)
+
 val tables : t -> (space * Table.t) list
 (** Every table, public space first, then user spaces sorted by owner. *)
 

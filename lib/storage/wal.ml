@@ -1,0 +1,227 @@
+module Fault = Genalg_fault.Fault
+module Obs = Genalg_obs.Obs
+
+let c_appends = Obs.counter "storage.wal.appends"
+let c_flushes = Obs.counter "storage.wal.flushes"
+let c_flushed_bytes = Obs.counter "storage.wal.flushed_bytes"
+let c_truncations = Obs.counter "storage.wal.truncations"
+let c_replay_committed = Obs.counter "storage.wal.replay.committed"
+let c_replay_discarded = Obs.counter "storage.wal.replay.discarded"
+
+let magic = "GENALGWL1"
+
+let crash_points = [ "storage.wal.flush_partial"; "storage.wal.flush" ]
+let () = List.iter Fault.register_crash_point crash_points
+
+let wal_path db_path = db_path ^ ".wal"
+
+type t = {
+  wal_file : string;
+  mutable fd : Unix.file_descr;
+  pending : Buffer.t; (* records appended but not yet flushed *)
+}
+
+let path t = t.wal_file
+let pending_bytes t = Buffer.length t.pending
+
+let open_ file =
+  match
+    let exists = Sys.file_exists file in
+    let fd = Unix.openfile file [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    if exists then begin
+      let m = Bytes.create (String.length magic) in
+      let n = Unix.read fd m 0 (Bytes.length m) in
+      if n <> Bytes.length m || Bytes.to_string m <> magic then begin
+        Unix.close fd;
+        failwith (file ^ ": not a genalg WAL (bad magic)")
+      end;
+      ignore (Unix.lseek fd 0 Unix.SEEK_END)
+    end
+    else begin
+      let b = Bytes.of_string magic in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      Unix.fsync fd
+    end;
+    { wal_file = file; fd; pending = Buffer.create 512 }
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (file ^ ": " ^ Unix.error_message e)
+
+(* ---- record encoding ---- *)
+
+let add_record t payload =
+  let buf = t.pending in
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_int64_le buf (Int64.of_int32 (Checksum.string payload));
+  Buffer.add_string buf payload;
+  Obs.add c_appends 1
+
+let payload ~txn kind rest =
+  let b = Buffer.create (16 + String.length rest) in
+  Buffer.add_int64_le b (Int64.of_int txn);
+  Buffer.add_char b kind;
+  Buffer.add_string b rest;
+  Buffer.contents b
+
+let append_begin t ~txn = add_record t (payload ~txn 'B' "")
+let append_commit t ~txn = add_record t (payload ~txn 'C' "")
+
+let append_stmt t ~txn ~actor ~sql =
+  let rest = Buffer.create (9 + String.length actor + String.length sql) in
+  Buffer.add_int64_le rest (Int64.of_int (String.length actor));
+  Buffer.add_string rest actor;
+  Buffer.add_string rest sql;
+  add_record t (payload ~txn 'S' (Buffer.contents rest))
+
+let write_all fd s pos len =
+  let b = Bytes.of_string s in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd b (pos + !written) (len - !written)
+  done
+
+let flush t =
+  if Buffer.length t.pending = 0 then Ok ()
+  else
+    match
+      let image = Buffer.contents t.pending in
+      (* written in two halves around a crash point so fault specs can
+         manufacture a genuinely torn tail *)
+      let mid = String.length image / 2 in
+      write_all t.fd image 0 mid;
+      Fault.crash "storage.wal.flush_partial";
+      write_all t.fd image mid (String.length image - mid);
+      Unix.fsync t.fd;
+      Fault.crash "storage.wal.flush";
+      Buffer.clear t.pending;
+      Obs.add c_flushes 1;
+      Obs.add c_flushed_bytes (String.length image)
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (t.wal_file ^ ": " ^ Unix.error_message e)
+
+let truncate t =
+  match
+    Buffer.clear t.pending;
+    Unix.ftruncate t.fd (String.length magic);
+    ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+    Unix.fsync t.fd;
+    Obs.add c_truncations 1
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (t.wal_file ^ ": " ^ Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* ---- recovery scan ---- *)
+
+type replay_stmt = { rp_txn : int; rp_actor : string; rp_sql : string }
+type replay = { committed : replay_stmt list; discarded : int; torn : bool }
+
+exception Torn
+
+let replay file =
+  if not (Sys.file_exists file) then
+    Ok { committed = []; discarded = 0; torn = false }
+  else
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | contents ->
+        let m = String.length magic in
+        if String.length contents < m || String.sub contents 0 m <> magic then
+          Error (file ^ ": not a genalg WAL (bad magic)")
+        else begin
+          let data = Bytes.of_string contents in
+          let pos = ref m in
+          let torn = ref false in
+          (* per-txn pending statements, in append order; txns emit into
+             [out] when their commit record is reached *)
+          let open_txns : (int, replay_stmt list ref) Hashtbl.t =
+            Hashtbl.create 7
+          in
+          let out = ref [] in
+          let discarded = ref 0 in
+          let need n =
+            if !pos + n > Bytes.length data then raise Torn
+          in
+          let read_i64 () =
+            need 8;
+            let v = Int64.to_int (Bytes.get_int64_le data !pos) in
+            pos := !pos + 8;
+            if v < 0 then raise Torn;
+            v
+          in
+          (try
+             while !pos < Bytes.length data do
+               let start = !pos in
+               let len = read_i64 () in
+               need 8;
+               let crc = Int64.to_int32 (Bytes.get_int64_le data !pos) in
+               pos := !pos + 8;
+               need len;
+               if Checksum.sub data ~pos:!pos ~len <> crc then begin
+                 pos := start;
+                 raise Torn
+               end;
+               (* decode the payload: txn | kind | rest *)
+               let p = !pos in
+               pos := !pos + len;
+               if len < 9 then raise Torn;
+               let txn = Int64.to_int (Bytes.get_int64_le data p) in
+               let kind = Bytes.get data (p + 8) in
+               let rest_pos = p + 9 and rest_len = len - 9 in
+               match kind with
+               | 'B' -> Hashtbl.replace open_txns txn (ref [])
+               | 'S' ->
+                   if rest_len < 8 then raise Torn;
+                   let alen =
+                     Int64.to_int (Bytes.get_int64_le data rest_pos)
+                   in
+                   if alen < 0 || alen > rest_len - 8 then raise Torn;
+                   let actor = Bytes.sub_string data (rest_pos + 8) alen in
+                   let sql =
+                     Bytes.sub_string data
+                       (rest_pos + 8 + alen)
+                       (rest_len - 8 - alen)
+                   in
+                   let stmts =
+                     match Hashtbl.find_opt open_txns txn with
+                     | Some r -> r
+                     | None ->
+                         let r = ref [] in
+                         Hashtbl.replace open_txns txn r;
+                         r
+                   in
+                   stmts :=
+                     { rp_txn = txn; rp_actor = actor; rp_sql = sql } :: !stmts
+               | 'C' ->
+                   (match Hashtbl.find_opt open_txns txn with
+                   | Some stmts ->
+                       (* [!stmts] is newest-first and [out] is kept
+                          newest-first overall, so plain prepend keeps
+                          the final [List.rev] correct within a txn *)
+                       out := !stmts @ !out;
+                       Hashtbl.remove open_txns txn
+                   | None -> () (* commit of an empty txn *))
+               | _ -> raise Torn
+             done
+           with Torn -> torn := true);
+          (* whatever is still open never committed: its records are
+             discarded (an unacknowledged in-flight transaction) *)
+          Hashtbl.iter
+            (fun _ stmts -> discarded := !discarded + List.length !stmts)
+            open_txns;
+          let committed = List.rev !out in
+          Obs.add c_replay_committed (List.length committed);
+          Obs.add c_replay_discarded !discarded;
+          Ok { committed; discarded = !discarded; torn = !torn }
+        end

@@ -1,0 +1,93 @@
+(** Group-commit redo write-ahead log (WAL format v1, magic [GENALGWL1]).
+
+    The intent journal of [Database.save] makes whole-image snapshots
+    crash-safe, but a serving workload cannot rewrite the full image per
+    commit. This log makes commits cheap: a committed transaction appends
+    a few CRC-framed {e logical} records (the statements it ran) and the
+    snapshot image becomes a checkpoint that is only rewritten on
+    shutdown or on demand. Recovery is: load the last snapshot, then
+    replay the log's committed transactions in commit order (the serve
+    layer drives the replay through the SQL executor, which is
+    deterministic, so logical redo is exact).
+
+    Appends are buffered in memory; {!flush} writes and fsyncs the tail
+    once for a whole {e group} of transactions — the serve layer's group
+    commit acknowledges every commit in the batch after the single
+    flush. A crash between appends and the completed flush loses only
+    unacknowledged transactions; {!replay} stops cleanly at a torn tail.
+
+    On-disk layout after the 9-byte magic, per record:
+    [len:i64le | crc32:i64le | payload], with
+    [payload = txn:i64le | kind:u8 | rest]. Kinds: ['B'] begin (empty
+    rest), ['S'] statement ([actor_len:i64le | actor | sql]), ['C']
+    commit (empty rest).
+
+    Instruments: [storage.wal.appends], [storage.wal.flushes],
+    [storage.wal.flushed_bytes], [storage.wal.truncations],
+    [storage.wal.replay.committed], [storage.wal.replay.discarded].
+    Crash points (registered with {!Genalg_fault.Fault}):
+    [storage.wal.flush_partial] (tears the tail mid-write) and
+    [storage.wal.flush] (after write+fsync, before the buffer clears). *)
+
+type t
+
+val wal_path : string -> string
+(** The log file that shadows a snapshot: [<db path>.wal]. *)
+
+val open_ : string -> (t, string) result
+(** Open (creating if missing) the log at this path — the full log path,
+    usually [wal_path db_path]. Validates the magic and seeks to the
+    end; a file whose magic does not match is refused. *)
+
+val path : t -> string
+
+val append_begin : t -> txn:int -> unit
+val append_stmt : t -> txn:int -> actor:string -> sql:string -> unit
+val append_commit : t -> txn:int -> unit
+(** Buffer a record; nothing reaches the file until {!flush}. *)
+
+val pending_bytes : t -> int
+(** Bytes buffered and not yet flushed. *)
+
+val flush : t -> (unit, string) result
+(** Write every buffered record to the file and fsync. One flush
+    acknowledges a whole commit group. Idempotent when nothing is
+    pending (no write, no fsync). *)
+
+val truncate : t -> (unit, string) result
+(** Checkpoint: discard every record (the snapshot image now covers
+    them), leaving just the magic. Pending unflushed records are
+    dropped too — checkpoint after a successful [Database.save]. *)
+
+val close : t -> unit
+(** Close the file descriptor. Pending records are NOT flushed. *)
+
+(** {1 Recovery} *)
+
+type replay_stmt = {
+  rp_txn : int;
+  rp_actor : string;
+  rp_sql : string;
+}
+
+type replay = {
+  committed : replay_stmt list;
+      (** statements of committed transactions, in commit order, each
+          transaction's statements in append order *)
+  discarded : int;
+      (** records belonging to transactions with no commit record
+          (in-flight at the crash) *)
+  torn : bool;
+      (** the scan hit a truncated or CRC-mismatched tail and stopped *)
+}
+
+val replay : string -> (replay, string) result
+(** Scan the log at this path. A missing file replays as empty; a torn
+    tail ends the scan cleanly (records before it are honoured). Only
+    transactions whose commit record survived are returned — an
+    acknowledged commit is by construction flushed, so it is never
+    lost. *)
+
+val crash_points : string list
+(** The fault-injection crash points inside {!flush}, in protocol
+    order. *)
