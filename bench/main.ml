@@ -1826,6 +1826,153 @@ let serve_bench () =
   note "dirty stop recovers every acknowledged transaction"
 
 (* ================================================================== *)
+(* OPT — cost-based optimizer vs the heuristic planner                 *)
+(* ================================================================== *)
+
+let opt_bench () =
+  let module Plan = Genalg_sqlx.Plan in
+  let module Cost = Genalg_sqlx.Cost in
+  heading "OPT" "Cost-based optimizer: chosen access paths and index-vs-scan crossover";
+  note "each query planned by the heuristic and by the cost-based planner (ANALYZE stats);";
+  note "the gate: cost-based never loses beyond noise and never changes result sets";
+  let ok = function Ok v -> v | Error m -> failwith m in
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let actor = "bench" in
+  let run sql = ignore (ok (Exec.query db ~actor sql)) in
+  (* F1-style warehouse table with a B-tree on the key *)
+  run "CREATE TABLE frag (id int, organism string, len int)";
+  let _, tbl = Option.get (Db.resolve db ~actor "frag") in
+  for i = 1 to 4000 do
+    ignore
+      (Genalg_storage.Table.insert_exn tbl
+         [| D.Int i;
+            D.Str (if i mod 2 = 0 then "ecoli" else "yeast");
+            D.Int (i * 37 mod 2000) |])
+  done;
+  run "CREATE INDEX ON frag (id)";
+  (* genomic table: planted motif in every 10th sequence, k-mer index *)
+  let r = rng () in
+  let pattern = "ACGTTGCAGGATCCATTACGGATCAGGTCA" in
+  run "CREATE TABLE frags (id int, seq dna)";
+  for i = 1 to 600 do
+    let s = Genalg_synth.Seqgen.dna_string r 250 in
+    let s = if i mod 10 = 0 then pattern ^ s else s in
+    run (Printf.sprintf "INSERT INTO frags VALUES (%d, dna('%s'))" i s)
+  done;
+  run "CREATE GENOMIC INDEX ON frags (seq)";
+  (* asymmetric join pair for the reordering rule *)
+  run "CREATE TABLE big (k int, v int)";
+  run "CREATE TABLE small (k int, w int)";
+  let _, btbl = Option.get (Db.resolve db ~actor "big") in
+  for i = 1 to 3000 do
+    ignore (Genalg_storage.Table.insert_exn btbl [| D.Int (i mod 80); D.Int i |])
+  done;
+  for i = 1 to 12 do
+    run (Printf.sprintf "INSERT INTO small VALUES (%d, %d)" i i)
+  done;
+  List.iter (fun t -> run ("ANALYZE " ^ t)) [ "frag"; "frags"; "big"; "small" ];
+  let sorted sql =
+    match ok (Exec.query db ~actor sql) with
+    | Exec.Rows rs -> List.sort compare (List.map Array.to_list rs.Exec.rows)
+    | _ -> []
+  in
+  let explain sql =
+    match ok (Exec.query db ~actor ("EXPLAIN " ^ sql)) with
+    | Exec.Rows rs ->
+        String.concat " | "
+          (List.map (function [| D.Str s |] -> s | _ -> "") rs.Exec.rows)
+    | _ -> ""
+  in
+  let has needle hay =
+    let n = String.length needle and l = String.length hay in
+    let rec mem i = i + n <= l && (String.sub hay i n = needle || mem (i + 1)) in
+    mem 0
+  in
+  let with_mode m f =
+    Exec.set_planner_mode m;
+    Fun.protect ~finally:(fun () -> Exec.set_planner_mode Plan.Cost_based) f
+  in
+  (* median of cold runs: the caches are cleared inside the measured
+     thunk (same tiny overhead for both planners), so every run pays
+     parse + plan + execute under the selected planner *)
+  let best_time mode sql =
+    with_mode mode (fun () ->
+        measure (fun () ->
+            Exec.clear_statement_caches ();
+            ignore (ok (Exec.query db ~actor sql))))
+  in
+  let access_of plan =
+    if has "genomic seed" plan then "genomic seed (k-mer candidates)"
+    else if has "genomic index" plan then "genomic index (contains)"
+    else if has "via index" plan then "B-tree index"
+    else "full scan"
+  in
+  let workloads =
+    [
+      ("F1 range+filter", "SELECT organism FROM frag WHERE id < 200 AND len >= 500");
+      ("point lookup", "SELECT len FROM frag WHERE id = 1234");
+      ( "genomic contains",
+        Printf.sprintf "SELECT id FROM frags WHERE contains(seq, '%s')" pattern );
+      ( "genomic resembles",
+        Printf.sprintf
+          "SELECT id FROM frags WHERE resembles(seq, dna('%s')) >= 0.9" pattern );
+      ("join reorder", "SELECT count(*) FROM big, small WHERE big.k = small.k");
+    ]
+  in
+  let never_lost = ref true and identical = ref true in
+  let rows =
+    List.map
+      (fun (label, sql) ->
+        let rows_h = with_mode Plan.Heuristic (fun () -> sorted sql) in
+        let t_h = best_time Plan.Heuristic sql in
+        let t_c = best_time Plan.Cost_based sql in
+        let rows_c = sorted sql in
+        let plan_c = explain sql in
+        if rows_h <> rows_c then identical := false;
+        (* noise floor: 1.5x plus an absolute millisecond allowance *)
+        if t_c > (t_h *. 1.5) +. 0.002 then never_lost := false;
+        [ label; fmt_ms t_h; fmt_ms t_c;
+          Printf.sprintf "%.1fx" (t_h /. Float.max t_c 1e-9);
+          access_of plan_c ])
+      workloads
+  in
+  print_table
+    [ "workload"; "heuristic"; "cost-based"; "speedup"; "cost-based access" ]
+    rows;
+  print_newline ();
+  note "resembles threshold crossover (pattern %d chars, k=8): the seed path is" (String.length pattern);
+  note "only index-safe above t = 1 - 3/(2k); below it the planner must keep scanning";
+  let crossover =
+    List.map
+      (fun t ->
+        let sql =
+          Printf.sprintf
+            "SELECT id FROM frags WHERE resembles(seq, dna('%s')) >= %.2f" pattern t
+        in
+        let min_len =
+          match Cost.resembles_min_len ~k:8 ~threshold:t with
+          | Some m -> string_of_int m
+          | None -> "-"
+        in
+        [ Printf.sprintf "%.2f" t; min_len; access_of (explain sql);
+          fmt_ms (best_time Plan.Cost_based sql) ])
+      [ 0.80; 0.85; 0.92 ]
+  in
+  print_table [ "threshold"; "safe min len"; "chosen access"; "cost-based" ] crossover;
+  let plan_resembles =
+    explain
+      (Printf.sprintf "SELECT id FROM frags WHERE resembles(seq, dna('%s')) >= 0.9"
+         pattern)
+  in
+  (* machine-checkable markers for ci.sh's optimizer smoke step *)
+  Printf.printf "opt-smoke: never-loses=%s\n" (if !never_lost then "yes" else "no");
+  Printf.printf "opt-smoke: results-identical=%s\n" (if !identical then "yes" else "no");
+  Printf.printf "opt-smoke: plans-differ=%s\n"
+    (if has "genomic seed" plan_resembles then "yes" else "no");
+  note "shape: genomic paths should win by 10x+; relational paths stay within noise"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1834,6 +1981,7 @@ let experiments =
     ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("ABLATE", ablations);
     ("PAR", par_bench);
+    ("OPT", opt_bench);
     ("CACHE", cache_bench);
     ("AVAIL", avail);
     ("SERVE", serve_bench);

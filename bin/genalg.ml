@@ -197,7 +197,19 @@ let query_cmd =
     with_db path (fun db ->
         with_obs ~trace ~stats (fun () ->
             match Exec.query db ~actor sql with
-            | Ok outcome -> print_outcome db outcome
+            | Ok outcome ->
+                print_outcome db outcome;
+                (* persist mutations (INSERT/DELETE/DDL/ANALYZE) so a
+                   one-shot write survives into the next invocation;
+                   read-only statements leave the image untouched *)
+                (match outcome with
+                | Exec.Rows _ -> ()
+                | Exec.Affected _ | Exec.Executed -> (
+                    match Db.save db path with
+                    | Ok () -> ()
+                    | Error msg ->
+                        Printf.eprintf "error: could not save %s: %s\n" path msg;
+                        exit 1))
             | Error msg ->
                 Printf.eprintf "error: %s\n" msg;
                 exit 1))
@@ -309,6 +321,36 @@ let stats_cmd =
               (String.concat "," (Table.indexed_columns t))
               (String.concat "," genomic_cols))
           (Db.tables db);
+        (* ANALYZE statistics catalog: what the cost-based planner sees *)
+        let analyzed =
+          List.filter
+            (fun (_, t) -> Genalg_storage.Table.has_stats t)
+            (Db.tables db)
+        in
+        if analyzed <> [] then begin
+          let module Table = Genalg_storage.Table in
+          let module Dtype = Genalg_storage.Dtype in
+          print_newline ();
+          Printf.printf "%-12s %-12s %8s %8s %6s %8s %-12s %-12s\n" "table"
+            "column" "rows" "ndv" "nulls" "buckets" "min" "max";
+          List.iter
+            (fun (_, t) ->
+              List.iter
+                (fun (col, (s : Table.column_stats)) ->
+                  let disp = function
+                    | None -> "-"
+                    | Some v -> Dtype.value_to_display v
+                  in
+                  Printf.printf "%-12s %-12s %8d %8d %6d %8d %-12s %-12s\n"
+                    (Table.name t) col s.Table.rows s.Table.distinct
+                    s.Table.nulls
+                    (match s.Table.histogram with
+                    | Some h -> Array.length h.Table.bounds
+                    | None -> 0)
+                    (disp s.Table.min_value) (disp s.Table.max_value))
+                (Table.stats_snapshot t))
+            analyzed
+        end;
         (match sql with
         | None -> ()
         | Some sql -> (

@@ -45,6 +45,22 @@ echo "$PAR_OUT" | grep -q "par-smoke: jobs-results-identical=yes" || {
   exit 1
 }
 
+echo "== smoke: cost-based optimizer (OPT bench: never loses, plans differ) =="
+OPT_OUT=$(dune exec bench/main.exe -- OPT)
+echo "$OPT_OUT"
+echo "$OPT_OUT" | grep -q "opt-smoke: never-loses=yes" || {
+  echo "optimizer smoke FAILED: cost-based planner lost to the heuristic beyond noise" >&2
+  exit 1
+}
+echo "$OPT_OUT" | grep -q "opt-smoke: results-identical=yes" || {
+  echo "optimizer smoke FAILED: cost-based planner changed a result set" >&2
+  exit 1
+}
+echo "$OPT_OUT" | grep -q "opt-smoke: plans-differ=yes" || {
+  echo "optimizer smoke FAILED: statistics never changed a chosen access path" >&2
+  exit 1
+}
+
 echo "== smoke: availability under faults (AVAIL bench + crash matrix) =="
 AVAIL_OUT=$(dune exec bench/main.exe -- AVAIL)
 echo "$AVAIL_OUT"

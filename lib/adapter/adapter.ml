@@ -221,4 +221,9 @@ let attach db sg =
       match udf_of_operator sg op with
       | Some udf -> ignore (St.Udt.register_function registry udf)
       | None -> ())
-    (Core.Signature.operators sg)
+    (Core.Signature.operators sg);
+  (* genomic index specs restored from an image wait for exactly this
+     moment: the registry now knows the UDTs, so backfill them *)
+  List.iter
+    (fun (_, table) -> St.Table.rebuild_genomic_indexes table ~registry)
+    (St.Database.tables db)

@@ -1,0 +1,103 @@
+(** The planner's cost model.
+
+    Costs are abstract units where [1.0] is roughly one row visited by
+    a sequential scan; only relative magnitudes matter because every
+    candidate access path for a table is costed with the same
+    constants and the cheapest wins. *)
+
+(** {1 Unit costs} *)
+
+val seq_row : float
+val fetch_row : float
+val btree_probe : float
+val kmer_lookup : float
+val hash_build_row : float
+val hash_probe_row : float
+val nested_probe_row : float
+
+(** {1 Filter chains} *)
+
+val chain_cost : (float * float) list -> float
+(** Expected per-row cost of a short-circuiting filter chain given
+    [(cost, selectivity)] pairs in evaluation order. *)
+
+val chain_selectivity : (float * float) list -> float
+(** Product of the chain's selectivities. *)
+
+(** {1 Access paths} *)
+
+type access_est = {
+  est_rows : float;  (** rows the access plus residual filters produce *)
+  est_cost : float;  (** total cost of producing them *)
+}
+
+val full_scan : rows:float -> filters:(float * float) list -> access_est
+
+val index_eq :
+  rows:float -> eq_sel:float -> filters:(float * float) list -> access_est
+(** B-tree point lookup delivering [rows *. eq_sel] candidates. *)
+
+val index_range :
+  rows:float -> range_sel:float -> filters:(float * float) list -> access_est
+(** B-tree range scan delivering [rows *. range_sel] candidates. *)
+
+val kmer_hit_fraction : k:int -> mean_len:float -> float
+(** Expected fraction of indexed rows whose text contains one specific
+    k-mer, for texts of [mean_len] characters over a 4-letter
+    alphabet. *)
+
+val genomic_contains :
+  rows:float ->
+  k:int ->
+  mean_len:float ->
+  pattern_len:int ->
+  verify_cost:float ->
+  filters:(float * float) list ->
+  access_est
+(** k-mer posting-list access for [contains(col, pattern)]: one lookup
+    plus exact verification of each candidate. *)
+
+val genomic_seed :
+  rows:float ->
+  k:int ->
+  mean_len:float ->
+  pattern_len:int ->
+  filters:(float * float) list ->
+  access_est
+(** Seed-and-verify access for [resembles(col, pattern) >= t]: the
+    union of every pattern k-mer's postings. The real [resembles]
+    predicate runs as a residual filter, so [filters] must include
+    it. *)
+
+val resembles_min_len : k:int -> threshold:float -> int option
+(** Minimum sequence length [m*] such that any pair of sequences both
+    at least [m*] long with [resembles >= threshold] (under
+    [Scoring.dna_default]) must share an exact run of [k] characters,
+    i.e. a k-mer seed lookup cannot miss them. [None] when the
+    threshold is too low for the bound to hold
+    ([threshold <= 1 - 3/(2k)]); rows shorter than [m*] must remain
+    unconditional candidates. *)
+
+(** {1 Join ordering} *)
+
+type rel = {
+  r_alias : string;  (** lowercased alias *)
+  r_rows : float;  (** estimated rows after local filters *)
+}
+
+type edge = {
+  e_a : string;
+  e_b : string;
+  e_sel : float;  (** selectivity of the join predicate linking them *)
+}
+
+val step_cost : left:float -> right:float -> float
+(** Cost of joining intermediates of the given cardinalities (cheaper
+    of hash build/probe and nested loop). *)
+
+val greedy_order : rel list -> edge list -> string list
+(** Greedy join order: start at the smallest relation, repeatedly pick
+    the relation minimizing the next intermediate cardinality,
+    preferring connected relations over cartesian products.
+    Deterministic — ties resolve to the earliest relation in input
+    order. *)

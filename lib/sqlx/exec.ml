@@ -227,6 +227,16 @@ let scan_table db ~actor (tp : Plan.table_plan) =
                 let acc = ref [] in
                 Table.scan table (fun _ row -> acc := row :: !acc);
                 List.rev !acc)
+        | Plan.Genomic_seed { column; pattern; min_len; _ } -> (
+            (* candidate superset only: the resembles conjunct is still in
+               tp.filters, so falling back to a full scan — or candidates
+               that over-approximate — never changes results *)
+            match Table.genomic_seed table ~column ~pattern ~min_len with
+            | `Hits rids -> from_rids rids
+            | `No_index | `Unsupported_pattern ->
+                let acc = ref [] in
+                Table.scan table (fun _ row -> acc := row :: !acc);
+                List.rev !acc)
         | Plan.Index_eq { column; key } -> (
             match Table.index_lookup table ~column key with
             | Some rids -> from_rids rids
@@ -379,8 +389,10 @@ type query_key = {
 type plan_entry = {
   pe_plan : Plan.t;
   pe_catalog : int;
-  pe_deps : (string * int option) list;
-      (* FROM table -> schema_version at build; None = unresolvable *)
+  pe_deps : (string * (int * int) option) list;
+      (* FROM table -> (schema_version, stats_version) at build; None =
+         unresolvable. The stats version makes re-ANALYZE drop the plan
+         even if schema versioning ever stops covering it. *)
 }
 
 type result_entry = {
@@ -443,14 +455,20 @@ let dep_table db ~actor name =
 let plan_deps db ~actor (select : Ast.select) =
   List.map
     (fun (table, _alias) ->
-      (table, Option.map Table.schema_version (dep_table db ~actor table)))
+      ( table,
+        Option.map
+          (fun t -> (Table.schema_version t, Table.stats_version t))
+          (dep_table db ~actor table) ))
     select.Ast.from
 
 let plan_fresh db ~actor e =
   e.pe_catalog = Db.catalog_version db
   && List.for_all
        (fun (table, v) ->
-         Option.map Table.schema_version (dep_table db ~actor table) = v)
+         Option.map
+           (fun t -> (Table.schema_version t, Table.stats_version t))
+           (dep_table db ~actor table)
+         = v)
        e.pe_deps
 
 let result_deps db ~actor (select : Ast.select) =
@@ -512,12 +530,51 @@ let catalog_of db ~actor =
           | None -> None);
   }
 
+(* live ANALYZE statistics for the cost-based planner *)
+let stats_provider_of db ~actor =
+  let resolve table f d =
+    match Db.resolve db ~actor table with Some (_, t) -> f t | None -> d
+  in
+  {
+    Plan.analyzed = (fun ~table -> resolve table Table.has_stats false);
+    row_count = (fun ~table -> resolve table Table.row_count 0);
+    stats_of =
+      (fun ~table ~column ->
+        resolve table (fun t -> Table.column_stats t ~column) None);
+    genomic_k_of =
+      (fun ~table ~column ->
+        resolve table (fun t -> Table.genomic_k t ~column) None);
+    genomic_mean_len_of =
+      (fun ~table ~column ->
+        resolve table (fun t -> Table.genomic_mean_len t ~column) None);
+    is_dna =
+      (fun ~table ~column ->
+        resolve table
+          (fun t ->
+            let schema = Table.schema t in
+            match Schema.column_index schema column with
+            | Some i -> (Schema.column schema i).Schema.dtype = D.TOpaque "dna"
+            | None -> false)
+          false);
+  }
+
+(* flipping the planner invalidates cached plans and derived results
+   (the cache key does not include the mode) *)
+let set_planner_mode m =
+  Plan.set_mode m;
+  clear_statement_caches ()
+
 let cached_plan db ~actor ~optimize select =
   let key = query_key db ~actor ~optimize select in
   match Lru.find_validated !plan_cache key ~validate:(plan_fresh db ~actor) with
   | Some e -> e.pe_plan
   | None ->
-      let plan = Plan.make ~optimize (catalog_of db ~actor) select in
+      let stats =
+        match Plan.mode () with
+        | Plan.Cost_based -> Some (stats_provider_of db ~actor)
+        | Plan.Heuristic -> None
+      in
+      let plan = Plan.make ~optimize ?stats (catalog_of db ~actor) select in
       Lru.put !plan_cache key
         { pe_plan = plan; pe_catalog = Db.catalog_version db;
           pe_deps = plan_deps db ~actor select };
@@ -527,9 +584,13 @@ let cached_plan db ~actor ~optimize select =
 type op_profile = {
   op : string;
   actual_rows : int;
+  est_rows : int option;
+      (* planner's cardinality estimate, when the plan carried one *)
   elapsed_s : float;
   children : op_profile list;
 }
+
+let est_of = Option.map (fun e -> int_of_float (Float.round e))
 
 (* wrap the scan/join/group base in Sort, Limit and Select nodes; stage
    times are measured from [t_query0] so every node is inclusive *)
@@ -547,6 +608,7 @@ let assemble_profile ~(select : Ast.select) ~join_prof ~group_prof ~t_query0
                     Ast.expr_to_string key ^ if ascending then "" else " DESC")
                   select.Ast.order_by));
         actual_rows = n_sorted;
+        est_rows = None;
         elapsed_s = t_after_sort -. t_query0;
         children = [ base ] }
   in
@@ -555,10 +617,11 @@ let assemble_profile ~(select : Ast.select) ~join_prof ~group_prof ~t_query0
     | None -> base
     | Some n ->
         { op = Printf.sprintf "Limit %d" n; actual_rows = n_limited;
-          elapsed_s = t_after_limit -. t_query0; children = [ base ] }
+          est_rows = None; elapsed_s = t_after_limit -. t_query0;
+          children = [ base ] }
   in
-  { op = "Select"; actual_rows = n_out; elapsed_s = Obs.now_s () -. t_query0;
-    children = [ base ] }
+  { op = "Select"; actual_rows = n_out; est_rows = None;
+    elapsed_s = Obs.now_s () -. t_query0; children = [ base ] }
 
 let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
   Obs.add c_queries 1;
@@ -587,6 +650,7 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
         in
         scan_profs :=
           { op = label; actual_rows = List.length rows;
+            est_rows = est_of tp.Plan.est_rows;
             elapsed_s = Obs.now_s () -. t0; children = [] }
           :: !scan_profs
     | Error _ -> ());
@@ -652,9 +716,27 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
                 else ""
               in
               { op; actual_rows = List.length out;
+                est_rows = est_of plan.Plan.est_out;
                 elapsed_s = Obs.now_s () -. t_query0; children = scans }
         in
         Ok (out, prof)
+  in
+  (* cost-based join reordering permutes execution order; bindings are
+     restored to the written FROM order here so projection output
+     (column order of SELECT *, column names) is plan-invariant *)
+  let joined =
+    let planned = List.map (fun (tp : Plan.table_plan) -> tp.Plan.alias) plan.Plan.tables in
+    if planned = plan.Plan.output_order then joined
+    else
+      List.map
+        (fun bindings ->
+          List.filter_map
+            (fun a ->
+              List.find_opt
+                (fun b -> String.lowercase_ascii b.alias = String.lowercase_ascii a)
+                bindings)
+            plan.Plan.output_order)
+        joined
   in
   (* projection setup *)
   let needs_grouping =
@@ -689,8 +771,17 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
           let columns =
             match joined with
             | [] -> (
-                (* derive names from the plan's tables *)
-                match plan.Plan.tables with
+                (* derive names from the plan's tables, in FROM order *)
+                match
+                  List.filter_map
+                    (fun a ->
+                      List.find_opt
+                        (fun (tp : Plan.table_plan) ->
+                          String.lowercase_ascii tp.Plan.alias
+                          = String.lowercase_ascii a)
+                        plan.Plan.tables)
+                    plan.Plan.output_order
+                with
                 | [] -> []
                 | tps ->
                     let multi = List.length tps > 1 in
@@ -896,7 +987,7 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
         | None -> ""
         | Some h -> Printf.sprintf " having [%s]" (Ast.expr_to_string h)
       in
-      { op; actual_rows = List.length out_rows;
+      { op; actual_rows = List.length out_rows; est_rows = None;
         elapsed_s = t_after_group -. t_query0; children = [ join_prof ] }
     in
     let sorted =
@@ -947,7 +1038,10 @@ let render_profile prof =
   let lines = ref [] in
   let rec go prefix child_prefix node =
     lines :=
-      Printf.sprintf "%s%s  (rows=%d, time=%s)" prefix node.op node.actual_rows
+      Printf.sprintf "%s%s  (rows=%d%s, time=%s)" prefix node.op node.actual_rows
+        (match node.est_rows with
+        | Some e -> Printf.sprintf ", est~%d" e
+        | None -> "")
         (fmt_t node.elapsed_s)
       :: !lines;
     let n = List.length node.children in

@@ -28,6 +28,9 @@ type outcome =
 type op_profile = {
   op : string;            (** operator label, e.g. ["Scan genes via full scan"] *)
   actual_rows : int;      (** rows the operator produced *)
+  est_rows : int option;
+      (** the cost-based planner's cardinality estimate for this
+          operator; [None] on heuristic plans and shaping operators *)
   elapsed_s : float;      (** wall-clock seconds, inclusive of children *)
   children : op_profile list;
 }
@@ -49,7 +52,8 @@ val run_select_profiled :
 
 val render_profile : op_profile -> string list
 (** Render a profile tree as indented lines,
-    ["Select  (rows=3, time=1.204 ms)"] style. *)
+    ["Select  (rows=3, time=1.204 ms)"] style; operators with a planner
+    estimate render ["(rows=3, est~5, time=1.204 ms)"]. *)
 
 val explain :
   ?optimize:bool ->
@@ -103,6 +107,13 @@ val set_hash_join_enabled : bool -> unit
     drops cached plans and results so the toggle takes effect
     immediately. Disabling forces the nested-loop baseline — used by the
     PAR bench and the hash ≡ nested-loop equivalence tests. *)
+
+val set_planner_mode : Plan.mode -> unit
+(** Select the planner: [Cost_based] (default) consults ANALYZE
+    statistics where they exist; [Heuristic] always uses the static
+    model. Also drops cached plans and results so the toggle takes
+    effect immediately — used by the OPT bench and the plan-equivalence
+    tests. *)
 
 val set_plan_cache_entries : int -> unit
 (** Replace the plan cache with an empty one of the given capacity. *)

@@ -1,4 +1,12 @@
 module D = Genalg_storage.Dtype
+module T = Genalg_storage.Table
+module Obs = Genalg_obs.Obs
+
+let c_cost_based = Obs.counter "sqlx.opt.cost_based_tables"
+let c_index_paths = Obs.counter "sqlx.opt.index_paths"
+let c_contains_paths = Obs.counter "sqlx.opt.genomic_contains_paths"
+let c_seed_paths = Obs.counter "sqlx.opt.genomic_seed_paths"
+let c_reordered = Obs.counter "sqlx.opt.reordered_joins"
 
 type access =
   | Full_scan
@@ -11,12 +19,19 @@ type access =
       hi_inclusive : bool;
     }
   | Genomic_contains of { column : string; pattern : string }
+  | Genomic_seed of {
+      column : string;
+      pattern : string;  (* uppercased, pure ACGT *)
+      min_len : int;
+      threshold : float;
+    }
 
 type table_plan = {
   table : string;
   alias : string;
   access : access;
   filters : Ast.expr list;
+  est_rows : float option;
 }
 
 type join_strategy =
@@ -27,6 +42,7 @@ type join_step = {
   step_alias : string;
   strategy : join_strategy;
   step_filters : Ast.expr list;
+  step_est : float option;
 }
 
 type t = {
@@ -34,6 +50,29 @@ type t = {
   join_filters : Ast.expr list;
   joins : join_step list;
   tail_filters : Ast.expr list;
+  est_out : float option;
+  output_order : string list;
+}
+
+(* Planner mode: [Cost_based] uses the ANALYZE statistics catalog when
+   the executor supplies one (and a table has been analyzed);
+   [Heuristic] always uses the static constants below. Flip it through
+   [Exec.set_planner_mode], which also drops cached plans. *)
+type mode = Heuristic | Cost_based
+
+let mode_ref = ref Cost_based
+let set_mode m = mode_ref := m
+let mode () = !mode_ref
+
+(* Statistics the cost-based planner pulls per table; supplied by the
+   executor from live [Table.t] handles so plans see current stats. *)
+type stats_provider = {
+  analyzed : table:string -> bool;
+  row_count : table:string -> int;
+  stats_of : table:string -> column:string -> T.column_stats option;
+  genomic_k_of : table:string -> column:string -> int option;
+  genomic_mean_len_of : table:string -> column:string -> float option;
+  is_dna : table:string -> column:string -> bool;
 }
 
 (* Global switch so benches/tests can force the nested-loop baseline.
@@ -212,6 +251,201 @@ let genomic_access catalog ~table ~alias expr =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Cost-based access selection (tentpole of the optimizer work): for an
+   ANALYZEd table, every candidate access path — full scan, each usable
+   B-tree conjunct, the k-mer contains path, the resembles seed path —
+   is costed with the [Cost] model over [Stats] selectivities and the
+   cheapest wins. Unanalyzed tables keep the heuristic rules above, so
+   plans only change where measured statistics exist.                  *)
+
+let pure_acgt s =
+  s <> ""
+  && String.for_all (function 'A' | 'C' | 'G' | 'T' -> true | _ -> false) s
+
+let col_of_expr ~alias = function
+  | Ast.Col (Some q, c) when String.lowercase_ascii q = String.lowercase_ascii alias
+    -> Some c
+  | Ast.Col (None, c) -> Some c
+  | _ -> None
+
+(* Selectivity of a single-table conjunct refined by the ANALYZE
+   catalog: equality and comparison predicates against literals use the
+   measured NDV / histogram; everything else keeps the static model. *)
+let rec stat_selectivity stats ~table ~alias expr =
+  let column c = stats.stats_of ~table ~column:c in
+  let via_stats col_e f =
+    match Option.bind (col_of_expr ~alias col_e) column with
+    | Some cs -> ( match f cs with Some s -> Some s | None -> None)
+    | None -> None
+  in
+  let fallback () = predicate_selectivity expr in
+  let cmp op col_e v =
+    via_stats col_e (fun cs -> Stats.cmp_selectivity cs ~op v)
+  in
+  let tag = function
+    | Ast.Lt -> `Lt | Ast.Le -> `Le | Ast.Gt -> `Gt | Ast.Ge -> `Ge
+    | _ -> assert false
+  in
+  let flip = function `Lt -> `Gt | `Le -> `Ge | `Gt -> `Lt | `Ge -> `Le in
+  let r =
+    match expr with
+    | Ast.Binop (Ast.Eq, col_e, Ast.Lit _) | Ast.Binop (Ast.Eq, Ast.Lit _, col_e)
+      ->
+        via_stats col_e Stats.eq_selectivity
+    | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), col_e, Ast.Lit v)
+      ->
+        cmp (tag op) col_e v
+    | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), Ast.Lit v, col_e)
+      ->
+        cmp (flip (tag op)) col_e v
+    | Ast.Binop (Ast.And, a, b) ->
+        Some
+          (stat_selectivity stats ~table ~alias a
+          *. stat_selectivity stats ~table ~alias b)
+    | Ast.Binop (Ast.Or, a, b) ->
+        let sa = stat_selectivity stats ~table ~alias a in
+        let sb = stat_selectivity stats ~table ~alias b in
+        Some (clamp 0. 1. (sa +. sb -. (sa *. sb)))
+    | Ast.Not e ->
+        Some (clamp 0.001 1. (1. -. stat_selectivity stats ~table ~alias e))
+    | _ -> None
+  in
+  match r with Some s -> clamp 1e-6 1. s | None -> fallback ()
+
+let rank_stats stats ~table ~alias e =
+  let s = stat_selectivity stats ~table ~alias e in
+  predicate_cost e /. Float.max 1e-6 (1. -. s)
+
+(* Recognize [resembles(col, dna('P')) >= t] (and mirrored/strict forms)
+   as a seed-path candidate: DNA column with a genomic index, pure-ACGT
+   pattern at least the safe minimum length for (k, t). The conjunct is
+   NOT consumed — the real predicate still filters the candidates, so
+   the path is an optimization, never a semantics change. *)
+let seed_of stats ~table ~alias expr =
+  let pattern_of = function
+    | Ast.Lit (D.Str p) -> Some p
+    | Ast.Fn (name, [ Ast.Lit (D.Str p) ])
+      when String.lowercase_ascii name = "dna" ->
+        Some p
+    | _ -> None
+  in
+  let threshold_of = function
+    | Ast.Lit (D.Float f) -> Some f
+    | Ast.Lit (D.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let decomposed =
+    match expr with
+    | Ast.Binop ((Ast.Ge | Ast.Gt), Ast.Fn (name, args), lit)
+      when String.lowercase_ascii name = "resembles" ->
+        Option.map (fun t -> (args, t)) (threshold_of lit)
+    | Ast.Binop ((Ast.Le | Ast.Lt), lit, Ast.Fn (name, args))
+      when String.lowercase_ascii name = "resembles" ->
+        Option.map (fun t -> (args, t)) (threshold_of lit)
+    | _ -> None
+  in
+  match decomposed with
+  | Some ([ a; b ], threshold) -> (
+      let pick col_e pat_e =
+        match (col_of_expr ~alias col_e, pattern_of pat_e) with
+        | Some c, Some p -> Some (c, p)
+        | _ -> None
+      in
+      match (match pick a b with Some x -> Some x | None -> pick b a) with
+      | Some (column, pattern) -> (
+          let pattern = String.uppercase_ascii pattern in
+          if not (pure_acgt pattern) then None
+          else if not (stats.is_dna ~table ~column) then None
+          else
+            match stats.genomic_k_of ~table ~column with
+            | None -> None
+            | Some k -> (
+                match Cost.resembles_min_len ~k ~threshold with
+                | Some min_len when String.length pattern >= min_len ->
+                    Some (column, pattern, min_len, threshold, k)
+                | _ -> None))
+      | None -> None)
+  | _ -> None
+
+(* Choose the cheapest access path for one ANALYZEd table. Returns the
+   access, its residual filters in evaluation order, and the estimate. *)
+let plan_table_cost_based stats catalog ~table ~alias mine =
+  Obs.add c_cost_based 1;
+  let rows = float_of_int (max 0 (stats.row_count ~table)) in
+  let sel e = stat_selectivity stats ~table ~alias e in
+  let order fs =
+    List.stable_sort
+      (fun a b ->
+        Float.compare
+          (rank_stats stats ~table ~alias a)
+          (rank_stats stats ~table ~alias b))
+      fs
+  in
+  let chain fs = List.map (fun f -> (predicate_cost f, sel f)) fs in
+  let without c = List.filter (fun x -> x != c) mine in
+  let candidate_of c =
+    match index_access catalog ~table ~alias c with
+    | Some (Index_eq _ as a) ->
+        let fs = order (without c) in
+        Some (a, fs, Cost.index_eq ~rows ~eq_sel:(sel c) ~filters:(chain fs))
+    | Some (Index_range _ as a) ->
+        let fs = order (without c) in
+        Some (a, fs, Cost.index_range ~rows ~range_sel:(sel c) ~filters:(chain fs))
+    | Some _ | None -> (
+        match genomic_access catalog ~table ~alias c with
+        | Some (Genomic_contains { column; pattern } as a) -> (
+            match
+              ( stats.genomic_k_of ~table ~column,
+                stats.genomic_mean_len_of ~table ~column )
+            with
+            | Some k, Some mean_len ->
+                let fs = order (without c) in
+                Some
+                  ( a,
+                    fs,
+                    Cost.genomic_contains ~rows ~k ~mean_len
+                      ~pattern_len:(String.length pattern)
+                      ~verify_cost:(fn_cost "contains") ~filters:(chain fs) )
+            | _ -> None)
+        | Some _ | None -> (
+            match seed_of stats ~table ~alias c with
+            | Some (column, pattern, min_len, threshold, k) -> (
+                match stats.genomic_mean_len_of ~table ~column with
+                | Some mean_len ->
+                    (* seed path keeps every conjunct, including the
+                       resembles predicate itself *)
+                    let fs = order mine in
+                    Some
+                      ( Genomic_seed { column; pattern; min_len; threshold },
+                        fs,
+                        Cost.genomic_seed ~rows ~k ~mean_len
+                          ~pattern_len:(String.length pattern)
+                          ~filters:(chain fs) )
+                | None -> None)
+            | None -> None))
+  in
+  let base =
+    let fs = order mine in
+    (Full_scan, fs, Cost.full_scan ~rows ~filters:(chain fs))
+  in
+  let best =
+    List.fold_left
+      (fun ((_, _, be) as acc) c ->
+        match candidate_of c with
+        | Some ((_, _, e) as cand) when e.Cost.est_cost < be.Cost.est_cost ->
+            cand
+        | _ -> acc)
+      base mine
+  in
+  let access, filters, est = best in
+  (match access with
+  | Index_eq _ | Index_range _ -> Obs.add c_index_paths 1
+  | Genomic_contains _ -> Obs.add c_contains_paths 1
+  | Genomic_seed _ -> Obs.add c_seed_paths 1
+  | Full_scan -> ());
+  { table; alias; access; filters; est_rows = Some est.Cost.est_rows }
+
+(* ------------------------------------------------------------------ *)
 (* Join steps: each cross-table conjunct is applied exactly once, at the
    first join step where every alias it references is bound (fixes the
    deferred-filter double bookkeeping of the executor's old dynamic
@@ -319,16 +553,55 @@ let make_steps ~hash_join catalog (from : (string * string) list) classified
                 in
                 pick [] mine
             in
-            { step_alias = alias; strategy; step_filters = residual })
+            { step_alias = alias; strategy; step_filters = residual; step_est = None })
           rest
       in
       (steps, tail)
 
-let make ?(optimize = true) catalog (select : Ast.select) =
+(* Join-graph edges for reordering: column-equality conjuncts linking
+   exactly two aliases, selectivity 1/max(NDV) from the stats catalog. *)
+let join_edges stats catalog from classified =
+  let table_of alias =
+    List.find_map
+      (fun (table, a) ->
+        if String.lowercase_ascii a = alias then Some table else None)
+      from
+  in
+  let ndv alias col =
+    match table_of alias with
+    | Some table -> (
+        match stats.stats_of ~table ~column:col with
+        | Some cs when cs.T.distinct > 0 -> Some (float_of_int cs.T.distinct)
+        | _ -> None)
+    | None -> None
+  in
+  List.filter_map
+    (fun (c, als) ->
+      if List.length als <> 2 then None
+      else
+        match c with
+        | Ast.Binop (Ast.Eq, Ast.Col (qa, ca), Ast.Col (qb, cb)) -> (
+            match
+              (resolve_col catalog from (qa, ca), resolve_col catalog from (qb, cb))
+            with
+            | [ a ], [ b ] when a <> b ->
+                let sel =
+                  match (ndv a ca, ndv b cb) with
+                  | Some x, Some y -> 1. /. Float.max 1. (Float.max x y)
+                  | Some x, None | None, Some x -> 1. /. Float.max 1. x
+                  | None, None -> 0.1
+                in
+                Some { Cost.e_a = a; e_b = b; e_sel = sel }
+            | _ -> None)
+        | _ -> None)
+    classified
+
+let make ?(optimize = true) ?stats catalog (select : Ast.select) =
   let conjuncts =
     match select.Ast.where with None -> [] | Some w -> Ast.conjuncts w
   in
   let from = select.Ast.from in
+  let output_order = List.map snd from in
   let classified =
     List.map (fun c -> (c, aliases_of catalog from c)) conjuncts
   in
@@ -342,7 +615,7 @@ let make ?(optimize = true) catalog (select : Ast.select) =
               (fun (c, al) -> if al = [ alias ] then Some c else None)
               classified
           in
-          { table; alias; access = Full_scan; filters })
+          { table; alias; access = Full_scan; filters; est_rows = None })
         from
     in
     let join_filters =
@@ -353,18 +626,20 @@ let make ?(optimize = true) catalog (select : Ast.select) =
     let joins, tail_filters =
       make_steps ~hash_join:false catalog from classified join_filters
     in
-    { tables; join_filters; joins; tail_filters }
+    { tables; join_filters; joins; tail_filters; est_out = None; output_order }
   end
   else begin
-    let tables =
-      List.map
-        (fun (table, alias) ->
-          let mine =
-            List.filter_map
-              (fun (c, al) -> if al = [ alias ] then Some c else None)
-              classified
-          in
-          (* pick the first usable index conjunct as the access path *)
+    let plan_table (table, alias) =
+      let mine =
+        List.filter_map
+          (fun (c, al) -> if al = [ alias ] then Some c else None)
+          classified
+      in
+      match stats with
+      | Some s when s.analyzed ~table ->
+          plan_table_cost_based s catalog ~table ~alias mine
+      | _ ->
+          (* heuristic: first usable index conjunct becomes the access *)
           let access, residual =
             let rec pick probe seen = function
               | [] -> (Full_scan, List.rev seen)
@@ -386,8 +661,44 @@ let make ?(optimize = true) catalog (select : Ast.select) =
                   (rank_with catalog ~table ~alias b))
               residual
           in
-          { table; alias; access; filters })
-        from
+          { table; alias; access; filters; est_rows = None }
+    in
+    let tables = List.map plan_table from in
+    (* Join reordering: only when statistics cover every FROM table, so
+       plans without ANALYZE are byte-identical to the heuristic ones. *)
+    let from, tables, edges =
+      match (stats, from) with
+      | Some s, _ :: _ :: _ when List.for_all (fun (t, _) -> s.analyzed ~table:t) from
+        ->
+          let edges = join_edges s catalog from classified in
+          let rels =
+            List.map
+              (fun tp ->
+                {
+                  Cost.r_alias = String.lowercase_ascii tp.alias;
+                  r_rows = Option.value tp.est_rows ~default:1.;
+                })
+              tables
+          in
+          let order = Cost.greedy_order rels edges in
+          let find_tp a =
+            List.find
+              (fun tp -> String.lowercase_ascii tp.alias = a)
+              tables
+          in
+          let tables' = List.map find_tp order in
+          let from' =
+            List.map
+              (fun tp ->
+                List.find
+                  (fun (_, al) -> String.lowercase_ascii al
+                                  = String.lowercase_ascii tp.alias)
+                  from)
+              tables'
+          in
+          if List.map snd from' <> List.map snd from then Obs.add c_reordered 1;
+          (from', tables', edges)
+      | _ -> (from, tables, [])
     in
     let join_filters =
       List.filter_map
@@ -399,7 +710,38 @@ let make ?(optimize = true) catalog (select : Ast.select) =
       make_steps ~hash_join:(hash_join_enabled ()) catalog from classified
         join_filters
     in
-    { tables; join_filters; joins; tail_filters }
+    (* Cumulative cardinality estimates along the (possibly reordered)
+       join chain, when per-table estimates exist. *)
+    let joins, est_out =
+      match tables with
+      | { est_rows = Some first; alias; _ } :: rest
+        when List.for_all (fun tp -> tp.est_rows <> None) rest ->
+          let bound = ref [ String.lowercase_ascii alias ] in
+          let card = ref first in
+          let joins =
+            List.map2
+              (fun step tp ->
+                let a = String.lowercase_ascii tp.alias in
+                let sel =
+                  List.fold_left
+                    (fun acc e ->
+                      let touches x =
+                        (e.Cost.e_a = x && e.Cost.e_b = a)
+                        || (e.Cost.e_b = x && e.Cost.e_a = a)
+                      in
+                      if List.exists touches !bound then acc *. e.Cost.e_sel
+                      else acc)
+                    1. edges
+                in
+                card := !card *. Option.value tp.est_rows ~default:1. *. sel;
+                bound := a :: !bound;
+                { step with step_est = Some !card })
+              joins rest
+          in
+          (joins, Some !card)
+      | _ -> (joins, None)
+    in
+    { tables; join_filters; joins; tail_filters; est_out; output_order }
   end
 
 let access_to_string = function
@@ -412,6 +754,9 @@ let access_to_string = function
         (match hi with Some v -> D.value_to_display v | None -> "+inf")
   | Genomic_contains { column; pattern } ->
       Printf.sprintf "genomic index %s contains %S" column pattern
+  | Genomic_seed { column; pattern; min_len; threshold } ->
+      Printf.sprintf "genomic seed %s resembles %S >= %g (min_len=%d)" column
+        pattern threshold min_len
 
 let strategy_to_string step =
   match step.strategy with
@@ -424,29 +769,35 @@ let to_string ?(jobs = 1) t =
   let partitions =
     if jobs > 1 then Printf.sprintf " [partitions=%d]" jobs else ""
   in
+  let est = function
+    | None -> ""
+    | Some e -> Printf.sprintf " (est~%.0f rows)" e
+  in
   let lines =
     List.map
       (fun tp ->
-        Printf.sprintf "scan %s as %s via %s%s%s" tp.table tp.alias
+        Printf.sprintf "scan %s as %s via %s%s%s%s" tp.table tp.alias
           (access_to_string tp.access)
           (match tp.access with Full_scan -> partitions | _ -> "")
           (match tp.filters with
           | [] -> ""
           | fs ->
               Printf.sprintf " filter [%s]"
-                (String.concat "; " (List.map Ast.expr_to_string fs))))
+                (String.concat "; " (List.map Ast.expr_to_string fs)))
+          (est tp.est_rows))
       t.tables
   in
   let join_lines =
     List.map
       (fun step ->
-        Printf.sprintf "join %s via %s%s" step.step_alias
+        Printf.sprintf "join %s via %s%s%s" step.step_alias
           (strategy_to_string step)
           (match step.step_filters with
           | [] -> ""
           | fs ->
               Printf.sprintf " filter [%s]"
-                (String.concat "; " (List.map Ast.expr_to_string fs))))
+                (String.concat "; " (List.map Ast.expr_to_string fs)))
+          (est step.step_est))
       t.joins
   in
   let tail_line =

@@ -27,12 +27,26 @@ type access =
           k-mer substring index (paper section 6.5); the executor falls
           back to a scan with the predicate re-applied when the index
           cannot serve the pattern *)
+  | Genomic_seed of {
+      column : string;
+      pattern : string;  (** uppercased, pure ACGT *)
+      min_len : int;     (** safe bound from {!Cost.resembles_min_len} *)
+      threshold : float;
+    }
+      (** seed-and-verify path for [resembles(col, dna('P')) >= t]: scan
+          only the k-mer seed candidates (plus rows shorter than
+          [min_len], which the bound cannot exclude). The resembles
+          conjunct is {e not} consumed — it stays in [filters], so a
+          fallback scan or a candidate superset never changes results *)
 
 type table_plan = {
   table : string;
   alias : string;
   access : access;
   filters : Ast.expr list;  (** residual predicates, in evaluation order *)
+  est_rows : float option;
+      (** cost-based estimate of rows this scan emits after filters;
+          [None] for heuristic plans *)
 }
 
 type join_strategy =
@@ -54,16 +68,48 @@ type join_step = {
   step_filters : Ast.expr list;
       (** conjuncts first evaluable at this step (the hash-key equality,
           when consumed by [Hash_join], is removed), evaluation order *)
+  step_est : float option;
+      (** estimated cumulative cardinality after this step; [None] for
+          heuristic plans *)
 }
 
 type t = {
-  tables : table_plan list;      (** joined left to right *)
+  tables : table_plan list;      (** joined left to right, execution order *)
   join_filters : Ast.expr list;  (** all cross-table conjuncts, evaluation order *)
   joins : join_step list;        (** one step per table after the first *)
   tail_filters : Ast.expr list;
       (** conjuncts no step can evaluate (unknown aliases/columns); the
           executor applies them last so the error still surfaces *)
+  est_out : float option;        (** estimated output cardinality *)
+  output_order : string list;
+      (** aliases in the original FROM order. When cost-based join
+          reordering permutes [tables], the executor restores bindings to
+          this order before projection so [SELECT *] output is stable *)
 }
+
+type mode = Heuristic | Cost_based
+
+val set_mode : mode -> unit
+(** Select the planner (default [Cost_based]). Use
+    {!Exec.set_planner_mode}, which also drops cached plans. *)
+
+val mode : unit -> mode
+
+type stats_provider = {
+  analyzed : table:string -> bool;
+      (** the table has ANALYZE statistics; without them the planner
+          keeps the heuristic rules, so plans only change where measured
+          statistics exist *)
+  row_count : table:string -> int;
+  stats_of : table:string -> column:string -> Genalg_storage.Table.column_stats option;
+  genomic_k_of : table:string -> column:string -> int option;
+  genomic_mean_len_of : table:string -> column:string -> float option;
+  is_dna : table:string -> column:string -> bool;
+      (** the column's declared type is the DNA UDT — the resembles
+          seed bound is only valid for [Scoring.dna_default] *)
+}
+(** Live statistics the cost-based planner consults; supplied by the
+    executor from the storage layer. *)
 
 val set_hash_join_enabled : bool -> unit
 (** Force the nested-loop baseline when [false] (default [true]). Use
@@ -100,11 +146,20 @@ val rank_with : catalog -> table:string -> alias:string -> Ast.expr -> float
     measured [1 / distinct] selectivity instead of the static default
     (section 6.5: selectivity information for access-plan costing). *)
 
-val make : ?optimize:bool -> catalog -> Ast.select -> t
+val make : ?optimize:bool -> ?stats:stats_provider -> catalog -> Ast.select -> t
 (** Build a plan. With [optimize:false] (default true), no pushdown
     reordering or index selection happens beyond assigning conjuncts to
     the last table that makes them evaluable — the naive baseline for the
-    optimizer experiment. *)
+    optimizer experiment.
+
+    With [?stats], ANALYZEd tables get cost-based access selection:
+    every candidate path (full scan, each usable B-tree conjunct, the
+    k-mer contains path, the resembles seed path) is costed with {!Cost}
+    over {!Stats} selectivities and the cheapest wins; when every FROM
+    table is analyzed, joins are greedily reordered by estimated
+    cardinality and the plan carries row estimates. Without [?stats]
+    (or for unanalyzed tables) behaviour is identical to the heuristic
+    planner. *)
 
 val to_string : ?jobs:int -> t -> string
 (** Human-readable plan: one line per table scan (full scans carry the

@@ -177,13 +177,14 @@ let c_checksum_failures = Obs.counter "storage.recovery.checksum_failures"
 let c_clean_open = Obs.counter "storage.recovery.clean_open"
 
 let crash_points =
-  [ "storage.save.serialize"; "storage.save.journal";
+  [ "storage.save.serialize"; "storage.save.stats"; "storage.save.journal";
     "storage.save.tmp_partial"; "storage.save.tmp"; "storage.save.rename" ]
 
 let () = List.iter Fault.register_crash_point crash_points
 
 let magic = "GENALGDB1"
 let magic_v2 = "GENALGDB2"
+let magic_v3 = "GENALGDB3"
 let journal_magic = "GENALGJL1"
 
 let add_sized buf s =
@@ -200,9 +201,37 @@ let encode_schema buf schema =
       Buffer.add_char buf (if c.Schema.nullable then '\001' else '\000'))
     cols
 
+let encode_stats buf table =
+  let stats = Table.stats_snapshot table in
+  Buffer.add_int64_le buf (Int64.of_int (List.length stats));
+  List.iter
+    (fun (col, (cs : Table.column_stats)) ->
+      add_sized buf col;
+      Buffer.add_int64_le buf (Int64.of_int cs.Table.rows);
+      Buffer.add_int64_le buf (Int64.of_int cs.Table.distinct);
+      Buffer.add_int64_le buf (Int64.of_int cs.Table.nulls);
+      let add_opt = function
+        | None -> Buffer.add_char buf '\000'
+        | Some v ->
+            Buffer.add_char buf '\001';
+            Dtype.encode_value buf v
+      in
+      add_opt cs.Table.min_value;
+      add_opt cs.Table.max_value;
+      match cs.Table.histogram with
+      | None -> Buffer.add_int64_le buf 0L
+      | Some h ->
+          Buffer.add_int64_le buf (Int64.of_int (Array.length h.Table.bounds));
+          Array.iteri
+            (fun i b ->
+              Dtype.encode_value buf b;
+              Buffer.add_int64_le buf (Int64.of_int h.Table.counts.(i)))
+            h.Table.bounds)
+    stats
+
 let serialize t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
+  Buffer.add_string buf magic_v3;
   Buffer.add_int64_le buf (Int64.of_int (List.length t.entries));
   List.iter
     (fun e ->
@@ -225,7 +254,18 @@ let serialize t =
           let enc = Dtype.encode_row row in
           Buffer.add_int64_le buf (Int64.of_int (Bytes.length enc));
           Buffer.add_bytes buf enc)
-        rows)
+        rows;
+      (* ANALYZE statistics ride in the image (v3 bodies only) *)
+      encode_stats buf e.table;
+      (* genomic index specs (column, k): the index itself is rebuilt
+         when an adapter attaches a UDT registry (v3 bodies only) *)
+      let genomic = Table.genomic_specs e.table in
+      Buffer.add_int64_le buf (Int64.of_int (List.length genomic));
+      List.iter
+        (fun (col, k) ->
+          add_sized buf col;
+          Buffer.add_int64_le buf (Int64.of_int k))
+        genomic)
     t.entries;
   Buffer.contents buf
 
@@ -371,6 +411,9 @@ let recover path =
 let save t path =
   match
     let body = serialize t in
+    (* statistics are serialized into the body; nothing durable yet, so a
+       crash here must recover to the pre-ANALYZE image *)
+    Fault.crash "storage.save.stats";
     Fault.crash "storage.save.serialize";
     let image = encode_v2 body in
     let journal = journal_path path and tmp = tmp_path path in
@@ -422,10 +465,47 @@ let parse_body contents =
         pos := !pos + n;
         s
       in
+      let read_value () =
+        let v, next = Dtype.decode_value data !pos in
+        pos := next;
+        v
+      in
+      let read_stats () =
+        let nstats = read_count () in
+        List.init nstats (fun _ ->
+            let col = read_sized () in
+            let rows = read_int () in
+            let distinct = read_int () in
+            let nulls = read_int () in
+            let read_opt () =
+              need 1;
+              let tag = Bytes.get data !pos in
+              incr pos;
+              if tag = '\000' then None else Some (read_value ())
+            in
+            let min_value = read_opt () in
+            let max_value = read_opt () in
+            let nb = read_count () in
+            let histogram =
+              if nb = 0 then None
+              else begin
+                let bounds = Array.make nb Dtype.Null in
+                let counts = Array.make nb 0 in
+                for i = 0 to nb - 1 do
+                  bounds.(i) <- read_value ();
+                  counts.(i) <- read_int ()
+                done;
+                Some { Table.bounds; counts }
+              end
+            in
+            ( col,
+              { Table.rows; distinct; nulls; min_value; max_value; histogram } ))
+      in
       (try
          need (String.length magic);
-         if Bytes.sub_string data 0 (String.length magic) <> magic then
-           raise (Corrupt "bad magic");
+         let m = Bytes.sub_string data 0 (String.length magic) in
+         let with_stats = m = magic_v3 in
+         if m <> magic && m <> magic_v3 then raise (Corrupt "bad magic");
          pos := String.length magic;
          let t = create () in
          let n_entries = read_count () in
@@ -476,6 +556,17 @@ let parse_body contents =
                | Ok () -> ()
                | Error msg -> raise (Corrupt msg))
              indexed;
+           if with_stats then begin
+             Table.set_stats table (read_stats ());
+             let ngen = read_count () in
+             let specs =
+               List.init ngen (fun _ ->
+                   let col = read_sized () in
+                   let k = read_int () in
+                   (col, k))
+             in
+             if specs <> [] then Table.set_pending_genomic table specs
+           end;
            t.entries <- t.entries @ [ { space; table; grantees } ]
          done;
          Ok t
@@ -485,9 +576,12 @@ let parse_body contents =
 
 (* Snapshot clone through the serializer: cheap enough at warehouse
    scale, and it reuses the one codepath that already knows how to copy
-   every table. B-tree indexes are rebuilt; genomic indexes, UDT
-   registrations and ANALYZE statistics are not carried over (same
-   contract as [load] — the serve layer re-attaches its adapter). *)
+   every table. B-tree indexes are rebuilt; ANALYZE statistics and
+   genomic index specs carry over (v3 bodies persist them), though the
+   genomic indexes themselves — like UDT registrations — only
+   materialize when an adapter re-attaches (same contract as [load]:
+   both the CLI and the serve layer attach after load/clone, which
+   triggers [Table.rebuild_genomic_indexes]). *)
 let clone t =
   match parse_body (serialize t) with
   | Ok t' -> t'

@@ -67,15 +67,44 @@ type column_stats = {
   rows : int;           (** live rows when analyzed *)
   distinct : int;       (** distinct non-null values *)
   nulls : int;
+  min_value : Dtype.value option;
+      (** smallest non-null value; [None] when the column is all-null or
+          opaque (UDT payloads have no engine order) *)
+  max_value : Dtype.value option;
+  histogram : histogram option;
+      (** equi-depth histogram; [None] for all-null or opaque columns *)
+}
+
+and histogram = {
+  bounds : Dtype.value array;
+      (** ascending inclusive upper bounds, one per bucket; each bound is
+          the last value of its bucket so duplicates never straddle *)
+  counts : int array;   (** rows per bucket; sums to [rows - nulls] *)
 }
 
 val analyze : t -> unit
-(** Scan the table and cache per-column statistics. Statistics are a
-    snapshot: they go stale under writes until the next [analyze] (the
-    usual DBMS contract). *)
+(** Scan the table and cache per-column statistics (row count, NDV,
+    nulls, min/max, equi-depth histograms for scalar columns).
+    Statistics are a snapshot: they go stale under writes until the next
+    [analyze] (the usual DBMS contract). Bumps {!schema_version} and
+    {!stats_version}. *)
 
 val column_stats : t -> column:string -> column_stats option
 (** [None] before {!analyze} or for unknown columns. *)
+
+val has_stats : t -> bool
+
+val stats_version : t -> int
+(** Bumped whenever statistics are replaced ({!analyze}, {!set_stats});
+    plan caches key on this so re-ANALYZE invalidates cached plans. *)
+
+val stats_snapshot : t -> (string * column_stats) list
+(** All per-column statistics sorted by column name; [[]] before
+    {!analyze}. Used by image persistence. *)
+
+val set_stats : t -> (string * column_stats) list -> unit
+(** Install statistics wholesale (image load / clone); [[]] is a no-op.
+    Bumps {!schema_version} and {!stats_version}. *)
 
 (** {1 Genomic (substring) indexes — paper section 6.5}
 
@@ -91,6 +120,31 @@ val create_genomic_index :
 
 val has_genomic_index : t -> column:string -> bool
 
+val genomic_specs : t -> (string * int) list
+(** Every genomic index as a [(column, k)] spec — live indexes plus any
+    specs restored from an image that still await rebuilding. Sorted;
+    this is what image saves persist. *)
+
+val set_pending_genomic : t -> (string * int) list -> unit
+(** Stash [(column, k)] specs read from an image. The index itself is
+    not built — backfilling needs a UDT registry — until
+    {!rebuild_genomic_indexes} runs. *)
+
+val rebuild_genomic_indexes : t -> registry:Udt.t -> unit
+(** Build every pending genomic spec against [registry] (the adapter
+    calls this when it attaches). Specs whose UDT is still unregistered
+    stay pending; successfully built or already-live specs are
+    cleared. *)
+
+val genomic_k : t -> column:string -> int option
+(** The k-mer width of the column's genomic index, when one exists. The
+    planner needs it to derive the safe seed length for [resembles]. *)
+
+val genomic_mean_len : t -> column:string -> float option
+(** Mean length of the texts indexed by the column's genomic index;
+    [None] without an index or when it is empty. Feeds the planner's
+    candidate-fraction estimates for genomic access paths. *)
+
 val genomic_search :
   t -> column:string -> pattern:string ->
   [ `No_index | `Unsupported_pattern | `Hits of Heap.rid list ]
@@ -98,3 +152,14 @@ val genomic_search :
     [`Unsupported_pattern] means the index exists but cannot serve this
     pattern (shorter than k, or ambiguous first k-mer) — fall back to a
     scan. *)
+
+val genomic_seed :
+  t -> column:string -> pattern:string -> min_len:int ->
+  [ `No_index | `Unsupported_pattern | `Hits of Heap.rid list ]
+(** Unverified candidate rids for similarity ([resembles]) predicates:
+    rows sharing at least one k-mer with [pattern], plus every
+    always-candidate and every row whose indexed text is shorter than
+    [min_len]. The caller must verify each candidate with the real
+    predicate; completeness holds only under the planner's similarity
+    bound (see docs/OPTIMIZER.md). [`Unsupported_pattern] when [pattern]
+    is shorter than k or not pure A/C/G/T. *)

@@ -26,11 +26,26 @@ val candidates : t -> pattern:string -> Heap.rid list option
     than [k] or its first k-mer contains letters outside A/C/G/T — the
     caller must fall back to a scan. The result is unverified. *)
 
+val seed_candidates : t -> pattern:string -> min_len:int -> Heap.rid list option
+(** Similarity-seed candidates: the union of posting hits for {e every}
+    k-mer of [pattern], the always-candidates, and every record whose
+    index text is shorter than [min_len]. [None] when [pattern] is
+    shorter than [k] or contains letters outside A/C/G/T. Unverified;
+    complete only under the caller's similarity-threshold bound (see
+    docs/OPTIMIZER.md). *)
+
 val search :
   t -> pattern:string -> payload_of:(Heap.rid -> bytes option) -> Heap.rid list option
-(** Verified containment matches (candidates filtered through the
-    type's [matches]); [None] when the index cannot serve the pattern.
-    Records whose payload can no longer be fetched are dropped. *)
+(** Verified containment matches; [None] when the index cannot serve the
+    pattern. Pure-ACGT candidates are verified by exact search
+    (Boyer–Moore–Horspool, or a cached suffix array for records of
+    ≥ 4096 letters); ambiguous ones through the type's authoritative
+    [matches]. Records whose payload can no longer be fetched are
+    dropped. *)
 
 val indexed_records : t -> int
 val distinct_kmers : t -> int
+
+val mean_len : t -> float option
+(** Mean length of the indexed texts, or [None] when the index is empty.
+    Feeds the planner's k-mer candidate-fraction model. *)

@@ -75,6 +75,40 @@ let test_plan_cache_reuses_plans () =
   ignore (rows_of (Exec.query db ~actor:"u" "SELECT organism FROM frag WHERE len > 300"));
   check Alcotest.int "SELECT reuses the explained plan" 2 (counter "cache.plan.hits")
 
+let test_analyze_invalidates_plan_cache () =
+  (* ANALYZE bumps the table's stats version; cached plans validate
+     against it, so a plan built on old statistics is never served *)
+  isolated @@ fun () ->
+  let db = fixture_db () in
+  Obs.reset ();
+  let q = "EXPLAIN SELECT organism FROM frag WHERE len > 300" in
+  let explain () =
+    rows_of (Exec.query db ~actor:"u" q)
+    |> List.map (function [| D.Str s |] -> s | _ -> "")
+    |> String.concat "\n"
+  in
+  let before = explain () in
+  ignore (explain ());
+  check Alcotest.int "warm plan hit before ANALYZE" 1 (counter "cache.plan.hits");
+  (match Exec.query db ~actor:"u" "ANALYZE frag" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let after = explain () in
+  check Alcotest.int "ANALYZE dropped the cached plan" 1
+    (counter "cache.plan.hits");
+  (* the re-planned query consults the fresh statistics: the heuristic
+     plan carried no estimates, the cost-based one does *)
+  let has needle hay =
+    let n = String.length needle and l = String.length hay in
+    let rec mem i = i + n <= l && (String.sub hay i n = needle || mem (i + 1)) in
+    mem 0
+  in
+  check Alcotest.bool "old plan had no estimates" false (has "est~" before);
+  check Alcotest.bool "new plan carries estimates" true (has "est~" after);
+  ignore (explain ());
+  check Alcotest.int "the re-planned entry caches again" 2
+    (counter "cache.plan.hits")
+
 let test_result_cache_hit_and_stmt_cache () =
   isolated @@ fun () ->
   let db = fixture_db () in
@@ -274,6 +308,8 @@ let suites =
     ( "cache",
       [
         tc "plan cache reuses plans" `Quick test_plan_cache_reuses_plans;
+        tc "ANALYZE invalidates cached plans" `Quick
+          test_analyze_invalidates_plan_cache;
         tc "result + stmt caches hit" `Quick test_result_cache_hit_and_stmt_cache;
         tc "INSERT/DELETE invalidate results" `Quick test_insert_invalidates_result_cache;
         tc "direct table write never stale" `Quick test_direct_table_write_validated;

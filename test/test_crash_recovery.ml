@@ -127,6 +127,65 @@ let test_recovery_outcomes_per_point () =
           checks site verdict (Db.recovery_to_string (Db.recover path)))
         expect)
 
+(* ---- ANALYZE statistics persistence ------------------------------------ *)
+
+let test_analyze_stats_crash_never_torn () =
+  (* a crash while persisting freshly-ANALYZEd statistics must recover
+     to the pre-ANALYZE image (no stats) or the post-ANALYZE image
+     (complete stats) — never a torn in-between *)
+  let module Table = Genalg_storage.Table in
+  let table_of db =
+    match Db.resolve db ~actor:"u" "t" with
+    | Some (_, t) -> t
+    | None -> Alcotest.fail "table t missing after reload"
+  in
+  with_tmp_db (fun path ->
+      let db = Db.create () in
+      ignore (ok (Exec.query db ~actor:"u" "CREATE TABLE t (k int)"));
+      for i = 1 to 20 do
+        ignore
+          (ok
+             (Exec.query db ~actor:"u"
+                (Printf.sprintf "INSERT INTO t VALUES (%d)" i)))
+      done;
+      ok (Db.save db path);
+      ignore (ok (Exec.query db ~actor:"u" "ANALYZE t"));
+      (* crash before anything durable: the old stats-free image wins *)
+      (match Fault.configure "storage.save.stats:crash:times=1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (match Db.save db path with
+      | exception Fault.Crash_point _ -> ()
+      | _ -> Alcotest.fail "save was not interrupted");
+      Fault.disable ();
+      ignore (Db.recover path);
+      let old_db = ok (Db.load path) in
+      checkb "pre-ANALYZE image has no stats" false
+        (Table.has_stats (table_of old_db));
+      checki "rows intact" 20 (count_rows old_db);
+      (* crash after the complete tmp image: the new stats survive *)
+      (match Fault.configure "storage.save.tmp:crash:times=1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (match Db.save db path with
+      | exception Fault.Crash_point _ -> ()
+      | _ -> Alcotest.fail "save was not interrupted");
+      Fault.disable ();
+      ignore (Db.recover path);
+      let new_db = ok (Db.load path) in
+      let reloaded = table_of new_db in
+      checkb "post-ANALYZE image carries stats" true (Table.has_stats reloaded);
+      checki "rows intact" 20 (count_rows new_db);
+      (* the persisted snapshot matches the live one, column for column *)
+      let live = Table.stats_snapshot (table_of db) in
+      let persisted = Table.stats_snapshot reloaded in
+      checki "same analyzed columns" (List.length live) (List.length persisted);
+      List.iter2
+        (fun (lc, ls) (pc, ps) ->
+          checks "column name" lc pc;
+          checkb ("stats round-trip for " ^ lc) true (ls = ps))
+        live persisted)
+
 (* ---- checksum detection ------------------------------------------------ *)
 
 let flip_byte path pos =
@@ -226,6 +285,8 @@ let suites =
           test_crash_matrix;
         Alcotest.test_case "recovery verdict per crash point" `Quick
           test_recovery_outcomes_per_point;
+        Alcotest.test_case "ANALYZE stats crash never torn" `Quick
+          test_analyze_stats_crash_never_torn;
       ] );
     ( "crash-recovery:checksum",
       [

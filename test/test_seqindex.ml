@@ -95,6 +95,67 @@ let test_suffix_array_random_agreement () =
       (Suffix_array.find_all sa pattern)
   done
 
+(* --- edge cases: empty inputs, oversized patterns/k, ambiguity codes --- *)
+
+let test_empty_text () =
+  let idx = Kmer_index.build ~k:4 "" in
+  check Alcotest.int "no k-mers in empty text" 0 (Kmer_index.distinct_kmers idx);
+  check (Alcotest.list Alcotest.int) "kmer find_all" []
+    (Kmer_index.find_all idx "ACGT");
+  check Alcotest.bool "kmer contains" false (Kmer_index.contains idx "ACGT");
+  let sa = Suffix_array.build "" in
+  check (Alcotest.list Alcotest.int) "sa find_all" [] (Suffix_array.find_all sa "A");
+  check Alcotest.bool "sa contains" false (Suffix_array.contains sa "A");
+  check (Alcotest.list Alcotest.int) "naive" []
+    (Search.naive_find_all ~pattern:"A" "");
+  check (Alcotest.list Alcotest.int) "horspool" []
+    (Search.horspool_find_all ~pattern:"A" "")
+
+let test_pattern_longer_than_text () =
+  let t = "ACGTACGT" in
+  let long = t ^ t in
+  check (Alcotest.list Alcotest.int) "naive" []
+    (Search.naive_find_all ~pattern:long t);
+  check (Alcotest.list Alcotest.int) "horspool" []
+    (Search.horspool_find_all ~pattern:long t);
+  let idx = Kmer_index.build ~k:4 t in
+  check (Alcotest.list Alcotest.int) "kmer find_all" [] (Kmer_index.find_all idx long);
+  check (Alcotest.option Alcotest.int) "kmer find" None (Kmer_index.find idx long);
+  check (Alcotest.list Alcotest.int) "suffix array" []
+    (Suffix_array.find_all (Suffix_array.build t) long)
+
+let test_k_larger_than_text () =
+  (* a k-mer index over a sequence shorter than k holds no windows at
+     all but still answers (with the empty candidate set) *)
+  let idx = Kmer_index.build ~k:8 "ACGT" in
+  check Alcotest.int "no windows indexed" 0 (Kmer_index.distinct_kmers idx);
+  check (Alcotest.list Alcotest.int) "long query finds nothing" []
+    (Kmer_index.find_all idx "ACGTACGT");
+  check Alcotest.bool "contains" false (Kmer_index.contains idx "ACGTACGT")
+
+let test_ambiguity_codes () =
+  (* IUPAC codes (N, R, Y, ...) are opaque letters: windows containing
+     them never enter the packed k-mer table, and patterns containing
+     them bypass it — but both stay findable as literal text *)
+  let t = "ACGTNRYACGTNACGT" in
+  let idx = Kmer_index.build ~k:4 t in
+  check (Alcotest.list Alcotest.int) "pure pattern = naive"
+    (Search.naive_find_all ~pattern:"ACGT" t)
+    (Kmer_index.find_all idx "ACGT");
+  check (Alcotest.list Alcotest.int) "pattern with codes = naive"
+    (Search.naive_find_all ~pattern:"GTNR" t)
+    (Kmer_index.find_all idx "GTNR");
+  check (Alcotest.list Alcotest.int) "GTNR found literally" [ 2 ]
+    (Kmer_index.find_all idx "GTNR");
+  check Alcotest.bool "contains through the fallback" true
+    (Kmer_index.contains idx "TNAC");
+  let sa = Suffix_array.build t in
+  check (Alcotest.list Alcotest.int) "suffix array with codes" [ 11 ]
+    (Suffix_array.find_all sa "NACG");
+  check (Alcotest.list Alcotest.int) "sa pure pattern = naive"
+    (Search.naive_find_all ~pattern:"ACGT" t)
+    (Suffix_array.find_all sa "ACGT")
+
 let test_longest_repeat () =
   match Suffix_array.longest_repeat (Suffix_array.build "ABCDABC") with
   | Some (p1, p2, len) ->
@@ -123,5 +184,12 @@ let suites =
         tc "search" `Quick test_suffix_array_search;
         tc "random agreement" `Quick test_suffix_array_random_agreement;
         tc "longest repeat" `Quick test_longest_repeat;
+      ] );
+    ( "seqindex.edge_cases",
+      [
+        tc "empty text" `Quick test_empty_text;
+        tc "pattern longer than text" `Quick test_pattern_longer_than_text;
+        tc "k larger than text" `Quick test_k_larger_than_text;
+        tc "ambiguity codes" `Quick test_ambiguity_codes;
       ] );
   ]

@@ -36,7 +36,7 @@ let test_table_analyze () =
     (Table.column_stats t ~column:"grp" = None);
   Table.analyze t;
   (match Table.column_stats t ~column:"grp" with
-  | Some { Table.rows; distinct; nulls } ->
+  | Some { Table.rows; distinct; nulls; _ } ->
       check Alcotest.int "rows" 100 rows;
       check Alcotest.int "4 groups" 4 distinct;
       check Alcotest.int "no nulls" 0 nulls
