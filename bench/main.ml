@@ -1973,6 +1973,177 @@ let opt_bench () =
   note "shape: genomic paths should win by 10x+; relational paths stay within noise"
 
 (* ================================================================== *)
+(* VEC — vectorized scans: packed kernels vs tuple-at-a-time           *)
+(* ================================================================== *)
+
+let vec_bench () =
+  let module Par = Genalg_par.Par in
+  let module Sequence = Genalg_gdt.Sequence in
+  heading "VEC" "Vectorized scans: packed word-level kernels vs tuple-at-a-time";
+  let n =
+    match Sys.getenv_opt "GENALG_VEC_N" with
+    | Some s -> (try max 100 (int_of_string s) with Failure _ -> 4_000)
+    | None -> 4_000
+  in
+  let motif = "ACGTTGCAGGATTACCAGTTGACA" (* 24-mer, planted in ~1/8 rows *) in
+  note "%d DNA reads of 400-800 bases (GENALG_VEC_N overrides); motif |%d|"
+    n (String.length motif);
+  let ok = function Ok v -> v | Error m -> failwith m in
+  let db = Db.create () in
+  Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default;
+  let actor = "bench" in
+  ignore (ok (Exec.query db ~actor "CREATE TABLE reads (id int, seq dna)"));
+  let _, reads_t = Option.get (Db.resolve db ~actor "reads") in
+  let r = rng () in
+  for i = 1 to n do
+    let len = 400 + (i * 97 mod 400) + (i mod 4) (* every residue mod 4 *) in
+    let s = Bytes.of_string (Genalg_synth.Seqgen.dna_string r len) in
+    if i mod 8 = 0 then
+      Bytes.blit_string motif 0 s (i * 131 mod (len - String.length motif))
+        (String.length motif);
+    ignore
+      (Genalg_storage.Table.insert_exn reads_t
+         [| D.Int i;
+            D.Opaque ("dna", Sequence.to_bytes (Sequence.dna (Bytes.to_string s))) |])
+  done;
+  let workloads =
+    [
+      ("gc", "SELECT id FROM reads WHERE gc_content(seq) >= 0.52");
+      ("len", "SELECT id FROM reads WHERE length(seq) > 590");
+      ("contains", Printf.sprintf "SELECT id FROM reads WHERE contains(seq, '%s')" motif);
+      ( "combo",
+        Printf.sprintf
+          "SELECT id FROM reads WHERE gc_content(seq) >= 0.48 AND contains(seq, '%s')"
+          motif );
+    ]
+  in
+  let rows_of sql =
+    match ok (Exec.query db ~actor sql) with
+    | Exec.Rows rs -> rs.Exec.rows
+    | _ -> failwith "expected rows"
+  in
+  (* each timed run starts from cleared statement caches, or the result
+     cache would serve every repeat *)
+  let timed_rows sql =
+    let rows = ref [] in
+    let t =
+      measure ~runs:3 (fun () ->
+          Exec.clear_statement_caches ();
+          rows := rows_of sql)
+    in
+    (!rows, t)
+  in
+  (* -- single core: tuple-at-a-time vs vectorized -------------------- *)
+  Par.set_jobs 1;
+  Exec.set_vectorized_enabled false;
+  let tuple = List.map (fun (name, sql) -> (name, timed_rows sql)) workloads in
+  Exec.set_vectorized_enabled true;
+  let vec = List.map (fun (name, sql) -> (name, timed_rows sql)) workloads in
+  let identical =
+    List.for_all2 (fun (_, (r1, _)) (_, (r2, _)) -> r1 = r2) tuple vec
+  in
+  let speedup_of name =
+    let _, t_t = List.assoc name tuple and _, t_v = List.assoc name vec in
+    t_t /. Float.max t_v 1e-9
+  in
+  print_table
+    [ "workload"; "rows out"; "tuple"; "vectorized"; "speedup" ]
+    (List.map
+       (fun (name, (rows, t_t)) ->
+         let _, t_v = List.assoc name vec in
+         [ name; string_of_int (List.length rows); fmt_ms t_t; fmt_ms t_v;
+           Printf.sprintf "%.1fx" (t_t /. Float.max t_v 1e-9) ])
+       tuple);
+  (* -- allocation audit: bytes allocated per scanned row ------------- *)
+  let alloc_per_row sql =
+    Exec.clear_statement_caches ();
+    let b0 = Gc.allocated_bytes () in
+    ignore (rows_of sql);
+    (Gc.allocated_bytes () -. b0) /. float_of_int n
+  in
+  let gc_sql = List.assoc "gc" workloads in
+  Exec.set_vectorized_enabled false;
+  let alloc_tuple = alloc_per_row gc_sql in
+  Exec.set_vectorized_enabled true;
+  let alloc_vec = alloc_per_row gc_sql in
+  note "gc workload allocation: %.0f B/row tuple -> %.0f B/row vectorized"
+    alloc_tuple alloc_vec;
+  (* -- jobs scaling: chunks partition across the domain pool --------- *)
+  let jobs_n = max 4 (Par.default_jobs ()) in
+  let scale_sql = List.assoc "combo" workloads in
+  let rows_j1, t_j1 = timed_rows scale_sql in
+  let curve =
+    List.filter_map
+      (fun j ->
+        if j = 1 then Some (1, rows_j1, t_j1)
+        else if j > jobs_n then None
+        else begin
+          Par.set_jobs j;
+          let rows, t = timed_rows scale_sql in
+          Some (j, rows, t)
+        end)
+      (List.sort_uniq compare [ 1; 2; 4; jobs_n ])
+  in
+  Par.set_jobs 1;
+  let jobs_identical = List.for_all (fun (_, rows, _) -> rows = rows_j1) curve in
+  print_table
+    [ "combo workload"; "time"; "vs jobs=1" ]
+    (List.map
+       (fun (j, _, t) ->
+         [ Printf.sprintf "jobs=%d" j; fmt_ms t;
+           Printf.sprintf "%.1fx" (t_j1 /. Float.max t 1e-9) ])
+       curve);
+  (* -- packed k-mer extraction feeding batch alignment --------------- *)
+  let k = 12 in
+  let seed = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < k then
+        seed := (!seed lsl 2)
+                lor (match c with 'A' -> 0 | 'C' -> 1 | 'G' -> 2 | _ -> 3))
+    motif;
+  let seqs =
+    Genalg_storage.Table.fold reads_t ~init:[] ~f:(fun acc _ row ->
+        match row.(1) with
+        | D.Opaque (_, data) -> (
+            match Sequence.of_bytes data with Ok s -> s :: acc | Error _ -> acc)
+        | _ -> acc)
+  in
+  let hits = ref [] in
+  let t_kmer =
+    measure ~runs:3 (fun () ->
+        hits :=
+          List.fold_left
+            (fun acc s ->
+              Sequence.fold_kmers ~k
+                (fun acc i h -> if h = !seed then (s, i) :: acc else acc)
+                acc s)
+            [] seqs)
+  in
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun (s, i) ->
+           let len = min (String.length motif) (Sequence.length s - i) in
+           (Sequence.to_string (Sequence.sub s ~pos:i ~len), motif))
+         !hits)
+  in
+  let scores = ref [||] in
+  let t_align =
+    measure ~runs:3 (fun () -> scores := Genalg_align.Batch.score_pairs pairs)
+  in
+  note "k-mer seeds: %d hits of the motif's first %d-mer in %s; %d alignments in %s"
+    (List.length !hits) k (fmt_ms t_kmer) (Array.length pairs) (fmt_ms t_align);
+  (* machine-checkable markers for ci.sh's vectorized smoke step *)
+  let twox = speedup_of "gc" >= 2. && speedup_of "combo" >= 2. in
+  Printf.printf "vec-smoke: single-core-2x=%s\n" (if twox then "yes" else "no");
+  Printf.printf "vec-smoke: results-identical=%s\n" (if identical then "yes" else "no");
+  Printf.printf "vec-smoke: jobs-results-identical=%s\n"
+    (if jobs_identical then "yes" else "no");
+  note "shape: kernels never decode, so gc/len win big; contains wins the";
+  note "decode+copy it skips; jobs>1 multiplies on multi-core hosts"
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1982,6 +2153,7 @@ let experiments =
     ("ABLATE", ablations);
     ("PAR", par_bench);
     ("OPT", opt_bench);
+    ("VEC", vec_bench);
     ("CACHE", cache_bench);
     ("AVAIL", avail);
     ("SERVE", serve_bench);

@@ -61,6 +61,22 @@ echo "$OPT_OUT" | grep -q "opt-smoke: plans-differ=yes" || {
   exit 1
 }
 
+echo "== smoke: vectorized scans (VEC bench: >=2x single-core, results identical) =="
+VEC_OUT=$(GENALG_VEC_N=4000 dune exec bench/main.exe -- VEC)
+echo "$VEC_OUT"
+echo "$VEC_OUT" | grep -q "vec-smoke: single-core-2x=yes" || {
+  echo "vectorized smoke FAILED: packed kernels are not >=2x the tuple path" >&2
+  exit 1
+}
+echo "$VEC_OUT" | grep -q "vec-smoke: results-identical=yes" || {
+  echo "vectorized smoke FAILED: vectorized scan changed a result set" >&2
+  exit 1
+}
+echo "$VEC_OUT" | grep -q "vec-smoke: jobs-results-identical=yes" || {
+  echo "vectorized smoke FAILED: jobs>1 changed vectorized results" >&2
+  exit 1
+}
+
 echo "== smoke: availability under faults (AVAIL bench + crash matrix) =="
 AVAIL_OUT=$(dune exec bench/main.exe -- AVAIL)
 echo "$AVAIL_OUT"
@@ -100,5 +116,28 @@ echo "$SERVE_OUT" | grep -q "serve-smoke: wal-crash-matrix=ok" || {
   echo "serve smoke FAILED: a group-commit crash point lost an acked commit" >&2
   exit 1
 }
+
+echo "== docs: index completeness + intra-repo link integrity =="
+for f in docs/*.md; do
+  b=$(basename "$f")
+  [ "$b" = "ARCHITECTURE.md" ] && continue
+  grep -q "]($b)" docs/ARCHITECTURE.md || {
+    echo "docs check FAILED: docs/$b is not in docs/ARCHITECTURE.md's doc index" >&2
+    exit 1
+  }
+done
+for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  dir=$(dirname "$f")
+  for target in $(grep -o ']([^)]*\.md[^)]*)' "$f" | sed 's/^](//; s/)$//; s/#.*$//'); do
+    case "$target" in
+      http://*|https://*) continue ;;
+    esac
+    [ -f "$dir/$target" ] || {
+      echo "docs check FAILED: $f links to missing $target" >&2
+      exit 1
+    }
+  done
+done
+echo "docs check ok"
 
 echo "== ci ok =="

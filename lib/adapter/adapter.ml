@@ -101,9 +101,14 @@ let udt_definitions : St.Udt.udt list =
                 if ambiguous then `Always_candidate else `Text (Sequence.to_string s));
         matches =
           (fun data ~pattern ->
-            match seq_payload alphabet data with
-            | Ok s -> Sequence.contains ~pattern s
-            | Error _ -> false);
+            (* straight off the stored frame — no payload copy, and
+               canonical DNA patterns hit the packed word-level search
+               (docs/EXECUTION.md); alphabet check mirrors seq_payload *)
+            match Sequence.framed_info data with
+            | Some (a, _) when a = alphabet ->
+                Option.value ~default:false
+                  (Sequence.framed_contains ~pattern data)
+            | Some _ | None -> false);
       }
     in
     {

@@ -133,19 +133,31 @@ let empty alpha = of_string_exn alpha ""
 (* ------------------------------------------------------------------ *)
 (* Access                                                              *)
 
-let unsafe_get t i =
-  match t.encoding with
-  | Byte -> Bytes.unsafe_get t.payload i
-  | Packed2 ->
-      let code = (Char.code (Bytes.unsafe_get t.payload (i / 4)) lsr ((i mod 4) * 2)) land 3 in
-      (match t.alphabet with
+(* Positional code reads parameterized by a byte offset so the same
+   accessors serve both an owned payload (off = 0) and a framed
+   serialized buffer (off = 9, see {!to_bytes}) without copying. *)
+
+let get2 buf off i =
+  (Char.code (Bytes.unsafe_get buf (off + (i / 4))) lsr ((i mod 4) * 2)) land 3
+
+let get4 buf off i =
+  (Char.code (Bytes.unsafe_get buf (off + (i / 2))) lsr ((i mod 2) * 4)) land 15
+
+let char_at alphabet encoding buf off i =
+  match encoding with
+  | Byte -> Bytes.unsafe_get buf (off + i)
+  | Packed2 -> (
+      let code = get2 buf off i in
+      match alphabet with
       | Rna -> Array.unsafe_get packed2_char_rna code
       | Dna | Protein -> Array.unsafe_get packed2_char_dna code)
-  | Packed4 ->
-      let code = (Char.code (Bytes.unsafe_get t.payload (i / 2)) lsr ((i mod 2) * 4)) land 15 in
-      (match t.alphabet with
+  | Packed4 -> (
+      let code = get4 buf off i in
+      match alphabet with
       | Rna -> Array.unsafe_get packed4_char_rna code
       | Dna | Protein -> Array.unsafe_get packed4_char_dna code)
+
+let unsafe_get t i = char_at t.alphabet t.encoding t.payload 0 i
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Sequence.get: index out of bounds";
@@ -252,22 +264,77 @@ let char_matches alpha a b =
         | Some x, Some y -> Nucleotide.matches x y
         | _ -> false)
 
-let find ?(start = 0) ~pattern t =
+(* Generic matcher: decode one subject char at a time and compare via
+   [char_matches]. Works for every alphabet/encoding pair. *)
+let find_chars alphabet encoding buf off len ~start ~pattern =
+  let m = String.length pattern in
+  let limit = len - m in
+  let rec at i j =
+    if j = m then true
+    else if char_matches alphabet (char_at alphabet encoding buf off (i + j)) pattern.[j]
+    then at i (j + 1)
+    else false
+  in
+  let rec loop i =
+    if i > limit then None else if at i 0 then Some i else loop (i + 1)
+  in
+  loop (max 0 start)
+
+(* Packed2 fast path. Canonical bases have exactly one 2-bit code each
+   and T/U share code 3, so for a canonical pattern [char_matches]
+   degenerates to code equality: a window of up to 31 subject codes
+   packs into one 62-bit word (code j at bits 2j..2j+1) compared
+   against a precomputed pattern word, advancing by one shift+or per
+   position instead of per-char decode. Patterns longer than 31 verify
+   the remaining codes only on a window hit. *)
+let find_packed2 buf off len ~start ~pattern =
+  let m = String.length pattern in
+  let start = max 0 start in
+  let limit = len - m in
+  if limit < start then None
+  else begin
+    let mm = min m 31 in
+    let pat = ref 0 in
+    for j = mm - 1 downto 0 do
+      pat := (!pat lsl 2) lor packed2_code pattern.[j]
+    done;
+    let pat = !pat in
+    let verify_tail i =
+      let rec go j =
+        j >= m || (get2 buf off (i + j) = packed2_code pattern.[j] && go (j + 1))
+      in
+      go mm
+    in
+    let w = ref 0 in
+    for j = mm - 1 downto 0 do
+      w := (!w lsl 2) lor get2 buf off (start + j)
+    done;
+    let rec loop i =
+      if !w = pat && (mm = m || verify_tail i) then Some i
+      else if i >= limit then None
+      else begin
+        w := (!w lsr 2) lor (get2 buf off (i + mm) lsl (2 * (mm - 1)));
+        loop (i + 1)
+      end
+    in
+    loop start
+  end
+
+let all_packed2 pattern =
+  let m = String.length pattern in
+  let rec go i = i >= m || (packed2_code pattern.[i] >= 0 && go (i + 1)) in
+  go 0
+
+let find_in alphabet encoding buf off len ~start ~pattern =
   let m = String.length pattern in
   let pattern = String.uppercase_ascii pattern in
-  if m = 0 then if start <= t.len then Some start else None
-  else begin
-    let limit = t.len - m in
-    let rec at i j =
-      if j = m then true
-      else if char_matches t.alphabet (unsafe_get t (i + j)) pattern.[j] then at i (j + 1)
-      else false
-    in
-    let rec loop i =
-      if i > limit then None else if at i 0 then Some i else loop (i + 1)
-    in
-    loop (max 0 start)
-  end
+  if m = 0 then if start <= len then Some start else None
+  else if encoding = Packed2 && all_packed2 pattern then
+    find_packed2 buf off len ~start ~pattern
+  else find_chars alphabet encoding buf off len ~start ~pattern
+
+let find ?(start = 0) ~pattern t =
+  find_in t.alphabet t.encoding t.payload 0 t.len ~start ~pattern
 
 let find_all ~pattern t =
   let rec loop start acc =
@@ -279,6 +346,86 @@ let find_all ~pattern t =
   else loop 0 []
 
 let contains ~pattern t = find ~pattern t <> None
+
+(* ------------------------------------------------------------------ *)
+(* Packed word-level kernels                                           *)
+
+(* GC counting one payload byte at a time via 256-entry tables: each
+   Packed2 byte holds four 2-bit codes (G=2, C=1), each Packed4 byte two
+   IUPAC nibbles (G=4, C=2, S=6 — the exact set [gc_count] accepts). *)
+
+let gc2_byte_lut =
+  Array.init 256 (fun b ->
+      let n = ref 0 in
+      for s = 0 to 3 do
+        match (b lsr (s * 2)) land 3 with 1 | 2 -> incr n | _ -> ()
+      done;
+      !n)
+
+let gc4_byte_lut =
+  Array.init 256 (fun b ->
+      let nib = function 2 | 4 | 6 -> 1 | _ -> 0 in
+      nib (b land 15) + nib (b lsr 4))
+
+(* The bases of a partial trailing byte are counted individually:
+   [of_bytes] does not validate padding bits, so a crafted final byte
+   must not leak into the count. *)
+let gc_packed encoding buf off len =
+  match encoding with
+  | Packed2 ->
+      let full = len / 4 in
+      let n = ref 0 in
+      for b = 0 to full - 1 do
+        n := !n + Array.unsafe_get gc2_byte_lut (Char.code (Bytes.unsafe_get buf (off + b)))
+      done;
+      for i = full * 4 to len - 1 do
+        match get2 buf off i with 1 | 2 -> incr n | _ -> ()
+      done;
+      !n
+  | Packed4 ->
+      let full = len / 2 in
+      let n = ref 0 in
+      for b = 0 to full - 1 do
+        n := !n + Array.unsafe_get gc4_byte_lut (Char.code (Bytes.unsafe_get buf (off + b)))
+      done;
+      if len land 1 = 1 then begin
+        match get4 buf off (len - 1) with 2 | 4 | 6 -> incr n | _ -> ()
+      end;
+      !n
+  | Byte ->
+      let n = ref 0 in
+      for i = 0 to len - 1 do
+        match Bytes.unsafe_get buf (off + i) with 'G' | 'C' | 'S' -> incr n | _ -> ()
+      done;
+      !n
+
+(* Rolling k-mer extraction straight off the packed codes, using the
+   same big-endian hash convention as [Kmer_index] (A=0 C=1 G=2 T=3;
+   U shares T's code). The valid counter resets on any base without a
+   canonical 2-bit code, so ambiguity codes never produce a k-mer. *)
+let fold_kmers ~k f init t =
+  if k < 1 || k > 31 then invalid_arg "Sequence.fold_kmers: k must be in [1, 31]";
+  let mask = (1 lsl (2 * k)) - 1 in
+  let code_at =
+    match t.encoding with
+    | Packed2 -> fun i -> get2 t.payload 0 i
+    | Packed4 | Byte -> fun i -> packed2_code (Char.uppercase_ascii (unsafe_get t i))
+  in
+  let acc = ref init in
+  let hash = ref 0 and valid = ref 0 in
+  for i = 0 to t.len - 1 do
+    let c = code_at i in
+    if c < 0 then begin
+      valid := 0;
+      hash := 0
+    end
+    else begin
+      hash := ((!hash lsl 2) lor c) land mask;
+      incr valid;
+      if !valid >= k then acc := f !acc (i - k + 1) !hash
+    end
+  done;
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                          *)
@@ -348,6 +495,56 @@ let of_bytes buf =
         else
           Ok { alphabet; encoding; len; payload = Bytes.sub buf 9 expected }
     | _ -> Error "Sequence.of_bytes: bad tag byte"
+
+(* ------------------------------------------------------------------ *)
+(* Framed kernels: operate on a [to_bytes] buffer in place              *)
+
+(* Validates the frame exactly as [of_bytes] does but keeps the payload
+   where it is (offset 9) instead of copying it out — the scan kernels
+   below are the reason rows never need a per-row [Bytes.sub]. *)
+let frame_info buf =
+  if Bytes.length buf < 9 then None
+  else
+    let tag = Char.code (Bytes.get buf 0) in
+    let alpha =
+      match tag lsr 2 with 0 -> Some Dna | 1 -> Some Rna | 2 -> Some Protein | _ -> None
+    in
+    let enc =
+      match tag land 3 with 0 -> Some Packed2 | 1 -> Some Packed4 | 2 -> Some Byte | _ -> None
+    in
+    match alpha, enc with
+    | Some alphabet, Some encoding ->
+        let len = Int64.to_int (Bytes.get_int64_le buf 1) in
+        let expected =
+          match encoding with
+          | Packed2 -> (len + 3) / 4
+          | Packed4 -> (len + 1) / 2
+          | Byte -> len
+        in
+        if len < 0 || Bytes.length buf <> 9 + expected then None
+        else Some (alphabet, encoding, len)
+    | _ -> None
+
+let framed_info buf =
+  match frame_info buf with
+  | Some (alphabet, _, len) -> Some (alphabet, len)
+  | None -> None
+
+let framed_gc_count buf =
+  match frame_info buf with
+  | Some ((Dna | Rna), encoding, len) -> Some (gc_packed encoding buf 9 len)
+  | Some (Protein, _, _) | None -> None
+
+let framed_find ?(start = 0) ~pattern buf =
+  match frame_info buf with
+  | Some (alphabet, encoding, len) ->
+      Some (find_in alphabet encoding buf 9 len ~start ~pattern)
+  | None -> None
+
+let framed_contains ~pattern buf =
+  match framed_find ~pattern buf with
+  | Some r -> Some (r <> None)
+  | None -> None
 
 let pp ppf t =
   let n = min t.len 60 in

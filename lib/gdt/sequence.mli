@@ -118,6 +118,42 @@ val to_bytes : t -> bytes
 val of_bytes : bytes -> (t, string) result
 (** Inverse of {!to_bytes}. *)
 
+(** {2 Framed kernels}
+
+    Word-level operations evaluated directly on a {!to_bytes} buffer,
+    reading the packed payload in place — no [Bytes.sub], no decode to
+    text, no per-row allocation. Each returns [None] when the buffer is
+    not a valid frame (exactly the cases {!of_bytes} rejects), or when
+    the operation does not apply to the framed alphabet; callers fall
+    back to the decoding path to reproduce its error message. *)
+
+val framed_info : bytes -> (alphabet * int) option
+(** Alphabet and base-pair length of a frame, validating the header and
+    payload size exactly as {!of_bytes} does, without copying. *)
+
+val framed_gc_count : bytes -> int option
+(** G/C/S count of a framed nucleotide sequence via 256-entry per-byte
+    tables over the packed payload (4 bases per probe at 2 bits/base).
+    [None] for protein frames and invalid buffers. Agrees exactly with
+    {!gc_count}∘{!of_bytes}, including partial trailing bytes. *)
+
+val framed_find : ?start:int -> pattern:string -> bytes -> int option option
+(** [Some (find result)] evaluated in place on the frame; [None] for
+    invalid buffers. Same semantics as {!find}∘{!of_bytes}. *)
+
+val framed_contains : pattern:string -> bytes -> bool option
+(** [Some (contains result)] evaluated in place on the frame. Canonical
+    patterns over 2-bit payloads use a rolling packed-word comparison
+    (up to 31 bases per machine-word equality test). *)
+
+val fold_kmers : k:int -> ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+(** [fold_kmers ~k f init t] folds [f acc pos hash] over every k-mer of
+    [t] whose bases all have canonical 2-bit codes, reading codes
+    straight from the packed payload. [hash] is the big-endian 2-bit
+    packing (A=0, C=1, G=2, T/U=3) used by the k-mer index, [pos] the
+    0-based start. Ambiguous bases reset the window. [k] must be in
+    [\[1, 31\]]. *)
+
 val empty : alphabet -> t
 
 val pp : Format.formatter -> t -> unit

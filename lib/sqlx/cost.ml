@@ -16,6 +16,16 @@ let hash_build_row = 1.4
 let hash_probe_row = 0.9
 let nested_probe_row = 1.0
 
+(* Per-row costs of the packed scan kernels (docs/EXECUTION.md): the
+   vectorized executor evaluates these predicates straight on the 2-bit
+   payload — no decode, no env, no allocation — so their chain cost
+   sits far below the scalar [Plan.fn_cost] model (length 50, gc 50,
+   contains 200). Ratios roughly track the VEC bench. *)
+
+let vec_len_row = 0.1      (* header read + integer compare *)
+let vec_gc_row = 2.0       (* one LUT probe per 4 bases *)
+let vec_contains_row = 20.0 (* rolling packed-word substring scan *)
+
 (* ---- filter chains ------------------------------------------------ *)
 
 (* Expected per-row cost of evaluating filters (cost, selectivity) in

@@ -15,6 +15,13 @@ val hash_build_row : float
 val hash_probe_row : float
 val nested_probe_row : float
 
+val vec_len_row : float
+val vec_gc_row : float
+val vec_contains_row : float
+(** Per-row cost of a filter the vectorized scan serves with a packed
+    kernel ({!Vec}); substituted for the scalar predicate cost in
+    residual filter chains so plans reflect the batch executor. *)
+
 (** {1 Filter chains} *)
 
 val chain_cost : (float * float) list -> float

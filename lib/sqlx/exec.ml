@@ -258,14 +258,46 @@ let scan_table db ~actor (tp : Plan.table_plan) =
       (* apply pushed-down filters in plan order, over parallel
          partitions of the decoded rows when worthwhile *)
       (match !fallback_filter @ tp.Plan.filters with
-      | [] -> Ok (List.map bindings_of raw_rows, 1)
+      | [] -> Ok (List.map bindings_of raw_rows, 1, None)
+      | filters when Vec.enabled () ->
+          (* batch-at-a-time: columnar chunks with selection vectors,
+             packed kernels where the classifier allows, per-row tuple
+             fallback otherwise (docs/EXECUTION.md) *)
+          let rows = Array.of_list raw_rows in
+          let dtype_of qualifier name =
+            let qualifier_ok =
+              match qualifier with
+              | None -> true
+              | Some q ->
+                  String.lowercase_ascii q
+                  = String.lowercase_ascii tp.Plan.alias
+            in
+            if not qualifier_ok then None
+            else
+              match Schema.column_index schema (String.lowercase_ascii name) with
+              | Some i -> Some ((Schema.column schema i).Schema.dtype, i)
+              | None -> None
+          in
+          let resolves name args =
+            Genalg_storage.Udt.resolve_function (Db.udts db) name args <> None
+          in
+          let stages = Vec.compile ~dtype_of ~resolves filters in
+          let eval_row values f =
+            Eval.eval_predicate (env_of db [ bindings_of values ]) f
+          in
+          let* kept, report = Vec.run ~eval_row ~stages rows in
+          if report.Vec.parts > 1 then Obs.add c_scan_partitions report.Vec.parts;
+          Ok
+            ( List.map (fun i -> bindings_of rows.(i)) kept,
+              report.Vec.parts,
+              Some report )
       | filters ->
           let items =
             Array.of_list (List.map (fun row -> [ bindings_of row ]) raw_rows)
           in
           let* kept, parts = filter_ordered db filters items in
           if parts > 1 then Obs.add c_scan_partitions parts;
-          Ok (List.map List.hd kept, parts))
+          Ok (List.map List.hd kept, parts, None))
 
 (* When the index-eq access came from a conjunct that the planner removed,
    rows from a fallback full scan could violate it. To stay correct we
@@ -445,6 +477,12 @@ let set_hash_join_enabled b =
   Plan.set_hash_join_enabled b;
   clear_statement_caches ()
 
+(* same invalidation story: plans carry vec-kernel annotations and
+   cached results may have been produced by either path *)
+let set_vectorized_enabled b =
+  Vec.set_enabled b;
+  clear_statement_caches ()
+
 let query_key db ~actor ~optimize select =
   { qk_db = Db.id db; qk_actor = String.lowercase_ascii actor; qk_optimize = optimize;
     qk_select = select }
@@ -527,6 +565,15 @@ let catalog_of db ~actor =
               | Some { Table.distinct; _ } when distinct > 0 ->
                   Some (1. /. float_of_int distinct)
               | Some _ | None -> None)
+          | None -> None);
+      column_dtype =
+        (fun ~table ~column ->
+          match Db.resolve db ~actor table with
+          | Some (_, t) ->
+              let schema = Table.schema t in
+              Option.map
+                (fun i -> (Schema.column schema i).Schema.dtype)
+                (Schema.column_index schema column)
           | None -> None);
   }
 
@@ -636,9 +683,9 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
           scan_table db ~actor tp)
     in
     (match res with
-    | Ok (rows, parts) ->
+    | Ok (rows, parts, vec) ->
         let label =
-          Printf.sprintf "Scan %s%s via %s%s%s" tp.Plan.table
+          Printf.sprintf "Scan %s%s via %s%s%s%s" tp.Plan.table
             (if tp.Plan.alias <> tp.Plan.table then " as " ^ tp.Plan.alias else "")
             (Plan.access_to_string tp.Plan.access)
             (if parts > 1 then Printf.sprintf " [partitions=%d]" parts else "")
@@ -647,6 +694,9 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
             | fs ->
                 Printf.sprintf " filter [%s]"
                   (String.concat "; " (List.map Ast.expr_to_string fs)))
+            (match vec with
+            | Some r -> " " ^ Vec.report_to_string r
+            | None -> "")
         in
         scan_profs :=
           { op = label; actual_rows = List.length rows;
@@ -654,7 +704,7 @@ let run_select_profiled ?(optimize = true) db ~actor (select : Ast.select) =
             elapsed_s = Obs.now_s () -. t0; children = [] }
           :: !scan_profs
     | Error _ -> ());
-    Result.map fst res
+    Result.map (fun (rows, _, _) -> rows) res
   in
   (* scan + join: one step per table after the first, following the
      planner's per-step strategy and filter assignment *)

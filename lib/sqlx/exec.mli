@@ -108,6 +108,13 @@ val set_hash_join_enabled : bool -> unit
     immediately. Disabling forces the nested-loop baseline — used by the
     PAR bench and the hash ≡ nested-loop equivalence tests. *)
 
+val set_vectorized_enabled : bool -> unit
+(** Enable/disable batch-at-a-time scan execution (default enabled;
+    see {!Vec} and docs/EXECUTION.md). Disabling forces the
+    tuple-at-a-time baseline. Also drops cached plans and results so
+    the toggle takes effect immediately — used by the VEC bench and
+    the vectorized ≡ tuple equivalence tests. *)
+
 val set_planner_mode : Plan.mode -> unit
 (** Select the planner: [Cost_based] (default) consults ANALYZE
     statistics where they exist; [Heuristic] always uses the static

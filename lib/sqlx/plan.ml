@@ -32,6 +32,9 @@ type table_plan = {
   access : access;
   filters : Ast.expr list;
   est_rows : float option;
+  vec_kernels : string list;
+      (* packed-kernel labels the vectorized scan expects to use for
+         the pushed-down filters; display-only (EXPLAIN) *)
 }
 
 type join_strategy =
@@ -87,7 +90,37 @@ type catalog = {
   has_genomic_index : table:string -> column:string -> bool;
   column_exists : table:string -> column:string -> bool;
   equality_selectivity : table:string -> column:string -> float option;
+  column_dtype : table:string -> column:string -> D.t option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized-kernel awareness: which pushed-down filters the
+   batch executor will serve with packed kernels. Classification here
+   mirrors {!Vec.classify} against the catalog's declared column
+   types; the executor re-checks against the live schema and the
+   function registry, so this is a planning/display-level promise. *)
+
+let vec_classify catalog ~table ~alias f =
+  if not (Vec.enabled ()) then None
+  else
+    let dtype_of qualifier name =
+      let qualifier_ok =
+        match qualifier with
+        | None -> true
+        | Some q -> String.lowercase_ascii q = String.lowercase_ascii alias
+      in
+      if not qualifier_ok then None
+      else
+        Option.map
+          (fun dt -> (dt, 0))
+          (catalog.column_dtype ~table ~column:name)
+    in
+    Vec.classify ~dtype_of ~resolves:(fun _ _ -> true) f
+
+let vec_kernels_of catalog ~table ~alias filters =
+  List.filter_map
+    (fun f -> Option.map Vec.kernel_label (vec_classify catalog ~table ~alias f))
+    filters
 
 (* ------------------------------------------------------------------ *)
 (* Cost and selectivity models                                         *)
@@ -381,7 +414,18 @@ let plan_table_cost_based stats catalog ~table ~alias mine =
           (rank_stats stats ~table ~alias b))
       fs
   in
-  let chain fs = List.map (fun f -> (predicate_cost f, sel f)) fs in
+  (* per-conjunct evaluation cost: filters the vectorized scan serves
+     with a packed kernel are far cheaper than the scalar fn model *)
+  let conjunct_cost f =
+    match vec_classify catalog ~table ~alias f with
+    | Some k -> (
+        match k.Vec.k_kind with
+        | Vec.Gc_cmp _ -> Cost.vec_gc_row
+        | Vec.Len_cmp _ -> Cost.vec_len_row
+        | Vec.Contains _ -> Cost.vec_contains_row)
+    | None -> predicate_cost f
+  in
+  let chain fs = List.map (fun f -> (conjunct_cost f, sel f)) fs in
   let without c = List.filter (fun x -> x != c) mine in
   let candidate_of c =
     match index_access catalog ~table ~alias c with
@@ -443,7 +487,8 @@ let plan_table_cost_based stats catalog ~table ~alias mine =
   | Genomic_contains _ -> Obs.add c_contains_paths 1
   | Genomic_seed _ -> Obs.add c_seed_paths 1
   | Full_scan -> ());
-  { table; alias; access; filters; est_rows = Some est.Cost.est_rows }
+  { table; alias; access; filters; est_rows = Some est.Cost.est_rows;
+    vec_kernels = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Join steps: each cross-table conjunct is applied exactly once, at the
@@ -596,6 +641,22 @@ let join_edges stats catalog from classified =
         | _ -> None)
     classified
 
+(* Stamp each table plan with the kernel labels the vectorized scan is
+   expected to use, so plain EXPLAIN shows them before execution. *)
+let annotate_vec catalog t =
+  {
+    t with
+    tables =
+      List.map
+        (fun tp ->
+          {
+            tp with
+            vec_kernels =
+              vec_kernels_of catalog ~table:tp.table ~alias:tp.alias tp.filters;
+          })
+        t.tables;
+  }
+
 let make ?(optimize = true) ?stats catalog (select : Ast.select) =
   let conjuncts =
     match select.Ast.where with None -> [] | Some w -> Ast.conjuncts w
@@ -615,7 +676,8 @@ let make ?(optimize = true) ?stats catalog (select : Ast.select) =
               (fun (c, al) -> if al = [ alias ] then Some c else None)
               classified
           in
-          { table; alias; access = Full_scan; filters; est_rows = None })
+          { table; alias; access = Full_scan; filters; est_rows = None;
+            vec_kernels = [] })
         from
     in
     let join_filters =
@@ -626,7 +688,8 @@ let make ?(optimize = true) ?stats catalog (select : Ast.select) =
     let joins, tail_filters =
       make_steps ~hash_join:false catalog from classified join_filters
     in
-    { tables; join_filters; joins; tail_filters; est_out = None; output_order }
+    annotate_vec catalog
+      { tables; join_filters; joins; tail_filters; est_out = None; output_order }
   end
   else begin
     let plan_table (table, alias) =
@@ -661,7 +724,7 @@ let make ?(optimize = true) ?stats catalog (select : Ast.select) =
                   (rank_with catalog ~table ~alias b))
               residual
           in
-          { table; alias; access; filters; est_rows = None }
+          { table; alias; access; filters; est_rows = None; vec_kernels = [] }
     in
     let tables = List.map plan_table from in
     (* Join reordering: only when statistics cover every FROM table, so
@@ -741,7 +804,8 @@ let make ?(optimize = true) ?stats catalog (select : Ast.select) =
           (joins, Some !card)
       | _ -> (joins, None)
     in
-    { tables; join_filters; joins; tail_filters; est_out; output_order }
+    annotate_vec catalog
+      { tables; join_filters; joins; tail_filters; est_out; output_order }
   end
 
 let access_to_string = function
@@ -784,7 +848,10 @@ let to_string ?(jobs = 1) t =
           | fs ->
               Printf.sprintf " filter [%s]"
                 (String.concat "; " (List.map Ast.expr_to_string fs)))
-          (est tp.est_rows))
+          (est tp.est_rows
+          ^ match tp.vec_kernels with
+            | [] -> ""
+            | ks -> Printf.sprintf " vec [%s]" (String.concat "; " ks)))
       t.tables
   in
   let join_lines =

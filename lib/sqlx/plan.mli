@@ -47,6 +47,11 @@ type table_plan = {
   est_rows : float option;
       (** cost-based estimate of rows this scan emits after filters;
           [None] for heuristic plans *)
+  vec_kernels : string list;
+      (** labels of the packed kernels the vectorized scan expects to
+          serve [filters] with (e.g. ["packed-gc(seq)"]); display-only
+          — the executor re-classifies against the live schema and
+          function registry. Empty when vectorization is disabled *)
 }
 
 type join_strategy =
@@ -124,6 +129,11 @@ type catalog = {
   equality_selectivity : table:string -> column:string -> float option;
       (** [1 / distinct] from ANALYZE statistics; [None] when the table
           has not been analyzed *)
+  column_dtype : table:string -> column:string -> D.t option;
+      (** declared dtype of a column, used to classify pushed-down
+          filters against the packed scan kernels ({!Vec}) both for
+          kernel-aware chain costing and the EXPLAIN [vec [...]]
+          annotation *)
 }
 
 val predicate_cost : Ast.expr -> float

@@ -186,6 +186,7 @@ let test_sql_planner_picks_genomic_access () =
           | None -> false);
       column_exists = (fun ~table:_ ~column:_ -> true);
       equality_selectivity = (fun ~table:_ ~column:_ -> None);
+      column_dtype = (fun ~table:_ ~column:_ -> None);
     }
   in
   let select =

@@ -111,6 +111,7 @@ let catalog ?(genomic = []) ~indexed () =
     has_genomic_index = (fun ~table:_ ~column -> List.mem column genomic);
     column_exists = (fun ~table:_ ~column:_ -> true);
     equality_selectivity = (fun ~table:_ ~column:_ -> None);
+    column_dtype = (fun ~table:_ ~column:_ -> None);
   }
 
 let select_of input =

@@ -82,6 +82,7 @@ let catalog_of db =
                 Some (1. /. float_of_int distinct)
             | _ -> None)
         | None -> None);
+    column_dtype = (fun ~table:_ ~column:_ -> None);
   }
 
 let test_stats_driven_ordering () =
