@@ -2145,6 +2145,175 @@ let vec_bench () =
 
 (* ================================================================== *)
 
+(* SHARD: the scatter-gather coordinator. nproc may be 1, so the scan
+   scaling gate has to come from partition pruning (a WHERE conjunct
+   pinning the partition column routes to one shard, which scans ~1/N of
+   the rows), not from parallel shard execution. Every query varies its
+   literals and clears the statement caches so the result cache cannot
+   serve repeats. *)
+let shard_bench () =
+  heading "SHARD"
+    "Sharded scatter-gather: partition pruning, partial aggregates, failover";
+  let module Cluster = Genalg_shard.Cluster in
+  let module Fault = Genalg_fault.Fault in
+  Obs.set_enabled true;
+  let n =
+    match Sys.getenv_opt "GENALG_SHARD_N" with
+    | Some s -> (try max 500 (int_of_string s) with Failure _ -> 8_000)
+    | None -> 8_000
+  in
+  let orgs = 64 in
+  note "%d sample rows over %d organisms (GENALG_SHARD_N overrides)" n orgs;
+  let actor = "bench" in
+  let attach db = Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default in
+  let create_sql =
+    "CREATE TABLE samples (organism string, accession string, len int, score \
+     float)"
+  in
+  let row_sql i =
+    Printf.sprintf "('org%02d', 'ACC%05d', %d, %.2f)" (i mod orgs) i
+      (200 + (i * 37 mod 600))
+      (float_of_int (i * 13 mod 100) /. 100.)
+  in
+  let batches =
+    let rec chunk lo acc =
+      if lo >= n then List.rev acc
+      else begin
+        let hi = min n (lo + 250) in
+        let rows = List.init (hi - lo) (fun k -> row_sql (lo + k)) in
+        chunk hi
+          (Printf.sprintf "INSERT INTO samples VALUES %s"
+             (String.concat ", " rows)
+          :: acc)
+      end
+    in
+    chunk 0 []
+  in
+  let ok = function Ok v -> v | Error m -> failwith m in
+  let load_cluster cl =
+    ignore (ok (Cluster.query cl ~actor create_sql));
+    List.iter (fun sql -> ignore (ok (Cluster.query cl ~actor sql))) batches
+  in
+  let base = Db.create () in
+  attach base;
+  ignore (ok (Exec.query base ~actor create_sql));
+  List.iter (fun sql -> ignore (ok (Exec.query base ~actor sql))) batches;
+  (* pruned read mix: aggregates and a top-k filter scan, literals varied *)
+  let query_at i =
+    let org = i * 7 mod orgs and thr = 200 + (i * 53 mod 600) in
+    if i mod 2 = 0 then
+      Printf.sprintf
+        "SELECT count(*), sum(len), avg(score) FROM samples WHERE organism = \
+         'org%02d' AND len >= %d"
+        org thr
+    else
+      Printf.sprintf
+        "SELECT accession, len FROM samples WHERE organism = 'org%02d' AND \
+         len < %d ORDER BY len, accession LIMIT 5"
+        org thr
+  in
+  (* -- scan scaling across shard counts ------------------------------ *)
+  let q_scale = 96 in
+  let run_mix cl =
+    for i = 0 to q_scale - 1 do
+      Exec.clear_statement_caches ();
+      ignore (ok (Cluster.query cl ~actor (query_at i)))
+    done
+  in
+  let scaling =
+    List.map
+      (fun shards ->
+        let cl = Cluster.create_local ~attach ~replicas:false ~shards () in
+        let _, t_load = time (fun () -> load_cluster cl) in
+        (* warm pass so domain pools and caches exist everywhere *)
+        for i = 0 to 7 do
+          Exec.clear_statement_caches ();
+          ignore (ok (Cluster.query cl ~actor (query_at i)))
+        done;
+        let _, t = time (fun () -> run_mix cl) in
+        (shards, cl, t_load, float_of_int q_scale /. Float.max t 1e-9))
+      [ 1; 2; 4; 8 ]
+  in
+  let qps_of s =
+    let _, _, _, qps = List.find (fun (s', _, _, _) -> s' = s) scaling in
+    qps
+  in
+  print_table
+    [ "shards"; "load"; "pruned qps"; "vs 1 shard" ]
+    (List.map
+       (fun (s, _, t_load, qps) ->
+         [ string_of_int s; fmt_ms t_load; Printf.sprintf "%.0f" qps;
+           Printf.sprintf "%.1fx" (qps /. Float.max (qps_of 1) 1e-9) ])
+       scaling);
+  let cl4 =
+    let _, cl, _, _ = List.find (fun (s, _, _, _) -> s = 4) scaling in
+    cl
+  in
+  let r = Cluster.last_report cl4 in
+  note "pruning: last 4-shard scatter hit %d of 4 shards (gathered=%d)"
+    r.Cluster.targets r.Cluster.gathered;
+  (* -- results identical to the single-node engine -------------------- *)
+  let corpus =
+    [
+      "SELECT count(*) FROM samples";
+      "SELECT organism, count(*), avg(len) FROM samples GROUP BY organism \
+       ORDER BY organism LIMIT 10";
+      "SELECT count(*), min(score), max(len) FROM samples WHERE len >= 400";
+      "SELECT accession FROM samples WHERE organism = 'org03' ORDER BY \
+       accession LIMIT 20";
+      "SELECT organism, sum(len) FROM samples GROUP BY organism HAVING \
+       count(*) >= 50 ORDER BY organism";
+      "SELECT upper(organism), count(*) FROM samples GROUP BY \
+       upper(organism) ORDER BY upper(organism) LIMIT 5";
+      "SELECT count(*) FROM samples WHERE organism = 'no-such-organism'";
+      "SELECT avg(len) FROM samples WHERE organism = 'org00'";
+      "SELECT missing FROM samples";
+    ]
+  in
+  let identical =
+    List.for_all
+      (fun sql ->
+        Exec.clear_statement_caches ();
+        let a = Cluster.query cl4 ~actor sql in
+        Exec.clear_statement_caches ();
+        a = Exec.query base ~actor sql)
+      corpus
+  in
+  (* -- zero failed queries under a crash-looping primary -------------- *)
+  let fcl = Cluster.create_local ~attach ~replicas:true ~shards:4 () in
+  load_cluster fcl;
+  let spec = "seed=7;shard.1.primary:error:p=0.7;shard.2.primary:crash:p=0.35" in
+  (match Fault.configure spec with Ok () -> () | Error m -> failwith m);
+  let q_fault = 40 in
+  let ok_n = ref 0 and same_n = ref 0 in
+  for i = 0 to q_fault - 1 do
+    let sql = query_at i in
+    Exec.clear_statement_caches ();
+    let a = Cluster.query fcl ~actor sql in
+    Exec.clear_statement_caches ();
+    let b = Exec.query base ~actor sql in
+    (match a with Ok _ -> incr ok_n | Error _ -> ());
+    if a = b then incr same_n
+  done;
+  Fault.disable ();
+  note "fault spec %s" spec;
+  note "%d/%d queries answered, %d/%d identical to single-node; %d \
+        primary->replica failovers"
+    !ok_n q_fault !same_n q_fault
+    (Cluster.failovers_total fcl);
+  print_endline (Obs.render_table ~prefix:"shard" ());
+  (* machine-checkable markers for ci.sh's sharding smoke step *)
+  let scaling_ok = qps_of 4 >= 1.6 *. qps_of 1 in
+  Printf.printf "shard-smoke: scan-scaling-1.6x=%s\n"
+    (if scaling_ok then "yes" else "no");
+  Printf.printf "shard-smoke: results-identical=%s\n"
+    (if identical then "yes" else "no");
+  Printf.printf "shard-smoke: failover-40of40=%s\n"
+    (if !ok_n = q_fault && !same_n = q_fault then "yes" else "no");
+  note "shape: pruning does the scaling work on a single core - a pinned";
+  note "partition column scans ~1/N of the rows; fan-out adds cores when \
+        present"
+
 let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3);
@@ -2157,6 +2326,7 @@ let experiments =
     ("CACHE", cache_bench);
     ("AVAIL", avail);
     ("SERVE", serve_bench);
+    ("SHARD", shard_bench);
     ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);
   ]

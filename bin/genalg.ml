@@ -21,6 +21,7 @@ module Obs = Genalg_obs.Obs
 module Par = Genalg_par.Par
 module Fault = Genalg_fault.Fault
 module Resilience = Genalg_resilience.Resilience
+module Cluster = Genalg_shard.Cluster
 
 (* deterministic fault injection (docs/ROBUSTNESS.md); the same spec can
    also arrive via GENALG_FAULTS *)
@@ -496,10 +497,17 @@ let socket_flag ~doc =
     value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run path socket max_sessions max_rows max_query_s jobs fault =
+  let run path socket max_sessions max_rows max_query_s shard_id shard_count
+      jobs fault =
     apply_jobs jobs;
     apply_faults fault;
     let socket_path = Option.value socket ~default:(path ^ ".sock") in
+    let topology =
+      match (shard_id, shard_count) with
+      | Some i, Some n -> Printf.sprintf "shard %d/%d" i n
+      | Some i, None -> Printf.sprintf "shard %d/?" i
+      | None, _ -> "standalone"
+    in
     let config =
       {
         (Server.default_config ~socket_path) with
@@ -507,6 +515,7 @@ let serve_cmd =
         max_rows;
         max_query_s;
         attach = (fun db -> attach db);
+        topology;
       }
     in
     match Server.create config ~db_path:path with
@@ -550,6 +559,22 @@ let serve_cmd =
       value & opt float 5.0
       & info [ "max-query-s" ] ~doc:"Per-query wall-clock cap in seconds")
   in
+  let shard_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-id" ] ~docv:"I"
+          ~doc:
+            "Announce this server as shard $(docv) of a cluster in the v2 \
+             WELCOME topology handshake (see docs/SHARDING.md)")
+  in
+  let shard_count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-count" ] ~docv:"N"
+          ~doc:"Total shard count announced alongside $(b,--shard-id)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -558,7 +583,7 @@ let serve_cmd =
           (see docs/SERVING.md)")
     Term.(
       const run $ path $ socket $ max_sessions $ max_rows $ max_query_s
-      $ jobs_flag $ fault_flag)
+      $ shard_id $ shard_count $ jobs_flag $ fault_flag)
 
 let print_reply = function
   | Proto.Rows { columns; rows } ->
@@ -572,7 +597,65 @@ let print_reply = function
   | Proto.Welcome _ | Proto.Bye -> ()
 
 let connect_cmd =
-  let run socket actor command =
+  (* coordinator mode: --shards turns the client into a scatter-gather
+     coordinator over N genalg-serve shards (docs/SHARDING.md) *)
+  let run_cluster ~actor ~command ~sockets ~replicas ~fault =
+    apply_faults fault;
+    Obs.set_enabled true;
+    match Cluster.create_remote ~attach ?replicas ~actor ~sockets () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok cl -> (
+        let dispatch line =
+          match String.lowercase_ascii (String.trim line) with
+          | "\\stats" ->
+              print_endline (Obs.render_table ~prefix:"shard" ());
+              Ok ()
+          | "\\report" ->
+              let r = Cluster.last_report cl in
+              Printf.printf
+                "last scatter: targets=%d gathered=%d failed-over=%d%s\n"
+                r.Cluster.targets r.Cluster.gathered r.Cluster.failed_over
+                (match r.Cluster.fallback with
+                | None -> ""
+                | Some why -> Printf.sprintf " fallback=%s" why);
+              Ok ()
+          | _ -> (
+              match Cluster.query cl ~actor line with
+              | Ok outcome ->
+                  print_outcome (Cluster.mirror cl) outcome;
+                  Ok ()
+              | Error msg ->
+                  Printf.printf "error: %s\n" msg;
+                  Ok ())
+        in
+        match command with
+        | Some line ->
+            ignore (dispatch line);
+            Cluster.close cl
+        | None ->
+            Printf.printf
+              "coordinator over %d shard(s) as %s\n\
+               SQL scatters across the shards; writes go everywhere.\n\
+               Commands: \\stats  \\report  \\quit\n\n"
+              (Cluster.shard_count cl) actor;
+            let rec loop () =
+              Printf.printf "%s@cluster> %!" actor;
+              match In_channel.input_line stdin with
+              | None -> print_newline ()
+              | Some line -> (
+                  match String.lowercase_ascii (String.trim line) with
+                  | "" -> loop ()
+                  | "\\quit" | "\\q" | "exit" | "quit" -> ()
+                  | _ ->
+                      ignore (dispatch line);
+                      loop ())
+            in
+            loop ();
+            Cluster.close cl)
+  in
+  let run_single socket actor command =
     let socket =
       match socket with
       | Some s -> s
@@ -631,7 +714,34 @@ let connect_cmd =
             loop ();
             Client.close c)
   in
+  let run socket actor command shards replicas fault =
+    match shards with
+    | Some socks ->
+        let split s = String.split_on_char ',' s |> List.map String.trim in
+        run_cluster ~actor ~command ~sockets:(split socks)
+          ~replicas:(Option.map split replicas) ~fault
+    | None -> run_single socket actor command
+  in
   let socket = socket_flag ~doc:"Server socket (from $(b,genalg serve))" in
+  let shards =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shards" ] ~docv:"SOCK,..."
+          ~doc:
+            "Comma-separated shard sockets: act as a scatter-gather \
+             coordinator over these $(b,genalg serve) processes instead of \
+             a single-server client (see docs/SHARDING.md)")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replicas" ] ~docv:"SOCK,..."
+          ~doc:
+            "Replica sockets paired positionally with $(b,--shards); a \
+             shard whose primary dies fails over to its replica")
+  in
   let actor =
     Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
   in
@@ -645,8 +755,9 @@ let connect_cmd =
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Connect to a running genalg server: remote SQL REPL over the \
-             wire protocol")
-    Term.(const run $ socket $ actor $ command)
+             wire protocol, or a scatter-gather coordinator with \
+             $(b,--shards)")
+    Term.(const run $ socket $ actor $ command $ shards $ replicas $ fault_flag)
 
 (* ---- orfs -------------------------------------------------------------------- *)
 

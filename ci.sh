@@ -117,6 +117,22 @@ echo "$SERVE_OUT" | grep -q "serve-smoke: wal-crash-matrix=ok" || {
   exit 1
 }
 
+echo "== smoke: sharding (SHARD bench: pruning scaling, identical results, failover) =="
+SHARD_OUT=$(dune exec bench/main.exe -- SHARD)
+echo "$SHARD_OUT"
+echo "$SHARD_OUT" | grep -q "shard-smoke: scan-scaling-1.6x=yes" || {
+  echo "shard smoke FAILED: 4-shard pruned scans are not >=1.6x one shard" >&2
+  exit 1
+}
+echo "$SHARD_OUT" | grep -q "shard-smoke: results-identical=yes" || {
+  echo "shard smoke FAILED: scatter-gather changed a result or an error" >&2
+  exit 1
+}
+echo "$SHARD_OUT" | grep -q "shard-smoke: failover-40of40=yes" || {
+  echo "shard smoke FAILED: a query failed under the crash-looping primary" >&2
+  exit 1
+}
+
 echo "== docs: index completeness + intra-repo link integrity =="
 for f in docs/*.md; do
   b=$(basename "$f")

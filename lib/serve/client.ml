@@ -5,10 +5,12 @@ type t = {
   fd : Unix.file_descr;
   session : int;
   client_actor : string;
+  server_topology : string;
 }
 
 let session_id t = t.session
 let actor t = t.client_actor
+let topology t = t.server_topology
 
 let roundtrip_fd fd req =
   match
@@ -19,7 +21,7 @@ let roundtrip_fd fd req =
   | Error _ as e -> e
   | Ok frame -> P.decode_reply frame
 
-let connect ?(actor = "biologist") ~socket () =
+let connect ?(actor = "biologist") ?(client_version = P.version) ~socket () =
   match
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX socket)
@@ -29,11 +31,9 @@ let connect ?(actor = "biologist") ~socket () =
   | exception Unix.Unix_error (e, _, _) ->
       Error (socket ^ ": " ^ Unix.error_message e)
   | fd -> (
-      match
-        roundtrip_fd fd (P.Hello { actor; client_version = P.version })
-      with
-      | Ok (P.Welcome { session; _ }) ->
-          Ok { fd; session; client_actor = actor }
+      match roundtrip_fd fd (P.Hello { actor; client_version }) with
+      | Ok (P.Welcome { session; topology; _ }) ->
+          Ok { fd; session; client_actor = actor; server_topology = topology }
       | Ok (P.Error_reply { code; message }) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error

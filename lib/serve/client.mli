@@ -7,13 +7,20 @@
 type t
 
 val connect :
-  ?actor:string -> socket:string -> unit -> (t, string) result
+  ?actor:string -> ?client_version:int -> socket:string -> unit ->
+  (t, string) result
 (** Connect to a server's Unix-domain socket and perform the
-    HELLO/WELCOME handshake ([actor] defaults to ["biologist"]). An
-    admission refusal surfaces as [Error]. *)
+    HELLO/WELCOME handshake ([actor] defaults to ["biologist"],
+    [client_version] to {!Protocol.version} — tests override it to
+    exercise version negotiation). An admission or version refusal
+    surfaces as [Error]. *)
 
 val session_id : t -> int
 val actor : t -> string
+
+val topology : t -> string
+(** The serving shape the v2 WELCOME announced (["standalone"] or
+    ["shard I/N"]); [""] when handshaking as a v1 client. *)
 
 val query : t -> string -> (Protocol.reply, string) result
 (** One extended-SQL statement. [Ok] carries the server's reply —

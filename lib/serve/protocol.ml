@@ -1,6 +1,8 @@
 module D = Genalg_storage.Dtype
 
-let version = 1
+let version = 2
+let min_version = 1
+let supported v = v >= min_version && v <= version
 let max_frame = 16 * 1024 * 1024
 
 type request =
@@ -22,9 +24,10 @@ type error_code =
   | CONFLICT
   | LIMIT
   | SHUTDOWN
+  | VERSION
 
 type reply =
-  | Welcome of { session : int; server_version : int }
+  | Welcome of { session : int; server_version : int; topology : string }
   | Ok_reply of { info : string }
   | Rows of { columns : string list; rows : D.value array list }
   | Affected of int
@@ -41,6 +44,7 @@ let error_code_to_string = function
   | CONFLICT -> "CONFLICT"
   | LIMIT -> "LIMIT"
   | SHUTDOWN -> "SHUTDOWN"
+  | VERSION -> "VERSION"
 
 let error_code_to_int = function
   | PROTO -> 1
@@ -50,6 +54,7 @@ let error_code_to_int = function
   | CONFLICT -> 5
   | LIMIT -> 6
   | SHUTDOWN -> 7
+  | VERSION -> 8
 
 let error_code_of_int = function
   | 1 -> Some PROTO
@@ -59,6 +64,7 @@ let error_code_of_int = function
   | 5 -> Some CONFLICT
   | 6 -> Some LIMIT
   | 7 -> Some SHUTDOWN
+  | 8 -> Some VERSION
   | _ -> None
 
 let request_tag = function
@@ -154,7 +160,11 @@ let decode_request s =
       | 'X' -> Shutdown { dirty = get_char c <> '\000' }
       | t -> raise (Malformed (Printf.sprintf "unknown request tag %C" t))
     in
-    finished c;
+    (* HELLO tolerates trailing bytes: a future-version client may
+       append fields we don't know, and the server must still be able
+       to read the version number and answer with a typed VERSION
+       error rather than a framing failure *)
+    (match r with Hello _ -> () | _ -> finished c);
     r
   with
   | r -> Ok r
@@ -166,9 +176,12 @@ let encode_reply r =
   let buf = Buffer.create 256 in
   Buffer.add_char buf (reply_tag r);
   (match r with
-  | Welcome { session; server_version } ->
+  | Welcome { session; server_version; topology } ->
       add_int buf server_version;
-      add_int buf session
+      add_int buf session;
+      (* v2 appends the shard topology; omitted (v1 wire shape) when
+         empty so v1 clients still decode the welcome *)
+      if topology <> "" then add_str buf topology
   | Ok_reply { info } -> add_str buf info
   | Rows { columns; rows } ->
       add_int buf (List.length columns);
@@ -195,7 +208,10 @@ let decode_reply s =
       | 'W' ->
           let server_version = get_int c in
           let session = get_int c in
-          Welcome { session; server_version }
+          let topology =
+            if c.pos < Bytes.length c.data then get_str c else ""
+          in
+          Welcome { session; server_version; topology }
       | 'K' -> Ok_reply { info = get_str c }
       | 'T' ->
           let ncols = get_int c in

@@ -1,4 +1,4 @@
-(** The genalg wire protocol, version 1 (spec: [docs/SERVING.md]).
+(** The genalg wire protocol, version 2 (spec: [docs/SERVING.md]).
 
     Frames are length-prefixed: [len:u32be | tag:u8 | body], where [len]
     counts the tag byte plus the body. Bodies are built from
@@ -15,7 +15,15 @@
 module D := Genalg_storage.Dtype
 
 val version : int
-(** Protocol version carried in HELLO/WELCOME; v1. *)
+(** Protocol version carried in HELLO/WELCOME; v2. v2 adds the typed
+    [VERSION] error code and a shard-topology string in [Welcome]. *)
+
+val min_version : int
+(** Oldest client version the server still accepts (v1: the WELCOME it
+    gets simply omits the topology field). *)
+
+val supported : int -> bool
+(** Whether a HELLO's [client_version] is within [min_version..version]. *)
 
 val max_frame : int
 (** Refuse frames longer than this (16 MiB) — a malformed length prefix
@@ -48,9 +56,13 @@ type error_code =
   | CONFLICT   (** first-committer-wins serialization failure *)
   | LIMIT      (** per-query row or time limit exceeded *)
   | SHUTDOWN   (** server is stopping *)
+  | VERSION    (** HELLO carried an unsupported protocol version *)
 
 type reply =
-  | Welcome of { session : int; server_version : int }
+  | Welcome of { session : int; server_version : int; topology : string }
+      (** [topology] describes the serving shape for v2 clients
+          (["standalone"] or ["shard I/N"]); empty for v1 clients, in
+          which case it is not put on the wire at all *)
   | Ok_reply of { info : string }    (** BEGIN/COMMIT/ROLLBACK/DDL ack *)
   | Rows of { columns : string list; rows : D.value array list }
   | Affected of int                  (** INSERT/DELETE row count *)

@@ -12,6 +12,7 @@ let c_connections = Obs.counter "serve.connections"
 let c_sessions_opened = Obs.counter "serve.sessions.opened"
 let c_sessions_closed = Obs.counter "serve.sessions.closed"
 let c_admission_rejected = Obs.counter "serve.admission.rejected"
+let c_version_rejected = Obs.counter "serve.admission.version_rejected"
 let c_breaker_open = Obs.counter "serve.admission.breaker_open"
 let c_queries = Obs.counter "serve.queries"
 let c_query_errors = Obs.counter "serve.query_errors"
@@ -32,6 +33,9 @@ type config = {
   breaker_failures : int;
   metrics : bool;
   attach : Db.t -> unit;
+  topology : string;
+      (* serving shape announced in the v2 WELCOME: "standalone", or
+         "shard I/N" when this process is one shard of a cluster *)
 }
 
 let default_config ~socket_path =
@@ -43,6 +47,7 @@ let default_config ~socket_path =
     breaker_failures = 8;
     metrics = true;
     attach = ignore;
+    topology = "standalone";
   }
 
 (* One open transaction: a snapshot clone for reads and validation, the
@@ -297,12 +302,14 @@ let handle_request t s ~defer req =
   match s.actor, req with
   | _, P.Ping -> send t s P.Pong
   | None, P.Hello { actor; client_version } ->
-      if client_version <> P.version then begin
-        Obs.add c_admission_rejected 1;
+      if not (P.supported client_version) then begin
+        Obs.add c_version_rejected 1;
         send t s
-          (err P.PROTO
-             (Printf.sprintf "protocol version mismatch: server %d, client %d"
-                P.version client_version))
+          (err P.VERSION
+             (Printf.sprintf
+                "unsupported protocol version %d (server speaks %d..%d)"
+                client_version P.min_version P.version));
+        close_session t s
       end
       else if active_sessions t >= t.config.max_sessions then begin
         Obs.add c_admission_rejected 1;
@@ -314,7 +321,13 @@ let handle_request t s ~defer req =
       else begin
         s.actor <- Some actor;
         Obs.add c_sessions_opened 1;
-        send t s (P.Welcome { session = s.sid; server_version = P.version })
+        (* the topology handshake is a v2 field; v1 clients get the v1
+           wire shape (no trailing string) *)
+        let topology =
+          if client_version >= 2 then t.config.topology else ""
+        in
+        send t s
+          (P.Welcome { session = s.sid; server_version = P.version; topology })
       end
   | None, _ ->
       send t s (err P.PROTO "say HELLO first");

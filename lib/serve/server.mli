@@ -47,6 +47,11 @@ type config = {
       (** UDT/UDF registration, applied to the live database and to
           every transaction snapshot (the CLI passes the genomic
           adapter; tests may pass [ignore]) *)
+  topology : string;
+      (** serving shape announced to v2 clients in the WELCOME:
+          ["standalone"] (default), or ["shard I/N"] when this process
+          is one shard of a cluster ([genalg serve --shard-id
+          --shard-count]) *)
 }
 
 val default_config : socket_path:string -> config

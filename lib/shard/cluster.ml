@@ -1,0 +1,761 @@
+module D = Genalg_storage.Dtype
+module Db = Genalg_storage.Database
+module Table = Genalg_storage.Table
+module Schema = Genalg_storage.Schema
+module Ast = Genalg_sqlx.Ast
+module Eval = Genalg_sqlx.Eval
+module Exec = Genalg_sqlx.Exec
+module Parser = Genalg_sqlx.Parser
+module Scatter = Genalg_sqlx.Scatter
+module Obs = Genalg_obs.Obs
+module Fault = Genalg_fault.Fault
+module Breaker = Genalg_resilience.Resilience.Breaker
+module Client = Genalg_serve.Client
+module P = Genalg_serve.Protocol
+
+let ( let* ) = Result.bind
+
+let c_queries = Obs.counter "shard.queries"
+let c_fanout = Obs.counter "shard.scatter.fanout"
+let c_gathered = Obs.counter "shard.gathered_rows"
+let c_failovers = Obs.counter "shard.failovers"
+let c_merges = Obs.counter "shard.partial_merges"
+let c_fallbacks = Obs.counter "shard.fallbacks"
+let c_pruned = Obs.counter "shard.pruned"
+let h_gather = Obs.histogram "shard.gather"
+let h_merge = Obs.histogram "shard.merge"
+
+type endpoint = Local of Db.t | Remote of Client.t
+
+type shard = {
+  primary : endpoint;
+  replica : endpoint option;
+  breaker : Breaker.t;
+}
+
+type report = {
+  targets : int;
+  gathered : int;
+  failed_over : int;
+  fallback : string option;
+}
+
+(* internal mutable version of the report *)
+type rep = {
+  mutable r_targets : int;
+  mutable r_gathered : int;
+  mutable r_failed_over : int;
+  mutable r_fallback : string option;
+}
+
+type t = {
+  shards : shard array;
+  mirror_db : Db.t;
+  pcols : (string, string) Hashtbl.t;  (* lc table -> lc partition column *)
+  mutable next_grid : int;
+  rep : rep;
+  mutable failovers_sum : int;
+}
+
+(* a shard (primary or replica) that cannot answer at all — injected
+   fault, simulated crash, or a broken remote connection *)
+exception Shard_down of string
+
+let shard_count t = Array.length t.shards
+let mirror t = t.mirror_db
+
+let endpoint_db = function Local db -> Some db | Remote _ -> None
+
+let primary_db t i =
+  if i < 0 || i >= Array.length t.shards then None
+  else endpoint_db t.shards.(i).primary
+
+let replica_db t i =
+  if i < 0 || i >= Array.length t.shards then None
+  else Option.bind t.shards.(i).replica endpoint_db
+
+let last_report t =
+  {
+    targets = t.rep.r_targets;
+    gathered = t.rep.r_gathered;
+    failed_over = t.rep.r_failed_over;
+    fallback = t.rep.r_fallback;
+  }
+
+let failovers_total t = t.failovers_sum
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let fresh_rep () =
+  { r_targets = 0; r_gathered = 0; r_failed_over = 0; r_fallback = None }
+
+let create_local ?(attach = fun _ -> ()) ?(replicas = true) ~shards:n () =
+  let mk () =
+    let db = Db.create () in
+    attach db;
+    db
+  in
+  let mirror_db = mk () in
+  let shards =
+    Array.init (max 1 n) (fun _ ->
+        {
+          primary = Local (mk ());
+          replica = (if replicas then Some (Local (mk ())) else None);
+          breaker = Breaker.create ();
+        })
+  in
+  {
+    shards;
+    mirror_db;
+    pcols = Hashtbl.create 8;
+    next_grid = 0;
+    rep = fresh_rep ();
+    failovers_sum = 0;
+  }
+
+let close t =
+  Array.iter
+    (fun sh ->
+      (match sh.primary with Remote c -> Client.close c | Local _ -> ());
+      match sh.replica with
+      | Some (Remote c) -> Client.close c
+      | _ -> ())
+    t.shards
+
+let create_remote ?(attach = fun _ -> ()) ?(replicas = []) ~actor ~sockets () =
+  if sockets = [] then Error "no shard sockets given"
+  else begin
+    let connected = ref [] in
+    let fail msg =
+      List.iter (fun c -> Client.close c) !connected;
+      Error msg
+    in
+    let rec connect_all acc = function
+      | [] -> Ok (List.rev acc)
+      | socket :: rest -> (
+          match Client.connect ~actor ~socket () with
+          | Ok c ->
+              connected := c :: !connected;
+              connect_all (c :: acc) rest
+          | Error e -> Error (socket ^ ": " ^ e))
+    in
+    match connect_all [] sockets with
+    | Error e -> fail e
+    | Ok primaries -> (
+        match connect_all [] replicas with
+        | Error e -> fail e
+        | Ok reps ->
+            let mirror_db = Db.create () in
+            attach mirror_db;
+            let reps = Array.of_list reps in
+            let shards =
+              Array.of_list
+                (List.mapi
+                   (fun i c ->
+                     {
+                       primary = Remote c;
+                       replica =
+                         (if i < Array.length reps then
+                            Some (Remote reps.(i))
+                          else None);
+                       breaker = Breaker.create ();
+                     })
+                   primaries)
+            in
+            Ok
+              {
+                shards;
+                mirror_db;
+                pcols = Hashtbl.create 8;
+                next_grid = 0;
+                rep = fresh_rep ();
+                failovers_sum = 0;
+              })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint execution                                                  *)
+
+let exec_endpoint ~actor ep stmt =
+  match ep with
+  | Local db -> Exec.run db ~actor stmt
+  | Remote c -> (
+      match Client.query c (Ast.stmt_to_string stmt) with
+      | Ok (P.Rows { columns; rows }) -> Ok (Exec.Rows { columns; rows })
+      | Ok (P.Affected n) -> Ok (Exec.Affected n)
+      | Ok (P.Ok_reply _) -> Ok Exec.Executed
+      | Ok (P.Error_reply { message; _ }) -> Error message
+      | Ok _ -> raise (Shard_down "unexpected reply")
+      | Error e -> raise (Shard_down e))
+
+(* writes have no fault sites: a write that reached the mirror must
+   reach both stores of its shard or the cluster is inconsistent, so
+   the failure experiments only target the read path *)
+let write_endpoint ~actor ep stmt =
+  try exec_endpoint ~actor ep stmt with Shard_down m -> Error m
+
+let write_shard t ~actor i stmt =
+  let sh = t.shards.(i) in
+  let* _ = write_endpoint ~actor sh.primary stmt in
+  match sh.replica with
+  | None -> Ok ()
+  | Some rep ->
+      let* _ = write_endpoint ~actor rep stmt in
+      Ok ()
+
+let broadcast_write t ~actor stmt =
+  let n = Array.length t.shards in
+  let rec loop i =
+    if i >= n then Ok ()
+    else
+      let* () = write_shard t ~actor i stmt in
+      loop (i + 1)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Reads with failover                                                 *)
+
+type role = R_primary | R_replica
+
+let shard_site i = function
+  | R_primary -> Printf.sprintf "shard.%d.primary" i
+  | R_replica -> Printf.sprintf "shard.%d.replica" i
+
+let is_shard_site s = String.length s >= 6 && String.sub s 0 6 = "shard."
+
+(* [None] = this endpoint is down (fault/crash/transport); [Some r] =
+   it answered, where [r] may still be a query-level error *)
+let attempt ~actor i role ep stmt =
+  try
+    Fault.hit (shard_site i role);
+    Some (exec_endpoint ~actor ep stmt)
+  with
+  | Fault.Injected _ -> None
+  | Fault.Crash_point site when is_shard_site site -> None
+  | Shard_down _ -> None
+
+(* Read from shard [i]: primary behind its breaker, then replica.
+   [None] = the whole shard is unavailable. *)
+let shard_read t ~actor i stmt =
+  let sh = t.shards.(i) in
+  let primary_answer =
+    if Breaker.allow sh.breaker then
+      match attempt ~actor i R_primary sh.primary stmt with
+      | Some r ->
+          Breaker.success sh.breaker;
+          Some r
+      | None ->
+          Breaker.failure sh.breaker;
+          None
+    else None
+  in
+  match primary_answer with
+  | Some r -> Some r
+  | None -> (
+      Obs.add c_failovers 1;
+      t.rep.r_failed_over <- t.rep.r_failed_over + 1;
+      t.failovers_sum <- t.failovers_sum + 1;
+      match sh.replica with
+      | None -> None
+      | Some rep -> attempt ~actor i R_replica rep stmt)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather SELECT                                               *)
+
+let pcol_of t table = Hashtbl.find_opt t.pcols (String.lowercase_ascii table)
+
+let conjunct_col ~alias = function
+  | Ast.Col (None, c) -> Some c
+  | Ast.Col (Some q, c)
+    when String.lowercase_ascii q = String.lowercase_ascii alias ->
+      Some c
+  | _ -> None
+
+(* WHERE pins the partition column to a literal -> one target shard *)
+let prune t (select : Ast.select) =
+  let n = Array.length t.shards in
+  let all = List.init n Fun.id in
+  match select.Ast.from with
+  | [ (table, alias) ] -> (
+      match pcol_of t table, select.Ast.where with
+      | Some pcol, Some w -> (
+          let hit =
+            List.find_map
+              (fun c ->
+                match c with
+                | Ast.Binop (Ast.Eq, lhs, Ast.Lit v)
+                | Ast.Binop (Ast.Eq, Ast.Lit v, lhs) -> (
+                    match conjunct_col ~alias lhs with
+                    | Some c
+                      when String.lowercase_ascii c = pcol && v <> D.Null ->
+                        Some v
+                    | _ -> None)
+                | _ -> None)
+              (Ast.conjuncts w)
+          in
+          match hit with
+          | Some v ->
+              Obs.add c_pruned 1;
+              [ Partitioner.shard_of ~shards:n v ]
+          | None -> all)
+      | _ -> all)
+  | _ -> all
+
+let star_columns t ~actor (select : Ast.select) () =
+  match select.Ast.from with
+  | [ (table, _) ] -> (
+      match Db.resolve t.mirror_db ~actor table with
+      | Some (_, tbl) ->
+          Ok
+            (List.map
+               (fun (c : Schema.column) -> c.Schema.name)
+               (Schema.columns (Table.schema tbl)))
+      | None -> Error (Printf.sprintf "unknown or unreadable table %s" table))
+  | _ -> Error "multi-table star"
+
+let has_index t ~actor (select : Ast.select) column =
+  match select.Ast.from with
+  | [ (table, _) ] -> (
+      match Db.resolve t.mirror_db ~actor table with
+      | Some (_, tbl) -> Table.has_index tbl ~column
+      | None -> false)
+  | _ -> false
+
+(* gather rows from every target; any shard-level problem aborts the
+   scatter (the caller answers from the mirror instead) *)
+let gather t ~actor targets shard_select =
+  let t0 = Obs.now_s () in
+  let rec loop acc = function
+    | [] ->
+        Obs.observe h_gather (Obs.now_s () -. t0);
+        Ok acc
+    | i :: rest -> (
+        match shard_read t ~actor i (Ast.Select shard_select) with
+        | None -> Error (Printf.sprintf "shard %d unavailable" i)
+        | Some (Error msg) -> Error (Printf.sprintf "shard %d: %s" i msg)
+        | Some (Ok (Exec.Rows rs)) ->
+            t.rep.r_gathered <- t.rep.r_gathered + 1;
+            loop (acc @ rs.Exec.rows) rest
+        | Some (Ok _) -> Error (Printf.sprintf "shard %d: unexpected reply" i))
+  in
+  loop [] targets
+
+let scatter_select t ~actor select =
+  Obs.add c_queries 1;
+  t.rep.r_targets <- 0;
+  t.rep.r_gathered <- 0;
+  t.rep.r_failed_over <- 0;
+  t.rep.r_fallback <- None;
+  let fallback reason =
+    Obs.add c_fallbacks 1;
+    t.rep.r_fallback <- Some reason;
+    Exec.run t.mirror_db ~actor (Ast.Select select)
+  in
+  Obs.with_span "shard.scatter" (fun () ->
+      match
+        Scatter.decompose
+          ~star_columns:(star_columns t ~actor select)
+          ~has_index:(has_index t ~actor select)
+          select
+      with
+      | Scatter.Not_shardable reason -> fallback reason
+      | Scatter.Plain p -> (
+          let targets = prune t select in
+          t.rep.r_targets <- List.length targets;
+          Obs.add c_fanout (List.length targets);
+          match gather t ~actor targets p.Scatter.p_shard with
+          | Error reason -> fallback reason
+          | Ok rows ->
+              Obs.add c_gathered (List.length rows);
+              let m0 = Obs.now_s () in
+              let rs = Scatter.merge_plain p rows in
+              Obs.observe h_merge (Obs.now_s () -. m0);
+              Ok (Exec.Rows rs))
+      | Scatter.Grouped g -> (
+          let targets = prune t select in
+          t.rep.r_targets <- List.length targets;
+          Obs.add c_fanout (List.length targets);
+          match gather t ~actor targets g.Scatter.g_shard with
+          | Error reason -> fallback reason
+          | Ok rows -> (
+              Obs.add c_gathered (List.length rows);
+              Obs.add c_merges 1;
+              let m0 = Obs.now_s () in
+              let merged =
+                Scatter.merge_grouped ~udts:(Db.udts t.mirror_db) g rows
+              in
+              Obs.observe h_merge (Obs.now_s () -. m0);
+              match merged with
+              | Ok rs -> Ok (Exec.Rows rs)
+              | Error reason ->
+                  (* a coordinator-side evaluation error; the mirror
+                     reproduces the canonical single-node message *)
+                  fallback reason)))
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+let plan_rows lines =
+  Exec.Rows
+    {
+      Exec.columns = [ "QUERY PLAN" ];
+      rows = List.map (fun l -> [| D.Str l |]) lines;
+    }
+
+let rows_to_lines (rs : Exec.result_set) =
+  List.filter_map
+    (fun row ->
+      match row with [| D.Str s |] -> Some s | _ -> None)
+    rs.Exec.rows
+
+let explain_cluster t ~actor ~analyze select =
+  let n = Array.length t.shards in
+  let mirror_explain header =
+    let* rs = Exec.explain t.mirror_db ~actor ~analyze select in
+    Ok (plan_rows (header :: List.map (fun l -> "  " ^ l) (rows_to_lines rs)))
+  in
+  let decomposed =
+    Scatter.decompose
+      ~star_columns:(star_columns t ~actor select)
+      ~has_index:(has_index t ~actor select)
+      select
+  in
+  match decomposed with
+  | Scatter.Not_shardable reason ->
+      mirror_explain (Printf.sprintf "Gather-all (fallback: %s)" reason)
+  | Scatter.Plain _ | Scatter.Grouped _ ->
+      if analyze then begin
+        let* outcome = scatter_select t ~actor select in
+        let rep = last_report t in
+        match rep.fallback with
+        | Some reason ->
+            mirror_explain (Printf.sprintf "Gather-all (fallback: %s)" reason)
+        | None ->
+            let rows_out =
+              match outcome with
+              | Exec.Rows rs -> List.length rs.Exec.rows
+              | _ -> 0
+            in
+            let gather_line =
+              match decomposed with
+              | Scatter.Plain p ->
+                  "Gather: merge on __grid"
+                  ^ (if p.Scatter.p_order <> [] then "; sort" else "")
+                  ^ (match p.Scatter.p_limit with
+                    | Some l -> Printf.sprintf "; limit %d" l
+                    | None -> "")
+              | Scatter.Grouped _ ->
+                  "Gather: merge partial aggregates; groups by first occurrence"
+              | Scatter.Not_shardable _ -> ""
+            in
+            Ok
+              (plan_rows
+                 [
+                   Printf.sprintf
+                     "Scatter-gather (shards=%d gathered=%d failed-over=%d)" n
+                     rep.gathered rep.failed_over;
+                   "  " ^ gather_line;
+                   Printf.sprintf "  rows=%d" rows_out;
+                 ])
+      end
+      else begin
+        let targets = prune t select in
+        let partition =
+          match select.Ast.from with
+          | [ (table, _) ] -> (
+              match pcol_of t table with Some c -> c | None -> "none")
+          | _ -> "none"
+        in
+        let header =
+          Printf.sprintf "Scatter-gather (shards=%d, targets=%d, partition=%s)"
+            n (List.length targets) partition
+        in
+        let shard_select, gather_line =
+          match decomposed with
+          | Scatter.Plain p ->
+              ( p.Scatter.p_shard,
+                "Gather: merge on __grid"
+                ^ (if p.Scatter.p_order <> [] then "; sort" else "")
+                ^ (match p.Scatter.p_limit with
+                  | Some l -> Printf.sprintf "; limit %d" l
+                  | None -> "") )
+          | Scatter.Grouped g ->
+              ( g.Scatter.g_shard,
+                "Gather: merge partial aggregates; groups by first occurrence"
+              )
+          | Scatter.Not_shardable _ -> assert false
+        in
+        let shard_plan =
+          match targets with
+          | [] -> [ "  (no targets)" ]
+          | i0 :: _ -> (
+              match
+                write_endpoint ~actor t.shards.(i0).primary
+                  (Ast.Explain { analyze = false; select = shard_select })
+              with
+              | Ok (Exec.Rows rs) ->
+                  Printf.sprintf "  shard %d plan:" i0
+                  :: List.map (fun l -> "    " ^ l) (rows_to_lines rs)
+              | Ok _ | Error _ -> [ "  (shard plan unavailable)" ])
+        in
+        Ok (plan_rows ((header :: shard_plan) @ [ "  " ^ gather_line ]))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Writes and DDL                                                      *)
+
+let target_space ~actor =
+  if actor = Db.loader_actor then Db.Public else Db.User actor
+
+let reserved_column defs =
+  List.exists
+    (fun d -> String.lowercase_ascii d.Ast.col_name = Scatter.grid_col)
+    defs
+
+let run_insert t ~actor table columns rows =
+  let env =
+    {
+      Eval.lookup = (fun _ n -> Error ("unknown column " ^ n));
+      udts = Db.udts t.mirror_db;
+    }
+  in
+  let schema = ref None in
+  let get_schema () =
+    match !schema with
+    | Some s -> Some s
+    | None -> (
+        match Db.find_table t.mirror_db ~space:(target_space ~actor) table with
+        | Some tbl ->
+            let s = Table.schema tbl in
+            schema := Some s;
+            Some s
+        | None -> None)
+  in
+  let partition_value exprs =
+    (* evaluation cannot fail here: the mirror already accepted the row *)
+    let values =
+      List.map
+        (fun e -> match Eval.eval env e with Ok v -> v | Error _ -> D.Null)
+        exprs
+    in
+    match get_schema (), pcol_of t table with
+    | Some schema, Some pcol -> (
+        if columns = [] then
+          match Schema.column_index schema pcol with
+          | Some i when i < List.length values -> List.nth values i
+          | _ -> D.Null
+        else
+          let rec find cols vals =
+            match cols, vals with
+            | c :: _, v :: _ when String.lowercase_ascii c = pcol -> v
+            | _ :: cs, _ :: vs -> find cs vs
+            | _ -> D.Null
+          in
+          find columns values)
+    | _ -> D.Null
+  in
+  let shard_columns () =
+    (if columns = [] then
+       match get_schema () with
+       | Some s ->
+           List.map (fun (c : Schema.column) -> c.Schema.name)
+             (Schema.columns s)
+       | None -> []
+     else columns)
+    @ [ Scatter.grid_col ]
+  in
+  let rec insert_rows n = function
+    | [] -> Ok (Exec.Affected n)
+    | exprs :: rest -> (
+        (* the mirror rules on each row first: its errors are the
+           canonical single-node errors, and like the single-node
+           engine, rows before a failing one stay applied *)
+        match
+          Exec.run t.mirror_db ~actor
+            (Ast.Insert { table; columns; rows = [ exprs ] })
+        with
+        | Error _ as e -> e
+        | Ok _ ->
+            let v = partition_value exprs in
+            let tgt =
+              Partitioner.shard_of ~shards:(Array.length t.shards) v
+            in
+            let grid = t.next_grid in
+            t.next_grid <- grid + 1;
+            let stmt =
+              Ast.Insert
+                {
+                  table;
+                  columns = shard_columns ();
+                  rows = [ exprs @ [ Ast.Lit (D.Int grid) ] ];
+                }
+            in
+            let* () = write_shard t ~actor tgt stmt in
+            insert_rows (n + 1) rest)
+  in
+  insert_rows 0 rows
+
+let run t ~actor stmt =
+  match stmt with
+  | Ast.Select select -> scatter_select t ~actor select
+  | Ast.Explain { analyze; select } -> explain_cluster t ~actor ~analyze select
+  | Ast.Insert { table; columns; rows } -> run_insert t ~actor table columns rows
+  | Ast.Create_table { table; defs } ->
+      if reserved_column defs then
+        Error
+          (Printf.sprintf "column name %s is reserved by the sharding layer"
+             Scatter.grid_col)
+      else
+        let* outcome = Exec.run t.mirror_db ~actor stmt in
+        let pcol = Partitioner.partition_column defs in
+        Hashtbl.replace t.pcols
+          (String.lowercase_ascii table)
+          (String.lowercase_ascii pcol);
+        let shard_stmt =
+          Ast.Create_table
+            {
+              table;
+              defs =
+                defs
+                @ [
+                    {
+                      Ast.col_name = Scatter.grid_col;
+                      col_type = D.TInt;
+                      col_nullable = false;
+                    };
+                  ];
+            }
+        in
+        let* () = broadcast_write t ~actor shard_stmt in
+        Ok outcome
+  | Ast.Drop_table table ->
+      let* outcome = Exec.run t.mirror_db ~actor stmt in
+      Hashtbl.remove t.pcols (String.lowercase_ascii table);
+      let* () = broadcast_write t ~actor stmt in
+      Ok outcome
+  | Ast.Create_index _ | Ast.Create_genomic_index _ | Ast.Analyze _
+  | Ast.Delete _ ->
+      (* mirror first: if it rejects, no shard sees the statement; if
+         it accepts, every shard (and replica) applies the same one *)
+      let* outcome = Exec.run t.mirror_db ~actor stmt in
+      let* () = broadcast_write t ~actor stmt in
+      Ok outcome
+
+let query t ~actor sql =
+  let* stmt = Parser.parse sql in
+  run t ~actor stmt
+
+(* ------------------------------------------------------------------ *)
+(* Merged statistics                                                   *)
+
+let max_merged_buckets = 32
+
+let merge_histograms hs =
+  let entries =
+    List.concat_map
+      (fun (h : Table.histogram) ->
+        List.init (Array.length h.Table.bounds) (fun i ->
+            (h.Table.bounds.(i), h.Table.counts.(i))))
+      hs
+  in
+  match entries with
+  | [] -> None
+  | _ ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> D.compare_value a b) entries
+      in
+      let len = List.length sorted in
+      let per = max 1 ((len + max_merged_buckets - 1) / max_merged_buckets) in
+      let rec chunk acc cur cnt i = function
+        | [] ->
+            let acc =
+              match cur with
+              | Some b -> (b, cnt) :: acc
+              | None -> acc
+            in
+            List.rev acc
+        | (b, c) :: rest ->
+            if (i + 1) mod per = 0 then
+              chunk ((b, cnt + c) :: acc) None 0 (i + 1) rest
+            else chunk acc (Some b) (cnt + c) (i + 1) rest
+      in
+      let merged = chunk [] None 0 0 sorted in
+      Some
+        {
+          Table.bounds = Array.of_list (List.map fst merged);
+          counts = Array.of_list (List.map snd merged);
+        }
+
+let merged_stats_text t ~actor ~table =
+  let snapshots =
+    Array.to_list t.shards
+    |> List.filter_map (fun sh -> endpoint_db sh.primary)
+    |> List.filter_map (fun db ->
+           match Db.resolve db ~actor table with
+           | Some (_, tbl) when Table.has_stats tbl ->
+               Some (Table.stats_snapshot tbl)
+           | _ -> None)
+  in
+  if snapshots = [] then
+    Error
+      (Printf.sprintf "no shard statistics for %s (run ANALYZE %s)" table
+         table)
+  else begin
+    let columns =
+      List.sort_uniq compare (List.concat_map (List.map fst) snapshots)
+    in
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "merged statistics for %s across %d shard(s)\n" table
+      (List.length snapshots);
+    Printf.bprintf buf "%-16s %10s %10s %10s  %s\n" "column" "rows" "nulls"
+      "buckets" "range";
+    List.iter
+      (fun col ->
+        if col <> Scatter.grid_col then begin
+          let stats =
+            List.filter_map (fun snap -> List.assoc_opt col snap) snapshots
+          in
+          let rows =
+            List.fold_left (fun a (s : Table.column_stats) -> a + s.rows) 0
+              stats
+          in
+          let nulls =
+            List.fold_left (fun a (s : Table.column_stats) -> a + s.nulls) 0
+              stats
+          in
+          let mins = List.filter_map (fun s -> s.Table.min_value) stats in
+          let maxs = List.filter_map (fun s -> s.Table.max_value) stats in
+          let fold_best cmp = function
+            | [] -> None
+            | v :: rest ->
+                Some
+                  (List.fold_left
+                     (fun m v -> if cmp (D.compare_value v m) then v else m)
+                     v rest)
+          in
+          let mn = fold_best (fun c -> c < 0) mins in
+          let mx = fold_best (fun c -> c > 0) maxs in
+          let hist =
+            merge_histograms
+              (List.filter_map (fun s -> s.Table.histogram) stats)
+          in
+          let buckets =
+            match hist with
+            | Some h -> Array.length h.Table.bounds
+            | None -> 0
+          in
+          let range =
+            match mn, mx with
+            | Some a, Some b ->
+                Printf.sprintf "[%s .. %s]" (D.value_to_display a)
+                  (D.value_to_display b)
+            | _ -> "-"
+          in
+          Printf.bprintf buf "%-16s %10d %10d %10d  %s\n" col rows nulls
+            buckets range
+        end)
+      columns;
+    Ok (Buffer.contents buf)
+  end

@@ -1,0 +1,96 @@
+(** The sharded scatter-gather warehouse coordinator.
+
+    A cluster hash-partitions every table created through it across N
+    {e shards} — each a primary/replica pair of stores — by the table's
+    partition column ({!Partitioner.partition_column}). Shards are
+    either in-process databases ({!create_local}) or remote [genalg
+    serve] processes reached over the wire protocol
+    ({!create_remote}).
+
+    {b Mirror.} The coordinator also maintains a {e mirror}: a full
+    unpartitioned database that receives every statement first, in
+    arrival order. The mirror is the semantic authority — writes it
+    rejects never reach the shards, partial INSERT application follows
+    its row count, and any SELECT the scatter rewrite cannot reproduce
+    byte-for-byte (see {!Genalg_sqlx.Scatter}) is answered by the
+    mirror directly, so results and error messages are always exactly
+    those of the single-node engine.
+
+    {b Reads.} Shardable SELECTs run shard-local (index, genomic and
+    vectorized paths included), pruned to a single shard when a WHERE
+    conjunct pins the partition column to a literal. Aggregates and
+    GROUP BY ship as partial aggregates and merge at the coordinator.
+
+    {b Failover.} Each shard read passes a [shard.<i>.primary] fault
+    site and the shard's circuit breaker; a dead or crash-looping
+    primary degrades to the replica ([shard.<i>.replica]), and a fully
+    dead shard degrades to the mirror — a query never fails because a
+    shard died. Writes go to primary {e and} replica synchronously and
+    have no fault sites (see docs/SHARDING.md for the argument).
+
+    Instruments: [shard.queries], [shard.scatter.fanout],
+    [shard.gathered_rows], [shard.failovers], [shard.partial_merges],
+    [shard.fallbacks], [shard.pruned]; histograms [shard.gather],
+    [shard.merge]; span [shard.scatter]. *)
+
+module Db := Genalg_storage.Database
+module Exec := Genalg_sqlx.Exec
+
+type t
+
+val create_local :
+  ?attach:(Db.t -> unit) -> ?replicas:bool -> shards:int -> unit -> t
+(** Fresh in-process cluster of [max 1 shards] shards. [attach]
+    registers UDTs/UDFs and is applied to the mirror and every shard
+    store (default: nothing). [replicas] (default [true]) controls
+    whether each shard gets a replica store. *)
+
+val create_remote :
+  ?attach:(Db.t -> unit) ->
+  ?replicas:string list ->
+  actor:string ->
+  sockets:string list ->
+  unit -> (t, string) result
+(** Cluster over remote [genalg serve] shards, one per socket path, in
+    shard order; [replicas] optionally lists replica sockets pairwise.
+    The coordinator keeps a local mirror (UDFs from [attach]), so only
+    data loaded through this cluster is visible to it. *)
+
+val close : t -> unit
+(** Disconnect remote clients. Local stores need no teardown. *)
+
+val shard_count : t -> int
+
+val mirror : t -> Db.t
+(** The coordinator mirror (tests compare scatter output against it). *)
+
+val primary_db : t -> int -> Db.t option
+(** Shard [i]'s primary when it is in-process ([None] for remote). *)
+
+val replica_db : t -> int -> Db.t option
+
+val run :
+  t -> actor:string -> Genalg_sqlx.Ast.stmt -> (Exec.outcome, string) result
+
+val query : t -> actor:string -> string -> (Exec.outcome, string) result
+(** Parse then {!run}. *)
+
+type report = {
+  targets : int;       (** shards the last SELECT was scattered to *)
+  gathered : int;      (** shard answers gathered (= [targets] unless a
+                           fallback cut the scatter short) *)
+  failed_over : int;   (** primary->replica failovers during it *)
+  fallback : string option;  (** why the mirror answered, if it did *)
+}
+
+val last_report : t -> report
+(** Scatter telemetry of the most recent SELECT (EXPLAIN ANALYZE shows
+    the same numbers). *)
+
+val failovers_total : t -> int
+
+val merged_stats_text : t -> actor:string -> table:string -> (string, string) result
+(** ANALYZE statistics merged across the shard primaries (row counts
+    and null counts summed, min/max widened, equi-depth histograms
+    recombined); the per-shard planners use their own local statistics,
+    this view is the coordinator's. In-process shards only. *)

@@ -1,0 +1,48 @@
+module D = Genalg_storage.Dtype
+module Ast = Genalg_sqlx.Ast
+
+(* FNV-1a over a numerically-normalized byte encoding: Int and Float
+   that compare equal must hash equally, or WHERE-literal pruning would
+   route to a different shard than the stored row. *)
+let fnv_offset = Int64.to_int 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3
+
+let hash_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    s;
+  !h land max_int
+
+let normalize = function
+  | D.Int i -> D.Float (float_of_int i)
+  | v -> v
+
+let encode v =
+  let buf = Buffer.create 32 in
+  D.encode_value buf (normalize v);
+  Buffer.contents buf
+
+let shard_of ~shards v =
+  let n = max 1 shards in
+  hash_string (encode v) mod n
+
+let partition_column (defs : Ast.column_def list) =
+  let named p =
+    List.find_opt (fun d -> p (String.lowercase_ascii d.Ast.col_name)) defs
+  in
+  let pick =
+    match named (fun n -> n = "organism" || n = "accession") with
+    | Some d -> Some d
+    | None ->
+        named (fun n ->
+            n = "id"
+            || String.length n > 3
+               && String.sub n (String.length n - 3) 3 = "_id")
+  in
+  match pick, defs with
+  | Some d, _ -> d.Ast.col_name
+  | None, d :: _ -> d.Ast.col_name
+  | None, [] -> ""

@@ -1,0 +1,23 @@
+(** Hash partitioning of warehouse rows across shards.
+
+    A row lands on shard [shard_of ~shards v] where [v] is its value in
+    the table's {e partition column}. The hash is a pure FNV-1a over a
+    {e numerically normalized} encoding of the value, so:
+
+    - it is total — every value, including [Null] and opaque UDT
+      payloads, maps to a shard;
+    - it is stable — independent of process, domain count
+      ([Genalg_par.Par.set_jobs]) and insertion history;
+    - values that compare equal hash equally — [Int 7] and [Float 7.]
+      land on the same shard, so literal pruning agrees with
+      {!Genalg_storage.Dtype.compare_value} semantics. *)
+
+val shard_of : shards:int -> Genalg_storage.Dtype.value -> int
+(** [0 <= shard_of ~shards v < max 1 shards]. *)
+
+val partition_column : Genalg_sqlx.Ast.column_def list -> string
+(** Pick the partition column for a new table: the first column named
+    [organism] or [accession] (the paper's natural distribution keys),
+    else the first column whose name is [id] or ends in [_id], else the
+    table's first column. Case-insensitive; returns the declared
+    spelling. *)

@@ -1,0 +1,538 @@
+module D = Genalg_storage.Dtype
+
+let grid_col = "__grid"
+
+type agg =
+  | A_count_star
+  | A_count of Ast.expr
+  | A_sum of Ast.expr
+  | A_min of Ast.expr
+  | A_max of Ast.expr
+  | A_avg of Ast.expr
+
+type plain = {
+  p_shard : Ast.select;
+  p_columns : string list;
+  p_items : int;
+  p_order : bool list;
+  p_limit : int option;
+}
+
+type grouped = {
+  g_shard : Ast.select;
+  g_columns : string list;
+  g_nkeys : int;
+  g_keys : Ast.expr list;
+  g_aggs : agg list;
+  g_items : (Ast.expr * string option) list;
+  g_having : Ast.expr option;
+  g_order : Ast.order_item list;
+  g_limit : int option;
+}
+
+type t =
+  | Plain of plain
+  | Grouped of grouped
+  | Not_shardable of string
+
+exception Reject of string
+
+let item_name (e, alias) =
+  match alias with Some a -> a | None -> Ast.expr_to_string e
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                       *)
+
+(* the column a conjunct talks about, resolving the FROM alias *)
+let col_of ~alias = function
+  | Ast.Col (None, c) -> Some c
+  | Ast.Col (Some q, c)
+    when String.lowercase_ascii q = String.lowercase_ascii alias ->
+      Some c
+  | _ -> None
+
+(* Would the single-node planner be allowed to answer a range conjunct
+   from a B-tree?  Index_range emits in key order, not scan order, so
+   the grid merge cannot reproduce it — such queries stay on the
+   mirror.  (Whether the planner actually picks the index depends on
+   its statistics, so the guard is deliberately static.) *)
+let range_on_indexed ~alias ~has_index where =
+  match where with
+  | None -> false
+  | Some w ->
+      List.exists
+        (fun c ->
+          match c with
+          | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), lhs, Ast.Lit _) -> (
+              match col_of ~alias lhs with
+              | Some col -> has_index col
+              | None -> false)
+          | _ -> false)
+        (Ast.conjuncts w)
+
+(* collect distinct aggregate occurrences (dedup by argument) *)
+let register aggs a =
+  let same b =
+    match a, b with
+    | A_count_star, A_count_star -> true
+    | A_count x, A_count y
+    | A_sum x, A_sum y
+    | A_min x, A_min y
+    | A_max x, A_max y
+    | A_avg x, A_avg y -> Ast.equal_expr x y
+    | _ -> false
+  in
+  if List.exists same !aggs then () else aggs := !aggs @ [ a ]
+
+let rec collect_aggs aggs e =
+  match e with
+  | Ast.Count_star -> register aggs A_count_star
+  | Ast.Fn (name, [ arg ]) when Ast.is_aggregate_fn name ->
+      if Ast.contains_aggregate arg then raise (Reject "nested aggregate");
+      (match String.lowercase_ascii name with
+      | "count" -> register aggs (A_count arg)
+      | "sum" -> register aggs (A_sum arg)
+      | "avg" -> register aggs (A_avg arg)
+      | "min" -> register aggs (A_min arg)
+      | "max" -> register aggs (A_max arg)
+      | other -> raise (Reject (Printf.sprintf "unknown aggregate %s" other)))
+  | Ast.Fn (name, _) when Ast.is_aggregate_fn name ->
+      raise (Reject (Printf.sprintf "aggregate %s with wrong arity" name))
+  | Ast.Fn (_, args) -> List.iter (collect_aggs aggs) args
+  | Ast.Not e | Ast.Neg e -> collect_aggs aggs e
+  | Ast.Binop (_, a, b) ->
+      collect_aggs aggs a;
+      collect_aggs aggs b
+  | Ast.Lit _ | Ast.Col _ -> ()
+
+(* After treating aggregates and group-key-equal subtrees as leaves, no
+   bare column reference may remain: anything else would need a "first
+   row of the group", which no shard can know globally. *)
+let rec residual_ok ~keys e =
+  if List.exists (Ast.equal_expr e) keys then true
+  else
+    match e with
+    | Ast.Count_star -> true
+    | Ast.Fn (name, [ _ ]) when Ast.is_aggregate_fn name -> true
+    | Ast.Col _ -> false
+    | Ast.Lit _ -> true
+    | Ast.Fn (_, args) -> List.for_all (residual_ok ~keys) args
+    | Ast.Not e | Ast.Neg e -> residual_ok ~keys e
+    | Ast.Binop (_, a, b) -> residual_ok ~keys a && residual_ok ~keys b
+
+let agg_partial_items = function
+  | A_count_star -> [ (Ast.Count_star, None) ]
+  | A_count e -> [ (Ast.Fn ("count", [ e ]), None) ]
+  | A_sum e -> [ (Ast.Fn ("sum", [ e ]), None) ]
+  | A_min e -> [ (Ast.Fn ("min", [ e ]), None) ]
+  | A_max e -> [ (Ast.Fn ("max", [ e ]), None) ]
+  | A_avg e -> [ (Ast.Fn ("sum", [ e ]), None); (Ast.Fn ("count", [ e ]), None) ]
+
+let agg_width = function A_avg _ -> 2 | _ -> 1
+
+let decompose ~star_columns ~has_index (select : Ast.select) : t =
+  try
+    let table_alias =
+      match select.Ast.from with
+      | [ (_, alias) ] -> alias
+      | _ -> raise (Reject "multi-table join")
+    in
+    (match select.Ast.where with
+    | Some w when Ast.contains_aggregate w -> raise (Reject "aggregate in WHERE")
+    | _ -> ());
+    if range_on_indexed ~alias:table_alias ~has_index select.Ast.where then
+      raise (Reject "range predicate on an indexed column (key-ordered plan)");
+    let needs_grouping =
+      select.Ast.group_by <> []
+      || select.Ast.having <> None
+      || (match select.Ast.projection with
+         | Ast.Star -> false
+         | Ast.Exprs items ->
+             List.exists (fun (e, _) -> Ast.contains_aggregate e) items)
+    in
+    if not needs_grouping then begin
+      if
+        List.exists
+          (fun { Ast.key; _ } -> Ast.contains_aggregate key)
+          select.Ast.order_by
+      then raise (Reject "aggregate in ORDER BY without grouping");
+      let items, columns =
+        match select.Ast.projection with
+        | Ast.Exprs items -> (items, List.map item_name items)
+        | Ast.Star -> (
+            match star_columns () with
+            | Error msg -> raise (Reject msg)
+            | Ok cols ->
+                (List.map (fun c -> (Ast.Col (None, c), None)) cols, cols))
+      in
+      let shard_items =
+        items
+        @ List.map (fun { Ast.key; _ } -> (key, None)) select.Ast.order_by
+        @ [ (Ast.Col (None, grid_col), None) ]
+      in
+      Plain
+        {
+          p_shard =
+            {
+              select with
+              Ast.projection = Ast.Exprs shard_items;
+              group_by = [];
+              having = None;
+              order_by = [];
+              limit = None;
+            };
+          p_columns = columns;
+          p_items = List.length items;
+          p_order =
+            List.map (fun { Ast.ascending; _ } -> ascending) select.Ast.order_by;
+          p_limit = select.Ast.limit;
+        }
+    end
+    else begin
+      let items =
+        match select.Ast.projection with
+        | Ast.Exprs items -> items
+        | Ast.Star -> raise (Reject "SELECT * with grouping")
+      in
+      if List.exists Ast.contains_aggregate select.Ast.group_by then
+        raise (Reject "aggregate in GROUP BY");
+      let keys = select.Ast.group_by in
+      let aggs = ref [] in
+      List.iter (fun (e, _) -> collect_aggs aggs e) items;
+      Option.iter (collect_aggs aggs) select.Ast.having;
+      List.iter
+        (fun { Ast.key; _ } -> collect_aggs aggs key)
+        select.Ast.order_by;
+      let check_residual what e =
+        if not (residual_ok ~keys e) then
+          raise
+            (Reject
+               (Printf.sprintf "%s depends on individual rows (%s)" what
+                  (Ast.expr_to_string e)))
+      in
+      List.iter (fun (e, _) -> check_residual "projection" e) items;
+      Option.iter (check_residual "HAVING") select.Ast.having;
+      List.iter
+        (fun { Ast.key; _ } -> check_residual "ORDER BY" key)
+        select.Ast.order_by;
+      (* count-star doubles as the global-emptiness detector *)
+      register aggs A_count_star;
+      let aggs = !aggs in
+      let shard_items =
+        List.map (fun k -> (k, None)) keys
+        @ List.concat_map agg_partial_items aggs
+        @ [ (Ast.Fn ("min", [ Ast.Col (None, grid_col) ]), None) ]
+      in
+      Grouped
+        {
+          g_shard =
+            {
+              select with
+              Ast.projection = Ast.Exprs shard_items;
+              having = None;
+              order_by = [];
+              limit = None;
+            };
+          g_columns = List.map item_name items;
+          g_nkeys = List.length keys;
+          g_keys = keys;
+          g_aggs = aggs;
+          g_items = items;
+          g_having = select.Ast.having;
+          g_order = select.Ast.order_by;
+          g_limit = select.Ast.limit;
+        }
+    end
+  with Reject reason -> Not_shardable reason
+
+(* ------------------------------------------------------------------ *)
+(* Merging — every comparator and null rule below mirrors Exec          *)
+
+let sort_by_keys decorated =
+  List.stable_sort
+    (fun (_, ka) (_, kb) ->
+      let rec cmp = function
+        | [], [] -> 0
+        | (va, asc) :: ra, (vb, _) :: rb ->
+            let c = D.compare_value va vb in
+            if c <> 0 then if asc then c else -c else cmp (ra, rb)
+        | _ -> 0
+      in
+      cmp (ka, kb))
+    decorated
+
+let apply_limit limit rows =
+  match limit with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+
+let merge_plain p gathered =
+  let n_items = p.p_items in
+  let decorated =
+    List.map
+      (fun (row : D.value array) ->
+        let grid =
+          match row.(Array.length row - 1) with
+          | D.Int g -> g
+          | _ -> max_int
+        in
+        let keys =
+          List.mapi (fun i asc -> (row.(n_items + i), asc)) p.p_order
+        in
+        (grid, Array.sub row 0 n_items, keys))
+      gathered
+  in
+  (* restore the global scan order, then the user's ORDER BY on top *)
+  let in_grid_order =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) decorated
+  in
+  let sorted =
+    let rows = List.map (fun (_, row, ks) -> (row, ks)) in_grid_order in
+    if p.p_order = [] then rows else sort_by_keys rows
+  in
+  let limited = apply_limit p.p_limit sorted in
+  { Exec.columns = p.p_columns; rows = List.map fst limited }
+
+(* partial-aggregate accumulators *)
+type sum_acc = { mutable seen : bool; mutable all_int : bool; mutable total : float }
+
+type acc =
+  | Acc_count of int ref                 (* count / count_star *)
+  | Acc_sum of sum_acc
+  | Acc_minmax of D.value option ref * int  (* dir: -1 min, +1 max *)
+  | Acc_avg of sum_acc * int ref
+
+let fresh_acc = function
+  | A_count_star | A_count _ -> Acc_count (ref 0)
+  | A_sum _ -> Acc_sum { seen = false; all_int = true; total = 0. }
+  | A_min _ -> Acc_minmax (ref None, -1)
+  | A_max _ -> Acc_minmax (ref None, 1)
+  | A_avg _ -> Acc_avg ({ seen = false; all_int = true; total = 0. }, ref 0)
+
+let sum_feed (s : sum_acc) = function
+  | D.Null -> ()
+  | D.Int i ->
+      s.seen <- true;
+      s.total <- s.total +. float_of_int i
+  | D.Float f ->
+      s.seen <- true;
+      s.all_int <- false;
+      s.total <- s.total +. f
+  | v ->
+      (* a shard-side partial is always numeric or Null; anything else
+         means the shard query itself errored, which the caller already
+         turned into a fallback *)
+      ignore v
+
+let feed acc (row : D.value array) pos =
+  match acc with
+  | Acc_count r ->
+      (match row.(pos) with D.Int n -> r := !r + n | _ -> ());
+      pos + 1
+  | Acc_sum s ->
+      sum_feed s row.(pos);
+      pos + 1
+  | Acc_minmax (best, dir) ->
+      (match row.(pos) with
+      | D.Null -> ()
+      | v -> (
+          match !best with
+          | None -> best := Some v
+          | Some m -> if D.compare_value v m * dir > 0 then best := Some v));
+      pos + 1
+  | Acc_avg (s, n) ->
+      sum_feed s row.(pos);
+      (match row.(pos + 1) with D.Int k -> n := !n + k | _ -> ());
+      pos + 2
+
+let acc_value = function
+  | Acc_count r -> D.Int !r
+  | Acc_sum s ->
+      if not s.seen then D.Null
+      else if s.all_int then D.Int (int_of_float s.total)
+      else D.Float s.total
+  | Acc_minmax (best, _) -> ( match !best with None -> D.Null | Some v -> v)
+  | Acc_avg (s, n) ->
+      if !n = 0 then D.Null else D.Float (s.total /. float_of_int !n)
+
+type group = {
+  gkey : D.value list;
+  gaccs : acc list;
+  mutable gmin_grid : int;
+  mutable gcount_star : int;
+}
+
+let merge_grouped ~udts g gathered =
+  let ( let* ) = Result.bind in
+  let groups : group list ref = ref [] in
+  let key_of row = Array.to_list (Array.sub row 0 g.g_nkeys) in
+  let same_key a b =
+    List.length a = List.length b
+    && List.for_all2 (fun x y -> D.compare_value x y = 0) a b
+  in
+  let feed_group grp row =
+    let pos = ref g.g_nkeys in
+    List.iter (fun acc -> pos := feed acc row !pos) grp.gaccs;
+    (match row.(Array.length row - 1) with
+    | D.Int grid -> if grid < grp.gmin_grid then grp.gmin_grid <- grid
+    | _ -> ());
+    (* track global row count for the empty-input quirk *)
+    let pos = ref g.g_nkeys in
+    List.iter2
+      (fun a acc ->
+        (match a, acc with
+        | A_count_star, Acc_count _ -> (
+            match row.(!pos) with
+            | D.Int n -> grp.gcount_star <- grp.gcount_star + n
+            | _ -> ())
+        | _ -> ());
+        pos := !pos + agg_width a)
+      g.g_aggs grp.gaccs
+  in
+  List.iter
+    (fun (row : D.value array) ->
+      let key = key_of row in
+      match List.find_opt (fun grp -> same_key grp.gkey key) !groups with
+      | Some grp -> feed_group grp row
+      | None ->
+          let grp =
+            {
+              gkey = key;
+              gaccs = List.map fresh_acc g.g_aggs;
+              gmin_grid = max_int;
+              gcount_star = 0;
+            }
+          in
+          feed_group grp row;
+          groups := !groups @ [ grp ])
+    gathered;
+  (* global group order = first occurrence in the unpartitioned scan *)
+  let ordered =
+    List.stable_sort (fun a b -> compare a.gmin_grid b.gmin_grid) !groups
+  in
+  (* merged value of each registered aggregate, in registry order *)
+  let merged_of grp =
+    let tbl = ref [] in
+    List.iter2 (fun a acc -> tbl := (a, acc_value acc) :: !tbl) g.g_aggs grp.gaccs;
+    List.rev !tbl
+  in
+  let find_merged merged a =
+    let same b =
+      match a, b with
+      | A_count_star, A_count_star -> true
+      | A_count x, A_count y
+      | A_sum x, A_sum y
+      | A_min x, A_min y
+      | A_max x, A_max y
+      | A_avg x, A_avg y -> Ast.equal_expr x y
+      | _ -> false
+    in
+    match List.find_opt (fun (b, _) -> same b) merged with
+    | Some (_, v) -> v
+    | None -> D.Null
+  in
+  let env =
+    { Eval.lookup = (fun _ n -> Error ("unknown column " ^ n)); udts }
+  in
+  (* replace aggregates and group-key subtrees with their merged values,
+     then evaluate the residue like the executor evaluates in-group *)
+  let eval_in_group grp e =
+    let merged = merged_of grp in
+    let keyed e =
+      let rec idx i = function
+        | [] -> None
+        | k :: rest -> if Ast.equal_expr e k then Some i else idx (i + 1) rest
+      in
+      idx 0 g.g_keys
+    in
+    let rec subst e =
+      match keyed e with
+      | Some i -> Ast.Lit (List.nth grp.gkey i)
+      | None -> (
+          match e with
+          | Ast.Count_star -> Ast.Lit (find_merged merged A_count_star)
+          | Ast.Fn (name, [ arg ]) when Ast.is_aggregate_fn name ->
+              let a =
+                match String.lowercase_ascii name with
+                | "count" -> A_count arg
+                | "sum" -> A_sum arg
+                | "avg" -> A_avg arg
+                | "min" -> A_min arg
+                | _ -> A_max arg
+              in
+              Ast.Lit (find_merged merged a)
+          | Ast.Fn (name, args) -> Ast.Fn (name, List.map subst args)
+          | Ast.Not e -> Ast.Not (subst e)
+          | Ast.Neg e -> Ast.Neg (subst e)
+          | Ast.Binop (op, a, b) -> Ast.Binop (op, subst a, subst b)
+          | Ast.Lit _ | Ast.Col _ -> e)
+    in
+    Eval.eval env (subst e)
+  in
+  let global_rows =
+    List.fold_left (fun n grp -> n + grp.gcount_star) 0 ordered
+  in
+  let* out_rows =
+    let rec per_group acc = function
+      | [] -> Ok (List.rev acc)
+      | grp :: rest ->
+          if g.g_keys = [] && global_rows = 0 then begin
+            (* empty overall group: only COUNT-like aggregates make
+               sense — any other item silently drops the row (executor
+               quirk, reproduced bit for bit) *)
+            let rec vals acc' = function
+              | [] -> Ok (Array.of_list (List.rev acc'))
+              | (e, _) :: more -> (
+                  match e with
+                  | Ast.Count_star -> vals (D.Int 0 :: acc') more
+                  | Ast.Fn (name, _) when Ast.is_aggregate_fn name ->
+                      vals
+                        ((if String.lowercase_ascii name = "count" then
+                            D.Int 0
+                          else D.Null)
+                        :: acc')
+                        more
+                  | _ -> Error "non-aggregate projection over empty input")
+            in
+            match vals [] g.g_items with
+            | Ok row -> per_group ((row, []) :: acc) rest
+            | Error _ -> per_group acc rest
+          end
+          else begin
+            let* keep =
+              match g.g_having with
+              | None -> Ok true
+              | Some h -> (
+                  let* v = eval_in_group grp h in
+                  match v with
+                  | D.Bool b -> Ok b
+                  | D.Null -> Ok false
+                  | v ->
+                      Error
+                        (Printf.sprintf "HAVING evaluated to %s"
+                           (D.value_to_display v)))
+            in
+            if not keep then per_group acc rest
+            else
+              let rec vals acc' = function
+                | [] -> Ok (Array.of_list (List.rev acc'))
+                | (e, _) :: more ->
+                    let* v = eval_in_group grp e in
+                    vals (v :: acc') more
+              in
+              let* row = vals [] g.g_items in
+              let rec okeys acc' = function
+                | [] -> Ok (List.rev acc')
+                | { Ast.key; ascending } :: more ->
+                    let* v = eval_in_group grp key in
+                    okeys ((v, ascending) :: acc') more
+              in
+              let* ks = okeys [] g.g_order in
+              per_group ((row, ks) :: acc) rest
+          end
+    in
+    per_group [] ordered
+  in
+  let sorted = if g.g_order = [] then out_rows else sort_by_keys out_rows in
+  let limited = apply_limit g.g_limit sorted in
+  Ok { Exec.columns = g.g_columns; rows = List.map fst limited }

@@ -1,0 +1,93 @@
+(** Scatter-gather decomposition of SELECT statements for the sharded
+    warehouse ([lib/shard]).
+
+    A coordinator holding N hash-partitioned shards answers a SELECT by
+    rewriting it into a {e shard select} that every shard runs locally,
+    then merging the gathered rows so the final answer is byte-identical
+    to running the original statement on the unpartitioned database
+    ([docs/SHARDING.md] has the full argument):
+
+    - {b Plain} (no grouping): each shard projects the original items,
+      the ORDER BY key expressions, and the hidden insertion-order column
+      [__grid]; the coordinator restores the global scan order by sorting
+      on [__grid], then applies the original ORDER BY (stable, same
+      comparator as the executor), LIMIT, and strips the helper columns.
+    - {b Grouped}: each shard computes {e partial aggregates} per group —
+      [count]/[sum]/[min]/[max] merge directly, [avg] ships as a
+      (sum, count) pair — plus a count-star and [min(__grid)] helper.
+      The coordinator unifies groups across shards by key, combines the
+      partials with the executor's exact null/typing rules, orders groups
+      by first global occurrence ([min(__grid)]), and evaluates HAVING,
+      the projection and ORDER BY keys over the merged values in the
+      executor's per-group order, so error precedence matches too.
+
+    Queries the rewrite cannot reproduce exactly — joins, [SELECT *] with
+    grouping, nested aggregates, range predicates over indexed columns
+    (whose single-node plan may emit in key order rather than scan
+    order) — come back as {!Not_shardable} with a reason; the cluster
+    then answers from its coordinator mirror, which {e is} the
+    single-node database, so the fallback is trivially identical. *)
+
+module D := Genalg_storage.Dtype
+
+val grid_col : string
+(** ["__grid"] — the hidden global-insertion-order column every shard
+    table carries. User schemas may not use the name. *)
+
+(** One distinct aggregate occurrence, deduplicated by argument. *)
+type agg =
+  | A_count_star
+  | A_count of Ast.expr
+  | A_sum of Ast.expr
+  | A_min of Ast.expr
+  | A_max of Ast.expr
+  | A_avg of Ast.expr
+
+type plain = {
+  p_shard : Ast.select;     (** what each shard runs *)
+  p_columns : string list;  (** output column names *)
+  p_items : int;            (** projection item count (prefix of a row) *)
+  p_order : bool list;      (** ascending flag per ORDER BY key *)
+  p_limit : int option;
+}
+
+type grouped = {
+  g_shard : Ast.select;
+  g_columns : string list;
+  g_nkeys : int;            (** group-key columns (prefix of a row) *)
+  g_keys : Ast.expr list;   (** the GROUP BY expressions *)
+  g_aggs : agg list;        (** partial-column layout after the keys;
+                                [A_avg] occupies two columns *)
+  g_items : (Ast.expr * string option) list;
+  g_having : Ast.expr option;
+  g_order : Ast.order_item list;
+  g_limit : int option;
+}
+
+type t =
+  | Plain of plain
+  | Grouped of grouped
+  | Not_shardable of string  (** reason, surfaced by EXPLAIN *)
+
+val decompose :
+  star_columns:(unit -> (string list, string) result) ->
+  has_index:(string -> bool) ->
+  Ast.select -> t
+(** [star_columns] resolves [SELECT *] to the table's column names (an
+    [Error] means the coordinator cannot see the table either — the
+    caller falls back so the canonical error message surfaces).
+    [has_index] reports whether a column of the FROM table carries a
+    B-tree index — used by the key-order guard. *)
+
+val merge_plain :
+  plain -> D.value array list -> Exec.result_set
+(** Merge gathered shard rows (each [items @ order-keys @ grid]).
+    Never fails: all row-level evaluation already happened shard-side. *)
+
+val merge_grouped :
+  udts:Genalg_storage.Udt.t ->
+  grouped -> D.value array list -> (Exec.result_set, string) result
+(** Merge gathered per-shard group rows (each
+    [keys @ partials @ min-grid]) and finish the query at the
+    coordinator. Errors carry the executor's message for the same
+    failure (e.g. ["HAVING evaluated to 3"]). *)

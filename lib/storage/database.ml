@@ -577,14 +577,22 @@ let parse_body contents =
 (* Snapshot clone through the serializer: cheap enough at warehouse
    scale, and it reuses the one codepath that already knows how to copy
    every table. B-tree indexes are rebuilt; ANALYZE statistics and
-   genomic index specs carry over (v3 bodies persist them), though the
-   genomic indexes themselves — like UDT registrations — only
-   materialize when an adapter re-attaches (same contract as [load]:
-   both the CLI and the serve layer attach after load/clone, which
-   triggers [Table.rebuild_genomic_indexes]). *)
+   genomic index specs carry over (v3 bodies persist them). Built
+   genomic indexes are shared copy-on-write with the clone when record
+   ids line up (the common no-tombstone case), so a snapshot BEGIN no
+   longer pays a rebuild-sized allocation spike; otherwise the specs
+   stay pending and — like UDT registrations — materialize when an
+   adapter re-attaches (same contract as [load]: both the CLI and the
+   serve layer attach after load/clone, which triggers
+   [Table.rebuild_genomic_indexes]). *)
 let clone t =
   match parse_body (serialize t) with
-  | Ok t' -> t'
+  | Ok t' ->
+      (* serialize/parse preserves entry order, so the lists pair up *)
+      List.iter2
+        (fun e e' -> Table.share_genomic_indexes ~src:e.table ~dst:e'.table)
+        t.entries t'.entries;
+      t'
   | Error msg -> invalid_arg ("Database.clone: " ^ msg)
 
 let load path =

@@ -326,6 +326,28 @@ let rebuild_genomic_indexes t ~registry =
           | Error _ -> true (* e.g. UDT not registered yet: stay pending *))
       t.pending_genomic
 
+(* Carry [src]'s built genomic indexes over to a freshly-cloned [dst]
+   copy-on-write instead of leaving them pending for a full rebuild at
+   attach time. Text_index postings store [Heap.rid]s, so sharing is
+   only sound when both heaps assign identical rids in scan order —
+   true for a serialize/parse clone of a table with no tombstones
+   (re-insertion into a fresh heap is sequential, deletes leave holes
+   the clone compacts away). On any mismatch the specs stay pending and
+   the attach-time rebuild proceeds as before. *)
+let share_genomic_indexes ~src ~dst =
+  if Hashtbl.length src.genomic > 0 then begin
+    let rids t = List.rev (Heap.fold (fun rid _ acc -> rid :: acc) t.heap []) in
+    if rids src = rids dst then
+      Hashtbl.iter
+        (fun col (i, gidx) ->
+          if not (Hashtbl.mem dst.genomic col) then begin
+            Hashtbl.add dst.genomic col (i, Text_index.cow_clone gidx);
+            dst.pending_genomic <-
+              List.filter (fun (c, _) -> c <> col) dst.pending_genomic
+          end)
+        src.genomic
+  end
+
 let has_genomic_index t ~column =
   Hashtbl.mem t.genomic (String.lowercase_ascii column)
 

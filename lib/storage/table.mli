@@ -136,6 +136,15 @@ val rebuild_genomic_indexes : t -> registry:Udt.t -> unit
     stay pending; successfully built or already-live specs are
     cleared. *)
 
+val share_genomic_indexes : src:t -> dst:t -> unit
+(** Install copy-on-write clones of [src]'s built genomic indexes into
+    [dst] (a fresh clone of [src]), clearing the matching pending specs
+    so the attach-time rebuild is skipped. Only applies when both heaps
+    assign identical record ids in scan order (postings carry rids);
+    otherwise a no-op and [dst]'s specs stay pending. Each side
+    deep-copies the shared postings before its first write, so the
+    handles never observe each other's mutations. *)
+
 val genomic_k : t -> column:string -> int option
 (** The k-mer width of the column's genomic index, when one exists. The
     planner needs it to derive the safe seed length for [resembles]. *)

@@ -30,6 +30,7 @@ let all_requests =
   Protocol.
     [
       Hello { actor = "biologist"; client_version = 1 };
+      Hello { actor = "etl"; client_version = 2 };
       Query { sql = "SELECT * FROM sequences WHERE contains(seq, 'ACGT')" };
       Begin;
       Commit;
@@ -44,7 +45,9 @@ let all_requests =
 let all_replies =
   Protocol.
     [
-      Welcome { session = 7; server_version = 1 };
+      Welcome { session = 7; server_version = 1; topology = "" };
+      Welcome { session = 3; server_version = 2; topology = "standalone" };
+      Welcome { session = 4; server_version = 2; topology = "shard 1/4" };
       Ok_reply { info = "txn started" };
       Rows
         {
@@ -63,6 +66,7 @@ let all_replies =
       Error_reply { code = CONFLICT; message = "first committer won" };
       Error_reply { code = LIMIT; message = "row cap" };
       Error_reply { code = SHUTDOWN; message = "draining" };
+      Error_reply { code = VERSION; message = "unsupported protocol version 9" };
       Pong;
       Stats_text "serve.queries 12";
       Bye;
