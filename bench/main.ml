@@ -1504,10 +1504,12 @@ let avail () =
       let rows =
         match Db.load path with Ok db' -> count_rows db' | Error _ -> -1
       in
-      (* the new image survives only once it fully reached the tmp file *)
+      (* the new image survives only once it fully reached the tmp file;
+         dir_sync fires after the rename, when the save is already in place *)
       let expected =
         match site with
-        | "storage.save.tmp" | "storage.save.rename" -> !mem_rows
+        | "storage.save.tmp" | "storage.save.rename"
+        | "storage.save.dir_sync" -> !mem_rows
         | _ -> !file_rows
       in
       let consistent = rows = expected in
@@ -2314,6 +2316,184 @@ let shard_bench () =
   note "partition column scans ~1/N of the rows; fan-out adds cores when \
         present"
 
+(* ================================================================== *)
+
+(* CLUSTER: durability and self-healing. A persistent 4-shard cluster is
+   driven through a crash matrix crossing shard crash-loop faults with
+   coordinator restarts (clean close, abandoned-without-close, and
+   abandoned with a torn statement-log tail). Every cell writes while
+   members are down, queries under the active faults, then restarts and
+   heals; all 40 matrix queries must match the single-node engine
+   byte-for-byte, and the resync counters must show members replayed at
+   most the statements they missed. *)
+let cluster_bench () =
+  heading "CLUSTER"
+    "Cluster durability: crash matrix, bounded resync, manifest recovery";
+  let module Cluster = Genalg_shard.Cluster in
+  let module Fault = Genalg_fault.Fault in
+  Obs.set_enabled true;
+  let n =
+    match Sys.getenv_opt "GENALG_CLUSTER_N" with
+    | Some s -> (try max 200 (int_of_string s) with Failure _ -> 2_000)
+    | None -> 2_000
+  in
+  let orgs = 32 in
+  note "%d sample rows over %d organisms (GENALG_CLUSTER_N overrides)" n orgs;
+  let actor = "bench" in
+  let attach db = Genalg_adapter.Adapter.attach db Genalg_core.Builtin.default in
+  let ok = function Ok v -> v | Error m -> failwith m in
+  let dir = Filename.temp_file "genalg_cluster_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> Fault.disable (); rm dir) @@ fun () ->
+  let create_sql =
+    "CREATE TABLE samples (organism string, accession string, len int, score \
+     float)"
+  in
+  let row_sql i =
+    Printf.sprintf "('org%02d', 'ACC%05d', %d, %.2f)" (i mod orgs) i
+      (200 + (i * 37 mod 600))
+      (float_of_int (i * 13 mod 100) /. 100.)
+  in
+  let base = Db.create () in
+  attach base;
+  let cl = ref (Cluster.create_local ~attach ~replicas:true ~dir ~shards:4 ()) in
+  let both sql =
+    Exec.clear_statement_caches ();
+    ignore (ok (Cluster.query !cl ~actor sql));
+    Exec.clear_statement_caches ();
+    ignore (ok (Exec.query base ~actor sql))
+  in
+  both create_sql;
+  let rec load lo =
+    if lo < n then begin
+      let hi = min n (lo + 250) in
+      let rows = List.init (hi - lo) (fun k -> row_sql (lo + k)) in
+      both
+        (Printf.sprintf "INSERT INTO samples VALUES %s"
+           (String.concat ", " rows));
+      load hi
+    end
+  in
+  load 0;
+  let query_at i =
+    let org = i * 7 mod orgs and thr = 200 + (i * 53 mod 600) in
+    if i mod 2 = 0 then
+      Printf.sprintf
+        "SELECT count(*), sum(len), avg(score) FROM samples WHERE organism = \
+         'org%02d' AND len >= %d"
+        org thr
+    else
+      Printf.sprintf
+        "SELECT accession, len FROM samples WHERE organism = 'org%02d' AND \
+         len < %d ORDER BY len, accession LIMIT 5"
+        org thr
+  in
+  let all_serving () =
+    Array.for_all (( = ) Cluster.Serving) (Cluster.shard_states !cl)
+  in
+  let heal () =
+    let tries = ref 0 in
+    while (not (all_serving ())) && !tries < 80 do
+      incr tries;
+      Exec.clear_statement_caches ();
+      ignore (ok (Cluster.query !cl ~actor "SELECT count(*) FROM samples"))
+    done;
+    all_serving ()
+  in
+  let c_replayed = Obs.counter "shard.resync.replayed" in
+  let replayed0 = Obs.value c_replayed in
+  (* crash matrix: fault spec x coordinator-restart mode. Torn tails ride
+     on the abandoned-restart axis (a clean close flushes the tail). *)
+  let specs =
+    [ None; Some "seed=11;shard.1.primary:error:p=0.6;shard.2.primary:crash:p=0.35" ]
+  in
+  let restarts = [ `Keep; `Clean_close; `Abandon; `Abandon_torn ] in
+  let cells =
+    List.concat_map (fun s -> List.map (fun r -> (s, r)) restarts) specs
+  in
+  let q_per_cell = 5 in
+  let qi = ref 0 and wi = ref n in
+  let same_n = ref 0 and missed = ref 0 in
+  let healed_all = ref true and epochs_kept = ref true in
+  List.iter
+    (fun (spec, restart) ->
+      (match spec with
+      | None -> ()
+      | Some s ->
+          (match Fault.configure s with Ok () -> () | Error m -> failwith m));
+      (* writes land while members are down; the statement log holds
+         their delta for resync *)
+      for _ = 1 to 2 do
+        both (Printf.sprintf "INSERT INTO samples VALUES %s" (row_sql !wi));
+        incr wi;
+        Array.iter
+          (fun st -> if st <> Cluster.Serving then incr missed)
+          (Cluster.shard_states !cl)
+      done;
+      (* the cell's matrix queries run under the active faults: failover
+         and mirror fallback must keep them byte-identical *)
+      for _ = 1 to q_per_cell do
+        let sql = query_at !qi in
+        incr qi;
+        Exec.clear_statement_caches ();
+        let a = Cluster.query !cl ~actor sql in
+        Exec.clear_statement_caches ();
+        if a = Exec.query base ~actor sql then incr same_n
+      done;
+      Fault.disable ();
+      let epochs_before =
+        Array.init (Cluster.shard_count !cl) (Cluster.epoch !cl)
+      in
+      (match restart with
+      | `Keep -> ()
+      | `Clean_close ->
+          Cluster.close !cl;
+          cl := ok (Cluster.open_dir ~attach ~dir ())
+      | `Abandon | `Abandon_torn ->
+          (* coordinator crash: the old handle is simply dropped; every
+             statement was flushed to the log when it ran *)
+          if restart = `Abandon_torn then begin
+            let oc =
+              open_out_gen [ Open_append; Open_binary ] 0o600
+                (Filename.concat dir "statements.log")
+            in
+            output_string oc "\x7f\x00torn-tail-garbage\x01\x02";
+            close_out oc
+          end;
+          cl := ok (Cluster.open_dir ~attach ~dir ()));
+      if restart <> `Keep then
+        Array.iteri
+          (fun i e0 -> if Cluster.epoch !cl i < e0 then epochs_kept := false)
+          epochs_before;
+      if not (heal ()) then healed_all := false)
+    cells;
+  let replayed = Obs.value c_replayed - replayed0 in
+  note "%d/%d matrix queries identical to single-node across %d cells"
+    !same_n !qi (List.length cells);
+  note "resync replayed %d statements; members missed at most %d" replayed
+    !missed;
+  print_endline (Cluster.report_text !cl);
+  print_endline (Obs.render_table ~prefix:"shard.resync" ());
+  (* machine-checkable markers for ci.sh's cluster durability step *)
+  Printf.printf "cluster-smoke: crash-matrix-40of40=%s\n"
+    (if !same_n = !qi && !qi = q_per_cell * List.length cells then "yes"
+     else "no");
+  Printf.printf "cluster-smoke: resync-bounded=%s\n"
+    (if replayed > 0 && replayed <= !missed then "yes" else "no");
+  Printf.printf "cluster-smoke: recovery=%s\n"
+    (if !healed_all && !epochs_kept && all_serving () then "ok" else "failed");
+  Cluster.close !cl;
+  note "shape: restarts replay the statement log over checkpoint images;";
+  note "resync ships only each member's delta, so replayed <= missed"
+
 let experiments =
   [
     ("T1", t1); ("F1", f1); ("F2", f2); ("F3", f3);
@@ -2327,6 +2507,7 @@ let experiments =
     ("AVAIL", avail);
     ("SERVE", serve_bench);
     ("SHARD", shard_bench);
+    ("CLUSTER", cluster_bench);
     ("OVERHEAD", overhead);
     ("MICRO", bechamel_suite);
   ]

@@ -503,10 +503,11 @@ let serve_cmd =
     apply_faults fault;
     let socket_path = Option.value socket ~default:(path ^ ".sock") in
     let topology =
-      match (shard_id, shard_count) with
-      | Some i, Some n -> Printf.sprintf "shard %d/%d" i n
-      | Some i, None -> Printf.sprintf "shard %d/?" i
-      | None, _ -> "standalone"
+      match Server.shard_topology ~shard_id ~shard_count with
+      | Ok t -> t
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
     in
     let config =
       {
@@ -594,15 +595,25 @@ let print_reply = function
       Printf.printf "error [%s]: %s\n" (Proto.error_code_to_string code) message
   | Proto.Stats_text text -> print_endline text
   | Proto.Pong -> print_endline "pong"
+  | Proto.Resync_state { epoch; applied_lsn } ->
+      Printf.printf "resync: epoch %d, applied lsn %d\n" epoch applied_lsn
   | Proto.Welcome _ | Proto.Bye -> ()
 
 let connect_cmd =
   (* coordinator mode: --shards turns the client into a scatter-gather
      coordinator over N genalg-serve shards (docs/SHARDING.md) *)
-  let run_cluster ~actor ~command ~sockets ~replicas ~fault =
+  let run_cluster ~actor ~command ~sockets ~replicas ~dir ~fault =
     apply_faults fault;
     Obs.set_enabled true;
-    match Cluster.create_remote ~attach ?replicas ~actor ~sockets () with
+    let cluster =
+      (* a state directory that already holds a manifest is an earlier
+         coordinator's life: recover it instead of starting fresh *)
+      match dir with
+      | Some d when Sys.file_exists (Genalg_shard.Manifest.path d) ->
+          Cluster.open_dir ~attach ~dir:d ()
+      | _ -> Cluster.create_remote ~attach ?replicas ?dir ~actor ~sockets ()
+    in
+    match cluster with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
@@ -613,13 +624,7 @@ let connect_cmd =
               print_endline (Obs.render_table ~prefix:"shard" ());
               Ok ()
           | "\\report" ->
-              let r = Cluster.last_report cl in
-              Printf.printf
-                "last scatter: targets=%d gathered=%d failed-over=%d%s\n"
-                r.Cluster.targets r.Cluster.gathered r.Cluster.failed_over
-                (match r.Cluster.fallback with
-                | None -> ""
-                | Some why -> Printf.sprintf " fallback=%s" why);
+              print_string (Cluster.report_text cl);
               Ok ()
           | _ -> (
               match Cluster.query cl ~actor line with
@@ -714,12 +719,12 @@ let connect_cmd =
             loop ();
             Client.close c)
   in
-  let run socket actor command shards replicas fault =
+  let run socket actor command shards replicas dir fault =
     match shards with
     | Some socks ->
         let split s = String.split_on_char ',' s |> List.map String.trim in
         run_cluster ~actor ~command ~sockets:(split socks)
-          ~replicas:(Option.map split replicas) ~fault
+          ~replicas:(Option.map split replicas) ~dir ~fault
     | None -> run_single socket actor command
   in
   let socket = socket_flag ~doc:"Server socket (from $(b,genalg serve))" in
@@ -742,6 +747,18 @@ let connect_cmd =
             "Replica sockets paired positionally with $(b,--shards); a \
              shard whose primary dies fails over to its replica")
   in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Coordinator state directory: persists the manifest, the \
+             statement log and checkpoint images so a restarted \
+             coordinator recovers routing state and resyncs its shards \
+             (a directory already holding a manifest is reopened; see \
+             docs/SHARDING.md)")
+  in
   let actor =
     Arg.(value & opt string "biologist" & info [ "actor" ] ~doc:"Acting user")
   in
@@ -757,7 +774,9 @@ let connect_cmd =
        ~doc:"Connect to a running genalg server: remote SQL REPL over the \
              wire protocol, or a scatter-gather coordinator with \
              $(b,--shards)")
-    Term.(const run $ socket $ actor $ command $ shards $ replicas $ fault_flag)
+    Term.(
+      const run $ socket $ actor $ command $ shards $ replicas $ state_dir
+      $ fault_flag)
 
 (* ---- orfs -------------------------------------------------------------------- *)
 

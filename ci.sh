@@ -133,6 +133,22 @@ echo "$SHARD_OUT" | grep -q "shard-smoke: failover-40of40=yes" || {
   exit 1
 }
 
+echo "== smoke: cluster durability (CLUSTER bench: crash matrix + bounded resync) =="
+CLUSTER_OUT=$(dune exec bench/main.exe -- CLUSTER)
+echo "$CLUSTER_OUT"
+echo "$CLUSTER_OUT" | grep -q "cluster-smoke: crash-matrix-40of40=yes" || {
+  echo "cluster smoke FAILED: a crash-matrix query diverged from the single-node engine" >&2
+  exit 1
+}
+echo "$CLUSTER_OUT" | grep -q "cluster-smoke: resync-bounded=yes" || {
+  echo "cluster smoke FAILED: resync replayed more statements than members missed" >&2
+  exit 1
+}
+echo "$CLUSTER_OUT" | grep -q "cluster-smoke: recovery=ok" || {
+  echo "cluster smoke FAILED: a restarted coordinator did not heal back to serving" >&2
+  exit 1
+}
+
 echo "== docs: index completeness + intra-repo link integrity =="
 for f in docs/*.md; do
   b=$(basename "$f")
@@ -150,6 +166,21 @@ for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
     esac
     [ -f "$dir/$target" ] || {
       echo "docs check FAILED: $f links to missing $target" >&2
+      exit 1
+    }
+  done
+done
+# heading anchors: every ](file.md#anchor) must slugify to a real heading
+for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  dir=$(dirname "$f")
+  for link in $(grep -o ']([^)#]*\.md#[^)]*)' "$f" | sed 's/^](//; s/)$//'); do
+    target=${link%%#*}
+    anchor=${link#*#}
+    [ -f "$dir/$target" ] || continue  # missing files reported above
+    slugs=$(grep '^#' "$dir/$target" | sed 's/^#*[[:space:]]*//' \
+      | tr 'A-Z' 'a-z' | sed 's/[^a-z0-9 -]//g; s/ /-/g')
+    echo "$slugs" | grep -qx "$anchor" || {
+      echo "docs check FAILED: $f links to $target#$anchor but no heading there slugifies to it" >&2
       exit 1
     }
   done

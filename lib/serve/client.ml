@@ -22,6 +22,10 @@ let roundtrip_fd fd req =
   | Ok frame -> P.decode_reply frame
 
 let connect ?(actor = "biologist") ?(client_version = P.version) ~socket () =
+  (* a peer that died mid-connection must surface as EPIPE (a transport
+     error the caller can fail over from), not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   match
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX socket)
@@ -48,6 +52,17 @@ let connect ?(actor = "biologist") ?(client_version = P.version) ~socket () =
 let roundtrip t req = roundtrip_fd t.fd req
 
 let query t sql = roundtrip t (P.Query { sql })
+
+let fenced_query t ~epoch ?lsn sql =
+  roundtrip t (P.Fenced_query { epoch; lsn; sql })
+
+let resync t ~epoch =
+  match roundtrip t (P.Resync { epoch }) with
+  | Ok (P.Resync_state { epoch; applied_lsn }) -> Ok (epoch, applied_lsn)
+  | Ok (P.Error_reply { code; message }) ->
+      Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) message)
+  | Ok _ -> Error "unexpected reply to RESYNC"
+  | Error _ as e -> e
 
 let expect_ok t req =
   match roundtrip t req with

@@ -27,6 +27,18 @@ val query : t -> string -> (Protocol.reply, string) result
     including [Error_reply] (a query-level failure is not a transport
     failure); [Error] means the connection itself broke. *)
 
+val fenced_query :
+  t -> epoch:int -> ?lsn:int -> string -> (Protocol.reply, string) result
+(** A coordinator write carrying the shard pair's fencing epoch
+    (protocol v3). The server answers [Error_reply FENCED] when the
+    epoch is not in force there; a statement whose [lsn] the server
+    already applied is acknowledged without re-running. *)
+
+val resync : t -> epoch:int -> ((int * int), string) result
+(** The v3 resync handshake: offer an epoch, get back
+    [(epoch now in force, applied LSN)] so the caller can replay the
+    delta with {!fenced_query}. *)
+
 val begin_ : t -> (unit, string) result
 val commit : t -> (unit, string) result
 val rollback : t -> (unit, string) result

@@ -1,6 +1,6 @@
 module D = Genalg_storage.Dtype
 
-let version = 2
+let version = 3
 let min_version = 1
 let supported v = v >= min_version && v <= version
 let max_frame = 16 * 1024 * 1024
@@ -8,6 +8,8 @@ let max_frame = 16 * 1024 * 1024
 type request =
   | Hello of { actor : string; client_version : int }
   | Query of { sql : string }
+  | Fenced_query of { epoch : int; lsn : int option; sql : string }
+  | Resync of { epoch : int }
   | Begin
   | Commit
   | Rollback
@@ -25,6 +27,7 @@ type error_code =
   | LIMIT
   | SHUTDOWN
   | VERSION
+  | FENCED
 
 type reply =
   | Welcome of { session : int; server_version : int; topology : string }
@@ -34,6 +37,7 @@ type reply =
   | Error_reply of { code : error_code; message : string }
   | Pong
   | Stats_text of string
+  | Resync_state of { epoch : int; applied_lsn : int }
   | Bye
 
 let error_code_to_string = function
@@ -45,6 +49,7 @@ let error_code_to_string = function
   | LIMIT -> "LIMIT"
   | SHUTDOWN -> "SHUTDOWN"
   | VERSION -> "VERSION"
+  | FENCED -> "FENCED"
 
 let error_code_to_int = function
   | PROTO -> 1
@@ -55,6 +60,7 @@ let error_code_to_int = function
   | LIMIT -> 6
   | SHUTDOWN -> 7
   | VERSION -> 8
+  | FENCED -> 9
 
 let error_code_of_int = function
   | 1 -> Some PROTO
@@ -65,11 +71,14 @@ let error_code_of_int = function
   | 6 -> Some LIMIT
   | 7 -> Some SHUTDOWN
   | 8 -> Some VERSION
+  | 9 -> Some FENCED
   | _ -> None
 
 let request_tag = function
   | Hello _ -> 'H'
   | Query _ -> 'Q'
+  | Fenced_query _ -> 'F'
+  | Resync _ -> 'N'
   | Begin -> 'B'
   | Commit -> 'C'
   | Rollback -> 'R'
@@ -86,6 +95,7 @@ let reply_tag = function
   | Error_reply _ -> 'E'
   | Pong -> 'O'
   | Stats_text _ -> 'Z'
+  | Resync_state _ -> 'U'
   | Bye -> 'Y'
 
 (* ---- body primitives: i64le ints and length-prefixed strings ---- *)
@@ -136,6 +146,13 @@ let encode_request r =
       add_int buf client_version;
       add_str buf actor
   | Query { sql } -> add_str buf sql
+  | Fenced_query { epoch; lsn; sql } ->
+      add_int buf epoch;
+      (* the codec rejects negative ints, so the optional LSN ships
+         shifted: 0 = none, n+1 = Some n *)
+      add_int buf (match lsn with None -> 0 | Some l -> l + 1);
+      add_str buf sql
+  | Resync { epoch } -> add_int buf epoch
   | Shutdown { dirty } -> Buffer.add_char buf (if dirty then '\001' else '\000')
   | Begin | Commit | Rollback | Stats | Ping | Goodbye -> ());
   Buffer.contents buf
@@ -151,6 +168,13 @@ let decode_request s =
           let actor = get_str c in
           Hello { actor; client_version }
       | 'Q' -> Query { sql = get_str c }
+      | 'F' ->
+          let epoch = get_int c in
+          let shifted = get_int c in
+          let lsn = if shifted = 0 then None else Some (shifted - 1) in
+          let sql = get_str c in
+          Fenced_query { epoch; lsn; sql }
+      | 'N' -> Resync { epoch = get_int c }
       | 'B' -> Begin
       | 'C' -> Commit
       | 'R' -> Rollback
@@ -196,6 +220,9 @@ let encode_reply r =
       add_str buf message
   | Pong -> ()
   | Stats_text text -> add_str buf text
+  | Resync_state { epoch; applied_lsn } ->
+      add_int buf epoch;
+      add_int buf applied_lsn
   | Bye -> ());
   Buffer.contents buf
 
@@ -235,6 +262,10 @@ let decode_reply s =
           Error_reply { code; message }
       | 'O' -> Pong
       | 'Z' -> Stats_text (get_str c)
+      | 'U' ->
+          let epoch = get_int c in
+          let applied_lsn = get_int c in
+          Resync_state { epoch; applied_lsn }
       | 'Y' -> Bye
       | t -> raise (Malformed (Printf.sprintf "unknown reply tag %C" t))
     in

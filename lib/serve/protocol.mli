@@ -1,4 +1,4 @@
-(** The genalg wire protocol, version 2 (spec: [docs/SERVING.md]).
+(** The genalg wire protocol, version 3 (spec: [docs/SERVING.md]).
 
     Frames are length-prefixed: [len:u32be | tag:u8 | body], where [len]
     counts the tag byte plus the body. Bodies are built from
@@ -15,8 +15,11 @@
 module D := Genalg_storage.Dtype
 
 val version : int
-(** Protocol version carried in HELLO/WELCOME; v2. v2 adds the typed
-    [VERSION] error code and a shard-topology string in [Welcome]. *)
+(** Protocol version carried in HELLO/WELCOME; v3. v2 added the typed
+    [VERSION] error code and a shard-topology string in [Welcome]; v3
+    adds epoch-fenced writes ([Fenced_query]), the [Resync] handshake
+    with its [Resync_state] reply, and the [FENCED] error code. v1/v2
+    message shapes are unchanged — v3 only introduces new tags. *)
 
 val min_version : int
 (** Oldest client version the server still accepts (v1: the WELCOME it
@@ -36,6 +39,19 @@ type request =
       (** first message on a connection; answered by [Welcome] or
           [Error_reply ADMISSION] *)
   | Query of { sql : string }   (** one extended-SQL statement *)
+  | Fenced_query of { epoch : int; lsn : int option; sql : string }
+      (** a coordinator write (or resync replay) carrying the shard
+          pair's current epoch. The server refuses it with [FENCED]
+          unless [epoch] matches its own — a stale coordinator (or a
+          write reaching a fenced stale primary) cannot mutate state.
+          [lsn], when given, is the statement's log sequence number:
+          the server skips statements it has already applied
+          ([lsn <= applied_lsn]) and advances its durable cursor
+          otherwise, making resync replay idempotent. *)
+  | Resync of { epoch : int }
+      (** adopt [max (epoch, own epoch)] and report the resulting
+          epoch + applied LSN ([Resync_state]) so the coordinator can
+          compute the replay delta *)
   | Begin                       (** open a transaction *)
   | Commit
   | Rollback
@@ -57,6 +73,7 @@ type error_code =
   | LIMIT      (** per-query row or time limit exceeded *)
   | SHUTDOWN   (** server is stopping *)
   | VERSION    (** HELLO carried an unsupported protocol version *)
+  | FENCED     (** a fenced request carried a stale (or unknown) epoch *)
 
 type reply =
   | Welcome of { session : int; server_version : int; topology : string }
@@ -69,6 +86,9 @@ type reply =
   | Error_reply of { code : error_code; message : string }
   | Pong
   | Stats_text of string
+  | Resync_state of { epoch : int; applied_lsn : int }
+      (** answer to [Resync]: the epoch now in force on this server and
+          the LSN of the last statement it durably applied *)
   | Bye
 
 val error_code_to_string : error_code -> string
@@ -77,8 +97,8 @@ val error_code_to_int : error_code -> int
 
 val request_tag : request -> char
 val reply_tag : reply -> char
-(** The on-wire tag bytes ([H Q B C R S P G X] for requests,
-    [W K T A E O Z Y] for replies); the spec documents each. *)
+(** The on-wire tag bytes ([H Q F N B C R S P G X] for requests,
+    [W K T A E O Z U Y] for replies); the spec documents each. *)
 
 (** {1 Codecs} *)
 

@@ -23,6 +23,9 @@ let c_txn_conflict = Obs.counter "serve.txn.conflict"
 let c_gc_batches = Obs.counter "serve.group_commit.batches"
 let c_gc_commits = Obs.counter "serve.group_commit.commits"
 let c_wal_replayed = Obs.counter "serve.wal.replayed"
+let c_fenced_rejected = Obs.counter "serve.fenced.rejected"
+let c_fenced_skipped = Obs.counter "serve.fenced.skipped"
+let c_resyncs = Obs.counter "serve.resyncs"
 let h_query = Obs.histogram "serve.query"
 
 type config = {
@@ -83,11 +86,58 @@ type t = {
   mutable next_txn : int;
   mutable replayed : int;
   mutable txns_committed : int;
+  mutable epoch : int;       (* shard-pair fencing epoch in force *)
+  mutable applied_lsn : int; (* last coordinator LSN durably applied *)
 }
 
 let replayed t = t.replayed
 let db t = t.live
 let stop t = Atomic.set t.stopping true
+let epoch t = t.epoch
+let applied_lsn t = t.applied_lsn
+
+(* ------------------------------------------------------------------ *)
+(* Epoch state file: [<db>.epoch] holds the fencing epoch and the
+   applied-LSN cursor as of the last resync or clean checkpoint. The
+   WAL's 'M' markers carry the cursor between checkpoints, so a dirty
+   crash recovers [max (file, markers)]. Losing the file entirely only
+   regresses the server to epoch 0 — a fenced write then fails and the
+   coordinator resyncs it forward, so the file needs atomicity (tmp +
+   rename) but no journal. *)
+
+let epoch_magic = "GENALGEP1"
+let epoch_path db_path = db_path ^ ".epoch"
+
+let load_epoch_file db_path =
+  let file = epoch_path db_path in
+  if not (Sys.file_exists file) then (0, 0)
+  else
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> (0, 0)
+    | contents -> (
+        try
+          Scanf.sscanf contents "%s %d %d" (fun m e l ->
+              if m = epoch_magic && e >= 0 && l >= 0 then (e, l) else (0, 0))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> (0, 0))
+
+let save_epoch_file t =
+  let file = epoch_path t.db_path in
+  let tmp = file ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "%s %d %d\n" epoch_magic t.epoch t.applied_lsn);
+    Genalg_storage.Fsutil.fsync_file tmp;
+    Sys.rename tmp file;
+    Genalg_storage.Fsutil.fsync_dir (Genalg_storage.Fsutil.parent file)
+  with Sys_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Statement classification: what a statement touches decides where it
@@ -166,6 +216,13 @@ let create config ~db_path =
                     Wal.close wal;
                     Error (config.socket_path ^ ": " ^ Unix.error_message e)
                 | listen ->
+                    (* the durable applied-LSN cursor is whichever got
+                       further: the epoch file (last clean checkpoint /
+                       resync) or the WAL's committed markers *)
+                    let file_epoch, file_lsn = load_epoch_file db_path in
+                    let applied_lsn =
+                      max file_lsn (Option.value rp.Wal.last_lsn ~default:0)
+                    in
                     Ok
                       {
                         config;
@@ -180,12 +237,39 @@ let create config ~db_path =
                         next_txn = 0;
                         replayed = List.length rp.Wal.committed;
                         txns_committed = 0;
+                        epoch = file_epoch;
+                        applied_lsn;
                       })))
 
 let checkpoint t =
   match Db.save t.live t.db_path with
   | Error _ as e -> e
-  | Ok () -> Wal.truncate t.wal
+  | Ok () ->
+      (* truncation erases the WAL's applied-LSN markers, so the cursor
+         must be durable in the epoch file first *)
+      save_epoch_file t;
+      Wal.truncate t.wal
+
+(* Shard topology validation for [genalg serve --shard-id/--shard-count]
+   (and the WELCOME announcement): values that can never be addressed by
+   a coordinator are refused at startup instead of silently joining. *)
+let shard_topology ~shard_id ~shard_count =
+  match (shard_id, shard_count) with
+  | None, None -> Ok "standalone"
+  | Some _, None -> Error "--shard-id requires --shard-count"
+  | None, Some _ -> Error "--shard-count requires --shard-id"
+  | Some i, Some n ->
+      if n <= 0 then
+        Error (Printf.sprintf "--shard-count must be positive (got %d)" n)
+      else if i < 0 then
+        Error (Printf.sprintf "--shard-id must be non-negative (got %d)" i)
+      else if i >= n then
+        Error
+          (Printf.sprintf
+             "--shard-id %d is out of range for --shard-count %d (valid: \
+              0..%d)"
+             i n (n - 1))
+      else Ok (Printf.sprintf "shard %d/%d" i n)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -238,11 +322,15 @@ let is_error = function P.Error_reply _ -> true | _ -> false
 
 (* Append one committed transaction's redo records; the flush (and the
    client's acknowledgement) happens once per group in [flush_group]. *)
-let wal_log_txn t ~actor stmts =
+let wal_log_txn ?lsn t ~actor stmts =
   t.next_txn <- t.next_txn + 1;
   let txn = t.next_txn in
   Wal.append_begin t.wal ~txn;
   List.iter (fun sql -> Wal.append_stmt t.wal ~txn ~actor ~sql) stmts;
+  (* a fenced statement's LSN cursor commits atomically with it *)
+  (match lsn with
+  | Some l -> Wal.append_marker t.wal ~txn ~lsn:l
+  | None -> ());
   Wal.append_commit t.wal ~txn
 
 (* The commit-time conflict check: first committer wins. Every table in
@@ -351,9 +439,11 @@ let handle_request t s ~defer req =
         t.config.max_query_s;
       Printf.bprintf b
         "wal: %s, %d B pending, %d stmts replayed at startup, %d txns \
-         committed\n\n"
+         committed\n"
         (Wal.path t.wal) (Wal.pending_bytes t.wal) t.replayed
         t.txns_committed;
+      Printf.bprintf b "cluster: epoch %d, applied lsn %d\n\n" t.epoch
+        t.applied_lsn;
       Buffer.add_string b (Obs.render_table ());
       send t s (P.Stats_text (Buffer.contents b))
   | Some _, P.Begin -> (
@@ -408,6 +498,54 @@ let handle_request t s ~defer req =
                   t.txns_committed <- t.txns_committed + 1;
                   Obs.add c_txn_commit 1;
                   defer s (P.Ok_reply { info = "committed" }))))
+  | Some _, P.Resync { epoch } ->
+      (* adopt the higher epoch (a coordinator announcing a failover it
+         performed while we were away) and report where we stand so the
+         coordinator can replay exactly the delta *)
+      t.epoch <- max t.epoch epoch;
+      save_epoch_file t;
+      Obs.add c_resyncs 1;
+      send t s (P.Resync_state { epoch = t.epoch; applied_lsn = t.applied_lsn })
+  | Some actor, P.Fenced_query { epoch; lsn; sql } -> (
+      Obs.add c_queries 1;
+      if epoch <> t.epoch then begin
+        (* stale primary fencing: a coordinator (or replayed write) on
+           the wrong epoch cannot mutate state until it resyncs *)
+        Obs.add c_fenced_rejected 1;
+        send t s
+          (err P.FENCED
+             (Printf.sprintf
+                "epoch %d is not in force here (server at epoch %d); resync \
+                 first"
+                epoch t.epoch))
+      end
+      else
+        match lsn with
+        | Some l when l <= t.applied_lsn ->
+            (* resync replay re-sending a statement that survived in the
+               WAL: applying it twice would diverge the store *)
+            Obs.add c_fenced_skipped 1;
+            send t s (P.Ok_reply { info = "already applied" })
+        | _ -> (
+            match Parser.parse sql with
+            | Error msg ->
+                Obs.add c_query_errors 1;
+                send t s (err P.QUERY msg)
+            | Ok stmt -> (
+                let reply = execute_limited t t.live ~actor stmt in
+                if is_error reply then Obs.add c_query_errors 1;
+                match classify stmt with
+                | Read -> send t s reply
+                | Write _ | Catalog _ ->
+                    if is_error reply then send t s reply
+                    else begin
+                      wal_log_txn ?lsn t ~actor [ sql ];
+                      (match lsn with
+                      | Some l -> t.applied_lsn <- max t.applied_lsn l
+                      | None -> ());
+                      t.txns_committed <- t.txns_committed + 1;
+                      defer s reply
+                    end)))
   | Some actor, P.Query { sql } -> (
       Obs.add c_queries 1;
       if not (Resilience.Breaker.allow s.breaker) then begin
@@ -549,6 +687,10 @@ let shutdown_loop t =
     Sys.remove t.config.socket_path
 
 let serve t =
+  (* a client that vanished mid-reply must surface as EPIPE on the write
+     (the session is torn down), not kill the whole server process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let result =
     try
       while not (Atomic.get t.stopping) do

@@ -81,5 +81,29 @@ val stop : t -> unit
     safe to call from another domain. *)
 
 val checkpoint : t -> (unit, string) result
-(** Save the snapshot image and truncate the WAL. Called by clean
-    shutdown; exposed for tests. *)
+(** Save the snapshot image, persist the epoch state file, and truncate
+    the WAL. Called by clean shutdown; exposed for tests. *)
+
+(** {1 Cluster fencing state}
+
+    A server that is one shard of a cluster carries a {e fencing epoch}
+    and an {e applied-LSN cursor} (protocol v3, [docs/SHARDING.md]). A
+    [Fenced_query] is refused with [FENCED] unless its epoch matches;
+    one carrying an LSN at or below the cursor is skipped as already
+    applied. Both survive restarts: the cursor rides the WAL as ['M']
+    markers between checkpoints, and [<db>.epoch] holds both at clean
+    checkpoints and on every [Resync] handshake. *)
+
+val epoch : t -> int
+(** The fencing epoch in force (0 until a coordinator resyncs one in). *)
+
+val applied_lsn : t -> int
+(** LSN of the last fenced statement durably applied (0 if none). *)
+
+val shard_topology :
+  shard_id:int option -> shard_count:int option -> (string, string) result
+(** Validate [--shard-id]/[--shard-count] into a WELCOME topology
+    string: [Ok "standalone"] when both are absent, [Ok "shard I/N"]
+    when consistent, and [Error] for values no coordinator could ever
+    address (one flag without the other, [count <= 0], [id < 0],
+    [id >= count]). *)

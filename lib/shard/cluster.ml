@@ -2,6 +2,8 @@ module D = Genalg_storage.Dtype
 module Db = Genalg_storage.Database
 module Table = Genalg_storage.Table
 module Schema = Genalg_storage.Schema
+module Wal = Genalg_storage.Wal
+module Fsutil = Genalg_storage.Fsutil
 module Ast = Genalg_sqlx.Ast
 module Eval = Genalg_sqlx.Eval
 module Exec = Genalg_sqlx.Exec
@@ -22,16 +24,41 @@ let c_failovers = Obs.counter "shard.failovers"
 let c_merges = Obs.counter "shard.partial_merges"
 let c_fallbacks = Obs.counter "shard.fallbacks"
 let c_pruned = Obs.counter "shard.pruned"
+let c_epoch_bumps = Obs.counter "shard.epoch.bumps"
 let h_gather = Obs.histogram "shard.gather"
 let h_merge = Obs.histogram "shard.merge"
 
-type endpoint = Local of Db.t | Remote of Client.t
+type endpoint = Resync.endpoint =
+  | Local of Db.t
+  | Remote of Client.t
+  | Detached of string
+
+type role = R_primary | R_replica
+
+(* One store of a shard pair. [m_applied] is the coordinator's view of
+   the highest statement LSN the member holds (for a remote member:
+   durably, because fenced writes are acknowledged after the server's
+   group flush). A member that misses a statement is marked unhealthy
+   and catches up through the statement log; [m_dead] means it can
+   never catch up from the log (its delta was checkpointed away). *)
+type member = {
+  mutable m_ep : endpoint;
+  m_sock : string option;  (* re-dial address for a remote member *)
+  mutable m_healthy : bool;
+  mutable m_dead : bool;
+  mutable m_applied : int;
+}
 
 type shard = {
-  primary : endpoint;
-  replica : endpoint option;
+  sid : int;
+  primary : member;
+  replica : member option;
   breaker : Breaker.t;
+  mutable epoch : int;
+  mutable resyncing : bool;
 }
+
+type shard_state = Serving | Degraded | Resyncing | Dead
 
 type report = {
   targets : int;
@@ -48,11 +75,17 @@ type rep = {
   mutable r_fallback : string option;
 }
 
+type persist = { dir : string; log : Wal.t }
+
 type t = {
   shards : shard array;
   mirror_db : Db.t;
   pcols : (string, string) Hashtbl.t;  (* lc table -> lc partition column *)
-  mutable next_grid : int;
+  mutable next_seq : int;  (* next LSN, which doubles as the __grid value *)
+  mutable log_base : int;  (* LSNs <= this are checkpointed into images *)
+  mem_logs : (int * string * string) list array;  (* newest-first, per shard *)
+  persist : persist option;
+  topology : Manifest.topology;
   rep : rep;
   mutable failovers_sum : int;
 }
@@ -64,15 +97,16 @@ exception Shard_down of string
 let shard_count t = Array.length t.shards
 let mirror t = t.mirror_db
 
-let endpoint_db = function Local db -> Some db | Remote _ -> None
+let endpoint_db = function Local db -> Some db | Remote _ | Detached _ -> None
 
 let primary_db t i =
   if i < 0 || i >= Array.length t.shards then None
-  else endpoint_db t.shards.(i).primary
+  else endpoint_db t.shards.(i).primary.m_ep
 
 let replica_db t i =
   if i < 0 || i >= Array.length t.shards then None
-  else Option.bind t.shards.(i).replica endpoint_db
+  else
+    Option.bind t.shards.(i).replica (fun m -> endpoint_db m.m_ep)
 
 let last_report t =
   {
@@ -83,6 +117,361 @@ let last_report t =
   }
 
 let failovers_total t = t.failovers_sum
+let epoch t i = t.shards.(i).epoch
+
+let members sh =
+  (R_primary, sh.primary)
+  :: (match sh.replica with Some m -> [ (R_replica, m) ] | None -> [])
+
+let shard_site i = function
+  | R_primary -> Printf.sprintf "shard.%d.primary" i
+  | R_replica -> Printf.sprintf "shard.%d.replica" i
+
+let is_shard_site s = String.length s >= 6 && String.sub s 0 6 = "shard."
+
+let shard_state_of sh =
+  let replica_ok =
+    match sh.replica with Some m -> m.m_healthy | None -> false
+  in
+  if sh.resyncing then Resyncing
+  else if sh.primary.m_healthy then Serving
+  else if replica_ok then Degraded
+  else if sh.primary.m_dead then Dead
+  else Resyncing
+
+let shard_state_to_string = function
+  | Serving -> "serving"
+  | Degraded -> "degraded"
+  | Resyncing -> "resyncing"
+  | Dead -> "dead"
+
+let shard_states t = Array.map shard_state_of t.shards
+
+let next_lsn t =
+  let l = t.next_seq in
+  t.next_seq <- l + 1;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator state directory                                         *)
+
+let log_file dir = Filename.concat dir "statements.log"
+let mirror_file dir = Filename.concat dir "mirror.db"
+let shard_image dir i = Filename.concat dir (Printf.sprintf "shard%d.db" i)
+
+(* The statement log is physically one LSN-ordered file but logically
+   per-shard: each statement's transaction (txn id = LSN) carries the
+   original statement for the mirror plus the routed statement tagged
+   with its target shard in the actor field. Actor names starting with
+   '@' are reserved for this tag. *)
+let encode_route tgt actor = "@" ^ tgt ^ ":" ^ actor
+
+let decode_route actor =
+  if String.length actor > 0 && actor.[0] = '@' then
+    match String.index_opt actor ':' with
+    | Some i ->
+        Some
+          ( String.sub actor 1 (i - 1),
+            String.sub actor (i + 1) (String.length actor - i - 1) )
+    | None -> None
+  else None
+
+let manifest_of t =
+  let pcols =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pcols [])
+  in
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun sh ->
+           {
+             Manifest.epoch = sh.epoch;
+             primary_applied = sh.primary.m_applied;
+             replica_applied = Option.map (fun m -> m.m_applied) sh.replica;
+           })
+         t.shards)
+  in
+  {
+    Manifest.topology = t.topology;
+    pcols;
+    next_seq = t.next_seq;
+    log_base = t.log_base;
+    shards;
+  }
+
+(* The manifest is advisory over the logs, so a failed write is not
+   fatal to the statement that triggered it — recovery re-derives the
+   truth. Injected crash points still propagate. *)
+let save_manifest t =
+  match t.persist with
+  | None -> ()
+  | Some p -> (
+      match Manifest.save (manifest_of t) ~dir:p.dir with
+      | Ok () | Error _ -> ())
+
+(* Log one routed statement under its LSN, atomically with the original
+   it was derived from: both records share one log transaction, so both
+   survive a crash or neither does — there is no window where the
+   mirror and a shard diverge after recovery. [target] is a shard
+   index, or [-1] for a broadcast. *)
+let log_statement t ~actor ~lsn ~target ~original ~routed =
+  match t.persist with
+  | Some p ->
+      Wal.append_begin p.log ~txn:lsn;
+      Wal.append_stmt p.log ~txn:lsn ~actor ~sql:original;
+      let tgt = if target < 0 then "*" else string_of_int target in
+      Wal.append_stmt p.log ~txn:lsn ~actor:(encode_route tgt actor)
+        ~sql:routed;
+      Wal.append_commit p.log ~txn:lsn;
+      (* flush per statement: a member ack means its LSN is replayable;
+         a torn tail from a flush crash is rebuilt on recovery *)
+      (match Wal.flush p.log with Ok () | Error _ -> ())
+  | None ->
+      if target < 0 then
+        Array.iteri
+          (fun i l -> t.mem_logs.(i) <- (lsn, actor, routed) :: l)
+          t.mem_logs
+      else t.mem_logs.(target) <- (lsn, actor, routed) :: t.mem_logs.(target)
+
+(* the logical statement stream of shard [i]: routed statements
+   targeting it (or broadcast) with LSN strictly above [lsn], ascending *)
+let entries_after t i lsn =
+  match t.persist with
+  | Some p -> (
+      match Wal.replay_from (Wal.path p.log) ~lsn with
+      | Error _ -> []
+      | Ok rp ->
+          List.filter_map
+            (fun (s : Wal.replay_stmt) ->
+              match decode_route s.Wal.rp_actor with
+              | Some (tgt, actor) when tgt = "*" || tgt = string_of_int i ->
+                  Some (s.Wal.rp_txn, actor, s.Wal.rp_sql)
+              | _ -> None)
+            rp.Wal.committed)
+  | None ->
+      List.rev (List.filter (fun (l, _, _) -> l > lsn) t.mem_logs.(i))
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint execution                                                  *)
+
+let exec_endpoint ~actor ep stmt =
+  match ep with
+  | Local db -> Exec.run db ~actor stmt
+  | Detached socket -> raise (Shard_down (socket ^ ": unreachable"))
+  | Remote c -> (
+      match Client.query c (Ast.stmt_to_string stmt) with
+      | Ok (P.Rows { columns; rows }) -> Ok (Exec.Rows { columns; rows })
+      | Ok (P.Affected n) -> Ok (Exec.Affected n)
+      | Ok (P.Ok_reply _) -> Ok Exec.Executed
+      | Ok (P.Error_reply { message; _ }) -> Error message
+      | Ok _ -> raise (Shard_down "unexpected reply")
+      | Error e -> raise (Shard_down e))
+
+(* a fenced write: remote members get the statement under the shard's
+   epoch and the statement's LSN, so a stale primary is refused
+   (FENCED) and a restarted server skips statements it already holds *)
+let exec_write ~actor ~epoch ~lsn ep stmt =
+  match ep with
+  | Local db -> Exec.run db ~actor stmt
+  | Detached socket -> raise (Shard_down (socket ^ ": unreachable"))
+  | Remote c -> (
+      match Client.fenced_query c ~epoch ~lsn (Ast.stmt_to_string stmt) with
+      | Ok (P.Rows { columns; rows }) -> Ok (Exec.Rows { columns; rows })
+      | Ok (P.Affected n) -> Ok (Exec.Affected n)
+      | Ok (P.Ok_reply _) -> Ok Exec.Executed
+      | Ok (P.Error_reply { code = P.FENCED; message }) ->
+          raise (Shard_down message)
+      | Ok (P.Error_reply { message; _ }) -> Error message
+      | Ok _ -> raise (Shard_down "unexpected reply")
+      | Error e -> raise (Shard_down e))
+
+let try_endpoint ~actor ep stmt =
+  try exec_endpoint ~actor ep stmt with Shard_down m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Health, fencing, resync                                             *)
+
+(* Losing a primary fences the pair: the epoch bumps and is pushed to
+   every member still serving, so the stale primary — which may come
+   back with writes it never durably applied elsewhere — is refused
+   under its old epoch until it resyncs. *)
+let rec mark_down t sh role m =
+  if m.m_healthy then begin
+    m.m_healthy <- false;
+    if role = R_primary then begin
+      sh.epoch <- sh.epoch + 1;
+      Obs.add c_epoch_bumps 1;
+      propagate_epoch t sh
+    end;
+    save_manifest t
+  end
+
+and propagate_epoch t sh =
+  List.iter
+    (fun (role, m) ->
+      if m.m_healthy && not m.m_dead then
+        match m.m_ep with
+        | Local _ | Detached _ -> ()
+        | Remote c -> (
+            match Client.resync c ~epoch:sh.epoch with
+            | Ok (srv_epoch, _) when srv_epoch > sh.epoch ->
+                sh.epoch <- srv_epoch
+            | Ok _ -> ()
+            | Error _ -> mark_down t sh role m))
+    (members sh)
+
+(* A down remote member may be holding a dead connection (its server
+   crashed or restarted). Before the probe, re-dial the remembered
+   socket: a fresh connection reaches the restarted server where the
+   stale fd only ever yields EPIPE. While the server stays gone the
+   member parks as [Detached socket] so nothing blocks on a dead fd. *)
+let redial m ~actor =
+  match (m.m_ep, m.m_sock) with
+  | (Remote _ | Detached _), Some socket -> (
+      match Client.connect ~actor ~socket () with
+      | Ok c ->
+          (match m.m_ep with Remote old -> Client.close old | _ -> ());
+          m.m_ep <- Remote c
+      | Error _ -> (
+          match m.m_ep with
+          | Remote old ->
+              Client.close old;
+              m.m_ep <- Detached socket
+          | _ -> ()))
+  | _ -> ()
+
+(* One resync probe for a down member. On success the member's cursor
+   is current and it rejoins serving; partial progress survives in
+   [m_applied] so the next probe resumes where this one stopped. *)
+let resync_member t sh role m ~actor =
+  if m.m_dead then false
+  else begin
+    redial m ~actor;
+    sh.resyncing <- true;
+    Fun.protect
+      ~finally:(fun () -> sh.resyncing <- false)
+      (fun () ->
+        match
+          Resync.attempt ~actor
+            ~site:(shard_site sh.sid role)
+            ~epoch:sh.epoch ~log_base:t.log_base ~applied:m.m_applied
+            ~entries_after:(entries_after t sh.sid)
+            m.m_ep
+        with
+        | Resync.Rejoined { applied; replayed = _ } ->
+            m.m_applied <- applied;
+            m.m_healthy <- true;
+            save_manifest t;
+            true
+        | Resync.Failed { applied } ->
+            m.m_applied <- applied;
+            false
+        | Resync.Unrecoverable ->
+            m.m_dead <- true;
+            save_manifest t;
+            false
+        | Resync.Epoch_superseded { epoch } ->
+            if epoch > sh.epoch then begin
+              sh.epoch <- epoch;
+              save_manifest t
+            end;
+            false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+
+(* Member writes never fail the statement: the mirror already accepted
+   it and is the authority. A member that cannot apply it (fault,
+   crash, transport, fencing) is marked down and catches up through
+   the statement log on a later resync probe. *)
+let write_member t sh role m ~actor ~lsn stmt =
+  if m.m_healthy && not m.m_dead then
+    match
+      Fault.hit (shard_site sh.sid role);
+      exec_write ~actor ~epoch:sh.epoch ~lsn m.m_ep stmt
+    with
+    | Ok _ -> m.m_applied <- lsn
+    | Error _ -> mark_down t sh role m
+    | exception Fault.Injected _ -> mark_down t sh role m
+    | exception Fault.Crash_point site when is_shard_site site ->
+        mark_down t sh role m
+    | exception Shard_down _ -> mark_down t sh role m
+
+let write_shard t ~actor i ~lsn stmt =
+  let sh = t.shards.(i) in
+  List.iter
+    (fun (role, m) -> write_member t sh role m ~actor ~lsn stmt)
+    (members sh)
+
+let broadcast_write t ~actor ~lsn stmt =
+  Array.iter
+    (fun sh ->
+      List.iter
+        (fun (role, m) -> write_member t sh role m ~actor ~lsn stmt)
+        (members sh))
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Reads with failover                                                 *)
+
+(* [None] = this endpoint is down (fault/crash/transport); [Some r] =
+   it answered, where [r] may still be a query-level error *)
+let attempt ~actor i role ep stmt =
+  try
+    Fault.hit (shard_site i role);
+    Some (exec_endpoint ~actor ep stmt)
+  with
+  | Fault.Injected _ -> None
+  | Fault.Crash_point site when is_shard_site site -> None
+  | Shard_down _ -> None
+
+(* Read from shard [i]: primary behind its breaker, then replica.
+   [None] = the whole shard is unavailable. A granted breaker probe
+   doubles as the rejoin driver: before retrying the primary it tries
+   to resync every member that is down but recoverable. *)
+let shard_read t ~actor i stmt =
+  let sh = t.shards.(i) in
+  let allowed = Breaker.allow sh.breaker in
+  if allowed then
+    List.iter
+      (fun (role, m) ->
+        if (not m.m_healthy) && not m.m_dead then
+          ignore (resync_member t sh role m ~actor))
+      (members sh);
+  let primary_answer =
+    if allowed && sh.primary.m_healthy then
+      match attempt ~actor sh.sid R_primary sh.primary.m_ep stmt with
+      | Some r ->
+          Breaker.success sh.breaker;
+          Some r
+      | None ->
+          Breaker.failure sh.breaker;
+          mark_down t sh R_primary sh.primary;
+          None
+    else begin
+      (* a claimed half-open probe must be resolved either way *)
+      if allowed then Breaker.failure sh.breaker;
+      None
+    end
+  in
+  match primary_answer with
+  | Some r -> Some r
+  | None -> (
+      Obs.add c_failovers 1;
+      t.rep.r_failed_over <- t.rep.r_failed_over + 1;
+      t.failovers_sum <- t.failovers_sum + 1;
+      match sh.replica with
+      | None -> None
+      | Some m ->
+          if m.m_healthy then
+            match attempt ~actor sh.sid R_replica m.m_ep stmt with
+            | Some r -> Some r
+            | None ->
+                mark_down t sh R_replica m;
+                None
+          else None)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -90,40 +479,95 @@ let failovers_total t = t.failovers_sum
 let fresh_rep () =
   { r_targets = 0; r_gathered = 0; r_failed_over = 0; r_fallback = None }
 
-let create_local ?(attach = fun _ -> ()) ?(replicas = true) ~shards:n () =
+let fresh_member ?sock ep =
+  { m_ep = ep; m_sock = sock; m_healthy = true; m_dead = false; m_applied = 0 }
+
+let fresh_shard ?psock ?rsock i primary replica =
+  {
+    sid = i;
+    primary = fresh_member ?sock:psock primary;
+    replica = Option.map (fresh_member ?sock:rsock) replica;
+    breaker = Breaker.create ();
+    epoch = 0;
+    resyncing = false;
+  }
+
+(* A fresh state directory: refuse one that already holds a manifest
+   (that cluster's logs would be clobbered — reopen it with
+   {!open_dir} instead). *)
+let open_fresh_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if Sys.file_exists (Manifest.path dir) then
+    Error
+      (Printf.sprintf "%s already holds a coordinator manifest (use open_dir)"
+         dir)
+  else
+    match Wal.open_ (log_file dir) with
+    | Ok log -> Ok { dir; log }
+    | Error e -> Error e
+
+let make ~shards ~mirror_db ~persist ~topology =
+  let t =
+    {
+      shards;
+      mirror_db;
+      pcols = Hashtbl.create 8;
+      next_seq = 1;
+      log_base = 0;
+      mem_logs = Array.make (Array.length shards) [];
+      persist;
+      topology;
+      rep = fresh_rep ();
+      failovers_sum = 0;
+    }
+  in
+  save_manifest t;
+  t
+
+let create_local ?(attach = fun _ -> ()) ?(replicas = true) ?dir ~shards:n () =
   let mk () =
     let db = Db.create () in
     attach db;
     db
   in
   let mirror_db = mk () in
+  let n = max 1 n in
   let shards =
-    Array.init (max 1 n) (fun _ ->
-        {
-          primary = Local (mk ());
-          replica = (if replicas then Some (Local (mk ())) else None);
-          breaker = Breaker.create ();
-        })
+    Array.init n (fun i ->
+        fresh_shard i
+          (Local (mk ()))
+          (if replicas then Some (Local (mk ())) else None))
   in
-  {
-    shards;
-    mirror_db;
-    pcols = Hashtbl.create 8;
-    next_grid = 0;
-    rep = fresh_rep ();
-    failovers_sum = 0;
-  }
+  let persist =
+    match dir with
+    | None -> None
+    | Some dir -> (
+        match open_fresh_dir dir with
+        | Ok p -> Some p
+        | Error e -> failwith e)
+  in
+  make ~shards ~mirror_db ~persist
+    ~topology:(Manifest.Local { shards = n; replicas })
 
 let close t =
+  (match t.persist with
+  | Some p ->
+      (match Wal.flush p.log with Ok () | Error _ -> ());
+      save_manifest t;
+      Wal.close p.log
+  | None -> ());
   Array.iter
     (fun sh ->
-      (match sh.primary with Remote c -> Client.close c | Local _ -> ());
-      match sh.replica with
-      | Some (Remote c) -> Client.close c
-      | _ -> ())
+      List.iter
+        (fun (_, m) ->
+          match m.m_ep with
+          | Remote c -> Client.close c
+          | Local _ | Detached _ -> ())
+        (members sh))
     t.shards
 
-let create_remote ?(attach = fun _ -> ()) ?(replicas = []) ~actor ~sockets () =
+let create_remote ?(attach = fun _ -> ()) ?(replicas = []) ?dir ~actor ~sockets
+    () =
   if sockets = [] then Error "no shard sockets given"
   else begin
     let connected = ref [] in
@@ -145,121 +589,247 @@ let create_remote ?(attach = fun _ -> ()) ?(replicas = []) ~actor ~sockets () =
     | Ok primaries -> (
         match connect_all [] replicas with
         | Error e -> fail e
-        | Ok reps ->
-            let mirror_db = Db.create () in
-            attach mirror_db;
-            let reps = Array.of_list reps in
-            let shards =
-              Array.of_list
-                (List.mapi
-                   (fun i c ->
-                     {
-                       primary = Remote c;
-                       replica =
-                         (if i < Array.length reps then
-                            Some (Remote reps.(i))
-                          else None);
-                       breaker = Breaker.create ();
-                     })
-                   primaries)
+        | Ok reps -> (
+            let persist_r =
+              match dir with
+              | None -> Ok None
+              | Some dir -> (
+                  match open_fresh_dir dir with
+                  | Ok p -> Ok (Some p)
+                  | Error e -> Error e)
             in
-            Ok
-              {
-                shards;
-                mirror_db;
-                pcols = Hashtbl.create 8;
-                next_grid = 0;
-                rep = fresh_rep ();
-                failovers_sum = 0;
-              })
+            match persist_r with
+            | Error e -> fail e
+            | Ok persist ->
+                let mirror_db = Db.create () in
+                attach mirror_db;
+                let reps = Array.of_list reps in
+                let rsocks = Array.of_list replicas in
+                let shards =
+                  Array.of_list
+                    (List.mapi
+                       (fun i (sock, c) ->
+                         if i < Array.length reps then
+                           fresh_shard i ~psock:sock
+                             ~rsock:rsocks.(i) (Remote c)
+                             (Some (Remote reps.(i)))
+                         else fresh_shard i ~psock:sock (Remote c) None)
+                       (List.combine sockets primaries))
+                in
+                Ok
+                  (make ~shards ~mirror_db ~persist
+                     ~topology:(Manifest.Remote { actor; sockets; replicas }))))
   end
 
 (* ------------------------------------------------------------------ *)
-(* Endpoint execution                                                  *)
+(* Recovery: reopen a coordinator state directory                      *)
 
-let exec_endpoint ~actor ep stmt =
-  match ep with
-  | Local db -> Exec.run db ~actor stmt
-  | Remote c -> (
-      match Client.query c (Ast.stmt_to_string stmt) with
-      | Ok (P.Rows { columns; rows }) -> Ok (Exec.Rows { columns; rows })
-      | Ok (P.Affected n) -> Ok (Exec.Affected n)
-      | Ok (P.Ok_reply _) -> Ok Exec.Executed
-      | Ok (P.Error_reply { message; _ }) -> Error message
-      | Ok _ -> raise (Shard_down "unexpected reply")
-      | Error e -> raise (Shard_down e))
+(* After a torn tail the intact committed prefix is rewritten to a
+   fresh file: replay tolerates the tear, but appending after one
+   would leave the new records unreachable behind it. *)
+let rebuild_log dir (rp : Wal.replay) =
+  let file = log_file dir in
+  let tmp = file ^ ".rebuild" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let* log = Wal.open_ tmp in
+  let last = ref min_int in
+  List.iter
+    (fun (s : Wal.replay_stmt) ->
+      if s.Wal.rp_txn <> !last then begin
+        if !last <> min_int then Wal.append_commit log ~txn:!last;
+        Wal.append_begin log ~txn:s.Wal.rp_txn;
+        last := s.Wal.rp_txn
+      end;
+      Wal.append_stmt log ~txn:s.Wal.rp_txn ~actor:s.Wal.rp_actor
+        ~sql:s.Wal.rp_sql)
+    rp.Wal.committed;
+  if !last <> min_int then Wal.append_commit log ~txn:!last;
+  let* () = Wal.flush log in
+  Wal.close log;
+  Sys.rename tmp file;
+  Fsutil.fsync_dir dir;
+  Wal.open_ file
 
-(* writes have no fault sites: a write that reached the mirror must
-   reach both stores of its shard or the cluster is inconsistent, so
-   the failure experiments only target the read path *)
-let write_endpoint ~actor ep stmt =
-  try exec_endpoint ~actor ep stmt with Shard_down m -> Error m
+let route_entries (rp : Wal.replay) i =
+  List.filter_map
+    (fun (s : Wal.replay_stmt) ->
+      match decode_route s.Wal.rp_actor with
+      | Some (tgt, actor) when tgt = "*" || tgt = string_of_int i ->
+          Some (s.Wal.rp_txn, actor, s.Wal.rp_sql)
+      | _ -> None)
+    rp.Wal.committed
 
-let write_shard t ~actor i stmt =
-  let sh = t.shards.(i) in
-  let* _ = write_endpoint ~actor sh.primary stmt in
-  match sh.replica with
-  | None -> Ok ()
-  | Some rep ->
-      let* _ = write_endpoint ~actor rep stmt in
-      Ok ()
-
-let broadcast_write t ~actor stmt =
-  let n = Array.length t.shards in
-  let rec loop i =
-    if i >= n then Ok ()
-    else
-      let* () = write_shard t ~actor i stmt in
-      loop (i + 1)
+let apply_entries db ~from entries =
+  let rec go applied = function
+    | [] -> Ok applied
+    | (lsn, actor, sql) :: rest ->
+        let* stmt = Parser.parse sql in
+        let* _ = Exec.run db ~actor stmt in
+        go (max applied lsn) rest
   in
-  loop 0
+  go from entries
 
-(* ------------------------------------------------------------------ *)
-(* Reads with failover                                                 *)
+let load_image ~attach path =
+  ignore (Db.recover path);
+  let* db = if Sys.file_exists path then Db.load path else Ok (Db.create ()) in
+  attach db;
+  Ok db
 
-type role = R_primary | R_replica
+let open_dir ?(attach = fun _ -> ()) ~dir () =
+  let* mf_opt = Manifest.load ~dir in
+  match mf_opt with
+  | None -> Error (dir ^ ": no coordinator manifest")
+  | Some mf ->
+      let* rp = Wal.replay (log_file dir) in
+      let* log =
+        if rp.Wal.torn then rebuild_log dir rp else Wal.open_ (log_file dir)
+      in
+      (* mirror: checkpoint image + every original (non-routed) logged
+         statement, in LSN order; partition columns follow the DDL the
+         replay carries (the manifest may predate a crash-logged
+         CREATE TABLE) *)
+      let* mirror_db = load_image ~attach (mirror_file dir) in
+      let pcols = Hashtbl.create 8 in
+      List.iter
+        (fun (table, col) -> Hashtbl.replace pcols table col)
+        mf.Manifest.pcols;
+      let rec replay_mirror = function
+        | [] -> Ok ()
+        | (s : Wal.replay_stmt) :: rest -> (
+            match decode_route s.Wal.rp_actor with
+            | Some _ -> replay_mirror rest
+            | None ->
+                let* stmt = Parser.parse s.Wal.rp_sql in
+                let* _ = Exec.run mirror_db ~actor:s.Wal.rp_actor stmt in
+                (match stmt with
+                | Ast.Create_table { table; defs } ->
+                    Hashtbl.replace pcols
+                      (String.lowercase_ascii table)
+                      (String.lowercase_ascii
+                         (Partitioner.partition_column defs))
+                | Ast.Drop_table table ->
+                    Hashtbl.remove pcols (String.lowercase_ascii table)
+                | _ -> ());
+                replay_mirror rest)
+      in
+      let* () = replay_mirror rp.Wal.committed in
+      let max_txn =
+        List.fold_left
+          (fun a (s : Wal.replay_stmt) -> max a s.Wal.rp_txn)
+          0 rp.Wal.committed
+      in
+      let next_seq = max mf.Manifest.next_seq (max_txn + 1) in
+      let log_base = mf.Manifest.log_base in
+      let entry i = List.nth_opt mf.Manifest.shards i in
+      let entry_epoch i =
+        match entry i with Some e -> e.Manifest.epoch | None -> 0
+      in
+      let finish shards =
+        {
+          shards;
+          mirror_db;
+          pcols;
+          next_seq;
+          log_base;
+          mem_logs = Array.make (Array.length shards) [];
+          persist = Some { dir; log };
+          topology = mf.Manifest.topology;
+          rep = fresh_rep ();
+          failovers_sum = 0;
+        }
+      in
+      (match mf.Manifest.topology with
+      | Manifest.Local { shards = n; replicas } ->
+          (* in-process members are rebuilt from their checkpoint image
+             plus their logical log stream, so they come back serving *)
+          let rec build acc i =
+            if i >= n then Ok (Array.of_list (List.rev acc))
+            else
+              let* pdb = load_image ~attach (shard_image dir i) in
+              let* applied =
+                apply_entries pdb ~from:log_base (route_entries rp i)
+              in
+              let rdb =
+                if replicas then begin
+                  let d = Db.clone pdb in
+                  attach d;
+                  Some (Local d)
+                end
+                else None
+              in
+              let sh = fresh_shard i (Local pdb) rdb in
+              sh.epoch <- entry_epoch i;
+              sh.primary.m_applied <- applied;
+              Option.iter (fun m -> m.m_applied <- applied) sh.replica;
+              build (sh :: acc) (i + 1)
+          in
+          let* shards = build [] 0 in
+          Ok (finish shards)
+      | Manifest.Remote { actor; sockets; replicas } ->
+          (* no fail-fast dialing: a shard whose server is still gone
+             reopens as a down [Detached] member holding its socket; the
+             eager resync pass below — and every later breaker probe —
+             re-dials it and rejoins it once the server is back *)
+          let rsocks = Array.of_list replicas in
+          let shards =
+            Array.of_list
+              (List.mapi
+                 (fun i sock ->
+                   let sh =
+                     if i < Array.length rsocks then
+                       fresh_shard i ~psock:sock ~rsock:rsocks.(i)
+                         (Detached sock)
+                         (Some (Detached rsocks.(i)))
+                     else fresh_shard i ~psock:sock (Detached sock) None
+                   in
+                   sh.epoch <- entry_epoch i;
+                   (* members start down: the resync handshake below
+                      re-imposes the persisted epoch and finds each
+                      server's durable cursor before it rejoins *)
+                   List.iter
+                     (fun (_, m) -> m.m_healthy <- false)
+                     (members sh);
+                   sh)
+                 sockets)
+          in
+          let t = finish shards in
+          Array.iter
+            (fun sh ->
+              List.iter
+                (fun (role, m) ->
+                  ignore (resync_member t sh role m ~actor))
+                (members sh))
+            t.shards;
+          Ok t)
 
-let shard_site i = function
-  | R_primary -> Printf.sprintf "shard.%d.primary" i
-  | R_replica -> Printf.sprintf "shard.%d.replica" i
-
-let is_shard_site s = String.length s >= 6 && String.sub s 0 6 = "shard."
-
-(* [None] = this endpoint is down (fault/crash/transport); [Some r] =
-   it answered, where [r] may still be a query-level error *)
-let attempt ~actor i role ep stmt =
-  try
-    Fault.hit (shard_site i role);
-    Some (exec_endpoint ~actor ep stmt)
-  with
-  | Fault.Injected _ -> None
-  | Fault.Crash_point site when is_shard_site site -> None
-  | Shard_down _ -> None
-
-(* Read from shard [i]: primary behind its breaker, then replica.
-   [None] = the whole shard is unavailable. *)
-let shard_read t ~actor i stmt =
-  let sh = t.shards.(i) in
-  let primary_answer =
-    if Breaker.allow sh.breaker then
-      match attempt ~actor i R_primary sh.primary stmt with
-      | Some r ->
-          Breaker.success sh.breaker;
-          Some r
-      | None ->
-          Breaker.failure sh.breaker;
-          None
-    else None
-  in
-  match primary_answer with
-  | Some r -> Some r
-  | None -> (
-      Obs.add c_failovers 1;
-      t.rep.r_failed_over <- t.rep.r_failed_over + 1;
-      t.failovers_sum <- t.failovers_sum + 1;
-      match sh.replica with
-      | None -> None
-      | Some rep -> attempt ~actor i R_replica rep stmt)
+(* Checkpoint: fold the log into images and truncate it. Refused while
+   any member is not serving — truncation would strand that member's
+   delta and turn a recoverable lag into a dead store. *)
+let checkpoint t =
+  match t.persist with
+  | None -> Error "not a persistent cluster (no state directory)"
+  | Some p ->
+      if
+        Array.exists
+          (fun sh -> List.exists (fun (_, m) -> not m.m_healthy) (members sh))
+          t.shards
+      then Error "cannot checkpoint: a shard member is not serving"
+      else
+        let* () = Db.save t.mirror_db (mirror_file p.dir) in
+        let rec save_shards i =
+          if i >= Array.length t.shards then Ok ()
+          else
+            match t.shards.(i).primary.m_ep with
+            | Local db ->
+                let* () = Db.save db (shard_image p.dir i) in
+                save_shards (i + 1)
+            | Remote _ | Detached _ -> save_shards (i + 1)
+        in
+        let* () = save_shards 0 in
+        let* () = Wal.truncate p.log in
+        t.log_base <- t.next_seq - 1;
+        Array.iteri (fun i _ -> t.mem_logs.(i) <- []) t.mem_logs;
+        Manifest.save (manifest_of t) ~dir:p.dir
 
 (* ------------------------------------------------------------------ *)
 (* Scatter-gather SELECT                                               *)
@@ -406,8 +976,7 @@ let plan_rows lines =
 
 let rows_to_lines (rs : Exec.result_set) =
   List.filter_map
-    (fun row ->
-      match row with [| D.Str s |] -> Some s | _ -> None)
+    (fun row -> match row with [| D.Str s |] -> Some s | _ -> None)
     rs.Exec.rows
 
 let explain_cluster t ~actor ~analyze select =
@@ -492,7 +1061,7 @@ let explain_cluster t ~actor ~analyze select =
           | [] -> [ "  (no targets)" ]
           | i0 :: _ -> (
               match
-                write_endpoint ~actor t.shards.(i0).primary
+                try_endpoint ~actor t.shards.(i0).primary.m_ep
                   (Ast.Explain { analyze = false; select = shard_select })
               with
               | Ok (Exec.Rows rs) ->
@@ -572,30 +1141,41 @@ let run_insert t ~actor table columns rows =
         (* the mirror rules on each row first: its errors are the
            canonical single-node errors, and like the single-node
            engine, rows before a failing one stay applied *)
-        match
-          Exec.run t.mirror_db ~actor
-            (Ast.Insert { table; columns; rows = [ exprs ] })
-        with
+        let original = Ast.Insert { table; columns; rows = [ exprs ] } in
+        match Exec.run t.mirror_db ~actor original with
         | Error _ as e -> e
         | Ok _ ->
             let v = partition_value exprs in
             let tgt =
               Partitioner.shard_of ~shards:(Array.length t.shards) v
             in
-            let grid = t.next_grid in
-            t.next_grid <- grid + 1;
+            (* the statement LSN doubles as the row's __grid value:
+               both only need to be monotone in arrival order *)
+            let lsn = next_lsn t in
             let stmt =
               Ast.Insert
                 {
                   table;
                   columns = shard_columns ();
-                  rows = [ exprs @ [ Ast.Lit (D.Int grid) ] ];
+                  rows = [ exprs @ [ Ast.Lit (D.Int lsn) ] ];
                 }
             in
-            let* () = write_shard t ~actor tgt stmt in
+            log_statement t ~actor ~lsn ~target:tgt
+              ~original:(Ast.stmt_to_string original)
+              ~routed:(Ast.stmt_to_string stmt);
+            write_shard t ~actor tgt ~lsn stmt;
             insert_rows (n + 1) rest)
   in
   insert_rows 0 rows
+
+(* a broadcast DDL/DML statement: mirror first (if it rejects, no shard
+   sees the statement), then log under one LSN, then every member *)
+let run_broadcast t ~actor stmt shard_stmt =
+  let lsn = next_lsn t in
+  log_statement t ~actor ~lsn ~target:(-1)
+    ~original:(Ast.stmt_to_string stmt)
+    ~routed:(Ast.stmt_to_string shard_stmt);
+  broadcast_write t ~actor ~lsn shard_stmt
 
 let run t ~actor stmt =
   match stmt with
@@ -628,24 +1208,56 @@ let run t ~actor stmt =
                   ];
             }
         in
-        let* () = broadcast_write t ~actor shard_stmt in
+        run_broadcast t ~actor stmt shard_stmt;
+        save_manifest t;
         Ok outcome
   | Ast.Drop_table table ->
       let* outcome = Exec.run t.mirror_db ~actor stmt in
       Hashtbl.remove t.pcols (String.lowercase_ascii table);
-      let* () = broadcast_write t ~actor stmt in
+      run_broadcast t ~actor stmt stmt;
+      save_manifest t;
       Ok outcome
   | Ast.Create_index _ | Ast.Create_genomic_index _ | Ast.Analyze _
   | Ast.Delete _ ->
-      (* mirror first: if it rejects, no shard sees the statement; if
-         it accepts, every shard (and replica) applies the same one *)
       let* outcome = Exec.run t.mirror_db ~actor stmt in
-      let* () = broadcast_write t ~actor stmt in
+      run_broadcast t ~actor stmt stmt;
       Ok outcome
 
 let query t ~actor sql =
   let* stmt = Parser.parse sql in
   run t ~actor stmt
+
+(* ------------------------------------------------------------------ *)
+(* Cluster health text                                                 *)
+
+let report_text t =
+  let rep = last_report t in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "last scatter: targets=%d gathered=%d failed-over=%d fallback=%s\n"
+    rep.targets rep.gathered rep.failed_over
+    (match rep.fallback with Some r -> r | None -> "-");
+  Array.iter
+    (fun sh ->
+      let lsns =
+        String.concat ", "
+          (List.map
+             (fun (role, m) ->
+               Printf.sprintf "%s lsn %d%s"
+                 (match role with
+                 | R_primary -> "primary"
+                 | R_replica -> "replica")
+                 m.m_applied
+                 (if m.m_dead then " dead"
+                  else if m.m_healthy then ""
+                  else " down"))
+             (members sh))
+      in
+      Printf.bprintf buf "shard %d: %s (epoch %d, %s)\n" sh.sid
+        (shard_state_to_string (shard_state_of sh))
+        sh.epoch lsns)
+    t.shards;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Merged statistics                                                   *)
@@ -691,7 +1303,7 @@ let merge_histograms hs =
 let merged_stats_text t ~actor ~table =
   let snapshots =
     Array.to_list t.shards
-    |> List.filter_map (fun sh -> endpoint_db sh.primary)
+    |> List.filter_map (fun sh -> endpoint_db sh.primary.m_ep)
     |> List.filter_map (fun db ->
            match Db.resolve db ~actor table with
            | Some (_, tbl) when Table.has_stats tbl ->

@@ -21,16 +21,28 @@
     conjunct pins the partition column to a literal. Aggregates and
     GROUP BY ship as partial aggregates and merge at the coordinator.
 
-    {b Failover.} Each shard read passes a [shard.<i>.primary] fault
-    site and the shard's circuit breaker; a dead or crash-looping
-    primary degrades to the replica ([shard.<i>.replica]), and a fully
-    dead shard degrades to the mirror — a query never fails because a
-    shard died. Writes go to primary {e and} replica synchronously and
-    have no fault sites (see docs/SHARDING.md for the argument).
+    {b Failover and self-healing.} Every member access passes a
+    [shard.<i>.primary] / [shard.<i>.replica] fault site. A member
+    that fails is marked down; losing a primary bumps the shard pair's
+    {e fencing epoch} (pushed to the surviving members, so the stale
+    primary is refused writes under its old epoch), reads degrade to
+    the replica and then to the mirror, and writes simply skip the
+    down member — the statement log holds its delta. When the shard's
+    circuit breaker grants a half-open probe, the coordinator {e
+    resyncs} the member: it replays only the statements above the
+    member's applied LSN (see {!Genalg_shard.Resync}) and the member
+    rejoins serving. A query never fails because a shard died.
+
+    {b Durability.} With a state directory ([?dir] / {!open_dir}) the
+    coordinator keeps a crash-safe {!Genalg_shard.Manifest}, an
+    LSN-ordered statement log, and checkpoint images, so a restarted
+    coordinator recovers its routing state, mirror, and (for local
+    topologies) every shard store — then resyncs remote members.
 
     Instruments: [shard.queries], [shard.scatter.fanout],
     [shard.gathered_rows], [shard.failovers], [shard.partial_merges],
-    [shard.fallbacks], [shard.pruned]; histograms [shard.gather],
+    [shard.fallbacks], [shard.pruned], [shard.epoch.bumps],
+    [shard.resync.*], [shard.rejoin.count]; histograms [shard.gather],
     [shard.merge]; span [shard.scatter]. *)
 
 module Db := Genalg_storage.Database
@@ -39,25 +51,52 @@ module Exec := Genalg_sqlx.Exec
 type t
 
 val create_local :
-  ?attach:(Db.t -> unit) -> ?replicas:bool -> shards:int -> unit -> t
+  ?attach:(Db.t -> unit) ->
+  ?replicas:bool ->
+  ?dir:string ->
+  shards:int ->
+  unit ->
+  t
 (** Fresh in-process cluster of [max 1 shards] shards. [attach]
     registers UDTs/UDFs and is applied to the mirror and every shard
     store (default: nothing). [replicas] (default [true]) controls
-    whether each shard gets a replica store. *)
+    whether each shard gets a replica store. [dir] makes the cluster
+    persistent: the directory (created if missing) receives the
+    manifest, the statement log and checkpoint images. Raises
+    [Failure] if [dir] already holds a manifest (reopen it with
+    {!open_dir}) or cannot be initialised. *)
 
 val create_remote :
   ?attach:(Db.t -> unit) ->
   ?replicas:string list ->
+  ?dir:string ->
   actor:string ->
   sockets:string list ->
-  unit -> (t, string) result
+  unit ->
+  (t, string) result
 (** Cluster over remote [genalg serve] shards, one per socket path, in
     shard order; [replicas] optionally lists replica sockets pairwise.
     The coordinator keeps a local mirror (UDFs from [attach]), so only
-    data loaded through this cluster is visible to it. *)
+    data loaded through this cluster is visible to it. [dir] as in
+    {!create_local} (but reported as [Error], not an exception). *)
+
+val open_dir : ?attach:(Db.t -> unit) -> dir:string -> unit -> (t, string) result
+(** Reopen a coordinator state directory: load the manifest, replay
+    the statement log over the checkpoint images (rebuilding the log
+    file first if its tail is torn), and reassemble the recorded
+    topology. Local shard stores come back serving; remote members
+    are reconnected and resynced through the epoch handshake (a member
+    that cannot be resynced yet stays down and is retried by breaker
+    probes). *)
+
+val checkpoint : t -> (unit, string) result
+(** Fold the statement log into fresh checkpoint images and truncate
+    it. Refused unless every member is serving — truncating earlier
+    would strand a down member's replay delta. *)
 
 val close : t -> unit
-(** Disconnect remote clients. Local stores need no teardown. *)
+(** Flush the statement log and manifest (when persistent), then
+    disconnect remote clients. Local stores need no teardown. *)
 
 val shard_count : t -> int
 
@@ -88,6 +127,26 @@ val last_report : t -> report
     the same numbers). *)
 
 val failovers_total : t -> int
+
+(** {1 Cluster health} *)
+
+type shard_state =
+  | Serving    (** primary healthy *)
+  | Degraded   (** primary down, replica serving reads *)
+  | Resyncing  (** a resync probe is in flight, or the pair is down but
+                   recoverable from the statement log *)
+  | Dead       (** the primary can never catch up from the log *)
+
+val shard_state_to_string : shard_state -> string
+
+val shard_states : t -> shard_state array
+
+val epoch : t -> int -> int
+(** The fencing epoch currently in force for shard [i]. *)
+
+val report_text : t -> string
+(** Human-readable health: the last scatter's telemetry plus one line
+    per shard (state, epoch, per-member applied LSNs). *)
 
 val merged_stats_text : t -> actor:string -> table:string -> (string, string) result
 (** ANALYZE statistics merged across the shard primaries (row counts

@@ -1,0 +1,64 @@
+(** The coordinator manifest: crash-safe routing state for a persistent
+    cluster (magic [GENALGMF1], spec in [docs/SHARDING.md]).
+
+    The manifest records everything a fresh coordinator needs to pick a
+    cluster back up: the topology it must reassemble, the partition
+    column of every table, the statement-sequence high-water marks, and
+    each shard pair's fencing epoch. It deliberately does {e not} hold
+    data — the mirror image and the per-shard statement logs in the
+    same directory are the data; the manifest's LSN fields are advisory
+    (recovery re-derives the truth from the logs and from what each
+    member reports), so a crash that loses the very latest manifest
+    write only rolls routing state back to a point the logs carry
+    forward again.
+
+    Persistence is the image-save protocol minus the intent journal:
+    complete tmp file, fsync, atomic rename over the old manifest,
+    directory fsync — with the CRC frame rejecting anything torn.
+    Roll-back is always safe here, so no journal is needed. Crash
+    points: [shard.manifest.tmp] (after the tmp is complete),
+    [shard.manifest.rename] (after the rename, before the directory
+    fsync). *)
+
+type topology =
+  | Local of { shards : int; replicas : bool }
+      (** in-process stores, rebuilt from images + logs on recovery *)
+  | Remote of { actor : string; sockets : string list; replicas : string list }
+      (** [genalg serve] processes, reconnected and resynced on
+          recovery ([actor] is the session actor the coordinator
+          connects as) *)
+
+type shard_entry = {
+  epoch : int;              (** fencing epoch in force for the pair *)
+  primary_applied : int;    (** advisory: last LSN seen applied *)
+  replica_applied : int option;  (** [None] when the pair has no replica *)
+}
+
+type t = {
+  topology : topology;
+  pcols : (string * string) list;  (** lowercase table -> partition column *)
+  next_seq : int;  (** next statement LSN / [__grid] value to assign *)
+  log_base : int;  (** LSNs at or below this are checkpointed into images *)
+  shards : shard_entry list;
+}
+
+val path : string -> string
+(** [path dir] is the manifest file inside a coordinator state
+    directory: [dir/MANIFEST]. *)
+
+val save : t -> dir:string -> (unit, string) result
+(** Atomically replace the manifest in [dir] (tmp + fsync + rename +
+    directory fsync). *)
+
+val load : dir:string -> (t option, string) result
+(** Read and validate the manifest in [dir]. [Ok None] when the file
+    does not exist (a fresh directory); [Error] on a bad magic, CRC
+    mismatch or truncated body. Removes a stray [.tmp] from an
+    interrupted save. *)
+
+val crash_points : string list
+(** Fault-injection crash points inside {!save}, in protocol order. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+(** The pure codec, exposed for corruption tests. *)

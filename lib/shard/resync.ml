@@ -1,0 +1,108 @@
+module Db = Genalg_storage.Database
+module Exec = Genalg_sqlx.Exec
+module Parser = Genalg_sqlx.Parser
+module Obs = Genalg_obs.Obs
+module Fault = Genalg_fault.Fault
+module Client = Genalg_serve.Client
+module P = Genalg_serve.Protocol
+
+let c_attempts = Obs.counter "shard.resync.attempts"
+let c_replayed = Obs.counter "shard.resync.replayed"
+let c_failed = Obs.counter "shard.resync.failed"
+let c_rejoins = Obs.counter "shard.rejoin.count"
+
+type endpoint = Local of Db.t | Remote of Client.t | Detached of string
+
+(* one logged statement: (lsn, actor, routed sql) *)
+type entry = int * string * string
+
+type outcome =
+  | Rejoined of { applied : int; replayed : int }
+  | Failed of { applied : int }
+  | Unrecoverable
+  | Epoch_superseded of { epoch : int }
+
+let is_shard_site s = String.length s >= 6 && String.sub s 0 6 = "shard."
+
+(* Replay [entries] (ascending LSN) one statement at a time through
+   [apply], advancing the cursor after each success so an interrupted
+   resync retries only the remainder — this is what keeps resync
+   bounded: no statement is ever replayed twice against one member. *)
+let replay_entries ~applied ~apply entries =
+  let cur = ref applied in
+  let replayed = ref 0 in
+  let rec go = function
+    | [] ->
+        Obs.add c_rejoins 1;
+        Rejoined { applied = !cur; replayed = !replayed }
+    | (lsn, actor, sql) :: rest ->
+        if apply ~lsn ~actor sql then begin
+          incr replayed;
+          Obs.add c_replayed 1;
+          cur := lsn;
+          go rest
+        end
+        else begin
+          Obs.add c_failed 1;
+          Failed { applied = !cur }
+        end
+  in
+  go entries
+
+let attempt ~actor:_ ~site ~epoch ~log_base ~applied ~entries_after ep =
+  Obs.add c_attempts 1;
+  try
+    (* the member's fault site gates the whole resync: a member that is
+       still dying cannot be brought back this probe *)
+    Fault.hit site;
+    match ep with
+    | Detached _ ->
+        (* the server is unreachable and the caller's re-dial did not
+           land; the probe is spent *)
+        Obs.add c_failed 1;
+        Failed { applied }
+    | Local db ->
+        (* an in-process store never loses state, it only misses the
+           statements skipped while it was marked down — all of which
+           the log still holds (checkpoints refuse while any member is
+           unhealthy) *)
+        let apply ~lsn:_ ~actor sql =
+          match
+            Result.bind (Parser.parse sql) (fun stmt ->
+                Exec.run db ~actor stmt)
+          with
+          | Ok _ -> true
+          | Error _ -> false
+        in
+        replay_entries ~applied ~apply (entries_after applied)
+    | Remote c -> (
+        (* handshake first: the server reports the epoch it now honours
+           and how far it durably got, which defines the replay delta *)
+        match Client.resync c ~epoch with
+        | Error _ ->
+            Obs.add c_failed 1;
+            Failed { applied }
+        | Ok (srv_epoch, srv_applied) ->
+            if srv_epoch > epoch then Epoch_superseded { epoch = srv_epoch }
+            else if srv_applied < log_base then begin
+              (* the server is behind the oldest log entry we still
+                 hold: the delta is gone, only a full rebuild (outside
+                 this protocol) could help *)
+              Obs.add c_failed 1;
+              Unrecoverable
+            end
+            else
+              let apply ~lsn ~actor:_ sql =
+                match Client.fenced_query c ~epoch ~lsn sql with
+                | Ok (P.Error_reply _) | Error _ -> false
+                | Ok _ -> true
+              in
+              replay_entries ~applied:srv_applied ~apply
+                (entries_after srv_applied))
+  with
+  | Fault.Injected _ ->
+      Obs.add c_failed 1;
+      Failed { applied }
+  | Fault.Crash_point s when is_shard_site s ->
+      Obs.add c_failed 1;
+      Failed { applied }

@@ -1,0 +1,61 @@
+(** Shard resync: bring a crashed or restarted member back to serving
+    by replaying only the statements it missed ([docs/SHARDING.md]).
+
+    The coordinator keeps a per-shard statement log (LSN-ordered routed
+    statements). A member marked down misses statements; when the shard
+    pair's breaker grants a half-open probe, {!attempt} replays the
+    delta above the member's applied-LSN cursor and, if the whole delta
+    lands, the member rejoins serving.
+
+    For an in-process member the delta comes straight from the
+    coordinator's view of the member's cursor. For a remote member the
+    resync starts with the protocol-v3 handshake: the server adopts the
+    offered fencing epoch and reports its durable applied LSN, the
+    coordinator replays everything above it as fenced statements (the
+    server skips any it already holds), so replay is idempotent and
+    bounded — the cursor advances per statement, no statement is ever
+    replayed twice against one member.
+
+    Instruments: [shard.resync.attempts], [shard.resync.replayed],
+    [shard.resync.failed], [shard.rejoin.count]. *)
+
+type endpoint =
+  | Local of Genalg_storage.Database.t
+  | Remote of Genalg_serve.Client.t
+  | Detached of string
+      (** a remote member whose server is unreachable; the string is the
+          socket path to re-dial. A probe against a detached member
+          always fails — the caller re-dials first and swaps the
+          endpoint to [Remote] when the server is back *)
+
+type entry = int * string * string
+(** one logged statement: [(lsn, actor, routed sql)] *)
+
+type outcome =
+  | Rejoined of { applied : int; replayed : int }
+      (** the member is current again; [replayed] statements landed *)
+  | Failed of { applied : int }
+      (** the member is still down (fault, transport, refused
+          statement); [applied] carries any partial progress so the
+          next probe resumes, not restarts *)
+  | Unrecoverable
+      (** a remote member reported an applied LSN older than the log
+          base — the delta was checkpointed away and the member can
+          never catch up from the log *)
+  | Epoch_superseded of { epoch : int }
+      (** the server already honours a higher epoch than offered; the
+          caller must adopt it and retry *)
+
+val attempt :
+  actor:string ->
+  site:string ->
+  epoch:int ->
+  log_base:int ->
+  applied:int ->
+  entries_after:(int -> entry list) ->
+  endpoint ->
+  outcome
+(** One breaker-granted resync probe against one member. [site] is the
+    member's fault-injection site (a still-failing member aborts the
+    probe); [entries_after lsn] must return the logged statements with
+    LSN strictly above [lsn], ascending. *)

@@ -58,7 +58,18 @@ let lit_to_string v =
   | D.Null -> "NULL"
   | D.Bool b -> if b then "TRUE" else "FALSE"
   | D.Int i -> string_of_int i
-  | D.Float f -> Printf.sprintf "%g" f
+  | D.Float f ->
+      (* must re-parse as a Float literal at full precision: bare %g
+         drops the decimal point on integral values ("2.0" becomes "2",
+         an Int after replay) and rounds past 6 significant digits —
+         either would corrupt a replayed statement log *)
+      let s = Printf.sprintf "%.15g" f in
+      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+      if
+        String.contains s '.' || String.contains s 'e'
+        || String.contains s 'n' (* nan *) || String.contains s 'i' (* inf *)
+      then s
+      else s ^ ".0"
   | D.Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
   | D.Opaque (name, payload) ->
       Printf.sprintf "<%s:%d>" name (Bytes.length payload)

@@ -33,17 +33,41 @@ let tokenize input =
       while !pos < n && is_digit input.[!pos] do
         incr pos
       done;
-      let is_float =
+      let has_frac =
         !pos + 1 < n && input.[!pos] = '.' && is_digit input.[!pos + 1]
       in
-      if is_float then begin
+      if has_frac then begin
         incr pos;
         while !pos < n && is_digit input.[!pos] do
           incr pos
-        done;
-        emit (Float_lit (float_of_string (String.sub input start (!pos - start))))
-      end
-      else emit (Int_lit (int_of_string (String.sub input start (!pos - start))))
+        done
+      end;
+      (* exponent form (1e-3, 2.5E6) — only when digits follow the
+         marker, so an identifier right after a number stays an
+         identifier *)
+      let has_exp =
+        !pos < n
+        && (input.[!pos] = 'e' || input.[!pos] = 'E')
+        &&
+        let p =
+          if
+            !pos + 1 < n
+            && (input.[!pos + 1] = '+' || input.[!pos + 1] = '-')
+          then !pos + 2
+          else !pos + 1
+        in
+        p < n && is_digit input.[p]
+      in
+      if has_exp then begin
+        incr pos;
+        if input.[!pos] = '+' || input.[!pos] = '-' then incr pos;
+        while !pos < n && is_digit input.[!pos] do
+          incr pos
+        done
+      end;
+      let text = String.sub input start (!pos - start) in
+      if has_frac || has_exp then emit (Float_lit (float_of_string text))
+      else emit (Int_lit (int_of_string text))
     end
     else if c = '\'' then begin
       let buf = Buffer.create 16 in

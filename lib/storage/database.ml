@@ -178,7 +178,8 @@ let c_clean_open = Obs.counter "storage.recovery.clean_open"
 
 let crash_points =
   [ "storage.save.serialize"; "storage.save.stats"; "storage.save.journal";
-    "storage.save.tmp_partial"; "storage.save.tmp"; "storage.save.rename" ]
+    "storage.save.tmp_partial"; "storage.save.tmp"; "storage.save.rename";
+    "storage.save.dir_sync" ]
 
 let () = List.iter Fault.register_crash_point crash_points
 
@@ -418,6 +419,11 @@ let save t path =
     let image = encode_v2 body in
     let journal = journal_path path and tmp = tmp_path path in
     write_file journal (encode_journal image);
+    (* harden the journal itself: its bytes, then its directory entry
+       (a freshly created file is not power-loss durable until the
+       parent directory is fsynced) *)
+    Fsutil.fsync_file journal;
+    Fsutil.fsync_dir (Fsutil.parent journal);
     Fault.crash "storage.save.journal";
     (* the tmp image is written in two halves around a crash point, so
        fault specs can manufacture a genuinely torn file *)
@@ -428,9 +434,15 @@ let save t path =
         flush oc;
         Fault.crash "storage.save.tmp_partial";
         output_substring oc image mid (String.length image - mid));
+    Fsutil.fsync_file tmp;
     Fault.crash "storage.save.tmp";
     Sys.rename tmp path;
     Fault.crash "storage.save.rename";
+    (* the rename is atomic but not durable until the directory entry
+       is fsynced; power loss before this point may resurrect the old
+       image, which recovery rolls forward from the journal *)
+    Fsutil.fsync_dir (Fsutil.parent path);
+    Fault.crash "storage.save.dir_sync";
     Sys.remove journal
   with
   | () -> Ok ()

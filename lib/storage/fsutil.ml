@@ -1,0 +1,25 @@
+(* Durability helpers shared by image saves and the WAL.
+
+   POSIX rename is atomic but not durable: the directory entry itself
+   must be fsynced or a power loss can forget the rename (or the file
+   creation) entirely. Some filesystems refuse fsync on a directory fd;
+   those errors are swallowed — the call is best-effort hardening, not
+   a correctness gate for the in-process crash model. *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let fsync_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let parent path =
+  let d = Filename.dirname path in
+  if d = "" then Filename.current_dir_name else d

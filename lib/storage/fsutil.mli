@@ -1,0 +1,15 @@
+(** Durability helpers shared by image saves and the WAL.
+
+    A rename or file creation is only power-loss durable once the
+    containing directory entry is fsynced. These helpers are
+    best-effort: filesystems that refuse fsync on a directory (or on a
+    read-only fd) are tolerated silently. *)
+
+val fsync_dir : string -> unit
+(** Open the directory and fsync it, swallowing [Unix_error]s. *)
+
+val fsync_file : string -> unit
+(** Open the file read-only and fsync it, swallowing [Unix_error]s. *)
+
+val parent : string -> string
+(** [Filename.dirname], with [""] mapped to ["."]. *)

@@ -40,7 +40,9 @@ let open_ file =
     else begin
       let b = Bytes.of_string magic in
       ignore (Unix.write fd b 0 (Bytes.length b));
-      Unix.fsync fd
+      Unix.fsync fd;
+      (* the file's directory entry must also survive power loss *)
+      Fsutil.fsync_dir (Fsutil.parent file)
     end;
     { wal_file = file; fd; pending = Buffer.create 512 }
   with
@@ -74,6 +76,11 @@ let append_stmt t ~txn ~actor ~sql =
   Buffer.add_string rest actor;
   Buffer.add_string rest sql;
   add_record t (payload ~txn 'S' (Buffer.contents rest))
+
+let append_marker t ~txn ~lsn =
+  let rest = Buffer.create 8 in
+  Buffer.add_int64_le rest (Int64.of_int lsn);
+  add_record t (payload ~txn 'M' (Buffer.contents rest))
 
 let write_all fd s pos len =
   let b = Bytes.of_string s in
@@ -120,13 +127,19 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 (* ---- recovery scan ---- *)
 
 type replay_stmt = { rp_txn : int; rp_actor : string; rp_sql : string }
-type replay = { committed : replay_stmt list; discarded : int; torn : bool }
+
+type replay = {
+  committed : replay_stmt list;
+  discarded : int;
+  torn : bool;
+  last_lsn : int option;
+}
 
 exception Torn
 
-let replay file =
+let scan ?from file =
   if not (Sys.file_exists file) then
-    Ok { committed = []; discarded = 0; torn = false }
+    Ok { committed = []; discarded = 0; torn = false; last_lsn = None }
   else
     match
       let ic = open_in_bin file in
@@ -148,8 +161,19 @@ let replay file =
           let open_txns : (int, replay_stmt list ref) Hashtbl.t =
             Hashtbl.create 7
           in
+          (* per-txn applied-LSN markers; honoured only at commit *)
+          let markers : (int, int) Hashtbl.t = Hashtbl.create 7 in
           let out = ref [] in
           let discarded = ref 0 in
+          let last_lsn = ref None in
+          let note_lsn lsn =
+            match !last_lsn with
+            | Some prev when prev >= lsn -> ()
+            | _ -> last_lsn := Some lsn
+          in
+          let wanted txn =
+            match from with None -> true | Some cut -> txn > cut
+          in
           let need n =
             if !pos + n > Bytes.length data then raise Torn
           in
@@ -203,13 +227,24 @@ let replay file =
                    in
                    stmts :=
                      { rp_txn = txn; rp_actor = actor; rp_sql = sql } :: !stmts
+               | 'M' ->
+                   if rest_len < 8 then raise Torn;
+                   let lsn = Int64.to_int (Bytes.get_int64_le data rest_pos) in
+                   if lsn < 0 then raise Torn;
+                   (match Hashtbl.find_opt markers txn with
+                   | Some prev when prev >= lsn -> ()
+                   | _ -> Hashtbl.replace markers txn lsn)
                | 'C' ->
+                   (match Hashtbl.find_opt markers txn with
+                   | Some lsn -> note_lsn lsn
+                   | None -> ());
+                   Hashtbl.remove markers txn;
                    (match Hashtbl.find_opt open_txns txn with
                    | Some stmts ->
                        (* [!stmts] is newest-first and [out] is kept
                           newest-first overall, so plain prepend keeps
                           the final [List.rev] correct within a txn *)
-                       out := !stmts @ !out;
+                       if wanted txn then out := !stmts @ !out;
                        Hashtbl.remove open_txns txn
                    | None -> () (* commit of an empty txn *))
                | _ -> raise Torn
@@ -223,5 +258,14 @@ let replay file =
           let committed = List.rev !out in
           Obs.add c_replay_committed (List.length committed);
           Obs.add c_replay_discarded !discarded;
-          Ok { committed; discarded = !discarded; torn = !torn }
+          Ok
+            {
+              committed;
+              discarded = !discarded;
+              torn = !torn;
+              last_lsn = !last_lsn;
+            }
         end
+
+let replay file = scan file
+let replay_from file ~lsn = scan ~from:lsn file

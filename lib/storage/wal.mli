@@ -20,7 +20,11 @@
     [len:i64le | crc32:i64le | payload], with
     [payload = txn:i64le | kind:u8 | rest]. Kinds: ['B'] begin (empty
     rest), ['S'] statement ([actor_len:i64le | actor | sql]), ['C']
-    commit (empty rest).
+    commit (empty rest), ['M'] applied-LSN marker ([lsn:i64le]) — a
+    crash-consistent progress cursor honoured only when its
+    transaction commits (the shard layer writes the marker in the same
+    transaction as the statement it covers, so the statement and the
+    cursor advance atomically).
 
     Instruments: [storage.wal.appends], [storage.wal.flushes],
     [storage.wal.flushed_bytes], [storage.wal.truncations],
@@ -45,6 +49,11 @@ val append_begin : t -> txn:int -> unit
 val append_stmt : t -> txn:int -> actor:string -> sql:string -> unit
 val append_commit : t -> txn:int -> unit
 (** Buffer a record; nothing reaches the file until {!flush}. *)
+
+val append_marker : t -> txn:int -> lsn:int -> unit
+(** Buffer an applied-LSN marker inside transaction [txn]. Replay
+    surfaces the highest marker among committed transactions as
+    {!replay.last_lsn}. *)
 
 val pending_bytes : t -> int
 (** Bytes buffered and not yet flushed. *)
@@ -79,6 +88,9 @@ type replay = {
           (in-flight at the crash) *)
   torn : bool;
       (** the scan hit a truncated or CRC-mismatched tail and stopped *)
+  last_lsn : int option;
+      (** highest ['M'] marker carried by any committed transaction,
+          if one exists *)
 }
 
 val replay : string -> (replay, string) result
@@ -87,6 +99,12 @@ val replay : string -> (replay, string) result
     transactions whose commit record survived are returned — an
     acknowledged commit is by construction flushed, so it is never
     lost. *)
+
+val replay_from : string -> lsn:int -> (replay, string) result
+(** Like {!replay}, but return only committed transactions whose txn id
+    is strictly greater than [lsn] — the read-from-LSN cursor used for
+    shard resync, where the shard statement log assigns txn = LSN.
+    [last_lsn] still reflects the whole log. *)
 
 val crash_points : string list
 (** The fault-injection crash points inside {!flush}, in protocol

@@ -9,4 +9,4 @@ let () =
    @ Test_capability.suites @ Test_genomic_index.suites @ Test_warehouse_extras.suites @ Test_stats.suites @ Test_robustness.suites @ Test_props.suites @ Test_obs.suites @ Test_cache.suites @ Test_par.suites
    @ Test_fault.suites @ Test_resilience.suites @ Test_crash_recovery.suites
    @ Test_serve.suites @ Test_optimizer.suites @ Test_vec.suites
-   @ Test_shard.suites)
+   @ Test_shard.suites @ Test_cluster.suites)

@@ -77,7 +77,9 @@ let test_crash_matrix () =
              file; before that the old image must be intact *)
           let expected =
             match site with
-            | "storage.save.tmp" | "storage.save.rename" -> !mem_rows
+            | "storage.save.tmp" | "storage.save.rename"
+            | "storage.save.dir_sync" ->
+                !mem_rows
             | _ -> !file_rows
           in
           checki (site ^ ": pre- or post-save state, never torn") expected rows;
@@ -100,6 +102,7 @@ let test_recovery_outcomes_per_point () =
       ("storage.save.tmp_partial", "rolled-back");
       ("storage.save.tmp", "rolled-forward");     (* complete image promoted *)
       ("storage.save.rename", "completed");       (* only the clear replayed *)
+      ("storage.save.dir_sync", "completed");     (* dir entry already durable *)
     ]
   in
   with_tmp_db (fun path ->

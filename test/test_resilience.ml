@@ -211,6 +211,54 @@ let test_jobs_accounting_identical () =
       let par = Par.parallel_map_list work items in
       checkb "jobs=4 accounting identical to jobs=1" true (seq = par))
 
+(* Breakers are per-dependency: a parallel fan-out gives each work item
+   its own. The half-open protocol — exactly one probe once the cooldown
+   is served, its outcome deciding reclose-vs-reopen — must yield the
+   same decision trace whatever domain runs the item. *)
+
+let drive_breaker (threshold, cooldown, outcomes) =
+  let b =
+    Resilience.Breaker.create ~failure_threshold:threshold
+      ~cooldown_calls:cooldown ()
+  in
+  List.map
+    (fun outcome ->
+      let allowed = Resilience.Breaker.allow b in
+      if allowed then
+        if outcome then Resilience.Breaker.success b
+        else Resilience.Breaker.failure b;
+      (allowed, Resilience.Breaker.state b))
+    outcomes
+
+let breaker_jobs_prop =
+  qtest ~count:100 "half-open probe transitions identical under jobs>1"
+    Q.Gen.(
+      list_size (int_range 1 8)
+        (triple (int_range 1 3) (int_range 1 3)
+           (list_size (int_bound 40) bool)))
+    (fun scenarios ->
+      let prev = Par.jobs () in
+      Fun.protect
+        ~finally:(fun () -> Par.set_jobs prev)
+        (fun () ->
+          Par.set_jobs 1;
+          let seq = Par.parallel_map_list drive_breaker scenarios in
+          Par.set_jobs 4;
+          let par = Par.parallel_map_list drive_breaker scenarios in
+          seq = par
+          && List.for_all2
+               (fun (threshold, cooldown, outcomes) trace ->
+                 let st = ref (MClosed 0) in
+                 List.for_all2
+                   (fun outcome (allowed, after) ->
+                     let m_allowed, m_next =
+                       model_step ~threshold ~cooldown !st outcome
+                     in
+                     st := m_next;
+                     allowed = m_allowed && after = state_of !st)
+                   outcomes trace)
+               scenarios seq))
+
 let suites =
   [
     ("resilience:backoff", backoff_props);
@@ -238,5 +286,6 @@ let suites =
       [
         Alcotest.test_case "jobs>1 keeps retry accounting" `Quick
           test_jobs_accounting_identical;
+        breaker_jobs_prop;
       ] );
   ]
