@@ -2225,7 +2225,7 @@ let shard_bench () =
   let scaling =
     List.map
       (fun shards ->
-        let cl = Cluster.create_local ~attach ~replicas:false ~shards () in
+        let cl = ok (Cluster.create_local ~attach ~replicas:false ~shards ()) in
         let _, t_load = time (fun () -> load_cluster cl) in
         (* warm pass so domain pools and caches exist everywhere *)
         for i = 0 to 7 do
@@ -2282,7 +2282,7 @@ let shard_bench () =
       corpus
   in
   (* -- zero failed queries under a crash-looping primary -------------- *)
-  let fcl = Cluster.create_local ~attach ~replicas:true ~shards:4 () in
+  let fcl = ok (Cluster.create_local ~attach ~replicas:true ~shards:4 ()) in
   load_cluster fcl;
   let spec = "seed=7;shard.1.primary:error:p=0.7;shard.2.primary:crash:p=0.35" in
   (match Fault.configure spec with Ok () -> () | Error m -> failwith m);
@@ -2364,7 +2364,7 @@ let cluster_bench () =
   in
   let base = Db.create () in
   attach base;
-  let cl = ref (Cluster.create_local ~attach ~replicas:true ~dir ~shards:4 ()) in
+  let cl = ref (ok (Cluster.create_local ~attach ~replicas:true ~dir ~shards:4 ())) in
   let both sql =
     Exec.clear_statement_caches ();
     ignore (ok (Cluster.query !cl ~actor sql));

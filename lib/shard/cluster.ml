@@ -28,6 +28,16 @@ let c_epoch_bumps = Obs.counter "shard.epoch.bumps"
 let h_gather = Obs.histogram "shard.gather"
 let h_merge = Obs.histogram "shard.merge"
 
+(* the three steps of the staged checkpoint protocol, for crash tests *)
+let ckpt_crash_points =
+  [
+    "shard.checkpoint.stage";
+    "shard.checkpoint.commit";
+    "shard.checkpoint.promote";
+  ]
+
+let () = List.iter Fault.register_crash_point ckpt_crash_points
+
 type endpoint = Resync.endpoint =
   | Local of Db.t
   | Remote of Client.t
@@ -88,6 +98,10 @@ type t = {
   topology : Manifest.topology;
   rep : rep;
   mutable failovers_sum : int;
+  (* set when a statement-log flush failed: the coordinator refuses
+     further writes until it is reopened (recovery re-derives a
+     consistent state from the durable log) *)
+  mutable wedged : string option;
 }
 
 (* a shard (primary or replica) that cannot answer at all — injected
@@ -159,6 +173,68 @@ let log_file dir = Filename.concat dir "statements.log"
 let mirror_file dir = Filename.concat dir "mirror.db"
 let shard_image dir i = Filename.concat dir (Printf.sprintf "shard%d.db" i)
 
+(* A checkpoint must be crash-atomic against the statement log: saving
+   an image and truncating the log are separate steps, and a crash
+   between them must not leave recovery replaying statements an image
+   already holds. The protocol stages every image under the log base
+   it covers — [<file>.ckpt-<base>] — and commits by persisting the
+   manifest with that base; only then are the staged images renamed
+   over the live ones and the log truncated. Recovery (see
+   [settle_staged]) finishes a committed promotion and sweeps staged
+   files of an uncommitted one, and every replay path filters by
+   [lsn > log_base], so each statement is applied exactly once no
+   matter where the crash landed. *)
+let ckpt_infix = ".ckpt-"
+let staged_image file base = Printf.sprintf "%s%s%d" file ckpt_infix base
+
+type staged =
+  | Staged_db of string * int  (* live file name, checkpoint base *)
+  | Staged_aux  (* a save-machinery leftover: <file>.ckpt-<base>.tmp/.journal *)
+
+let classify_staged name =
+  let n = String.length name and m = String.length ckpt_infix in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub name i m = ckpt_infix then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> (
+      let j = ref (i + m) in
+      while !j < n && name.[!j] >= '0' && name.[!j] <= '9' do
+        incr j
+      done;
+      match int_of_string_opt (String.sub name (i + m) (!j - i - m)) with
+      | None -> None
+      | Some w ->
+          if !j = n then Some (Staged_db (String.sub name 0 i, w))
+          else if name.[!j] = '.' then Some Staged_aux
+          else None)
+
+(* Finish or sweep an interrupted checkpoint. A staged image whose base
+   matches the manifest's belongs to a committed checkpoint whose
+   promotion crashed mid-way: rename it into place. Staged images (and
+   their tmp/journal leftovers) of an uncommitted checkpoint are
+   removed — the manifest never named their base, so the live images
+   plus the intact log are still the truth. *)
+let settle_staged dir ~log_base =
+  match
+    Array.iter
+      (fun name ->
+        match classify_staged name with
+        | None -> ()
+        | Some Staged_aux -> Sys.remove (Filename.concat dir name)
+        | Some (Staged_db (live, w)) ->
+            let staged = Filename.concat dir name in
+            if w = log_base then Sys.rename staged (Filename.concat dir live)
+            else Sys.remove staged)
+      (Sys.readdir dir);
+    Fsutil.fsync_dir dir
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e
+
 (* The statement log is physically one LSN-ordered file but logically
    per-shard: each statement's transaction (txn id = LSN) carries the
    original statement for the mirror plus the routed statement tagged
@@ -214,10 +290,21 @@ let save_manifest t =
    it was derived from: both records share one log transaction, so both
    survive a crash or neither does — there is no window where the
    mirror and a shard diverge after recovery. [target] is a shard
-   index, or [-1] for a broadcast. *)
+   index, or [-1] for a broadcast.
+
+   A statement is only as durable as its flush: if the flush fails the
+   LSN may not survive a restart, and applying the statement to members
+   anyway would let a later coordinator re-assign that LSN to a
+   different statement, which the members' idempotent-replay cursors
+   would then silently skip. A failed flush therefore fails the
+   statement — no member sees it, its buffered records are dropped so a
+   later flush cannot resurrect them — and wedges the coordinator
+   against further writes until it is reopened (the mirror, which
+   rules on statements first, is one undurable statement ahead of the
+   log until then). *)
 let log_statement t ~actor ~lsn ~target ~original ~routed =
   match t.persist with
-  | Some p ->
+  | Some p -> (
       Wal.append_begin p.log ~txn:lsn;
       Wal.append_stmt p.log ~txn:lsn ~actor ~sql:original;
       let tgt = if target < 0 then "*" else string_of_int target in
@@ -226,13 +313,30 @@ let log_statement t ~actor ~lsn ~target ~original ~routed =
       Wal.append_commit p.log ~txn:lsn;
       (* flush per statement: a member ack means its LSN is replayable;
          a torn tail from a flush crash is rebuilt on recovery *)
-      (match Wal.flush p.log with Ok () | Error _ -> ())
+      match
+        Fault.hit "shard.log.flush";
+        Wal.flush p.log
+      with
+      | Ok () -> Ok ()
+      | Error e | (exception Fault.Injected (_, e)) ->
+          Wal.drop_pending p.log;
+          let msg =
+            Printf.sprintf
+              "statement log write failed (%s); the coordinator refuses \
+               further writes — reopen the state directory to recover"
+              e
+          in
+          t.wedged <- Some msg;
+          Error msg)
   | None ->
       if target < 0 then
         Array.iteri
           (fun i l -> t.mem_logs.(i) <- (lsn, actor, routed) :: l)
           t.mem_logs
-      else t.mem_logs.(target) <- (lsn, actor, routed) :: t.mem_logs.(target)
+      else begin
+        t.mem_logs.(target) <- (lsn, actor, routed) :: t.mem_logs.(target)
+      end;
+      Ok ()
 
 (* the logical statement stream of shard [i]: routed statements
    targeting it (or broadcast) with LSN strictly above [lsn], ascending *)
@@ -519,6 +623,7 @@ let make ~shards ~mirror_db ~persist ~topology =
       topology;
       rep = fresh_rep ();
       failovers_sum = 0;
+      wedged = None;
     }
   in
   save_manifest t;
@@ -538,16 +643,14 @@ let create_local ?(attach = fun _ -> ()) ?(replicas = true) ?dir ~shards:n () =
           (Local (mk ()))
           (if replicas then Some (Local (mk ())) else None))
   in
-  let persist =
+  let* persist =
     match dir with
-    | None -> None
-    | Some dir -> (
-        match open_fresh_dir dir with
-        | Ok p -> Some p
-        | Error e -> failwith e)
+    | None -> Ok None
+    | Some dir -> Result.map Option.some (open_fresh_dir dir)
   in
-  make ~shards ~mirror_db ~persist
-    ~topology:(Manifest.Local { shards = n; replicas })
+  Ok
+    (make ~shards ~mirror_db ~persist
+       ~topology:(Manifest.Local { shards = n; replicas }))
 
 let close t =
   (match t.persist with
@@ -659,9 +762,13 @@ let route_entries (rp : Wal.replay) i =
       | _ -> None)
     rp.Wal.committed
 
+(* [from] is both the filter and the cursor: entries at or below it are
+   already in the image being rebuilt (they were checkpointed away) and
+   must not be applied again *)
 let apply_entries db ~from entries =
   let rec go applied = function
     | [] -> Ok applied
+    | (lsn, _, _) :: rest when lsn <= from -> go applied rest
     | (lsn, actor, sql) :: rest ->
         let* stmt = Parser.parse sql in
         let* _ = Exec.run db ~actor stmt in
@@ -680,6 +787,10 @@ let open_dir ?(attach = fun _ -> ()) ~dir () =
   match mf_opt with
   | None -> Error (dir ^ ": no coordinator manifest")
   | Some mf ->
+      let log_base = mf.Manifest.log_base in
+      (* an interrupted checkpoint first: promote its images if it
+         committed, sweep them if it did not *)
+      let* () = settle_staged dir ~log_base in
       let* rp = Wal.replay (log_file dir) in
       let* log =
         if rp.Wal.torn then rebuild_log dir rp else Wal.open_ (log_file dir)
@@ -695,6 +806,9 @@ let open_dir ?(attach = fun _ -> ()) ~dir () =
         mf.Manifest.pcols;
       let rec replay_mirror = function
         | [] -> Ok ()
+        (* at or below the checkpoint base: the image already holds it *)
+        | (s : Wal.replay_stmt) :: rest when s.Wal.rp_txn <= log_base ->
+            replay_mirror rest
         | (s : Wal.replay_stmt) :: rest -> (
             match decode_route s.Wal.rp_actor with
             | Some _ -> replay_mirror rest
@@ -719,7 +833,6 @@ let open_dir ?(attach = fun _ -> ()) ~dir () =
           0 rp.Wal.committed
       in
       let next_seq = max mf.Manifest.next_seq (max_txn + 1) in
-      let log_base = mf.Manifest.log_base in
       let entry i = List.nth_opt mf.Manifest.shards i in
       let entry_epoch i =
         match entry i with Some e -> e.Manifest.epoch | None -> 0
@@ -736,6 +849,7 @@ let open_dir ?(attach = fun _ -> ()) ~dir () =
           topology = mf.Manifest.topology;
           rep = fresh_rep ();
           failovers_sum = 0;
+          wedged = None;
         }
       in
       (match mf.Manifest.topology with
@@ -802,34 +916,72 @@ let open_dir ?(attach = fun _ -> ()) ~dir () =
             t.shards;
           Ok t)
 
-(* Checkpoint: fold the log into images and truncate it. Refused while
-   any member is not serving — truncation would strand that member's
-   delta and turn a recoverable lag into a dead store. *)
+(* Checkpoint: fold the log into images and truncate it, via the staged
+   protocol described at [staged_image] (stage images -> commit by
+   manifest -> promote -> truncate), so a crash at any step recovers
+   without replaying a statement twice or losing one. Refused while any
+   member is not serving — truncation would strand that member's delta
+   and turn a recoverable lag into a dead store — and while the
+   coordinator is wedged on a failed log flush — the mirror is ahead of
+   the log then, and an image of it would launder the undurable
+   statement into the checkpoint. *)
 let checkpoint t =
   match t.persist with
   | None -> Error "not a persistent cluster (no state directory)"
-  | Some p ->
-      if
-        Array.exists
-          (fun sh -> List.exists (fun (_, m) -> not m.m_healthy) (members sh))
-          t.shards
-      then Error "cannot checkpoint: a shard member is not serving"
-      else
-        let* () = Db.save t.mirror_db (mirror_file p.dir) in
-        let rec save_shards i =
-          if i >= Array.length t.shards then Ok ()
-          else
-            match t.shards.(i).primary.m_ep with
-            | Local db ->
-                let* () = Db.save db (shard_image p.dir i) in
-                save_shards (i + 1)
-            | Remote _ | Detached _ -> save_shards (i + 1)
-        in
-        let* () = save_shards 0 in
-        let* () = Wal.truncate p.log in
-        t.log_base <- t.next_seq - 1;
-        Array.iteri (fun i _ -> t.mem_logs.(i) <- []) t.mem_logs;
-        Manifest.save (manifest_of t) ~dir:p.dir
+  | Some p -> (
+      match t.wedged with
+      | Some msg -> Error msg
+      | None ->
+          if
+            Array.exists
+              (fun sh ->
+                List.exists (fun (_, m) -> not m.m_healthy) (members sh))
+              t.shards
+          then Error "cannot checkpoint: a shard member is not serving"
+          else begin
+            let base = t.next_seq - 1 in
+            let live = ref [ mirror_file p.dir ] in
+            let* () =
+              Db.save t.mirror_db (staged_image (mirror_file p.dir) base)
+            in
+            let rec save_shards i =
+              if i >= Array.length t.shards then Ok ()
+              else
+                match t.shards.(i).primary.m_ep with
+                | Local db ->
+                    let file = shard_image p.dir i in
+                    let* () = Db.save db (staged_image file base) in
+                    live := file :: !live;
+                    save_shards (i + 1)
+                | Remote _ | Detached _ -> save_shards (i + 1)
+            in
+            let* () = save_shards 0 in
+            Fault.crash "shard.checkpoint.stage";
+            (* commit point: the manifest now names the staged set *)
+            let old_base = t.log_base in
+            t.log_base <- base;
+            match Manifest.save (manifest_of t) ~dir:p.dir with
+            | Error e ->
+                t.log_base <- old_base;
+                Error e
+            | Ok () ->
+                Fault.crash "shard.checkpoint.commit";
+                let* () =
+                  match
+                    List.iter
+                      (fun file ->
+                        Sys.rename (staged_image file base) file)
+                      !live;
+                    Fsutil.fsync_dir p.dir
+                  with
+                  | () -> Ok ()
+                  | exception Sys_error e -> Error e
+                in
+                Fault.crash "shard.checkpoint.promote";
+                let* () = Wal.truncate p.log in
+                Array.iteri (fun i _ -> t.mem_logs.(i) <- []) t.mem_logs;
+                Ok ()
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* Scatter-gather SELECT                                               *)
@@ -1160,9 +1312,11 @@ let run_insert t ~actor table columns rows =
                   rows = [ exprs @ [ Ast.Lit (D.Int lsn) ] ];
                 }
             in
-            log_statement t ~actor ~lsn ~target:tgt
-              ~original:(Ast.stmt_to_string original)
-              ~routed:(Ast.stmt_to_string stmt);
+            let* () =
+              log_statement t ~actor ~lsn ~target:tgt
+                ~original:(Ast.stmt_to_string original)
+                ~routed:(Ast.stmt_to_string stmt)
+            in
             write_shard t ~actor tgt ~lsn stmt;
             insert_rows (n + 1) rest)
   in
@@ -1172,12 +1326,23 @@ let run_insert t ~actor table columns rows =
    sees the statement), then log under one LSN, then every member *)
 let run_broadcast t ~actor stmt shard_stmt =
   let lsn = next_lsn t in
-  log_statement t ~actor ~lsn ~target:(-1)
-    ~original:(Ast.stmt_to_string stmt)
-    ~routed:(Ast.stmt_to_string shard_stmt);
-  broadcast_write t ~actor ~lsn shard_stmt
+  let* () =
+    log_statement t ~actor ~lsn ~target:(-1)
+      ~original:(Ast.stmt_to_string stmt)
+      ~routed:(Ast.stmt_to_string shard_stmt)
+  in
+  broadcast_write t ~actor ~lsn shard_stmt;
+  Ok ()
 
-let run t ~actor stmt =
+let is_write = function
+  | Ast.Select _ | Ast.Explain _ -> false
+  | Ast.Insert _ | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
+  | Ast.Create_genomic_index _ | Ast.Analyze _ | Ast.Delete _ ->
+      true
+
+let reserved_actor actor = String.length actor > 0 && actor.[0] = '@'
+
+let run_stmt t ~actor stmt =
   match stmt with
   | Ast.Select select -> scatter_select t ~actor select
   | Ast.Explain { analyze; select } -> explain_cluster t ~actor ~analyze select
@@ -1208,20 +1373,32 @@ let run t ~actor stmt =
                   ];
             }
         in
-        run_broadcast t ~actor stmt shard_stmt;
+        let* () = run_broadcast t ~actor stmt shard_stmt in
         save_manifest t;
         Ok outcome
   | Ast.Drop_table table ->
       let* outcome = Exec.run t.mirror_db ~actor stmt in
       Hashtbl.remove t.pcols (String.lowercase_ascii table);
-      run_broadcast t ~actor stmt stmt;
+      let* () = run_broadcast t ~actor stmt stmt in
       save_manifest t;
       Ok outcome
   | Ast.Create_index _ | Ast.Create_genomic_index _ | Ast.Analyze _
   | Ast.Delete _ ->
       let* outcome = Exec.run t.mirror_db ~actor stmt in
-      run_broadcast t ~actor stmt stmt;
+      let* () = run_broadcast t ~actor stmt stmt in
       Ok outcome
+
+let run t ~actor stmt =
+  if reserved_actor actor then
+    Error
+      (Printf.sprintf
+         "actor name %S is invalid: names starting with '@' are reserved by \
+          the sharding layer"
+         actor)
+  else
+    match t.wedged with
+    | Some msg when is_write stmt -> Error msg
+    | _ -> run_stmt t ~actor stmt
 
 let query t ~actor sql =
   let* stmt = Parser.parse sql in

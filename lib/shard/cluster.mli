@@ -56,15 +56,15 @@ val create_local :
   ?dir:string ->
   shards:int ->
   unit ->
-  t
+  (t, string) result
 (** Fresh in-process cluster of [max 1 shards] shards. [attach]
     registers UDTs/UDFs and is applied to the mirror and every shard
     store (default: nothing). [replicas] (default [true]) controls
     whether each shard gets a replica store. [dir] makes the cluster
     persistent: the directory (created if missing) receives the
-    manifest, the statement log and checkpoint images. Raises
-    [Failure] if [dir] already holds a manifest (reopen it with
-    {!open_dir}) or cannot be initialised. *)
+    manifest, the statement log and checkpoint images. [Error] if
+    [dir] already holds a manifest (reopen it with {!open_dir}) or
+    cannot be initialised. *)
 
 val create_remote :
   ?attach:(Db.t -> unit) ->
@@ -91,8 +91,15 @@ val open_dir : ?attach:(Db.t -> unit) -> dir:string -> unit -> (t, string) resul
 
 val checkpoint : t -> (unit, string) result
 (** Fold the statement log into fresh checkpoint images and truncate
-    it. Refused unless every member is serving — truncating earlier
-    would strand a down member's replay delta. *)
+    it. Crash-atomic: images are staged under the new log base, the
+    manifest carrying that base is the single commit point, and only
+    then are the staged images promoted and the log truncated —
+    {!open_dir} finishes or discards an interrupted checkpoint and
+    replays only statements above the committed base, so no statement
+    is ever applied twice (crash points [shard.checkpoint.stage] /
+    [.commit] / [.promote]). Refused unless every member is serving —
+    truncating earlier would strand a down member's replay delta — and
+    refused after a failed statement-log flush (see {!run}). *)
 
 val close : t -> unit
 (** Flush the statement log and manifest (when persistent), then
@@ -110,6 +117,14 @@ val replica_db : t -> int -> Db.t option
 
 val run :
   t -> actor:string -> Genalg_sqlx.Ast.stmt -> (Exec.outcome, string) result
+(** Execute one statement with single-node semantics. Actor names
+    starting with ['@'] are refused — that prefix is reserved for the
+    statement log's shard-routing records. If a write's statement-log
+    flush fails, the write fails and the coordinator {e wedges}: every
+    later write (and {!checkpoint}) is refused with the same error
+    until the state directory is reopened with {!open_dir}, which
+    re-derives a consistent state from the durable log. Reads keep
+    serving while wedged. *)
 
 val query : t -> actor:string -> string -> (Exec.outcome, string) result
 (** Parse then {!run}. *)

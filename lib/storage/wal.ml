@@ -110,6 +110,8 @@ let flush t =
     | exception Unix.Unix_error (e, _, _) ->
         Error (t.wal_file ^ ": " ^ Unix.error_message e)
 
+let drop_pending t = Buffer.clear t.pending
+
 let truncate t =
   match
     Buffer.clear t.pending;

@@ -63,6 +63,12 @@ val flush : t -> (unit, string) result
     acknowledges a whole commit group. Idempotent when nothing is
     pending (no write, no fsync). *)
 
+val drop_pending : t -> unit
+(** Discard every buffered record without writing it. For callers that
+    treat a failed {!flush} as aborting the records it covered: after a
+    flush error the buffer still holds them, and a later flush (say at
+    close) would silently make them durable after all. *)
+
 val truncate : t -> (unit, string) result
 (** Checkpoint: discard every record (the snapshot image now covers
     them), leaving just the magic. Pending unflushed records are

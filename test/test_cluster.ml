@@ -304,7 +304,7 @@ let test_shard_topology_validation () =
 let test_local_resync_rejoin () =
   Obs.set_enabled true;
   let single = fresh_single () in
-  let cl = Cluster.create_local ~attach ~shards:3 () in
+  let cl = ok (Cluster.create_local ~attach ~shards:3 ()) in
   run_seed (Cluster.query cl ~actor);
   Fun.protect
     ~finally:(fun () -> Fault.disable ())
@@ -364,7 +364,7 @@ let test_open_dir_restart () =
   with_tmp_dir (fun tmp ->
       let dir = Filename.concat tmp "coord" in
       let single = fresh_single () in
-      let cl = Cluster.create_local ~attach ~shards:3 ~dir () in
+      let cl = ok (Cluster.create_local ~attach ~shards:3 ~dir ()) in
       run_seed (Cluster.query cl ~actor);
       ignore
         (ok
@@ -376,11 +376,10 @@ let test_open_dir_restart () =
               "INSERT INTO seqs VALUES ('mouse','RST01',88,4.5,'ACGT')"));
       Cluster.close cl;
       (* a second fresh-create on the same directory must refuse *)
-      (try
-         ignore (Cluster.create_local ~attach ~shards:3 ~dir ());
-         Alcotest.fail "create_local reused a live state directory"
-       with Failure msg -> checkb "refusal names open_dir" true
-           (str_contains msg "open_dir"));
+      (match Cluster.create_local ~attach ~shards:3 ~dir () with
+      | Ok _ -> Alcotest.fail "create_local reused a live state directory"
+      | Error msg ->
+          checkb "refusal names open_dir" true (str_contains msg "open_dir"));
       let cl2 = ok (Cluster.open_dir ~attach ~dir ()) in
       checkb "all shards serving after restart" true (all_serving cl2);
       List.iter (assert_same single cl2) corpus;
@@ -401,7 +400,7 @@ let test_open_dir_torn_tail () =
   with_tmp_dir (fun tmp ->
       let dir = Filename.concat tmp "coord" in
       let single = fresh_single () in
-      let cl = Cluster.create_local ~attach ~shards:2 ~dir () in
+      let cl = ok (Cluster.create_local ~attach ~shards:2 ~dir ()) in
       run_seed (Cluster.query cl ~actor);
       Cluster.close cl;
       (* tear the statement log's tail: garbage after the last record *)
@@ -428,7 +427,7 @@ let test_checkpoint () =
   with_tmp_dir (fun tmp ->
       let dir = Filename.concat tmp "coord" in
       let single = fresh_single () in
-      let cl = Cluster.create_local ~attach ~shards:2 ~dir () in
+      let cl = ok (Cluster.create_local ~attach ~shards:2 ~dir ()) in
       run_seed (Cluster.query cl ~actor);
       Fun.protect
         ~finally:(fun () -> Fault.disable ())
@@ -451,6 +450,137 @@ let test_checkpoint () =
           checkb "serving after image-only recovery" true (all_serving cl2);
           List.iter (assert_same single cl2) corpus;
           Cluster.close cl2))
+
+(* A crash at any step of the staged checkpoint protocol (after the
+   images are staged / after the manifest commit / after the promotion,
+   before the log truncates) must recover byte-identical: the log's
+   statements are replayed exactly once over whatever images survived.
+   The promote cell is the classic double-apply window — fully
+   checkpointed images plus an intact statement log. *)
+let test_checkpoint_crash_atomic () =
+  List.iter
+    (fun cp ->
+      with_tmp_dir (fun tmp ->
+          let dir = Filename.concat tmp "coord" in
+          let single = fresh_single () in
+          let cl = ok (Cluster.create_local ~attach ~shards:2 ~dir ()) in
+          run_seed (Cluster.query cl ~actor);
+          ok (Fault.configure (cp ^ ":crash"));
+          (match Cluster.checkpoint cl with
+          | exception Fault.Crash_point site ->
+              check "crashed at the configured step" cp site
+          | Ok () -> Alcotest.fail "checkpoint survived its crash point"
+          | Error e -> Alcotest.failf "checkpoint failed oddly: %s" e);
+          Fault.disable ();
+          (* the coordinator is dead; recovery must settle the
+             interrupted checkpoint and replay each statement once *)
+          let cl2 = ok (Cluster.open_dir ~attach ~dir ()) in
+          checkb (cp ^ ": serving after recovery") true (all_serving cl2);
+          List.iter (assert_same single cl2) corpus;
+          (* no staged leftovers survive recovery *)
+          Array.iter
+            (fun name ->
+              checkb (cp ^ ": staged file swept: " ^ name) false
+                (str_contains name ".ckpt-"))
+            (Sys.readdir dir);
+          (* the next checkpoint completes and recovery still agrees *)
+          ignore
+            (ok
+               (Cluster.query cl2 ~actor
+                  "INSERT INTO seqs VALUES ('human','CKP01',77,3.5,'ACGT')"));
+          ignore
+            (ok
+               (Exec.query single ~actor
+                  "INSERT INTO seqs VALUES ('human','CKP01',77,3.5,'ACGT')"));
+          ok (Cluster.checkpoint cl2);
+          Cluster.close cl2;
+          let cl3 = ok (Cluster.open_dir ~attach ~dir ()) in
+          List.iter (assert_same single cl3) corpus;
+          Cluster.close cl3))
+    [
+      "shard.checkpoint.stage";
+      "shard.checkpoint.commit";
+      "shard.checkpoint.promote";
+    ]
+
+(* A failed statement-log flush must fail the statement before any
+   member applies it (an undurable LSN could be re-assigned after a
+   restart) and wedge the coordinator against further writes until the
+   state directory is reopened. *)
+let test_log_flush_failure_wedges () =
+  with_tmp_dir (fun tmp ->
+      let dir = Filename.concat tmp "coord" in
+      let single = fresh_single () in
+      let cl = ok (Cluster.create_local ~attach ~shards:2 ~dir ()) in
+      run_seed (Cluster.query cl ~actor);
+      let shard_rows () =
+        List.fold_left
+          (fun acc i ->
+            match Cluster.primary_db cl i with
+            | Some db -> (
+                match ok (Exec.query db ~actor "SELECT count(*) FROM seqs") with
+                | Exec.Rows { Exec.rows = [ [| D.Int n |] ]; _ } -> acc + n
+                | _ -> Alcotest.fail "count query")
+            | None -> Alcotest.fail "local cluster must expose shard stores")
+          0 [ 0; 1 ]
+      in
+      let before = shard_rows () in
+      ok (Fault.configure "shard.log.flush:error");
+      let e =
+        err
+          (Cluster.query cl ~actor
+             "INSERT INTO seqs VALUES ('human','WDG01',50,1.5,'ACGT')")
+      in
+      checkb "flush failure fails the statement" true
+        (str_contains e "statement log");
+      Fault.disable ();
+      checki "no member applied the undurable statement" before (shard_rows ());
+      (* wedged: the log is healthy again but writes stay refused, and
+         so does checkpoint (its images would launder the mirror's
+         undurable extra statement into the checkpoint) *)
+      let e2 =
+        err
+          (Cluster.query cl ~actor
+             "INSERT INTO seqs VALUES ('human','WDG02',51,1.5,'ACGT')")
+      in
+      checkb "wedged against further writes" true
+        (str_contains e2 "statement log");
+      checkb "checkpoint refused while wedged" true
+        (Result.is_error (Cluster.checkpoint cl));
+      (match ok (Cluster.query cl ~actor "SELECT count(*) FROM seqs") with
+      | Exec.Rows _ -> ()
+      | _ -> Alcotest.fail "reads must keep serving while wedged");
+      (* reopening re-derives state from the durable log: the failed
+         statement is gone everywhere and writes work again *)
+      let cl2 = ok (Cluster.open_dir ~attach ~dir ()) in
+      List.iter (assert_same single cl2) corpus;
+      ignore
+        (ok
+           (Cluster.query cl2 ~actor
+              "INSERT INTO seqs VALUES ('human','WDG03',52,1.5,'ACGT')"));
+      ignore
+        (ok
+           (Exec.query single ~actor
+              "INSERT INTO seqs VALUES ('human','WDG03',52,1.5,'ACGT')"));
+      List.iter (assert_same single cl2)
+        [ "SELECT count(*) FROM seqs"; "SELECT * FROM seqs" ];
+      Cluster.close cl2)
+
+(* '@' prefixes the statement log's routing records; an actor that
+   starts with one would make logged originals parse as routed records
+   during recovery, so it is refused at the coordinator entry *)
+let test_reserved_actor_refused () =
+  let cl = ok (Cluster.create_local ~attach ~shards:2 ()) in
+  run_seed (Cluster.query cl ~actor);
+  let e = err (Cluster.query cl ~actor:"@0:etl" "SELECT * FROM seqs") in
+  checkb "read under a reserved actor refused" true (str_contains e "reserved");
+  let e2 =
+    err
+      (Cluster.query cl ~actor:"@etl"
+         "INSERT INTO seqs VALUES ('human','RSV01',1,1.0,'A')")
+  in
+  checkb "write under a reserved actor refused" true
+    (str_contains e2 "reserved")
 
 (* ---- remote acceptance: crash a shard server AND the coordinator ------- *)
 
@@ -621,6 +751,12 @@ let suites =
           test_open_dir_torn_tail;
         Alcotest.test_case "checkpoint gates and truncates" `Quick
           test_checkpoint;
+        Alcotest.test_case "checkpoint crash matrix replays exactly once"
+          `Quick test_checkpoint_crash_atomic;
+        Alcotest.test_case "statement-log flush failure wedges writes" `Quick
+          test_log_flush_failure_wedges;
+        Alcotest.test_case "reserved '@' actor names refused" `Quick
+          test_reserved_actor_refused;
       ] );
     ( "cluster.remote-recovery",
       [

@@ -70,7 +70,7 @@ let with_pair ?(shards = 3) f =
   let single = Db.create () in
   attach single;
   run_seed (Exec.query single ~actor);
-  let cl = Cluster.create_local ~attach ~shards () in
+  let cl = ok (Cluster.create_local ~attach ~shards ()) in
   run_seed (Cluster.query cl ~actor);
   Fun.protect ~finally:(fun () -> Fault.disable ()) (fun () -> f single cl)
 
@@ -188,7 +188,7 @@ let test_insert_partial () =
         [ "SELECT count(*) FROM seqs"; "SELECT * FROM seqs" ])
 
 let test_reserved_column () =
-  let cl = Cluster.create_local ~attach ~shards:2 () in
+  let cl = ok (Cluster.create_local ~attach ~shards:2 ()) in
   let e = err (Cluster.query cl ~actor "CREATE TABLE bad (x int, __grid int)") in
   checkb "reserved name mentioned" true (str_contains e "__grid")
 
